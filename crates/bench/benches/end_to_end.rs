@@ -1,0 +1,32 @@
+//! Criterion bench for Figure 7-7 (reduced grid): end-to-end throughput
+//! with and without MobiGATE. The full grid lives in the `repro` binary
+//! (`cargo run --release -p mobigate-bench --bin repro -- fig7_7`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mobigate_bench::end_to_end_point;
+use std::time::Duration;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_7_end_to_end");
+    group.sample_size(10);
+    // Each measured run pushes 6 messages at the given bandwidth under a
+    // 1/250 time scale; the metric of record is wall time per run.
+    for bw_kbps in [50u64, 500] {
+        for with_mg in [false, true] {
+            let label = if with_mg { "mobigate" } else { "direct" };
+            group.bench_with_input(
+                BenchmarkId::new(label, bw_kbps),
+                &bw_kbps,
+                |b, &bw| {
+                    b.iter(|| {
+                        end_to_end_point(bw * 1000, Duration::ZERO, with_mg, 6, 0.004, 11)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for Figure 7-6: reconfiguration time vs number of
+//! streamlets inserted by a single LOW_BANDWIDTH-style reconfiguration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mobigate_bench::reconfig_time;
+
+fn bench_reconfiguration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_6_reconfiguration");
+    group.sample_size(10);
+    for n in [1usize, 10, 50, 100] {
+        group.bench_with_input(BenchmarkId::new("insert", n), &n, |b, &n| {
+            // Figure 7-6 times only the reconfiguration (T_e − T_s around
+            // the action series), not deployment — so feed Criterion the
+            // instrumented total rather than the wall time of the closure.
+            b.iter_custom(|iters| {
+                let mut total = std::time::Duration::ZERO;
+                for _ in 0..iters {
+                    total += reconfig_time(n).total;
+                }
+                total
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reconfiguration);
+criterion_main!(benches);

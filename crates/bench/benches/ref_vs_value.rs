@@ -1,0 +1,34 @@
+//! Criterion bench for Figure 7-3: passing by reference vs passing by
+//! value, across message sizes, through 30 chained redirectors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mobigate::core::pool::PayloadMode;
+use mobigate::mime::{MimeMessage, MimeType};
+use mobigate_bench::ChainHarness;
+
+fn bench_ref_vs_value(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_3_ref_vs_value");
+    group.sample_size(15);
+    let chain_len = 30;
+    let by_ref = ChainHarness::new(chain_len, PayloadMode::Reference);
+    let by_val = ChainHarness::new(chain_len, PayloadMode::Value);
+    for size_kb in [10usize, 50, 100, 200, 400] {
+        let msg = MimeMessage::new(
+            &MimeType::new("application", "octet-stream"),
+            vec![0u8; size_kb * 1024],
+        );
+        group.throughput(Throughput::Bytes((size_kb * 1024) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("reference", size_kb),
+            &size_kb,
+            |b, _| b.iter(|| by_ref.round_trip(msg.clone())),
+        );
+        group.bench_with_input(BenchmarkId::new("value", size_kb), &size_kb, |b, _| {
+            b.iter(|| by_val.round_trip(msg.clone()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ref_vs_value);
+criterion_main!(benches);

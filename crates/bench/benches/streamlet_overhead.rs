@@ -1,0 +1,28 @@
+//! Criterion bench for Figure 7-2: per-message latency through chains of
+//! redirector streamlets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mobigate::core::pool::PayloadMode;
+use mobigate::mime::{MimeMessage, MimeType};
+use mobigate_bench::ChainHarness;
+
+fn bench_streamlet_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_2_streamlet_overhead");
+    group.sample_size(30);
+    let size = 10 * 1024;
+    for k in [1usize, 5, 10, 20, 30] {
+        let harness = ChainHarness::new(k, PayloadMode::Reference);
+        let msg = MimeMessage::new(
+            &MimeType::new("application", "octet-stream"),
+            vec![0u8; size],
+        );
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("redirectors", k), &k, |b, _| {
+            b.iter(|| harness.round_trip(msg.clone()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_streamlet_overhead);
+criterion_main!(benches);

@@ -1,0 +1,233 @@
+//! Regenerates every figure of the thesis's Chapter 7 evaluation.
+//!
+//! ```text
+//! cargo run --release -p mobigate-bench --bin repro -- all
+//! cargo run --release -p mobigate-bench --bin repro -- fig7_2
+//! cargo run --release -p mobigate-bench --bin repro -- fig7_3 fig7_6
+//! cargo run --release -p mobigate-bench --bin repro -- fig7_7 --quick
+//! ```
+//!
+//! Results are printed as tables/ASCII charts and written as CSV files
+//! under `results/`.
+
+use mobigate::core::pool::PayloadMode;
+use mobigate_bench::report::{ascii_series, Csv};
+use mobigate_bench::{end_to_end_point, reconfig_time, ChainHarness};
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let run_all = selected.is_empty() || selected.contains(&"all");
+    let want = |name: &str| run_all || selected.contains(&name);
+
+    std::fs::create_dir_all("results").expect("create results dir");
+
+    if want("fig7_2") {
+        fig7_2(quick);
+    }
+    if want("fig7_3") {
+        fig7_3(quick);
+    }
+    if want("fig7_6") {
+        fig7_6(quick);
+    }
+    if want("eq7_1") {
+        eq7_1();
+    }
+    if want("fig7_7") {
+        fig7_7(quick);
+    }
+    println!("\nCSV written under results/");
+}
+
+fn save(name: &str, csv: &Csv) {
+    std::fs::write(format!("results/{name}.csv"), csv.to_string()).expect("write csv");
+}
+
+/// Figure 7-2: streamlet overhead — delay vs. number of redirectors.
+fn fig7_2(quick: bool) {
+    println!("\n================ Figure 7-2: streamlet overhead ================");
+    println!("(paper: linear growth, ≈12 ms per streamlet on 2004 Java/hardware)\n");
+    let counts: &[usize] = if quick { &[1, 5, 10] } else { &[1, 5, 10, 15, 20, 25, 30] };
+    let iters = if quick { 20 } else { 100 };
+    let size = 10 * 1024;
+
+    let mut csv = Csv::new(["streamlets", "mean_latency_us", "per_streamlet_us"]);
+    let mut pts = Vec::new();
+    for &k in counts {
+        let h = ChainHarness::new(k, PayloadMode::Reference);
+        let mean = h.mean_latency(size, iters);
+        let us = mean.as_secs_f64() * 1e6;
+        csv.row([k.to_string(), format!("{us:.1}"), format!("{:.2}", us / k as f64)]);
+        pts.push((k as f64, us));
+    }
+    print!("{}", csv.to_table());
+    println!();
+    print!("{}", ascii_series("delay vs streamlet count", &[("latency", pts)], "µs"));
+    save("fig7_2_streamlet_overhead", &csv);
+}
+
+/// Figure 7-3: passing by reference vs. passing by value.
+fn fig7_3(quick: bool) {
+    println!("\n========= Figure 7-3: pass by reference vs pass by value =========");
+    println!("(paper: reference ≪ value, gap widening beyond ~200 KB messages)\n");
+    let sizes_kb: &[usize] = if quick { &[10, 100, 400] } else { &[10, 50, 100, 200, 400, 800] };
+    let k = if quick { 10 } else { 30 };
+    let iters = if quick { 5 } else { 15 };
+
+    let mut csv = Csv::new(["size_kb", "reference_us", "value_us", "value_over_reference"]);
+    let mut ref_pts = Vec::new();
+    let mut val_pts = Vec::new();
+    let href = ChainHarness::new(k, PayloadMode::Reference);
+    let hval = ChainHarness::new(k, PayloadMode::Value);
+    for &kb in sizes_kb {
+        let r = href.mean_latency(kb * 1024, iters).as_secs_f64() * 1e6;
+        let v = hval.mean_latency(kb * 1024, iters).as_secs_f64() * 1e6;
+        csv.row([
+            kb.to_string(),
+            format!("{r:.1}"),
+            format!("{v:.1}"),
+            format!("{:.2}x", v / r),
+        ]);
+        ref_pts.push((kb as f64, r));
+        val_pts.push((kb as f64, v));
+    }
+    print!("{}", csv.to_table());
+    println!();
+    print!(
+        "{}",
+        ascii_series(
+            &format!("latency through {k} redirectors"),
+            &[("pass-by-reference", ref_pts), ("pass-by-value", val_pts)],
+            "µs",
+        )
+    );
+    save("fig7_3_ref_vs_value", &csv);
+}
+
+/// Figure 7-6: reconfiguration overhead vs. number of inserted streamlets.
+fn fig7_6(quick: bool) {
+    println!("\n============== Figure 7-6: reconfiguration overhead ==============");
+    println!("(paper: <20 ms for 10 streamlets, <100 ms for 100)\n");
+    let counts: &[usize] = if quick { &[1, 10, 40] } else { &[1, 5, 10, 20, 40, 60, 80, 100] };
+
+    let mut csv = Csv::new(["inserted", "total_us", "suspend_us", "channel_us", "activate_us"]);
+    let mut pts = Vec::new();
+    for &n in counts {
+        // Median of 9 runs to tame scheduler noise.
+        let mut runs: Vec<_> = (0..9).map(|_| reconfig_time(n)).collect();
+        runs.sort_by_key(|s| s.total);
+        let s = runs[runs.len() / 2];
+        let us = s.total.as_secs_f64() * 1e6;
+        csv.row([
+            n.to_string(),
+            format!("{us:.1}"),
+            format!("{:.1}", s.suspension_time.as_secs_f64() * 1e6),
+            format!("{:.1}", s.channel_time.as_secs_f64() * 1e6),
+            format!("{:.1}", s.activation_time.as_secs_f64() * 1e6),
+        ]);
+        pts.push((n as f64, us));
+    }
+    print!("{}", csv.to_table());
+    println!();
+    print!("{}", ascii_series("reconfiguration time vs inserts", &[("total", pts)], "µs"));
+    save("fig7_6_reconfiguration", &csv);
+}
+
+/// Equation 7-1: T = Σ sᵢ + n·c + Σ aᵢ — measured decomposition.
+fn eq7_1() {
+    println!("\n===== Equation 7-1: T = Σ suspensions + n·channel-ops + Σ activations =====\n");
+    let mut csv = Csv::new([
+        "inserted",
+        "suspensions",
+        "channel_ops",
+        "activations",
+        "components_us",
+        "total_us",
+        "accounted_pct",
+    ]);
+    for n in [1usize, 5, 20, 50] {
+        let s = reconfig_time(n);
+        let comp = s.suspension_time + s.channel_time + s.activation_time;
+        csv.row([
+            n.to_string(),
+            s.suspensions.to_string(),
+            s.channel_ops.to_string(),
+            s.activations.to_string(),
+            format!("{:.1}", comp.as_secs_f64() * 1e6),
+            format!("{:.1}", s.total.as_secs_f64() * 1e6),
+            format!("{:.0}%", comp.as_secs_f64() / s.total.as_secs_f64() * 100.0),
+        ]);
+    }
+    print!("{}", csv.to_table());
+    save("eq7_1_decomposition", &csv);
+}
+
+/// Figure 7-7: end-to-end effectiveness of the MobiGATE system.
+fn fig7_7(quick: bool) {
+    println!("\n========== Figure 7-7: MobiGATE end-to-end effectiveness ==========");
+    println!("(paper: MobiGATE ≥ direct at all bandwidths; gap grows as bandwidth");
+    println!(" drops; TextCompressor auto-inserted below 100 Kb/s)\n");
+
+    let bandwidths_kbps: &[u64] =
+        if quick { &[50, 500, 2000] } else { &[20, 50, 100, 200, 500, 750, 1000, 2000] };
+    let delays_ms: &[u64] = if quick { &[0] } else { &[0, 50, 100] };
+    let n = if quick { 8 } else { 16 };
+    // Scale wall time so the slowest point (20 Kb/s) stays tractable.
+    let time_scale = if quick { 0.004 } else { 0.002 };
+
+    let mut csv = Csv::new([
+        "bandwidth_kbps",
+        "delay_ms",
+        "direct_kbps",
+        "mobigate_kbps",
+        "speedup",
+        "link_bytes_direct",
+        "link_bytes_mobigate",
+    ]);
+    for &delay_ms in delays_ms {
+        let delay = Duration::from_millis(delay_ms);
+        let mut direct_pts = Vec::new();
+        let mut mg_pts = Vec::new();
+        for &bw in bandwidths_kbps {
+            let bps = bw * 1000;
+            let d = end_to_end_point(bps, delay, false, n, time_scale, 42);
+            let m = end_to_end_point(bps, delay, true, n, time_scale, 42);
+            csv.row([
+                bw.to_string(),
+                delay_ms.to_string(),
+                format!("{:.1}", d.throughput_kbps),
+                format!("{:.1}", m.throughput_kbps),
+                format!("{:.2}x", m.throughput_kbps / d.throughput_kbps),
+                d.link_bytes.to_string(),
+                m.link_bytes.to_string(),
+            ]);
+            direct_pts.push((bw as f64, d.throughput_kbps));
+            mg_pts.push((bw as f64, m.throughput_kbps));
+            println!(
+                "  bw={bw:>5} Kb/s delay={delay_ms:>3} ms   direct {:>8.1} Kb/s   \
+                 mobigate {:>8.1} Kb/s   ({:.2}x)",
+                d.throughput_kbps,
+                m.throughput_kbps,
+                m.throughput_kbps / d.throughput_kbps
+            );
+        }
+        println!();
+        print!(
+            "{}",
+            ascii_series(
+                &format!("throughput vs bandwidth (delay {delay_ms} ms)"),
+                &[("direct", direct_pts), ("mobigate", mg_pts)],
+                "Kb/s",
+            )
+        );
+    }
+    print!("{}", csv.to_table());
+    save("fig7_7_end_to_end", &csv);
+}

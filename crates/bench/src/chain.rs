@@ -1,0 +1,110 @@
+//! Harness for Figures 7-2 and 7-3: a chain of `redirector` streamlets.
+//!
+//! "Delay times can easily be captured by measuring the time needed for a
+//! size-specific message to pass through a configured number of streamlet
+//! redirectors" (§7.2). The same chain, with the pool switched to
+//! pass-by-value, reproduces the Figure 7-3 comparison.
+
+use mobigate::core::pool::PayloadMode;
+use mobigate::core::{MobiGate, RunningStream};
+use mobigate::mime::{MimeMessage, MimeType};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A deployed chain of `k` redirectors with an exported input and output.
+pub struct ChainHarness {
+    _server: MobiGate,
+    stream: Arc<RunningStream>,
+    /// Number of redirectors in the chain.
+    pub k: usize,
+}
+
+impl ChainHarness {
+    /// Builds and deploys the chain in the given payload mode.
+    pub fn new(k: usize, mode: PayloadMode) -> Self {
+        assert!(k >= 1, "a chain needs at least one streamlet");
+        let server = MobiGate::new(mode);
+        mobigate_streamlets::register_builtins(server.directory());
+
+        let mut script = String::from(
+            "streamlet redirector {\n\
+             port { in pi : */*; out po : */*; }\n\
+             attribute { type = STATELESS; library = \"builtin/redirector\"; }\n}\n\
+             main stream chain {\n",
+        );
+        for i in 0..k {
+            let _ = writeln!(script, "streamlet r{i} = new-streamlet (redirector);");
+        }
+        for i in 1..k {
+            let _ = writeln!(script, "connect (r{}.po, r{}.pi);", i - 1, i);
+        }
+        script.push('}');
+
+        let stream = server.deploy_mcl(&script).expect("deploy chain");
+        ChainHarness { _server: server, stream, k }
+    }
+
+    /// The deployed stream (for inspection).
+    pub fn stream(&self) -> &Arc<RunningStream> {
+        &self.stream
+    }
+
+    /// Pushes one message through the whole chain and returns the
+    /// end-to-end latency.
+    pub fn round_trip(&self, msg: MimeMessage) -> Duration {
+        let t0 = Instant::now();
+        self.stream.post_input(msg).expect("post");
+        self.stream
+            .take_output(Duration::from_secs(30))
+            .expect("chain output");
+        t0.elapsed()
+    }
+
+    /// Mean per-message latency over `iters` messages of `size` bytes
+    /// (the first message is discarded as warm-up).
+    pub fn mean_latency(&self, size: usize, iters: usize) -> Duration {
+        let body = vec![0x5Au8; size];
+        let msg = MimeMessage::new(&MimeType::new("application", "octet-stream"), body);
+        self.round_trip(msg.clone()); // warm-up
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            total += self.round_trip(msg.clone());
+        }
+        total / iters as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_of_one_works() {
+        let h = ChainHarness::new(1, PayloadMode::Reference);
+        let d = h.round_trip(MimeMessage::text("x"));
+        assert!(d < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn longer_chains_cost_more() {
+        // Figure 7-2's shape: latency grows with the number of streamlets.
+        let short = ChainHarness::new(2, PayloadMode::Reference).mean_latency(10_000, 20);
+        let long = ChainHarness::new(16, PayloadMode::Reference).mean_latency(10_000, 20);
+        assert!(
+            long > short,
+            "16 hops ({long:?}) must cost more than 2 ({short:?})"
+        );
+    }
+
+    #[test]
+    fn value_mode_costs_more_than_reference_on_big_messages() {
+        // Figure 7-3's shape at a single point: 400 KB through 10 hops.
+        let by_ref = ChainHarness::new(10, PayloadMode::Reference).mean_latency(400_000, 10);
+        let by_val = ChainHarness::new(10, PayloadMode::Value).mean_latency(400_000, 10);
+        assert!(
+            by_val > by_ref,
+            "value {by_val:?} must exceed reference {by_ref:?}"
+        );
+    }
+}

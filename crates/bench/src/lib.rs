@@ -1,0 +1,12 @@
+//! Measurement harnesses shared by the Criterion benches and the `repro`
+//! binary. One module per experiment; see DESIGN.md §5 for the experiment
+//! index and EXPERIMENTS.md for recorded results.
+
+pub mod chain;
+pub mod e2e;
+pub mod reconfig;
+pub mod report;
+
+pub use chain::ChainHarness;
+pub use e2e::{end_to_end_point, E2EPoint};
+pub use reconfig::reconfig_time;

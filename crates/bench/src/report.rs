@@ -1,0 +1,119 @@
+//! Plain-text reporting: CSV emission and ASCII series plots for the
+//! `repro` binary. No plotting dependencies — the output is meant to be
+//! committed into EXPERIMENTS.md.
+
+use std::fmt::Write as _;
+
+/// A simple CSV builder.
+#[derive(Debug, Default)]
+pub struct Csv {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Csv {
+    /// Starts a CSV with the given column names.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Csv { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders the CSV text.
+    pub fn to_string(&self) -> String {
+        let mut out = self.header.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders an aligned text table (for stdout).
+    pub fn to_table(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:>width$}  ", cell, width = widths[i]);
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &widths, &mut out);
+        for (i, w) in widths.iter().enumerate() {
+            out.push_str(&"-".repeat(*w));
+            out.push_str(if i + 1 == widths.len() { "\n" } else { "--" });
+        }
+        for row in &self.rows {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+}
+
+/// Renders one or more labeled series as a crude ASCII chart: one line per
+/// x value, bars proportional to y.
+pub fn ascii_series(title: &str, series: &[(&str, Vec<(f64, f64)>)], unit: &str) -> String {
+    let mut out = format!("{title}\n");
+    let max_y = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().map(|(_, y)| *y))
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    for (label, pts) in series {
+        let _ = writeln!(out, "  [{label}]");
+        for (x, y) in pts {
+            let bar_len = ((y / max_y) * 50.0).round() as usize;
+            let _ = writeln!(out, "  {x:>10.1} | {:<50} {y:.2} {unit}", "#".repeat(bar_len));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_and_table() {
+        let mut csv = Csv::new(["k", "latency_us"]);
+        csv.row(["1", "12.5"]);
+        csv.row(["10", "125.0"]);
+        let text = csv.to_string();
+        assert!(text.starts_with("k,latency_us\n"));
+        assert!(text.contains("10,125.0"));
+        let table = csv.to_table();
+        assert!(table.contains("latency_us"));
+        assert!(table.lines().count() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn csv_rejects_ragged_rows() {
+        let mut csv = Csv::new(["a", "b"]);
+        csv.row(["only one"]);
+    }
+
+    #[test]
+    fn ascii_series_scales_bars() {
+        let chart = ascii_series(
+            "demo",
+            &[("s", vec![(1.0, 10.0), (2.0, 20.0)])],
+            "ms",
+        );
+        assert!(chart.contains("demo"));
+        // The 20.0 bar is the max → 50 hashes.
+        assert!(chart.contains(&"#".repeat(50)));
+    }
+}

@@ -1,0 +1,22 @@
+//! The MobiGATE client (§3.4) — a thin client with **no** coordination
+//! logic.
+//!
+//! "All the composition information is already recorded in the incoming
+//! message header. The system at the client side needs simply to read the
+//! message header and distribute the message to corresponding client
+//! streamlets for reverse processing."
+//!
+//! * [`distributor::MobiGateClient`] — the multi-threaded Message
+//!   Distributor (§3.4.1): parses incoming MIME frames, pops the
+//!   `X-MobiGATE-Peer` chain, and routes each message through the matching
+//!   peer streamlets in reverse order (§6.5). Worker threads grow on
+//!   demand, mirroring the paper's servlet-like threading ("if this fails,
+//!   the system creates a new thread").
+//! * [`pool::ClientStreamletPool`] — the Client Streamlet Pool (§3.4.2):
+//!   peer-streamlet factories plus idle-instance reuse.
+
+pub mod distributor;
+pub mod pool;
+
+pub use distributor::{ClientStats, MobiGateClient};
+pub use pool::ClientStreamletPool;

@@ -1,0 +1,135 @@
+//! The Client Streamlet Pool (§3.4.2).
+//!
+//! "The function of the Client Streamlet Pool is quite similar to that of
+//! the Streamlet Directory at the server side. The difference is that here
+//! the system maintains *peer* streamlets … In addition, the Client
+//! Streamlet Pool is also responsible for creating and destroying client
+//! streamlet instances to service the incoming messages."
+
+use mobigate_core::{CoreError, StreamletLogic};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+type Factory = Arc<dyn Fn() -> Box<dyn StreamletLogic> + Send + Sync>;
+
+#[derive(Default)]
+struct Inner {
+    factories: HashMap<String, Factory>,
+    idle: HashMap<String, Vec<Box<dyn StreamletLogic>>>,
+}
+
+/// Peer-streamlet registry plus idle-instance reuse.
+#[derive(Default)]
+pub struct ClientStreamletPool {
+    inner: Mutex<Inner>,
+    /// Max idle instances retained per peer id.
+    max_idle: usize,
+}
+
+impl ClientStreamletPool {
+    /// An empty pool retaining up to 8 idle instances per peer.
+    pub fn new() -> Self {
+        ClientStreamletPool { inner: Mutex::new(Inner::default()), max_idle: 8 }
+    }
+
+    /// Registers the peer streamlet servicing `peer_id` (the identifier
+    /// server streamlets push onto the `X-MobiGATE-Peer` chain).
+    pub fn register_peer<F>(&self, peer_id: &str, factory: F)
+    where
+        F: Fn() -> Box<dyn StreamletLogic> + Send + Sync + 'static,
+    {
+        self.inner.lock().factories.insert(peer_id.to_string(), Arc::new(factory));
+    }
+
+    /// True when a peer id resolves.
+    pub fn contains(&self, peer_id: &str) -> bool {
+        self.inner.lock().factories.contains_key(peer_id)
+    }
+
+    /// Registered peer ids, sorted.
+    pub fn peers(&self) -> Vec<String> {
+        let mut p: Vec<String> = self.inner.lock().factories.keys().cloned().collect();
+        p.sort();
+        p
+    }
+
+    /// Obtains an instance for `peer_id` (idle-reused or fresh).
+    pub fn checkout(&self, peer_id: &str) -> Result<Box<dyn StreamletLogic>, CoreError> {
+        let mut inner = self.inner.lock();
+        if let Some(instance) = inner.idle.get_mut(peer_id).and_then(Vec::pop) {
+            return Ok(instance);
+        }
+        let factory = inner
+            .factories
+            .get(peer_id)
+            .cloned()
+            .ok_or_else(|| CoreError::UnknownLibrary(peer_id.to_string()))?;
+        drop(inner);
+        Ok(factory())
+    }
+
+    /// Returns an instance after servicing a message; surplus instances are
+    /// destroyed.
+    pub fn checkin(&self, peer_id: &str, mut instance: Box<dyn StreamletLogic>) {
+        instance.reset();
+        let mut inner = self.inner.lock();
+        let slot = inner.idle.entry(peer_id.to_string()).or_default();
+        if slot.len() < self.max_idle {
+            slot.push(instance);
+        }
+    }
+
+    /// Idle instances held for a peer.
+    pub fn idle_count(&self, peer_id: &str) -> usize {
+        self.inner.lock().idle.get(peer_id).map_or(0, Vec::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobigate_core::{Emitter, StreamletCtx};
+    use mobigate_mime::MimeMessage;
+
+    struct Echo;
+    impl StreamletLogic for Echo {
+        fn process(&mut self, m: MimeMessage, ctx: &mut StreamletCtx) -> Result<(), CoreError> {
+            ctx.emit("po", m);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn register_checkout_checkin_cycle() {
+        let pool = ClientStreamletPool::new();
+        pool.register_peer("echo", || Box::new(Echo));
+        assert!(pool.contains("echo"));
+        assert_eq!(pool.peers(), vec!["echo"]);
+        let inst = pool.checkout("echo").unwrap();
+        assert_eq!(pool.idle_count("echo"), 0);
+        pool.checkin("echo", inst);
+        assert_eq!(pool.idle_count("echo"), 1);
+        let _reused = pool.checkout("echo").unwrap();
+        assert_eq!(pool.idle_count("echo"), 0);
+    }
+
+    #[test]
+    fn unknown_peer_errors() {
+        let pool = ClientStreamletPool::new();
+        match pool.checkout("missing") {
+            Err(CoreError::UnknownLibrary(p)) => assert_eq!(p, "missing"),
+            _ => panic!("expected UnknownLibrary"),
+        }
+    }
+
+    #[test]
+    fn idle_cap_destroys_surplus() {
+        let pool = ClientStreamletPool::new();
+        pool.register_peer("echo", || Box::new(Echo));
+        for _ in 0..20 {
+            pool.checkin("echo", Box::new(Echo));
+        }
+        assert_eq!(pool.idle_count("echo"), 8);
+    }
+}

@@ -1,0 +1,246 @@
+//! The Coordination Manager (§3.3.1).
+//!
+//! Holds the configuration tables of every running coordination stream,
+//! generates the per-instance session IDs (§4.4.3), deploys streams against
+//! the shared runtime services, and bridges the Event Manager to streams —
+//! "another important function of the Coordination Manager is to filter
+//! events from the Event Manager and to broadcast them among coordination
+//! streams."
+
+use crate::error::CoreError;
+use crate::events::{ContextEvent, EventManager, EventSubscriber};
+use crate::stream::{RunningStream, StreamDeps};
+use mobigate_mcl::config::Program;
+use mobigate_mcl::events::EventCategory;
+use mobigate_mime::SessionId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Deploys and tracks running streams.
+pub struct CoordinationManager {
+    deps: StreamDeps,
+    events: Arc<EventManager>,
+    streams: Mutex<HashMap<SessionId, Arc<RunningStream>>>,
+    next_session: AtomicU64,
+}
+
+impl CoordinationManager {
+    /// A manager over shared runtime services.
+    pub fn new(deps: StreamDeps, events: Arc<EventManager>) -> Self {
+        CoordinationManager {
+            deps,
+            events,
+            streams: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
+        }
+    }
+
+    /// Generates the next unique session ID (§4.4.3: "the system
+    /// automatically generates a unique session ID for each instance of a
+    /// stream").
+    pub fn next_session_id(&self, stream_name: &str) -> SessionId {
+        let n = self.next_session.fetch_add(1, Ordering::Relaxed);
+        SessionId::new(format!("{stream_name}-{n}"))
+    }
+
+    /// Deploys one stream of a compiled program and subscribes it to the
+    /// event categories its `when` rules react to (plus System Command,
+    /// which every stream obeys for PAUSE/RESUME/END).
+    pub fn deploy(
+        &self,
+        program: &Program,
+        stream_name: &str,
+    ) -> Result<Arc<RunningStream>, CoreError> {
+        let table = program.streams.get(stream_name).ok_or_else(|| CoreError::NotFound {
+            kind: "stream",
+            name: stream_name.to_string(),
+        })?;
+        let session = self.next_session_id(stream_name);
+        let stream = RunningStream::deploy(
+            table,
+            &program.streamlet_defs,
+            self.deps.clone(),
+            session.clone(),
+        )?;
+
+        // Subscribe to the categories of interest (§6.4: streams subscribe
+        // to events of interest and ignore the flood of the rest).
+        let sub: Arc<dyn EventSubscriber> = stream.clone();
+        let mut categories: Vec<EventCategory> =
+            table.when_rules.iter().map(|r| r.event.category()).collect();
+        categories.push(EventCategory::SystemCommand);
+        categories.sort_by_key(|c| c.id());
+        categories.dedup();
+        for c in categories {
+            self.events.subscribe(c, &sub);
+        }
+
+        self.streams.lock().insert(session, stream.clone());
+        Ok(stream)
+    }
+
+    /// Deploys the program's `main` stream.
+    pub fn deploy_main(&self, program: &Program) -> Result<Arc<RunningStream>, CoreError> {
+        let name = program.main_stream.clone().ok_or_else(|| CoreError::Deploy {
+            message: "program has no `main` stream".into(),
+        })?;
+        self.deploy(program, &name)
+    }
+
+    /// Shuts a stream down and forgets it. Returns whether it existed.
+    pub fn undeploy(&self, session: &SessionId) -> bool {
+        match self.streams.lock().remove(session) {
+            Some(stream) => {
+                stream.shutdown();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Live streams snapshot.
+    pub fn streams(&self) -> Vec<Arc<RunningStream>> {
+        self.streams.lock().values().cloned().collect()
+    }
+
+    /// Looks up a stream by session.
+    pub fn stream(&self, session: &SessionId) -> Option<Arc<RunningStream>> {
+        self.streams.lock().get(session).cloned()
+    }
+
+    /// Raises a context event through the Event Manager; returns the number
+    /// of deliveries.
+    pub fn raise(&self, event: &ContextEvent) -> usize {
+        self.events.multicast(event)
+    }
+
+    /// The shared event manager.
+    pub fn events(&self) -> &Arc<EventManager> {
+        &self.events
+    }
+
+    /// Shuts every stream down.
+    pub fn shutdown_all(&self) {
+        for (_, stream) in self.streams.lock().drain() {
+            stream.shutdown();
+        }
+    }
+}
+
+impl Drop for CoordinationManager {
+    fn drop(&mut self) {
+        self.shutdown_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directory::StreamletDirectory;
+    use crate::pool::{MessagePool, PayloadMode};
+    use crate::pooling::StreamletPool;
+    use crate::streamlet::{Emitter, StreamletCtx, StreamletLogic};
+    use mobigate_mcl::compile::compile;
+    use mobigate_mcl::events::EventKind;
+    use mobigate_mime::MimeMessage;
+    use std::time::Duration;
+
+    struct Echo;
+    impl StreamletLogic for Echo {
+        fn process(&mut self, m: MimeMessage, ctx: &mut StreamletCtx) -> Result<(), CoreError> {
+            ctx.emit("po", m);
+            Ok(())
+        }
+    }
+
+    fn manager() -> CoordinationManager {
+        let directory = Arc::new(StreamletDirectory::new());
+        directory.register("echo", "", || Box::new(Echo));
+        let deps = StreamDeps {
+            msg_pool: Arc::new(MessagePool::new()),
+            directory,
+            streamlet_pool: Arc::new(StreamletPool::new(8)),
+            mode: PayloadMode::Reference,
+            route_opts: Default::default(),
+        };
+        CoordinationManager::new(deps, Arc::new(EventManager::new()))
+    }
+
+    const SRC: &str = r#"
+        streamlet echo { port { in pi : */*; out po : */*; } }
+        main stream app {
+            streamlet e = new-streamlet (echo);
+            when (LOW_BANDWIDTH) { }
+        }
+    "#;
+
+    #[test]
+    fn deploy_main_and_route() {
+        let mgr = manager();
+        let program = compile(SRC).unwrap();
+        let stream = mgr.deploy_main(&program).unwrap();
+        stream.post_input(MimeMessage::text("hi")).unwrap();
+        assert!(stream.take_output(Duration::from_secs(5)).is_some());
+        assert_eq!(mgr.streams().len(), 1);
+    }
+
+    #[test]
+    fn sessions_are_unique_per_deployment() {
+        let mgr = manager();
+        let program = compile(SRC).unwrap();
+        let a = mgr.deploy_main(&program).unwrap();
+        let b = mgr.deploy_main(&program).unwrap();
+        assert_ne!(a.session(), b.session());
+        assert_eq!(mgr.streams().len(), 2);
+    }
+
+    #[test]
+    fn undeploy_removes_and_shuts_down() {
+        let mgr = manager();
+        let program = compile(SRC).unwrap();
+        let s = mgr.deploy_main(&program).unwrap();
+        let session = s.session().clone();
+        assert!(mgr.stream(&session).is_some());
+        assert!(mgr.undeploy(&session));
+        assert!(!mgr.undeploy(&session));
+        assert!(mgr.stream(&session).is_none());
+    }
+
+    #[test]
+    fn deploy_unknown_stream_fails() {
+        let mgr = manager();
+        let program = compile(SRC).unwrap();
+        assert!(mgr.deploy(&program, "ghost").is_err());
+    }
+
+    #[test]
+    fn deploy_main_requires_main() {
+        let mgr = manager();
+        let program = compile("stream notmain { }").unwrap();
+        assert!(matches!(mgr.deploy_main(&program), Err(CoreError::Deploy { .. })));
+    }
+
+    #[test]
+    fn events_reach_subscribed_streams() {
+        let mgr = manager();
+        let program = compile(SRC).unwrap();
+        let _stream = mgr.deploy_main(&program).unwrap();
+        // The app subscribed NetworkVariation (when rule) + SystemCommand.
+        let delivered = mgr.raise(&ContextEvent::broadcast(EventKind::LowBandwidth));
+        assert_eq!(delivered, 1);
+        let delivered = mgr.raise(&ContextEvent::broadcast(EventKind::LowEnergy));
+        assert_eq!(delivered, 0, "not subscribed to HardwareVariation");
+    }
+
+    #[test]
+    fn end_event_is_obeyed() {
+        let mgr = manager();
+        let program = compile(SRC).unwrap();
+        let stream = mgr.deploy_main(&program).unwrap();
+        mgr.raise(&ContextEvent::targeted(EventKind::End, "app"));
+        stream.post_input(MimeMessage::text("late")).unwrap();
+        assert!(stream.take_output(Duration::from_millis(100)).is_none());
+    }
+}

@@ -1,0 +1,168 @@
+//! The Streamlet Directory (§3.3.7): "the repository where streamlet
+//! providers can advertise their services … a central storage for streamlet
+//! codes in which the Streamlet Manager may locate the relevant streamlets
+//! and create instances for execution."
+//!
+//! Providers register a *factory* under a library key (the MCL `library`
+//! attribute, e.g. `"builtin/text_compress"`). Instance creation first
+//! resolves a definition's `library`; when that is empty, the definition
+//! name itself is tried, so terse scripts work without attribute blocks.
+
+use crate::error::CoreError;
+use crate::streamlet::StreamletLogic;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A factory producing fresh logic instances.
+pub type StreamletFactory = Arc<dyn Fn() -> Box<dyn StreamletLogic> + Send + Sync>;
+
+/// An advertised entry.
+#[derive(Clone)]
+struct DirEntry {
+    factory: StreamletFactory,
+    description: String,
+}
+
+/// The registry of streamlet implementations.
+#[derive(Default)]
+pub struct StreamletDirectory {
+    entries: RwLock<HashMap<String, DirEntry>>,
+}
+
+impl StreamletDirectory {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advertises an implementation under `library`. Re-registration
+    /// replaces the previous factory (hot code update).
+    pub fn register<F>(&self, library: &str, description: &str, factory: F)
+    where
+        F: Fn() -> Box<dyn StreamletLogic> + Send + Sync + 'static,
+    {
+        self.entries.write().insert(
+            library.to_string(),
+            DirEntry { factory: Arc::new(factory), description: description.to_string() },
+        );
+    }
+
+    /// True when `library` resolves.
+    pub fn contains(&self, library: &str) -> bool {
+        self.entries.read().contains_key(library)
+    }
+
+    /// Creates a fresh logic instance for `library`.
+    pub fn create(&self, library: &str) -> Result<Box<dyn StreamletLogic>, CoreError> {
+        let entries = self.entries.read();
+        let entry = entries
+            .get(library)
+            .ok_or_else(|| CoreError::UnknownLibrary(library.to_string()))?;
+        Ok((entry.factory)())
+    }
+
+    /// Resolves the library key for a definition: its `library` attribute,
+    /// falling back to the definition name.
+    pub fn resolve_key<'a>(&self, library: &'a str, def_name: &'a str) -> &'a str {
+        if !library.is_empty() && self.contains(library) {
+            library
+        } else if self.contains(def_name) {
+            def_name
+        } else if !library.is_empty() {
+            library // let create() report the missing library key
+        } else {
+            def_name
+        }
+    }
+
+    /// Lists advertised services as `(library, description)`.
+    pub fn advertise(&self) -> Vec<(String, String)> {
+        let mut list: Vec<(String, String)> = self
+            .entries
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.description.clone()))
+            .collect();
+        list.sort();
+        list
+    }
+
+    /// Removes an advertisement; returns whether it existed.
+    pub fn withdraw(&self, library: &str) -> bool {
+        self.entries.write().remove(library).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::streamlet::StreamletCtx;
+    use mobigate_mime::MimeMessage;
+
+    struct Nop;
+    impl StreamletLogic for Nop {
+        fn process(&mut self, m: MimeMessage, ctx: &mut StreamletCtx) -> Result<(), CoreError> {
+            use crate::streamlet::Emitter;
+            ctx.emit("po", m);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn register_and_create() {
+        let dir = StreamletDirectory::new();
+        dir.register("builtin/nop", "does nothing", || Box::new(Nop));
+        assert!(dir.contains("builtin/nop"));
+        assert!(dir.create("builtin/nop").is_ok());
+    }
+
+    #[test]
+    fn create_unknown_fails() {
+        let dir = StreamletDirectory::new();
+        match dir.create("ghost") {
+            Err(CoreError::UnknownLibrary(lib)) => assert_eq!(lib, "ghost"),
+            Err(other) => panic!("unexpected error {other}"),
+            Ok(_) => panic!("expected an error"),
+        }
+    }
+
+    #[test]
+    fn resolve_key_prefers_library_then_name() {
+        let dir = StreamletDirectory::new();
+        dir.register("builtin/x", "", || Box::new(Nop));
+        dir.register("x", "", || Box::new(Nop));
+        assert_eq!(dir.resolve_key("builtin/x", "x"), "builtin/x");
+        assert_eq!(dir.resolve_key("", "x"), "x");
+        assert_eq!(dir.resolve_key("missing/lib", "x"), "x");
+        // Neither resolves: report the library key.
+        assert_eq!(dir.resolve_key("missing/lib", "y"), "missing/lib");
+    }
+
+    #[test]
+    fn advertise_lists_sorted() {
+        let dir = StreamletDirectory::new();
+        dir.register("b", "beta", || Box::new(Nop));
+        dir.register("a", "alpha", || Box::new(Nop));
+        let ads = dir.advertise();
+        assert_eq!(ads[0].0, "a");
+        assert_eq!(ads[1].1, "beta");
+    }
+
+    #[test]
+    fn withdraw_removes() {
+        let dir = StreamletDirectory::new();
+        dir.register("gone", "", || Box::new(Nop));
+        assert!(dir.withdraw("gone"));
+        assert!(!dir.withdraw("gone"));
+        assert!(!dir.contains("gone"));
+    }
+
+    #[test]
+    fn reregistration_replaces() {
+        let dir = StreamletDirectory::new();
+        dir.register("k", "v1", || Box::new(Nop));
+        dir.register("k", "v2", || Box::new(Nop));
+        assert_eq!(dir.advertise()[0].1, "v2");
+    }
+}

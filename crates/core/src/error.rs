@@ -1,0 +1,65 @@
+//! Runtime error type.
+
+use std::fmt;
+
+/// Errors raised by the MobiGATE runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// No factory registered for a streamlet library key.
+    UnknownLibrary(String),
+    /// A named instance/channel/port was not found at runtime.
+    NotFound { kind: &'static str, name: String },
+    /// A lifecycle operation was invalid in the current state (e.g.
+    /// activating an ended streamlet).
+    Lifecycle { name: String, message: String },
+    /// A channel operation violated its category (e.g. detaching a KK
+    /// channel).
+    Channel { name: String, message: String },
+    /// A streamlet's `process` implementation failed.
+    Process { streamlet: String, message: String },
+    /// Reconfiguration could not complete (safety conditions of Fig 6-8
+    /// not satisfiable within the deadline, etc.).
+    Reconfig { message: String },
+    /// Deployment failed (bad configuration table, MCL error text, …).
+    Deploy { message: String },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownLibrary(lib) => {
+                write!(f, "no streamlet implementation registered for library `{lib}`")
+            }
+            CoreError::NotFound { kind, name } => write!(f, "{kind} `{name}` not found"),
+            CoreError::Lifecycle { name, message } => {
+                write!(f, "lifecycle error on `{name}`: {message}")
+            }
+            CoreError::Channel { name, message } => {
+                write!(f, "channel error on `{name}`: {message}")
+            }
+            CoreError::Process { streamlet, message } => {
+                write!(f, "streamlet `{streamlet}` failed: {message}")
+            }
+            CoreError::Reconfig { message } => write!(f, "reconfiguration failed: {message}"),
+            CoreError::Deploy { message } => write!(f, "deployment failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(CoreError::UnknownLibrary("x/y".into()).to_string().contains("x/y"));
+        assert!(CoreError::NotFound { kind: "port", name: "pi".into() }
+            .to_string()
+            .contains("pi"));
+        assert!(CoreError::Process { streamlet: "s".into(), message: "boom".into() }
+            .to_string()
+            .contains("boom"));
+    }
+}

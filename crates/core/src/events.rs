@@ -1,0 +1,270 @@
+//! The MobiGATE event system (§6.4, Figures 6-5..6-7).
+//!
+//! Client variations are modeled as [`ContextEvent`] objects with three
+//! attributes — `eventID`, `categoryID`, `evtSource` — and classified into
+//! the four Table 6-1 categories. The [`EventManager`] maintains one
+//! subscriber list per category (`subscriberList` in Figure 6-7); streams
+//! subscribe to categories of interest and ignore the rest, "to avoid
+//! overheads incurred in processing the flood of events". Events are
+//! **multicast**: every subscriber of the category receives the event, and
+//! a subscriber additionally filters on `evtSource` (an event targeted at a
+//! specific stream application is ignored by others).
+
+use mobigate_mcl::events::{EventCategory, EventKind};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+/// A context event (Figure 6-5). Events carry no data payload (§4.2.3):
+/// they purely trigger the evolution of coordinated streamlets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContextEvent {
+    /// Which event.
+    pub kind: EventKind,
+    /// Originating source: `None` broadcasts to every subscriber of the
+    /// category; `Some(stream)` targets one stream application.
+    pub source: Option<String>,
+}
+
+impl ContextEvent {
+    /// A broadcast event.
+    pub fn broadcast(kind: EventKind) -> Self {
+        ContextEvent { kind, source: None }
+    }
+
+    /// An event targeted at one stream application.
+    pub fn targeted(kind: EventKind, source: impl Into<String>) -> Self {
+        ContextEvent { kind, source: Some(source.into()) }
+    }
+
+    /// The `categoryID` of the event (Figure 6-5).
+    pub fn category(&self) -> EventCategory {
+        self.kind.category()
+    }
+}
+
+/// Implemented by entities that react to events (streams override the
+/// paper's `onEvent(ContextEvent evt)`).
+pub trait EventSubscriber: Send + Sync {
+    /// The subscriber's stream-application name (matched against
+    /// `evtSource`).
+    fn subscriber_name(&self) -> String;
+
+    /// Reacts to an event of a subscribed category.
+    fn on_event(&self, event: &ContextEvent);
+}
+
+/// Delivery counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventStats {
+    /// Events handed to `multicast`.
+    pub published: u64,
+    /// Individual deliveries to subscribers.
+    pub delivered: u64,
+    /// Deliveries suppressed by source filtering.
+    pub filtered: u64,
+}
+
+/// The Event Manager (Figure 6-7): category-indexed subscriber lists plus
+/// multicast.
+#[derive(Default)]
+pub struct EventManager {
+    /// One subscriber list per category, indexed by `EventCategory::id()`.
+    lists: [RwLock<Vec<Weak<dyn EventSubscriber>>>; EventCategory::COUNT],
+    published: AtomicU64,
+    delivered: AtomicU64,
+    filtered: AtomicU64,
+}
+
+impl EventManager {
+    /// A manager with empty subscriber lists.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Subscribes `app` to a category (paper `subscribeEvt`). Subscribers
+    /// are held weakly: a dropped stream unsubscribes itself implicitly.
+    pub fn subscribe(&self, category: EventCategory, app: &Arc<dyn EventSubscriber>) {
+        self.lists[category.id()].write().push(Arc::downgrade(app));
+    }
+
+    /// Unsubscribes `app` from a category (paper `unsubscribeEvt`).
+    pub fn unsubscribe(&self, category: EventCategory, app: &Arc<dyn EventSubscriber>) {
+        let target = Arc::as_ptr(app) as *const ();
+        self.lists[category.id()]
+            .write()
+            .retain(|w| w.upgrade().map(|s| Arc::as_ptr(&s) as *const () != target).unwrap_or(false));
+    }
+
+    /// Number of live subscribers in a category.
+    pub fn subscriber_count(&self, category: EventCategory) -> usize {
+        self.lists[category.id()].read().iter().filter(|w| w.strong_count() > 0).count()
+    }
+
+    /// Multicasts an event to the subscribers of its category
+    /// (Figure 6-7's `multicastEvent`). An `evtSource`-targeted event is
+    /// delivered only to the stream whose name matches (§6.4: "the Event
+    /// Manager is required to check the attribute evtSource … and verify
+    /// whether the corresponding stream application has subscribed").
+    /// Returns the number of deliveries.
+    pub fn multicast(&self, event: &ContextEvent) -> usize {
+        self.published.fetch_add(1, Ordering::Relaxed);
+        let subs: Vec<Arc<dyn EventSubscriber>> = {
+            let mut list = self.lists[event.category().id()].write();
+            // Opportunistically drop dead subscribers.
+            list.retain(|w| w.strong_count() > 0);
+            list.iter().filter_map(Weak::upgrade).collect()
+        };
+        let mut count = 0;
+        for sub in subs {
+            match &event.source {
+                Some(src) if *src != sub.subscriber_name() => {
+                    self.filtered.fetch_add(1, Ordering::Relaxed);
+                }
+                _ => {
+                    sub.on_event(event);
+                    self.delivered.fetch_add(1, Ordering::Relaxed);
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> EventStats {
+        EventStats {
+            published: self.published.load(Ordering::Relaxed),
+            delivered: self.delivered.load(Ordering::Relaxed),
+            filtered: self.filtered.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+
+    struct Recorder {
+        name: String,
+        seen: Mutex<Vec<EventKind>>,
+    }
+    impl Recorder {
+        fn new(name: &str) -> Arc<Self> {
+            Arc::new(Recorder { name: name.into(), seen: Mutex::new(Vec::new()) })
+        }
+    }
+    impl EventSubscriber for Recorder {
+        fn subscriber_name(&self) -> String {
+            self.name.clone()
+        }
+        fn on_event(&self, event: &ContextEvent) {
+            self.seen.lock().push(event.kind);
+        }
+    }
+
+    fn as_sub(r: &Arc<Recorder>) -> Arc<dyn EventSubscriber> {
+        r.clone()
+    }
+
+    #[test]
+    fn multicast_reaches_category_subscribers_only() {
+        let mgr = EventManager::new();
+        let net = Recorder::new("netapp");
+        let hw = Recorder::new("hwapp");
+        mgr.subscribe(EventCategory::NetworkVariation, &as_sub(&net));
+        mgr.subscribe(EventCategory::HardwareVariation, &as_sub(&hw));
+
+        let n = mgr.multicast(&ContextEvent::broadcast(EventKind::LowBandwidth));
+        assert_eq!(n, 1);
+        assert_eq!(net.seen.lock().as_slice(), &[EventKind::LowBandwidth]);
+        assert!(hw.seen.lock().is_empty());
+    }
+
+    #[test]
+    fn targeted_events_filter_by_source() {
+        let mgr = EventManager::new();
+        let a = Recorder::new("appA");
+        let b = Recorder::new("appB");
+        mgr.subscribe(EventCategory::SystemCommand, &as_sub(&a));
+        mgr.subscribe(EventCategory::SystemCommand, &as_sub(&b));
+
+        let n = mgr.multicast(&ContextEvent::targeted(EventKind::End, "appB"));
+        assert_eq!(n, 1);
+        assert!(a.seen.lock().is_empty());
+        assert_eq!(b.seen.lock().len(), 1);
+        assert_eq!(mgr.stats().filtered, 1);
+    }
+
+    #[test]
+    fn broadcast_reaches_all_subscribers() {
+        let mgr = EventManager::new();
+        let subs: Vec<_> = (0..5).map(|i| Recorder::new(&format!("app{i}"))).collect();
+        for s in &subs {
+            mgr.subscribe(EventCategory::NetworkVariation, &as_sub(s));
+        }
+        let n = mgr.multicast(&ContextEvent::broadcast(EventKind::Disconnection));
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let mgr = EventManager::new();
+        let a = Recorder::new("a");
+        mgr.subscribe(EventCategory::SystemCommand, &as_sub(&a));
+        mgr.unsubscribe(EventCategory::SystemCommand, &as_sub(&a));
+        let n = mgr.multicast(&ContextEvent::broadcast(EventKind::Pause));
+        assert_eq!(n, 0);
+        assert_eq!(mgr.subscriber_count(EventCategory::SystemCommand), 0);
+    }
+
+    #[test]
+    fn dropped_subscribers_are_pruned() {
+        let mgr = EventManager::new();
+        {
+            let tmp = Recorder::new("temp");
+            mgr.subscribe(EventCategory::NetworkVariation, &as_sub(&tmp));
+            assert_eq!(mgr.subscriber_count(EventCategory::NetworkVariation), 1);
+        }
+        // The Arc is gone; the weak entry must not deliver or count.
+        assert_eq!(mgr.subscriber_count(EventCategory::NetworkVariation), 0);
+        assert_eq!(mgr.multicast(&ContextEvent::broadcast(EventKind::LowBandwidth)), 0);
+    }
+
+    #[test]
+    fn subscribing_one_category_ignores_others() {
+        // §6.4: streams subscribe events of interest, "while filtering away
+        // those which are not necessary".
+        let mgr = EventManager::new();
+        let a = Recorder::new("a");
+        mgr.subscribe(EventCategory::HardwareVariation, &as_sub(&a));
+        mgr.multicast(&ContextEvent::broadcast(EventKind::LowBandwidth)); // network
+        mgr.multicast(&ContextEvent::broadcast(EventKind::LowEnergy)); // hardware
+        assert_eq!(a.seen.lock().as_slice(), &[EventKind::LowEnergy]);
+    }
+
+    #[test]
+    fn stats_account_published_and_delivered() {
+        let mgr = EventManager::new();
+        let a = Recorder::new("a");
+        mgr.subscribe(EventCategory::SystemCommand, &as_sub(&a));
+        mgr.multicast(&ContextEvent::broadcast(EventKind::Pause));
+        mgr.multicast(&ContextEvent::broadcast(EventKind::Resume));
+        let s = mgr.stats();
+        assert_eq!(s.published, 2);
+        assert_eq!(s.delivered, 2);
+    }
+
+    #[test]
+    fn double_subscription_delivers_twice() {
+        // Matching the paper's Vector semantics: subscribing twice means two
+        // deliveries (callers manage their own subscriptions).
+        let mgr = EventManager::new();
+        let a = Recorder::new("a");
+        mgr.subscribe(EventCategory::SystemCommand, &as_sub(&a));
+        mgr.subscribe(EventCategory::SystemCommand, &as_sub(&a));
+        let n = mgr.multicast(&ContextEvent::broadcast(EventKind::End));
+        assert_eq!(n, 2);
+    }
+}

@@ -1,0 +1,49 @@
+//! The MobiGATE server runtime (thesis chapters 3 and 6).
+//!
+//! The runtime is organized — like the paper's Figure 3-2 — into two planes:
+//!
+//! * the **Stream Coordination Plane**: [`queue::MessageQueue`] channel
+//!   objects, the wiring held by [`stream::RunningStream`], and the
+//!   [`coordination::CoordinationManager`] with its per-stream configuration
+//!   tables;
+//! * the **Streamlet Execution Plane**: [`streamlet::StreamletLogic`]
+//!   computation objects scheduled on worker threads by
+//!   [`streamlet::StreamletHandle`], with [`pooling::StreamletPool`] reusing
+//!   stateless instances.
+//!
+//! Cross-cutting services: the [`events::EventManager`] (Table 6-1 context
+//! events, category subscription, multicast), the
+//! [`directory::StreamletDirectory`] where providers advertise streamlet
+//! implementations, and the central [`pool::MessagePool`] that lets
+//! channels pass messages **by reference** (§6.7).
+//!
+//! The [`server::MobiGate`] facade ties everything together: it compiles an
+//! MCL script, deploys the resulting configuration tables as running
+//! streams, feeds messages in, and collects adapted messages out.
+
+pub mod coordination;
+pub mod directory;
+pub mod error;
+pub mod events;
+pub mod pool;
+pub mod pooling;
+pub mod queue;
+pub mod server;
+pub mod sharing;
+pub mod stream;
+pub mod streamlet;
+
+pub use coordination::CoordinationManager;
+pub use directory::StreamletDirectory;
+pub use error::CoreError;
+pub use events::{ContextEvent, EventManager};
+pub use pool::{MessagePool, PayloadMode};
+pub use pooling::StreamletPool;
+pub use queue::{FetchResult, MessageQueue, PostResult, QueueConfig};
+pub use server::MobiGate;
+pub use sharing::{SharedStreamlet, SharingStats};
+pub use stream::{ReconfigStats, RunningStream, StreamStats};
+pub use streamlet::{Emitter, RouteOpts, StreamletCtx, StreamletHandle, StreamletLogic};
+
+// Re-export the language-level vocabulary the runtime shares with MCL.
+pub use mobigate_mcl::events::{EventCategory, EventKind};

@@ -1,0 +1,355 @@
+//! The centralized message store enabling **pass-by-reference** (§6.7).
+//!
+//! "The MobiGATE infrastructure employs a centralized message storage
+//! management, while utilizing memory references to pass messages between
+//! streamlets. In particular, the system maintains all incoming messages by
+//! storing them in a message pool and passing them between different
+//! streamlets by their associated message identifier."
+//!
+//! Entries are reference-counted: a producer that fans a message out to
+//! `n` channels inserts it with `n` references; each consumer's
+//! [`MessagePool::take_ref`] hands back the message (sharing the underlying
+//! [`bytes::Bytes`] buffer — no copy) and drops one reference; the entry is
+//! evicted at zero. [`PayloadMode::Value`] exists to reproduce the paper's
+//! pass-by-value baseline (Figure 7-3): each hop deep-copies the body.
+
+use mobigate_mime::MimeMessage;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identifier of a pooled message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MessageId(pub u64);
+
+/// How channels carry message payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PayloadMode {
+    /// Messages live in the [`MessagePool`]; channels carry [`MessageId`]s
+    /// (the paper's production configuration, §6.7).
+    #[default]
+    Reference,
+    /// Channels carry deep copies of the whole message — the Figure 7-3
+    /// baseline. Every hop pays a full body copy.
+    Value,
+}
+
+/// What actually travels through a [`crate::queue::MessageQueue`].
+#[derive(Debug)]
+pub enum Payload {
+    /// A pool reference.
+    Ref(MessageId),
+    /// An owned copy.
+    Value(Box<MimeMessage>),
+}
+
+impl Payload {
+    /// Approximate size in bytes for channel-buffer accounting.
+    pub fn buffered_len(&self, pool: &MessagePool) -> usize {
+        match self {
+            Payload::Ref(id) => pool.peek_len(*id).unwrap_or(0),
+            Payload::Value(m) => m.wire_len(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    msg: MimeMessage,
+    refs: u32,
+}
+
+/// Aggregate pool statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Messages currently resident.
+    pub resident: usize,
+    /// Total body bytes currently resident.
+    pub resident_bytes: usize,
+    /// Lifetime insertions.
+    pub inserted: u64,
+    /// Lifetime evictions (refcount reached zero).
+    pub evicted: u64,
+}
+
+/// The centralized, thread-safe message store.
+#[derive(Debug, Default)]
+pub struct MessagePool {
+    slots: Mutex<PoolInner>,
+    next_id: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct PoolInner {
+    map: HashMap<u64, Entry>,
+    inserted: u64,
+    evicted: u64,
+}
+
+impl MessagePool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores a message with `refs` outstanding references and returns its
+    /// id. `refs == 0` is clamped to 1.
+    pub fn insert(&self, msg: MimeMessage, refs: u32) -> MessageId {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.slots.lock();
+        inner.map.insert(id, Entry { msg, refs: refs.max(1) });
+        inner.inserted += 1;
+        MessageId(id)
+    }
+
+    /// Adds `n` references to an existing entry (fan-out after insertion).
+    /// Returns false when the id is unknown (already fully consumed).
+    pub fn add_refs(&self, id: MessageId, n: u32) -> bool {
+        let mut inner = self.slots.lock();
+        match inner.map.get_mut(&id.0) {
+            Some(e) => {
+                e.refs += n;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Reads the message *without* consuming a reference (stubs peeking at
+    /// headers for routing do this).
+    pub fn peek(&self, id: MessageId) -> Option<MimeMessage> {
+        self.slots.lock().map.get(&id.0).map(|e| e.msg.clone())
+    }
+
+    /// Body length of a resident message (buffer accounting).
+    pub fn peek_len(&self, id: MessageId) -> Option<usize> {
+        self.slots.lock().map.get(&id.0).map(|e| e.msg.wire_len())
+    }
+
+    /// Takes one reference: returns the message (body shared, not copied)
+    /// and evicts the entry when this was the last reference.
+    pub fn take_ref(&self, id: MessageId) -> Option<MimeMessage> {
+        let mut inner = self.slots.lock();
+        let entry = inner.map.get_mut(&id.0)?;
+        entry.refs -= 1;
+        let msg = if entry.refs == 0 {
+            let e = inner.map.remove(&id.0).expect("present");
+            inner.evicted += 1;
+            e.msg
+        } else {
+            entry.msg.clone()
+        };
+        Some(msg)
+    }
+
+    /// Drops one reference without reading (used when a queue discards a
+    /// pending payload).
+    pub fn drop_ref(&self, id: MessageId) {
+        let mut inner = self.slots.lock();
+        if let Some(entry) = inner.map.get_mut(&id.0) {
+            entry.refs -= 1;
+            if entry.refs == 0 {
+                inner.map.remove(&id.0);
+                inner.evicted += 1;
+            }
+        }
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> PoolStats {
+        let inner = self.slots.lock();
+        PoolStats {
+            resident: inner.map.len(),
+            resident_bytes: inner.map.values().map(|e| e.msg.body.len()).sum(),
+            inserted: inner.inserted,
+            evicted: inner.evicted,
+        }
+    }
+
+    /// Wraps a message as a payload according to `mode`, for delivery to
+    /// `fanout` consumers. In `Reference` mode the pool stores the message
+    /// once; in `Value` mode each consumer gets an independent deep copy
+    /// (this method returns the first; use [`MessagePool::wrap_copy`] for
+    /// the rest).
+    pub fn wrap(&self, msg: MimeMessage, mode: PayloadMode, fanout: u32) -> Payload {
+        match mode {
+            PayloadMode::Reference => Payload::Ref(self.insert(msg, fanout)),
+            PayloadMode::Value => Payload::Value(Box::new(deep_copy(&msg))),
+        }
+    }
+
+    /// An additional deep copy of a message for value-mode fan-out.
+    pub fn wrap_copy(&self, msg: &MimeMessage) -> Payload {
+        Payload::Value(Box::new(deep_copy(msg)))
+    }
+
+    /// Resolves a payload into an owned message, consuming its reference.
+    pub fn resolve(&self, payload: Payload) -> Option<MimeMessage> {
+        match payload {
+            Payload::Ref(id) => self.take_ref(id),
+            Payload::Value(m) => Some(*m),
+        }
+    }
+
+    /// Releases a payload without reading it.
+    pub fn discard(&self, payload: Payload) {
+        if let Payload::Ref(id) = payload {
+            self.drop_ref(id);
+        }
+    }
+}
+
+/// A genuine deep copy: headers cloned, body bytes memcpy'd into a fresh
+/// buffer (defeating `Bytes` sharing) — the cost Figure 7-3 measures.
+pub fn deep_copy(msg: &MimeMessage) -> MimeMessage {
+    MimeMessage { headers: msg.headers.clone(), body: msg.body.to_vec().into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobigate_mime::MimeType;
+
+    fn msg(n: usize) -> MimeMessage {
+        MimeMessage::new(&MimeType::new("application", "octet-stream"), vec![7u8; n])
+    }
+
+    #[test]
+    fn insert_take_evicts_at_zero() {
+        let pool = MessagePool::new();
+        let id = pool.insert(msg(10), 1);
+        assert_eq!(pool.stats().resident, 1);
+        let m = pool.take_ref(id).unwrap();
+        assert_eq!(m.body.len(), 10);
+        assert_eq!(pool.stats().resident, 0);
+        assert_eq!(pool.stats().evicted, 1);
+        assert!(pool.take_ref(id).is_none());
+    }
+
+    #[test]
+    fn multi_ref_survives_until_last_take() {
+        let pool = MessagePool::new();
+        let id = pool.insert(msg(4), 3);
+        assert!(pool.take_ref(id).is_some());
+        assert!(pool.take_ref(id).is_some());
+        assert_eq!(pool.stats().resident, 1);
+        assert!(pool.take_ref(id).is_some());
+        assert_eq!(pool.stats().resident, 0);
+    }
+
+    #[test]
+    fn add_refs_extends_lifetime() {
+        let pool = MessagePool::new();
+        let id = pool.insert(msg(4), 1);
+        assert!(pool.add_refs(id, 1));
+        assert!(pool.take_ref(id).is_some());
+        assert!(pool.take_ref(id).is_some());
+        assert!(!pool.add_refs(id, 1), "fully consumed entries are gone");
+    }
+
+    #[test]
+    fn take_shares_body_buffer() {
+        // Pass-by-reference must not copy the body.
+        let pool = MessagePool::new();
+        let original = msg(1 << 20);
+        let ptr = original.body.as_ptr();
+        let id = pool.insert(original, 2);
+        let a = pool.take_ref(id).unwrap();
+        let b = pool.take_ref(id).unwrap();
+        assert_eq!(a.body.as_ptr(), ptr);
+        assert_eq!(b.body.as_ptr(), ptr);
+    }
+
+    #[test]
+    fn deep_copy_detaches_buffer() {
+        let m = msg(128);
+        let c = deep_copy(&m);
+        assert_eq!(c, m);
+        assert_ne!(c.body.as_ptr(), m.body.as_ptr());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let pool = MessagePool::new();
+        let id = pool.insert(msg(5), 1);
+        assert!(pool.peek(id).is_some());
+        assert!(pool.peek(id).is_some());
+        assert_eq!(pool.peek_len(id).unwrap(), msg(5).wire_len());
+        assert!(pool.take_ref(id).is_some());
+        assert!(pool.peek(id).is_none());
+    }
+
+    #[test]
+    fn drop_ref_discards() {
+        let pool = MessagePool::new();
+        let id = pool.insert(msg(5), 2);
+        pool.drop_ref(id);
+        assert_eq!(pool.stats().resident, 1);
+        pool.drop_ref(id);
+        assert_eq!(pool.stats().resident, 0);
+        // Dropping an unknown id is a no-op.
+        pool.drop_ref(id);
+    }
+
+    #[test]
+    fn wrap_and_resolve_reference_mode() {
+        let pool = MessagePool::new();
+        let p = pool.wrap(msg(9), PayloadMode::Reference, 1);
+        assert!(matches!(p, Payload::Ref(_)));
+        let m = pool.resolve(p).unwrap();
+        assert_eq!(m.body.len(), 9);
+        assert_eq!(pool.stats().resident, 0);
+    }
+
+    #[test]
+    fn wrap_and_resolve_value_mode() {
+        let pool = MessagePool::new();
+        let p = pool.wrap(msg(9), PayloadMode::Value, 1);
+        assert!(matches!(p, Payload::Value(_)));
+        assert_eq!(pool.stats().resident, 0, "value mode bypasses the pool");
+        assert_eq!(pool.resolve(p).unwrap().body.len(), 9);
+    }
+
+    #[test]
+    fn buffered_len_accounts_both_modes() {
+        let pool = MessagePool::new();
+        let m = msg(100);
+        let expected = m.wire_len();
+        let r = pool.wrap(m.clone(), PayloadMode::Reference, 1);
+        assert_eq!(r.buffered_len(&pool), expected);
+        let v = pool.wrap_copy(&m);
+        assert_eq!(v.buffered_len(&pool), expected);
+        pool.discard(r);
+    }
+
+    #[test]
+    fn refs_zero_clamped_to_one() {
+        let pool = MessagePool::new();
+        let id = pool.insert(msg(1), 0);
+        assert!(pool.take_ref(id).is_some());
+        assert!(pool.take_ref(id).is_none());
+    }
+
+    #[test]
+    fn concurrent_insert_take() {
+        use std::sync::Arc;
+        let pool = Arc::new(MessagePool::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let pool = pool.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500 {
+                    let id = pool.insert(msg(i % 64), 1);
+                    assert!(pool.take_ref(id).is_some());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.resident, 0);
+        assert_eq!(stats.inserted, 4000);
+        assert_eq!(stats.evicted, 4000);
+    }
+}

@@ -1,0 +1,800 @@
+//! `MessageQueue` — the channel object of the coordination plane (§6.2).
+//!
+//! A queue connects producer streamlets to consumer streamlets. Following
+//! the paper:
+//!
+//! * producer/consumer attachment is tracked by `pCount` / `cCount`
+//!   (Figure 6-3);
+//! * `postMessage` on a full queue waits a bounded time `T` and then
+//!   **drops** the message (Figure 6-9) — slow streamlets must not stall
+//!   fast ones (§6.7);
+//! * synchronous channels are zero-length buffers (at most one message in
+//!   flight, producer blocked until it is taken); asynchronous channels are
+//!   FIFO buffers bounded in **bytes** (the MCL `buffer` attribute,
+//!   Kbytes);
+//! * the channel *category* (S/BB/BK/KB/KK, Figure 4-4) governs what
+//!   happens to pending units when one side detaches.
+//!
+//! Buffer accounting admits one oversized message into an empty queue so a
+//! message larger than the buffer can still traverse the channel (otherwise
+//! a 1024 KB image could never cross a 100 KB channel and the stream would
+//! stall forever).
+
+use crate::pool::{MessagePool, Payload};
+use mobigate_mcl::ast::{ChannelCategory, ChannelKind};
+use mobigate_mime::MimeType;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Wakes streamlet worker threads when any of their input queues receives a
+/// message (or a lifecycle change occurs).
+#[derive(Debug, Default)]
+pub struct Notifier {
+    seq: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Notifier {
+    /// Creates a notifier.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wakes all waiters.
+    pub fn notify(&self) {
+        let mut seq = self.seq.lock();
+        *seq += 1;
+        self.cv.notify_all();
+    }
+
+    /// Current notification sequence. Take a snapshot *before* checking
+    /// the condition you wait on, then use [`Notifier::wait_unless`]: any
+    /// notify between the snapshot and the wait is then never missed.
+    pub fn snapshot(&self) -> u64 {
+        *self.seq.lock()
+    }
+
+    /// Waits until notified or `timeout` elapses. Returns immediately when
+    /// a notification already happened after `since` was snapshotted.
+    pub fn wait_unless(&self, since: u64, timeout: Duration) {
+        let mut seq = self.seq.lock();
+        if *seq != since {
+            return;
+        }
+        self.cv.wait_for(&mut seq, timeout);
+    }
+
+    /// Waits until notified or `timeout` elapses (racy convenience: a
+    /// notification issued just before the call can be missed — prefer
+    /// `snapshot` + `wait_unless` in loops).
+    pub fn wait(&self, timeout: Duration) {
+        let mut seq = self.seq.lock();
+        self.cv.wait_for(&mut seq, timeout);
+    }
+}
+
+/// Construction parameters of a queue.
+#[derive(Debug, Clone)]
+pub struct QueueConfig {
+    /// Channel instance name (diagnostics).
+    pub name: String,
+    /// Sync (rendezvous) or async (buffered).
+    pub kind: ChannelKind,
+    /// Disconnection category.
+    pub category: ChannelCategory,
+    /// Buffer capacity in bytes (ignored for sync channels).
+    pub capacity_bytes: usize,
+    /// Figure 6-9's `T`: how long `post` waits on a full queue before
+    /// dropping the message.
+    pub full_wait: Duration,
+    /// The MIME type the channel carries (runtime type check on post).
+    pub ty: MimeType,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        QueueConfig {
+            name: "<anon>".into(),
+            kind: ChannelKind::Async,
+            category: ChannelCategory::BK,
+            capacity_bytes: 100 * 1024,
+            full_wait: Duration::from_millis(50),
+            ty: MimeType::any(),
+        }
+    }
+}
+
+impl QueueConfig {
+    /// Builds a config from a compiled MCL [`mobigate_mcl::ChannelSpec`].
+    pub fn from_spec(name: &str, spec: &mobigate_mcl::ChannelSpec) -> Self {
+        QueueConfig {
+            name: name.to_string(),
+            kind: spec.kind,
+            category: spec.category,
+            capacity_bytes: (spec.buffer_kb as usize) * 1024,
+            full_wait: Duration::from_millis(50),
+            ty: spec.ty.clone(),
+        }
+    }
+}
+
+/// Outcome of a `post`.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum PostResult {
+    /// Enqueued (or handed over, for sync channels).
+    Posted,
+    /// Queue stayed full for `T`; the message was dropped (Figure 6-9).
+    Dropped,
+    /// The sink side is disconnected; the message was discarded.
+    Closed,
+}
+
+/// Outcome of a `fetch`.
+#[derive(Debug)]
+pub enum FetchResult {
+    /// A message payload.
+    Msg(Payload),
+    /// Timed out with nothing available.
+    Empty,
+    /// The source side is gone and the queue is drained — no more messages
+    /// will ever arrive.
+    Disconnected,
+}
+
+/// Lifetime counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Successfully enqueued messages.
+    pub posted: u64,
+    /// Successfully fetched messages.
+    pub fetched: u64,
+    /// Messages dropped because the queue stayed full past `T`.
+    pub dropped_full: u64,
+    /// Messages discarded because the sink was disconnected.
+    pub dropped_closed: u64,
+    /// Pending messages discarded by a category-mandated break.
+    pub dropped_break: u64,
+}
+
+#[derive(Debug)]
+struct QState {
+    queue: VecDeque<Payload>,
+    bytes: usize,
+    source_open: bool,
+    sink_open: bool,
+}
+
+/// The channel object. Cheaply shareable via `Arc`.
+#[derive(Debug)]
+pub struct MessageQueue {
+    cfg: QueueConfig,
+    state: Mutex<QState>,
+    /// Signals consumers (message available) and producers (space
+    /// available); a single condvar keeps the monitor simple, exactly like
+    /// the paper's `wait`/`notifyAll` usage.
+    cv: Condvar,
+    pool: Arc<MessagePool>,
+    pcount: AtomicUsize,
+    ccount: AtomicUsize,
+    posted: AtomicU64,
+    fetched: AtomicU64,
+    dropped_full: AtomicU64,
+    dropped_closed: AtomicU64,
+    dropped_break: AtomicU64,
+    listeners: Mutex<Vec<Arc<Notifier>>>,
+}
+
+impl MessageQueue {
+    /// Creates a queue backed by `pool` for reference accounting.
+    pub fn new(cfg: QueueConfig, pool: Arc<MessagePool>) -> Arc<Self> {
+        Arc::new(MessageQueue {
+            cfg,
+            state: Mutex::new(QState {
+                queue: VecDeque::new(),
+                bytes: 0,
+                source_open: true,
+                sink_open: true,
+            }),
+            cv: Condvar::new(),
+            pool,
+            pcount: AtomicUsize::new(0),
+            ccount: AtomicUsize::new(0),
+            posted: AtomicU64::new(0),
+            fetched: AtomicU64::new(0),
+            dropped_full: AtomicU64::new(0),
+            dropped_closed: AtomicU64::new(0),
+            dropped_break: AtomicU64::new(0),
+            listeners: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The queue's configuration.
+    pub fn config(&self) -> &QueueConfig {
+        &self.cfg
+    }
+
+    /// Producer count (paper `pCount`).
+    pub fn pcount(&self) -> usize {
+        self.pcount.load(Ordering::Acquire)
+    }
+
+    /// Consumer count (paper `cCount`).
+    pub fn ccount(&self) -> usize {
+        self.ccount.load(Ordering::Acquire)
+    }
+
+    /// Registers a notifier woken on every post (consumer-side wakeup).
+    pub fn add_listener(&self, n: Arc<Notifier>) {
+        self.listeners.lock().push(n);
+    }
+
+    /// Unregisters a notifier.
+    pub fn remove_listener(&self, n: &Arc<Notifier>) {
+        self.listeners.lock().retain(|l| !Arc::ptr_eq(l, n));
+    }
+
+    /// Attaches a producer (paper `incr_pCount`); reopens the source side.
+    pub fn attach_source(&self) {
+        self.pcount.fetch_add(1, Ordering::AcqRel);
+        let mut st = self.state.lock();
+        st.source_open = true;
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Attaches a consumer (paper `incr_cCount`); reopens the sink side.
+    pub fn attach_sink(&self) {
+        self.ccount.fetch_add(1, Ordering::AcqRel);
+        let mut st = self.state.lock();
+        st.sink_open = true;
+        drop(st);
+        self.cv.notify_all();
+        self.wake_listeners();
+    }
+
+    /// Detaches a producer, applying the category semantics when the last
+    /// producer leaves. Returns `Err` for KK channels, which "cannot be
+    /// disconnected at either side".
+    pub fn detach_source(&self) -> Result<(), crate::CoreError> {
+        if self.cfg.category == ChannelCategory::KK {
+            return Err(crate::CoreError::Channel {
+                name: self.cfg.name.clone(),
+                message: "KK channels cannot be disconnected".into(),
+            });
+        }
+        let prev = self.pcount.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "detach_source without attach");
+        if prev == 1 {
+            let mut st = self.state.lock();
+            st.source_open = false;
+            match self.cfg.category {
+                // BB: breaking one side breaks the other; pending dropped.
+                ChannelCategory::BB => {
+                    st.sink_open = false;
+                    self.drop_pending(&mut st);
+                }
+                // KB reverses BK: a source break also breaks the target.
+                ChannelCategory::KB => {
+                    st.sink_open = false;
+                    self.drop_pending(&mut st);
+                }
+                // BK: pending units keep flowing to the target; S/sync has
+                // no pending by construction.
+                ChannelCategory::BK | ChannelCategory::S | ChannelCategory::KK => {}
+            }
+            drop(st);
+            self.cv.notify_all();
+            self.wake_listeners();
+        }
+        Ok(())
+    }
+
+    /// Detaches a consumer (category-symmetric to [`Self::detach_source`]).
+    pub fn detach_sink(&self) -> Result<(), crate::CoreError> {
+        if self.cfg.category == ChannelCategory::KK {
+            return Err(crate::CoreError::Channel {
+                name: self.cfg.name.clone(),
+                message: "KK channels cannot be disconnected".into(),
+            });
+        }
+        let prev = self.ccount.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "detach_sink without attach");
+        if prev == 1 {
+            let mut st = self.state.lock();
+            st.sink_open = false;
+            match self.cfg.category {
+                ChannelCategory::BB => {
+                    st.source_open = false;
+                    self.drop_pending(&mut st);
+                }
+                // BK: a sink break also breaks the source; pending dropped.
+                ChannelCategory::BK => {
+                    st.source_open = false;
+                    self.drop_pending(&mut st);
+                }
+                // KB: pending units are retained for a future sink.
+                ChannelCategory::KB | ChannelCategory::S | ChannelCategory::KK => {}
+            }
+            drop(st);
+            self.cv.notify_all();
+        }
+        Ok(())
+    }
+
+    fn drop_pending(&self, st: &mut QState) {
+        let n = st.queue.len() as u64;
+        for p in st.queue.drain(..) {
+            self.pool.discard(p);
+        }
+        st.bytes = 0;
+        self.dropped_break.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn wake_listeners(&self) {
+        for l in self.listeners.lock().iter() {
+            l.notify();
+        }
+    }
+
+    /// Posts a payload (Figure 6-9 semantics). Sync channels block until
+    /// the message is taken or `T` elapses (rendezvous-or-drop).
+    pub fn post(&self, payload: Payload) -> PostResult {
+        let len = payload.buffered_len(&self.pool);
+        let deadline = Instant::now() + self.cfg.full_wait;
+        let mut st = self.state.lock();
+        if !st.sink_open {
+            drop(st);
+            self.pool.discard(payload);
+            self.dropped_closed.fetch_add(1, Ordering::Relaxed);
+            return PostResult::Closed;
+        }
+        match self.cfg.kind {
+            ChannelKind::Async => {
+                // Wait while full; an empty queue always admits one message.
+                while !st.queue.is_empty() && st.bytes + len > self.cfg.capacity_bytes {
+                    if self.cv.wait_until(&mut st, deadline).timed_out() {
+                        if !st.queue.is_empty() && st.bytes + len > self.cfg.capacity_bytes {
+                            drop(st);
+                            self.pool.discard(payload);
+                            self.dropped_full.fetch_add(1, Ordering::Relaxed);
+                            return PostResult::Dropped;
+                        }
+                        break;
+                    }
+                    if !st.sink_open {
+                        drop(st);
+                        self.pool.discard(payload);
+                        self.dropped_closed.fetch_add(1, Ordering::Relaxed);
+                        return PostResult::Closed;
+                    }
+                }
+                st.queue.push_back(payload);
+                st.bytes += len;
+                self.posted.fetch_add(1, Ordering::Relaxed);
+                drop(st);
+                self.cv.notify_all();
+                self.wake_listeners();
+                PostResult::Posted
+            }
+            ChannelKind::Sync => {
+                // Zero-length buffer: admit when empty, then wait until the
+                // consumer takes it.
+                while !st.queue.is_empty() {
+                    if self.cv.wait_until(&mut st, deadline).timed_out() {
+                        drop(st);
+                        self.pool.discard(payload);
+                        self.dropped_full.fetch_add(1, Ordering::Relaxed);
+                        return PostResult::Dropped;
+                    }
+                }
+                if !st.sink_open {
+                    drop(st);
+                    self.pool.discard(payload);
+                    self.dropped_closed.fetch_add(1, Ordering::Relaxed);
+                    return PostResult::Closed;
+                }
+                st.queue.push_back(payload);
+                st.bytes += len;
+                self.posted.fetch_add(1, Ordering::Relaxed);
+                self.cv.notify_all();
+                self.wake_listeners();
+                // Rendezvous: wait until taken (or deadline).
+                while !st.queue.is_empty() {
+                    if self.cv.wait_until(&mut st, deadline).timed_out() {
+                        // Consumer never came: withdraw the message.
+                        if let Some(p) = st.queue.pop_front() {
+                            st.bytes = st.bytes.saturating_sub(len);
+                            drop(st);
+                            self.pool.discard(p);
+                            self.posted.fetch_sub(1, Ordering::Relaxed);
+                            self.dropped_full.fetch_add(1, Ordering::Relaxed);
+                            return PostResult::Dropped;
+                        }
+                        break;
+                    }
+                }
+                PostResult::Posted
+            }
+        }
+    }
+
+    /// Non-blocking fetch.
+    pub fn try_fetch(&self) -> FetchResult {
+        let mut st = self.state.lock();
+        if let Some(p) = st.queue.pop_front() {
+            st.bytes = st.bytes.saturating_sub(p.buffered_len(&self.pool));
+            self.fetched.fetch_add(1, Ordering::Relaxed);
+            drop(st);
+            self.cv.notify_all();
+            return FetchResult::Msg(p);
+        }
+        if !st.source_open && self.pcount() == 0 {
+            FetchResult::Disconnected
+        } else {
+            FetchResult::Empty
+        }
+    }
+
+    /// Blocking fetch with timeout.
+    pub fn fetch(&self, timeout: Duration) -> FetchResult {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        loop {
+            if let Some(p) = st.queue.pop_front() {
+                st.bytes = st.bytes.saturating_sub(p.buffered_len(&self.pool));
+                self.fetched.fetch_add(1, Ordering::Relaxed);
+                drop(st);
+                self.cv.notify_all();
+                return FetchResult::Msg(p);
+            }
+            if !st.source_open && self.pcount() == 0 {
+                return FetchResult::Disconnected;
+            }
+            if self.cv.wait_until(&mut st, deadline).timed_out() && st.queue.is_empty() {
+                return FetchResult::Empty;
+            }
+        }
+    }
+
+    /// Number of pending messages.
+    pub fn len(&self) -> usize {
+        self.state.lock().queue.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.state.lock().queue.is_empty()
+    }
+
+    /// Bytes currently buffered.
+    pub fn buffered_bytes(&self) -> usize {
+        self.state.lock().bytes
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            posted: self.posted.load(Ordering::Relaxed),
+            fetched: self.fetched.load(Ordering::Relaxed),
+            dropped_full: self.dropped_full.load(Ordering::Relaxed),
+            dropped_closed: self.dropped_closed.load(Ordering::Relaxed),
+            dropped_break: self.dropped_break.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobigate_mime::MimeMessage;
+    use std::thread;
+
+    fn setup(cfg: QueueConfig) -> (Arc<MessageQueue>, Arc<MessagePool>) {
+        let pool = Arc::new(MessagePool::new());
+        let q = MessageQueue::new(cfg, pool.clone());
+        (q, pool)
+    }
+
+    fn payload(pool: &MessagePool, n: usize) -> Payload {
+        pool.wrap(
+            MimeMessage::new(&MimeType::new("text", "plain"), vec![0u8; n]),
+            crate::PayloadMode::Reference,
+            1,
+        )
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let (q, pool) = setup(QueueConfig::default());
+        for i in 0..10usize {
+            let m = MimeMessage::text(format!("m{i}"));
+            assert_eq!(q.post(pool.wrap(m, crate::PayloadMode::Reference, 1)), PostResult::Posted);
+        }
+        for i in 0..10usize {
+            match q.try_fetch() {
+                FetchResult::Msg(p) => {
+                    let m = pool.resolve(p).unwrap();
+                    assert_eq!(m.body, format!("m{i}").as_bytes());
+                }
+                other => panic!("expected message, got {other:?}"),
+            }
+        }
+        assert!(matches!(q.try_fetch(), FetchResult::Empty));
+    }
+
+    #[test]
+    fn post_on_full_queue_drops_after_t() {
+        let cfg = QueueConfig {
+            capacity_bytes: 256,
+            full_wait: Duration::from_millis(20),
+            ..Default::default()
+        };
+        let (q, pool) = setup(cfg);
+        assert_eq!(q.post(payload(&pool, 200)), PostResult::Posted);
+        // Queue non-empty and over capacity: this one must drop after T.
+        let t0 = Instant::now();
+        assert_eq!(q.post(payload(&pool, 200)), PostResult::Dropped);
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        assert_eq!(q.stats().dropped_full, 1);
+        // The pool reclaimed the dropped message's reference.
+        assert_eq!(pool.stats().resident, 1);
+    }
+
+    #[test]
+    fn oversized_message_admitted_when_empty() {
+        let cfg = QueueConfig { capacity_bytes: 64, ..Default::default() };
+        let (q, pool) = setup(cfg);
+        assert_eq!(q.post(payload(&pool, 4096)), PostResult::Posted);
+    }
+
+    #[test]
+    fn post_unblocks_when_consumer_drains() {
+        let cfg = QueueConfig {
+            capacity_bytes: 300,
+            full_wait: Duration::from_millis(500),
+            ..Default::default()
+        };
+        let (q, pool) = setup(cfg);
+        assert_eq!(q.post(payload(&pool, 256)), PostResult::Posted);
+        let q2 = q.clone();
+        let drainer = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(30));
+            q2.try_fetch()
+        });
+        // Blocks ~30ms, then space appears.
+        assert_eq!(q.post(payload(&pool, 256)), PostResult::Posted);
+        assert!(matches!(drainer.join().unwrap(), FetchResult::Msg(_)));
+    }
+
+    #[test]
+    fn blocking_fetch_waits_for_message() {
+        let (q, pool) = setup(QueueConfig::default());
+        let q2 = q.clone();
+        let pool2 = pool.clone();
+        let poster = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            q2.post(payload(&pool2, 8))
+        });
+        match q.fetch(Duration::from_millis(500)) {
+            FetchResult::Msg(p) => drop(pool.resolve(p)),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(poster.join().unwrap(), PostResult::Posted);
+    }
+
+    #[test]
+    fn fetch_times_out_empty() {
+        let (q, _) = setup(QueueConfig::default());
+        let t0 = Instant::now();
+        assert!(matches!(q.fetch(Duration::from_millis(15)), FetchResult::Empty));
+        assert!(t0.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn sync_channel_rendezvous() {
+        let cfg = QueueConfig {
+            kind: ChannelKind::Sync,
+            category: ChannelCategory::S,
+            full_wait: Duration::from_millis(500),
+            ..Default::default()
+        };
+        let (q, pool) = setup(cfg);
+        let q2 = q.clone();
+        let consumer = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            q2.fetch(Duration::from_millis(500))
+        });
+        let t0 = Instant::now();
+        assert_eq!(q.post(payload(&pool, 8)), PostResult::Posted);
+        // Post returned only after the consumer took the message.
+        assert!(t0.elapsed() >= Duration::from_millis(15));
+        assert!(matches!(consumer.join().unwrap(), FetchResult::Msg(_)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn sync_channel_drops_without_consumer() {
+        let cfg = QueueConfig {
+            kind: ChannelKind::Sync,
+            category: ChannelCategory::S,
+            full_wait: Duration::from_millis(20),
+            ..Default::default()
+        };
+        let (q, pool) = setup(cfg);
+        assert_eq!(q.post(payload(&pool, 8)), PostResult::Dropped);
+        assert!(q.is_empty());
+        assert_eq!(pool.stats().resident, 0, "withdrawn message reclaimed");
+    }
+
+    #[test]
+    fn bb_break_drops_pending_both_ways() {
+        let cfg = QueueConfig { category: ChannelCategory::BB, ..Default::default() };
+        let (q, pool) = setup(cfg);
+        q.attach_source();
+        q.attach_sink();
+        assert_eq!(q.post(payload(&pool, 8)), PostResult::Posted);
+        q.detach_source().unwrap();
+        // Sink side auto-disconnected; pending dropped.
+        assert!(matches!(q.try_fetch(), FetchResult::Disconnected));
+        assert_eq!(q.stats().dropped_break, 1);
+        // Posts now fail Closed.
+        assert_eq!(q.post(payload(&pool, 8)), PostResult::Closed);
+    }
+
+    #[test]
+    fn bk_source_break_keeps_pending_flowing() {
+        let cfg = QueueConfig { category: ChannelCategory::BK, ..Default::default() };
+        let (q, pool) = setup(cfg);
+        q.attach_source();
+        q.attach_sink();
+        assert_eq!(q.post(payload(&pool, 8)), PostResult::Posted);
+        q.detach_source().unwrap();
+        // The pending unit still reaches the target…
+        assert!(matches!(q.try_fetch(), FetchResult::Msg(_)));
+        // …after which the consumer learns the source is gone.
+        assert!(matches!(q.try_fetch(), FetchResult::Disconnected));
+    }
+
+    #[test]
+    fn bk_sink_break_drops_pending() {
+        let cfg = QueueConfig { category: ChannelCategory::BK, ..Default::default() };
+        let (q, pool) = setup(cfg);
+        q.attach_source();
+        q.attach_sink();
+        assert_eq!(q.post(payload(&pool, 8)), PostResult::Posted);
+        q.detach_sink().unwrap();
+        assert_eq!(q.stats().dropped_break, 1);
+        assert_eq!(q.post(payload(&pool, 8)), PostResult::Closed);
+    }
+
+    #[test]
+    fn kb_sink_break_retains_pending_for_new_sink() {
+        let cfg = QueueConfig { category: ChannelCategory::KB, ..Default::default() };
+        let (q, pool) = setup(cfg);
+        q.attach_source();
+        q.attach_sink();
+        assert_eq!(q.post(payload(&pool, 8)), PostResult::Posted);
+        q.detach_sink().unwrap();
+        assert_eq!(q.stats().dropped_break, 0, "KB keeps pending on sink break");
+        // A replacement sink attaches and receives the retained unit.
+        q.attach_sink();
+        assert!(matches!(q.try_fetch(), FetchResult::Msg(_)));
+    }
+
+    #[test]
+    fn kk_cannot_be_disconnected() {
+        let cfg = QueueConfig { category: ChannelCategory::KK, ..Default::default() };
+        let (q, _) = setup(cfg);
+        q.attach_source();
+        q.attach_sink();
+        assert!(q.detach_source().is_err());
+        assert!(q.detach_sink().is_err());
+    }
+
+    #[test]
+    fn reattach_reopens_channel() {
+        let cfg = QueueConfig { category: ChannelCategory::BB, ..Default::default() };
+        let (q, pool) = setup(cfg);
+        q.attach_source();
+        q.attach_sink();
+        q.detach_source().unwrap();
+        assert_eq!(q.post(payload(&pool, 8)), PostResult::Closed);
+        // Reconfiguration reattaches both ends (the paper reuses channel m
+        // when inserting streamlet C, Figure 7-4).
+        q.attach_source();
+        q.attach_sink();
+        assert_eq!(q.post(payload(&pool, 8)), PostResult::Posted);
+        assert!(matches!(q.try_fetch(), FetchResult::Msg(_)));
+    }
+
+    #[test]
+    fn counts_track_attachments() {
+        let (q, _) = setup(QueueConfig::default());
+        q.attach_source();
+        q.attach_source();
+        q.attach_sink();
+        assert_eq!(q.pcount(), 2);
+        assert_eq!(q.ccount(), 1);
+        q.detach_source().unwrap();
+        assert_eq!(q.pcount(), 1);
+    }
+
+    #[test]
+    fn listener_woken_on_post() {
+        let (q, pool) = setup(QueueConfig::default());
+        let n = Arc::new(Notifier::new());
+        q.add_listener(n.clone());
+        let n2 = n.clone();
+        let waiter = thread::spawn(move || {
+            let t0 = Instant::now();
+            n2.wait(Duration::from_millis(500));
+            t0.elapsed()
+        });
+        thread::sleep(Duration::from_millis(20));
+        q.post(payload(&pool, 4));
+        let waited = waiter.join().unwrap();
+        assert!(waited < Duration::from_millis(400), "woken early, waited {waited:?}");
+        q.remove_listener(&n);
+    }
+
+    #[test]
+    fn stats_account_everything() {
+        let (q, pool) = setup(QueueConfig {
+            capacity_bytes: 100,
+            full_wait: Duration::from_millis(5),
+            ..Default::default()
+        });
+        q.post(payload(&pool, 90));
+        q.post(payload(&pool, 90)); // drops
+        if let FetchResult::Msg(p) = q.try_fetch() {
+            pool.discard(p);
+        }
+        let s = q.stats();
+        assert_eq!(s.posted, 1);
+        assert_eq!(s.fetched, 1);
+        assert_eq!(s.dropped_full, 1);
+    }
+
+    #[test]
+    fn concurrent_producers_consumers() {
+        let (q, pool) = setup(QueueConfig {
+            capacity_bytes: 1 << 20,
+            ..Default::default()
+        });
+        let total = 2000;
+        let mut producers = Vec::new();
+        for _ in 0..4 {
+            let q = q.clone();
+            let pool = pool.clone();
+            producers.push(thread::spawn(move || {
+                for _ in 0..total / 4 {
+                    assert_eq!(q.post(payload(&pool, 16)), PostResult::Posted);
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..2 {
+            let q = q.clone();
+            let pool = pool.clone();
+            consumers.push(thread::spawn(move || {
+                let mut got = 0;
+                while got < total / 2 {
+                    if let FetchResult::Msg(p) = q.fetch(Duration::from_millis(200)) {
+                        pool.resolve(p).unwrap();
+                        got += 1;
+                    }
+                }
+                got
+            }));
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        let received: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(received, total);
+        assert_eq!(pool.stats().resident, 0);
+    }
+}

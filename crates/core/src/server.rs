@@ -1,0 +1,291 @@
+//! The MobiGATE server facade (Figure 3-2 in one object).
+//!
+//! `MobiGate` bundles the Streamlet Directory, the streamlet pool, the
+//! central message pool, the Event Manager, and the Coordination Manager,
+//! and exposes the paper's working surface: register streamlet
+//! implementations, deploy MCL scripts, inject flows, raise context events.
+//!
+//! Deployment runs the Chapter-5 semantic analyses first and rejects
+//! inconsistent compositions ("the overall MCL description can be validated
+//! to ensure that potential conflicts … are resolved at compilation time",
+//! §5.3); [`MobiGate::deploy_mcl_unchecked`] skips the analyses for
+//! experiments that need a deliberately odd topology.
+
+use crate::coordination::CoordinationManager;
+use crate::directory::StreamletDirectory;
+use crate::error::CoreError;
+use crate::events::{ContextEvent, EventManager};
+use crate::pool::{MessagePool, PayloadMode};
+use crate::pooling::StreamletPool;
+use crate::stream::{RunningStream, StreamDeps};
+use mobigate_mcl::analysis;
+use mobigate_mcl::compile::compile;
+use mobigate_mcl::config::Program;
+use std::sync::Arc;
+
+/// The assembled MobiGATE server.
+pub struct MobiGate {
+    directory: Arc<StreamletDirectory>,
+    streamlet_pool: Arc<StreamletPool>,
+    msg_pool: Arc<MessagePool>,
+    events: Arc<EventManager>,
+    coordination: CoordinationManager,
+    mode: PayloadMode,
+}
+
+impl Default for MobiGate {
+    fn default() -> Self {
+        Self::new(PayloadMode::Reference)
+    }
+}
+
+impl MobiGate {
+    /// Builds a server with the given payload-passing mode.
+    pub fn new(mode: PayloadMode) -> Self {
+        Self::with_services(
+            mode,
+            Arc::new(StreamletDirectory::new()),
+            Arc::new(StreamletPool::new(64)),
+        )
+    }
+
+    /// Builds a server over caller-supplied directory/pool (ablations swap
+    /// in [`StreamletPool::disabled`]).
+    pub fn with_services(
+        mode: PayloadMode,
+        directory: Arc<StreamletDirectory>,
+        streamlet_pool: Arc<StreamletPool>,
+    ) -> Self {
+        Self::with_options(mode, directory, streamlet_pool, Default::default())
+    }
+
+    /// Builds a server with explicit routing options (e.g. the §4.1
+    /// runtime type check enabled).
+    pub fn with_options(
+        mode: PayloadMode,
+        directory: Arc<StreamletDirectory>,
+        streamlet_pool: Arc<StreamletPool>,
+        route_opts: crate::streamlet::RouteOpts,
+    ) -> Self {
+        let msg_pool = Arc::new(MessagePool::new());
+        let events = Arc::new(EventManager::new());
+        let deps = StreamDeps {
+            msg_pool: msg_pool.clone(),
+            directory: directory.clone(),
+            streamlet_pool: streamlet_pool.clone(),
+            mode,
+            route_opts,
+        };
+        MobiGate {
+            directory,
+            streamlet_pool,
+            msg_pool,
+            events: events.clone(),
+            coordination: CoordinationManager::new(deps, events),
+            mode,
+        }
+    }
+
+    /// The streamlet implementation registry.
+    pub fn directory(&self) -> &Arc<StreamletDirectory> {
+        &self.directory
+    }
+
+    /// The stateless-instance pool.
+    pub fn streamlet_pool(&self) -> &Arc<StreamletPool> {
+        &self.streamlet_pool
+    }
+
+    /// The central message pool.
+    pub fn message_pool(&self) -> &Arc<MessagePool> {
+        &self.msg_pool
+    }
+
+    /// The event manager.
+    pub fn events(&self) -> &Arc<EventManager> {
+        &self.events
+    }
+
+    /// The coordination manager.
+    pub fn coordination(&self) -> &CoordinationManager {
+        &self.coordination
+    }
+
+    /// The configured payload mode.
+    pub fn mode(&self) -> PayloadMode {
+        self.mode
+    }
+
+    /// Compiles `source` and returns the program without deploying.
+    pub fn compile(&self, source: &str) -> Result<Program, CoreError> {
+        compile(source).map_err(|e| CoreError::Deploy { message: e.to_string() })
+    }
+
+    /// Compiles, analyzes, and deploys the `main` stream of an MCL script.
+    pub fn deploy_mcl(&self, source: &str) -> Result<Arc<RunningStream>, CoreError> {
+        let program = self.compile(source)?;
+        let name = program.main_stream.clone().ok_or_else(|| CoreError::Deploy {
+            message: "script has no `main` stream".into(),
+        })?;
+        // Chapter-5 consistency gate.
+        if let Some(report) = analysis::analyze(&program, &name) {
+            if !report.is_consistent() {
+                return Err(CoreError::Deploy {
+                    message: format!("composition inconsistent:\n{}", report.summary()),
+                });
+            }
+        }
+        self.coordination.deploy(&program, &name)
+    }
+
+    /// Deploys without the semantic-analysis gate.
+    pub fn deploy_mcl_unchecked(&self, source: &str) -> Result<Arc<RunningStream>, CoreError> {
+        let program = self.compile(source)?;
+        let name = program.main_stream.clone().ok_or_else(|| CoreError::Deploy {
+            message: "script has no `main` stream".into(),
+        })?;
+        self.coordination.deploy(&program, &name)
+    }
+
+    /// Deploys a named (non-main) stream of an already-compiled program.
+    pub fn deploy_stream(
+        &self,
+        program: &Program,
+        name: &str,
+    ) -> Result<Arc<RunningStream>, CoreError> {
+        self.coordination.deploy(program, name)
+    }
+
+    /// Raises a context event; returns the number of deliveries.
+    pub fn raise_event(&self, event: &ContextEvent) -> usize {
+        self.coordination.raise(event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::streamlet::{Emitter, StreamletCtx, StreamletLogic};
+    use mobigate_mime::MimeMessage;
+    use std::time::Duration;
+
+    struct Rev;
+    impl StreamletLogic for Rev {
+        fn process(&mut self, msg: MimeMessage, ctx: &mut StreamletCtx) -> Result<(), CoreError> {
+            let mut b = msg.body.to_vec();
+            b.reverse();
+            let mut out = msg.clone();
+            out.set_body(b);
+            ctx.emit("po", out);
+            Ok(())
+        }
+    }
+
+    fn server() -> MobiGate {
+        let gate = MobiGate::default();
+        gate.directory().register("builtin/rev", "reverse bytes", || Box::new(Rev));
+        gate
+    }
+
+    #[test]
+    fn deploy_and_process() {
+        let gate = server();
+        let stream = gate
+            .deploy_mcl(
+                r#"
+                streamlet rev {
+                    port { in pi : text; out po : text; }
+                    attribute { type = STATELESS; library = "builtin/rev"; }
+                }
+                main stream app {
+                    streamlet r = new-streamlet (rev);
+                }
+                "#,
+            )
+            .unwrap();
+        stream.post_input(MimeMessage::text("abc")).unwrap();
+        let out = stream.take_output(Duration::from_secs(5)).unwrap();
+        assert_eq!(&out.body[..], b"cba");
+    }
+
+    #[test]
+    fn deploy_rejects_feedback_loop() {
+        let gate = server();
+        let err = gate
+            .deploy_mcl(
+                r#"
+                streamlet rev {
+                    port { in pi : text; out po : text; }
+                    attribute { type = STATELESS; library = "builtin/rev"; }
+                }
+                main stream app {
+                    streamlet a = new-streamlet (rev);
+                    streamlet b = new-streamlet (rev);
+                    connect (a.po, b.pi);
+                    connect (b.po, a.pi);
+                }
+                "#,
+            )
+            .err()
+            .expect("deployment must be rejected");
+        assert!(err.to_string().contains("feedback loop"), "{err}");
+    }
+
+    #[test]
+    fn unchecked_deploy_skips_the_gate() {
+        let gate = server();
+        // The same cyclic composition deploys when explicitly unchecked.
+        let stream = gate
+            .deploy_mcl_unchecked(
+                r#"
+                streamlet rev {
+                    port { in pi : text; out po : text; }
+                    attribute { type = STATELESS; library = "builtin/rev"; }
+                }
+                main stream app {
+                    streamlet a = new-streamlet (rev);
+                    streamlet b = new-streamlet (rev);
+                    connect (a.po, b.pi);
+                    connect (b.po, a.pi);
+                }
+                "#,
+            )
+            .unwrap();
+        stream.shutdown();
+    }
+
+    #[test]
+    fn deploy_reports_compile_errors() {
+        let gate = server();
+        let err = gate
+            .deploy_mcl("main stream app { connect (x.o, y.i); }")
+            .err()
+            .expect("deployment must fail");
+        assert!(matches!(err, CoreError::Deploy { .. }));
+        assert!(err.to_string().contains("undefined"));
+    }
+
+    #[test]
+    fn deploy_requires_main() {
+        let gate = server();
+        assert!(gate.deploy_mcl("stream s { }").is_err());
+    }
+
+    #[test]
+    fn missing_library_fails_at_deploy() {
+        let gate = server();
+        let err = gate
+            .deploy_mcl(
+                r#"
+                streamlet ghost {
+                    port { in pi : text; out po : text; }
+                    attribute { type = STATELESS; library = "no/such"; }
+                }
+                main stream app { streamlet g = new-streamlet (ghost); }
+                "#,
+            )
+            .err()
+            .expect("deployment must fail");
+        assert!(matches!(err, CoreError::UnknownLibrary(_)), "{err}");
+    }
+}

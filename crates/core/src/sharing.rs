@@ -1,0 +1,358 @@
+//! Streamlet sharing (§4.4.3).
+//!
+//! "The complete decoupling of coordination from computation makes it
+//! possible to share instances of streamlets between different streams.
+//! The question is, how can messages be distributed to their corresponding
+//! streams when the messages are generated on the output ports of the
+//! shared instances? … Before executing a coordination stream, the system
+//! automatically generates a unique session ID for each instance of a
+//! stream. Subsequently, all messages belonging to this stream are labeled
+//! with the assigned session ID in their Content-Session field. By this
+//! means, the system can easily differentiate messages from different
+//! streams."
+//!
+//! [`SharedStreamlet`] hosts **one** logic instance on **one** worker
+//! thread and serves any number of streams concurrently: every stream
+//! posts session-labeled messages into the shared inbox; emissions are
+//! routed back to the subscribing stream's queue by their `Content-Session`
+//! label. Stateless logic is required — per-stream state inside a shared
+//! instance would leak across sessions, which is exactly why §3.3.4
+//! restricts pooling/sharing to stateless streamlets.
+
+use crate::error::CoreError;
+use crate::pool::{MessagePool, Payload, PayloadMode};
+use crate::queue::{FetchResult, MessageQueue, Notifier, QueueConfig};
+use crate::streamlet::{StreamletCtx, StreamletLogic};
+use mobigate_mime::{MimeMessage, SessionId};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Counters of a shared instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharingStats {
+    /// Messages processed.
+    pub processed: u64,
+    /// Emissions routed to a subscribed stream.
+    pub routed: u64,
+    /// Emissions whose session had no subscriber (dropped).
+    pub unrouted: u64,
+}
+
+struct SharedInner {
+    /// Session → the queue carrying this stream's share of the output.
+    routes: RwLock<HashMap<SessionId, Arc<MessageQueue>>>,
+    inbox: Arc<MessageQueue>,
+    pool: Arc<MessagePool>,
+    mode: PayloadMode,
+    stop: AtomicBool,
+    notifier: Arc<Notifier>,
+    processed: AtomicU64,
+    routed: AtomicU64,
+    unrouted: AtomicU64,
+    name: String,
+}
+
+/// A single streamlet instance shared by multiple streams.
+pub struct SharedStreamlet {
+    inner: Arc<SharedInner>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+    logic_slot: Arc<Mutex<Option<Box<dyn StreamletLogic>>>>,
+}
+
+impl SharedStreamlet {
+    /// Hosts `logic` as a shared instance. The inbox is an async queue with
+    /// a generous buffer; subscribers attach their own output queues.
+    pub fn spawn(
+        name: impl Into<String>,
+        logic: Box<dyn StreamletLogic>,
+        pool: Arc<MessagePool>,
+        mode: PayloadMode,
+    ) -> Arc<Self> {
+        let name = name.into();
+        let inbox = MessageQueue::new(
+            QueueConfig {
+                name: format!("__shared/{name}"),
+                capacity_bytes: 16 << 20,
+                full_wait: Duration::from_millis(200),
+                ..Default::default()
+            },
+            pool.clone(),
+        );
+        let notifier = Arc::new(Notifier::new());
+        inbox.add_listener(notifier.clone());
+        let inner = Arc::new(SharedInner {
+            routes: RwLock::new(HashMap::new()),
+            inbox,
+            pool,
+            mode,
+            stop: AtomicBool::new(false),
+            notifier,
+            processed: AtomicU64::new(0),
+            routed: AtomicU64::new(0),
+            unrouted: AtomicU64::new(0),
+            name,
+        });
+        let logic_slot = Arc::new(Mutex::new(None));
+        let worker = {
+            let inner = inner.clone();
+            let slot = logic_slot.clone();
+            std::thread::Builder::new()
+                .name(format!("shared-{}", inner.name))
+                .spawn(move || shared_worker(inner, slot, logic))
+                .expect("spawn shared streamlet")
+        };
+        Arc::new(SharedStreamlet { inner, worker: Mutex::new(Some(worker)), logic_slot })
+    }
+
+    /// Subscribes a stream: its emissions will arrive on `out`.
+    pub fn subscribe(&self, session: &SessionId, out: Arc<MessageQueue>) {
+        out.attach_source();
+        self.inner.routes.write().insert(session.clone(), out);
+    }
+
+    /// Unsubscribes a stream; its pending emissions may still be in `out`.
+    pub fn unsubscribe(&self, session: &SessionId) {
+        if let Some(q) = self.inner.routes.write().remove(session) {
+            let _ = q.detach_source();
+        }
+    }
+
+    /// Number of subscribed streams.
+    pub fn subscriber_count(&self) -> usize {
+        self.inner.routes.read().len()
+    }
+
+    /// Posts a message on behalf of a stream. The message is labeled with
+    /// the session (§4.4.3) before entering the shared inbox.
+    pub fn post(&self, session: &SessionId, mut msg: MimeMessage) -> Result<(), CoreError> {
+        if !self.inner.routes.read().contains_key(session) {
+            return Err(CoreError::NotFound {
+                kind: "shared-streamlet subscription",
+                name: session.as_str().to_string(),
+            });
+        }
+        msg.set_session(session);
+        let payload = self.inner.pool.wrap(msg, self.inner.mode, 1);
+        self.inner.inbox.post(payload);
+        Ok(())
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> SharingStats {
+        SharingStats {
+            processed: self.inner.processed.load(Ordering::Relaxed),
+            routed: self.inner.routed.load(Ordering::Relaxed),
+            unrouted: self.inner.unrouted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops the worker and returns the logic instance (for pooling).
+    pub fn shutdown(&self) -> Option<Box<dyn StreamletLogic>> {
+        self.inner.stop.store(true, Ordering::Release);
+        self.inner.notifier.notify();
+        if let Some(h) = self.worker.lock().take() {
+            let _ = h.join();
+        }
+        self.logic_slot.lock().take()
+    }
+}
+
+fn shared_worker(
+    inner: Arc<SharedInner>,
+    slot: Arc<Mutex<Option<Box<dyn StreamletLogic>>>>,
+    mut logic: Box<dyn StreamletLogic>,
+) {
+    logic.on_activate();
+    while !inner.stop.load(Ordering::Acquire) {
+        let snapshot = inner.notifier.snapshot();
+        let payload = match inner.inbox.try_fetch() {
+            FetchResult::Msg(p) => p,
+            _ => {
+                inner.notifier.wait_unless(snapshot, Duration::from_millis(5));
+                continue;
+            }
+        };
+        let Some(msg) = inner.pool.resolve(payload) else { continue };
+        let session = msg.session();
+        let mut ctx = StreamletCtx::new(&inner.name, session.as_ref());
+        if logic.process(msg, &mut ctx).is_err() {
+            continue;
+        }
+        inner.processed.fetch_add(1, Ordering::Relaxed);
+
+        // Route emissions by Content-Session (§4.4.3). A streamlet must not
+        // relabel sessions, but be defensive: prefer the emission's own
+        // label, falling back to the input's.
+        for (_port, out_msg) in ctx.into_outputs() {
+            let label = out_msg.session().or_else(|| session.clone());
+            let target = label.and_then(|s| inner.routes.read().get(&s).cloned());
+            match target {
+                Some(q) => {
+                    let payload = match inner.mode {
+                        PayloadMode::Reference => {
+                            Payload::Ref(inner.pool.insert(out_msg, 1))
+                        }
+                        PayloadMode::Value => inner.pool.wrap_copy(&out_msg),
+                    };
+                    // Count before posting: a consumer that sees the
+                    // message must also see it counted.
+                    inner.routed.fetch_add(1, Ordering::Relaxed);
+                    q.post(payload);
+                }
+                None => {
+                    inner.unrouted.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+    logic.on_end();
+    *slot.lock() = Some(logic);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::streamlet::Emitter;
+
+    /// Uppercases text; stateless, so sharable.
+    struct Upper;
+    impl StreamletLogic for Upper {
+        fn process(&mut self, msg: MimeMessage, ctx: &mut StreamletCtx) -> Result<(), CoreError> {
+            let up = String::from_utf8_lossy(&msg.body).to_uppercase();
+            let mut out = msg.clone();
+            out.set_body(up.into_bytes());
+            ctx.emit("po", out);
+            Ok(())
+        }
+    }
+
+    fn setup() -> (Arc<MessagePool>, Arc<SharedStreamlet>) {
+        let pool = Arc::new(MessagePool::new());
+        let shared =
+            SharedStreamlet::spawn("upper", Box::new(Upper), pool.clone(), PayloadMode::Reference);
+        (pool, shared)
+    }
+
+    fn out_queue(pool: &Arc<MessagePool>) -> Arc<MessageQueue> {
+        MessageQueue::new(QueueConfig::default(), pool.clone())
+    }
+
+    fn fetch_text(pool: &MessagePool, q: &MessageQueue) -> String {
+        match q.fetch(Duration::from_secs(5)) {
+            FetchResult::Msg(p) => {
+                String::from_utf8_lossy(&pool.resolve(p).unwrap().body).into_owned()
+            }
+            other => panic!("expected message, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn routes_outputs_back_to_the_owning_stream() {
+        let (pool, shared) = setup();
+        let (sa, sb) = (SessionId::new("stream-a"), SessionId::new("stream-b"));
+        let (qa, qb) = (out_queue(&pool), out_queue(&pool));
+        shared.subscribe(&sa, qa.clone());
+        shared.subscribe(&sb, qb.clone());
+        assert_eq!(shared.subscriber_count(), 2);
+
+        shared.post(&sa, MimeMessage::text("from a")).unwrap();
+        shared.post(&sb, MimeMessage::text("from b")).unwrap();
+        shared.post(&sa, MimeMessage::text("again a")).unwrap();
+
+        assert_eq!(fetch_text(&pool, &qa), "FROM A");
+        assert_eq!(fetch_text(&pool, &qa), "AGAIN A");
+        assert_eq!(fetch_text(&pool, &qb), "FROM B");
+        // No cross-talk.
+        assert!(matches!(qb.try_fetch(), FetchResult::Empty));
+        assert!(matches!(qa.try_fetch(), FetchResult::Empty));
+        let stats = shared.stats();
+        assert_eq!(stats.processed, 3);
+        assert_eq!(stats.routed, 3);
+        assert_eq!(stats.unrouted, 0);
+        shared.shutdown();
+    }
+
+    #[test]
+    fn outputs_carry_the_session_label() {
+        let (pool, shared) = setup();
+        let s = SessionId::new("labeled");
+        let q = out_queue(&pool);
+        shared.subscribe(&s, q.clone());
+        shared.post(&s, MimeMessage::text("x")).unwrap();
+        if let FetchResult::Msg(p) = q.fetch(Duration::from_secs(5)) {
+            let m = pool.resolve(p).unwrap();
+            assert_eq!(m.session().unwrap().as_str(), "labeled");
+        } else {
+            panic!("no output");
+        }
+        shared.shutdown();
+    }
+
+    #[test]
+    fn post_requires_subscription() {
+        let (_pool, shared) = setup();
+        let err = shared.post(&SessionId::new("ghost"), MimeMessage::text("x"));
+        assert!(err.is_err());
+        shared.shutdown();
+    }
+
+    #[test]
+    fn unsubscribed_sessions_outputs_drop() {
+        let (pool, shared) = setup();
+        let s = SessionId::new("leaver");
+        let q = out_queue(&pool);
+        shared.subscribe(&s, q.clone());
+        shared.post(&s, MimeMessage::text("first")).unwrap();
+        assert_eq!(fetch_text(&pool, &q), "FIRST");
+        shared.unsubscribe(&s);
+        // A message already in the inbox when the stream leaves: routed
+        // nowhere, counted as unrouted — never delivered to someone else.
+        assert!(shared.post(&s, MimeMessage::text("late")).is_err());
+        assert_eq!(shared.subscriber_count(), 0);
+        shared.shutdown();
+    }
+
+    #[test]
+    fn concurrent_streams_share_one_instance() {
+        let (pool, shared) = setup();
+        let sessions: Vec<SessionId> =
+            (0..8).map(|i| SessionId::new(format!("s{i}"))).collect();
+        let queues: Vec<Arc<MessageQueue>> = (0..8).map(|_| out_queue(&pool)).collect();
+        for (s, q) in sessions.iter().zip(&queues) {
+            shared.subscribe(s, q.clone());
+        }
+        let mut posters = Vec::new();
+        for (i, s) in sessions.iter().cloned().enumerate() {
+            let shared = shared.clone();
+            posters.push(std::thread::spawn(move || {
+                for k in 0..25 {
+                    shared.post(&s, MimeMessage::text(format!("m{i}-{k}"))).unwrap();
+                }
+            }));
+        }
+        for p in posters {
+            p.join().unwrap();
+        }
+        // Each stream gets exactly its 25 messages, in its own order.
+        for (i, q) in queues.iter().enumerate() {
+            for k in 0..25 {
+                let text = fetch_text(&pool, q);
+                assert_eq!(text, format!("M{i}-{k}").to_uppercase());
+            }
+        }
+        assert_eq!(shared.stats().processed, 200);
+        shared.shutdown();
+    }
+
+    #[test]
+    fn shutdown_returns_logic() {
+        let (_pool, shared) = setup();
+        assert!(shared.shutdown().is_some());
+        // Second shutdown is a no-op.
+        assert!(shared.shutdown().is_none());
+    }
+}

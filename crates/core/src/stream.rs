@@ -1,0 +1,1271 @@
+//! `RunningStream` — a deployed stream application (§6.3).
+//!
+//! A running stream materializes a compiled [`ConfigTable`]: channels become
+//! [`MessageQueue`]s, instance rows become [`StreamletHandle`]s (logic
+//! checked out of the [`StreamletPool`]), connections become port bindings.
+//! The struct then owns the three responsibilities of the paper's `Stream`
+//! base class: initializing connection setup, reconfiguration in response
+//! to events (`onEvent`), and the composition primitives (`new_streamlet`,
+//! `connect`, `insert`, `remove`, `replace`).
+//!
+//! Reconfiguration follows Figure 7-4 exactly and is instrumented to report
+//! the Equation 7-1 components: `T = Σ sᵢ (suspensions) + n·c (channel
+//! operations) + Σ aᵢ (activations)`.
+//!
+//! Streamlet removal observes the Figure 6-8 message-loss-avoidance
+//! prerequisites: the input queues must be empty, the streamlet must not be
+//! processing, and produced messages must have been handed downstream.
+
+use crate::directory::StreamletDirectory;
+use crate::error::CoreError;
+use crate::events::{ContextEvent, EventSubscriber};
+use crate::pool::{MessagePool, PayloadMode};
+use crate::pooling::StreamletPool;
+use crate::queue::{FetchResult, MessageQueue, Notifier, QueueConfig};
+use crate::streamlet::{RouteOpts, StreamletHandle};
+use mobigate_mcl::config::{ConfigTable, ConnectionRow, ReconfigAction, StreamletSpec, WhenRule};
+use mobigate_mcl::events::EventKind;
+use mobigate_mime::{MimeMessage, SessionId};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shared services a stream deploys against.
+#[derive(Clone)]
+pub struct StreamDeps {
+    /// Central message store.
+    pub msg_pool: Arc<MessagePool>,
+    /// Streamlet implementation registry.
+    pub directory: Arc<StreamletDirectory>,
+    /// Stateless-instance pool.
+    pub streamlet_pool: Arc<StreamletPool>,
+    /// Reference vs. value payload passing (Figure 7-3).
+    pub mode: PayloadMode,
+    /// Runtime type-check options (§4.1).
+    pub route_opts: RouteOpts,
+}
+
+/// Equation 7-1 instrumentation of one reconfiguration:
+/// `T = Σ sᵢ + n·c + Σ aᵢ`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReconfigStats {
+    /// Number of streamlet suspensions (`k` in Σ sᵢ).
+    pub suspensions: usize,
+    /// Time spent suspending.
+    pub suspension_time: Duration,
+    /// Channel operations: creations, deletions, attaches, detaches (`n`).
+    pub channel_ops: usize,
+    /// Time spent on channel operations.
+    pub channel_time: Duration,
+    /// Number of streamlet activations.
+    pub activations: usize,
+    /// Time spent activating.
+    pub activation_time: Duration,
+    /// Streamlet instance creations (insert/new actions).
+    pub instance_creations: usize,
+    /// Wall-clock total of the whole reconfiguration.
+    pub total: Duration,
+    /// Actions that failed (and were skipped).
+    pub errors: usize,
+}
+
+impl ReconfigStats {
+    fn absorb(&mut self, other: ReconfigStats) {
+        self.suspensions += other.suspensions;
+        self.suspension_time += other.suspension_time;
+        self.channel_ops += other.channel_ops;
+        self.channel_time += other.channel_time;
+        self.activations += other.activations;
+        self.activation_time += other.activation_time;
+        self.instance_creations += other.instance_creations;
+        self.errors += other.errors;
+    }
+}
+
+/// Aggregate stream counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamStats {
+    /// Messages injected at the stream's exported inputs.
+    pub injected: u64,
+    /// Messages delivered at the stream's exported outputs.
+    pub delivered: u64,
+    /// Reconfigurations executed.
+    pub reconfigurations: u64,
+}
+
+struct Inner {
+    instances: HashMap<String, Arc<StreamletHandle>>,
+    channels: HashMap<String, Arc<MessageQueue>>,
+    connections: Vec<ConnectionRow>,
+    /// Lazily created instances declared inside `when` blocks: name → def.
+    lazy: HashMap<String, String>,
+    when_rules: Vec<WhenRule>,
+    reconf_chan_counter: usize,
+    shutdown: bool,
+}
+
+/// A deployed, running stream application.
+pub struct RunningStream {
+    name: String,
+    session: SessionId,
+    deps: StreamDeps,
+    defs: BTreeMap<String, StreamletSpec>,
+    inner: Mutex<Inner>,
+    /// Exported input alias → ingress channel (alias is the inner
+    /// `instance.port`).
+    ingress: Vec<(String, Arc<MessageQueue>)>,
+    /// Single egress channel every exported output feeds.
+    egress: Arc<MessageQueue>,
+    egress_notifier: Arc<Notifier>,
+    injected: AtomicU64,
+    delivered: AtomicU64,
+    reconfigurations: AtomicU64,
+    last_reconfig: Mutex<Option<ReconfigStats>>,
+}
+
+impl RunningStream {
+    /// Materializes a configuration table into a running stream.
+    ///
+    /// The paper's setup sequence: create channels, locate streamlet
+    /// classes, allocate instances (§3.3.3), bind ports per the
+    /// configuration table, then start every streamlet thread.
+    pub fn deploy(
+        table: &ConfigTable,
+        defs: &BTreeMap<String, StreamletSpec>,
+        deps: StreamDeps,
+        session: SessionId,
+    ) -> Result<Arc<Self>, CoreError> {
+        let mut channels: HashMap<String, Arc<MessageQueue>> = HashMap::new();
+        for row in &table.channels {
+            let cfg = QueueConfig::from_spec(&row.name, &row.spec);
+            channels.insert(row.name.clone(), MessageQueue::new(cfg, deps.msg_pool.clone()));
+        }
+
+        // Ingress/egress channels for the stream's exported ports.
+        let mut ingress = Vec::new();
+        for (inst, port, ty) in &table.exported_inputs {
+            let cfg = QueueConfig {
+                name: format!("__ingress/{inst}.{port}"),
+                capacity_bytes: 8 << 20,
+                full_wait: Duration::from_millis(500),
+                ty: ty.clone(),
+                ..Default::default()
+            };
+            ingress.push((
+                format!("{inst}.{port}"),
+                MessageQueue::new(cfg, deps.msg_pool.clone()),
+            ));
+        }
+        let egress = MessageQueue::new(
+            QueueConfig {
+                name: "__egress".into(),
+                capacity_bytes: 8 << 20,
+                full_wait: Duration::from_millis(500),
+                ..Default::default()
+            },
+            deps.msg_pool.clone(),
+        );
+        let egress_notifier = Arc::new(Notifier::new());
+        egress.add_listener(egress_notifier.clone());
+
+        // Create the initial streamlet instances.
+        let mut instances: HashMap<String, Arc<StreamletHandle>> = HashMap::new();
+        let mut lazy = HashMap::new();
+        for row in &table.streamlets {
+            if !row.initial {
+                lazy.insert(row.name.clone(), row.def.clone());
+                continue;
+            }
+            let handle =
+                create_instance(&row.name, &row.def, defs, &deps, &session)?;
+            instances.insert(row.name.clone(), handle);
+        }
+
+        // Bind ports per the connection rows.
+        for c in &table.connections {
+            let q = channels.get(&c.channel).ok_or_else(|| CoreError::NotFound {
+                kind: "channel",
+                name: c.channel.clone(),
+            })?;
+            let from = instances.get(&c.from.0).ok_or_else(|| CoreError::NotFound {
+                kind: "streamlet instance",
+                name: c.from.0.clone(),
+            })?;
+            let to = instances.get(&c.to.0).ok_or_else(|| CoreError::NotFound {
+                kind: "streamlet instance",
+                name: c.to.0.clone(),
+            })?;
+            from.attach_out(&c.from.1, q);
+            to.attach_in(&c.to.1, q);
+        }
+
+        // Bind exported ports to ingress/egress.
+        for ((inst, port, _), (_, q)) in table.exported_inputs.iter().zip(&ingress) {
+            let h = instances.get(inst).ok_or_else(|| CoreError::NotFound {
+                kind: "streamlet instance",
+                name: inst.clone(),
+            })?;
+            h.attach_in(port, q);
+        }
+        for (inst, port, _) in &table.exported_outputs {
+            let h = instances.get(inst).ok_or_else(|| CoreError::NotFound {
+                kind: "streamlet instance",
+                name: inst.clone(),
+            })?;
+            h.attach_out(port, &egress);
+        }
+
+        // Start every worker.
+        for h in instances.values() {
+            h.start()?;
+        }
+
+        Ok(Arc::new(RunningStream {
+            name: table.name.clone(),
+            session,
+            deps,
+            defs: defs.clone(),
+            inner: Mutex::new(Inner {
+                instances,
+                channels,
+                connections: table.connections.clone(),
+                lazy,
+                when_rules: table.when_rules.clone(),
+                reconf_chan_counter: 0,
+                shutdown: false,
+            }),
+            ingress,
+            egress,
+            egress_notifier,
+            injected: AtomicU64::new(0),
+            delivered: AtomicU64::new(0),
+            reconfigurations: AtomicU64::new(0),
+            last_reconfig: Mutex::new(None),
+        }))
+    }
+
+    /// Stream name (the MCL stream identifier).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The unique session of this stream instance (§4.4.3).
+    pub fn session(&self) -> &SessionId {
+        &self.session
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> StreamStats {
+        StreamStats {
+            injected: self.injected.load(Ordering::Relaxed),
+            delivered: self.delivered.load(Ordering::Relaxed),
+            reconfigurations: self.reconfigurations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Instrumentation of the most recent reconfiguration.
+    pub fn last_reconfig(&self) -> Option<ReconfigStats> {
+        *self.last_reconfig.lock()
+    }
+
+    /// Names of currently live instances.
+    pub fn instance_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.lock().instances.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// The handle of a live instance (for inspection in tests/benches).
+    pub fn instance(&self, name: &str) -> Option<Arc<StreamletHandle>> {
+        self.inner.lock().instances.get(name).cloned()
+    }
+
+    /// Current connection rows.
+    pub fn connections(&self) -> Vec<ConnectionRow> {
+        self.inner.lock().connections.clone()
+    }
+
+    // --- data path ----------------------------------------------------------
+
+    /// Injects a message at the stream's (sole or first) exported input.
+    /// The message is stamped with the stream session (§4.4.3).
+    pub fn post_input(&self, msg: MimeMessage) -> Result<(), CoreError> {
+        let Some((_, q)) = self.ingress.first() else {
+            return Err(CoreError::NotFound { kind: "exported input", name: self.name.clone() });
+        };
+        self.post_to(q.clone(), msg)
+    }
+
+    /// Injects at a named exported input (`instance.port` alias).
+    pub fn post_input_to(&self, alias: &str, msg: MimeMessage) -> Result<(), CoreError> {
+        let q = self
+            .ingress
+            .iter()
+            .find(|(a, _)| a == alias)
+            .map(|(_, q)| q.clone())
+            .ok_or_else(|| CoreError::NotFound {
+                kind: "exported input",
+                name: alias.to_string(),
+            })?;
+        self.post_to(q, msg)
+    }
+
+    fn post_to(&self, q: Arc<MessageQueue>, mut msg: MimeMessage) -> Result<(), CoreError> {
+        msg.set_session(&self.session);
+        let payload = self.deps.msg_pool.wrap(msg, self.deps.mode, 1);
+        q.post(payload);
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Takes one adapted message from the stream's exported outputs,
+    /// waiting up to `timeout`.
+    pub fn take_output(&self, timeout: Duration) -> Option<MimeMessage> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let notified = self.egress_notifier.snapshot();
+            match self.egress.try_fetch() {
+                FetchResult::Msg(p) => {
+                    let msg = self.deps.msg_pool.resolve(p)?;
+                    self.delivered.fetch_add(1, Ordering::Relaxed);
+                    return Some(msg);
+                }
+                FetchResult::Disconnected => return None,
+                FetchResult::Empty => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return None;
+                    }
+                    self.egress_notifier.wait_unless(notified, (deadline - now).min(Duration::from_millis(20)));
+                }
+            }
+        }
+    }
+
+    /// Number of exported inputs.
+    pub fn ingress_count(&self) -> usize {
+        self.ingress.len()
+    }
+
+    /// Sets an operation parameter on a live streamlet through its control
+    /// interface (§8.2.1 future-work feature: "data ports to communicate
+    /// with other streamlets … and control interfaces to receive parameter
+    /// setting information from the coordinator").
+    pub fn set_parameter(
+        &self,
+        instance: &str,
+        key: &str,
+        value: &str,
+    ) -> Result<(), CoreError> {
+        let handle = self
+            .inner
+            .lock()
+            .instances
+            .get(instance)
+            .cloned()
+            .ok_or_else(|| CoreError::NotFound {
+                kind: "streamlet instance",
+                name: instance.to_string(),
+            })?;
+        handle.set_parameter(key, value, Duration::from_secs(2))
+    }
+
+    /// Renders the current live topology as Graphviz DOT (initial and
+    /// reconfigured instances, channels as edge labels).
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let inner = self.inner.lock();
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", self.name);
+        let _ = writeln!(out, "  rankdir=LR;");
+        let _ = writeln!(out, "  node [shape=box, style=rounded];");
+        let mut names: Vec<&String> = inner.instances.keys().collect();
+        names.sort();
+        for name in names {
+            let h = &inner.instances[name];
+            let _ = writeln!(out, "  \"{}\" [label=\"{}\\n({})\"];", name, name, h.def_name());
+        }
+        for c in &inner.connections {
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> \"{}\" [label=\"{}\"];",
+                c.from.0, c.to.0, c.channel
+            );
+        }
+        out.push('}');
+        out
+    }
+
+    // --- events --------------------------------------------------------------
+
+    /// Reacts to a context event: System-Command events get their built-in
+    /// behaviour (PAUSE/RESUME/END), and any matching `when` rules from the
+    /// MCL script run as reconfigurations. Returns the instrumentation when
+    /// a reconfiguration ran.
+    pub fn handle_event(&self, event: &ContextEvent) -> Option<ReconfigStats> {
+        match event.kind {
+            EventKind::Pause => {
+                self.pause_all();
+            }
+            EventKind::Resume => {
+                self.activate_all();
+            }
+            EventKind::End => {
+                self.shutdown();
+            }
+            _ => {}
+        }
+        let rules: Vec<WhenRule> = {
+            let inner = self.inner.lock();
+            inner
+                .when_rules
+                .iter()
+                .filter(|r| r.event == event.kind)
+                .cloned()
+                .collect()
+        };
+        if rules.is_empty() {
+            return None;
+        }
+        let actions: Vec<ReconfigAction> =
+            rules.into_iter().flat_map(|r| r.actions).collect();
+        Some(self.reconfigure(&actions))
+    }
+
+    /// Pauses every live streamlet.
+    pub fn pause_all(&self) {
+        let handles: Vec<_> = self.inner.lock().instances.values().cloned().collect();
+        for h in handles {
+            let _ = h.pause_and_wait(Duration::from_secs(1));
+        }
+    }
+
+    /// Resumes every paused streamlet.
+    pub fn activate_all(&self) {
+        let handles: Vec<_> = self.inner.lock().instances.values().cloned().collect();
+        for h in handles {
+            let _ = h.activate();
+        }
+    }
+
+    /// Ends every streamlet, detaches bindings, and returns stateless logic
+    /// objects to the pool.
+    pub fn shutdown(&self) {
+        let mut inner = self.inner.lock();
+        if inner.shutdown {
+            return;
+        }
+        inner.shutdown = true;
+        let handles: Vec<_> = inner.instances.drain().map(|(_, h)| h).collect();
+        inner.connections.clear();
+        drop(inner);
+        for h in handles {
+            h.end();
+            let _ = h.detach_all();
+            self.reclaim_logic(&h);
+        }
+    }
+
+    fn reclaim_logic(&self, handle: &Arc<StreamletHandle>) {
+        if handle.is_stateful() {
+            return;
+        }
+        if let Some(logic) = handle.take_logic() {
+            let def = self.defs.get(handle.def_name());
+            let key = def
+                .map(|d| {
+                    self.deps
+                        .directory
+                        .resolve_key(&d.library, &d.name)
+                        .to_string()
+                })
+                .unwrap_or_else(|| handle.def_name().to_string());
+            self.deps.streamlet_pool.checkin(&key, logic);
+        }
+    }
+
+    // --- reconfiguration ------------------------------------------------------
+
+    /// Executes a sequence of reconfiguration actions under the stream lock,
+    /// with Equation 7-1 instrumentation. Failed actions are counted and
+    /// skipped ("the system has to wait some time or take special actions").
+    pub fn reconfigure(&self, actions: &[ReconfigAction]) -> ReconfigStats {
+        let t0 = Instant::now();
+        let mut stats = ReconfigStats::default();
+        let mut inner = self.inner.lock();
+        for action in actions {
+            match self.apply_action(&mut inner, action) {
+                Ok(s) => stats.absorb(s),
+                Err(_) => stats.errors += 1,
+            }
+        }
+        drop(inner);
+        stats.total = t0.elapsed();
+        self.reconfigurations.fetch_add(1, Ordering::Relaxed);
+        *self.last_reconfig.lock() = Some(stats);
+        stats
+    }
+
+    /// Public composition primitive: splice `instance` (an instance of
+    /// `def`) into the live connection `from → to` (Figure 7-4). This is
+    /// the operation the Figure 7-6 experiment times in a loop.
+    pub fn insert_streamlet(
+        &self,
+        from: (&str, &str),
+        to: (&str, &str),
+        instance: &str,
+        def: &str,
+    ) -> Result<ReconfigStats, CoreError> {
+        let t0 = Instant::now();
+        let mut inner = self.inner.lock();
+        inner.lazy.insert(instance.to_string(), def.to_string());
+        let mut stats = self.apply_action(
+            &mut inner,
+            &ReconfigAction::Insert {
+                from: (from.0.to_string(), from.1.to_string()),
+                to: (to.0.to_string(), to.1.to_string()),
+                instance: instance.to_string(),
+            },
+        )?;
+        drop(inner);
+        stats.total = t0.elapsed();
+        self.reconfigurations.fetch_add(1, Ordering::Relaxed);
+        *self.last_reconfig.lock() = Some(stats);
+        Ok(stats)
+    }
+
+    /// Public composition primitive: safely remove a streamlet once the
+    /// Figure 6-8 prerequisites hold (inputs drained, not processing),
+    /// waiting at most `deadline` for them.
+    pub fn remove_streamlet(&self, name: &str, deadline: Duration) -> Result<(), CoreError> {
+        let mut inner = self.inner.lock();
+        let mut stats = ReconfigStats::default();
+        self.do_remove_with_deadline(&mut inner, name, &mut stats, deadline)
+    }
+
+    fn apply_action(
+        &self,
+        inner: &mut Inner,
+        action: &ReconfigAction,
+    ) -> Result<ReconfigStats, CoreError> {
+        let mut stats = ReconfigStats::default();
+        match action {
+            ReconfigAction::NewStreamlet { name, def } => {
+                self.ensure_instance(inner, name, Some(def), &mut stats)?;
+            }
+            ReconfigAction::NewChannel { name, spec } => {
+                if !inner.channels.contains_key(name) {
+                    let t = Instant::now();
+                    let q = MessageQueue::new(
+                        QueueConfig::from_spec(name, spec),
+                        self.deps.msg_pool.clone(),
+                    );
+                    inner.channels.insert(name.clone(), q);
+                    stats.channel_ops += 1;
+                    stats.channel_time += t.elapsed();
+                }
+            }
+            ReconfigAction::Connect { from, to, channel } => {
+                self.do_connect(inner, from, to, channel, &mut stats)?;
+            }
+            ReconfigAction::Disconnect { from, to } => {
+                self.do_disconnect(inner, from, to, &mut stats)?;
+            }
+            ReconfigAction::DisconnectAll { instance } => {
+                let rows: Vec<ConnectionRow> = inner
+                    .connections
+                    .iter()
+                    .filter(|c| c.from.0 == *instance || c.to.0 == *instance)
+                    .cloned()
+                    .collect();
+                for row in rows {
+                    self.do_disconnect(inner, &row.from, &row.to, &mut stats)?;
+                }
+            }
+            ReconfigAction::Insert { from, to, instance } => {
+                self.do_insert(inner, from, to, instance, &mut stats)?;
+            }
+            ReconfigAction::RemoveStreamlet { name } => {
+                self.do_remove_with_deadline(inner, name, &mut stats, Duration::from_secs(2))?;
+            }
+            ReconfigAction::RemoveChannel { name } => {
+                let rows: Vec<ConnectionRow> = inner
+                    .connections
+                    .iter()
+                    .filter(|c| c.channel == *name)
+                    .cloned()
+                    .collect();
+                for row in rows {
+                    self.do_disconnect(inner, &row.from, &row.to, &mut stats)?;
+                }
+                let t = Instant::now();
+                if inner.channels.remove(name).is_none() {
+                    return Err(CoreError::NotFound { kind: "channel", name: name.clone() });
+                }
+                stats.channel_ops += 1;
+                stats.channel_time += t.elapsed();
+            }
+            ReconfigAction::Replace { old, new } => {
+                self.do_replace(inner, old, new, &mut stats)?;
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Ensures `name` exists as a live instance, creating it from its lazy
+    /// declaration (or `def_hint`) and starting its worker.
+    fn ensure_instance(
+        &self,
+        inner: &mut Inner,
+        name: &str,
+        def_hint: Option<&str>,
+        stats: &mut ReconfigStats,
+    ) -> Result<Arc<StreamletHandle>, CoreError> {
+        if let Some(h) = inner.instances.get(name) {
+            return Ok(h.clone());
+        }
+        let def = match def_hint {
+            Some(d) => d.to_string(),
+            None => inner.lazy.get(name).cloned().ok_or_else(|| CoreError::NotFound {
+                kind: "streamlet instance",
+                name: name.to_string(),
+            })?,
+        };
+        let handle = create_instance(name, &def, &self.defs, &self.deps, &self.session)?;
+        handle.start()?;
+        stats.instance_creations += 1;
+        inner.lazy.remove(name);
+        inner.instances.insert(name.to_string(), handle.clone());
+        Ok(handle)
+    }
+
+    fn do_connect(
+        &self,
+        inner: &mut Inner,
+        from: &(String, String),
+        to: &(String, String),
+        channel: &str,
+        stats: &mut ReconfigStats,
+    ) -> Result<(), CoreError> {
+        let from_h = self.ensure_instance(inner, &from.0, None, stats)?;
+        let to_h = self.ensure_instance(inner, &to.0, None, stats)?;
+        let q = inner
+            .channels
+            .get(channel)
+            .cloned()
+            .ok_or_else(|| CoreError::NotFound { kind: "channel", name: channel.to_string() })?;
+        let t = Instant::now();
+        // A port that was exported at deploy time (unsatisfied, §5.1.4) is
+        // satisfied by this connection: retire its ingress/egress binding so
+        // traffic is not duplicated onto the stream boundary.
+        if from_h
+            .output_bindings()
+            .iter()
+            .any(|(p, c)| *p == from.1 && c == "__egress")
+        {
+            let _ = from_h.detach_out(&from.1, "__egress");
+            stats.channel_ops += 1;
+        }
+        if let Some((_, ingress_chan)) = to_h
+            .input_bindings()
+            .into_iter()
+            .find(|(p, c)| *p == to.1 && c.starts_with("__ingress/"))
+        {
+            let _ = to_h.detach_in(&to.1, &ingress_chan);
+            stats.channel_ops += 1;
+        }
+        from_h.attach_out(&from.1, &q);
+        to_h.attach_in(&to.1, &q);
+        stats.channel_ops += 2;
+        stats.channel_time += t.elapsed();
+        inner.connections.push(ConnectionRow {
+            from: from.clone(),
+            to: to.clone(),
+            channel: channel.to_string(),
+        });
+        Ok(())
+    }
+
+    fn do_disconnect(
+        &self,
+        inner: &mut Inner,
+        from: &(String, String),
+        to: &(String, String),
+        stats: &mut ReconfigStats,
+    ) -> Result<(), CoreError> {
+        let idx = inner
+            .connections
+            .iter()
+            .position(|c| c.from == *from && c.to == *to)
+            .ok_or_else(|| CoreError::NotFound {
+                kind: "connection",
+                name: format!("{}.{} -> {}.{}", from.0, from.1, to.0, to.1),
+            })?;
+        let row = inner.connections.remove(idx);
+        let from_h = inner.instances.get(&row.from.0).cloned();
+        let to_h = inner.instances.get(&row.to.0).cloned();
+        let t = Instant::now();
+        if let Some(h) = from_h {
+            let _ = h.detach_out(&row.from.1, &row.channel);
+            stats.channel_ops += 1;
+        }
+        if let Some(h) = to_h {
+            let _ = h.detach_in(&row.to.1, &row.channel);
+            stats.channel_ops += 1;
+        }
+        stats.channel_time += t.elapsed();
+        Ok(())
+    }
+
+    /// Figure 7-4: insert `instance` between `from` and `to`.
+    ///
+    /// 1. suspend the upstream streamlet A;
+    /// 2. detach A from channel m;
+    /// 3. attach C to m (C's output feeds m);
+    /// 4. create channel n between A and C;
+    /// 5. activate A.
+    fn do_insert(
+        &self,
+        inner: &mut Inner,
+        from: &(String, String),
+        to: &(String, String),
+        instance: &str,
+        stats: &mut ReconfigStats,
+    ) -> Result<(), CoreError> {
+        let idx = inner
+            .connections
+            .iter()
+            .position(|c| c.from == *from && c.to == *to)
+            .ok_or_else(|| CoreError::NotFound {
+                kind: "connection",
+                name: format!("{}.{} -> {}.{}", from.0, from.1, to.0, to.1),
+            })?;
+        let row = inner.connections[idx].clone();
+
+        let a = inner
+            .instances
+            .get(&from.0)
+            .cloned()
+            .ok_or_else(|| CoreError::NotFound { kind: "streamlet instance", name: from.0.clone() })?;
+        let c_handle = self.ensure_instance(inner, instance, None, stats)?;
+        let (c_in, c_out) = self.single_ports(c_handle.def_name())?;
+        let m = inner
+            .channels
+            .get(&row.channel)
+            .cloned()
+            .ok_or_else(|| CoreError::NotFound { kind: "channel", name: row.channel.clone() })?;
+
+        // Step 2: suspend A.
+        let t_s = Instant::now();
+        a.pause_and_wait(Duration::from_secs(2))?;
+        stats.suspensions += 1;
+        stats.suspension_time += t_s.elapsed();
+
+        // Steps 3-5: rewire through channel m and a fresh channel n.
+        let t_c = Instant::now();
+        a.detach_out(&from.1, &row.channel)?;
+        c_handle.attach_out(&c_out, &m);
+        let n_name = loop {
+            let candidate = format!("__reconf{}", inner.reconf_chan_counter);
+            inner.reconf_chan_counter += 1;
+            if !inner.channels.contains_key(&candidate) {
+                break candidate;
+            }
+        };
+        let n = MessageQueue::new(
+            QueueConfig { name: n_name.clone(), ty: m.config().ty.clone(), ..Default::default() },
+            self.deps.msg_pool.clone(),
+        );
+        a.attach_out(&from.1, &n);
+        c_handle.attach_in(&c_in, &n);
+        inner.channels.insert(n_name.clone(), n);
+        stats.channel_ops += 5; // detach + attach×3 + create
+        stats.channel_time += t_c.elapsed();
+
+        // Update the routing table.
+        inner.connections.remove(idx);
+        inner.connections.push(ConnectionRow {
+            from: from.clone(),
+            to: (instance.to_string(), c_in),
+            channel: n_name,
+        });
+        inner.connections.push(ConnectionRow {
+            from: (instance.to_string(), c_out),
+            to: to.clone(),
+            channel: row.channel,
+        });
+
+        // Step 6: activate A.
+        let t_a = Instant::now();
+        a.activate()?;
+        stats.activations += 1;
+        stats.activation_time += t_a.elapsed();
+        Ok(())
+    }
+
+    /// Figure 6-8 safe removal.
+    fn do_remove_with_deadline(
+        &self,
+        inner: &mut Inner,
+        name: &str,
+        stats: &mut ReconfigStats,
+        deadline: Duration,
+    ) -> Result<(), CoreError> {
+        let handle = inner
+            .instances
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CoreError::NotFound { kind: "streamlet instance", name: name.into() })?;
+
+        // Stop upstream flow into the streamlet first.
+        let rows: Vec<ConnectionRow> = inner
+            .connections
+            .iter()
+            .filter(|c| c.to.0 == name)
+            .cloned()
+            .collect();
+        for row in &rows {
+            // Suspend producers so no new units enter channel m mid-drain.
+            if let Some(p) = inner.instances.get(&row.from.0).cloned() {
+                let t_s = Instant::now();
+                if p.pause_and_wait(Duration::from_secs(2)).is_ok() {
+                    stats.suspensions += 1;
+                    stats.suspension_time += t_s.elapsed();
+                }
+            }
+        }
+
+        // Wait for the Fig 6-8 prerequisites: inputs drained + not
+        // processing. (Outputs are delivered synchronously by the worker, so
+        // quiescence implies condition 3.)
+        let deadline = Instant::now() + deadline;
+        while !(handle.inputs_empty() && !handle.is_processing()) {
+            if Instant::now() >= deadline {
+                // Reactivate producers before giving up.
+                for row in &rows {
+                    if let Some(p) = inner.instances.get(&row.from.0) {
+                        let _ = p.activate();
+                    }
+                }
+                return Err(CoreError::Reconfig {
+                    message: format!(
+                        "streamlet `{name}` did not reach the safe-removal conditions in time"
+                    ),
+                });
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+
+        // Detach every connection touching the streamlet.
+        let touching: Vec<ConnectionRow> = inner
+            .connections
+            .iter()
+            .filter(|c| c.from.0 == name || c.to.0 == name)
+            .cloned()
+            .collect();
+        for row in &touching {
+            let _ = self.do_disconnect(inner, &row.from, &row.to, stats);
+        }
+
+        handle.end();
+        inner.instances.remove(name);
+        self.reclaim_logic(&handle);
+
+        // Reactivate the suspended producers.
+        for row in &rows {
+            if let Some(p) = inner.instances.get(&row.from.0) {
+                let t_a = Instant::now();
+                if p.activate().is_ok() {
+                    stats.activations += 1;
+                    stats.activation_time += t_a.elapsed();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn do_replace(
+        &self,
+        inner: &mut Inner,
+        old: &str,
+        new: &str,
+        stats: &mut ReconfigStats,
+    ) -> Result<(), CoreError> {
+        let old_h = inner
+            .instances
+            .get(old)
+            .cloned()
+            .ok_or_else(|| CoreError::NotFound { kind: "streamlet instance", name: old.into() })?;
+        let new_h = self.ensure_instance(inner, new, None, stats)?;
+
+        let t_s = Instant::now();
+        old_h.pause_and_wait(Duration::from_secs(2))?;
+        stats.suspensions += 1;
+        stats.suspension_time += t_s.elapsed();
+
+        // Move *every* binding from old to new, port names preserved —
+        // including the stream-boundary ingress/egress bindings, so a
+        // replaced head or tail streamlet keeps the stream's exported
+        // ports alive.
+        let t_c = Instant::now();
+        for (port, chan) in old_h.input_bindings() {
+            let Some(q) = self.find_queue(inner, &chan) else { continue };
+            let _ = old_h.detach_in(&port, &chan);
+            new_h.attach_in(&port, &q);
+            stats.channel_ops += 2;
+        }
+        for (port, chan) in old_h.output_bindings() {
+            let Some(q) = self.find_queue(inner, &chan) else { continue };
+            let _ = old_h.detach_out(&port, &chan);
+            new_h.attach_out(&port, &q);
+            stats.channel_ops += 2;
+        }
+        stats.channel_time += t_c.elapsed();
+        for c in inner.connections.iter_mut() {
+            if c.from.0 == old {
+                c.from.0 = new.to_string();
+            }
+            if c.to.0 == old {
+                c.to.0 = new.to_string();
+            }
+        }
+
+        old_h.end();
+        inner.instances.remove(old);
+        self.reclaim_logic(&old_h);
+        Ok(())
+    }
+
+    /// Resolves a channel name to its queue, covering MCL channels plus the
+    /// stream-boundary ingress/egress queues.
+    fn find_queue(&self, inner: &Inner, name: &str) -> Option<Arc<MessageQueue>> {
+        if let Some(q) = inner.channels.get(name) {
+            return Some(q.clone());
+        }
+        if name == "__egress" {
+            return Some(self.egress.clone());
+        }
+        self.ingress
+            .iter()
+            .map(|(_, q)| q)
+            .find(|q| q.config().name == name)
+            .cloned()
+    }
+
+    /// The (single input, single output) port names of a definition.
+    fn single_ports(&self, def: &str) -> Result<(String, String), CoreError> {
+        let spec = self
+            .defs
+            .get(def)
+            .ok_or_else(|| CoreError::NotFound { kind: "streamlet definition", name: def.into() })?;
+        if spec.inputs.len() != 1 || spec.outputs.len() != 1 {
+            return Err(CoreError::Reconfig {
+                message: format!(
+                    "insert requires 1 input + 1 output; `{def}` has {}+{}",
+                    spec.inputs.len(),
+                    spec.outputs.len()
+                ),
+            });
+        }
+        Ok((spec.inputs[0].0.clone(), spec.outputs[0].0.clone()))
+    }
+}
+
+impl EventSubscriber for RunningStream {
+    fn subscriber_name(&self) -> String {
+        self.name.clone()
+    }
+    fn on_event(&self, event: &ContextEvent) {
+        self.handle_event(event);
+    }
+}
+
+impl Drop for RunningStream {
+    fn drop(&mut self) {
+        // Best-effort teardown so worker threads never outlive the stream.
+        self.shutdown();
+    }
+}
+
+/// Checks logic out of the pool (or directory) and wraps it in a handle.
+fn create_instance(
+    name: &str,
+    def: &str,
+    defs: &BTreeMap<String, StreamletSpec>,
+    deps: &StreamDeps,
+    session: &SessionId,
+) -> Result<Arc<StreamletHandle>, CoreError> {
+    let spec = defs.get(def).ok_or_else(|| CoreError::NotFound {
+        kind: "streamlet definition",
+        name: def.to_string(),
+    })?;
+    let key = deps.directory.resolve_key(&spec.library, &spec.name);
+    let logic = deps.streamlet_pool.checkout(key, &deps.directory)?;
+    Ok(StreamletHandle::with_route_opts(
+        name,
+        def,
+        spec.stateful,
+        logic,
+        deps.msg_pool.clone(),
+        deps.mode,
+        Some(session.clone()),
+        deps.route_opts.clone(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::streamlet::{Emitter, StreamletCtx, StreamletLogic};
+    use mobigate_mcl::compile::compile;
+
+    /// Appends a marker character to text bodies.
+    struct Tag(char);
+    impl StreamletLogic for Tag {
+        fn process(&mut self, msg: MimeMessage, ctx: &mut StreamletCtx) -> Result<(), CoreError> {
+            let mut s = String::from_utf8_lossy(&msg.body).into_owned();
+            s.push(self.0);
+            let mut out = msg.clone();
+            out.set_body(s.into_bytes());
+            ctx.emit("po", out);
+            Ok(())
+        }
+    }
+
+    fn deps() -> StreamDeps {
+        let directory = Arc::new(StreamletDirectory::new());
+        directory.register("builtin/tag_a", "", || Box::new(Tag('a')));
+        directory.register("builtin/tag_b", "", || Box::new(Tag('b')));
+        directory.register("builtin/tag_c", "", || Box::new(Tag('c')));
+        StreamDeps {
+            msg_pool: Arc::new(MessagePool::new()),
+            directory,
+            streamlet_pool: Arc::new(StreamletPool::new(16)),
+            mode: PayloadMode::Reference,
+            route_opts: RouteOpts::default(),
+        }
+    }
+
+    const SCRIPT: &str = r#"
+        streamlet tag_a {
+            port { in pi : text; out po : text; }
+            attribute { type = STATELESS; library = "builtin/tag_a"; }
+        }
+        streamlet tag_b {
+            port { in pi : text; out po : text; }
+            attribute { type = STATELESS; library = "builtin/tag_b"; }
+        }
+        streamlet tag_c {
+            port { in pi : text; out po : text; }
+            attribute { type = STATELESS; library = "builtin/tag_c"; }
+        }
+        main stream app {
+            streamlet s1 = new-streamlet (tag_a);
+            streamlet s2 = new-streamlet (tag_b);
+            connect (s1.po, s2.pi);
+            when (LOW_BANDWIDTH) {
+                streamlet s3 = new-streamlet (tag_c);
+                insert (s1.po, s2.pi, s3);
+            }
+        }
+    "#;
+
+    fn deploy(script: &str) -> (Arc<RunningStream>, StreamDeps) {
+        let program = compile(script).unwrap();
+        let table = program.main().unwrap();
+        let d = deps();
+        let stream = RunningStream::deploy(
+            table,
+            &program.streamlet_defs,
+            d.clone(),
+            SessionId::new("s-test"),
+        )
+        .unwrap();
+        (stream, d)
+    }
+
+    fn roundtrip(stream: &RunningStream, text: &str) -> String {
+        stream.post_input(MimeMessage::text(text)).unwrap();
+        let out = stream.take_output(Duration::from_secs(5)).expect("output");
+        String::from_utf8_lossy(&out.body).into_owned()
+    }
+
+    #[test]
+    fn deploys_and_processes_end_to_end() {
+        let (stream, _) = deploy(SCRIPT);
+        assert_eq!(roundtrip(&stream, "x"), "xab");
+        let stats = stream.stats();
+        assert_eq!(stats.injected, 1);
+        assert_eq!(stats.delivered, 1);
+        stream.shutdown();
+    }
+
+    #[test]
+    fn messages_carry_the_session_label() {
+        let (stream, _) = deploy(SCRIPT);
+        stream.post_input(MimeMessage::text("x")).unwrap();
+        let out = stream.take_output(Duration::from_secs(5)).unwrap();
+        assert_eq!(out.session().unwrap().as_str(), "s-test");
+        stream.shutdown();
+    }
+
+    #[test]
+    fn lazy_instances_not_created_at_deploy() {
+        let (stream, _) = deploy(SCRIPT);
+        assert_eq!(stream.instance_names(), vec!["s1".to_string(), "s2".to_string()]);
+        stream.shutdown();
+    }
+
+    #[test]
+    fn event_triggers_insert_reconfiguration() {
+        let (stream, _) = deploy(SCRIPT);
+        assert_eq!(roundtrip(&stream, "x"), "xab");
+        let stats = stream
+            .handle_event(&ContextEvent::broadcast(EventKind::LowBandwidth))
+            .expect("rule ran");
+        assert_eq!(stats.errors, 0);
+        assert_eq!(stats.suspensions, 1);
+        assert_eq!(stats.activations, 1);
+        assert!(stats.instance_creations >= 1);
+        assert_eq!(stream.instance_names(), vec!["s1", "s2", "s3"]);
+        // The new topology routes through s3.
+        assert_eq!(roundtrip(&stream, "y"), "yacb");
+        stream.shutdown();
+    }
+
+    #[test]
+    fn unmatched_event_is_ignored() {
+        let (stream, _) = deploy(SCRIPT);
+        assert!(stream.handle_event(&ContextEvent::broadcast(EventKind::LowEnergy)).is_none());
+        stream.shutdown();
+    }
+
+    #[test]
+    fn insert_streamlet_primitive_reports_eq71_components() {
+        let (stream, _) = deploy(SCRIPT);
+        let stats = stream
+            .insert_streamlet(("s1", "po"), ("s2", "pi"), "mid", "tag_c")
+            .unwrap();
+        assert_eq!(stats.suspensions, 1);
+        assert_eq!(stats.activations, 1);
+        assert!(stats.channel_ops >= 4);
+        assert!(stats.total >= stats.suspension_time);
+        assert_eq!(roundtrip(&stream, "z"), "zacb");
+        stream.shutdown();
+    }
+
+    #[test]
+    fn no_message_loss_across_reconfiguration() {
+        let (stream, _) = deploy(SCRIPT);
+        // Inject a burst, reconfigure mid-flight, and count every output.
+        let n = 200;
+        let stream2 = stream.clone();
+        let producer = std::thread::spawn(move || {
+            for i in 0..n {
+                stream2.post_input(MimeMessage::text(format!("m{i}"))).unwrap();
+                if i == n / 2 {
+                    stream2.handle_event(&ContextEvent::broadcast(EventKind::LowBandwidth));
+                }
+            }
+        });
+        let mut got = 0;
+        while got < n {
+            match stream.take_output(Duration::from_secs(5)) {
+                Some(_) => got += 1,
+                None => break,
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(got, n, "all {n} messages must survive the reconfiguration");
+        stream.shutdown();
+    }
+
+    #[test]
+    fn remove_streamlet_safely_drains_first() {
+        let (stream, _) = deploy(SCRIPT);
+        stream.insert_streamlet(("s1", "po"), ("s2", "pi"), "mid", "tag_c").unwrap();
+        assert_eq!(roundtrip(&stream, "q"), "qacb");
+        // Remove the middle streamlet again; the stream must keep working
+        // with the remaining topology (s1 -> ??). After removal, s1.po and
+        // s2.pi are disconnected, so output stops — verify removal occurred
+        // and nothing paniced.
+        stream.remove_streamlet("mid", Duration::from_secs(2)).unwrap();
+        assert!(!stream.instance_names().contains(&"mid".to_string()));
+        stream.shutdown();
+    }
+
+    #[test]
+    fn remove_unknown_instance_errors() {
+        let (stream, _) = deploy(SCRIPT);
+        assert!(stream.remove_streamlet("ghost", Duration::from_millis(100)).is_err());
+        stream.shutdown();
+    }
+
+    #[test]
+    fn pause_resume_events_gate_flow() {
+        let (stream, _) = deploy(SCRIPT);
+        stream.handle_event(&ContextEvent::broadcast(EventKind::Pause));
+        stream.post_input(MimeMessage::text("held")).unwrap();
+        assert!(stream.take_output(Duration::from_millis(100)).is_none());
+        stream.handle_event(&ContextEvent::broadcast(EventKind::Resume));
+        assert!(stream.take_output(Duration::from_secs(5)).is_some());
+        stream.shutdown();
+    }
+
+    #[test]
+    fn shutdown_returns_stateless_logic_to_pool() {
+        let (stream, d) = deploy(SCRIPT);
+        assert_eq!(roundtrip(&stream, "x"), "xab");
+        stream.shutdown();
+        // Two stateless instances were reclaimed.
+        let stats = d.streamlet_pool.stats();
+        assert_eq!(stats.returned, 2);
+        assert_eq!(d.streamlet_pool.idle_count("builtin/tag_a"), 1);
+        assert_eq!(d.streamlet_pool.idle_count("builtin/tag_b"), 1);
+    }
+
+    #[test]
+    fn second_deploy_reuses_pooled_instances() {
+        let program = compile(SCRIPT).unwrap();
+        let d = deps();
+        let s1 = RunningStream::deploy(
+            program.main().unwrap(),
+            &program.streamlet_defs,
+            d.clone(),
+            SessionId::new("one"),
+        )
+        .unwrap();
+        s1.shutdown();
+        let _s2 = RunningStream::deploy(
+            program.main().unwrap(),
+            &program.streamlet_defs,
+            d.clone(),
+            SessionId::new("two"),
+        )
+        .unwrap();
+        let stats = d.streamlet_pool.stats();
+        assert_eq!(stats.hits, 2, "second deployment pooled both streamlets");
+    }
+
+    #[test]
+    fn reconfigure_counts_failed_actions() {
+        let (stream, _) = deploy(SCRIPT);
+        let stats = stream.reconfigure(&[ReconfigAction::RemoveStreamlet {
+            name: "nope".into(),
+        }]);
+        assert_eq!(stats.errors, 1);
+        stream.shutdown();
+    }
+
+    #[test]
+    fn post_to_named_ingress() {
+        let (stream, _) = deploy(SCRIPT);
+        assert_eq!(stream.ingress_count(), 1);
+        stream.post_input_to("s1.pi", MimeMessage::text("n")).unwrap();
+        assert!(stream.take_output(Duration::from_secs(5)).is_some());
+        assert!(stream.post_input_to("bogus.pi", MimeMessage::text("n")).is_err());
+        stream.shutdown();
+    }
+}

@@ -1,0 +1,920 @@
+//! Streamlets: the computation units of the execution plane (§6.1).
+//!
+//! A streamlet author implements [`StreamletLogic::process`] (the paper's
+//! `processMsg()` override) and never touches communication: messages
+//! arrive from whatever channels the coordination plane bound to the input
+//! ports, and emissions go to whatever channels are bound to the named
+//! output ports. [`StreamletHandle`] supplies the paper's thread-per-
+//! streamlet scheduling (`Streamlet extends Thread`) and the lifecycle
+//! operations `pause()`, `activate()`, `end()`.
+
+use crate::error::CoreError;
+use crate::pool::{MessagePool, Payload, PayloadMode};
+use crate::queue::{FetchResult, MessageQueue, Notifier};
+use mobigate_mime::{MimeMessage, SessionId, TypeRegistry};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Something that accepts emissions to named output ports.
+pub trait Emitter {
+    /// Emits `msg` on output port `port`.
+    fn emit(&mut self, port: &str, msg: MimeMessage);
+}
+
+/// The per-invocation context handed to [`StreamletLogic::process`].
+pub struct StreamletCtx<'a> {
+    /// Instance name (diagnostics).
+    instance: &'a str,
+    /// The stream session this invocation belongs to, if known.
+    session: Option<&'a SessionId>,
+    /// Collected emissions, routed by the handle after `process` returns.
+    outputs: Vec<(String, MimeMessage)>,
+}
+
+impl<'a> StreamletCtx<'a> {
+    /// Creates a context (exposed so tests and the client runtime can drive
+    /// logic objects directly).
+    pub fn new(instance: &'a str, session: Option<&'a SessionId>) -> Self {
+        StreamletCtx { instance, session, outputs: Vec::new() }
+    }
+
+    /// The instance name executing this invocation.
+    pub fn instance(&self) -> &str {
+        self.instance
+    }
+
+    /// The owning stream session.
+    pub fn session(&self) -> Option<&SessionId> {
+        self.session
+    }
+
+    /// Consumes the context, yielding the collected `(port, message)`
+    /// emissions in order.
+    pub fn into_outputs(self) -> Vec<(String, MimeMessage)> {
+        self.outputs
+    }
+}
+
+impl Emitter for StreamletCtx<'_> {
+    fn emit(&mut self, port: &str, msg: MimeMessage) {
+        self.outputs.push((port.to_string(), msg));
+    }
+}
+
+/// The computation interface streamlet authors implement (§6.1's
+/// `processMsg`). Implementations must be `Send`: they migrate onto worker
+/// threads and, when stateless, in and out of the streamlet pool.
+pub trait StreamletLogic: Send {
+    /// Processes one incoming message, emitting any number of results.
+    fn process(&mut self, msg: MimeMessage, ctx: &mut StreamletCtx) -> Result<(), CoreError>;
+
+    /// Lifecycle hook: the streamlet (re)starts running.
+    fn on_activate(&mut self) {}
+
+    /// Lifecycle hook: the streamlet is paused.
+    fn on_pause(&mut self) {}
+
+    /// Lifecycle hook: the streamlet ends.
+    fn on_end(&mut self) {}
+
+    /// Clears per-stream state before the instance is returned to the pool.
+    /// Stateless streamlets usually need nothing here.
+    fn reset(&mut self) {}
+
+    /// Control interface (the thesis's §8.2.1 extension): the coordinator
+    /// sets an operation parameter ("the text compression streamlet might
+    /// have parameters that determine compression rate"). Implementations
+    /// return `Err` for unknown keys or invalid values; the default knows
+    /// no parameters.
+    fn control(&mut self, key: &str, value: &str) -> Result<(), CoreError> {
+        Err(CoreError::NotFound { kind: "control parameter", name: format!("{key}={value}") })
+    }
+}
+
+/// Routing options: the runtime type check of §4.1 ("runtime checking, in
+/// the form of matching the message types to the streamlet ports, can be
+/// exercised to ensure consistency during operations").
+#[derive(Clone)]
+pub struct RouteOpts {
+    /// The MIME lattice used for the check.
+    pub registry: Arc<TypeRegistry>,
+    /// When true, an emission whose content type does not specialize the
+    /// target channel's type is suppressed and counted instead of posted.
+    pub enforce_types: bool,
+}
+
+impl Default for RouteOpts {
+    fn default() -> Self {
+        RouteOpts { registry: Arc::new(TypeRegistry::standard()), enforce_types: false }
+    }
+}
+
+/// Lifecycle states of a streamlet instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleState {
+    /// Constructed but not yet started.
+    Created,
+    /// Actively processing.
+    Running,
+    /// Suspended (reconfiguration step 2, Figure 7-4).
+    Paused,
+    /// Terminated; the worker thread has exited or will imminently.
+    Ended,
+}
+
+/// Counters exposed by a handle.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamletStats {
+    /// Messages processed.
+    pub processed: u64,
+    /// Messages emitted.
+    pub emitted: u64,
+    /// Emissions dropped because no channel was bound to the port.
+    pub dropped_unrouted: u64,
+    /// `process` invocations that returned an error.
+    pub errors: u64,
+    /// Emissions suppressed by the runtime type check.
+    pub type_violations: u64,
+}
+
+struct Shared {
+    name: String,
+    state: Mutex<LifecycleState>,
+    cv: Condvar,
+    notifier: Arc<Notifier>,
+    /// Set by the worker while inside `process` (Fig 6-8 condition 2).
+    processing: AtomicBool,
+    /// Set by the worker when it has observed `Paused` and gone quiescent.
+    pause_acked: AtomicBool,
+    inputs: RwLock<Vec<(String, Arc<MessageQueue>)>>,
+    outputs: RwLock<Vec<(String, Arc<MessageQueue>)>>,
+    processed: AtomicU64,
+    emitted: AtomicU64,
+    dropped_unrouted: AtomicU64,
+    errors: AtomicU64,
+    pool: Arc<MessagePool>,
+    mode: PayloadMode,
+    session: Option<SessionId>,
+    route_opts: RouteOpts,
+    type_violations: AtomicU64,
+    /// Pending control-interface commands, applied by the worker between
+    /// messages: (key, value, result slot).
+    controls: Mutex<Vec<ControlRequest>>,
+}
+
+struct ControlRequest {
+    key: String,
+    value: String,
+    done: Arc<(Mutex<Option<Result<(), CoreError>>>, Condvar)>,
+}
+
+impl Shared {
+    fn route_outputs(&self, outs: Vec<(String, MimeMessage)>) {
+        for (port, msg) in outs {
+            let mut targets: Vec<Arc<MessageQueue>> = {
+                let outputs = self.outputs.read();
+                outputs
+                    .iter()
+                    .filter(|(p, _)| *p == port)
+                    .map(|(_, q)| q.clone())
+                    .collect()
+            };
+            if self.route_opts.enforce_types {
+                let ty = msg.content_type();
+                let before = targets.len();
+                targets.retain(|q| self.route_opts.registry.connectable(&ty, &q.config().ty));
+                let suppressed = (before - targets.len()) as u64;
+                if suppressed > 0 {
+                    self.type_violations.fetch_add(suppressed, Ordering::Relaxed);
+                }
+            }
+            if targets.is_empty() {
+                // Runtime open circuit: §5.2.2's failure mode, observable.
+                self.dropped_unrouted.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            self.emitted.fetch_add(1, Ordering::Relaxed);
+            match self.mode {
+                PayloadMode::Reference => {
+                    let id = self.pool.insert(msg, targets.len() as u32);
+                    for q in &targets {
+                        q.post(Payload::Ref(id));
+                    }
+                }
+                PayloadMode::Value => {
+                    for q in &targets {
+                        q.post(self.pool.wrap_copy(&msg));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A scheduled streamlet instance: logic + worker thread + port bindings.
+pub struct StreamletHandle {
+    shared: Arc<Shared>,
+    def_name: String,
+    stateful: bool,
+    logic_slot: Arc<Mutex<Option<Box<dyn StreamletLogic>>>>,
+    join: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl StreamletHandle {
+    /// Creates a handle in the `Created` state (thread not yet spawned)
+    /// with default routing options.
+    pub fn new(
+        name: impl Into<String>,
+        def_name: impl Into<String>,
+        stateful: bool,
+        logic: Box<dyn StreamletLogic>,
+        pool: Arc<MessagePool>,
+        mode: PayloadMode,
+        session: Option<SessionId>,
+    ) -> Arc<Self> {
+        Self::with_route_opts(name, def_name, stateful, logic, pool, mode, session,
+            RouteOpts::default())
+    }
+
+    /// Creates a handle with explicit routing options (runtime type check).
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_route_opts(
+        name: impl Into<String>,
+        def_name: impl Into<String>,
+        stateful: bool,
+        logic: Box<dyn StreamletLogic>,
+        pool: Arc<MessagePool>,
+        mode: PayloadMode,
+        session: Option<SessionId>,
+        route_opts: RouteOpts,
+    ) -> Arc<Self> {
+        Arc::new(StreamletHandle {
+            shared: Arc::new(Shared {
+                name: name.into(),
+                state: Mutex::new(LifecycleState::Created),
+                cv: Condvar::new(),
+                notifier: Arc::new(Notifier::new()),
+                processing: AtomicBool::new(false),
+                pause_acked: AtomicBool::new(false),
+                inputs: RwLock::new(Vec::new()),
+                outputs: RwLock::new(Vec::new()),
+                processed: AtomicU64::new(0),
+                emitted: AtomicU64::new(0),
+                dropped_unrouted: AtomicU64::new(0),
+                errors: AtomicU64::new(0),
+                pool,
+                mode,
+                session,
+                route_opts,
+                type_violations: AtomicU64::new(0),
+                controls: Mutex::new(Vec::new()),
+            }),
+            def_name: def_name.into(),
+            stateful,
+            logic_slot: Arc::new(Mutex::new(Some(logic))),
+            join: Mutex::new(None),
+        })
+    }
+
+    /// Instance name.
+    pub fn name(&self) -> &str {
+        &self.shared.name
+    }
+
+    /// Definition name.
+    pub fn def_name(&self) -> &str {
+        &self.def_name
+    }
+
+    /// Whether the instance keeps per-stream state (not poolable).
+    pub fn is_stateful(&self) -> bool {
+        self.stateful
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> LifecycleState {
+        *self.shared.state.lock()
+    }
+
+    /// True while the worker is inside `process` (Fig 6-8 condition).
+    pub fn is_processing(&self) -> bool {
+        self.shared.processing.load(Ordering::Acquire)
+    }
+
+    /// True when every bound input queue is empty (Fig 6-8 condition).
+    pub fn inputs_empty(&self) -> bool {
+        self.shared.inputs.read().iter().all(|(_, q)| q.is_empty())
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> StreamletStats {
+        StreamletStats {
+            processed: self.shared.processed.load(Ordering::Relaxed),
+            emitted: self.shared.emitted.load(Ordering::Relaxed),
+            dropped_unrouted: self.shared.dropped_unrouted.load(Ordering::Relaxed),
+            errors: self.shared.errors.load(Ordering::Relaxed),
+            type_violations: self.shared.type_violations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Sets a streamlet operation parameter through the control interface
+    /// (§8.2.1). The command is executed by the worker thread between
+    /// messages; this call blocks (up to `timeout`) for the result. Data
+    /// ports and the control interface are the streamlet's only two ways
+    /// to communicate with the outside world.
+    pub fn set_parameter(
+        &self,
+        key: &str,
+        value: &str,
+        timeout: Duration,
+    ) -> Result<(), CoreError> {
+        if *self.shared.state.lock() == LifecycleState::Ended {
+            return Err(CoreError::Lifecycle {
+                name: self.shared.name.clone(),
+                message: "cannot control an ended streamlet".into(),
+            });
+        }
+        let done = Arc::new((Mutex::new(None), Condvar::new()));
+        self.shared.controls.lock().push(ControlRequest {
+            key: key.to_string(),
+            value: value.to_string(),
+            done: done.clone(),
+        });
+        self.shared.notifier.notify();
+        let (slot, cv) = &*done;
+        let mut guard = slot.lock();
+        let deadline = Instant::now() + timeout;
+        while guard.is_none() {
+            if cv.wait_until(&mut guard, deadline).timed_out() {
+                return Err(CoreError::Lifecycle {
+                    name: self.shared.name.clone(),
+                    message: "control command not serviced in time".into(),
+                });
+            }
+        }
+        guard.take().expect("checked above")
+    }
+
+    // --- port wiring (coordination plane only) ---------------------------
+
+    /// Binds a channel to an input port (the paper's `setIn`): increments
+    /// the queue's consumer count and subscribes the worker's notifier.
+    pub fn attach_in(&self, port: &str, q: &Arc<MessageQueue>) {
+        q.attach_sink();
+        q.add_listener(self.shared.notifier.clone());
+        self.shared.inputs.write().push((port.to_string(), q.clone()));
+        self.shared.notifier.notify();
+    }
+
+    /// Binds a channel to an output port (the paper's `setOut`).
+    pub fn attach_out(&self, port: &str, q: &Arc<MessageQueue>) {
+        q.attach_source();
+        self.shared.outputs.write().push((port.to_string(), q.clone()));
+    }
+
+    /// Unbinds the channel named `chan` from input `port`.
+    pub fn detach_in(&self, port: &str, chan: &str) -> Result<(), CoreError> {
+        let mut inputs = self.shared.inputs.write();
+        let idx = inputs
+            .iter()
+            .position(|(p, q)| p == port && q.config().name == chan)
+            .ok_or_else(|| CoreError::NotFound {
+                kind: "input binding",
+                name: format!("{}.{port}<-{chan}", self.shared.name),
+            })?;
+        let (_, q) = inputs.remove(idx);
+        drop(inputs);
+        q.remove_listener(&self.shared.notifier);
+        q.detach_sink()
+    }
+
+    /// Unbinds the channel named `chan` from output `port`.
+    pub fn detach_out(&self, port: &str, chan: &str) -> Result<(), CoreError> {
+        let mut outputs = self.shared.outputs.write();
+        let idx = outputs
+            .iter()
+            .position(|(p, q)| p == port && q.config().name == chan)
+            .ok_or_else(|| CoreError::NotFound {
+                kind: "output binding",
+                name: format!("{}.{port}->{chan}", self.shared.name),
+            })?;
+        let (_, q) = outputs.remove(idx);
+        drop(outputs);
+        q.detach_source()
+    }
+
+    /// Detaches every binding (used during teardown). Errors (KK channels)
+    /// are returned after best-effort detachment of the rest.
+    pub fn detach_all(&self) -> Result<(), CoreError> {
+        let mut first_err = None;
+        for (_, q) in self.shared.inputs.write().drain(..) {
+            q.remove_listener(&self.shared.notifier);
+            if let Err(e) = q.detach_sink() {
+                first_err.get_or_insert(e);
+            }
+        }
+        for (_, q) in self.shared.outputs.write().drain(..) {
+            if let Err(e) = q.detach_source() {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Input bindings snapshot (port, channel name).
+    pub fn input_bindings(&self) -> Vec<(String, String)> {
+        self.shared
+            .inputs
+            .read()
+            .iter()
+            .map(|(p, q)| (p.clone(), q.config().name.clone()))
+            .collect()
+    }
+
+    /// Output bindings snapshot (port, channel name).
+    pub fn output_bindings(&self) -> Vec<(String, String)> {
+        self.shared
+            .outputs
+            .read()
+            .iter()
+            .map(|(p, q)| (p.clone(), q.config().name.clone()))
+            .collect()
+    }
+
+    // --- lifecycle ---------------------------------------------------------
+
+    /// Starts the worker thread (`Created` → `Running`).
+    pub fn start(self: &Arc<Self>) -> Result<(), CoreError> {
+        let mut state = self.shared.state.lock();
+        if *state != LifecycleState::Created {
+            return Err(CoreError::Lifecycle {
+                name: self.shared.name.clone(),
+                message: format!("cannot start from {:?}", *state),
+            });
+        }
+        let logic = self.logic_slot.lock().take().ok_or_else(|| CoreError::Lifecycle {
+            name: self.shared.name.clone(),
+            message: "logic already taken".into(),
+        })?;
+        *state = LifecycleState::Running;
+        drop(state);
+
+        let shared = self.shared.clone();
+        let slot = self.logic_slot.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("streamlet-{}", self.shared.name))
+            .spawn(move || worker(shared, slot, logic))
+            .expect("spawn streamlet thread");
+        *self.join.lock() = Some(handle);
+        Ok(())
+    }
+
+    /// Requests suspension and returns once the worker is quiescent (not
+    /// inside `process`). This is step 2 of the Figure 7-4 reconfiguration.
+    pub fn pause_and_wait(&self, timeout: Duration) -> Result<(), CoreError> {
+        {
+            let mut state = self.shared.state.lock();
+            match *state {
+                LifecycleState::Running => {
+                    *state = LifecycleState::Paused;
+                    self.shared.pause_acked.store(false, Ordering::Release);
+                    self.shared.cv.notify_all();
+                }
+                LifecycleState::Paused => {}
+                other => {
+                    return Err(CoreError::Lifecycle {
+                        name: self.shared.name.clone(),
+                        message: format!("cannot pause from {other:?}"),
+                    });
+                }
+            }
+        }
+        self.shared.notifier.notify();
+        let deadline = Instant::now() + timeout;
+        while !self.shared.pause_acked.load(Ordering::Acquire) {
+            if Instant::now() >= deadline {
+                return Err(CoreError::Lifecycle {
+                    name: self.shared.name.clone(),
+                    message: "pause not acknowledged in time".into(),
+                });
+            }
+            std::thread::yield_now();
+        }
+        Ok(())
+    }
+
+    /// Resumes a paused streamlet (Figure 7-4 step 6).
+    pub fn activate(&self) -> Result<(), CoreError> {
+        let mut state = self.shared.state.lock();
+        match *state {
+            LifecycleState::Paused => {
+                *state = LifecycleState::Running;
+                self.shared.pause_acked.store(false, Ordering::Release);
+                self.shared.cv.notify_all();
+                drop(state);
+                self.shared.notifier.notify();
+                Ok(())
+            }
+            LifecycleState::Running => Ok(()),
+            other => Err(CoreError::Lifecycle {
+                name: self.shared.name.clone(),
+                message: format!("cannot activate from {other:?}"),
+            }),
+        }
+    }
+
+    /// Ends the streamlet: the worker exits and the logic object is parked
+    /// back in the handle (retrievable via [`Self::take_logic`] for
+    /// pooling).
+    pub fn end(&self) {
+        {
+            let mut state = self.shared.state.lock();
+            if *state == LifecycleState::Ended {
+                return;
+            }
+            *state = LifecycleState::Ended;
+            self.shared.cv.notify_all();
+        }
+        self.shared.notifier.notify();
+        if let Some(h) = self.join.lock().take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Takes the logic object back after `end()` (or before `start()`).
+    pub fn take_logic(&self) -> Option<Box<dyn StreamletLogic>> {
+        self.logic_slot.lock().take()
+    }
+}
+
+/// The worker loop: fetch from inputs, process, route emissions.
+fn worker(
+    shared: Arc<Shared>,
+    slot: Arc<Mutex<Option<Box<dyn StreamletLogic>>>>,
+    mut logic: Box<dyn StreamletLogic>,
+) {
+    logic.on_activate();
+    let idle_wait = Duration::from_millis(5);
+    'outer: loop {
+        // Snapshot before inspecting any state: a notify issued while we
+        // are checking queues/lifecycle is then caught by wait_unless.
+        let notified = shared.notifier.snapshot();
+        // Lifecycle gate.
+        {
+            let mut state = shared.state.lock();
+            loop {
+                match *state {
+                    LifecycleState::Running => break,
+                    LifecycleState::Paused => {
+                        if !shared.pause_acked.swap(true, Ordering::AcqRel) {
+                            logic.on_pause();
+                        }
+                        shared.cv.wait(&mut state);
+                    }
+                    LifecycleState::Ended => break 'outer,
+                    LifecycleState::Created => {
+                        shared.cv.wait(&mut state);
+                    }
+                }
+            }
+        }
+
+        // Service pending control commands (§8.2.1) between messages.
+        loop {
+            let req = {
+                let mut controls = shared.controls.lock();
+                if controls.is_empty() {
+                    break;
+                }
+                controls.remove(0)
+            };
+            let result = logic.control(&req.key, &req.value);
+            let (slot, cv) = &*req.done;
+            *slot.lock() = Some(result);
+            cv.notify_all();
+        }
+
+        // Round-robin over input queues.
+        let inputs: Vec<Arc<MessageQueue>> =
+            shared.inputs.read().iter().map(|(_, q)| q.clone()).collect();
+        let mut got = None;
+        for q in &inputs {
+            if let FetchResult::Msg(p) = q.try_fetch() {
+                got = Some(p);
+                break;
+            }
+        }
+        let Some(payload) = got else {
+            shared.notifier.wait_unless(notified, idle_wait);
+            continue;
+        };
+        let Some(msg) = shared.pool.resolve(payload) else {
+            continue;
+        };
+
+        shared.processing.store(true, Ordering::Release);
+        let mut ctx = StreamletCtx::new(&shared.name, shared.session.as_ref());
+        let result = logic.process(msg, &mut ctx);
+        let outs = ctx.into_outputs();
+        shared.processing.store(false, Ordering::Release);
+
+        match result {
+            Ok(()) => {
+                shared.processed.fetch_add(1, Ordering::Relaxed);
+                shared.route_outputs(outs);
+            }
+            Err(_) => {
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    logic.on_end();
+    *slot.lock() = Some(logic);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::{PostResult, QueueConfig};
+
+    /// Uppercases text bodies, emits on `po`.
+    struct Upper;
+    impl StreamletLogic for Upper {
+        fn process(&mut self, msg: MimeMessage, ctx: &mut StreamletCtx) -> Result<(), CoreError> {
+            let text = String::from_utf8_lossy(&msg.body).to_uppercase();
+            let mut out = msg.clone();
+            out.set_body(text.into_bytes());
+            ctx.emit("po", out);
+            Ok(())
+        }
+    }
+
+    /// Fails on every message.
+    struct Exploder;
+    impl StreamletLogic for Exploder {
+        fn process(&mut self, _: MimeMessage, _: &mut StreamletCtx) -> Result<(), CoreError> {
+            Err(CoreError::Process { streamlet: "exploder".into(), message: "bang".into() })
+        }
+    }
+
+    fn pipeline() -> (Arc<MessagePool>, Arc<MessageQueue>, Arc<MessageQueue>, Arc<StreamletHandle>)
+    {
+        let pool = Arc::new(MessagePool::new());
+        let qin = MessageQueue::new(
+            QueueConfig { name: "cin".into(), ..Default::default() },
+            pool.clone(),
+        );
+        let qout = MessageQueue::new(
+            QueueConfig { name: "cout".into(), ..Default::default() },
+            pool.clone(),
+        );
+        let h = StreamletHandle::new(
+            "u1",
+            "upper",
+            false,
+            Box::new(Upper),
+            pool.clone(),
+            PayloadMode::Reference,
+            None,
+        );
+        h.attach_in("pi", &qin);
+        h.attach_out("po", &qout);
+        (pool, qin, qout, h)
+    }
+
+    fn post_text(pool: &MessagePool, q: &MessageQueue, s: &str) {
+        let msg = MimeMessage::text(s);
+        assert_eq!(q.post(pool.wrap(msg, PayloadMode::Reference, 1)), PostResult::Posted);
+    }
+
+    fn fetch_text(pool: &MessagePool, q: &MessageQueue) -> String {
+        match q.fetch(Duration::from_secs(2)) {
+            FetchResult::Msg(p) => {
+                String::from_utf8_lossy(&pool.resolve(p).unwrap().body).into_owned()
+            }
+            other => panic!("expected message, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn processes_and_routes() {
+        let (pool, qin, qout, h) = pipeline();
+        h.start().unwrap();
+        post_text(&pool, &qin, "hello");
+        assert_eq!(fetch_text(&pool, &qout), "HELLO");
+        let stats = h.stats();
+        assert_eq!(stats.processed, 1);
+        assert_eq!(stats.emitted, 1);
+        h.end();
+        assert_eq!(h.state(), LifecycleState::Ended);
+    }
+
+    #[test]
+    fn preserves_order() {
+        let (pool, qin, qout, h) = pipeline();
+        h.start().unwrap();
+        for i in 0..50 {
+            post_text(&pool, &qin, &format!("m{i}"));
+        }
+        for i in 0..50 {
+            assert_eq!(fetch_text(&pool, &qout), format!("M{i}"));
+        }
+        h.end();
+    }
+
+    #[test]
+    fn pause_blocks_processing_until_activate() {
+        let (pool, qin, qout, h) = pipeline();
+        h.start().unwrap();
+        post_text(&pool, &qin, "a");
+        assert_eq!(fetch_text(&pool, &qout), "A");
+        h.pause_and_wait(Duration::from_secs(2)).unwrap();
+        assert_eq!(h.state(), LifecycleState::Paused);
+        post_text(&pool, &qin, "b");
+        // Paused: nothing comes out.
+        assert!(matches!(qout.fetch(Duration::from_millis(50)), FetchResult::Empty));
+        h.activate().unwrap();
+        assert_eq!(fetch_text(&pool, &qout), "B");
+        h.end();
+    }
+
+    #[test]
+    fn end_returns_logic_for_pooling() {
+        let (_pool, _qin, _qout, h) = pipeline();
+        h.start().unwrap();
+        assert!(h.take_logic().is_none(), "logic lives on the worker while running");
+        h.end();
+        assert!(h.take_logic().is_some(), "logic parked back after end");
+    }
+
+    #[test]
+    fn cannot_start_twice() {
+        let (_pool, _qin, _qout, h) = pipeline();
+        h.start().unwrap();
+        assert!(h.start().is_err());
+        h.end();
+    }
+
+    #[test]
+    fn lifecycle_errors_from_wrong_states() {
+        let (_pool, _qin, _qout, h) = pipeline();
+        // Not started yet.
+        assert!(h.pause_and_wait(Duration::from_millis(50)).is_err());
+        assert!(h.activate().is_err());
+        h.start().unwrap();
+        h.end();
+        assert!(h.activate().is_err());
+        // end is idempotent.
+        h.end();
+    }
+
+    #[test]
+    fn unrouted_emissions_are_counted() {
+        let pool = Arc::new(MessagePool::new());
+        let qin = MessageQueue::new(QueueConfig::default(), pool.clone());
+        let h = StreamletHandle::new(
+            "u1",
+            "upper",
+            false,
+            Box::new(Upper),
+            pool.clone(),
+            PayloadMode::Reference,
+            None,
+        );
+        h.attach_in("pi", &qin);
+        // No output binding at all.
+        h.start().unwrap();
+        post_text(&pool, &qin, "x");
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while h.stats().dropped_unrouted == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(h.stats().dropped_unrouted, 1);
+        h.end();
+    }
+
+    #[test]
+    fn process_errors_do_not_kill_worker() {
+        let pool = Arc::new(MessagePool::new());
+        let qin = MessageQueue::new(QueueConfig::default(), pool.clone());
+        let h = StreamletHandle::new(
+            "x1",
+            "exploder",
+            false,
+            Box::new(Exploder),
+            pool.clone(),
+            PayloadMode::Reference,
+            None,
+        );
+        h.attach_in("pi", &qin);
+        h.start().unwrap();
+        post_text(&pool, &qin, "a");
+        post_text(&pool, &qin, "b");
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while h.stats().errors < 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(h.stats().errors, 2);
+        assert_eq!(h.state(), LifecycleState::Running);
+        h.end();
+    }
+
+    #[test]
+    fn fanout_in_reference_mode_shares_pool_entry() {
+        let pool = Arc::new(MessagePool::new());
+        let qin = MessageQueue::new(QueueConfig::default(), pool.clone());
+        let qa = MessageQueue::new(
+            QueueConfig { name: "a".into(), ..Default::default() },
+            pool.clone(),
+        );
+        let qb = MessageQueue::new(
+            QueueConfig { name: "b".into(), ..Default::default() },
+            pool.clone(),
+        );
+        let h = StreamletHandle::new(
+            "u1",
+            "upper",
+            false,
+            Box::new(Upper),
+            pool.clone(),
+            PayloadMode::Reference,
+            None,
+        );
+        h.attach_in("pi", &qin);
+        h.attach_out("po", &qa);
+        h.attach_out("po", &qb);
+        h.start().unwrap();
+        post_text(&pool, &qin, "dup");
+        let a = fetch_text(&pool, &qa);
+        let b = fetch_text(&pool, &qb);
+        assert_eq!(a, "DUP");
+        assert_eq!(b, "DUP");
+        assert_eq!(pool.stats().resident, 0, "both refs consumed");
+        h.end();
+    }
+
+    #[test]
+    fn detach_in_stops_consumption() {
+        let (pool, qin, qout, h) = pipeline();
+        h.start().unwrap();
+        post_text(&pool, &qin, "a");
+        assert_eq!(fetch_text(&pool, &qout), "A");
+        h.detach_in("pi", "cin").unwrap();
+        assert!(h.input_bindings().is_empty());
+        // BK category: sink detach breaks the source side; posts now close.
+        let msg = MimeMessage::text("b");
+        assert_eq!(
+            qin.post(pool.wrap(msg, PayloadMode::Reference, 1)),
+            PostResult::Closed
+        );
+        h.end();
+    }
+
+    #[test]
+    fn detach_unknown_binding_errors() {
+        let (_pool, _qin, _qout, h) = pipeline();
+        assert!(h.detach_in("pi", "nope").is_err());
+        assert!(h.detach_out("nope", "cout").is_err());
+    }
+
+    #[test]
+    fn inputs_empty_reflects_queue_state() {
+        let (pool, qin, _qout, h) = pipeline();
+        // Not started: message sits in the queue.
+        post_text(&pool, &qin, "z");
+        assert!(!h.inputs_empty());
+    }
+
+    #[test]
+    fn value_mode_copies_per_target() {
+        let pool = Arc::new(MessagePool::new());
+        let qin = MessageQueue::new(QueueConfig::default(), pool.clone());
+        let qout = MessageQueue::new(QueueConfig::default(), pool.clone());
+        let h = StreamletHandle::new(
+            "u1",
+            "upper",
+            false,
+            Box::new(Upper),
+            pool.clone(),
+            PayloadMode::Value,
+            None,
+        );
+        h.attach_in("pi", &qin);
+        h.attach_out("po", &qout);
+        h.start().unwrap();
+        let msg = MimeMessage::text("v");
+        qin.post(pool.wrap(msg, PayloadMode::Value, 1));
+        match qout.fetch(Duration::from_secs(2)) {
+            FetchResult::Msg(Payload::Value(m)) => assert_eq!(&m.body[..], b"V"),
+            other => panic!("expected value payload, got {other:?}"),
+        }
+        assert_eq!(pool.stats().inserted, 0, "value mode never touches the pool");
+        h.end();
+    }
+}

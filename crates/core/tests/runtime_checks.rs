@@ -1,0 +1,347 @@
+//! Runtime-behaviour integration tests for the core crate: the §4.1
+//! runtime type check, topology introspection, and Figure 6-9 drop
+//! behaviour under a slow consumer.
+
+use mobigate_core::pool::{MessagePool, PayloadMode};
+use mobigate_core::queue::{FetchResult, MessageQueue, QueueConfig};
+use mobigate_core::{
+    CoreError, Emitter, MobiGate, RouteOpts, StreamletCtx, StreamletHandle, StreamletLogic,
+};
+use mobigate_mime::{MimeMessage, MimeType, TypeRegistry};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Emits whatever it receives, relabeled as `image/gif`.
+struct Mislabel;
+impl StreamletLogic for Mislabel {
+    fn process(&mut self, msg: MimeMessage, ctx: &mut StreamletCtx) -> Result<(), CoreError> {
+        let mut out = msg.clone();
+        out.set_content_type(&MimeType::new("image", "gif"));
+        ctx.emit("po", out);
+        Ok(())
+    }
+}
+
+/// Sleeps per message — the "radically different speeds" scenario (§6.7).
+struct Slow(Duration);
+impl StreamletLogic for Slow {
+    fn process(&mut self, msg: MimeMessage, ctx: &mut StreamletCtx) -> Result<(), CoreError> {
+        std::thread::sleep(self.0);
+        ctx.emit("po", msg);
+        Ok(())
+    }
+}
+
+#[test]
+fn runtime_type_check_suppresses_mismatched_emissions() {
+    let pool = Arc::new(MessagePool::new());
+    let qin = MessageQueue::new(QueueConfig::default(), pool.clone());
+    // A text-only channel downstream.
+    let qout = MessageQueue::new(
+        QueueConfig { name: "textchan".into(), ty: "text".parse().unwrap(), ..Default::default() },
+        pool.clone(),
+    );
+    let opts = RouteOpts {
+        registry: Arc::new(TypeRegistry::standard()),
+        enforce_types: true,
+    };
+    let h = StreamletHandle::with_route_opts(
+        "m1",
+        "mislabel",
+        false,
+        Box::new(Mislabel),
+        pool.clone(),
+        PayloadMode::Reference,
+        None,
+        opts,
+    );
+    h.attach_in("pi", &qin);
+    h.attach_out("po", &qout);
+    h.start().unwrap();
+
+    qin.post(pool.wrap(MimeMessage::text("becomes an image"), PayloadMode::Reference, 1));
+    // The image/gif emission must never reach the text channel.
+    assert!(matches!(qout.fetch(Duration::from_millis(300)), FetchResult::Empty));
+    assert_eq!(h.stats().type_violations, 1);
+    h.end();
+}
+
+#[test]
+fn runtime_type_check_off_by_default() {
+    let pool = Arc::new(MessagePool::new());
+    let qin = MessageQueue::new(QueueConfig::default(), pool.clone());
+    let qout = MessageQueue::new(
+        QueueConfig { name: "textchan".into(), ty: "text".parse().unwrap(), ..Default::default() },
+        pool.clone(),
+    );
+    let h = StreamletHandle::new(
+        "m1",
+        "mislabel",
+        false,
+        Box::new(Mislabel),
+        pool.clone(),
+        PayloadMode::Reference,
+        None,
+    );
+    h.attach_in("pi", &qin);
+    h.attach_out("po", &qout);
+    h.start().unwrap();
+    qin.post(pool.wrap(MimeMessage::text("x"), PayloadMode::Reference, 1));
+    assert!(matches!(qout.fetch(Duration::from_secs(2)), FetchResult::Msg(_)));
+    assert_eq!(h.stats().type_violations, 0);
+    h.end();
+}
+
+#[test]
+fn slow_consumer_drops_messages_per_figure_6_9() {
+    // A fast producer feeds a slow streamlet through a 1 KB channel with a
+    // short full-wait T: the excess messages are dropped, the producer is
+    // never stalled indefinitely, and the drops are accounted.
+    let pool = Arc::new(MessagePool::new());
+    let chan = MessageQueue::new(
+        QueueConfig {
+            name: "narrow".into(),
+            capacity_bytes: 1024,
+            full_wait: Duration::from_millis(10),
+            ..Default::default()
+        },
+        pool.clone(),
+    );
+    let sink = MessageQueue::new(QueueConfig::default(), pool.clone());
+    let slow = StreamletHandle::new(
+        "slowpoke",
+        "slow",
+        false,
+        Box::new(Slow(Duration::from_millis(30))),
+        pool.clone(),
+        PayloadMode::Reference,
+        None,
+    );
+    slow.attach_in("pi", &chan);
+    slow.attach_out("po", &sink);
+    slow.start().unwrap();
+
+    let n = 30;
+    let body = vec![0u8; 700]; // ~1 message fits the 1 KB buffer
+    let t0 = std::time::Instant::now();
+    for _ in 0..n {
+        chan.post(pool.wrap(
+            MimeMessage::new(&MimeType::new("text", "plain"), body.clone()),
+            PayloadMode::Reference,
+            1,
+        ));
+    }
+    let produced_in = t0.elapsed();
+    // The producer finished long before the slow consumer could have
+    // processed 30 × 30 ms of work.
+    assert!(produced_in < Duration::from_millis(600), "producer stalled: {produced_in:?}");
+
+    // Drain whatever survived.
+    let mut survived = 0;
+    while let FetchResult::Msg(p) = sink.fetch(Duration::from_millis(200)) {
+        pool.resolve(p);
+        survived += 1;
+    }
+    let stats = chan.stats();
+    assert_eq!(stats.posted + stats.dropped_full, n, "every post accounted");
+    assert!(stats.dropped_full > 0, "the narrow channel must have dropped");
+    assert_eq!(survived as u64, stats.posted, "everything admitted was processed");
+    // Dropped refs were reclaimed — no leaks in the message pool.
+    assert_eq!(pool.stats().resident, 0);
+    slow.end();
+}
+
+#[test]
+fn to_dot_reflects_live_topology() {
+    let gate = MobiGate::default();
+    gate.directory().register("echo", "", || {
+        struct Echo;
+        impl StreamletLogic for Echo {
+            fn process(
+                &mut self,
+                m: MimeMessage,
+                ctx: &mut StreamletCtx,
+            ) -> Result<(), CoreError> {
+                ctx.emit("po", m);
+                Ok(())
+            }
+        }
+        Box::new(Echo)
+    });
+    let stream = gate
+        .deploy_mcl(
+            r#"
+            streamlet echo { port { in pi : */*; out po : */*; } }
+            main stream dotted {
+                streamlet a = new-streamlet (echo);
+                streamlet b = new-streamlet (echo);
+                connect (a.po, b.pi);
+            }
+            "#,
+        )
+        .unwrap();
+    let dot = stream.to_dot();
+    assert!(dot.starts_with("digraph \"dotted\""));
+    assert!(dot.contains("\"a\" -> \"b\""));
+    assert!(dot.contains("(echo)"));
+    // After an insert, the new node shows up.
+    stream.insert_streamlet(("a", "po"), ("b", "pi"), "mid", "echo").unwrap();
+    let dot2 = stream.to_dot();
+    assert!(dot2.contains("\"a\" -> \"mid\""));
+    assert!(dot2.contains("\"mid\" -> \"b\""));
+    stream.shutdown();
+}
+
+/// Doubles or halves its output count based on a controllable parameter.
+struct Repeater {
+    times: usize,
+}
+impl StreamletLogic for Repeater {
+    fn process(&mut self, msg: MimeMessage, ctx: &mut StreamletCtx) -> Result<(), CoreError> {
+        for _ in 0..self.times {
+            ctx.emit("po", msg.clone());
+        }
+        Ok(())
+    }
+    fn control(&mut self, key: &str, value: &str) -> Result<(), CoreError> {
+        match key {
+            "times" => {
+                self.times = value.parse().map_err(|_| CoreError::Process {
+                    streamlet: "repeater".into(),
+                    message: format!("bad times `{value}`"),
+                })?;
+                Ok(())
+            }
+            other => {
+                Err(CoreError::NotFound { kind: "control parameter", name: other.into() })
+            }
+        }
+    }
+}
+
+#[test]
+fn control_interface_reaches_live_worker() {
+    let pool = Arc::new(MessagePool::new());
+    let qin = MessageQueue::new(QueueConfig::default(), pool.clone());
+    let qout = MessageQueue::new(QueueConfig::default(), pool.clone());
+    let h = StreamletHandle::new(
+        "rep",
+        "repeater",
+        false,
+        Box::new(Repeater { times: 1 }),
+        pool.clone(),
+        PayloadMode::Reference,
+        None,
+    );
+    h.attach_in("pi", &qin);
+    h.attach_out("po", &qout);
+    h.start().unwrap();
+
+    qin.post(pool.wrap(MimeMessage::text("once"), PayloadMode::Reference, 1));
+    assert!(matches!(qout.fetch(Duration::from_secs(2)), FetchResult::Msg(_)));
+
+    // Live parameter change through the control interface.
+    h.set_parameter("times", "3", Duration::from_secs(2)).unwrap();
+    qin.post(pool.wrap(MimeMessage::text("thrice"), PayloadMode::Reference, 1));
+    for _ in 0..3 {
+        assert!(matches!(qout.fetch(Duration::from_secs(2)), FetchResult::Msg(_)));
+    }
+    assert!(matches!(qout.fetch(Duration::from_millis(100)), FetchResult::Empty));
+
+    // Unknown keys surface the streamlet's error.
+    assert!(h.set_parameter("volume", "11", Duration::from_secs(2)).is_err());
+    h.end();
+    assert!(h.set_parameter("times", "1", Duration::from_millis(100)).is_err());
+}
+
+mod reconfig_actions {
+    use super::*;
+    use mobigate_core::EventKind;
+    use mobigate_mcl::config::ReconfigAction;
+
+    struct Echo;
+    impl StreamletLogic for Echo {
+        fn process(&mut self, m: MimeMessage, ctx: &mut StreamletCtx) -> Result<(), CoreError> {
+            ctx.emit("po", m);
+            Ok(())
+        }
+    }
+
+    fn gate() -> MobiGate {
+        let g = MobiGate::default();
+        g.directory().register("echo", "", || Box::new(Echo));
+        g
+    }
+
+    const SRC: &str = r#"
+        streamlet echo { port { in pi : */*; out po : */*; } }
+        main stream acts {
+            streamlet a = new-streamlet (echo);
+            streamlet b = new-streamlet (echo);
+            streamlet alt = new-streamlet (echo);
+            connect (a.po, b.pi);
+        }
+    "#;
+
+    #[test]
+    fn disconnect_all_severs_every_connection() {
+        let g = gate();
+        let stream = g.deploy_mcl(SRC).unwrap();
+        let stats = stream.reconfigure(&[ReconfigAction::DisconnectAll {
+            instance: "a".into(),
+        }]);
+        assert_eq!(stats.errors, 0);
+        assert!(stream.connections().is_empty());
+        // Flow is severed: input sits, nothing comes out via b.
+        stream.post_input(MimeMessage::text("stranded?")).unwrap();
+        // a still emits (to egress? a.po was never exported — it was
+        // connected initially, so the emission is unrouted now).
+        std::thread::sleep(Duration::from_millis(100));
+        let a = stream.instance("a").unwrap();
+        assert!(a.stats().dropped_unrouted >= 1 || a.stats().processed >= 1);
+        stream.shutdown();
+    }
+
+    #[test]
+    fn remove_channel_detaches_and_forgets() {
+        let g = gate();
+        let stream = g.deploy_mcl(SRC).unwrap();
+        let chan = stream.connections()[0].channel.clone();
+        let stats = stream.reconfigure(&[ReconfigAction::RemoveChannel { name: chan.clone() }]);
+        assert_eq!(stats.errors, 0);
+        assert!(stream.connections().is_empty());
+        // Removing it twice is an error (counted, not fatal).
+        let stats = stream.reconfigure(&[ReconfigAction::RemoveChannel { name: chan }]);
+        assert_eq!(stats.errors, 1);
+        stream.shutdown();
+    }
+
+    #[test]
+    fn replace_swaps_instances_live() {
+        let g = gate();
+        let stream = g.deploy_mcl(SRC).unwrap();
+        stream.post_input(MimeMessage::text("before")).unwrap();
+        assert!(stream.take_output(Duration::from_secs(5)).is_some());
+        let stats = stream.reconfigure(&[ReconfigAction::Replace {
+            old: "a".into(),
+            new: "alt".into(),
+        }]);
+        assert_eq!(stats.errors, 0);
+        assert!(!stream.instance_names().contains(&"a".to_string()));
+        assert!(stream.instance_names().contains(&"alt".to_string()));
+        // NOTE: `a.pi` was the exported input; replace moved its bindings
+        // (including the ingress channel) onto `alt`, so flow continues.
+        stream.post_input(MimeMessage::text("after")).unwrap();
+        assert!(stream.take_output(Duration::from_secs(5)).is_some());
+        stream.shutdown();
+    }
+
+    #[test]
+    fn end_event_shuts_down_via_coordination() {
+        let g = gate();
+        let stream = g.deploy_mcl(SRC).unwrap();
+        g.raise_event(&mobigate_core::ContextEvent::targeted(EventKind::End, "acts"));
+        stream.post_input(MimeMessage::text("too late")).unwrap();
+        assert!(stream.take_output(Duration::from_millis(150)).is_none());
+    }
+}

@@ -1,0 +1,588 @@
+//! The executable semantic model of Chapter 5.
+//!
+//! The thesis formalizes MCL in Z and derives five analyses over the
+//! *stream graph* — the relation `connect ⊆ streamlets × streamlets` where
+//! `(s1, s2) ∈ connect` iff some channel carries an output of `s1` into an
+//! input of `s2` (§5.2). This module turns those Z schemas into runnable
+//! checks:
+//!
+//! * [`StreamGraph::feedback_loops`] — §5.2.1: `id streamlets ∩ connect⁺ = ∅`
+//!   (the graph must be acyclic); violations are reported as witness cycles,
+//!   reproducing the Figure 5-1 example;
+//! * [`StreamGraph::open_circuits`] — §5.2.2: no intermediate output port may
+//!   be left unconnected, or incoming messages are silently lost;
+//! * [`StreamGraph::mutual_exclusions`] — §5.2.3: for `repel` pairs,
+//!   `(x, y) ∉ connect⁺ ∧ (y, x) ∉ connect⁺` (never on a common path);
+//! * [`StreamGraph::dependency_violations`] — §5.2.4: if `x` is deployed,
+//!   each `y ∈ depend(x)` must be deployed too;
+//! * [`StreamGraph::preorder_violations`] — §5.2.5: for ordered pairs
+//!   `(x, y)`, whenever both are deployed they must be connected in the
+//!   declared order: `(x, y) ∈ connect⁺` and never `(y, x) ∈ connect⁺`.
+//!
+//! [`analyze`] bundles everything into an [`AnalysisReport`], applying the
+//! constraints compiled from `constraint …;` declarations.
+
+use crate::ast::ConstraintKind;
+use crate::config::{ConfigTable, Program};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// The §5.2 stream graph: instances (with their definition names) plus the
+/// `connect` relation.
+#[derive(Debug, Clone, Default)]
+pub struct StreamGraph {
+    /// Instance name → definition name.
+    nodes: BTreeMap<String, String>,
+    /// Direct `connect` relation, instance → successors.
+    edges: BTreeMap<String, BTreeSet<String>>,
+    /// Output ports of each instance that are fed into some channel.
+    connected_outputs: HashSet<(String, String)>,
+    /// All declared output ports per instance.
+    output_ports: HashMap<String, Vec<String>>,
+}
+
+impl StreamGraph {
+    /// Builds the graph from a configuration table's *initial* topology.
+    ///
+    /// Only initial instances and connections participate: the dashed,
+    /// event-gated parts of a composition (Figure 4-6) join the graph after
+    /// reconfiguration, which is analyzed by re-deriving the graph from the
+    /// updated table.
+    pub fn from_table(table: &ConfigTable, program: &Program) -> Self {
+        let mut g = StreamGraph::default();
+        for row in table.initial_instances() {
+            g.nodes.insert(row.name.clone(), row.def.clone());
+            if let Some(spec) = program.streamlet_defs.get(&row.def) {
+                g.output_ports.insert(
+                    row.name.clone(),
+                    spec.outputs.iter().map(|(n, _)| n.clone()).collect(),
+                );
+            }
+        }
+        for c in &table.connections {
+            if g.nodes.contains_key(&c.from.0) && g.nodes.contains_key(&c.to.0) {
+                g.edges.entry(c.from.0.clone()).or_default().insert(c.to.0.clone());
+                g.connected_outputs.insert(c.from.clone());
+            }
+        }
+        g
+    }
+
+    /// Builds a bare graph from explicit nodes and edges (used by tests and
+    /// by callers analyzing hypothetical topologies).
+    pub fn from_edges<I, N>(nodes: N, edges: I) -> Self
+    where
+        N: IntoIterator<Item = (String, String)>,
+        I: IntoIterator<Item = (String, String)>,
+    {
+        let mut g = StreamGraph::default();
+        for (inst, def) in nodes {
+            g.nodes.insert(inst, def);
+        }
+        for (a, b) in edges {
+            g.connected_outputs.insert((a.clone(), "out".into()));
+            g.edges.entry(a).or_default().insert(b);
+        }
+        g
+    }
+
+    /// Instance names in the graph.
+    pub fn instances(&self) -> impl Iterator<Item = &str> {
+        self.nodes.keys().map(String::as_str)
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the graph has no instances.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Direct successors of an instance.
+    pub fn successors(&self, inst: &str) -> impl Iterator<Item = &str> {
+        self.edges.get(inst).into_iter().flatten().map(String::as_str)
+    }
+
+    /// `(a, b) ∈ connect⁺` — the transitive (non-reflexive) closure used by
+    /// §5.2.3/§5.2.5. Implemented as a DFS from `a`.
+    pub fn reaches(&self, a: &str, b: &str) -> bool {
+        let mut seen = HashSet::new();
+        let mut stack: Vec<&str> = self.successors(a).collect();
+        while let Some(n) = stack.pop() {
+            if n == b {
+                return true;
+            }
+            if seen.insert(n) {
+                stack.extend(self.successors(n));
+            }
+        }
+        false
+    }
+
+    // --- §5.2.1 feedback loops -------------------------------------------
+
+    /// Returns one witness cycle per strongly connected component that
+    /// violates acyclicity (`id streamlets ∩ connect⁺ ≠ ∅`). An empty result
+    /// means the composition is acyclic.
+    pub fn feedback_loops(&self) -> Vec<Vec<String>> {
+        // Iterative Tarjan SCC; every SCC of size > 1, or size 1 with a
+        // self-edge, yields a witness cycle.
+        let mut index = 0usize;
+        let mut indices: HashMap<&str, usize> = HashMap::new();
+        let mut lowlink: HashMap<&str, usize> = HashMap::new();
+        let mut on_stack: HashSet<&str> = HashSet::new();
+        let mut stack: Vec<&str> = Vec::new();
+        let mut sccs: Vec<Vec<String>> = Vec::new();
+
+        enum Frame<'a> {
+            Enter(&'a str),
+            Post(&'a str, &'a str),
+        }
+
+        for root in self.nodes.keys() {
+            if indices.contains_key(root.as_str()) {
+                continue;
+            }
+            let mut work = vec![Frame::Enter(root.as_str())];
+            while let Some(frame) = work.pop() {
+                match frame {
+                    Frame::Enter(v) => {
+                        if indices.contains_key(v) {
+                            continue;
+                        }
+                        indices.insert(v, index);
+                        lowlink.insert(v, index);
+                        index += 1;
+                        stack.push(v);
+                        on_stack.insert(v);
+                        // Re-visit v after children to pop its SCC.
+                        work.push(Frame::Post(v, v));
+                        for w in self.successors(v) {
+                            if !indices.contains_key(w) {
+                                work.push(Frame::Post(v, w));
+                                work.push(Frame::Enter(w));
+                            } else if on_stack.contains(w) {
+                                let lw = indices[w];
+                                let lv = lowlink[v].min(lw);
+                                lowlink.insert(v, lv);
+                            }
+                        }
+                    }
+                    Frame::Post(v, w) => {
+                        if v != w {
+                            // Propagate child lowlink.
+                            let lw = lowlink.get(w).copied().unwrap_or(usize::MAX);
+                            let lv = lowlink[v].min(lw);
+                            lowlink.insert(v, lv);
+                            continue;
+                        }
+                        if lowlink[v] == indices[v] {
+                            let mut component = Vec::new();
+                            while let Some(n) = stack.pop() {
+                                on_stack.remove(n);
+                                component.push(n.to_string());
+                                if n == v {
+                                    break;
+                                }
+                            }
+                            component.reverse();
+                            let cyclic = component.len() > 1
+                                || self
+                                    .edges
+                                    .get(&component[0])
+                                    .is_some_and(|s| s.contains(&component[0]));
+                            if cyclic {
+                                sccs.push(component);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        sccs
+    }
+
+    /// §5.2.1 as a predicate.
+    pub fn is_acyclic(&self) -> bool {
+        self.feedback_loops().is_empty()
+    }
+
+    // --- §5.2.2 open circuits ----------------------------------------------
+
+    /// Output ports left unconnected, excluding `allowed` (the ports the
+    /// composition intentionally exports as its own outputs, §5.1.4).
+    pub fn open_circuits(&self, allowed: &HashSet<(String, String)>) -> Vec<(String, String)> {
+        let mut open = Vec::new();
+        for (inst, ports) in &self.output_ports {
+            for port in ports {
+                let key = (inst.clone(), port.clone());
+                if !self.connected_outputs.contains(&key) && !allowed.contains(&key) {
+                    open.push(key);
+                }
+            }
+        }
+        open.sort();
+        open
+    }
+
+    // --- §5.2.3 mutual exclusion -------------------------------------------
+
+    /// Instance pairs of the `repel` definitions that lie on a common path.
+    /// The Z condition is `(x, y), (y, x) ∉ connect⁺` for every repelled
+    /// pair; a violation is returned as the offending instance pair.
+    pub fn mutual_exclusions(&self, repel: &[(String, String)]) -> Vec<(String, String)> {
+        let mut violations = Vec::new();
+        for (def_a, def_b) in repel {
+            for (xa, xb) in self.instance_pairs(def_a, def_b) {
+                if self.reaches(&xa, &xb) || self.reaches(&xb, &xa) {
+                    violations.push((xa, xb));
+                }
+            }
+        }
+        violations.sort();
+        violations.dedup();
+        violations
+    }
+
+    // --- §5.2.4 dependency ---------------------------------------------------
+
+    /// Definitions deployed without their co-required definitions:
+    /// `depend(a, b)` means deploying an instance of `a` requires at least
+    /// one instance of `b`.
+    pub fn dependency_violations(&self, depend: &[(String, String)]) -> Vec<(String, String)> {
+        let deployed: HashSet<&str> = self.nodes.values().map(String::as_str).collect();
+        let mut violations = Vec::new();
+        for (a, b) in depend {
+            if deployed.contains(a.as_str()) && !deployed.contains(b.as_str()) {
+                violations.push((a.clone(), b.clone()));
+            }
+        }
+        violations
+    }
+
+    // --- §5.2.5 preorder ---------------------------------------------------
+
+    /// Violations of deployment order: for `preorder(a, b)` ("a before b",
+    /// e.g. encryption before compression), whenever instances of both are
+    /// deployed, every co-present pair must satisfy `(x_a, x_b) ∈ connect⁺`
+    /// and must not satisfy the reverse.
+    pub fn preorder_violations(&self, order: &[(String, String)]) -> Vec<(String, String)> {
+        let mut violations = Vec::new();
+        for (def_a, def_b) in order {
+            for (xa, xb) in self.instance_pairs(def_a, def_b) {
+                let forward = self.reaches(&xa, &xb);
+                let backward = self.reaches(&xb, &xa);
+                if backward || !forward {
+                    violations.push((xa, xb));
+                }
+            }
+        }
+        violations.sort();
+        violations.dedup();
+        violations
+    }
+
+    /// All (instance of `def_a`, instance of `def_b`) pairs.
+    fn instance_pairs(&self, def_a: &str, def_b: &str) -> Vec<(String, String)> {
+        let of = |d: &str| -> Vec<&String> {
+            self.nodes.iter().filter(|(_, v)| *v == d).map(|(k, _)| k).collect()
+        };
+        let mut pairs = Vec::new();
+        for a in of(def_a) {
+            for b in of(def_b) {
+                if a != b {
+                    pairs.push((a.clone(), b.clone()));
+                }
+            }
+        }
+        pairs
+    }
+}
+
+/// Everything the five analyses found for one stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AnalysisReport {
+    /// Witness cycles (§5.2.1); empty when acyclic.
+    pub feedback_loops: Vec<Vec<String>>,
+    /// Unconnected output ports (§5.2.2).
+    pub open_circuits: Vec<(String, String)>,
+    /// Repelled instances on a common path (§5.2.3).
+    pub mutual_exclusions: Vec<(String, String)>,
+    /// Missing co-deployments (§5.2.4).
+    pub dependency_violations: Vec<(String, String)>,
+    /// Ordering violations (§5.2.5).
+    pub preorder_violations: Vec<(String, String)>,
+}
+
+impl AnalysisReport {
+    /// True when the composition passed every check.
+    pub fn is_consistent(&self) -> bool {
+        self.feedback_loops.is_empty()
+            && self.open_circuits.is_empty()
+            && self.mutual_exclusions.is_empty()
+            && self.dependency_violations.is_empty()
+            && self.preorder_violations.is_empty()
+    }
+
+    /// Human-readable summary, one finding per line.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for cycle in &self.feedback_loops {
+            out.push_str(&format!("feedback loop: {}\n", cycle.join(" -> ")));
+        }
+        for (i, p) in &self.open_circuits {
+            out.push_str(&format!("open circuit: output port {i}.{p} is unconnected\n"));
+        }
+        for (a, b) in &self.mutual_exclusions {
+            out.push_str(&format!("mutual exclusion violated: {a} and {b} share a path\n"));
+        }
+        for (a, b) in &self.dependency_violations {
+            out.push_str(&format!("dependency violated: {a} deployed without {b}\n"));
+        }
+        for (a, b) in &self.preorder_violations {
+            out.push_str(&format!("preorder violated: {a} must precede {b}\n"));
+        }
+        if out.is_empty() {
+            out.push_str("composition is consistent\n");
+        }
+        out
+    }
+}
+
+/// Runs all five analyses on one stream of a compiled program, applying the
+/// program's `constraint` declarations. Unsatisfied output ports that the
+/// stream exports (§5.1.4) are treated as intentional; use
+/// [`analyze_with_allowed_exports`] to supply a stricter set.
+pub fn analyze(program: &Program, stream: &str) -> Option<AnalysisReport> {
+    let table = program.streams.get(stream)?;
+    let allowed: HashSet<(String, String)> = table
+        .exported_outputs
+        .iter()
+        .map(|(i, p, _)| (i.clone(), p.clone()))
+        .collect();
+    analyze_with_allowed_exports(program, stream, &allowed)
+}
+
+/// Like [`analyze`], but only the listed `(instance, port)` outputs may
+/// legally stay unconnected — everything else unconnected is an open
+/// circuit (§5.2.2 strict mode).
+pub fn analyze_with_allowed_exports(
+    program: &Program,
+    stream: &str,
+    allowed: &HashSet<(String, String)>,
+) -> Option<AnalysisReport> {
+    let table = program.streams.get(stream)?;
+    let graph = StreamGraph::from_table(table, program);
+
+    let pick = |kind: ConstraintKind| -> Vec<(String, String)> {
+        program
+            .constraints
+            .iter()
+            .filter(|(k, _, _)| *k == kind)
+            .map(|(_, a, b)| (a.clone(), b.clone()))
+            .collect()
+    };
+
+    Some(AnalysisReport {
+        feedback_loops: graph.feedback_loops(),
+        open_circuits: graph.open_circuits(allowed),
+        mutual_exclusions: graph.mutual_exclusions(&pick(ConstraintKind::Exclude)),
+        dependency_violations: graph.dependency_violations(&pick(ConstraintKind::Depend)),
+        preorder_violations: graph.preorder_violations(&pick(ConstraintKind::Preorder)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+
+    fn g(nodes: &[(&str, &str)], edges: &[(&str, &str)]) -> StreamGraph {
+        StreamGraph::from_edges(
+            nodes.iter().map(|(a, b)| (a.to_string(), b.to_string())),
+            edges.iter().map(|(a, b)| (a.to_string(), b.to_string())),
+        )
+    }
+
+    #[test]
+    fn figure_5_1_feedback_loop_detected() {
+        // §5.3: s1 -> s2 -> s3 -> s1 must be flagged.
+        let graph = g(
+            &[("s1", "d"), ("s2", "d"), ("s3", "d")],
+            &[("s1", "s2"), ("s2", "s3"), ("s3", "s1")],
+        );
+        let loops = graph.feedback_loops();
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].len(), 3);
+        assert!(!graph.is_acyclic());
+    }
+
+    #[test]
+    fn self_loop_detected() {
+        let graph = g(&[("s1", "d")], &[("s1", "s1")]);
+        assert_eq!(graph.feedback_loops().len(), 1);
+    }
+
+    #[test]
+    fn dag_is_acyclic() {
+        let graph = g(
+            &[("a", "d"), ("b", "d"), ("c", "d"), ("e", "d")],
+            &[("a", "b"), ("a", "c"), ("b", "e"), ("c", "e")],
+        );
+        assert!(graph.is_acyclic());
+    }
+
+    #[test]
+    fn two_disjoint_cycles_both_reported() {
+        let graph = g(
+            &[("a", "d"), ("b", "d"), ("x", "d"), ("y", "d")],
+            &[("a", "b"), ("b", "a"), ("x", "y"), ("y", "x")],
+        );
+        assert_eq!(graph.feedback_loops().len(), 2);
+    }
+
+    #[test]
+    fn reaches_is_transitive_nonreflexive() {
+        let graph = g(
+            &[("a", "d"), ("b", "d"), ("c", "d")],
+            &[("a", "b"), ("b", "c")],
+        );
+        assert!(graph.reaches("a", "c"));
+        assert!(!graph.reaches("c", "a"));
+        assert!(!graph.reaches("a", "a")); // no self-path in this DAG
+    }
+
+    #[test]
+    fn mutual_exclusion_flags_shared_path() {
+        let graph = g(
+            &[("e1", "enc"), ("c1", "comp"), ("z", "other")],
+            &[("e1", "z"), ("z", "c1")],
+        );
+        let v = graph.mutual_exclusions(&[("enc".into(), "comp".into())]);
+        assert_eq!(v, vec![("e1".to_string(), "c1".to_string())]);
+    }
+
+    #[test]
+    fn mutual_exclusion_ok_on_parallel_branches() {
+        // Exclusive streamlets on *different* branches never share a path.
+        let graph = g(
+            &[("sw", "switch"), ("e1", "enc"), ("c1", "comp")],
+            &[("sw", "e1"), ("sw", "c1")],
+        );
+        assert!(graph.mutual_exclusions(&[("enc".into(), "comp".into())]).is_empty());
+    }
+
+    #[test]
+    fn dependency_violation_detected() {
+        let graph = g(&[("e1", "enc")], &[]);
+        let v = graph.dependency_violations(&[("enc".into(), "dec".into())]);
+        assert_eq!(v.len(), 1);
+        // Satisfied once the co-required definition is present.
+        let graph2 = g(&[("e1", "enc"), ("d1", "dec")], &[]);
+        assert!(graph2.dependency_violations(&[("enc".into(), "dec".into())]).is_empty());
+    }
+
+    #[test]
+    fn preorder_violation_detected() {
+        // Compression before encryption is wrong when enc must precede comp.
+        let graph = g(
+            &[("c1", "comp"), ("e1", "enc")],
+            &[("c1", "e1")],
+        );
+        let v = graph.preorder_violations(&[("enc".into(), "comp".into())]);
+        assert_eq!(v, vec![("e1".to_string(), "c1".to_string())]);
+        // The right order passes.
+        let graph2 = g(&[("e1", "enc"), ("c1", "comp")], &[("e1", "c1")]);
+        assert!(graph2.preorder_violations(&[("enc".into(), "comp".into())]).is_empty());
+    }
+
+    #[test]
+    fn preorder_requires_connection_when_both_present() {
+        // Both deployed but unordered (disconnected): violation.
+        let graph = g(&[("e1", "enc"), ("c1", "comp")], &[]);
+        let v = graph.preorder_violations(&[("enc".into(), "comp".into())]);
+        assert_eq!(v.len(), 1);
+        // Only one deployed: vacuously fine.
+        let graph2 = g(&[("e1", "enc")], &[]);
+        assert!(graph2.preorder_violations(&[("enc".into(), "comp".into())]).is_empty());
+    }
+
+    #[test]
+    fn open_circuit_detection_via_compile() {
+        let src = r#"
+            streamlet a { port { in i : */*; out o : text; } }
+            streamlet b { port { in i : text; out o : text; } }
+            main stream app {
+                streamlet x = new-streamlet (a);
+                streamlet y = new-streamlet (b);
+                connect (x.o, y.i);
+            }
+        "#;
+        let p = compile(src).unwrap();
+        let table = p.main().unwrap();
+        let graph = StreamGraph::from_table(table, &p);
+        // y.o is exported (allowed) — no open circuit.
+        let allowed: HashSet<_> = table
+            .exported_outputs
+            .iter()
+            .map(|(i, po, _)| (i.clone(), po.clone()))
+            .collect();
+        assert!(graph.open_circuits(&allowed).is_empty());
+        // Without the allowance, y.o is open.
+        let none = HashSet::new();
+        assert_eq!(graph.open_circuits(&none), vec![("y".to_string(), "o".to_string())]);
+    }
+
+    #[test]
+    fn analyze_full_program_consistent() {
+        let src = r#"
+            streamlet enc { port { in i : */*; out o : application/encrypted; } }
+            streamlet comp { port { in i : */*; out o : application/compressed; } }
+            constraint preorder(enc, comp);
+            main stream app {
+                streamlet e = new-streamlet (enc);
+                streamlet c = new-streamlet (comp);
+                connect (e.o, c.i);
+            }
+        "#;
+        let p = compile(src).unwrap();
+        let report = analyze(&p, "app").unwrap();
+        assert!(report.is_consistent(), "{}", report.summary());
+        assert!(report.summary().contains("consistent"));
+    }
+
+    #[test]
+    fn analyze_reports_preorder_violation() {
+        let src = r#"
+            streamlet enc { port { in i : */*; out o : */*; } }
+            streamlet comp { port { in i : */*; out o : */*; } }
+            constraint preorder(enc, comp);
+            main stream app {
+                streamlet e = new-streamlet (enc);
+                streamlet c = new-streamlet (comp);
+                connect (c.o, e.i);
+            }
+        "#;
+        let p = compile(src).unwrap();
+        let report = analyze(&p, "app").unwrap();
+        assert!(!report.is_consistent());
+        assert_eq!(report.preorder_violations.len(), 1);
+        assert!(report.summary().contains("preorder"));
+    }
+
+    #[test]
+    fn analyze_missing_stream_is_none() {
+        let p = compile("main stream app { }").unwrap();
+        assert!(analyze(&p, "nope").is_none());
+    }
+
+    #[test]
+    fn empty_graph_is_trivially_consistent() {
+        let graph = g(&[], &[]);
+        assert!(graph.is_empty());
+        assert!(graph.is_acyclic());
+        assert!(graph.open_circuits(&HashSet::new()).is_empty());
+    }
+}

@@ -1,0 +1,281 @@
+//! Abstract syntax of MCL (Figures 4-2 through 4-5, plus the constraint
+//! extension the thesis lists as future work in §8.2.2).
+
+use crate::error::Span;
+use serde::{Deserialize, Serialize};
+use mobigate_mime::MimeType;
+
+/// A whole MCL compilation unit.
+#[derive(Debug, Clone, Default)]
+pub struct Script {
+    /// `type a/b <: c/d;` lattice declarations.
+    pub type_decls: Vec<TypeDecl>,
+    /// Streamlet definitions (Figure 4-3).
+    pub streamlets: Vec<StreamletDef>,
+    /// Channel definitions (Figure 4-4).
+    pub channels: Vec<ChannelDef>,
+    /// Stream definitions (Figure 4-5).
+    pub streams: Vec<StreamDef>,
+    /// Architectural constraints for the Ch.5 analyses.
+    pub constraints: Vec<ConstraintDecl>,
+}
+
+/// `type <child> <: <parent> ;` — extends the MIME lattice (§4.1: "it is not
+/// difficult to introduce a new message type into the system").
+#[derive(Debug, Clone)]
+pub struct TypeDecl {
+    /// The specializing type.
+    pub child: MimeType,
+    /// The generalizing type.
+    pub parent: MimeType,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Direction of a port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortDir {
+    /// `in` — the component consumes messages here.
+    In,
+    /// `out` — the component produces messages here.
+    Out,
+}
+
+/// One `in|out name : mime/type ;` declaration.
+#[derive(Debug, Clone)]
+pub struct PortDecl {
+    /// Direction.
+    pub dir: PortDir,
+    /// Port name (unique within the component).
+    pub name: String,
+    /// Declared MIME type.
+    pub ty: MimeType,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Whether a streamlet keeps per-stream state (§3.3.4); stateless streamlets
+/// are eligible for streamlet pooling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Statefulness {
+    /// No per-stream state; instances may be pooled and shared.
+    #[default]
+    Stateless,
+    /// Keeps state; one instance per stream.
+    Stateful,
+}
+
+/// Figure 4-3: a streamlet definition.
+#[derive(Debug, Clone)]
+pub struct StreamletDef {
+    /// Definition name.
+    pub name: String,
+    /// Declared ports.
+    pub ports: Vec<PortDecl>,
+    /// `type = STATELESS|STATEFUL`.
+    pub statefulness: Statefulness,
+    /// `library = "..."` — the code-level component implementing the
+    /// streamlet (resolved against the Streamlet Directory at runtime).
+    pub library: String,
+    /// `description = "..."`.
+    pub description: String,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Channel synchrony (Figure 4-4): synchronous channels are zero-length
+/// buffers; asynchronous channels are (large) FIFO buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ChannelKind {
+    /// Zero-length rendezvous buffer.
+    Sync,
+    /// Bounded FIFO buffer (the paper's "unbounded" simulated by a large
+    /// bound).
+    #[default]
+    Async,
+}
+
+/// Channel disconnection category (Figure 4-4): what happens to pending
+/// units when one side detaches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ChannelCategory {
+    /// Never any pending units.
+    S,
+    /// Break-break: disconnecting one side disconnects the other.
+    BB,
+    /// Break-keep: keeps its target side when the source detaches.
+    #[default]
+    BK,
+    /// Keep-break: keeps its source side when the target detaches.
+    KB,
+    /// Keep-keep: cannot be disconnected at either side.
+    KK,
+}
+
+impl ChannelCategory {
+    /// Parses the MCL attribute value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_uppercase().as_str() {
+            "S" => Some(ChannelCategory::S),
+            "BB" => Some(ChannelCategory::BB),
+            "BK" => Some(ChannelCategory::BK),
+            "KB" => Some(ChannelCategory::KB),
+            "KK" => Some(ChannelCategory::KK),
+            _ => None,
+        }
+    }
+}
+
+/// Figure 4-4: a channel definition.
+#[derive(Debug, Clone)]
+pub struct ChannelDef {
+    /// Definition name.
+    pub name: String,
+    /// Declared ports (an `in` and an `out`).
+    pub ports: Vec<PortDecl>,
+    /// Synchrony.
+    pub kind: ChannelKind,
+    /// Disconnection category.
+    pub category: ChannelCategory,
+    /// Buffer size in **kilobytes** (Figure 4-4: "specified in units of
+    /// Kbytes").
+    pub buffer_kb: u64,
+    /// `description = "..."`.
+    pub description: String,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A `p.i` reference to port `i` of instance `p` (§4.2.1 notation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortRef {
+    /// Instance name.
+    pub instance: String,
+    /// Port name.
+    pub port: String,
+    /// Source location.
+    pub span: Span,
+}
+
+impl std::fmt::Display for PortRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.instance, self.port)
+    }
+}
+
+/// Statements allowed inside a `stream` body and inside `when` blocks
+/// (§4.2.3 primitives).
+#[derive(Debug, Clone)]
+pub enum StreamStmt {
+    /// `streamlet a, b = new-streamlet (def);`
+    NewStreamlet { names: Vec<String>, def: String, span: Span },
+    /// `channel c1, c2 = new-channel (def);`
+    NewChannel { names: Vec<String>, def: String, span: Span },
+    /// `remove-streamlet (a);`
+    RemoveStreamlet { name: String, span: Span },
+    /// `remove-channel (c);`
+    RemoveChannel { name: String, span: Span },
+    /// `connect (p.o, q.i [, c]);`
+    Connect { from: PortRef, to: PortRef, channel: Option<String>, span: Span },
+    /// `disconnect (p.o, q.i);`
+    Disconnect { from: PortRef, to: PortRef, span: Span },
+    /// `disconnectall (p);`
+    DisconnectAll { instance: String, span: Span },
+    /// `insert (p.o, q.i, n);` — convenience reconfiguration primitive
+    /// (mirrors `Stream.insert` in Figure 6-4): splice instance `n` into the
+    /// existing connection between two ports.
+    Insert { from: PortRef, to: PortRef, instance: String, span: Span },
+    /// `replace (old, new);` (Figure 6-4 composition primitive).
+    Replace { old: String, new: String, span: Span },
+    /// `when (EVENT) { ... }` — event-triggered reconfiguration (§4.2.3).
+    When { event: String, body: Vec<StreamStmt>, span: Span },
+}
+
+impl StreamStmt {
+    /// Source location of the statement.
+    pub fn span(&self) -> Span {
+        match self {
+            StreamStmt::NewStreamlet { span, .. }
+            | StreamStmt::NewChannel { span, .. }
+            | StreamStmt::RemoveStreamlet { span, .. }
+            | StreamStmt::RemoveChannel { span, .. }
+            | StreamStmt::Connect { span, .. }
+            | StreamStmt::Disconnect { span, .. }
+            | StreamStmt::DisconnectAll { span, .. }
+            | StreamStmt::Insert { span, .. }
+            | StreamStmt::Replace { span, .. }
+            | StreamStmt::When { span, .. } => *span,
+        }
+    }
+}
+
+/// Figure 4-5: a stream definition. `main` marks the top-level stream the
+/// system starts executing (§4.4.2).
+#[derive(Debug, Clone)]
+pub struct StreamDef {
+    /// Stream name.
+    pub name: String,
+    /// True when declared `main stream`.
+    pub is_main: bool,
+    /// Body statements in order.
+    pub body: Vec<StreamStmt>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Kinds of architectural constraints analyzable by the semantic model
+/// (§5.2.3–§5.2.5). Syntax: `constraint exclude(a, b);` etc. — an MCL
+/// extension implementing the thesis's "systematic expression of
+/// architectural assumptions" future-work item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConstraintKind {
+    /// `exclude(a, b)` — a and b are mutually exclusive (§5.2.3).
+    Exclude,
+    /// `depend(a, b)` — deploying a requires deploying b (§5.2.4).
+    Depend,
+    /// `preorder(a, b)` — a must precede b on every flow path (§5.2.5).
+    Preorder,
+}
+
+/// A parsed constraint declaration. Names refer to streamlet *definitions*;
+/// the analyses apply them to every instance of those definitions.
+#[derive(Debug, Clone)]
+pub struct ConstraintDecl {
+    /// Which relation.
+    pub kind: ConstraintKind,
+    /// First definition name.
+    pub a: String,
+    /// Second definition name.
+    pub b: String,
+    /// Source location.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_category_parses_all_variants() {
+        assert_eq!(ChannelCategory::parse("S"), Some(ChannelCategory::S));
+        assert_eq!(ChannelCategory::parse("bb"), Some(ChannelCategory::BB));
+        assert_eq!(ChannelCategory::parse("Bk"), Some(ChannelCategory::BK));
+        assert_eq!(ChannelCategory::parse("KB"), Some(ChannelCategory::KB));
+        assert_eq!(ChannelCategory::parse("kk"), Some(ChannelCategory::KK));
+        assert_eq!(ChannelCategory::parse("XX"), None);
+    }
+
+    #[test]
+    fn port_ref_displays_dotted() {
+        let p = PortRef { instance: "s1".into(), port: "po".into(), span: Span::default() };
+        assert_eq!(p.to_string(), "s1.po");
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        // §4.2.3: the auto-created channel is "an asynchronous BK type".
+        assert_eq!(ChannelKind::default(), ChannelKind::Async);
+        assert_eq!(ChannelCategory::default(), ChannelCategory::BK);
+        assert_eq!(Statefulness::default(), Statefulness::Stateless);
+    }
+}

@@ -1,0 +1,185 @@
+//! `mclc` — the MCL command-line compiler and analyzer.
+//!
+//! ```text
+//! mclc check  app.mcl          # parse + compile (type compatibility)
+//! mclc analyze app.mcl         # + the Chapter-5 semantic analyses
+//! mclc table  app.mcl [stream] # dump the configuration table
+//! mclc dot    app.mcl [stream] # Graphviz rendering of the composition
+//! ```
+//!
+//! Exit code 0 = consistent; 1 = errors/violations; 2 = usage.
+
+use mobigate_mcl::analysis::analyze;
+use mobigate_mcl::compile::compile;
+use mobigate_mcl::config::{ConfigTable, Program};
+use mobigate_mcl::model::verify_program;
+use mobigate_mime::TypeRegistry;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, path, stream_arg) = match args.as_slice() {
+        [cmd, path] => (cmd.as_str(), path.as_str(), None),
+        [cmd, path, stream] => (cmd.as_str(), path.as_str(), Some(stream.as_str())),
+        _ => {
+            eprintln!("usage: mclc <check|analyze|table|dot> <file.mcl> [stream]");
+            return ExitCode::from(2);
+        }
+    };
+
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mclc: cannot read `{path}`: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let program = match compile(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{path}:{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match cmd {
+        "check" => check(&program),
+        "analyze" => run_analyze(&program, stream_arg),
+        "table" => dump_table(&program, stream_arg),
+        "dot" => dump_dot(&program, stream_arg),
+        other => {
+            eprintln!("mclc: unknown command `{other}`");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn pick_stream<'p>(program: &'p Program, arg: Option<&str>) -> Option<(&'p str, &'p ConfigTable)> {
+    let name = arg
+        .map(str::to_string)
+        .or_else(|| program.main_stream.clone())
+        .or_else(|| program.streams.keys().next().cloned())?;
+    program.streams.get_key_value(&name).map(|(k, v)| (k.as_str(), v))
+}
+
+fn check(program: &Program) -> ExitCode {
+    let violations = verify_program(program, &TypeRegistry::standard());
+    for (stream, v) in &violations {
+        eprintln!("{stream}: {v}");
+    }
+    println!(
+        "{} streamlet definition(s), {} channel definition(s), {} stream(s){}",
+        program.streamlet_defs.len(),
+        program.channel_defs.len(),
+        program.streams.len(),
+        program
+            .main_stream
+            .as_deref()
+            .map(|m| format!(", main = `{m}`"))
+            .unwrap_or_default()
+    );
+    if violations.is_empty() {
+        println!("ok");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_analyze(program: &Program, stream: Option<&str>) -> ExitCode {
+    let mut failed = false;
+    let targets: Vec<String> = match stream {
+        Some(s) => vec![s.to_string()],
+        None => program.streams.keys().cloned().collect(),
+    };
+    for name in targets {
+        match analyze(program, &name) {
+            Some(report) => {
+                println!("--- {name} ---");
+                print!("{}", report.summary());
+                failed |= !report.is_consistent();
+            }
+            None => {
+                eprintln!("mclc: no stream `{name}`");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn dump_table(program: &Program, stream: Option<&str>) -> ExitCode {
+    let Some((name, table)) = pick_stream(program, stream) else {
+        eprintln!("mclc: no stream to dump");
+        return ExitCode::FAILURE;
+    };
+    println!("stream {name}");
+    println!("  streamlets:");
+    for r in &table.streamlets {
+        println!(
+            "    {:<24} def={:<20} {}",
+            r.name,
+            r.def,
+            if r.initial { "initial" } else { "lazy (when-block)" }
+        );
+    }
+    println!("  channels:");
+    for c in &table.channels {
+        println!(
+            "    {:<24} {:?} {:?} buffer={}KB type={}",
+            c.name, c.spec.kind, c.spec.category, c.spec.buffer_kb, c.spec.ty
+        );
+    }
+    println!("  connections:");
+    for c in &table.connections {
+        println!("    {}.{} -> {}.{}  via {}", c.from.0, c.from.1, c.to.0, c.to.1, c.channel);
+    }
+    println!("  exported inputs:");
+    for (i, p, t) in &table.exported_inputs {
+        println!("    {i}.{p} : {t}");
+    }
+    println!("  exported outputs:");
+    for (i, p, t) in &table.exported_outputs {
+        println!("    {i}.{p} : {t}");
+    }
+    if !table.when_rules.is_empty() {
+        println!("  when rules:");
+        for r in &table.when_rules {
+            println!("    on {}: {} action(s)", r.event, r.actions.len());
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn dump_dot(program: &Program, stream: Option<&str>) -> ExitCode {
+    let Some((name, table)) = pick_stream(program, stream) else {
+        eprintln!("mclc: no stream to render");
+        return ExitCode::FAILURE;
+    };
+    println!("digraph \"{name}\" {{");
+    println!("  rankdir=LR;");
+    println!("  node [shape=box, style=rounded];");
+    for r in &table.streamlets {
+        let style = if r.initial { "" } else { ", style=dashed" };
+        println!("  \"{}\" [label=\"{}\\n({})\"{}];", r.name, r.name, r.def, style);
+    }
+    for c in &table.connections {
+        println!(
+            "  \"{}\" -> \"{}\" [label=\"{}\"];",
+            c.from.0, c.to.0, c.channel
+        );
+    }
+    for (i, p, _) in &table.exported_inputs {
+        println!("  \"in:{p}\" [shape=point]; \"in:{p}\" -> \"{i}\";");
+    }
+    for (i, p, _) in &table.exported_outputs {
+        println!("  \"out:{p}\" [shape=point]; \"{i}\" -> \"out:{p}\";");
+    }
+    println!("}}");
+    ExitCode::SUCCESS
+}

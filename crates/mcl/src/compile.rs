@@ -1,0 +1,1405 @@
+//! The MCL compiler: resolution, compatibility checking, composite
+//! expansion, and configuration-table generation.
+//!
+//! Compilation enforces the two §4.4.1 restrictions:
+//!
+//! 1. streamlet ports connect only to channel ports (structurally: every
+//!    connection goes *through* a channel, and channel instances cannot
+//!    appear as connection endpoints);
+//! 2. a source port may feed a sink port only when the source type equals
+//!    or specializes the sink type in the MIME lattice; the channel must
+//!    also accept the source type.
+//!
+//! Recursive composition (§4.4.2) is resolved by expansion: instantiating a
+//! *stream* as a streamlet inlines its instances, channels, connections,
+//! and `when` rules under hierarchical names (`outer/inner`), and maps the
+//! composite's ports onto the inner unsatisfied ports (§5.1.4). A facade
+//! streamlet definition with the same name as the stream (as in Figure 4-9)
+//! supplies the composite's public port names and types, which are verified
+//! against the derived ports.
+
+use crate::ast::{self, PortDir, Script, Statefulness, StreamStmt};
+use crate::config::{
+    ChannelRow, ChannelSpec, ConfigTable, ConnectionRow, InstanceRow, Program, ReconfigAction,
+    StreamletSpec, WhenRule,
+};
+
+use crate::error::{MclError, Span};
+use crate::events::EventKind;
+use crate::parser::parse;
+use mobigate_mime::{MimeType, TypeRegistry};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Compiles MCL source with the standard MIME lattice.
+pub fn compile(source: &str) -> Result<Program, MclError> {
+    compile_with_registry(source, TypeRegistry::standard())
+}
+
+/// Compiles MCL source against a caller-supplied type registry. `type X
+/// under Y;` declarations in the script extend the registry before any
+/// compatibility check runs.
+pub fn compile_with_registry(
+    source: &str,
+    mut registry: TypeRegistry,
+) -> Result<Program, MclError> {
+    let script = parse(source)?;
+    for decl in &script.type_decls {
+        registry.declare_types(decl.child.clone(), decl.parent.clone());
+    }
+    Compiler::new(&script, registry)?.run()
+}
+
+/// Where a facade port maps inside an expanded composite.
+type PortAlias = HashMap<(String, String), (String, String)>;
+
+struct Compiler<'a> {
+    script: &'a Script,
+    registry: TypeRegistry,
+    streamlet_defs: BTreeMap<String, StreamletSpec>,
+    channel_defs: BTreeMap<String, ChannelSpec>,
+    stream_asts: BTreeMap<String, &'a ast::StreamDef>,
+    compiled: BTreeMap<String, ConfigTable>,
+}
+
+impl<'a> Compiler<'a> {
+    fn new(script: &'a Script, registry: TypeRegistry) -> Result<Self, MclError> {
+        let mut streamlet_defs = BTreeMap::new();
+        for def in &script.streamlets {
+            let spec = lower_streamlet(def)?;
+            if streamlet_defs.insert(def.name.clone(), spec).is_some() {
+                return Err(MclError::Duplicate {
+                    span: def.span,
+                    kind: "streamlet definition",
+                    name: def.name.clone(),
+                });
+            }
+        }
+        let mut channel_defs = BTreeMap::new();
+        for def in &script.channels {
+            let spec = lower_channel(def)?;
+            if channel_defs.insert(def.name.clone(), spec).is_some() {
+                return Err(MclError::Duplicate {
+                    span: def.span,
+                    kind: "channel definition",
+                    name: def.name.clone(),
+                });
+            }
+        }
+        let mut stream_asts = BTreeMap::new();
+        for def in &script.streams {
+            if stream_asts.insert(def.name.clone(), def).is_some() {
+                return Err(MclError::Duplicate {
+                    span: def.span,
+                    kind: "stream",
+                    name: def.name.clone(),
+                });
+            }
+        }
+        Ok(Compiler {
+            script,
+            registry,
+            streamlet_defs,
+            channel_defs,
+            stream_asts,
+            compiled: BTreeMap::new(),
+        })
+    }
+
+    fn run(mut self) -> Result<Program, MclError> {
+        // Compile every stream (composites are compiled on demand and
+        // memoized, so order does not matter).
+        let names: Vec<String> = self.stream_asts.keys().cloned().collect();
+        for name in &names {
+            self.compile_stream(name, &mut Vec::new())?;
+        }
+
+        // Determine the main stream.
+        let mut main_stream = None;
+        for def in &self.script.streams {
+            if def.is_main {
+                if main_stream.is_some() {
+                    return Err(MclError::Duplicate {
+                        span: def.span,
+                        kind: "main stream",
+                        name: def.name.clone(),
+                    });
+                }
+                main_stream = Some(def.name.clone());
+            }
+        }
+
+        // Validate constraints reference known definitions.
+        let mut constraints = Vec::new();
+        for c in &self.script.constraints {
+            for n in [&c.a, &c.b] {
+                if !self.streamlet_defs.contains_key(n) && !self.stream_asts.contains_key(n) {
+                    return Err(MclError::Undefined {
+                        span: c.span,
+                        kind: "streamlet definition (in constraint)",
+                        name: n.clone(),
+                    });
+                }
+            }
+            constraints.push((c.kind, c.a.clone(), c.b.clone()));
+        }
+
+        Ok(Program {
+            streamlet_defs: self.streamlet_defs,
+            channel_defs: self.channel_defs,
+            streams: self.compiled,
+            main_stream,
+            constraints,
+        })
+    }
+
+    fn compile_stream(&mut self, name: &str, chain: &mut Vec<String>) -> Result<(), MclError> {
+        if self.compiled.contains_key(name) {
+            return Ok(());
+        }
+        let def = *self.stream_asts.get(name).expect("caller checked existence");
+        if chain.iter().any(|c| c == name) {
+            let mut cycle = chain.clone();
+            cycle.push(name.to_string());
+            return Err(MclError::RecursiveCycle { span: def.span, chain: cycle });
+        }
+        chain.push(name.to_string());
+        let table = StreamBuilder::new(self, name).build(&def.body, chain)?;
+        chain.pop();
+        self.compiled.insert(name.to_string(), table);
+        Ok(())
+    }
+}
+
+fn lower_streamlet(def: &ast::StreamletDef) -> Result<StreamletSpec, MclError> {
+    let mut inputs = Vec::new();
+    let mut outputs = Vec::new();
+    let mut seen = HashSet::new();
+    for p in &def.ports {
+        if !seen.insert(p.name.clone()) {
+            return Err(MclError::Duplicate { span: p.span, kind: "port", name: p.name.clone() });
+        }
+        match p.dir {
+            PortDir::In => inputs.push((p.name.clone(), p.ty.clone())),
+            PortDir::Out => outputs.push((p.name.clone(), p.ty.clone())),
+        }
+    }
+    Ok(StreamletSpec {
+        name: def.name.clone(),
+        inputs,
+        outputs,
+        stateful: def.statefulness == Statefulness::Stateful,
+        library: def.library.clone(),
+        description: def.description.clone(),
+    })
+}
+
+fn lower_channel(def: &ast::ChannelDef) -> Result<ChannelSpec, MclError> {
+    // A channel's carried type is its `in` port type; default to `*/*`.
+    let ty = def
+        .ports
+        .iter()
+        .find(|p| p.dir == PortDir::In)
+        .map(|p| p.ty.clone())
+        .unwrap_or_else(MimeType::any);
+    Ok(ChannelSpec {
+        name: def.name.clone(),
+        kind: def.kind,
+        category: def.category,
+        buffer_kb: def.buffer_kb,
+        ty,
+    })
+}
+
+/// Builds the configuration table of one stream by interpreting its body.
+struct StreamBuilder<'c, 'a> {
+    compiler: &'c mut Compiler<'a>,
+    table: ConfigTable,
+    /// instance name → streamlet definition name (for simple instances).
+    instance_defs: HashMap<String, String>,
+    /// channel instance name → spec.
+    channel_specs: HashMap<String, ChannelSpec>,
+    /// (composite instance, facade port) → (inner instance, inner port).
+    composite_ports: PortAlias,
+    /// composite instance → inner instance names (for removal).
+    composite_members: HashMap<String, Vec<String>>,
+    auto_chan: usize,
+}
+
+impl<'c, 'a> StreamBuilder<'c, 'a> {
+    fn new(compiler: &'c mut Compiler<'a>, name: &str) -> Self {
+        StreamBuilder {
+            compiler,
+            table: ConfigTable { name: name.to_string(), ..Default::default() },
+            instance_defs: HashMap::new(),
+            channel_specs: HashMap::new(),
+            composite_ports: HashMap::new(),
+            composite_members: HashMap::new(),
+            auto_chan: 0,
+        }
+    }
+
+    fn build(
+        mut self,
+        body: &[StreamStmt],
+        chain: &mut Vec<String>,
+    ) -> Result<ConfigTable, MclError> {
+        // First interpret the initial topology (everything outside `when`).
+        for stmt in body {
+            match stmt {
+                StreamStmt::When { .. } => {}
+                other => self.apply_initial(other, chain)?,
+            }
+        }
+        // Then compile `when` blocks into reconfiguration rules. Instances
+        // declared inside a block are registered (non-initial) so later
+        // statements — in this or other blocks — can reference them, which
+        // matches Figure 4-8 where `s4` is connected only on LOW_ENERGY.
+        for stmt in body {
+            if let StreamStmt::When { event, body, span } = stmt {
+                let event: EventKind =
+                    event.parse().map_err(|_| MclError::Undefined {
+                        span: *span,
+                        kind: "event",
+                        name: event.clone(),
+                    })?;
+                let mut actions = Vec::new();
+                for inner in body {
+                    self.compile_action(inner, &mut actions, chain)?;
+                }
+                self.table.when_rules.push(WhenRule { event, actions });
+            }
+        }
+        self.derive_exports();
+        Ok(self.table)
+    }
+
+    // --- initial topology ------------------------------------------------
+
+    fn apply_initial(
+        &mut self,
+        stmt: &StreamStmt,
+        chain: &mut Vec<String>,
+    ) -> Result<(), MclError> {
+        match stmt {
+            StreamStmt::NewStreamlet { names, def, span } => {
+                for n in names {
+                    self.new_streamlet(n, def, true, *span, chain)?;
+                }
+                Ok(())
+            }
+            StreamStmt::NewChannel { names, def, span } => {
+                for n in names {
+                    self.new_channel(n, def, *span)?;
+                }
+                Ok(())
+            }
+            StreamStmt::Connect { from, to, channel, span } => {
+                let conn = self.resolve_connect(from, to, channel.as_deref(), *span)?;
+                self.table.connections.push(conn);
+                Ok(())
+            }
+            StreamStmt::Disconnect { from, to, span } => {
+                let f = self.resolve_endpoint(from, PortDir::Out, *span)?;
+                let t = self.resolve_endpoint(to, PortDir::In, *span)?;
+                let before = self.table.connections.len();
+                self.table.connections.retain(|c| !(c.from == f && c.to == t));
+                if self.table.connections.len() == before {
+                    return Err(MclError::Undefined {
+                        span: *span,
+                        kind: "connection",
+                        name: format!("{from} -> {to}"),
+                    });
+                }
+                Ok(())
+            }
+            StreamStmt::DisconnectAll { instance, span } => {
+                self.require_instance(instance, *span)?;
+                let members = self.members_of(instance);
+                self.table
+                    .connections
+                    .retain(|c| !members.contains(&c.from.0) && !members.contains(&c.to.0));
+                Ok(())
+            }
+            StreamStmt::RemoveStreamlet { name, span } => {
+                self.require_instance(name, *span)?;
+                let members = self.members_of(name);
+                self.table.streamlets.retain(|r| !members.contains(&r.name));
+                self.table
+                    .connections
+                    .retain(|c| !members.contains(&c.from.0) && !members.contains(&c.to.0));
+                self.instance_defs.remove(name);
+                self.composite_members.remove(name);
+                self.composite_ports.retain(|(inst, _), _| inst != name);
+                Ok(())
+            }
+            StreamStmt::RemoveChannel { name, span } => {
+                if self.channel_specs.remove(name).is_none() {
+                    return Err(MclError::Undefined {
+                        span: *span,
+                        kind: "channel instance",
+                        name: name.clone(),
+                    });
+                }
+                self.table.channels.retain(|c| c.name != *name);
+                self.table.connections.retain(|c| c.channel != *name);
+                Ok(())
+            }
+            StreamStmt::Insert { from, to, instance, span } => {
+                // Splice: from→to becomes from→instance.in, instance.out→to.
+                let f = self.resolve_endpoint(from, PortDir::Out, *span)?;
+                let t = self.resolve_endpoint(to, PortDir::In, *span)?;
+                let idx = self
+                    .table
+                    .connections
+                    .iter()
+                    .position(|c| c.from == f && c.to == t)
+                    .ok_or_else(|| MclError::Undefined {
+                        span: *span,
+                        kind: "connection",
+                        name: format!("{from} -> {to}"),
+                    })?;
+                let old = self.table.connections.remove(idx);
+                let (in_port, out_port) = self.single_ports(instance, *span)?;
+                let first = self.resolve_connect(
+                    from,
+                    &ast::PortRef { instance: instance.clone(), port: in_port, span: *span },
+                    Some(&old.channel),
+                    *span,
+                )?;
+                let second = self.resolve_connect(
+                    &ast::PortRef { instance: instance.clone(), port: out_port, span: *span },
+                    to,
+                    None,
+                    *span,
+                )?;
+                self.table.connections.push(first);
+                self.table.connections.push(second);
+                Ok(())
+            }
+            StreamStmt::Replace { old, new, span } => {
+                self.require_instance(old, *span)?;
+                self.require_instance(new, *span)?;
+                let mut rewired = Vec::new();
+                for c in &self.table.connections {
+                    let mut c = c.clone();
+                    if c.from.0 == *old {
+                        c.from.0 = new.clone();
+                    }
+                    if c.to.0 == *old {
+                        c.to.0 = new.clone();
+                    }
+                    rewired.push(c);
+                }
+                // Verify every rewired endpoint exists on the replacement.
+                for c in &rewired {
+                    for (inst, port, dir) in
+                        [(&c.from.0, &c.from.1, PortDir::Out), (&c.to.0, &c.to.1, PortDir::In)]
+                    {
+                        if inst == new {
+                            self.port_type_of(inst, port, dir, *span)?;
+                        }
+                    }
+                }
+                self.table.connections = rewired;
+                self.table.streamlets.retain(|r| r.name != *old);
+                self.instance_defs.remove(old);
+                Ok(())
+            }
+            StreamStmt::When { .. } => unreachable!("handled by build()"),
+        }
+    }
+
+    // --- `when` bodies ----------------------------------------------------
+
+    fn compile_action(
+        &mut self,
+        stmt: &StreamStmt,
+        out: &mut Vec<ReconfigAction>,
+        chain: &mut Vec<String>,
+    ) -> Result<(), MclError> {
+        match stmt {
+            StreamStmt::NewStreamlet { names, def, span } => {
+                for n in names {
+                    self.new_streamlet(n, def, false, *span, chain)?;
+                    out.push(ReconfigAction::NewStreamlet { name: n.clone(), def: def.clone() });
+                }
+                Ok(())
+            }
+            StreamStmt::NewChannel { names, def, span } => {
+                for n in names {
+                    let spec = self.new_channel(n, def, *span)?;
+                    out.push(ReconfigAction::NewChannel { name: n.clone(), spec });
+                }
+                Ok(())
+            }
+            StreamStmt::Connect { from, to, channel, span } => {
+                let conn = self.resolve_connect(from, to, channel.as_deref(), *span)?;
+                // Reconfiguration-time channels created for the rule must
+                // also be materialized at reconfiguration time.
+                out.push(ReconfigAction::Connect {
+                    from: conn.from,
+                    to: conn.to,
+                    channel: conn.channel,
+                });
+                Ok(())
+            }
+            StreamStmt::Disconnect { from, to, span } => {
+                let f = self.resolve_endpoint(from, PortDir::Out, *span)?;
+                let t = self.resolve_endpoint(to, PortDir::In, *span)?;
+                out.push(ReconfigAction::Disconnect { from: f, to: t });
+                Ok(())
+            }
+            StreamStmt::DisconnectAll { instance, span } => {
+                self.require_instance(instance, *span)?;
+                out.push(ReconfigAction::DisconnectAll { instance: instance.clone() });
+                Ok(())
+            }
+            StreamStmt::RemoveStreamlet { name, span } => {
+                self.require_instance(name, *span)?;
+                out.push(ReconfigAction::RemoveStreamlet { name: name.clone() });
+                Ok(())
+            }
+            StreamStmt::RemoveChannel { name, span } => {
+                if !self.channel_specs.contains_key(name) {
+                    return Err(MclError::Undefined {
+                        span: *span,
+                        kind: "channel instance",
+                        name: name.clone(),
+                    });
+                }
+                out.push(ReconfigAction::RemoveChannel { name: name.clone() });
+                Ok(())
+            }
+            StreamStmt::Insert { from, to, instance, span } => {
+                let f = self.resolve_endpoint(from, PortDir::Out, *span)?;
+                let t = self.resolve_endpoint(to, PortDir::In, *span)?;
+                self.require_instance(instance, *span)?;
+                // Type-check the splice against the instance's ports.
+                let (in_port, out_port) = self.single_ports(instance, *span)?;
+                self.check_compat(from, to, *span)?;
+                let _ = (in_port, out_port);
+                out.push(ReconfigAction::Insert { from: f, to: t, instance: instance.clone() });
+                Ok(())
+            }
+            StreamStmt::Replace { old, new, span } => {
+                self.require_instance(old, *span)?;
+                self.require_instance(new, *span)?;
+                out.push(ReconfigAction::Replace { old: old.clone(), new: new.clone() });
+                Ok(())
+            }
+            StreamStmt::When { span, .. } => Err(MclError::Parse {
+                span: *span,
+                message: "`when` blocks cannot be nested".into(),
+            }),
+        }
+    }
+
+    // --- shared helpers ----------------------------------------------------
+
+    fn new_streamlet(
+        &mut self,
+        name: &str,
+        def: &str,
+        initial: bool,
+        span: Span,
+        chain: &mut Vec<String>,
+    ) -> Result<(), MclError> {
+        if self.instance_defs.contains_key(name) || self.composite_members.contains_key(name) {
+            return Err(MclError::Duplicate {
+                span,
+                kind: "streamlet instance",
+                name: name.to_string(),
+            });
+        }
+        // Recursive composition: a stream definition instantiated as a
+        // streamlet is expanded inline (§4.4.2).
+        if self.compiler.stream_asts.contains_key(def) {
+            return self.expand_composite(name, def, initial, span, chain);
+        }
+        if !self.compiler.streamlet_defs.contains_key(def) {
+            return Err(MclError::Undefined {
+                span,
+                kind: "streamlet definition",
+                name: def.to_string(),
+            });
+        }
+        self.instance_defs.insert(name.to_string(), def.to_string());
+        self.table.streamlets.push(InstanceRow {
+            name: name.to_string(),
+            def: def.to_string(),
+            initial,
+        });
+        Ok(())
+    }
+
+    fn new_channel(
+        &mut self,
+        name: &str,
+        def: &str,
+        span: Span,
+    ) -> Result<ChannelSpec, MclError> {
+        if self.channel_specs.contains_key(name) {
+            return Err(MclError::Duplicate {
+                span,
+                kind: "channel instance",
+                name: name.to_string(),
+            });
+        }
+        let spec = self
+            .compiler
+            .channel_defs
+            .get(def)
+            .cloned()
+            .ok_or_else(|| MclError::Undefined {
+                span,
+                kind: "channel definition",
+                name: def.to_string(),
+            })?;
+        self.channel_specs.insert(name.to_string(), spec.clone());
+        self.table.channels.push(ChannelRow { name: name.to_string(), spec: spec.clone() });
+        Ok(spec)
+    }
+
+    fn expand_composite(
+        &mut self,
+        name: &str,
+        stream_def: &str,
+        initial: bool,
+        span: Span,
+        chain: &mut Vec<String>,
+    ) -> Result<(), MclError> {
+        self.compiler.compile_stream(stream_def, chain)?;
+        let inner = self.compiler.compiled.get(stream_def).expect("just compiled").clone();
+
+        let rename = |s: &str| format!("{name}/{s}");
+        let mut members = Vec::new();
+        for row in &inner.streamlets {
+            let renamed = rename(&row.name);
+            members.push(renamed.clone());
+            self.instance_defs.insert(renamed.clone(), row.def.clone());
+            self.table.streamlets.push(InstanceRow {
+                name: renamed,
+                def: row.def.clone(),
+                initial: initial && row.initial,
+            });
+        }
+        for row in &inner.channels {
+            let renamed = rename(&row.name);
+            self.channel_specs.insert(renamed.clone(), row.spec.clone());
+            self.table.channels.push(ChannelRow { name: renamed, spec: row.spec.clone() });
+        }
+        for c in &inner.connections {
+            self.table.connections.push(ConnectionRow {
+                from: (rename(&c.from.0), c.from.1.clone()),
+                to: (rename(&c.to.0), c.to.1.clone()),
+                channel: rename(&c.channel),
+            });
+        }
+        for rule in &inner.when_rules {
+            let actions = rule.actions.iter().map(|a| rename_action(a, &rename)).collect();
+            self.table.when_rules.push(WhenRule { event: rule.event, actions });
+        }
+
+        // Map the composite's public ports. A facade streamlet definition
+        // with the stream's name supplies names and types (Figure 4-9);
+        // otherwise derived inner port names are used directly.
+        let derived_in: Vec<(String, String, MimeType)> = inner
+            .exported_inputs
+            .iter()
+            .map(|(i, p, t)| (rename(i), p.clone(), t.clone()))
+            .collect();
+        let derived_out: Vec<(String, String, MimeType)> = inner
+            .exported_outputs
+            .iter()
+            .map(|(i, p, t)| (rename(i), p.clone(), t.clone()))
+            .collect();
+
+        if let Some(facade) = self.compiler.streamlet_defs.get(stream_def) {
+            if facade.inputs.len() != derived_in.len() || facade.outputs.len() != derived_out.len()
+            {
+                return Err(MclError::IllegalEndpoints {
+                    span,
+                    message: format!(
+                        "facade streamlet `{stream_def}` declares {}+{} ports but the stream \
+                         derives {}+{} unsatisfied ports",
+                        facade.inputs.len(),
+                        facade.outputs.len(),
+                        derived_in.len(),
+                        derived_out.len()
+                    ),
+                });
+            }
+            for ((fname, fty), (inst, port, ity)) in facade.inputs.iter().zip(&derived_in) {
+                // Messages accepted by the facade flow into the inner port:
+                // the facade input must specialize the inner input.
+                if !self.compiler.registry.connectable(fty, ity) {
+                    return Err(MclError::Incompatible {
+                        span,
+                        source_port: format!("{stream_def}.{fname}"),
+                        source_type: fty.to_string(),
+                        sink_port: format!("{inst}.{port}"),
+                        sink_type: ity.to_string(),
+                    });
+                }
+                self.composite_ports
+                    .insert((name.to_string(), fname.clone()), (inst.clone(), port.clone()));
+            }
+            for ((fname, fty), (inst, port, ity)) in facade.outputs.iter().zip(&derived_out) {
+                // Inner output flows out through the facade: inner must
+                // specialize the facade output.
+                if !self.compiler.registry.connectable(ity, fty) {
+                    return Err(MclError::Incompatible {
+                        span,
+                        source_port: format!("{inst}.{port}"),
+                        source_type: ity.to_string(),
+                        sink_port: format!("{stream_def}.{fname}"),
+                        sink_type: fty.to_string(),
+                    });
+                }
+                self.composite_ports
+                    .insert((name.to_string(), fname.clone()), (inst.clone(), port.clone()));
+            }
+        } else {
+            for (inst, port, _) in derived_in.iter().chain(derived_out.iter()) {
+                self.composite_ports
+                    .insert((name.to_string(), port.clone()), (inst.clone(), port.clone()));
+            }
+        }
+        self.composite_members.insert(name.to_string(), members);
+        Ok(())
+    }
+
+    /// Resolves a port reference to `(instance, port)`, seeing through
+    /// composite facades, and verifies the direction.
+    fn resolve_endpoint(
+        &self,
+        r: &ast::PortRef,
+        dir: PortDir,
+        span: Span,
+    ) -> Result<(String, String), MclError> {
+        // Restriction 1: channels are not connection endpoints.
+        if self.channel_specs.contains_key(&r.instance) {
+            return Err(MclError::IllegalEndpoints {
+                span,
+                message: format!(
+                    "`{}` is a channel instance; streamlet ports can only connect to channel \
+                     ports via the third connect argument",
+                    r.instance
+                ),
+            });
+        }
+        let (inst, port) =
+            if let Some(mapped) = self.composite_ports.get(&(r.instance.clone(), r.port.clone())) {
+                mapped.clone()
+            } else {
+                (r.instance.clone(), r.port.clone())
+            };
+        self.port_type_of(&inst, &port, dir, span)?;
+        Ok((inst, port))
+    }
+
+    /// Type of `instance.port`, verifying the direction matches.
+    fn port_type_of(
+        &self,
+        instance: &str,
+        port: &str,
+        dir: PortDir,
+        span: Span,
+    ) -> Result<MimeType, MclError> {
+        let def_name =
+            self.instance_defs.get(instance).ok_or_else(|| MclError::Undefined {
+                span,
+                kind: "streamlet instance",
+                name: instance.to_string(),
+            })?;
+        let spec = &self.compiler.streamlet_defs[def_name];
+        let found = match dir {
+            PortDir::In => spec.inputs.iter().find(|(n, _)| n == port),
+            PortDir::Out => spec.outputs.iter().find(|(n, _)| n == port),
+        };
+        match found {
+            Some((_, ty)) => Ok(ty.clone()),
+            None => {
+                if spec.port_type(port).is_some() {
+                    Err(MclError::Direction {
+                        span,
+                        message: format!(
+                            "port `{instance}.{port}` exists but is not an {} port",
+                            if dir == PortDir::In { "input" } else { "output" }
+                        ),
+                    })
+                } else {
+                    Err(MclError::Undefined {
+                        span,
+                        kind: "port",
+                        name: format!("{instance}.{port}"),
+                    })
+                }
+            }
+        }
+    }
+
+    fn require_instance(&self, name: &str, span: Span) -> Result<(), MclError> {
+        if self.instance_defs.contains_key(name) || self.composite_members.contains_key(name) {
+            Ok(())
+        } else {
+            Err(MclError::Undefined {
+                span,
+                kind: "streamlet instance",
+                name: name.to_string(),
+            })
+        }
+    }
+
+    /// All inner instance names covered by `name` (itself, or its expanded
+    /// members when it is a composite).
+    fn members_of(&self, name: &str) -> Vec<String> {
+        match self.composite_members.get(name) {
+            Some(m) => m.clone(),
+            None => vec![name.to_string()],
+        }
+    }
+
+    /// The single (in, out) port pair of an instance — `insert` splices
+    /// through streamlets with exactly one input and one output.
+    fn single_ports(&self, instance: &str, span: Span) -> Result<(String, String), MclError> {
+        let def_name =
+            self.instance_defs.get(instance).ok_or_else(|| MclError::Undefined {
+                span,
+                kind: "streamlet instance",
+                name: instance.to_string(),
+            })?;
+        let spec = &self.compiler.streamlet_defs[def_name];
+        if spec.inputs.len() != 1 || spec.outputs.len() != 1 {
+            return Err(MclError::IllegalEndpoints {
+                span,
+                message: format!(
+                    "insert requires a streamlet with exactly one input and one output; \
+                     `{instance}` has {}+{}",
+                    spec.inputs.len(),
+                    spec.outputs.len()
+                ),
+            });
+        }
+        Ok((spec.inputs[0].0.clone(), spec.outputs[0].0.clone()))
+    }
+
+    fn check_compat(
+        &self,
+        from: &ast::PortRef,
+        to: &ast::PortRef,
+        span: Span,
+    ) -> Result<(MimeType, MimeType), MclError> {
+        let f = self.resolve_endpoint(from, PortDir::Out, span)?;
+        let t = self.resolve_endpoint(to, PortDir::In, span)?;
+        let source_ty = self.port_type_of(&f.0, &f.1, PortDir::Out, span)?;
+        let sink_ty = self.port_type_of(&t.0, &t.1, PortDir::In, span)?;
+        if !self.compiler.registry.connectable(&source_ty, &sink_ty) {
+            return Err(MclError::Incompatible {
+                span,
+                source_port: from.to_string(),
+                source_type: source_ty.to_string(),
+                sink_port: to.to_string(),
+                sink_type: sink_ty.to_string(),
+            });
+        }
+        Ok((source_ty, sink_ty))
+    }
+
+    fn resolve_connect(
+        &mut self,
+        from: &ast::PortRef,
+        to: &ast::PortRef,
+        channel: Option<&str>,
+        span: Span,
+    ) -> Result<ConnectionRow, MclError> {
+        let (source_ty, _sink_ty) = self.check_compat(from, to, span)?;
+        let f = self.resolve_endpoint(from, PortDir::Out, span)?;
+        let t = self.resolve_endpoint(to, PortDir::In, span)?;
+        let channel_name = match channel {
+            Some(name) => {
+                let spec =
+                    self.channel_specs.get(name).ok_or_else(|| MclError::Undefined {
+                        span,
+                        kind: "channel instance",
+                        name: name.to_string(),
+                    })?;
+                // The channel must accept the source type.
+                if !self.compiler.registry.connectable(&source_ty, &spec.ty) {
+                    return Err(MclError::Incompatible {
+                        span,
+                        source_port: from.to_string(),
+                        source_type: source_ty.to_string(),
+                        sink_port: format!("channel {name}"),
+                        sink_type: spec.ty.to_string(),
+                    });
+                }
+                name.to_string()
+            }
+            None => {
+                // §4.2.3: auto-create an async BK channel with 100 KB.
+                let name = loop {
+                    let candidate = format!("__chan{}", self.auto_chan);
+                    self.auto_chan += 1;
+                    if !self.channel_specs.contains_key(&candidate) {
+                        break candidate;
+                    }
+                };
+                let mut spec = ChannelSpec::default_for(source_ty.clone());
+                spec.name = name.clone();
+                self.channel_specs.insert(name.clone(), spec.clone());
+                self.table.channels.push(ChannelRow { name: name.clone(), spec });
+                name
+            }
+        };
+        Ok(ConnectionRow { from: f, to: t, channel: channel_name })
+    }
+
+    /// Derives exported ports: inner ports unsatisfied by any *initial*
+    /// connection (§5.1.4's `InnerIn` / `InnerOut`).
+    fn derive_exports(&mut self) {
+        let connected_in: HashSet<(String, String)> =
+            self.table.connections.iter().map(|c| c.to.clone()).collect();
+        let connected_out: HashSet<(String, String)> =
+            self.table.connections.iter().map(|c| c.from.clone()).collect();
+        for row in &self.table.streamlets {
+            if !row.initial {
+                continue;
+            }
+            let spec = &self.compiler.streamlet_defs[&row.def];
+            for (port, ty) in &spec.inputs {
+                if !connected_in.contains(&(row.name.clone(), port.clone())) {
+                    self.table.exported_inputs.push((row.name.clone(), port.clone(), ty.clone()));
+                }
+            }
+            for (port, ty) in &spec.outputs {
+                if !connected_out.contains(&(row.name.clone(), port.clone())) {
+                    self.table
+                        .exported_outputs
+                        .push((row.name.clone(), port.clone(), ty.clone()));
+                }
+            }
+        }
+    }
+}
+
+fn rename_action(a: &ReconfigAction, rename: &dyn Fn(&str) -> String) -> ReconfigAction {
+    let rn = |pair: &(String, String)| (rename(&pair.0), pair.1.clone());
+    match a {
+        ReconfigAction::NewStreamlet { name, def } => {
+            ReconfigAction::NewStreamlet { name: rename(name), def: def.clone() }
+        }
+        ReconfigAction::NewChannel { name, spec } => {
+            ReconfigAction::NewChannel { name: rename(name), spec: spec.clone() }
+        }
+        ReconfigAction::RemoveStreamlet { name } => {
+            ReconfigAction::RemoveStreamlet { name: rename(name) }
+        }
+        ReconfigAction::RemoveChannel { name } => {
+            ReconfigAction::RemoveChannel { name: rename(name) }
+        }
+        ReconfigAction::Connect { from, to, channel } => ReconfigAction::Connect {
+            from: rn(from),
+            to: rn(to),
+            channel: rename(channel),
+        },
+        ReconfigAction::Disconnect { from, to } => {
+            ReconfigAction::Disconnect { from: rn(from), to: rn(to) }
+        }
+        ReconfigAction::DisconnectAll { instance } => {
+            ReconfigAction::DisconnectAll { instance: rename(instance) }
+        }
+        ReconfigAction::Insert { from, to, instance } => ReconfigAction::Insert {
+            from: rn(from),
+            to: rn(to),
+            instance: rename(instance),
+        },
+        ReconfigAction::Replace { old, new } => {
+            ReconfigAction::Replace { old: rename(old), new: rename(new) }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ConstraintKind;
+
+    const DEFS: &str = r#"
+        streamlet switch {
+            port { in pi : */*; out po1 : image; out po2 : text; }
+            attribute { type = STATELESS; library = "builtin/switch"; }
+        }
+        streamlet img_down_sample {
+            port { in pi : image; out po : image/jpeg; }
+            attribute { type = STATELESS; library = "builtin/downsample"; }
+        }
+        streamlet text_compress {
+            port { in pi : text; out po : text; }
+            attribute { type = STATELESS; library = "builtin/compress"; }
+        }
+        streamlet merge {
+            port { in pi1 : image; in pi2 : text; out po : multipart/mixed; }
+            attribute { type = STATEFUL; library = "builtin/merge"; }
+        }
+        channel largeBufferChan {
+            port { in ci : image; out co : image; }
+            attribute { type = ASYNC; category = BK; buffer = 1024; }
+        }
+    "#;
+
+    fn with_defs(body: &str) -> String {
+        format!("{DEFS}\n{body}")
+    }
+
+    #[test]
+    fn compiles_simple_stream() {
+        let p = compile(&with_defs(
+            r#"
+            main stream app {
+                streamlet s1 = new-streamlet (switch);
+                streamlet s2 = new-streamlet (img_down_sample);
+                streamlet s6 = new-streamlet (text_compress);
+                streamlet s7 = new-streamlet (merge);
+                channel c1 = new-channel (largeBufferChan);
+                connect (s1.po1, s2.pi, c1);
+                connect (s1.po2, s6.pi);
+                connect (s2.po, s7.pi1);
+                connect (s6.po, s7.pi2);
+            }
+            "#,
+        ))
+        .unwrap();
+        let t = p.main().unwrap();
+        assert_eq!(t.streamlets.len(), 4);
+        assert_eq!(t.connections.len(), 4);
+        // 1 explicit + 3 auto channels.
+        assert_eq!(t.channels.len(), 4);
+        // Unsatisfied: s1.pi (in) and s7.po (out).
+        assert_eq!(t.exported_inputs, vec![(
+            "s1".to_string(),
+            "pi".to_string(),
+            MimeType::any()
+        )]);
+        assert_eq!(t.exported_outputs.len(), 1);
+        assert_eq!(t.exported_outputs[0].0, "s7");
+    }
+
+    #[test]
+    fn auto_channel_adopts_source_type_and_defaults() {
+        let p = compile(&with_defs(
+            "main stream app {\n\
+             streamlet a = new-streamlet (img_down_sample);\n\
+             streamlet m = new-streamlet (merge);\n\
+             connect (a.po, m.pi1);\n}",
+        ))
+        .unwrap();
+        let t = p.main().unwrap();
+        let chan = &t.channels[0];
+        assert_eq!(chan.spec.buffer_kb, 100);
+        assert_eq!(chan.spec.ty, MimeType::new("image", "jpeg"));
+    }
+
+    #[test]
+    fn rejects_incompatible_connection() {
+        // image/jpeg source into a text sink.
+        let err = compile(&with_defs(
+            "main stream app {\n\
+             streamlet a = new-streamlet (img_down_sample);\n\
+             streamlet c = new-streamlet (text_compress);\n\
+             connect (a.po, c.pi);\n}",
+        ))
+        .unwrap_err();
+        assert!(matches!(err, MclError::Incompatible { .. }), "{err}");
+    }
+
+    #[test]
+    fn accepts_subtype_connection_via_registry() {
+        // §4.4.1: text/richtext flows into a `text` sink.
+        let src = r#"
+            streamlet ps2text {
+                port { in pi : application/postscript; out po : text/richtext; }
+            }
+            streamlet text_compress { port { in pi : text; out po : text; } }
+            main stream app {
+                streamlet a = new-streamlet (ps2text);
+                streamlet b = new-streamlet (text_compress);
+                connect (a.po, b.pi);
+            }
+        "#;
+        assert!(compile(src).is_ok());
+    }
+
+    #[test]
+    fn type_decl_extends_lattice() {
+        let src = r#"
+            type application/vnd_custom under image/gif;
+            streamlet producer { port { out po : application/vnd_custom; } }
+            streamlet consumer { port { in pi : image; } }
+            main stream app {
+                streamlet a = new-streamlet (producer);
+                streamlet b = new-streamlet (consumer);
+                connect (a.po, b.pi);
+            }
+        "#;
+        assert!(compile(src).is_ok());
+    }
+
+    #[test]
+    fn rejects_wrong_direction() {
+        let err = compile(&with_defs(
+            "main stream app {\n\
+             streamlet a = new-streamlet (img_down_sample);\n\
+             streamlet b = new-streamlet (img_down_sample);\n\
+             connect (a.pi, b.pi);\n}",
+        ))
+        .unwrap_err();
+        assert!(matches!(err, MclError::Direction { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_channel_as_endpoint() {
+        let err = compile(&with_defs(
+            "main stream app {\n\
+             streamlet a = new-streamlet (img_down_sample);\n\
+             channel c1 = new-channel (largeBufferChan);\n\
+             connect (c1.co, a.pi);\n}",
+        ))
+        .unwrap_err();
+        assert!(matches!(err, MclError::IllegalEndpoints { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_channel_that_cannot_carry_flow() {
+        // largeBufferChan carries image; text flow through it is an error.
+        let err = compile(&with_defs(
+            "main stream app {\n\
+             streamlet a = new-streamlet (text_compress);\n\
+             streamlet b = new-streamlet (text_compress);\n\
+             channel c1 = new-channel (largeBufferChan);\n\
+             connect (a.po, b.pi, c1);\n}",
+        ))
+        .unwrap_err();
+        assert!(matches!(err, MclError::Incompatible { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_undefined_names() {
+        assert!(matches!(
+            compile("main stream a { streamlet x = new-streamlet (ghost); }").unwrap_err(),
+            MclError::Undefined { .. }
+        ));
+        assert!(matches!(
+            compile(&with_defs("main stream a { channel c = new-channel (ghost); }"))
+                .unwrap_err(),
+            MclError::Undefined { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_instances() {
+        let err = compile(&with_defs(
+            "main stream a { streamlet x = new-streamlet (switch); \
+             streamlet x = new-streamlet (switch); }",
+        ))
+        .unwrap_err();
+        assert!(matches!(err, MclError::Duplicate { .. }));
+    }
+
+    #[test]
+    fn when_rules_compile_to_actions() {
+        let p = compile(&with_defs(
+            r#"
+            main stream app {
+                streamlet a = new-streamlet (switch);
+                streamlet b = new-streamlet (text_compress);
+                streamlet c = new-streamlet (text_compress);
+                connect (a.po2, b.pi);
+                when (LOW_BANDWIDTH) {
+                    disconnect (a.po2, b.pi);
+                    connect (a.po2, c.pi);
+                    connect (c.po, b.pi);
+                }
+            }
+            "#,
+        ))
+        .unwrap();
+        let t = p.main().unwrap();
+        assert_eq!(t.when_rules.len(), 1);
+        assert_eq!(t.when_rules[0].event, EventKind::LowBandwidth);
+        assert_eq!(t.when_rules[0].actions.len(), 3);
+        // `c` is declared at top level so it is initial; ports of when-block
+        // connects were still type-checked.
+    }
+
+    #[test]
+    fn when_block_instances_are_lazy() {
+        let p = compile(&with_defs(
+            r#"
+            main stream app {
+                streamlet a = new-streamlet (text_compress);
+                when (LOW_BANDWIDTH) {
+                    streamlet z = new-streamlet (text_compress);
+                    connect (a.po, z.pi);
+                }
+            }
+            "#,
+        ))
+        .unwrap();
+        let t = p.main().unwrap();
+        let z = t.instance("z").unwrap();
+        assert!(!z.initial);
+        assert!(t.instance("a").unwrap().initial);
+        // Lazy instances do not contribute exported ports.
+        assert!(t.exported_inputs.iter().all(|(i, _, _)| i != "z"));
+    }
+
+    #[test]
+    fn rejects_unknown_event() {
+        let err = compile(&with_defs(
+            "main stream app { when (SOLAR_FLARE) { } }",
+        ))
+        .unwrap_err();
+        assert!(matches!(err, MclError::Undefined { kind: "event", .. }));
+    }
+
+    #[test]
+    fn rejects_nested_when() {
+        let err = compile(&with_defs(
+            "main stream app { when (END) { when (PAUSE) { } } }",
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("nested"));
+    }
+
+    #[test]
+    fn recursive_composition_expands() {
+        let p = compile(&with_defs(
+            r#"
+            streamlet streamApp {
+                port { in pi : */*; out po : multipart/mixed; }
+                attribute { type = STATEFUL; library = "general/streamApp"; }
+            }
+            stream streamApp {
+                streamlet s1 = new-streamlet (switch);
+                streamlet s2 = new-streamlet (img_down_sample);
+                streamlet s6 = new-streamlet (text_compress);
+                streamlet s7 = new-streamlet (merge);
+                connect (s1.po1, s2.pi);
+                connect (s1.po2, s6.pi);
+                connect (s2.po, s7.pi1);
+                connect (s6.po, s7.pi2);
+            }
+            main stream composite {
+                streamlet w = new-streamlet (streamApp);
+                streamlet post = new-streamlet (text_compress);
+                connect (w.po, post.pi);
+            }
+            "#,
+        ))
+        .unwrap_err();
+        // multipart/mixed -> text is incompatible: expansion *and* the
+        // facade check both ran. Now fix the sink type:
+        assert!(matches!(p, MclError::Incompatible { .. }), "{p}");
+    }
+
+    #[test]
+    fn recursive_composition_expands_ok() {
+        let p = compile(&with_defs(
+            r#"
+            streamlet streamApp {
+                port { in pi : */*; out po : multipart/mixed; }
+                attribute { type = STATEFUL; library = "general/streamApp"; }
+            }
+            streamlet sinkAny { port { in pi : */*; } }
+            stream streamApp {
+                streamlet s1 = new-streamlet (switch);
+                streamlet s2 = new-streamlet (img_down_sample);
+                streamlet s6 = new-streamlet (text_compress);
+                streamlet s7 = new-streamlet (merge);
+                connect (s1.po1, s2.pi);
+                connect (s1.po2, s6.pi);
+                connect (s2.po, s7.pi1);
+                connect (s6.po, s7.pi2);
+            }
+            main stream composite {
+                streamlet w = new-streamlet (streamApp);
+                streamlet post = new-streamlet (sinkAny);
+                connect (w.po, post.pi);
+            }
+            "#,
+        ))
+        .unwrap();
+        let t = p.main().unwrap();
+        // 4 inner + 1 outer instance.
+        assert_eq!(t.streamlets.len(), 5);
+        assert!(t.instance("w/s1").is_some());
+        assert!(t.instance("post").is_some());
+        // The outer connect resolved through the facade to w/s7.po.
+        let outer = t.connections.iter().find(|c| c.to.0 == "post").unwrap();
+        assert_eq!(outer.from, ("w/s7".to_string(), "po".to_string()));
+        // Exported input of composite is the unsatisfied w/s1.pi.
+        assert_eq!(t.exported_inputs.len(), 1);
+        assert_eq!(t.exported_inputs[0].0, "w/s1");
+    }
+
+    #[test]
+    fn recursive_cycle_is_detected() {
+        let err = compile(
+            r#"
+            stream a { streamlet x = new-streamlet (b); }
+            stream b { streamlet y = new-streamlet (a); }
+            "#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, MclError::RecursiveCycle { .. }), "{err}");
+    }
+
+    #[test]
+    fn self_recursion_is_detected() {
+        let err = compile("stream a { streamlet x = new-streamlet (a); }").unwrap_err();
+        assert!(matches!(err, MclError::RecursiveCycle { .. }));
+    }
+
+    #[test]
+    fn insert_splices_topology() {
+        let p = compile(&with_defs(
+            r#"
+            main stream app {
+                streamlet a = new-streamlet (text_compress);
+                streamlet b = new-streamlet (text_compress);
+                streamlet mid = new-streamlet (text_compress);
+                connect (a.po, b.pi);
+                insert (a.po, b.pi, mid);
+            }
+            "#,
+        ))
+        .unwrap();
+        let t = p.main().unwrap();
+        assert_eq!(t.connections.len(), 2);
+        assert!(t
+            .connections
+            .iter()
+            .any(|c| c.from.0 == "a" && c.to.0 == "mid"));
+        assert!(t
+            .connections
+            .iter()
+            .any(|c| c.from.0 == "mid" && c.to.0 == "b"));
+    }
+
+    #[test]
+    fn replace_rewires_connections() {
+        let p = compile(&with_defs(
+            r#"
+            main stream app {
+                streamlet a = new-streamlet (text_compress);
+                streamlet b = new-streamlet (text_compress);
+                streamlet alt = new-streamlet (text_compress);
+                connect (a.po, b.pi);
+                replace (a, alt);
+            }
+            "#,
+        ))
+        .unwrap();
+        let t = p.main().unwrap();
+        assert!(t.instance("a").is_none());
+        assert_eq!(t.connections[0].from.0, "alt");
+    }
+
+    #[test]
+    fn disconnect_and_remove_update_table() {
+        let p = compile(&with_defs(
+            r#"
+            main stream app {
+                streamlet a = new-streamlet (text_compress);
+                streamlet b = new-streamlet (text_compress);
+                connect (a.po, b.pi);
+                disconnect (a.po, b.pi);
+                remove-streamlet (b);
+            }
+            "#,
+        ))
+        .unwrap();
+        let t = p.main().unwrap();
+        assert!(t.connections.is_empty());
+        assert!(t.instance("b").is_none());
+    }
+
+    #[test]
+    fn duplicate_main_is_rejected() {
+        let err = compile("main stream a { } main stream b { }").unwrap_err();
+        assert!(matches!(err, MclError::Duplicate { kind: "main stream", .. }));
+    }
+
+    #[test]
+    fn constraints_are_collected_and_validated() {
+        let p = compile(&with_defs(
+            "constraint exclude(switch, merge);\nmain stream a { }",
+        ))
+        .unwrap();
+        assert_eq!(p.constraints.len(), 1);
+        assert_eq!(p.constraints[0].0, ConstraintKind::Exclude);
+        let err =
+            compile("constraint depend(nope, alsonope);\nmain stream a { }").unwrap_err();
+        assert!(matches!(err, MclError::Undefined { .. }));
+    }
+
+    #[test]
+    fn figure_4_8_compiles() {
+        // The full §4.3 distillation example, verbatim modulo streamlet
+        // definitions.
+        let src = r#"
+            streamlet switch {
+                port { in pi : */*; out po1 : image; out po2 : application/postscript; }
+            }
+            streamlet img_down_sample { port { in pi : image; out po : image; } }
+            streamlet map_to_16_grays { port { in pi : image; out po : image; } }
+            streamlet powerSaving { port { in pi : multipart/mixed; out po : multipart/mixed; } }
+            streamlet postscript2text {
+                port { in pi : application/postscript; out po : text/richtext; }
+            }
+            streamlet text_compress { port { in pi : text; out po : text; } }
+            streamlet merge { port { in pi1 : image; in pi2 : text; out po : multipart/mixed; } }
+            channel largeBufferChan {
+                port { in ci : image; out co : image; }
+                attribute { type = ASYNC; category = BK; buffer = 1024; }
+            }
+            main stream streamApp {
+                streamlet s1 = new-streamlet (switch);
+                streamlet s2 = new-streamlet (img_down_sample);
+                streamlet s3 = new-streamlet (map_to_16_grays);
+                streamlet s4 = new-streamlet (powerSaving);
+                streamlet s5 = new-streamlet (postscript2text);
+                streamlet s6 = new-streamlet (text_compress);
+                streamlet s7 = new-streamlet (merge);
+                channel c1, c2, c3 = new channel (largeBufferChan);
+                connect (s1.po1, s2.pi, c1);
+                connect (s1.po2, s5.pi);
+                connect (s2.po, s7.pi1, c2);
+                connect (s5.po, s6.pi);
+                connect (s6.po, s7.pi2);
+                when (LOW_ENERGY) {
+                    connect (s7.po, s4.pi);
+                }
+                when (LOW_GRAY) {
+                    disconnect (s2.po, s7.pi1);
+                    connect (s2.po, s3.pi, c2);
+                    connect (s3.po, s7.pi1, c3);
+                }
+            }
+        "#;
+        let p = compile(src).unwrap();
+        let t = p.main().unwrap();
+        assert_eq!(t.streamlets.len(), 7);
+        assert_eq!(t.when_rules.len(), 2);
+        assert_eq!(t.when_rules[0].event, EventKind::LowEnergy);
+        assert_eq!(t.when_rules[1].event, EventKind::LowGrays);
+        // c1..c3 declared, plus 3 auto channels for the default initial
+        // connects and 1 for the LOW_ENERGY when-connect.
+        assert_eq!(t.channels.len(), 7);
+        // Exported: s1.pi in; out: s7.po and s4.po (s4 has no initial
+        // connection so both its ports are unsatisfied).
+        assert!(t.exported_inputs.iter().any(|(i, p, _)| i == "s1" && p == "pi"));
+        assert!(t.exported_outputs.iter().any(|(i, p, _)| i == "s7" && p == "po"));
+    }
+}

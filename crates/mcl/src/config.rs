@@ -1,0 +1,255 @@
+//! Configuration tables — the compiler's output and the Coordination
+//! Manager's input.
+//!
+//! "The Coordination Manager maintains a configuration table for each
+//! instance of streamlet composition. The configuration table serves to
+//! contain meta-information on the composition of streamlets, message type
+//! constraints, port connections, and routing constraints. The table is
+//! derived from the compilation of the MCL script" (§3.3).
+
+use crate::ast::{ChannelCategory, ChannelKind, ConstraintKind};
+use crate::events::EventKind;
+use mobigate_mime::MimeType;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A fully compiled MCL program: streamlet/channel definitions plus one
+/// configuration table per stream.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// Streamlet definitions by name (composites already expanded away).
+    pub streamlet_defs: BTreeMap<String, StreamletSpec>,
+    /// Channel definitions by name.
+    pub channel_defs: BTreeMap<String, ChannelSpec>,
+    /// One configuration table per declared stream, keyed by stream name.
+    pub streams: BTreeMap<String, ConfigTable>,
+    /// The name of the `main` stream, if one was declared.
+    pub main_stream: Option<String>,
+    /// Architectural constraints, applied by the analyses.
+    pub constraints: Vec<(ConstraintKind, String, String)>,
+}
+
+impl Program {
+    /// The configuration table of the `main` stream.
+    pub fn main(&self) -> Option<&ConfigTable> {
+        self.main_stream.as_ref().and_then(|n| self.streams.get(n))
+    }
+}
+
+/// A resolved streamlet definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamletSpec {
+    /// Definition name.
+    pub name: String,
+    /// Input ports with their MIME types.
+    pub inputs: Vec<(String, MimeType)>,
+    /// Output ports with their MIME types.
+    pub outputs: Vec<(String, MimeType)>,
+    /// Stateless streamlets are poolable (§3.3.4).
+    pub stateful: bool,
+    /// Directory key of the implementing component.
+    pub library: String,
+    /// Free-text description.
+    pub description: String,
+}
+
+impl StreamletSpec {
+    /// Looks up the type of a port in either direction.
+    pub fn port_type(&self, port: &str) -> Option<&MimeType> {
+        self.inputs
+            .iter()
+            .chain(self.outputs.iter())
+            .find(|(n, _)| n == port)
+            .map(|(_, t)| t)
+    }
+
+    /// True if `port` is an input port.
+    pub fn is_input(&self, port: &str) -> bool {
+        self.inputs.iter().any(|(n, _)| n == port)
+    }
+
+    /// True if `port` is an output port.
+    pub fn is_output(&self, port: &str) -> bool {
+        self.outputs.iter().any(|(n, _)| n == port)
+    }
+}
+
+/// A resolved channel definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelSpec {
+    /// Definition name.
+    pub name: String,
+    /// Synchrony: sync channels rendezvous, async channels buffer.
+    pub kind: ChannelKind,
+    /// Disconnection category (S/BB/BK/KB/KK).
+    pub category: ChannelCategory,
+    /// Buffer capacity in kilobytes.
+    pub buffer_kb: u64,
+    /// The message type the channel carries (its `in` port type).
+    pub ty: MimeType,
+}
+
+impl ChannelSpec {
+    /// The default auto-created channel of §4.2.3: "an asynchronous BK type
+    /// with 100 Kbytes of buffer", adopting the source port's type.
+    pub fn default_for(ty: MimeType) -> Self {
+        ChannelSpec {
+            name: "<default>".into(),
+            kind: ChannelKind::Async,
+            category: ChannelCategory::BK,
+            buffer_kb: 100,
+            ty,
+        }
+    }
+}
+
+/// A streamlet instance row in a configuration table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceRow {
+    /// Instance name (hierarchical for expanded composites: `outer/inner`).
+    pub name: String,
+    /// Name of the defining [`StreamletSpec`].
+    pub def: String,
+    /// Whether the instance was declared inside a `when` block (and so is
+    /// created lazily at reconfiguration time) or in the initial topology.
+    pub initial: bool,
+}
+
+/// A channel instance row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelRow {
+    /// Instance name.
+    pub name: String,
+    /// The resolved channel spec (definitions are inlined so the runtime
+    /// needs no second lookup).
+    pub spec: ChannelSpec,
+}
+
+/// One directed connection: `from` (instance, out-port) → `to` (instance,
+/// in-port) through `channel`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConnectionRow {
+    /// Producer endpoint.
+    pub from: (String, String),
+    /// Consumer endpoint.
+    pub to: (String, String),
+    /// Channel instance carrying the flow (`None` never occurs after
+    /// compilation — default channels are materialized with generated
+    /// names — but reconfiguration actions may reference it).
+    pub channel: String,
+}
+
+/// A reconfiguration action compiled from a `when` body (§4.2.3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ReconfigAction {
+    /// Instantiate a streamlet (instance name, definition name).
+    NewStreamlet { name: String, def: String },
+    /// Instantiate a channel.
+    NewChannel { name: String, spec: ChannelSpec },
+    /// Remove a streamlet instance (after the Fig 6-8 safety conditions).
+    RemoveStreamlet { name: String },
+    /// Remove a channel instance.
+    RemoveChannel { name: String },
+    /// Connect two ports through a channel.
+    Connect { from: (String, String), to: (String, String), channel: String },
+    /// Break a connection.
+    Disconnect { from: (String, String), to: (String, String) },
+    /// Break every connection of an instance.
+    DisconnectAll { instance: String },
+    /// Splice `instance` into the `from`→`to` connection (Fig 7-4 steps).
+    Insert { from: (String, String), to: (String, String), instance: String },
+    /// Swap an instance for another of a compatible definition.
+    Replace { old: String, new: String },
+}
+
+/// An event-triggered rule: when `event` fires, run `actions` in order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WhenRule {
+    /// Triggering event.
+    pub event: EventKind,
+    /// Ordered actions.
+    pub actions: Vec<ReconfigAction>,
+}
+
+/// The configuration table of one stream (§3.3.1: "the configuration table
+/// acts as the routing table").
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ConfigTable {
+    /// Stream name.
+    pub name: String,
+    /// Streamlet instances (composites expanded, hierarchical names).
+    pub streamlets: Vec<InstanceRow>,
+    /// Channel instances.
+    pub channels: Vec<ChannelRow>,
+    /// Initial connections.
+    pub connections: Vec<ConnectionRow>,
+    /// Event-triggered reconfiguration rules.
+    pub when_rules: Vec<WhenRule>,
+    /// Exported input ports: unsatisfied `in` ports of inner streamlets
+    /// (instance, port, type) — the stream's own inputs (§5.1.4).
+    pub exported_inputs: Vec<(String, String, MimeType)>,
+    /// Exported output ports (the stream's own outputs).
+    pub exported_outputs: Vec<(String, String, MimeType)>,
+}
+
+impl ConfigTable {
+    /// Looks up an instance row by name.
+    pub fn instance(&self, name: &str) -> Option<&InstanceRow> {
+        self.streamlets.iter().find(|r| r.name == name)
+    }
+
+    /// Looks up a channel row by name.
+    pub fn channel(&self, name: &str) -> Option<&ChannelRow> {
+        self.channels.iter().find(|r| r.name == name)
+    }
+
+    /// Instances declared in the initial topology (not inside `when`).
+    pub fn initial_instances(&self) -> impl Iterator<Item = &InstanceRow> {
+        self.streamlets.iter().filter(|r| r.initial)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_channel_matches_paper() {
+        let c = ChannelSpec::default_for(MimeType::any());
+        assert_eq!(c.kind, ChannelKind::Async);
+        assert_eq!(c.category, ChannelCategory::BK);
+        assert_eq!(c.buffer_kb, 100);
+    }
+
+    #[test]
+    fn spec_port_lookup() {
+        let s = StreamletSpec {
+            name: "x".into(),
+            inputs: vec![("pi".into(), MimeType::top_level("text"))],
+            outputs: vec![("po".into(), MimeType::new("text", "plain"))],
+            stateful: false,
+            library: String::new(),
+            description: String::new(),
+        };
+        assert!(s.is_input("pi"));
+        assert!(s.is_output("po"));
+        assert!(!s.is_input("po"));
+        assert_eq!(s.port_type("po"), Some(&MimeType::new("text", "plain")));
+        assert_eq!(s.port_type("nope"), None);
+    }
+
+    #[test]
+    fn table_lookups() {
+        let t = ConfigTable {
+            name: "s".into(),
+            streamlets: vec![
+                InstanceRow { name: "a".into(), def: "d".into(), initial: true },
+                InstanceRow { name: "b".into(), def: "d".into(), initial: false },
+            ],
+            ..Default::default()
+        };
+        assert!(t.instance("a").is_some());
+        assert!(t.instance("zz").is_none());
+        assert_eq!(t.initial_instances().count(), 1);
+    }
+}

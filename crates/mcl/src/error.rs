@@ -1,0 +1,192 @@
+//! Diagnostics with source positions for the MCL pipeline.
+
+use std::fmt;
+
+/// A half-open byte range into the source, with line/column of its start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: u32,
+    /// 1-based column of `start`.
+    pub col: u32,
+}
+
+impl Span {
+    /// A span covering `start..end` at the given position.
+    pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
+        Span { start, end, line, col }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        let (first, last) = if self.start <= other.start {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        Span {
+            start: first.start,
+            end: last.end.max(first.end),
+            line: first.line,
+            col: first.col,
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Everything that can go wrong between source text and a configuration
+/// table. Compilation reports the *first* error encountered, as the thesis's
+/// compiler does ("incompatible connections in the script are returned by
+/// the compiler with a detailed error message", §3.3.6).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MclError {
+    /// Lexical error (bad character, unterminated string…).
+    Lex { span: Span, message: String },
+    /// Syntax error.
+    Parse { span: Span, message: String },
+    /// An undefined name was referenced.
+    Undefined { span: Span, kind: &'static str, name: String },
+    /// A name was defined twice ("name clashes between distinct streamlets
+    /// and streams are disallowed", §5.1).
+    Duplicate { span: Span, kind: &'static str, name: String },
+    /// §4.4.1 restriction 2: source must specialize sink.
+    Incompatible {
+        span: Span,
+        source_port: String,
+        source_type: String,
+        sink_port: String,
+        sink_type: String,
+    },
+    /// §4.4.1 restriction 1: streamlet ports only connect to channel ports.
+    IllegalEndpoints { span: Span, message: String },
+    /// A port was referenced with the wrong direction (e.g. connecting two
+    /// input ports).
+    Direction { span: Span, message: String },
+    /// Recursive composition expanded into itself (§4.4.2 must terminate).
+    RecursiveCycle { span: Span, chain: Vec<String> },
+    /// A declared attribute had an invalid value.
+    Attribute { span: Span, message: String },
+    /// A semantic analysis rejected the composition (Ch. 5).
+    Semantic { message: String },
+}
+
+impl MclError {
+    /// The source span, when the error is positional.
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            MclError::Lex { span, .. }
+            | MclError::Parse { span, .. }
+            | MclError::Undefined { span, .. }
+            | MclError::Duplicate { span, .. }
+            | MclError::Incompatible { span, .. }
+            | MclError::IllegalEndpoints { span, .. }
+            | MclError::Direction { span, .. }
+            | MclError::RecursiveCycle { span, .. }
+            | MclError::Attribute { span, .. } => Some(*span),
+            MclError::Semantic { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for MclError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MclError::Lex { span, message } => write!(f, "{span}: lexical error: {message}"),
+            MclError::Parse { span, message } => write!(f, "{span}: syntax error: {message}"),
+            MclError::Undefined { span, kind, name } => {
+                write!(f, "{span}: undefined {kind} `{name}`")
+            }
+            MclError::Duplicate { span, kind, name } => {
+                write!(f, "{span}: duplicate {kind} `{name}`")
+            }
+            MclError::Incompatible {
+                span,
+                source_port,
+                source_type,
+                sink_port,
+                sink_type,
+            } => write!(
+                f,
+                "{span}: incompatible connection: source `{source_port}` of type \
+                 `{source_type}` is not a subtype of sink `{sink_port}` of type `{sink_type}`"
+            ),
+            MclError::IllegalEndpoints { span, message } => {
+                write!(f, "{span}: illegal connection endpoints: {message}")
+            }
+            MclError::Direction { span, message } => {
+                write!(f, "{span}: port direction error: {message}")
+            }
+            MclError::RecursiveCycle { span, chain } => write!(
+                f,
+                "{span}: recursive composition cycle: {}",
+                chain.join(" -> ")
+            ),
+            MclError::Attribute { span, message } => {
+                write!(f, "{span}: invalid attribute: {message}")
+            }
+            MclError::Semantic { message } => write!(f, "semantic error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for MclError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge_covers_both() {
+        let a = Span::new(5, 10, 1, 6);
+        let b = Span::new(20, 25, 2, 3);
+        let m = a.merge(b);
+        assert_eq!(m.start, 5);
+        assert_eq!(m.end, 25);
+        assert_eq!(m.line, 1);
+        // Merge is symmetric on coverage.
+        let m2 = b.merge(a);
+        assert_eq!(m2.start, 5);
+        assert_eq!(m2.end, 25);
+    }
+
+    #[test]
+    fn display_includes_position_and_names() {
+        let e = MclError::Undefined {
+            span: Span::new(0, 3, 3, 7),
+            kind: "streamlet",
+            name: "bogus".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("3:7"));
+        assert!(s.contains("bogus"));
+        assert!(s.contains("streamlet"));
+    }
+
+    #[test]
+    fn incompatible_message_names_both_ports() {
+        let e = MclError::Incompatible {
+            span: Span::default(),
+            source_port: "s1.po".into(),
+            source_type: "image/gif".into(),
+            sink_port: "s2.pi".into(),
+            sink_type: "text/plain".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("s1.po") && s.contains("s2.pi"));
+        assert!(s.contains("image/gif") && s.contains("text/plain"));
+    }
+
+    #[test]
+    fn semantic_error_has_no_span() {
+        assert!(MclError::Semantic { message: "loop".into() }.span().is_none());
+    }
+}

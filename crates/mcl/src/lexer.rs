@@ -1,0 +1,469 @@
+//! The MCL lexer.
+//!
+//! MCL's surface syntax (Figures 4-2 through 4-5) is C-flavoured: braces,
+//! semicolons, `//` and `/* */` comments. Identifiers may contain `-` and
+//! `/` *inside* MIME type positions, but those are lexed contextually by the
+//! parser from primitive tokens, so the lexer stays simple:
+//!
+//! * identifiers/keywords: `[A-Za-z_][A-Za-z0-9_]*`
+//! * hyphenated keywords `new-streamlet`, `new-channel`, `remove-streamlet`,
+//!   `remove-channel`, `disconnectall` are recognized as single tokens
+//!   (hyphen joins two identifier-ish parts when the pair is a keyword);
+//! * integers, strings (`"…"`), punctuation `{ } ( ) , ; : . = / *`.
+
+use crate::error::{MclError, Span};
+use std::fmt;
+
+/// A lexical token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// The kinds of MCL tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are distinguished by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(u64),
+    /// Double-quoted string literal (contents, unescaped).
+    Str(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// `/`
+    Slash,
+    /// `*`
+    Star,
+    /// `-` (only survives when not folded into a hyphenated keyword)
+    Dash,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Int(n) => write!(f, "integer `{n}`"),
+            TokenKind::Str(_) => write!(f, "string literal"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::Eq => write!(f, "`=`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Dash => write!(f, "`-`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Hyphenated multi-word keywords folded into a single identifier token.
+const HYPHEN_KEYWORDS: &[&str] = &[
+    "new-streamlet",
+    "new-channel",
+    "remove-streamlet",
+    "remove-channel",
+];
+
+/// Lexes a full source string into tokens (ending with [`TokenKind::Eof`]).
+pub fn lex(source: &str) -> Result<Vec<Token>, MclError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer { src: source.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, MclError> {
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let start = self.mark();
+            let Some(c) = self.peek() else {
+                tokens.push(Token { kind: TokenKind::Eof, span: self.span_from(start) });
+                break;
+            };
+            let kind = match c {
+                b'{' => self.one(TokenKind::LBrace),
+                b'}' => self.one(TokenKind::RBrace),
+                b'(' => self.one(TokenKind::LParen),
+                b')' => self.one(TokenKind::RParen),
+                b',' => self.one(TokenKind::Comma),
+                b';' => self.one(TokenKind::Semi),
+                b':' => self.one(TokenKind::Colon),
+                b'.' => self.one(TokenKind::Dot),
+                b'=' => self.one(TokenKind::Eq),
+                b'/' => self.one(TokenKind::Slash),
+                b'*' => self.one(TokenKind::Star),
+                b'-' => self.one(TokenKind::Dash),
+                b'"' => self.string(start)?,
+                b'0'..=b'9' => self.number(),
+                c if c.is_ascii_alphabetic() || c == b'_' => self.ident(),
+                other => {
+                    return Err(MclError::Lex {
+                        span: self.span_from(start),
+                        message: format!("unexpected character `{}`", other as char),
+                    });
+                }
+            };
+            let span = self.span_from(start);
+            tokens.push(Token { kind, span });
+        }
+        Ok(fold_hyphen_keywords(tokens))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    /// True when the byte just before the cursor belongs to a MIME type
+    /// (`text/*`, `*/*`): there, `/*` is a slash + wildcard, not a comment.
+    fn after_type_char(&self) -> bool {
+        self.pos
+            .checked_sub(1)
+            .and_then(|p| self.src.get(p))
+            .is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_' || c == b'*')
+    }
+
+    fn mark(&self) -> (usize, u32, u32) {
+        (self.pos, self.line, self.col)
+    }
+
+    fn span_from(&self, (start, line, col): (usize, u32, u32)) -> Span {
+        Span::new(start, self.pos, line, col)
+    }
+
+    fn one(&mut self, kind: TokenKind) -> TokenKind {
+        self.bump();
+        kind
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), MclError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') && !self.after_type_char() => {
+                    let start = self.mark();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(MclError::Lex {
+                                    span: self.span_from(start),
+                                    message: "unterminated block comment".into(),
+                                });
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn string(&mut self, start: (usize, u32, u32)) -> Result<TokenKind, MclError> {
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(TokenKind::Str(out)),
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    other => {
+                        return Err(MclError::Lex {
+                            span: self.span_from(start),
+                            message: format!(
+                                "unknown escape `\\{}`",
+                                other.map(|c| c as char).unwrap_or('∅')
+                            ),
+                        });
+                    }
+                },
+                Some(b'\n') | None => {
+                    return Err(MclError::Lex {
+                        span: self.span_from(start),
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                Some(c) => out.push(c as char),
+            }
+        }
+    }
+
+    fn number(&mut self) -> TokenKind {
+        let mut n: u64 = 0;
+        while let Some(c) = self.peek() {
+            if !c.is_ascii_digit() {
+                break;
+            }
+            n = n.saturating_mul(10).saturating_add((c - b'0') as u64);
+            self.bump();
+        }
+        TokenKind::Int(n)
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                s.push(c as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        TokenKind::Ident(s)
+    }
+}
+
+/// Folds `ident - ident` triples into single identifiers when the joined
+/// word is a hyphenated keyword (so `new-streamlet` is one token, while
+/// `a - b` elsewhere remains an error for the parser to report).
+fn fold_hyphen_keywords(tokens: Vec<Token>) -> Vec<Token> {
+    let mut out: Vec<Token> = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    while i < tokens.len() {
+        if i + 2 < tokens.len() {
+            if let (TokenKind::Ident(a), TokenKind::Dash, TokenKind::Ident(b)) =
+                (&tokens[i].kind, &tokens[i + 1].kind, &tokens[i + 2].kind)
+            {
+                // Only fold when tokens are adjacent (no space), which we
+                // approximate by byte adjacency of spans.
+                let adjacent = tokens[i].span.end == tokens[i + 1].span.start
+                    && tokens[i + 1].span.end == tokens[i + 2].span.start;
+                let joined = format!("{a}-{b}");
+                if adjacent && HYPHEN_KEYWORDS.contains(&joined.as_str()) {
+                    out.push(Token {
+                        kind: TokenKind::Ident(joined),
+                        span: tokens[i].span.merge(tokens[i + 2].span),
+                    });
+                    i += 3;
+                    continue;
+                }
+            }
+        }
+        out.push(tokens[i].clone());
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_punctuation() {
+        assert_eq!(
+            kinds("{ } ( ) , ; : . = / *"),
+            vec![
+                TokenKind::LBrace,
+                TokenKind::RBrace,
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::Comma,
+                TokenKind::Semi,
+                TokenKind::Colon,
+                TokenKind::Dot,
+                TokenKind::Eq,
+                TokenKind::Slash,
+                TokenKind::Star,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_identifiers_and_numbers() {
+        assert_eq!(
+            kinds("stream s1 1024"),
+            vec![
+                TokenKind::Ident("stream".into()),
+                TokenKind::Ident("s1".into()),
+                TokenKind::Int(1024),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn folds_hyphen_keywords() {
+        assert_eq!(
+            kinds("new-streamlet"),
+            vec![TokenKind::Ident("new-streamlet".into()), TokenKind::Eof]
+        );
+        assert_eq!(
+            kinds("remove-channel"),
+            vec![TokenKind::Ident("remove-channel".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn does_not_fold_spaced_dash() {
+        let k = kinds("new - streamlet");
+        assert!(k.contains(&TokenKind::Dash));
+    }
+
+    #[test]
+    fn does_not_fold_non_keyword() {
+        let k = kinds("img-down");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("img".into()),
+                TokenKind::Dash,
+                TokenKind::Ident("down".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""general/streamApp" "a\"b\n""#),
+            vec![
+                TokenKind::Str("general/streamApp".into()),
+                TokenKind::Str("a\"b\n".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(lex("\"oops").is_err());
+        assert!(lex("\"newline\nin string\"").is_err());
+    }
+
+    #[test]
+    fn skips_line_and_block_comments() {
+        let k = kinds("a // comment\nb /* multi\nline */ c");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn wildcard_types_are_not_comments() {
+        // `*/*` and `text/*` must lex as type tokens, not comment openers.
+        assert_eq!(
+            kinds("*/*"),
+            vec![TokenKind::Star, TokenKind::Slash, TokenKind::Star, TokenKind::Eof]
+        );
+        assert_eq!(
+            kinds("text/* ;"),
+            vec![
+                TokenKind::Ident("text".into()),
+                TokenKind::Slash,
+                TokenKind::Star,
+                TokenKind::Semi,
+                TokenKind::Eof
+            ]
+        );
+        // A spaced `/*` still opens a comment.
+        assert_eq!(kinds("a /* c */ b").len(), 3);
+    }
+
+    #[test]
+    fn rejects_unterminated_block_comment() {
+        assert!(lex("/* never ends").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        let err = lex("€").unwrap_err();
+        assert!(matches!(err, MclError::Lex { .. }));
+    }
+
+    #[test]
+    fn tracks_line_and_column() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].span.line, 1);
+        assert_eq!(toks[0].span.col, 1);
+        assert_eq!(toks[1].span.line, 2);
+        assert_eq!(toks[1].span.col, 3);
+    }
+}

@@ -1,0 +1,339 @@
+//! The §5.1 Z schemas as checkable Rust structures.
+//!
+//! The thesis formalizes MCL's elements as Z schemas whose predicates
+//! ("enforced constraints") define well-formedness:
+//!
+//! * **Streamlet** — `inputs ∩ outputs = ∅` and
+//!   `dom port-type = inputs ∪ outputs` (every port carries a type);
+//! * **Channel** — `sink ≠ source`;
+//! * **Stream** — global name uniqueness across streamlets and channels,
+//!   every channel endpoint is a declared port of a member streamlet, and
+//!   the port type of a connected streamlet is compatible with the
+//!   intermediate channel's type;
+//! * **Composite streamlet** — the composite's ports are exactly the inner
+//!   ports not satisfied by any inner connection (§5.1.4).
+//!
+//! [`verify_table`] replays these predicates against a *compiled*
+//! [`ConfigTable`], so the compiler's output is machine-checked against the
+//! formal model — the Rust stand-in for running the Z schemas through
+//! Z/EVES (§5.2, DESIGN.md §3).
+
+use crate::config::{ConfigTable, Program};
+use mobigate_mime::{MimeType, TypeRegistry};
+use std::collections::{BTreeSet, HashSet};
+use std::fmt;
+
+/// A violated schema predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelViolation {
+    /// Streamlet schema: a port appears as both input and output.
+    PortsNotDisjoint { streamlet: String, port: String },
+    /// Stream schema: two entities share a name (`ENTITY` is a set of
+    /// global names — "name clashes … are disallowed").
+    NameClash { name: String },
+    /// Stream schema: a connection references a non-member or an
+    /// undeclared port.
+    DanglingEndpoint { endpoint: String },
+    /// Stream schema: `port-type` incompatible with the channel type.
+    TypeMismatch { endpoint: String, port_type: String, channel_type: String },
+    /// Channel schema: `sink = source`.
+    SelfChannel { channel: String },
+    /// Composite schema: an exported port is actually satisfied by an
+    /// inner connection (or vice versa).
+    BadExport { endpoint: String, reason: &'static str },
+}
+
+impl fmt::Display for ModelViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelViolation::PortsNotDisjoint { streamlet, port } => {
+                write!(f, "streamlet `{streamlet}`: port `{port}` is both input and output")
+            }
+            ModelViolation::NameClash { name } => write!(f, "name clash on `{name}`"),
+            ModelViolation::DanglingEndpoint { endpoint } => {
+                write!(f, "connection endpoint `{endpoint}` is not a declared member port")
+            }
+            ModelViolation::TypeMismatch { endpoint, port_type, channel_type } => write!(
+                f,
+                "`{endpoint}` of type `{port_type}` incompatible with channel type \
+                 `{channel_type}`"
+            ),
+            ModelViolation::SelfChannel { channel } => {
+                write!(f, "channel `{channel}` connects a port to itself")
+            }
+            ModelViolation::BadExport { endpoint, reason } => {
+                write!(f, "exported port `{endpoint}` violates §5.1.4: {reason}")
+            }
+        }
+    }
+}
+
+/// Verifies the §5.1 schema predicates against a compiled table.
+///
+/// Returns every violation found (empty = the table satisfies the formal
+/// model). The compiler is expected to never produce violations — this
+/// function exists so that property tests and downstream tools can check
+/// that expectation mechanically.
+pub fn verify_table(
+    table: &ConfigTable,
+    program: &Program,
+    registry: &TypeRegistry,
+) -> Vec<ModelViolation> {
+    let mut violations = Vec::new();
+
+    // --- Streamlet schema: inputs ∩ outputs = ∅ (checked per definition).
+    for spec in program.streamlet_defs.values() {
+        let ins: BTreeSet<&String> = spec.inputs.iter().map(|(n, _)| n).collect();
+        for (out, _) in &spec.outputs {
+            if ins.contains(out) {
+                violations.push(ModelViolation::PortsNotDisjoint {
+                    streamlet: spec.name.clone(),
+                    port: out.clone(),
+                });
+            }
+        }
+    }
+
+    // --- Stream schema: ENTITY uniqueness across streamlets and channels.
+    let mut names: HashSet<&str> = HashSet::new();
+    for row in &table.streamlets {
+        if !names.insert(&row.name) {
+            violations.push(ModelViolation::NameClash { name: row.name.clone() });
+        }
+    }
+    for row in &table.channels {
+        if !names.insert(&row.name) {
+            violations.push(ModelViolation::NameClash { name: row.name.clone() });
+        }
+    }
+
+    // --- Connections: endpoints exist, directions respected, types
+    // compatible with the intermediate channel.
+    let port_type = |inst: &str, port: &str, output: bool| -> Option<MimeType> {
+        let row = table.instance(inst)?;
+        let spec = program.streamlet_defs.get(&row.def)?;
+        let list = if output { &spec.outputs } else { &spec.inputs };
+        list.iter().find(|(n, _)| n == port).map(|(_, t)| t.clone())
+    };
+    for c in &table.connections {
+        if c.from == c.to {
+            violations.push(ModelViolation::SelfChannel { channel: c.channel.clone() });
+        }
+        let chan_ty = table.channel(&c.channel).map(|r| r.spec.ty.clone());
+        match (port_type(&c.from.0, &c.from.1, true), &chan_ty) {
+            (Some(src_ty), Some(ct)) => {
+                if !registry.connectable(&src_ty, ct) {
+                    violations.push(ModelViolation::TypeMismatch {
+                        endpoint: format!("{}.{}", c.from.0, c.from.1),
+                        port_type: src_ty.to_string(),
+                        channel_type: ct.to_string(),
+                    });
+                }
+            }
+            (None, _) => violations.push(ModelViolation::DanglingEndpoint {
+                endpoint: format!("{}.{}", c.from.0, c.from.1),
+            }),
+            _ => {}
+        }
+        if port_type(&c.to.0, &c.to.1, false).is_none() {
+            violations.push(ModelViolation::DanglingEndpoint {
+                endpoint: format!("{}.{}", c.to.0, c.to.1),
+            });
+        }
+    }
+
+    // --- Composite schema (§5.1.4): exports are exactly the unsatisfied
+    // initial ports.
+    let connected_in: HashSet<(&str, &str)> =
+        table.connections.iter().map(|c| (c.to.0.as_str(), c.to.1.as_str())).collect();
+    let connected_out: HashSet<(&str, &str)> =
+        table.connections.iter().map(|c| (c.from.0.as_str(), c.from.1.as_str())).collect();
+    for (inst, port, _) in &table.exported_inputs {
+        if connected_in.contains(&(inst.as_str(), port.as_str())) {
+            violations.push(ModelViolation::BadExport {
+                endpoint: format!("{inst}.{port}"),
+                reason: "exported input is satisfied by an inner connection",
+            });
+        }
+    }
+    for (inst, port, _) in &table.exported_outputs {
+        if connected_out.contains(&(inst.as_str(), port.as_str())) {
+            violations.push(ModelViolation::BadExport {
+                endpoint: format!("{inst}.{port}"),
+                reason: "exported output is satisfied by an inner connection",
+            });
+        }
+    }
+    // Completeness: every unsatisfied initial port must be exported.
+    let exported_in: HashSet<(&str, &str)> = table
+        .exported_inputs
+        .iter()
+        .map(|(i, p, _)| (i.as_str(), p.as_str()))
+        .collect();
+    let exported_out: HashSet<(&str, &str)> = table
+        .exported_outputs
+        .iter()
+        .map(|(i, p, _)| (i.as_str(), p.as_str()))
+        .collect();
+    for row in table.initial_instances() {
+        let Some(spec) = program.streamlet_defs.get(&row.def) else { continue };
+        for (port, _) in &spec.inputs {
+            let key = (row.name.as_str(), port.as_str());
+            if !connected_in.contains(&key) && !exported_in.contains(&key) {
+                violations.push(ModelViolation::BadExport {
+                    endpoint: format!("{}.{port}", row.name),
+                    reason: "unsatisfied input missing from the export set",
+                });
+            }
+        }
+        for (port, _) in &spec.outputs {
+            let key = (row.name.as_str(), port.as_str());
+            if !connected_out.contains(&key) && !exported_out.contains(&key) {
+                violations.push(ModelViolation::BadExport {
+                    endpoint: format!("{}.{port}", row.name),
+                    reason: "unsatisfied output missing from the export set",
+                });
+            }
+        }
+    }
+
+    violations
+}
+
+/// Verifies every stream of a compiled program. Returns `(stream, violation)`
+/// pairs.
+pub fn verify_program(
+    program: &Program,
+    registry: &TypeRegistry,
+) -> Vec<(String, ModelViolation)> {
+    let mut out = Vec::new();
+    for (name, table) in &program.streams {
+        for v in verify_table(table, program, registry) {
+            out.push((name.clone(), v));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::config::ConnectionRow;
+
+    fn registry() -> TypeRegistry {
+        TypeRegistry::standard()
+    }
+
+    const OK: &str = r#"
+        streamlet a { port { in pi : text; out po : text/plain; } }
+        streamlet b { port { in pi : text; out po : text; } }
+        main stream app {
+            streamlet x = new-streamlet (a);
+            streamlet y = new-streamlet (b);
+            connect (x.po, y.pi);
+        }
+    "#;
+
+    #[test]
+    fn compiled_output_satisfies_the_model() {
+        let p = compile(OK).unwrap();
+        assert!(verify_program(&p, &registry()).is_empty());
+    }
+
+    #[test]
+    fn figure_4_8_satisfies_the_model() {
+        // The full distillation example from the compile test suite.
+        let src = r#"
+            streamlet switch {
+                port { in pi : */*; out po1 : image; out po2 : application/postscript; }
+            }
+            streamlet img_down_sample { port { in pi : image; out po : image; } }
+            streamlet postscript2text {
+                port { in pi : application/postscript; out po : text/richtext; }
+            }
+            streamlet text_compress { port { in pi : text; out po : text; } }
+            streamlet merge { port { in pi1 : image; in pi2 : text; out po : multipart/mixed; } }
+            main stream streamApp {
+                streamlet s1 = new-streamlet (switch);
+                streamlet s2 = new-streamlet (img_down_sample);
+                streamlet s5 = new-streamlet (postscript2text);
+                streamlet s6 = new-streamlet (text_compress);
+                streamlet s7 = new-streamlet (merge);
+                connect (s1.po1, s2.pi);
+                connect (s1.po2, s5.pi);
+                connect (s2.po, s7.pi1);
+                connect (s5.po, s6.pi);
+                connect (s6.po, s7.pi2);
+            }
+        "#;
+        let p = compile(src).unwrap();
+        assert!(verify_program(&p, &registry()).is_empty());
+    }
+
+    #[test]
+    fn detects_injected_dangling_endpoint() {
+        let p = compile(OK).unwrap();
+        let mut table = p.main().unwrap().clone();
+        table.connections.push(ConnectionRow {
+            from: ("ghost".into(), "po".into()),
+            to: ("y".into(), "pi".into()),
+            channel: table.channels[0].name.clone(),
+        });
+        let v = verify_table(&table, &p, &registry());
+        assert!(v.iter().any(|v| matches!(v, ModelViolation::DanglingEndpoint { .. })), "{v:?}");
+    }
+
+    #[test]
+    fn detects_injected_name_clash() {
+        let p = compile(OK).unwrap();
+        let mut table = p.main().unwrap().clone();
+        let dup = table.streamlets[0].clone();
+        table.streamlets.push(dup);
+        let v = verify_table(&table, &p, &registry());
+        assert!(v.iter().any(|v| matches!(v, ModelViolation::NameClash { .. })));
+    }
+
+    #[test]
+    fn detects_injected_type_mismatch() {
+        let p = compile(OK).unwrap();
+        let mut table = p.main().unwrap().clone();
+        // Corrupt the channel type to something the source can't feed.
+        table.channels[0].spec.ty = "image/gif".parse().unwrap();
+        let v = verify_table(&table, &p, &registry());
+        assert!(v.iter().any(|v| matches!(v, ModelViolation::TypeMismatch { .. })), "{v:?}");
+    }
+
+    #[test]
+    fn detects_injected_self_channel() {
+        let p = compile(OK).unwrap();
+        let mut table = p.main().unwrap().clone();
+        table.connections[0].to = table.connections[0].from.clone();
+        let v = verify_table(&table, &p, &registry());
+        assert!(v.iter().any(|v| matches!(v, ModelViolation::SelfChannel { .. })));
+    }
+
+    #[test]
+    fn detects_broken_export_sets() {
+        let p = compile(OK).unwrap();
+        let mut table = p.main().unwrap().clone();
+        // Remove a legitimate export: completeness now fails.
+        table.exported_inputs.clear();
+        let v = verify_table(&table, &p, &registry());
+        assert!(v
+            .iter()
+            .any(|v| matches!(v, ModelViolation::BadExport { reason, .. }
+                if reason.contains("missing"))));
+    }
+
+    #[test]
+    fn violations_display_readably() {
+        let v = ModelViolation::TypeMismatch {
+            endpoint: "x.po".into(),
+            port_type: "text/plain".into(),
+            channel_type: "image/gif".into(),
+        };
+        let s = v.to_string();
+        assert!(s.contains("x.po") && s.contains("image/gif"));
+    }
+}

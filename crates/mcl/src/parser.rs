@@ -1,0 +1,751 @@
+//! Recursive-descent parser for MCL.
+//!
+//! Grammar (reconstructed from Figures 4-2..4-5 and the examples in §4.3 and
+//! §4.4.2):
+//!
+//! ```text
+//! script        := { type_decl | streamlet_def | channel_def | stream_def
+//!                  | constraint_decl }
+//! type_decl     := "type" mime "<:" mime ";"
+//! streamlet_def := "streamlet" IDENT "{" port_block [attr_block] "}"
+//! channel_def   := "channel" IDENT "{" port_block [attr_block] "}"
+//! port_block    := "port" "{" { ("in"|"out") IDENT ":" mime ";" } "}"
+//! attr_block    := "attribute" "{" { IDENT "=" value ";" } "}"
+//! stream_def    := ["main"] "stream" IDENT "{" { stream_stmt } "}"
+//! stream_stmt   := "streamlet" names "=" ("new-streamlet"|"new" "streamlet")
+//!                      "(" IDENT ")" ";"
+//!                | "channel" names "=" ("new-channel"|"new" "channel")
+//!                      "(" IDENT ")" ";"
+//!                | "connect" "(" portref "," portref ["," IDENT] ")" ";"
+//!                | "disconnect" "(" portref "," portref ")" ";"
+//!                | "disconnectall" "(" IDENT ")" ";"
+//!                | "insert" "(" portref "," portref "," IDENT ")" ";"
+//!                | "replace" "(" IDENT "," IDENT ")" ";"
+//!                | "remove-streamlet" "(" IDENT ")" ";"
+//!                | "remove-channel" "(" IDENT ")" ";"
+//!                | "when" "(" IDENT ")" "{" { stream_stmt } "}"
+//! constraint_decl := "constraint" ("exclude"|"depend"|"preorder")
+//!                      "(" IDENT "," IDENT ")" ";"
+//! portref       := IDENT "." IDENT
+//! mime          := IDENT [ "/" (IDENT|"*") ] | "*" "/" "*"
+//! names         := IDENT { "," IDENT }
+//! ```
+//!
+//! `new channel (x)` — with a space, as written in Figure 4-8 — is accepted
+//! alongside the canonical `new-channel (x)`.
+
+use crate::ast::*;
+use crate::error::{MclError, Span};
+use crate::lexer::{lex, Token, TokenKind};
+use mobigate_mime::MimeType;
+
+/// Parses an MCL source string into a [`Script`].
+pub fn parse(source: &str) -> Result<Script, MclError> {
+    let tokens = lex(source)?;
+    Parser { tokens, pos: 0 }.script()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_ident(&self, word: &str) -> bool {
+        matches!(self.peek_kind(), TokenKind::Ident(s) if s == word)
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if self.at_ident(word) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token, MclError> {
+        if *self.peek_kind() == kind {
+            Ok(self.bump())
+        } else {
+            Err(self.error(format!("expected {kind}, found {}", self.peek_kind())))
+        }
+    }
+
+    fn expect_word(&mut self, word: &str) -> Result<Token, MclError> {
+        if self.at_ident(word) {
+            Ok(self.bump())
+        } else {
+            Err(self.error(format!("expected `{word}`, found {}", self.peek_kind())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<(String, Span), MclError> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(s) => {
+                let t = self.bump();
+                Ok((s, t.span))
+            }
+            other => Err(self.error(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn error(&self, message: String) -> MclError {
+        MclError::Parse { span: self.peek().span, message }
+    }
+
+    // --- grammar productions -------------------------------------------
+
+    fn script(mut self) -> Result<Script, MclError> {
+        let mut script = Script::default();
+        loop {
+            match self.peek_kind().clone() {
+                TokenKind::Eof => return Ok(script),
+                TokenKind::Ident(word) => match word.as_str() {
+                    "type" => script.type_decls.push(self.type_decl()?),
+                    "streamlet" => script.streamlets.push(self.streamlet_def()?),
+                    "channel" => script.channels.push(self.channel_def()?),
+                    "stream" | "main" => script.streams.push(self.stream_def()?),
+                    "constraint" => script.constraints.push(self.constraint_decl()?),
+                    other => {
+                        return Err(self.error(format!(
+                            "expected a top-level declaration \
+                             (type/streamlet/channel/stream/constraint), found `{other}`"
+                        )));
+                    }
+                },
+                other => {
+                    return Err(
+                        self.error(format!("expected a top-level declaration, found {other}"))
+                    );
+                }
+            }
+        }
+    }
+
+    /// `type <child> under <parent> ;` — the concrete spelling of the
+    /// thesis's lattice-extension facility (`under` reads as ⊑ and avoids
+    /// adding `<:` to the token set).
+    fn type_decl(&mut self) -> Result<TypeDecl, MclError> {
+        let start = self.expect_word("type")?.span;
+        let child = self.mime_type()?;
+        self.expect_word("under")?;
+        let parent = self.mime_type()?;
+        let end = self.expect(TokenKind::Semi)?.span;
+        Ok(TypeDecl { child, parent, span: start.merge(end) })
+    }
+
+    /// Parses `top` | `top/sub` | `*/*` | `top/*`. Components may contain
+    /// hyphens and dots (`application/octet-stream`, `vnd.ms-excel`), which
+    /// the lexer emits as separate tokens; adjacent segments are rejoined
+    /// here by span adjacency.
+    fn mime_type(&mut self) -> Result<MimeType, MclError> {
+        let top = self.mime_component("MIME type")?;
+        if *self.peek_kind() == TokenKind::Slash {
+            self.bump();
+            let sub = self.mime_component("MIME subtype")?;
+            Ok(MimeType::new(top, sub))
+        } else {
+            // Bare top-level name means the wildcard subtype (§4.4.1).
+            Ok(MimeType::top_level(top))
+        }
+    }
+
+    /// One component: `*` or `ident((-|.)ident)*` with no interior spaces.
+    fn mime_component(&mut self, what: &str) -> Result<String, MclError> {
+        let mut out = match self.peek_kind().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                s
+            }
+            TokenKind::Star => {
+                self.bump();
+                return Ok("*".to_string());
+            }
+            other => return Err(self.error(format!("expected {what}, found {other}"))),
+        };
+        let mut last_end = self.tokens[self.pos - 1].span.end;
+        loop {
+            let sep = match self.peek_kind() {
+                TokenKind::Dash => '-',
+                TokenKind::Dot => '.',
+                _ => break,
+            };
+            // Only join when the separator and next ident are adjacent.
+            if self.peek().span.start != last_end {
+                break;
+            }
+            let sep_end = self.peek().span.end;
+            let next_is_adjacent_ident = matches!(
+                self.tokens.get(self.pos + 1).map(|t| (&t.kind, t.span.start)),
+                Some((TokenKind::Ident(_), start)) if start == sep_end
+            );
+            if !next_is_adjacent_ident {
+                break;
+            }
+            self.bump(); // separator
+            if let TokenKind::Ident(part) = self.bump().kind {
+                out.push(sep);
+                out.push_str(&part);
+            }
+            last_end = self.tokens[self.pos - 1].span.end;
+        }
+        Ok(out)
+    }
+
+    fn port_block(&mut self) -> Result<Vec<PortDecl>, MclError> {
+        self.expect_word("port")?;
+        self.expect(TokenKind::LBrace)?;
+        let mut ports = Vec::new();
+        while !matches!(self.peek_kind(), TokenKind::RBrace) {
+            let (dir_word, dspan) = self.ident()?;
+            let dir = match dir_word.as_str() {
+                "in" => PortDir::In,
+                "out" => PortDir::Out,
+                other => {
+                    return Err(MclError::Parse {
+                        span: dspan,
+                        message: format!("expected `in` or `out`, found `{other}`"),
+                    });
+                }
+            };
+            let (name, _) = self.ident()?;
+            self.expect(TokenKind::Colon)?;
+            let ty = self.mime_type()?;
+            let end = self.expect(TokenKind::Semi)?.span;
+            ports.push(PortDecl { dir, name, ty, span: dspan.merge(end) });
+        }
+        self.expect(TokenKind::RBrace)?;
+        Ok(ports)
+    }
+
+    /// Parses an `attribute { k = v; … }` block into raw pairs.
+    fn attr_block(&mut self) -> Result<Vec<(String, AttrValue, Span)>, MclError> {
+        self.expect_word("attribute")?;
+        self.expect(TokenKind::LBrace)?;
+        let mut attrs = Vec::new();
+        while !matches!(self.peek_kind(), TokenKind::RBrace) {
+            let (key, kspan) = self.ident()?;
+            self.expect(TokenKind::Eq)?;
+            let value = match self.peek_kind().clone() {
+                TokenKind::Str(s) => {
+                    self.bump();
+                    AttrValue::Str(s)
+                }
+                TokenKind::Int(n) => {
+                    self.bump();
+                    AttrValue::Int(n)
+                }
+                TokenKind::Ident(s) => {
+                    self.bump();
+                    AttrValue::Word(s)
+                }
+                other => return Err(self.error(format!("expected attribute value, found {other}"))),
+            };
+            let end = self.expect(TokenKind::Semi)?.span;
+            attrs.push((key, value, kspan.merge(end)));
+        }
+        self.expect(TokenKind::RBrace)?;
+        Ok(attrs)
+    }
+
+    fn streamlet_def(&mut self) -> Result<StreamletDef, MclError> {
+        let start = self.expect_word("streamlet")?.span;
+        let (name, _) = self.ident()?;
+        self.expect(TokenKind::LBrace)?;
+        let ports = self.port_block()?;
+        let mut def = StreamletDef {
+            name,
+            ports,
+            statefulness: Statefulness::default(),
+            library: String::new(),
+            description: String::new(),
+            span: start,
+        };
+        if self.at_ident("attribute") {
+            for (key, value, span) in self.attr_block()? {
+                match (key.as_str(), &value) {
+                    ("type", AttrValue::Word(w)) => {
+                        def.statefulness = match w.to_ascii_uppercase().as_str() {
+                            "STATELESS" => Statefulness::Stateless,
+                            "STATEFUL" => Statefulness::Stateful,
+                            other => {
+                                return Err(MclError::Attribute {
+                                    span,
+                                    message: format!(
+                                        "streamlet type must be STATELESS or STATEFUL, got `{other}`"
+                                    ),
+                                });
+                            }
+                        };
+                    }
+                    ("library", AttrValue::Str(s)) => def.library = s.clone(),
+                    ("description", AttrValue::Str(s)) => def.description = s.clone(),
+                    (k, _) => {
+                        return Err(MclError::Attribute {
+                            span,
+                            message: format!("unknown or mistyped streamlet attribute `{k}`"),
+                        });
+                    }
+                }
+            }
+        }
+        let end = self.expect(TokenKind::RBrace)?.span;
+        def.span = start.merge(end);
+        Ok(def)
+    }
+
+    fn channel_def(&mut self) -> Result<ChannelDef, MclError> {
+        let start = self.expect_word("channel")?.span;
+        let (name, _) = self.ident()?;
+        self.expect(TokenKind::LBrace)?;
+        let ports = self.port_block()?;
+        let mut def = ChannelDef {
+            name,
+            ports,
+            kind: ChannelKind::default(),
+            category: ChannelCategory::default(),
+            buffer_kb: 100, // §4.2.3 default: 100 Kbytes
+            description: String::new(),
+            span: start,
+        };
+        if self.at_ident("attribute") {
+            for (key, value, span) in self.attr_block()? {
+                match (key.as_str(), &value) {
+                    ("type", AttrValue::Word(w)) => {
+                        def.kind = match w.to_ascii_uppercase().as_str() {
+                            "SYNC" | "SYNCHRONOUS" => ChannelKind::Sync,
+                            "ASYNC" | "ASYNCHRONOUS" => ChannelKind::Async,
+                            other => {
+                                return Err(MclError::Attribute {
+                                    span,
+                                    message: format!(
+                                        "channel type must be SYNC or ASYNC, got `{other}`"
+                                    ),
+                                });
+                            }
+                        };
+                    }
+                    ("category", AttrValue::Word(w)) => {
+                        def.category = ChannelCategory::parse(w).ok_or(MclError::Attribute {
+                            span,
+                            message: format!(
+                                "channel category must be one of S/BB/BK/KB/KK, got `{w}`"
+                            ),
+                        })?;
+                    }
+                    ("buffer", AttrValue::Int(n)) => def.buffer_kb = *n,
+                    ("description", AttrValue::Str(s)) => def.description = s.clone(),
+                    (k, _) => {
+                        return Err(MclError::Attribute {
+                            span,
+                            message: format!("unknown or mistyped channel attribute `{k}`"),
+                        });
+                    }
+                }
+            }
+        }
+        let end = self.expect(TokenKind::RBrace)?.span;
+        def.span = start.merge(end);
+        Ok(def)
+    }
+
+    fn stream_def(&mut self) -> Result<StreamDef, MclError> {
+        let is_main = self.eat_ident("main");
+        let start = self.expect_word("stream")?.span;
+        let (name, _) = self.ident()?;
+        self.expect(TokenKind::LBrace)?;
+        let body = self.stream_body()?;
+        let end = self.expect(TokenKind::RBrace)?.span;
+        Ok(StreamDef { name, is_main, body, span: start.merge(end) })
+    }
+
+    fn stream_body(&mut self) -> Result<Vec<StreamStmt>, MclError> {
+        let mut body = Vec::new();
+        while !matches!(self.peek_kind(), TokenKind::RBrace | TokenKind::Eof) {
+            body.push(self.stream_stmt()?);
+        }
+        Ok(body)
+    }
+
+    fn stream_stmt(&mut self) -> Result<StreamStmt, MclError> {
+        let (word, span) = match self.peek_kind().clone() {
+            TokenKind::Ident(s) => (s, self.peek().span),
+            other => return Err(self.error(format!("expected a statement, found {other}"))),
+        };
+        match word.as_str() {
+            "streamlet" => self.decl_stmt(true),
+            "channel" => self.decl_stmt(false),
+            "connect" => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let from = self.port_ref()?;
+                self.expect(TokenKind::Comma)?;
+                let to = self.port_ref()?;
+                let channel = if *self.peek_kind() == TokenKind::Comma {
+                    self.bump();
+                    Some(self.ident()?.0)
+                } else {
+                    None
+                };
+                self.expect(TokenKind::RParen)?;
+                let end = self.expect(TokenKind::Semi)?.span;
+                Ok(StreamStmt::Connect { from, to, channel, span: span.merge(end) })
+            }
+            "disconnect" => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let from = self.port_ref()?;
+                self.expect(TokenKind::Comma)?;
+                let to = self.port_ref()?;
+                self.expect(TokenKind::RParen)?;
+                let end = self.expect(TokenKind::Semi)?.span;
+                Ok(StreamStmt::Disconnect { from, to, span: span.merge(end) })
+            }
+            "disconnectall" => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let (instance, _) = self.ident()?;
+                self.expect(TokenKind::RParen)?;
+                let end = self.expect(TokenKind::Semi)?.span;
+                Ok(StreamStmt::DisconnectAll { instance, span: span.merge(end) })
+            }
+            "insert" => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let from = self.port_ref()?;
+                self.expect(TokenKind::Comma)?;
+                let to = self.port_ref()?;
+                self.expect(TokenKind::Comma)?;
+                let (instance, _) = self.ident()?;
+                self.expect(TokenKind::RParen)?;
+                let end = self.expect(TokenKind::Semi)?.span;
+                Ok(StreamStmt::Insert { from, to, instance, span: span.merge(end) })
+            }
+            "replace" => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let (old, _) = self.ident()?;
+                self.expect(TokenKind::Comma)?;
+                let (new, _) = self.ident()?;
+                self.expect(TokenKind::RParen)?;
+                let end = self.expect(TokenKind::Semi)?.span;
+                Ok(StreamStmt::Replace { old, new, span: span.merge(end) })
+            }
+            "remove-streamlet" => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let (name, _) = self.ident()?;
+                self.expect(TokenKind::RParen)?;
+                let end = self.expect(TokenKind::Semi)?.span;
+                Ok(StreamStmt::RemoveStreamlet { name, span: span.merge(end) })
+            }
+            "remove-channel" => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let (name, _) = self.ident()?;
+                self.expect(TokenKind::RParen)?;
+                let end = self.expect(TokenKind::Semi)?.span;
+                Ok(StreamStmt::RemoveChannel { name, span: span.merge(end) })
+            }
+            "when" => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let (event, _) = self.ident()?;
+                self.expect(TokenKind::RParen)?;
+                self.expect(TokenKind::LBrace)?;
+                let body = self.stream_body()?;
+                let end = self.expect(TokenKind::RBrace)?.span;
+                Ok(StreamStmt::When { event, body, span: span.merge(end) })
+            }
+            other => Err(self.error(format!("unknown statement `{other}`"))),
+        }
+    }
+
+    /// `streamlet a, b = new-streamlet (def);` (or the channel twin).
+    fn decl_stmt(&mut self, is_streamlet: bool) -> Result<StreamStmt, MclError> {
+        let start = self.bump().span; // `streamlet` / `channel`
+        let mut names = vec![self.ident()?.0];
+        while *self.peek_kind() == TokenKind::Comma {
+            self.bump();
+            names.push(self.ident()?.0);
+        }
+        self.expect(TokenKind::Eq)?;
+        // Accept `new-streamlet`, `new streamlet`, `new-channel`, `new channel`.
+        let expected_hyphen = if is_streamlet { "new-streamlet" } else { "new-channel" };
+        let expected_word = if is_streamlet { "streamlet" } else { "channel" };
+        if self.eat_ident(expected_hyphen) {
+            // canonical form
+        } else if self.eat_ident("new") {
+            self.expect_word(expected_word)?;
+        } else {
+            return Err(self.error(format!("expected `{expected_hyphen}`")));
+        }
+        self.expect(TokenKind::LParen)?;
+        let (def, _) = self.ident()?;
+        self.expect(TokenKind::RParen)?;
+        let end = self.expect(TokenKind::Semi)?.span;
+        let span = start.merge(end);
+        Ok(if is_streamlet {
+            StreamStmt::NewStreamlet { names, def, span }
+        } else {
+            StreamStmt::NewChannel { names, def, span }
+        })
+    }
+
+    fn port_ref(&mut self) -> Result<PortRef, MclError> {
+        let (instance, ispan) = self.ident()?;
+        self.expect(TokenKind::Dot)?;
+        let (port, pspan) = self.ident()?;
+        Ok(PortRef { instance, port, span: ispan.merge(pspan) })
+    }
+
+    fn constraint_decl(&mut self) -> Result<ConstraintDecl, MclError> {
+        let start = self.expect_word("constraint")?.span;
+        let (kind_word, kspan) = self.ident()?;
+        let kind = match kind_word.as_str() {
+            "exclude" => ConstraintKind::Exclude,
+            "depend" => ConstraintKind::Depend,
+            "preorder" => ConstraintKind::Preorder,
+            other => {
+                return Err(MclError::Parse {
+                    span: kspan,
+                    message: format!(
+                        "expected exclude/depend/preorder constraint, found `{other}`"
+                    ),
+                });
+            }
+        };
+        self.expect(TokenKind::LParen)?;
+        let (a, _) = self.ident()?;
+        self.expect(TokenKind::Comma)?;
+        let (b, _) = self.ident()?;
+        self.expect(TokenKind::RParen)?;
+        let end = self.expect(TokenKind::Semi)?.span;
+        Ok(ConstraintDecl { kind, a, b, span: start.merge(end) })
+    }
+}
+
+/// Raw attribute value as parsed.
+#[derive(Debug, Clone, PartialEq)]
+enum AttrValue {
+    Str(String),
+    Int(u64),
+    Word(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_streamlet_def() {
+        let s = parse(
+            r#"
+            streamlet text_compress {
+                port {
+                    in pi : text;
+                    out po : text/compressed;
+                }
+                attribute {
+                    type = STATELESS;
+                    library = "builtin/text_compress";
+                    description = "a generic text compressor";
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(s.streamlets.len(), 1);
+        let def = &s.streamlets[0];
+        assert_eq!(def.name, "text_compress");
+        assert_eq!(def.ports.len(), 2);
+        assert_eq!(def.ports[0].dir, PortDir::In);
+        assert_eq!(def.ports[0].ty, MimeType::top_level("text"));
+        assert_eq!(def.ports[1].ty, MimeType::new("text", "compressed"));
+        assert_eq!(def.statefulness, Statefulness::Stateless);
+        assert_eq!(def.library, "builtin/text_compress");
+    }
+
+    #[test]
+    fn parses_channel_def_with_attrs() {
+        let s = parse(
+            r#"
+            channel largeBufferChan {
+                port { in ci : image; out co : image; }
+                attribute { type = ASYNC; category = BK; buffer = 1024; }
+            }
+            "#,
+        )
+        .unwrap();
+        let c = &s.channels[0];
+        assert_eq!(c.kind, ChannelKind::Async);
+        assert_eq!(c.category, ChannelCategory::BK);
+        assert_eq!(c.buffer_kb, 1024);
+    }
+
+    #[test]
+    fn channel_buffer_defaults_to_100kb() {
+        let s = parse("channel c { port { in i : */*; out o : */*; } }").unwrap();
+        assert_eq!(s.channels[0].buffer_kb, 100);
+    }
+
+    #[test]
+    fn parses_figure_4_8_stream() {
+        // The streamApp composition script of Figure 4-8 (declarations of
+        // the streamlet definitions elided — resolution is the compiler's
+        // job, not the parser's).
+        let s = parse(
+            r#"
+            stream streamApp {
+                streamlet s1 = new-streamlet (switch);
+                streamlet s2 = new-streamlet (img_down_sample);
+                channel c1, c2, c3 = new channel (largeBufferChan);
+                connect (s1.po1, s2.pi, c1);
+                connect (s1.po2, s2.pi);
+                when (LOW_ENERGY) {
+                    connect (s2.po, s1.pi);
+                }
+                when (LOW_GRAY) {
+                    disconnect (s2.po, s1.pi1);
+                    connect (s2.po, s1.pi, c2);
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let st = &s.streams[0];
+        assert_eq!(st.name, "streamApp");
+        assert!(!st.is_main);
+        assert_eq!(st.body.len(), 7);
+        match &st.body[2] {
+            StreamStmt::NewChannel { names, def, .. } => {
+                assert_eq!(names, &["c1", "c2", "c3"]);
+                assert_eq!(def, "largeBufferChan");
+            }
+            other => panic!("expected NewChannel, got {other:?}"),
+        }
+        match &st.body[5] {
+            StreamStmt::When { event, body, .. } => {
+                assert_eq!(event, "LOW_ENERGY");
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("expected When, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_main_marker() {
+        let s = parse("main stream m { }").unwrap();
+        assert!(s.streams[0].is_main);
+    }
+
+    #[test]
+    fn parses_connect_with_explicit_channel() {
+        let s = parse("stream x { connect (a.o, b.i, ch); }").unwrap();
+        match &s.streams[0].body[0] {
+            StreamStmt::Connect { channel, .. } => assert_eq!(channel.as_deref(), Some("ch")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_reconfig_primitives() {
+        let s = parse(
+            "stream x { insert (a.o, b.i, n); replace (old1, new1); \
+             remove-streamlet (a); remove-channel (c); disconnectall (b); }",
+        )
+        .unwrap();
+        assert_eq!(s.streams[0].body.len(), 5);
+    }
+
+    #[test]
+    fn parses_constraints() {
+        let s = parse(
+            "constraint exclude(a, b); constraint depend(c, d); constraint preorder(e, f);",
+        )
+        .unwrap();
+        assert_eq!(s.constraints.len(), 3);
+        assert_eq!(s.constraints[0].kind, ConstraintKind::Exclude);
+        assert_eq!(s.constraints[1].kind, ConstraintKind::Depend);
+        assert_eq!(s.constraints[2].kind, ConstraintKind::Preorder);
+    }
+
+    #[test]
+    fn parses_type_lattice_decl() {
+        let s = parse("type text/richtext under text/plain;").unwrap();
+        assert_eq!(s.type_decls[0].child, MimeType::new("text", "richtext"));
+        assert_eq!(s.type_decls[0].parent, MimeType::new("text", "plain"));
+    }
+
+    #[test]
+    fn parses_wildcard_types() {
+        let s = parse("streamlet a { port { in i : */*; out o : image/*; } }").unwrap();
+        assert!(s.streamlets[0].ports[0].ty.is_any());
+        assert_eq!(s.streamlets[0].ports[1].ty, MimeType::top_level("image"));
+    }
+
+    #[test]
+    fn parses_hyphenated_and_dotted_subtypes() {
+        let s = parse(
+            "streamlet a { port { in i : application/octet-stream; \
+             out o : application/vnd.ms-excel; } }",
+        )
+        .unwrap();
+        assert_eq!(s.streamlets[0].ports[0].ty, MimeType::new("application", "octet-stream"));
+        assert_eq!(s.streamlets[0].ports[1].ty, MimeType::new("application", "vnd.ms-excel"));
+    }
+
+    #[test]
+    fn rejects_bad_direction() {
+        let err = parse("streamlet a { port { sideways x : text; } }").unwrap_err();
+        assert!(err.to_string().contains("in"));
+    }
+
+    #[test]
+    fn rejects_bad_statefulness() {
+        let err = parse(
+            "streamlet a { port { in i : text; } attribute { type = SOMETIMES; } }",
+        )
+        .unwrap_err();
+        assert!(matches!(err, MclError::Attribute { .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_statement() {
+        assert!(parse("stream x { teleport (a, b); }").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_semicolon() {
+        assert!(parse("stream x { connect (a.o, b.i) }").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("stream x { } 42").is_err());
+    }
+
+    #[test]
+    fn error_carries_position() {
+        let err = parse("stream x {\n  connect (a.o b.i);\n}").unwrap_err();
+        let span = err.span().unwrap();
+        assert_eq!(span.line, 2);
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type shared across the MIME crate.
+
+use std::fmt;
+
+/// Errors produced while parsing or manipulating MIME data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MimeError {
+    /// A content-type string could not be parsed.
+    InvalidType {
+        /// The offending input.
+        input: String,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// A header line could not be parsed.
+    InvalidHeader {
+        /// The offending line.
+        line: String,
+    },
+    /// A wire-format message was truncated or malformed.
+    InvalidMessage {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A multipart body was malformed (missing boundary, bad framing, …).
+    InvalidMultipart {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MimeError::InvalidType { input, reason } => {
+                write!(f, "invalid MIME type `{input}`: {reason}")
+            }
+            MimeError::InvalidHeader { line } => write!(f, "invalid header line `{line}`"),
+            MimeError::InvalidMessage { reason } => write!(f, "invalid MIME message: {reason}"),
+            MimeError::InvalidMultipart { reason } => {
+                write!(f, "invalid multipart body: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = MimeError::InvalidType {
+            input: "no-slash".into(),
+            reason: "missing `/`",
+        };
+        assert!(e.to_string().contains("no-slash"));
+        assert!(e.to_string().contains("missing `/`"));
+
+        let e = MimeError::InvalidHeader { line: "???".into() };
+        assert!(e.to_string().contains("???"));
+
+        let e = MimeError::InvalidMessage {
+            reason: "truncated".into(),
+        };
+        assert!(e.to_string().contains("truncated"));
+
+        let e = MimeError::InvalidMultipart {
+            reason: "missing boundary".into(),
+        };
+        assert!(e.to_string().contains("boundary"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&MimeError::InvalidHeader { line: String::new() });
+    }
+}

@@ -1,0 +1,240 @@
+//! RFC-822-style headers: an ordered, case-insensitive multimap.
+//!
+//! Header order is preserved because the `X-MobiGATE-Peer` chain (§6.5) is a
+//! stack of peer-streamlet identifiers whose order encodes the reverse
+//! processing sequence on the client.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::MimeError;
+
+/// A case-preserving, case-insensitively-compared header name.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HeaderName(String);
+
+impl HeaderName {
+    /// Creates a header name; the original casing is preserved for output.
+    pub fn new(name: impl Into<String>) -> Self {
+        HeaderName(name.into())
+    }
+
+    /// The name as written.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl PartialEq for HeaderName {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.eq_ignore_ascii_case(&other.0)
+    }
+}
+impl Eq for HeaderName {}
+
+impl PartialEq<str> for HeaderName {
+    fn eq(&self, other: &str) -> bool {
+        self.0.eq_ignore_ascii_case(other)
+    }
+}
+
+impl fmt::Display for HeaderName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// An ordered multimap of headers.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Headers {
+    entries: Vec<(HeaderName, String)>,
+}
+
+impl Headers {
+    /// An empty header block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of header lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no headers are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Appends a header line (duplicates allowed).
+    pub fn append(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.entries.push((HeaderName::new(name), value.into()));
+    }
+
+    /// Replaces every occurrence of `name` with a single line, or appends.
+    pub fn set(&mut self, name: &str, value: impl Into<String>) {
+        self.entries.retain(|(n, _)| n != name);
+        self.append(name, value);
+    }
+
+    /// First value for `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values for `name`, in insertion order.
+    pub fn get_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.entries
+            .iter()
+            .filter(move |(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Removes every occurrence of `name`, returning how many were removed.
+    pub fn remove(&mut self, name: &str) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|(n, _)| n != name);
+        before - self.entries.len()
+    }
+
+    /// Removes and returns the *last* value for `name` (stack semantics, used
+    /// for the peer chain).
+    pub fn pop(&mut self, name: &str) -> Option<String> {
+        let idx = self.entries.iter().rposition(|(n, _)| n == name)?;
+        Some(self.entries.remove(idx).1)
+    }
+
+    /// Iterates over `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+
+    /// Serializes as `Name: value\r\n` lines (no terminating blank line).
+    pub fn to_wire(&self) -> String {
+        let mut out = String::new();
+        for (n, v) in self.iter() {
+            out.push_str(n);
+            out.push_str(": ");
+            out.push_str(v);
+            out.push_str("\r\n");
+        }
+        out
+    }
+
+    /// Parses a header block (one header per line; `\r` tolerated; stops at
+    /// the end of input). Continuation lines (leading whitespace) are folded
+    /// into the previous value per RFC 822.
+    pub fn parse(block: &str) -> Result<Self, MimeError> {
+        let mut headers = Headers::new();
+        for raw in block.lines() {
+            let line = raw.trim_end_matches('\r');
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with(' ') || line.starts_with('\t') {
+                // Folded continuation of the previous header.
+                match headers.entries.last_mut() {
+                    Some((_, v)) => {
+                        v.push(' ');
+                        v.push_str(line.trim());
+                    }
+                    None => {
+                        return Err(MimeError::InvalidHeader { line: line.into() });
+                    }
+                }
+                continue;
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| MimeError::InvalidHeader { line: line.into() })?;
+            if name.trim().is_empty() {
+                return Err(MimeError::InvalidHeader { line: line.into() });
+            }
+            headers.append(name.trim(), value.trim());
+        }
+        Ok(headers)
+    }
+}
+
+impl<N: Into<String>, V: Into<String>> FromIterator<(N, V)> for Headers {
+    fn from_iter<T: IntoIterator<Item = (N, V)>>(iter: T) -> Self {
+        let mut h = Headers::new();
+        for (n, v) in iter {
+            h.append(n, v);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_compare_case_insensitively() {
+        assert_eq!(HeaderName::new("Content-Type"), HeaderName::new("content-type"));
+        assert!(HeaderName::new("Content-Type") == *"CONTENT-TYPE");
+    }
+
+    #[test]
+    fn set_replaces_all_duplicates() {
+        let mut h = Headers::new();
+        h.append("X-A", "1");
+        h.append("x-a", "2");
+        h.set("X-A", "3");
+        assert_eq!(h.get_all("X-A").collect::<Vec<_>>(), vec!["3"]);
+    }
+
+    #[test]
+    fn get_returns_first_pop_returns_last() {
+        let mut h = Headers::new();
+        h.append("X-MobiGATE-Peer", "compressor");
+        h.append("X-MobiGATE-Peer", "encryptor");
+        assert_eq!(h.get("X-MobiGATE-Peer"), Some("compressor"));
+        assert_eq!(h.pop("X-MobiGATE-Peer").as_deref(), Some("encryptor"));
+        assert_eq!(h.pop("X-MobiGATE-Peer").as_deref(), Some("compressor"));
+        assert_eq!(h.pop("X-MobiGATE-Peer"), None);
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let mut h = Headers::new();
+        h.append("Content-Type", "text/plain");
+        h.append("Content-Session", "s-42");
+        let parsed = Headers::parse(&h.to_wire()).unwrap();
+        assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn parse_folded_continuation() {
+        let h = Headers::parse("X-Long: part one\r\n\tpart two\r\n").unwrap();
+        assert_eq!(h.get("X-Long"), Some("part one part two"));
+    }
+
+    #[test]
+    fn parse_rejects_bad_lines() {
+        assert!(Headers::parse("no-colon-here").is_err());
+        assert!(Headers::parse(": empty name").is_err());
+        assert!(Headers::parse("\tcontinuation without header").is_err());
+    }
+
+    #[test]
+    fn remove_reports_count() {
+        let mut h = Headers::new();
+        h.append("A", "1");
+        h.append("a", "2");
+        h.append("B", "3");
+        assert_eq!(h.remove("A"), 2);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn from_iterator_preserves_order() {
+        let h: Headers = [("A", "1"), ("B", "2")].into_iter().collect();
+        let pairs: Vec<_> = h.iter().collect();
+        assert_eq!(pairs, vec![("A", "1"), ("B", "2")]);
+    }
+}

@@ -1,0 +1,310 @@
+//! The MIME message model carried through MobiGATE.
+//!
+//! Messages exchanged in the system are formatted based on MIME (§4.1). Two
+//! MobiGATE-specific headers matter:
+//!
+//! * `Content-Session` (§4.4.3) — the session ID that lets shared streamlet
+//!   instances route output messages back to the owning stream:
+//!   `session ::= "Content-Session" ":" session-id`.
+//! * `X-MobiGATE-Peer` (§6.5) — each server-side streamlet that requires
+//!   reverse processing pushes its peer identifier onto this header stack;
+//!   the client pops identifiers and dispatches to the matching peer
+//!   streamlets in reverse order.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::MimeError;
+use crate::headers::Headers;
+use crate::types::MimeType;
+
+/// Header carrying the stream session identifier (§4.4.3).
+pub const CONTENT_SESSION: &str = "Content-Session";
+/// Header stack carrying peer-streamlet identifiers (§6.5).
+pub const PEER_CHAIN: &str = "X-MobiGATE-Peer";
+/// Standard content type header.
+pub const CONTENT_TYPE: &str = "Content-Type";
+/// Standard content length header (bytes of body).
+pub const CONTENT_LENGTH: &str = "Content-Length";
+
+/// A stream-instance session identifier.
+///
+/// "Before executing a coordination stream, the system automatically
+/// generates a unique session ID for each instance of a stream" (§4.4.3).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SessionId(String);
+
+impl SessionId {
+    /// Wraps a raw identifier.
+    pub fn new(id: impl Into<String>) -> Self {
+        SessionId(id.into())
+    }
+
+    /// The identifier as text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for SessionId {
+    fn from(s: &str) -> Self {
+        SessionId::new(s)
+    }
+}
+
+/// A MIME message: headers plus an immutable, cheaply-cloneable body.
+///
+/// The body is a [`Bytes`] so that the pass-by-reference message pool (§6.7)
+/// can hand the same underlying buffer to many streamlets without copying.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MimeMessage {
+    /// Header block.
+    pub headers: Headers,
+    /// Message body.
+    pub body: Bytes,
+}
+
+impl MimeMessage {
+    /// Builds a message with the given content type and body.
+    pub fn new(content_type: &MimeType, body: impl Into<Bytes>) -> Self {
+        let body = body.into();
+        let mut headers = Headers::new();
+        headers.set(CONTENT_TYPE, content_type.to_string());
+        headers.set(CONTENT_LENGTH, body.len().to_string());
+        MimeMessage { headers, body }
+    }
+
+    /// Builds a `text/plain` message from a string.
+    pub fn text(body: impl Into<String>) -> Self {
+        MimeMessage::new(&MimeType::new("text", "plain"), body.into().into_bytes())
+    }
+
+    /// The declared content type, defaulting to `application/octet-stream`
+    /// when absent or unparseable (the MIME default).
+    pub fn content_type(&self) -> MimeType {
+        self.headers
+            .get(CONTENT_TYPE)
+            .and_then(|v| MimeType::from_str(v).ok())
+            .unwrap_or_else(|| MimeType::new("application", "octet-stream"))
+    }
+
+    /// Replaces the content type header.
+    pub fn set_content_type(&mut self, ty: &MimeType) {
+        self.headers.set(CONTENT_TYPE, ty.to_string());
+    }
+
+    /// Replaces the body and keeps `Content-Length` consistent.
+    pub fn set_body(&mut self, body: impl Into<Bytes>) {
+        self.body = body.into();
+        self.headers.set(CONTENT_LENGTH, self.body.len().to_string());
+    }
+
+    /// The session this message belongs to, if labeled.
+    pub fn session(&self) -> Option<SessionId> {
+        self.headers.get(CONTENT_SESSION).map(SessionId::from)
+    }
+
+    /// Labels the message with its stream session (§4.4.3).
+    pub fn set_session(&mut self, id: &SessionId) {
+        self.headers.set(CONTENT_SESSION, id.as_str());
+    }
+
+    /// Pushes a peer-streamlet identifier for client-side reverse
+    /// processing (§6.5).
+    pub fn push_peer(&mut self, peer_id: &str) {
+        self.headers.append(PEER_CHAIN, peer_id);
+    }
+
+    /// Pops the most recently pushed peer identifier.
+    pub fn pop_peer(&mut self) -> Option<String> {
+        self.headers.pop(PEER_CHAIN)
+    }
+
+    /// The peer chain bottom-to-top (order the server applied processing).
+    pub fn peer_chain(&self) -> Vec<String> {
+        self.headers.get_all(PEER_CHAIN).map(str::to_owned).collect()
+    }
+
+    /// Total size on the wire: headers + blank line + body.
+    pub fn wire_len(&self) -> usize {
+        self.headers.to_wire().len() + 2 + self.body.len()
+    }
+
+    /// Serializes to the wire format: headers, CRLF, body.
+    pub fn to_wire(&self) -> Bytes {
+        let head = self.headers.to_wire();
+        let mut buf = Vec::with_capacity(head.len() + 2 + self.body.len());
+        buf.extend_from_slice(head.as_bytes());
+        buf.extend_from_slice(b"\r\n");
+        buf.extend_from_slice(&self.body);
+        Bytes::from(buf)
+    }
+
+    /// Parses a wire-format message (headers, blank line, body). The body
+    /// length is taken from `Content-Length` when present; otherwise the
+    /// remainder of the buffer is the body.
+    pub fn from_wire(data: &[u8]) -> Result<Self, MimeError> {
+        let split = find_header_end(data).ok_or_else(|| MimeError::InvalidMessage {
+            reason: "missing blank line after headers".into(),
+        })?;
+        let head = std::str::from_utf8(&data[..split.header_end]).map_err(|_| {
+            MimeError::InvalidMessage {
+                reason: "headers are not valid UTF-8".into(),
+            }
+        })?;
+        let headers = Headers::parse(head)?;
+        let body_start = split.body_start;
+        let body = match headers.get(CONTENT_LENGTH) {
+            Some(len) => {
+                let len: usize = len.trim().parse().map_err(|_| MimeError::InvalidMessage {
+                    reason: format!("bad Content-Length `{len}`"),
+                })?;
+                if body_start + len > data.len() {
+                    return Err(MimeError::InvalidMessage {
+                        reason: format!(
+                            "truncated body: declared {len} bytes, {} available",
+                            data.len() - body_start
+                        ),
+                    });
+                }
+                Bytes::copy_from_slice(&data[body_start..body_start + len])
+            }
+            None => Bytes::copy_from_slice(&data[body_start..]),
+        };
+        Ok(MimeMessage { headers, body })
+    }
+}
+
+struct HeaderSplit {
+    header_end: usize,
+    body_start: usize,
+}
+
+/// Finds the header/body separator: CRLFCRLF or LFLF.
+fn find_header_end(data: &[u8]) -> Option<HeaderSplit> {
+    if let Some(pos) = data.windows(4).position(|w| w == b"\r\n\r\n") {
+        return Some(HeaderSplit {
+            header_end: pos + 2,
+            body_start: pos + 4,
+        });
+    }
+    if let Some(pos) = data.windows(2).position(|w| w == b"\n\n") {
+        return Some(HeaderSplit {
+            header_end: pos + 1,
+            body_start: pos + 2,
+        });
+    }
+    // A message may legally consist of headers only with a final CRLF CRLF
+    // omitted if the body is empty and the buffer ends after the headers.
+    if data.ends_with(b"\r\n") || data.ends_with(b"\n") {
+        return Some(HeaderSplit {
+            header_end: data.len(),
+            body_start: data.len(),
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_sets_type_and_length() {
+        let m = MimeMessage::new(&MimeType::new("image", "gif"), vec![0u8; 10]);
+        assert_eq!(m.content_type(), MimeType::new("image", "gif"));
+        assert_eq!(m.headers.get(CONTENT_LENGTH), Some("10"));
+    }
+
+    #[test]
+    fn set_body_updates_length() {
+        let mut m = MimeMessage::text("hi");
+        m.set_body(vec![1u8; 100]);
+        assert_eq!(m.headers.get(CONTENT_LENGTH), Some("100"));
+    }
+
+    #[test]
+    fn session_round_trip() {
+        let mut m = MimeMessage::text("x");
+        assert!(m.session().is_none());
+        m.set_session(&SessionId::new("stream-7"));
+        assert_eq!(m.session().unwrap().as_str(), "stream-7");
+    }
+
+    #[test]
+    fn peer_chain_is_a_stack() {
+        let mut m = MimeMessage::text("x");
+        m.push_peer("compressor");
+        m.push_peer("encryptor");
+        assert_eq!(m.peer_chain(), vec!["compressor", "encryptor"]);
+        assert_eq!(m.pop_peer().as_deref(), Some("encryptor"));
+        assert_eq!(m.pop_peer().as_deref(), Some("compressor"));
+        assert_eq!(m.pop_peer(), None);
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let mut m = MimeMessage::new(&MimeType::new("text", "plain"), &b"hello world"[..]);
+        m.set_session(&SessionId::new("s1"));
+        m.push_peer("p1");
+        let parsed = MimeMessage::from_wire(&m.to_wire()).unwrap();
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn wire_round_trip_binary_body() {
+        let body: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let m = MimeMessage::new(&MimeType::new("application", "octet-stream"), body);
+        let parsed = MimeMessage::from_wire(&m.to_wire()).unwrap();
+        assert_eq!(parsed.body, m.body);
+    }
+
+    #[test]
+    fn from_wire_lflf_separator() {
+        let raw = b"Content-Type: text/plain\nContent-Length: 2\n\nok";
+        let m = MimeMessage::from_wire(raw).unwrap();
+        assert_eq!(&m.body[..], b"ok");
+    }
+
+    #[test]
+    fn from_wire_rejects_truncated_body() {
+        let raw = b"Content-Length: 100\r\n\r\nshort";
+        assert!(MimeMessage::from_wire(raw).is_err());
+    }
+
+    #[test]
+    fn from_wire_rejects_missing_separator() {
+        assert!(MimeMessage::from_wire(b"Content-Type: text/plain").is_err());
+    }
+
+    #[test]
+    fn default_content_type_is_octet_stream() {
+        let m = MimeMessage {
+            headers: Headers::new(),
+            body: Bytes::new(),
+        };
+        assert_eq!(m.content_type(), MimeType::new("application", "octet-stream"));
+    }
+
+    #[test]
+    fn wire_len_matches_serialization() {
+        let m = MimeMessage::text("some text body");
+        assert_eq!(m.wire_len(), m.to_wire().len());
+    }
+
+    #[test]
+    fn clone_shares_body_buffer() {
+        // Pass-by-reference relies on Bytes sharing; cloning must not copy.
+        let m = MimeMessage::new(&MimeType::new("image", "gif"), vec![0u8; 1 << 20]);
+        let c = m.clone();
+        assert_eq!(m.body.as_ptr(), c.body.as_ptr());
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the MIME foundations.
+
+use bytes::Bytes;
+use mobigate_mime::{multipart, MimeMessage, MimeType, SessionId, TypeRegistry};
+use proptest::prelude::*;
+
+/// A strategy for syntactically valid media-type components.
+fn component() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9.+-]{0,10}"
+}
+
+fn mime_type() -> impl Strategy<Value = MimeType> {
+    (component(), prop_oneof![component(), Just("*".to_string())])
+        .prop_map(|(t, s)| MimeType::new(t, s))
+}
+
+proptest! {
+    /// Parsing the Display output of a type yields the same type.
+    #[test]
+    fn type_display_parse_round_trip(ty in mime_type()) {
+        let round: MimeType = ty.to_string().parse().unwrap();
+        prop_assert_eq!(round, ty);
+    }
+
+    /// The subtype relation is reflexive.
+    #[test]
+    fn subtype_reflexive(ty in mime_type()) {
+        let reg = TypeRegistry::standard();
+        prop_assert!(reg.subtype_of(&ty, &ty));
+    }
+
+    /// Everything specializes `*/*`.
+    #[test]
+    fn subtype_top(ty in mime_type()) {
+        let reg = TypeRegistry::standard();
+        prop_assert!(reg.subtype_of(&ty, &MimeType::any()));
+    }
+
+    /// The syntactic relation is antisymmetric on essences: mutual
+    /// specialization implies equality.
+    #[test]
+    fn syntactic_antisymmetric(a in mime_type(), b in mime_type()) {
+        if a.syntactic_subtype_of(&b) && b.syntactic_subtype_of(&a) {
+            prop_assert_eq!(a.essence(), b.essence());
+        }
+    }
+
+    /// The declared relation is transitive through arbitrary chains.
+    #[test]
+    fn declared_transitive(chain in prop::collection::vec(component(), 2..6)) {
+        let mut reg = TypeRegistry::new();
+        let types: Vec<MimeType> =
+            chain.iter().map(|c| MimeType::new(c.clone(), "x")).collect();
+        for w in types.windows(2) {
+            reg.declare_types(w[0].clone(), w[1].clone());
+        }
+        prop_assert!(reg.subtype_of(&types[0], types.last().unwrap()));
+    }
+
+    /// Wire serialization round-trips arbitrary binary bodies and sessions.
+    #[test]
+    fn message_wire_round_trip(
+        body in prop::collection::vec(any::<u8>(), 0..4096),
+        session in "[a-zA-Z0-9-]{1,16}",
+        peers in prop::collection::vec("[a-z]{1,8}", 0..4),
+    ) {
+        let mut m = MimeMessage::new(
+            &MimeType::new("application", "octet-stream"),
+            Bytes::from(body),
+        );
+        m.set_session(&SessionId::new(session));
+        for p in &peers {
+            m.push_peer(p);
+        }
+        let parsed = MimeMessage::from_wire(&m.to_wire()).unwrap();
+        prop_assert_eq!(parsed, m);
+    }
+
+    /// Multipart compose/split round-trips any set of parts.
+    #[test]
+    fn multipart_round_trip(
+        bodies in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..512), 0..6),
+    ) {
+        let parts: Vec<MimeMessage> = bodies
+            .into_iter()
+            .map(|b| MimeMessage::new(&MimeType::new("application", "octet-stream"), b))
+            .collect();
+        let combined = multipart::compose(&parts, "prop-boundary-2718281828");
+        let back = multipart::split(&combined).unwrap();
+        prop_assert_eq!(back, parts);
+    }
+}

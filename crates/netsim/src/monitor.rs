@@ -1,0 +1,159 @@
+//! Link monitoring — the context source behind LOW_BANDWIDTH /
+//! HIGH_BANDWIDTH events.
+//!
+//! "The Event Manager monitors the underlying client variations and
+//! composes corresponding events in response to various situations" (§6.4).
+//! The monitor polls a link's bandwidth and fires a callback on threshold
+//! crossings, with hysteresis so a link hovering at the threshold does not
+//! flap reconfigurations.
+
+use crate::link::WirelessLink;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Threshold-crossing notifications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkEvent {
+    /// Bandwidth fell below the low threshold.
+    BandwidthLow(u64),
+    /// Bandwidth rose above the high threshold.
+    BandwidthHigh(u64),
+}
+
+/// Watches a link and raises [`LinkEvent`]s.
+pub struct LinkMonitor {
+    stop: Arc<AtomicBool>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl LinkMonitor {
+    /// Starts watching. `low` and `high` bound the hysteresis band
+    /// (`low <= high`); `poll` is the wall-time polling interval.
+    ///
+    /// The callback fires once when bandwidth drops below `low`, and once
+    /// again only after it has risen above `high` (and vice versa).
+    pub fn watch<F>(
+        link: &WirelessLink,
+        low: u64,
+        high: u64,
+        poll: Duration,
+        callback: F,
+    ) -> Self
+    where
+        F: Fn(LinkEvent) + Send + 'static,
+    {
+        assert!(low <= high, "hysteresis band inverted");
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        // The monitor holds only what it needs: an owned probe closure.
+        let probe = link.bandwidth_probe();
+        let worker = std::thread::Builder::new()
+            .name("link-monitor".into())
+            .spawn(move || {
+                let mut below = false;
+                while !stop2.load(Ordering::Acquire) {
+                    let bw = probe();
+                    if !below && bw < low {
+                        below = true;
+                        callback(LinkEvent::BandwidthLow(bw));
+                    } else if below && bw > high {
+                        below = false;
+                        callback(LinkEvent::BandwidthHigh(bw));
+                    }
+                    std::thread::sleep(poll);
+                }
+            })
+            .expect("spawn link monitor");
+        LinkMonitor { stop, worker: Some(worker) }
+    }
+
+    /// Stops the monitor.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for LinkMonitor {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkConfig;
+    use parking_lot::Mutex;
+
+    fn events_of(run: impl FnOnce(&WirelessLink)) -> Vec<LinkEvent> {
+        let (link, _tx, _rx) = WirelessLink::spawn(LinkConfig {
+            bandwidth_bps: 1_000_000,
+            ..Default::default()
+        });
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = seen.clone();
+        let mut monitor = LinkMonitor::watch(
+            &link,
+            100_000,
+            150_000,
+            Duration::from_millis(5),
+            move |e| seen2.lock().push(e),
+        );
+        run(&link);
+        std::thread::sleep(Duration::from_millis(40));
+        monitor.stop();
+        let out = seen.lock().clone();
+        out
+    }
+
+    #[test]
+    fn fires_low_once_on_drop() {
+        let events = events_of(|link| {
+            link.set_bandwidth(50_000);
+            std::thread::sleep(Duration::from_millis(40));
+            link.set_bandwidth(90_000); // still below: no second event
+        });
+        assert_eq!(events, vec![LinkEvent::BandwidthLow(50_000)]);
+    }
+
+    #[test]
+    fn hysteresis_requires_high_threshold_to_rearm() {
+        let events = events_of(|link| {
+            link.set_bandwidth(50_000);
+            std::thread::sleep(Duration::from_millis(40));
+            link.set_bandwidth(120_000); // inside the band: nothing
+            std::thread::sleep(Duration::from_millis(40));
+            link.set_bandwidth(500_000); // above high: HIGH event
+            std::thread::sleep(Duration::from_millis(40));
+            link.set_bandwidth(50_000); // re-armed: LOW again
+        });
+        assert_eq!(
+            events,
+            vec![
+                LinkEvent::BandwidthLow(50_000),
+                LinkEvent::BandwidthHigh(500_000),
+                LinkEvent::BandwidthLow(50_000),
+            ]
+        );
+    }
+
+    #[test]
+    fn no_events_when_stable() {
+        let events = events_of(|_| {
+            std::thread::sleep(Duration::from_millis(30));
+        });
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis band inverted")]
+    fn inverted_band_panics() {
+        let (link, _tx, _rx) = WirelessLink::spawn(LinkConfig::default());
+        let _ = LinkMonitor::watch(&link, 200, 100, Duration::from_millis(5), |_| {});
+    }
+}

@@ -1,0 +1,137 @@
+//! Time-varying bandwidth schedules.
+//!
+//! The §7.5 experiment changes the link condition during a run ("when the
+//! bandwidth falls below 100 Kb/s … the Text Compressor is inserted"). A
+//! [`BandwidthSchedule`] describes the bandwidth as a step function over
+//! emulated time and can be applied to a live link from a driver thread.
+
+use crate::link::WirelessLink;
+use std::time::Duration;
+
+/// A step function: bandwidth holds each value from its offset until the
+/// next step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BandwidthSchedule {
+    /// `(offset from start, bandwidth bps)`, sorted by offset.
+    steps: Vec<(Duration, u64)>,
+}
+
+impl BandwidthSchedule {
+    /// A constant-bandwidth schedule.
+    pub fn constant(bps: u64) -> Self {
+        BandwidthSchedule { steps: vec![(Duration::ZERO, bps)] }
+    }
+
+    /// Builds from unsorted steps; the earliest step is shifted to zero if
+    /// none starts there.
+    pub fn from_steps(mut steps: Vec<(Duration, u64)>) -> Self {
+        assert!(!steps.is_empty(), "schedule needs at least one step");
+        steps.sort_by_key(|(t, _)| *t);
+        if steps[0].0 != Duration::ZERO {
+            let first = steps[0].1;
+            steps.insert(0, (Duration::ZERO, first));
+        }
+        BandwidthSchedule { steps }
+    }
+
+    /// Appends a step, keeping order.
+    pub fn then(mut self, after: Duration, bps: u64) -> Self {
+        self.steps.push((after, bps));
+        self.steps.sort_by_key(|(t, _)| *t);
+        self
+    }
+
+    /// The bandwidth at `t` (emulated time from schedule start).
+    pub fn bandwidth_at(&self, t: Duration) -> u64 {
+        let mut current = self.steps[0].1;
+        for (offset, bps) in &self.steps {
+            if *offset <= t {
+                current = *bps;
+            } else {
+                break;
+            }
+        }
+        current
+    }
+
+    /// Total span until the last step.
+    pub fn span(&self) -> Duration {
+        self.steps.last().map(|(t, _)| *t).unwrap_or(Duration::ZERO)
+    }
+
+    /// The distinct steps.
+    pub fn steps(&self) -> &[(Duration, u64)] {
+        &self.steps
+    }
+
+    /// Drives a live link through the schedule, sleeping `time_scale`-scaled
+    /// wall time between steps. Blocks until the last step is applied.
+    pub fn apply(&self, link: &WirelessLink, time_scale: f64) {
+        let mut last = Duration::ZERO;
+        for (offset, bps) in &self.steps {
+            let gap = offset.saturating_sub(last);
+            if !gap.is_zero() {
+                std::thread::sleep(gap.mul_f64(time_scale));
+            }
+            link.set_bandwidth(*bps);
+            last = *offset;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkConfig;
+
+    #[test]
+    fn constant_schedule() {
+        let s = BandwidthSchedule::constant(500_000);
+        assert_eq!(s.bandwidth_at(Duration::ZERO), 500_000);
+        assert_eq!(s.bandwidth_at(Duration::from_secs(100)), 500_000);
+        assert_eq!(s.span(), Duration::ZERO);
+    }
+
+    #[test]
+    fn step_function_lookup() {
+        let s = BandwidthSchedule::constant(1_000_000)
+            .then(Duration::from_secs(10), 80_000)
+            .then(Duration::from_secs(20), 2_000_000);
+        assert_eq!(s.bandwidth_at(Duration::from_secs(5)), 1_000_000);
+        assert_eq!(s.bandwidth_at(Duration::from_secs(10)), 80_000);
+        assert_eq!(s.bandwidth_at(Duration::from_secs(15)), 80_000);
+        assert_eq!(s.bandwidth_at(Duration::from_secs(25)), 2_000_000);
+        assert_eq!(s.span(), Duration::from_secs(20));
+    }
+
+    #[test]
+    fn from_steps_sorts_and_anchors_zero() {
+        let s = BandwidthSchedule::from_steps(vec![
+            (Duration::from_secs(8), 100),
+            (Duration::from_secs(4), 200),
+        ]);
+        assert_eq!(s.bandwidth_at(Duration::ZERO), 200, "anchored to earliest value");
+        assert_eq!(s.bandwidth_at(Duration::from_secs(5)), 200);
+        assert_eq!(s.bandwidth_at(Duration::from_secs(9)), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn empty_schedule_panics() {
+        let _ = BandwidthSchedule::from_steps(vec![]);
+    }
+
+    #[test]
+    fn apply_drives_link() {
+        let (link, _tx, _rx) = crate::link::WirelessLink::spawn(LinkConfig {
+            bandwidth_bps: 1_000_000,
+            ..Default::default()
+        });
+        let s = BandwidthSchedule::constant(64_000).then(Duration::from_millis(100), 128_000);
+        // Scale 0.1: the 100 ms gap becomes 10 ms of wall time.
+        let t0 = std::time::Instant::now();
+        s.apply(&link, 0.1);
+        assert_eq!(link.bandwidth(), 128_000);
+        assert!(t0.elapsed() >= Duration::from_millis(9));
+    }
+}

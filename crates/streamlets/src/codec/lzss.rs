@@ -1,0 +1,251 @@
+//! LZSS compression (4 KB sliding window, 3..18-byte matches).
+//!
+//! The `text_compress` streamlet needs a *real*, reversible compressor that
+//! achieves the thesis's "up to 75%" reduction on redundant text (§7.5)
+//! without external crates. Classic LZSS fits: flag-byte framing, 12-bit
+//! offsets, 4-bit lengths.
+//!
+//! Format: `[flags: u8] [8 items]`, repeated. Flag bit `1` = literal byte;
+//! `0` = match: two bytes `oooooooo oooollll` encoding a 12-bit backward
+//! offset (1-based) and a 4-bit length stored as `len - MIN_MATCH`.
+
+const WINDOW: usize = 4096;
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 18;
+/// Hash-chain bucket count (power of two).
+const HASH_SIZE: usize = 1 << 13;
+
+#[inline]
+fn hash3(data: &[u8], i: usize) -> usize {
+    let h = (data[i] as usize) << 10 ^ (data[i + 1] as usize) << 5 ^ (data[i + 2] as usize);
+    h & (HASH_SIZE - 1)
+}
+
+/// Compresses `data`. Always succeeds; incompressible input grows by at
+/// most 12.5% (one flag byte per 8 literals).
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    if data.is_empty() {
+        return out;
+    }
+    // Hash chains: head[h] = most recent position with hash h; prev[i & mask]
+    // links back through earlier positions.
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; WINDOW];
+
+    let mut i = 0usize;
+    let mut flags_pos = out.len();
+    out.push(0);
+    let mut flag_bit = 0u8;
+    let mut flags = 0u8;
+
+    macro_rules! flush_item {
+        () => {
+            flag_bit += 1;
+            if flag_bit == 8 {
+                out[flags_pos] = flags;
+                flags = 0;
+                flag_bit = 0;
+                flags_pos = out.len();
+                out.push(0);
+            }
+        };
+    }
+
+    let insert = |head: &mut [usize], prev: &mut [usize], data: &[u8], pos: usize| {
+        if pos + MIN_MATCH <= data.len() {
+            let h = hash3(data, pos);
+            prev[pos % WINDOW] = head[h];
+            head[h] = pos;
+        }
+    };
+
+    while i < data.len() {
+        // Find the longest match within the window via the hash chain.
+        let mut best_len = 0usize;
+        let mut best_off = 0usize;
+        if i + MIN_MATCH <= data.len() {
+            let h = hash3(data, i);
+            let mut cand = head[h];
+            let limit = i.saturating_sub(WINDOW);
+            let mut chain = 0;
+            while cand != usize::MAX && cand >= limit && cand < i && chain < 64 {
+                let max_len = MAX_MATCH.min(data.len() - i);
+                let mut l = 0;
+                while l < max_len && data[cand + l] == data[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_off = i - cand;
+                    if l == max_len {
+                        break;
+                    }
+                }
+                cand = prev[cand % WINDOW];
+                chain += 1;
+            }
+        }
+
+        if best_len >= MIN_MATCH {
+            // Match item: flag bit 0.
+            let stored_len = (best_len - MIN_MATCH) as u8; // 0..=15
+            let off = (best_off - 1) as u16; // 0..=4095
+            out.push((off >> 4) as u8);
+            out.push((((off & 0xF) as u8) << 4) | stored_len);
+            for k in 0..best_len {
+                insert(&mut head, &mut prev, data, i + k);
+            }
+            i += best_len;
+            flush_item!();
+        } else {
+            // Literal: flag bit 1.
+            flags |= 1 << flag_bit;
+            out.push(data[i]);
+            insert(&mut head, &mut prev, data, i);
+            i += 1;
+            flush_item!();
+        }
+    }
+    out[flags_pos] = flags;
+    // A trailing, empty flag byte may remain when the input length is a
+    // multiple of 8 items; it is harmless (decompress stops at input end),
+    // but trim it for cleanliness.
+    if flags_pos == out.len() - 1 && flag_bit == 0 {
+        out.pop();
+    }
+    out
+}
+
+/// Decompresses LZSS data produced by [`compress`].
+///
+/// Returns `None` on malformed input (truncated match, offset before start).
+pub fn decompress(data: &[u8]) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(data.len() * 3);
+    let mut i = 0usize;
+    while i < data.len() {
+        let flags = data[i];
+        i += 1;
+        for bit in 0..8 {
+            if i >= data.len() {
+                break;
+            }
+            if flags & (1 << bit) != 0 {
+                out.push(data[i]);
+                i += 1;
+            } else {
+                if i + 1 >= data.len() {
+                    return None;
+                }
+                let b0 = data[i] as usize;
+                let b1 = data[i + 1] as usize;
+                i += 2;
+                let off = (b0 << 4 | b1 >> 4) + 1;
+                let len = (b1 & 0xF) + MIN_MATCH;
+                if off > out.len() {
+                    return None;
+                }
+                let start = out.len() - off;
+                for k in 0..len {
+                    let byte = out[start + k];
+                    out.push(byte);
+                }
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Convenience: compression ratio (compressed/original) of a buffer.
+pub fn ratio(data: &[u8]) -> f64 {
+    if data.is_empty() {
+        return 1.0;
+    }
+    compress(data).len() as f64 / data.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) {
+        let c = compress(data);
+        let d = decompress(&c).expect("valid stream");
+        assert_eq!(d, data, "round trip failed for {} bytes", data.len());
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        round_trip(b"");
+        round_trip(b"a");
+        round_trip(b"ab");
+        round_trip(b"abc");
+        round_trip(b"aaaa");
+    }
+
+    #[test]
+    fn repetitive_text_compresses_hard() {
+        let data = b"the quick brown fox jumps over the lazy dog. ".repeat(100);
+        round_trip(&data);
+        let r = ratio(&data);
+        assert!(r < 0.25, "expected >75% reduction on repeated text, ratio {r}");
+    }
+
+    #[test]
+    fn long_runs_compress() {
+        let data = vec![7u8; 10_000];
+        round_trip(&data);
+        assert!(ratio(&data) < 0.15); // bounded by the 18-byte max match
+    }
+
+    #[test]
+    fn random_data_grows_bounded() {
+        // Pseudo-random via LCG (no rand dependency needed here).
+        let mut x = 0x12345678u64;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 33) as u8
+            })
+            .collect();
+        let c = compress(&data);
+        assert!(c.len() <= data.len() + data.len() / 8 + 2);
+        round_trip(&data);
+    }
+
+    #[test]
+    fn matches_across_window_boundary_are_safe() {
+        // Content longer than the window with long-range repetition.
+        let unit: Vec<u8> = (0..=255u8).collect();
+        let data: Vec<u8> = unit.iter().cycle().take(WINDOW * 3 + 17).copied().collect();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn exact_multiple_of_eight_items() {
+        // Eight literals = exactly one flag group.
+        round_trip(b"12345678");
+        round_trip(b"1234567812345678");
+    }
+
+    #[test]
+    fn decompress_rejects_garbage() {
+        // Flag says match but only one byte follows.
+        assert!(decompress(&[0b0000_0000, 0x01]).is_none());
+        // Match offset pointing before the start of output.
+        assert!(decompress(&[0b0000_0000, 0xFF, 0xF0]).is_none());
+    }
+
+    #[test]
+    fn all_byte_values_round_trip() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(2048).collect();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn max_match_length_exercised() {
+        let mut data = vec![b'x'; MAX_MATCH * 4];
+        data.extend_from_slice(b"tail");
+        round_trip(&data);
+    }
+}

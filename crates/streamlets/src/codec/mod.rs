@@ -1,0 +1,11 @@
+//! Codecs behind the transformation streamlets.
+//!
+//! * [`lzss`] — a real LZSS compressor (4 KB window) used by the
+//!   `text_compress` streamlet; fully reversible, and achieves the ≈50-75%
+//!   reduction the thesis reports on redundant text.
+//! * [`raster`] — the synthetic `MGRF` raster-image format with three
+//!   encodings (raw, palette/GIF-ish, quantized+RLE/JPEG-ish) that the
+//!   image streamlets decode, transform, and re-encode.
+
+pub mod lzss;
+pub mod raster;

@@ -1,0 +1,487 @@
+//! `MGRF` — the synthetic raster-image format behind the image streamlets.
+//!
+//! The paper's experiments transcode real GIF/JPEG images; those data sets
+//! are unavailable, so this module implements a compact raster format with
+//! three encodings whose *size behaviour* under the paper's
+//! transformations is faithful:
+//!
+//! * [`Encoding::Raw`] — one byte per sample;
+//! * [`Encoding::Palette`] — a 256-entry RGB palette plus one index byte
+//!   per pixel (GIF-like);
+//! * [`Encoding::Quantized`] — samples quantized to a quality-dependent
+//!   number of levels then run-length encoded (JPEG-like: lossy, and
+//!   smoother images compress better).
+//!
+//! Header layout (little-endian):
+//! ```text
+//! magic "MGRF" | version u8 | encoding u8 | channels u8 | quality u8 |
+//! width u16 | height u16 | payload_len u32 | payload…
+//! ```
+
+use std::fmt;
+
+/// Magic prefix of every MGRF image.
+pub const MAGIC: &[u8; 4] = b"MGRF";
+const VERSION: u8 = 1;
+const HEADER_LEN: usize = 4 + 1 + 1 + 1 + 1 + 2 + 2 + 4;
+
+/// Payload encodings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Encoding {
+    /// One byte per sample (w × h × channels bytes).
+    Raw,
+    /// GIF-like: global palette + pixel indices (channels collapse to 1
+    /// index referencing RGB entries).
+    Palette,
+    /// JPEG-like: quantized samples + RLE; `quality` (1..=100) sets the
+    /// quantization step.
+    Quantized,
+}
+
+impl Encoding {
+    fn code(self) -> u8 {
+        match self {
+            Encoding::Raw => 0,
+            Encoding::Palette => 1,
+            Encoding::Quantized => 2,
+        }
+    }
+
+    fn from_code(c: u8) -> Option<Self> {
+        match c {
+            0 => Some(Encoding::Raw),
+            1 => Some(Encoding::Palette),
+            2 => Some(Encoding::Quantized),
+            _ => None,
+        }
+    }
+}
+
+/// Errors decoding MGRF data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RasterError {
+    /// Not an MGRF buffer / truncated header.
+    BadHeader,
+    /// Unknown encoding or version.
+    Unsupported,
+    /// Payload inconsistent with the header.
+    BadPayload(&'static str),
+}
+
+impl fmt::Display for RasterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RasterError::BadHeader => write!(f, "bad or truncated MGRF header"),
+            RasterError::Unsupported => write!(f, "unsupported MGRF version or encoding"),
+            RasterError::BadPayload(why) => write!(f, "bad MGRF payload: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for RasterError {}
+
+/// A decoded image: planar-interleaved samples, one byte each.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    /// Pixels per row.
+    pub width: u16,
+    /// Rows.
+    pub height: u16,
+    /// Samples per pixel (3 = RGB, 1 = gray).
+    pub channels: u8,
+    /// `width × height × channels` samples, row-major, channel-interleaved.
+    pub samples: Vec<u8>,
+}
+
+impl Image {
+    /// Allocates a black image.
+    pub fn new(width: u16, height: u16, channels: u8) -> Self {
+        let n = width as usize * height as usize * channels as usize;
+        Image { width, height, channels, samples: vec![0; n] }
+    }
+
+    /// Pixel count.
+    pub fn pixels(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// Encodes into MGRF bytes.
+    pub fn encode(&self, encoding: Encoding, quality: u8) -> Vec<u8> {
+        let quality = quality.clamp(1, 100);
+        let payload = match encoding {
+            Encoding::Raw => self.samples.clone(),
+            Encoding::Palette => encode_palette(self),
+            Encoding::Quantized => encode_quantized(self, quality),
+        };
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(MAGIC);
+        out.push(VERSION);
+        out.push(encoding.code());
+        out.push(self.channels);
+        out.push(quality);
+        out.extend_from_slice(&self.width.to_le_bytes());
+        out.extend_from_slice(&self.height.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Decodes MGRF bytes. Lossy encodings reconstruct approximations.
+    pub fn decode(data: &[u8]) -> Result<(Image, Encoding, u8), RasterError> {
+        if data.len() < HEADER_LEN || &data[..4] != MAGIC {
+            return Err(RasterError::BadHeader);
+        }
+        if data[4] != VERSION {
+            return Err(RasterError::Unsupported);
+        }
+        let encoding = Encoding::from_code(data[5]).ok_or(RasterError::Unsupported)?;
+        let channels = data[6];
+        let quality = data[7];
+        let width = u16::from_le_bytes([data[8], data[9]]);
+        let height = u16::from_le_bytes([data[10], data[11]]);
+        let payload_len =
+            u32::from_le_bytes([data[12], data[13], data[14], data[15]]) as usize;
+        if data.len() < HEADER_LEN + payload_len {
+            return Err(RasterError::BadPayload("truncated payload"));
+        }
+        if channels == 0 || channels > 4 {
+            return Err(RasterError::BadPayload("invalid channel count"));
+        }
+        let payload = &data[HEADER_LEN..HEADER_LEN + payload_len];
+        let n = width as usize * height as usize * channels as usize;
+        let samples = match encoding {
+            Encoding::Raw => {
+                if payload.len() != n {
+                    return Err(RasterError::BadPayload("raw size mismatch"));
+                }
+                payload.to_vec()
+            }
+            Encoding::Palette => decode_palette(payload, width, height, channels)?,
+            Encoding::Quantized => decode_quantized(payload, n, channels, quality)?,
+        };
+        Ok((Image { width, height, channels, samples }, encoding, quality))
+    }
+}
+
+// --- palette (GIF-like) ------------------------------------------------------
+
+/// Palette encoding: 256 RGB entries (768 bytes) + one index per pixel.
+/// Colors are quantized to a 3-3-2-bit cube (the classic web-safe trick),
+/// so encoding is lossy but decode(encode(x)) is stable.
+fn encode_palette(img: &Image) -> Vec<u8> {
+    let mut out = Vec::with_capacity(768 + img.pixels());
+    // Fixed 3-3-2 palette.
+    for idx in 0u16..256 {
+        let i = idx as u8;
+        let r = (i >> 5) & 0b111;
+        let g = (i >> 2) & 0b111;
+        let b = i & 0b11;
+        out.push(r << 5 | r << 2 | r >> 1);
+        out.push(g << 5 | g << 2 | g >> 1);
+        out.push(b << 6 | b << 4 | b << 2 | b);
+    }
+    let ch = img.channels as usize;
+    for p in 0..img.pixels() {
+        let (r, g, b) = match ch {
+            1 => {
+                let v = img.samples[p];
+                (v, v, v)
+            }
+            _ => (
+                img.samples[p * ch],
+                img.samples[p * ch + 1],
+                img.samples[p * ch + ch.min(3) - 1],
+            ),
+        };
+        out.push((r & 0xE0) | ((g & 0xE0) >> 3) | (b >> 6));
+    }
+    out
+}
+
+fn decode_palette(
+    payload: &[u8],
+    width: u16,
+    height: u16,
+    channels: u8,
+) -> Result<Vec<u8>, RasterError> {
+    let pixels = width as usize * height as usize;
+    if payload.len() != 768 + pixels {
+        return Err(RasterError::BadPayload("palette size mismatch"));
+    }
+    let (palette, indices) = payload.split_at(768);
+    let ch = channels as usize;
+    let mut samples = Vec::with_capacity(pixels * ch);
+    for &idx in indices {
+        let base = idx as usize * 3;
+        let (r, g, b) = (palette[base], palette[base + 1], palette[base + 2]);
+        match ch {
+            1 => samples.push(luma(r, g, b)),
+            3 => samples.extend_from_slice(&[r, g, b]),
+            _ => {
+                samples.extend_from_slice(&[r, g, b]);
+                for _ in 3..ch {
+                    samples.push(255);
+                }
+            }
+        }
+    }
+    Ok(samples)
+}
+
+// --- quantized + RLE (JPEG-like) ---------------------------------------------
+
+fn quant_step(quality: u8) -> u16 {
+    // quality 100 → step 1 (lossless-ish); quality 1 → step 64.
+    let q = quality.clamp(1, 100) as u16;
+    1 + (100 - q) * 63 / 99
+}
+
+/// Quantize samples then RLE-encode as `(count, value)` pairs.
+///
+/// Channels are encoded as separate *planes* (all R, then all G, …): within
+/// a plane neighbouring pixels are similar, so quantized runs are long —
+/// interleaved samples would alternate channels and defeat the RLE
+/// entirely.
+fn encode_quantized(img: &Image, quality: u8) -> Vec<u8> {
+    let step = quant_step(quality);
+    let ch = img.channels as usize;
+    let pixels = img.pixels();
+    let mut out = Vec::new();
+    for c in 0..ch {
+        let mut iter = (0..pixels)
+            .map(|p| img.samples[p * ch + c])
+            .map(|s| ((s as u16 / step) * step) as u8);
+        let Some(mut current) = iter.next() else { continue };
+        let mut count: u8 = 1;
+        for v in iter {
+            if v == current && count < 255 {
+                count += 1;
+            } else {
+                out.push(count);
+                out.push(current);
+                current = v;
+                count = 1;
+            }
+        }
+        out.push(count);
+        out.push(current);
+    }
+    out
+}
+
+fn decode_quantized(
+    payload: &[u8],
+    n: usize,
+    channels: u8,
+    _quality: u8,
+) -> Result<Vec<u8>, RasterError> {
+    if payload.len() % 2 != 0 {
+        return Err(RasterError::BadPayload("odd RLE payload"));
+    }
+    let ch = channels as usize;
+    if n % ch != 0 {
+        return Err(RasterError::BadPayload("sample count not divisible by channels"));
+    }
+    // Expand the concatenated planes…
+    let mut planes = Vec::with_capacity(n);
+    for pair in payload.chunks_exact(2) {
+        let (count, value) = (pair[0] as usize, pair[1]);
+        if count == 0 {
+            return Err(RasterError::BadPayload("zero RLE run"));
+        }
+        planes.extend(std::iter::repeat(value).take(count));
+    }
+    if planes.len() != n {
+        return Err(RasterError::BadPayload("RLE sample count mismatch"));
+    }
+    // …then re-interleave into pixel order.
+    let pixels = n / ch;
+    let mut samples = vec![0u8; n];
+    for c in 0..ch {
+        for p in 0..pixels {
+            samples[p * ch + c] = planes[c * pixels + p];
+        }
+    }
+    Ok(samples)
+}
+
+// --- transformations used by the streamlets -----------------------------------
+
+/// ITU-R 601 luma approximation in integer math.
+pub fn luma(r: u8, g: u8, b: u8) -> u8 {
+    ((77 * r as u32 + 150 * g as u32 + 29 * b as u32) >> 8) as u8
+}
+
+/// Down-samples by an integer factor in both dimensions (point sampling) —
+/// the `img_down_sample` streamlet's kernel.
+pub fn downsample(img: &Image, factor: u16) -> Image {
+    let factor = factor.max(1);
+    let nw = (img.width / factor).max(1);
+    let nh = (img.height / factor).max(1);
+    let ch = img.channels as usize;
+    let mut out = Image::new(nw, nh, img.channels);
+    for y in 0..nh as usize {
+        for x in 0..nw as usize {
+            let sx = (x as u16 * factor).min(img.width - 1) as usize;
+            let sy = (y as u16 * factor).min(img.height - 1) as usize;
+            let src = (sy * img.width as usize + sx) * ch;
+            let dst = (y * nw as usize + x) * ch;
+            out.samples[dst..dst + ch].copy_from_slice(&img.samples[src..src + ch]);
+        }
+    }
+    out
+}
+
+/// Converts to 16 gray levels, one channel — the `map_to_16_grays`
+/// streamlet's kernel.
+pub fn to_16_grays(img: &Image) -> Image {
+    let ch = img.channels as usize;
+    let mut out = Image::new(img.width, img.height, 1);
+    for p in 0..img.pixels() {
+        let g = match ch {
+            1 => img.samples[p],
+            _ => luma(
+                img.samples[p * ch],
+                img.samples[p * ch + 1],
+                img.samples[p * ch + 2.min(ch - 1)],
+            ),
+        };
+        out.samples[p] = (g / 16) * 17; // 16 levels spread over 0..=255
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A smooth gradient test image (mirrors the synthetic workload).
+    fn gradient(w: u16, h: u16, channels: u8) -> Image {
+        let mut img = Image::new(w, h, channels);
+        let ch = channels as usize;
+        for y in 0..h as usize {
+            for x in 0..w as usize {
+                for c in 0..ch {
+                    img.samples[(y * w as usize + x) * ch + c] =
+                        ((x + y * 2 + c * 40) % 256) as u8;
+                }
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn raw_round_trip_exact() {
+        let img = gradient(32, 24, 3);
+        let bytes = img.encode(Encoding::Raw, 100);
+        let (back, enc, _) = Image::decode(&bytes).unwrap();
+        assert_eq!(enc, Encoding::Raw);
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn palette_round_trip_stable() {
+        // decode(encode(x)) is lossy once, then stable.
+        let img = gradient(16, 16, 3);
+        let once = Image::decode(&img.encode(Encoding::Palette, 100)).unwrap().0;
+        let twice = Image::decode(&once.encode(Encoding::Palette, 100)).unwrap().0;
+        assert_eq!(once.width, img.width);
+        assert_eq!(once, twice, "palette quantization must be idempotent");
+    }
+
+    #[test]
+    fn quantized_size_shrinks_with_quality() {
+        let img = gradient(64, 64, 3);
+        let hi = img.encode(Encoding::Quantized, 95);
+        let lo = img.encode(Encoding::Quantized, 20);
+        assert!(
+            lo.len() < hi.len(),
+            "lower quality must be smaller: {} vs {}",
+            lo.len(),
+            hi.len()
+        );
+        // Both decode to the right dimensions.
+        let (back, _, q) = Image::decode(&lo).unwrap();
+        assert_eq!(q, 20);
+        assert_eq!(back.pixels(), img.pixels());
+    }
+
+    #[test]
+    fn quantized_decode_approximates() {
+        let img = gradient(16, 16, 1);
+        let (back, _, _) = Image::decode(&img.encode(Encoding::Quantized, 50)).unwrap();
+        let step = quant_step(50) as i32;
+        for (a, b) in img.samples.iter().zip(&back.samples) {
+            assert!((*a as i32 - *b as i32).abs() < step, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn downsample_halves_dimensions() {
+        let img = gradient(64, 48, 3);
+        let half = downsample(&img, 2);
+        assert_eq!(half.width, 32);
+        assert_eq!(half.height, 24);
+        assert_eq!(half.samples.len(), 32 * 24 * 3);
+        // Raw size shrinks by ~4x.
+        assert!(half.encode(Encoding::Raw, 100).len() * 3 < img.encode(Encoding::Raw, 100).len());
+    }
+
+    #[test]
+    fn downsample_factor_one_is_identity() {
+        let img = gradient(10, 10, 1);
+        assert_eq!(downsample(&img, 1), img);
+    }
+
+    #[test]
+    fn downsample_never_reaches_zero() {
+        let img = gradient(3, 3, 1);
+        let tiny = downsample(&img, 10);
+        assert_eq!((tiny.width, tiny.height), (1, 1));
+    }
+
+    #[test]
+    fn to_16_grays_is_single_channel_16_levels() {
+        let img = gradient(16, 16, 3);
+        let gray = to_16_grays(&img);
+        assert_eq!(gray.channels, 1);
+        let mut levels: Vec<u8> = gray.samples.clone();
+        levels.sort_unstable();
+        levels.dedup();
+        assert!(levels.len() <= 16, "{} levels", levels.len());
+        // Gray raw is 3x smaller than RGB raw.
+        assert!(
+            gray.encode(Encoding::Raw, 100).len() * 2
+                < img.encode(Encoding::Raw, 100).len()
+        );
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(Image::decode(b"nope").unwrap_err(), RasterError::BadHeader);
+        assert_eq!(
+            Image::decode(b"MGRF\x63\x00\x03\x50\x10\x00\x10\x00\x00\x00\x00\x00").unwrap_err(),
+            RasterError::Unsupported
+        );
+        // Valid header, truncated payload.
+        let img = gradient(8, 8, 1);
+        let mut bytes = img.encode(Encoding::Raw, 100);
+        bytes.truncate(bytes.len() - 5);
+        assert!(matches!(Image::decode(&bytes).unwrap_err(), RasterError::BadPayload(_)));
+    }
+
+    #[test]
+    fn palette_is_much_smaller_than_rgb_raw() {
+        // GIF-ish: 1 byte/pixel + palette vs 3 bytes/pixel.
+        let img = gradient(100, 100, 3);
+        let pal = img.encode(Encoding::Palette, 100);
+        let raw = img.encode(Encoding::Raw, 100);
+        assert!(pal.len() < raw.len() / 2);
+    }
+
+    #[test]
+    fn luma_bounds() {
+        assert_eq!(luma(0, 0, 0), 0);
+        assert!(luma(255, 255, 255) >= 254);
+    }
+}

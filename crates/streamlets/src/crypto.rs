@@ -1,0 +1,186 @@
+//! Encryption streamlets (the paper's "encoding secured data" service
+//! class, §3.2, and the §5.2.5 preorder example: "encryption must be
+//! deployed before the compression entity").
+//!
+//! The cipher is a keyed XOR keystream (xorshift64* keyed by a shared
+//! secret plus a per-message nonce). It is **not** cryptographically
+//! strong — it exists to exercise the peer-streamlet machinery with a
+//! genuinely reversible byte-level transformation, which is all the
+//! evaluation needs (DESIGN.md §3).
+
+use mobigate_core::{CoreError, Emitter, StreamletCtx, StreamletDirectory, StreamletLogic};
+use mobigate_mime::{MimeMessage, MimeType};
+use std::str::FromStr;
+
+/// Peer identifier of the encryptor.
+pub const DECRYPT_PEER: &str = "decrypt";
+/// Header carrying the per-message nonce.
+pub const NONCE_HEADER: &str = "X-Crypt-Nonce";
+/// Header preserving the pre-encryption content type.
+pub const ORIGINAL_TYPE: &str = "X-Crypt-Original-Type";
+
+/// Demo shared secret (a deployment would provision per-client keys).
+pub const DEFAULT_KEY: u64 = 0x4d6f_6269_4741_5445; // "MobiGATE"
+
+/// Registers encryptor and decryptor with the default key.
+pub fn register(directory: &StreamletDirectory) {
+    directory.register("builtin/encrypt", "XOR-keystream encryption", || {
+        Box::new(Encrypt::new(DEFAULT_KEY))
+    });
+    directory.register("builtin/decrypt", "peer decryptor", || {
+        Box::new(Decrypt::new(DEFAULT_KEY))
+    });
+}
+
+fn keystream_apply(key: u64, nonce: u64, data: &[u8]) -> Vec<u8> {
+    let mut state = key ^ nonce.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut out = Vec::with_capacity(data.len());
+    let mut word = 0u64;
+    for (i, &b) in data.iter().enumerate() {
+        if i % 8 == 0 {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            word = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        }
+        out.push(b ^ (word >> ((i % 8) * 8)) as u8);
+    }
+    out
+}
+
+/// Stream-cipher encryption; pushes the `decrypt` peer.
+pub struct Encrypt {
+    key: u64,
+    counter: u64,
+}
+
+impl Encrypt {
+    /// An encryptor with the given shared key.
+    pub fn new(key: u64) -> Self {
+        Encrypt { key, counter: 0 }
+    }
+}
+
+impl StreamletLogic for Encrypt {
+    fn process(&mut self, msg: MimeMessage, ctx: &mut StreamletCtx) -> Result<(), CoreError> {
+        self.counter += 1;
+        let nonce = self.counter;
+        let mut out = msg.clone();
+        out.headers.set(ORIGINAL_TYPE, msg.content_type().to_string());
+        out.headers.set(NONCE_HEADER, nonce.to_string());
+        out.set_body(keystream_apply(self.key, nonce, &msg.body));
+        out.set_content_type(&MimeType::new("application", "octet-stream"));
+        out.push_peer(DECRYPT_PEER);
+        ctx.emit("po", out);
+        Ok(())
+    }
+
+    fn reset(&mut self) {
+        self.counter = 0;
+    }
+}
+
+/// The client-side peer: reverses [`Encrypt`].
+pub struct Decrypt {
+    key: u64,
+}
+
+impl Decrypt {
+    /// A decryptor with the given shared key.
+    pub fn new(key: u64) -> Self {
+        Decrypt { key }
+    }
+}
+
+impl StreamletLogic for Decrypt {
+    fn process(&mut self, msg: MimeMessage, ctx: &mut StreamletCtx) -> Result<(), CoreError> {
+        let nonce: u64 = msg
+            .headers
+            .get(NONCE_HEADER)
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| CoreError::Process {
+                streamlet: ctx.instance().to_string(),
+                message: "missing or invalid crypt nonce".into(),
+            })?;
+        let mut out = msg.clone();
+        out.set_body(keystream_apply(self.key, nonce, &msg.body));
+        let original = out
+            .headers
+            .get(ORIGINAL_TYPE)
+            .and_then(|t| MimeType::from_str(t).ok())
+            .unwrap_or_else(|| MimeType::new("application", "octet-stream"));
+        out.set_content_type(&original);
+        out.headers.remove(ORIGINAL_TYPE);
+        out.headers.remove(NONCE_HEADER);
+        ctx.emit("po", out);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(logic: &mut dyn StreamletLogic, msg: MimeMessage) -> MimeMessage {
+        let mut ctx = StreamletCtx::new("t", None);
+        logic.process(msg, &mut ctx).unwrap();
+        ctx.into_outputs().pop().unwrap().1
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip() {
+        let mut e = Encrypt::new(DEFAULT_KEY);
+        let mut d = Decrypt::new(DEFAULT_KEY);
+        let msg = MimeMessage::text("attack at dawn, over the wireless link");
+        let ct = run(&mut e, msg.clone());
+        assert_ne!(ct.body, msg.body, "ciphertext differs");
+        assert_eq!(ct.peer_chain(), vec![DECRYPT_PEER]);
+        let pt = run(&mut d, ct);
+        assert_eq!(pt.body, msg.body);
+        assert_eq!(pt.content_type(), msg.content_type());
+        assert!(pt.headers.get(NONCE_HEADER).is_none());
+    }
+
+    #[test]
+    fn nonce_changes_per_message() {
+        let mut e = Encrypt::new(DEFAULT_KEY);
+        let a = run(&mut e, MimeMessage::text("same plaintext"));
+        let b = run(&mut e, MimeMessage::text("same plaintext"));
+        assert_ne!(a.body, b.body, "identical plaintexts must differ in ciphertext");
+    }
+
+    #[test]
+    fn wrong_key_garbles() {
+        let mut e = Encrypt::new(1);
+        let mut d = Decrypt::new(2);
+        let msg = MimeMessage::text("secret");
+        let pt = run(&mut d, run(&mut e, msg.clone()));
+        assert_ne!(pt.body, msg.body);
+    }
+
+    #[test]
+    fn decrypt_requires_nonce() {
+        let mut d = Decrypt::new(DEFAULT_KEY);
+        let mut ctx = StreamletCtx::new("t", None);
+        assert!(d.process(MimeMessage::text("no nonce"), &mut ctx).is_err());
+    }
+
+    #[test]
+    fn empty_body_round_trips() {
+        let mut e = Encrypt::new(DEFAULT_KEY);
+        let mut d = Decrypt::new(DEFAULT_KEY);
+        let pt = run(&mut d, run(&mut e, MimeMessage::text("")));
+        assert!(pt.body.is_empty());
+    }
+
+    #[test]
+    fn binary_bodies_round_trip() {
+        let mut e = Encrypt::new(DEFAULT_KEY);
+        let mut d = Decrypt::new(DEFAULT_KEY);
+        let body: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let msg = MimeMessage::new(&MimeType::new("application", "octet-stream"), body.clone());
+        let pt = run(&mut d, run(&mut e, msg));
+        assert_eq!(pt.body.to_vec(), body);
+    }
+}

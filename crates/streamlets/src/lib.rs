@@ -1,0 +1,163 @@
+//! Built-in MobiGATE streamlets (§4.3, §7.2, §7.5) and the codecs behind
+//! them.
+//!
+//! The thesis evaluates MobiGATE with a datatype-specific distillation
+//! application (Figure 4-6) and a web-acceleration application (§7.5) built
+//! from these service entities:
+//!
+//! | Streamlet | Module | Paper role |
+//! |---|---|---|
+//! | `switch` | [`basic`] | divide messages by semantic type |
+//! | `redirector` | [`basic`] | parse + re-encapsulate + forward (§7.2) |
+//! | `merge` | [`basic`] | integrate parts into a whole body |
+//! | `cache` | [`basic`] | content caching |
+//! | `power_saving` | [`basic`] | the power-saving entity |
+//! | `img_down_sample` | [`transform`] | lossy image down-sampling |
+//! | `map_to_16_grays` | [`transform`] | shallow-grayscale transcoding |
+//! | `gif2jpeg` | [`transform`] | image format conversion (§7.5) |
+//! | `postscript2text` | [`transform`] | document distillation |
+//! | `text_compress` / `text_decompress` | [`compress`] | generic text compression (≈75% reduction) |
+//! | `encrypt` / `decrypt` | [`crypto`] | secured data encoding |
+//! | `communicator` | [`comm`] | send messages onto the network (§7.5) |
+//!
+//! Since the original image/document data sets are unavailable, [`codec`]
+//! implements a small, *real* codec suite over a synthetic raster format
+//! (`MGRF`) and [`workload`] generates structured pseudo-images and
+//! redundant pseudo-text whose size behaviour under these streamlets
+//! mirrors the paper's (documented in DESIGN.md §3).
+//!
+//! [`register_builtins`] advertises everything in a
+//! [`mobigate_core::StreamletDirectory`] under `builtin/<name>` keys, and
+//! [`standard_defs`] returns the matching MCL streamlet definitions.
+
+pub mod basic;
+pub mod batch;
+pub mod codec;
+pub mod comm;
+pub mod compress;
+pub mod crypto;
+pub mod transform;
+pub mod workload;
+
+use mobigate_core::StreamletDirectory;
+
+/// Registers every built-in streamlet under its `builtin/<name>` library
+/// key.
+pub fn register_builtins(directory: &StreamletDirectory) {
+    basic::register(directory);
+    batch::register(directory);
+    transform::register(directory);
+    compress::register(directory);
+    crypto::register(directory);
+}
+
+/// MCL streamlet definitions for the built-ins, ready to prepend to
+/// composition scripts. (The `communicator` is excluded: it is constructed
+/// programmatically around a transport.)
+pub fn standard_defs() -> &'static str {
+    r#"
+streamlet switch {
+    port { in pi : */*; out po1 : image; out po2 : text; }
+    attribute { type = STATELESS; library = "builtin/switch";
+                description = "divide incoming messages by semantic type"; }
+}
+streamlet redirector {
+    port { in pi : */*; out po : */*; }
+    attribute { type = STATELESS; library = "builtin/redirector";
+                description = "parse and re-encapsulate messages (overhead probe)"; }
+}
+streamlet merge {
+    port { in pi1 : image; in pi2 : text; out po : multipart/mixed; }
+    attribute { type = STATEFUL; library = "builtin/merge";
+                description = "integrate different types of information"; }
+}
+streamlet cache {
+    port { in pi : */*; out po : */*; }
+    attribute { type = STATEFUL; library = "builtin/cache";
+                description = "cache of original and transformed content"; }
+}
+streamlet power_saving {
+    port { in pi : */*; out po : */*; }
+    attribute { type = STATELESS; library = "builtin/power_saving";
+                description = "power-saving degradation of content"; }
+}
+streamlet img_down_sample {
+    port { in pi : image; out po : image; }
+    attribute { type = STATELESS; library = "builtin/img_down_sample";
+                description = "lossy compression by reducing the sample rate"; }
+}
+streamlet map_to_16_grays {
+    port { in pi : image; out po : image; }
+    attribute { type = STATELESS; library = "builtin/map_to_16_grays";
+                description = "reduce images to 16 grays"; }
+}
+streamlet gif2jpeg {
+    port { in pi : image/gif; out po : image/jpeg; }
+    attribute { type = STATELESS; library = "builtin/gif2jpeg";
+                description = "convert images into Jpeg format"; }
+}
+streamlet postscript2text {
+    port { in pi : application/postscript; out po : text/richtext; }
+    attribute { type = STATELESS; library = "builtin/postscript2text";
+                description = "discard formatting, convert to rich text"; }
+}
+streamlet text_compress {
+    port { in pi : text; out po : text; }
+    attribute { type = STATELESS; library = "builtin/text_compress";
+                description = "a generic text compressor"; }
+}
+streamlet text_decompress {
+    port { in pi : text; out po : text; }
+    attribute { type = STATELESS; library = "builtin/text_decompress";
+                description = "peer of text_compress"; }
+}
+streamlet encrypt {
+    port { in pi : */*; out po : application/octet-stream; }
+    attribute { type = STATELESS; library = "builtin/encrypt";
+                description = "stream-cipher encryption"; }
+}
+streamlet decrypt {
+    port { in pi : application/octet-stream; out po : */*; }
+    attribute { type = STATELESS; library = "builtin/decrypt";
+                description = "peer of encrypt"; }
+}
+"#
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobigate_mcl::compile::compile;
+
+    #[test]
+    fn standard_defs_compile() {
+        let src = format!("{}\nmain stream empty {{ }}", standard_defs());
+        compile(&src).expect("standard definitions must compile");
+    }
+
+    #[test]
+    fn register_builtins_advertises_everything() {
+        let dir = StreamletDirectory::new();
+        register_builtins(&dir);
+        for lib in [
+            "builtin/switch",
+            "builtin/redirector",
+            "builtin/merge",
+            "builtin/cache",
+            "builtin/power_saving",
+            "builtin/img_down_sample",
+            "builtin/map_to_16_grays",
+            "builtin/gif2jpeg",
+            "builtin/postscript2text",
+            "builtin/text_compress",
+            "builtin/text_decompress",
+            "builtin/encrypt",
+            "builtin/decrypt",
+            "builtin/aggregate",
+            "builtin/disaggregate",
+            "builtin/paginate",
+        ] {
+            assert!(dir.contains(lib), "missing {lib}");
+        }
+    }
+}

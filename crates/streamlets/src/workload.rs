@@ -1,0 +1,228 @@
+//! Synthetic workload generation (DESIGN.md §3 substitution).
+//!
+//! The §7.5 experiment continuously generates "an amount of real image and
+//! text messages". This module produces the equivalents:
+//!
+//! * [`gen_text`] — redundant English-like text built from a small
+//!   vocabulary (LZSS-compressible by ≈70-80%, matching the paper's "up to
+//!   75%" text compressor);
+//! * [`gen_postscript`] — pseudo-PostScript wrapping that text in stack
+//!   operators the `postscript2text` streamlet strips;
+//! * [`gen_image`] — smooth structured MGRF images (gradients + blobs) in
+//!   GIF-like palette encoding, responsive to down-sampling and
+//!   quantization;
+//! * [`MessageMix`] — an iterator yielding a deterministic image/text
+//!   message mix for end-to-end runs.
+
+use crate::codec::raster::{Encoding, Image};
+use mobigate_mime::{MimeMessage, MimeType};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const VOCAB: &[&str] = &[
+    "mobile", "gateway", "proxy", "streamlet", "channel", "wireless", "bandwidth", "adaptive",
+    "middleware", "composition", "coordination", "message", "network", "transport", "entity",
+    "the", "a", "of", "and", "for", "with", "over", "across", "between", "system",
+];
+
+/// Generates `len` bytes of redundant English-like text.
+pub fn gen_text(rng: &mut StdRng, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len + 16);
+    while out.len() < len {
+        let word = VOCAB[rng.gen_range(0..VOCAB.len())];
+        out.extend_from_slice(word.as_bytes());
+        out.push(if rng.gen_ratio(1, 12) { b'.' } else { b' ' });
+        if rng.gen_ratio(1, 40) {
+            out.push(b'\n');
+        }
+    }
+    out.truncate(len);
+    out
+}
+
+/// Generates a pseudo-PostScript document of roughly `len` bytes: text
+/// interleaved with formatting operators (`moveto`, `setfont`, `show`…)
+/// that the distiller discards.
+pub fn gen_postscript(rng: &mut StdRng, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len + 64);
+    out.extend_from_slice(b"%!PS-Adobe-2.0\n");
+    while out.len() < len {
+        let x = rng.gen_range(0..612);
+        let y = rng.gen_range(0..792);
+        out.extend_from_slice(format!("{x} {y} moveto\n").as_bytes());
+        if rng.gen_ratio(1, 6) {
+            out.extend_from_slice(b"/Times-Roman findfont 12 scalefont setfont\n");
+        }
+        let words = rng.gen_range(4..12);
+        let mut line = String::from("(");
+        for _ in 0..words {
+            line.push_str(VOCAB[rng.gen_range(0..VOCAB.len())]);
+            line.push(' ');
+        }
+        line.pop();
+        line.push_str(") show\n");
+        out.extend_from_slice(line.as_bytes());
+    }
+    out.extend_from_slice(b"showpage\n");
+    out
+}
+
+/// Generates a structured image (gradient background + random blobs) and
+/// encodes it; `side` is the square dimension in pixels.
+pub fn gen_image(rng: &mut StdRng, side: u16, encoding: Encoding) -> Vec<u8> {
+    let mut img = Image::new(side, side, 3);
+    let w = side as usize;
+    // Smooth gradient background.
+    for y in 0..w {
+        for x in 0..w {
+            let i = (y * w + x) * 3;
+            img.samples[i] = ((x * 255) / w.max(1)) as u8;
+            img.samples[i + 1] = ((y * 255) / w.max(1)) as u8;
+            img.samples[i + 2] = (((x + y) * 127) / w.max(1)) as u8;
+        }
+    }
+    // A few rectangular blobs for structure.
+    for _ in 0..rng.gen_range(3..8) {
+        let bx = rng.gen_range(0..w);
+        let by = rng.gen_range(0..w);
+        let bw = rng.gen_range(2..w.max(3) / 2 + 2);
+        let bh = rng.gen_range(2..w.max(3) / 2 + 2);
+        let color: [u8; 3] = [rng.gen(), rng.gen(), rng.gen()];
+        for y in by..(by + bh).min(w) {
+            for x in bx..(bx + bw).min(w) {
+                let i = (y * w + x) * 3;
+                img.samples[i..i + 3].copy_from_slice(&color);
+            }
+        }
+    }
+    img.encode(encoding, 90)
+}
+
+/// Wraps generated content in MIME messages.
+pub fn text_message(rng: &mut StdRng, len: usize) -> MimeMessage {
+    MimeMessage::new(&MimeType::new("text", "plain"), gen_text(rng, len))
+}
+
+/// A pseudo-PostScript MIME message.
+pub fn postscript_message(rng: &mut StdRng, len: usize) -> MimeMessage {
+    MimeMessage::new(&MimeType::new("application", "postscript"), gen_postscript(rng, len))
+}
+
+/// A GIF-like image MIME message (`image/gif` content type, MGRF palette
+/// body).
+pub fn image_message(rng: &mut StdRng, side: u16) -> MimeMessage {
+    MimeMessage::new(&MimeType::new("image", "gif"), gen_image(rng, side, Encoding::Palette))
+}
+
+/// A deterministic image/text message mix for end-to-end experiments
+/// (§7.5: "an amount of real image and text messages are generated
+/// continuously").
+pub struct MessageMix {
+    rng: StdRng,
+    /// Out of 100: how many messages are images.
+    image_percent: u8,
+    image_side: u16,
+    text_len: usize,
+    counter: u64,
+}
+
+impl MessageMix {
+    /// A mix with the given image share, image dimension, and text size.
+    pub fn new(seed: u64, image_percent: u8, image_side: u16, text_len: usize) -> Self {
+        MessageMix {
+            rng: StdRng::seed_from_u64(seed),
+            image_percent: image_percent.min(100),
+            image_side,
+            text_len,
+            counter: 0,
+        }
+    }
+}
+
+impl Iterator for MessageMix {
+    type Item = MimeMessage;
+
+    fn next(&mut self) -> Option<MimeMessage> {
+        self.counter += 1;
+        let roll = self.rng.gen_range(0..100u8);
+        Some(if roll < self.image_percent {
+            image_message(&mut self.rng, self.image_side)
+        } else {
+            text_message(&mut self.rng, self.text_len)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::lzss;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn text_has_requested_length_and_compresses() {
+        let t = gen_text(&mut rng(), 8192);
+        assert_eq!(t.len(), 8192);
+        let r = lzss::ratio(&t);
+        assert!(r < 0.45, "generated text must be highly compressible, got {r}");
+    }
+
+    #[test]
+    fn text_is_deterministic_per_seed() {
+        assert_eq!(gen_text(&mut rng(), 512), gen_text(&mut rng(), 512));
+        let other = gen_text(&mut StdRng::seed_from_u64(7), 512);
+        assert_ne!(gen_text(&mut rng(), 512), other);
+    }
+
+    #[test]
+    fn postscript_contains_operators_and_prose() {
+        let ps = gen_postscript(&mut rng(), 4096);
+        let s = String::from_utf8_lossy(&ps);
+        assert!(s.starts_with("%!PS-Adobe"));
+        assert!(s.contains("moveto"));
+        assert!(s.contains("show"));
+        assert!(s.contains("mobile") || s.contains("gateway") || s.contains("the"));
+    }
+
+    #[test]
+    fn image_decodes_and_has_structure() {
+        use crate::codec::raster::Image;
+        let bytes = gen_image(&mut rng(), 64, Encoding::Palette);
+        let (img, enc, _) = Image::decode(&bytes).unwrap();
+        assert_eq!(enc, Encoding::Palette);
+        assert_eq!(img.width, 64);
+        // Not a constant image.
+        let first = img.samples[0];
+        assert!(img.samples.iter().any(|&s| s != first));
+    }
+
+    #[test]
+    fn messages_carry_proper_types() {
+        let mut r = rng();
+        assert_eq!(text_message(&mut r, 100).content_type().to_string(), "text/plain");
+        assert_eq!(
+            postscript_message(&mut r, 100).content_type().to_string(),
+            "application/postscript"
+        );
+        assert_eq!(image_message(&mut r, 16).content_type().to_string(), "image/gif");
+    }
+
+    #[test]
+    fn mix_respects_ratio_roughly() {
+        let mix = MessageMix::new(1, 30, 16, 256);
+        let msgs: Vec<_> = mix.take(500).collect();
+        let images =
+            msgs.iter().filter(|m| m.content_type().top == "image").count();
+        assert!((100..200).contains(&images), "expected ~150 images, got {images}");
+    }
+
+    #[test]
+    fn mix_is_deterministic() {
+        let a: Vec<_> = MessageMix::new(9, 50, 8, 64).take(20).collect();
+        let b: Vec<_> = MessageMix::new(9, 50, 8, 64).take(20).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,58 @@
+//! # MobiGATE
+//!
+//! A Rust reproduction of *"MobiGATE: A Mobile Gateway Proxy for the Active
+//! Deployment of Transport Entities"* (ICPP 2004 / MPhil thesis, The Hong
+//! Kong Polytechnic University).
+//!
+//! MobiGATE is an adaptive middleware proxy for wireless environments:
+//! data flows are processed by chains of **streamlets** (transport service
+//! entities) connected by typed **channels**, with all coordination
+//! expressed in the **MCL** coordination language and kept strictly
+//! separate from computation.
+//!
+//! This facade crate re-exports the whole system:
+//!
+//! * [`mime`] — MIME type lattice, headers, messages ([`mobigate_mime`]);
+//! * [`mcl`] — the coordination language: parser, compiler, semantic
+//!   analyses ([`mobigate_mcl`]);
+//! * [`core`] — the server runtime: queues, streamlets, streams, events,
+//!   pooling, coordination ([`mobigate_core`]);
+//! * [`streamlets`] — the built-in streamlet library and codecs
+//!   ([`mobigate_streamlets`]);
+//! * [`netsim`] — the emulated wireless link ([`mobigate_netsim`]);
+//! * [`client`] — the thin client: message distributor + peer pool
+//!   ([`mobigate_client`]);
+//! * [`testbed`] — the paper's Figure 7-1 testbed assembled in one object:
+//!   MobiGATE server → emulated wireless link → MobiGATE client.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mobigate::testbed::{Testbed, TestbedConfig};
+//! use mobigate::mime::MimeMessage;
+//! use std::time::Duration;
+//!
+//! let testbed = Testbed::new(TestbedConfig::fast());
+//! let stream = testbed
+//!     .deploy_with_defs(
+//!         "main stream app {
+//!             streamlet c = new-streamlet (text_compress);
+//!             streamlet out = new-streamlet (communicator);
+//!             connect (c.po, out.pi);
+//!         }",
+//!     )
+//!     .unwrap();
+//! stream.post_input(MimeMessage::text("hello hello hello hello")).unwrap();
+//! let delivered = testbed.client().recv(Duration::from_secs(5)).unwrap();
+//! assert_eq!(&delivered.body[..], b"hello hello hello hello");
+//! # testbed.shutdown();
+//! ```
+
+pub use mobigate_client as client;
+pub use mobigate_core as core;
+pub use mobigate_mcl as mcl;
+pub use mobigate_mime as mime;
+pub use mobigate_netsim as netsim;
+pub use mobigate_streamlets as streamlets;
+
+pub mod testbed;

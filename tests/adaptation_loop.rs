@@ -1,0 +1,146 @@
+//! The full adaptation loop: client context reports travel back to the
+//! gateway, become Event Manager events, and reconfigure the stream —
+//! plus aggregation/disaggregation across the link.
+
+use mobigate::core::EventKind;
+use mobigate::mime::MimeMessage;
+use mobigate::streamlets::codec::raster::Image;
+use mobigate::streamlets::workload;
+use mobigate::testbed::{Testbed, TestbedConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+#[test]
+fn client_report_drives_gateway_reconfiguration() {
+    // The client device reports LOW_GRAYS; the gateway reacts by splicing
+    // the 16-gray mapper into the image path — the complete Figure 3-1
+    // loop: client → event → coordination → new topology.
+    let tb = Testbed::new(TestbedConfig::fast());
+    let stream = tb
+        .deploy_with_defs(
+            r#"
+            streamlet gifsw {
+                port { in pi : */*; out po1 : image/gif; out po2 : text; }
+                attribute { type = STATELESS; library = "builtin/switch"; }
+            }
+            main stream adaptive {
+                streamlet sw = new-streamlet (gifsw);
+                streamlet gray = new-streamlet (map_to_16_grays);
+                streamlet out = new-streamlet (communicator);
+                connect (sw.po1, out.pi);
+                connect (sw.po2, out.pi);
+                when (LOW_GRAYS) {
+                    insert (sw.po1, out.pi, gray);
+                }
+            }
+            "#,
+        )
+        .unwrap();
+
+    let mut rng = StdRng::seed_from_u64(31);
+
+    // Before the report: the image arrives in color (3 channels).
+    tb.client();
+    stream.post_input(workload::image_message(&mut rng, 32)).unwrap();
+    let before = tb.client().recv(Duration::from_secs(5)).expect("delivered");
+    let (img, _, _) = Image::decode(&before.body).unwrap();
+    assert_eq!(img.channels, 3);
+
+    // The mobile device reports its shallow display.
+    assert!(tb.client().report_context(EventKind::LowGrays));
+    // Wait for the reconfiguration to land (the uplink is synchronous in
+    // the testbed, but give the splice a moment).
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while !stream.instance_names().contains(&"gray".to_string())
+        && std::time::Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(stream.instance_names().contains(&"gray".to_string()));
+
+    // After the report: images arrive as 16-level grayscale.
+    stream.post_input(workload::image_message(&mut rng, 32)).unwrap();
+    let after = tb.client().recv(Duration::from_secs(5)).expect("delivered");
+    let (img, _, _) = Image::decode(&after.body).unwrap();
+    assert_eq!(img.channels, 1, "client now receives grayscale");
+    assert!(after.body.len() < before.body.len());
+    tb.shutdown();
+}
+
+#[test]
+fn aggregation_is_transparent_across_the_link() {
+    let tb = Testbed::new(TestbedConfig::fast());
+    let stream = tb
+        .deploy_with_defs(
+            r#"
+            main stream bundled {
+                streamlet agg = new-streamlet (aggregate);
+                streamlet out = new-streamlet (communicator);
+                connect (agg.po, out.pi);
+            }
+            "#,
+        )
+        .unwrap();
+
+    // The default aggregator bundles 4 messages; the client's disaggregate
+    // peer unpacks them, so the application sees 8 individual messages.
+    for i in 0..8 {
+        stream.post_input(MimeMessage::text(format!("part-{i}"))).unwrap();
+    }
+    let mut got = Vec::new();
+    for _ in 0..8 {
+        got.push(tb.client().recv(Duration::from_secs(5)).expect("delivered"));
+    }
+    let mut bodies: Vec<String> =
+        got.iter().map(|m| String::from_utf8_lossy(&m.body).into_owned()).collect();
+    bodies.sort();
+    let expected: Vec<String> = (0..8).map(|i| format!("part-{i}")).collect();
+    assert_eq!(bodies, expected);
+    // Only 2 frames crossed the link for 8 application messages.
+    assert_eq!(tb.link().stats().delivered, 2);
+    tb.shutdown();
+}
+
+#[test]
+fn aggregate_then_compress_chains_reverse_fully() {
+    // Bundle, then compress the bundle; the client must first decompress
+    // (outermost peer) then disaggregate.
+    let tb = Testbed::new(TestbedConfig::fast());
+    let stream = tb
+        .deploy_with_defs(
+            r#"
+            streamlet any_compress {
+                port { in pi : */*; out po : */*; }
+                attribute { type = STATELESS; library = "builtin/text_compress";
+                            description = "LZSS over arbitrary bodies"; }
+            }
+            main stream bundledz {
+                streamlet agg = new-streamlet (aggregate);
+                streamlet z = new-streamlet (any_compress);
+                streamlet out = new-streamlet (communicator);
+                connect (agg.po, z.pi);
+                connect (z.po, out.pi);
+            }
+            "#,
+        )
+        .unwrap();
+    for i in 0..4 {
+        stream
+            .post_input(MimeMessage::text(format!("bundle member {i} {}", "pad ".repeat(30))))
+            .unwrap();
+    }
+    let mut bodies = Vec::new();
+    for _ in 0..4 {
+        let m = tb.client().recv(Duration::from_secs(5)).expect("delivered");
+        bodies.push(String::from_utf8_lossy(&m.body).into_owned());
+    }
+    bodies.sort();
+    for (i, b) in bodies.iter().enumerate() {
+        assert!(b.starts_with(&format!("bundle member {i}")), "{b}");
+    }
+    let stats = tb.client().stats();
+    assert_eq!(stats.reversals, 2, "decompress + disaggregate");
+    assert_eq!(stats.delivered, 4);
+    tb.shutdown();
+}

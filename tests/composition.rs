@@ -1,0 +1,156 @@
+//! Recursive composition and the semantic deployment gate, end to end.
+
+use mobigate::mime::MimeMessage;
+use mobigate::testbed::{Testbed, TestbedConfig};
+use std::time::Duration;
+
+#[test]
+fn recursive_composition_runs_end_to_end() {
+    // §4.4.2 / Figure 4-9: a stream reused as a streamlet inside another
+    // stream, with a facade definition giving it public ports.
+    let tb = Testbed::new(TestbedConfig::fast());
+    let stream = tb
+        .deploy_with_defs(
+            r#"
+            streamlet secure {
+                port { in pi : text; out po : application/octet-stream; }
+                attribute { type = STATEFUL; library = "composite"; }
+            }
+            stream secure {
+                streamlet c = new-streamlet (text_compress);
+                streamlet e = new-streamlet (encrypt);
+                connect (c.po, e.pi);
+            }
+            main stream composite {
+                streamlet w = new-streamlet (secure);
+                streamlet out = new-streamlet (communicator);
+                connect (w.po, out.pi);
+            }
+            "#,
+        )
+        .unwrap();
+
+    // The composite expanded into hierarchical instances.
+    let names = stream.instance_names();
+    assert!(names.contains(&"w/c".to_string()), "{names:?}");
+    assert!(names.contains(&"w/e".to_string()), "{names:?}");
+
+    let body = "nested composition across the wireless hop ".repeat(30);
+    stream.post_input(MimeMessage::text(body.clone())).unwrap();
+    let got = tb.client().recv(Duration::from_secs(5)).expect("delivered");
+    assert_eq!(got.body, body.as_bytes(), "compress+encrypt fully reversed");
+    assert_eq!(tb.client().stats().reversals, 2);
+    tb.shutdown();
+}
+
+#[test]
+fn nested_recursive_composition_two_levels() {
+    // compositeStream reuses streamApp, which is itself a composition —
+    // "recursive structuring … can be nested to an arbitrary level".
+    let tb = Testbed::new(TestbedConfig::fast());
+    let stream = tb
+        .deploy_with_defs(
+            r#"
+            stream inner {
+                streamlet r1 = new-streamlet (redirector);
+            }
+            stream middle {
+                streamlet i = new-streamlet (inner);
+                streamlet r2 = new-streamlet (redirector);
+                connect (i.po, r2.pi);
+            }
+            main stream outer {
+                streamlet m = new-streamlet (middle);
+                streamlet out = new-streamlet (communicator);
+                connect (m.po, out.pi);
+            }
+            "#,
+        )
+        .unwrap();
+    let names = stream.instance_names();
+    assert!(names.contains(&"m/i/r1".to_string()), "{names:?}");
+    assert!(names.contains(&"m/r2".to_string()), "{names:?}");
+
+    stream.post_input(MimeMessage::text("three levels deep")).unwrap();
+    let got = tb.client().recv(Duration::from_secs(5)).expect("delivered");
+    assert_eq!(&got.body[..], b"three levels deep");
+    tb.shutdown();
+}
+
+#[test]
+fn deployment_gate_rejects_feedback_loop() {
+    let tb = Testbed::new(TestbedConfig::fast());
+    let err = tb
+        .deploy_with_defs(
+            "main stream cyclic {\n\
+             streamlet a = new-streamlet (redirector);\n\
+             streamlet b = new-streamlet (redirector);\n\
+             connect (a.po, b.pi);\n\
+             connect (b.po, a.pi);\n}",
+        )
+        .err()
+        .expect("must be rejected");
+    assert!(err.to_string().contains("feedback loop"), "{err}");
+    tb.shutdown();
+}
+
+#[test]
+fn deployment_gate_rejects_preorder_violation() {
+    let tb = Testbed::new(TestbedConfig::fast());
+    let err = tb
+        .deploy_with_defs(
+            "constraint preorder(encrypt, text_compress);\n\
+             main stream wrong {\n\
+             streamlet c = new-streamlet (text_compress);\n\
+             streamlet e = new-streamlet (encrypt);\n\
+             streamlet out = new-streamlet (communicator);\n\
+             connect (c.po, e.pi);\n\
+             connect (e.po, out.pi);\n}",
+        )
+        .err()
+        .expect("must be rejected");
+    assert!(err.to_string().contains("preorder"), "{err}");
+    tb.shutdown();
+}
+
+#[test]
+fn type_incompatibility_is_a_compile_error() {
+    let tb = Testbed::new(TestbedConfig::fast());
+    let err = tb
+        .deploy_with_defs(
+            "main stream bad {\n\
+             streamlet g = new-streamlet (gif2jpeg);\n\
+             streamlet c = new-streamlet (text_compress);\n\
+             connect (g.po, c.pi);\n}",
+        )
+        .err()
+        .expect("image/jpeg into text must fail");
+    assert!(err.to_string().contains("not a subtype"), "{err}");
+    tb.shutdown();
+}
+
+#[test]
+fn subtype_connection_through_registry_is_accepted() {
+    // §4.4.1's worked example: postscript2text (out text/richtext) into
+    // text_compress (in text).
+    let tb = Testbed::new(TestbedConfig::fast());
+    let stream = tb
+        .deploy_with_defs(
+            "main stream distil {\n\
+             streamlet p = new-streamlet (postscript2text);\n\
+             streamlet c = new-streamlet (text_compress);\n\
+             streamlet out = new-streamlet (communicator);\n\
+             connect (p.po, c.pi);\n\
+             connect (c.po, out.pi);\n}",
+        )
+        .unwrap();
+    stream
+        .post_input(MimeMessage::new(
+            &"application/postscript".parse().unwrap(),
+            &b"%!PS\n(doc body here) show\n"[..],
+        ))
+        .unwrap();
+    let got = tb.client().recv(Duration::from_secs(5)).expect("delivered");
+    assert_eq!(&got.body[..], b"doc body here\n");
+    tb.shutdown();
+}

@@ -1,0 +1,89 @@
+//! Property-based integration tests: arbitrary payloads must survive the
+//! full adaptation → transmission → reverse-processing path.
+
+use bytes::Bytes;
+use mobigate::mime::{MimeMessage, MimeType};
+use mobigate::testbed::{Testbed, TestbedConfig};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn compress_encrypt_testbed_with(
+    client_threads: usize,
+) -> (Testbed, std::sync::Arc<mobigate::core::RunningStream>) {
+    let tb = Testbed::new(TestbedConfig { client_threads, ..TestbedConfig::fast() });
+    let stream = tb
+        .deploy_with_defs(
+            r#"
+            main stream secure {
+                streamlet c = new-streamlet (text_compress);
+                streamlet e = new-streamlet (encrypt);
+                streamlet out = new-streamlet (communicator);
+                connect (c.po, e.pi);
+                connect (e.po, out.pi);
+            }
+            "#,
+        )
+        .unwrap();
+    (tb, stream)
+}
+
+fn compress_encrypt_testbed() -> (Testbed, std::sync::Arc<mobigate::core::RunningStream>) {
+    compress_encrypt_testbed_with(4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16, // each case spins up threads; keep the count modest
+        .. ProptestConfig::default()
+    })]
+
+    /// Any byte body round-trips through compress→encrypt→link→client.
+    #[test]
+    fn arbitrary_bodies_round_trip(body in prop::collection::vec(any::<u8>(), 0..8192)) {
+        let (tb, stream) = compress_encrypt_testbed();
+        let msg = MimeMessage::new(&MimeType::new("text", "plain"), Bytes::from(body.clone()));
+        stream.post_input(msg).unwrap();
+        let got = tb.client().recv(Duration::from_secs(10)).expect("delivered");
+        prop_assert_eq!(got.body.to_vec(), body);
+        tb.shutdown();
+    }
+
+    /// With a single distributor thread the whole path is FIFO.
+    #[test]
+    fn bursts_preserve_order_single_distributor(count in 1usize..40) {
+        let (tb, stream) = compress_encrypt_testbed_with(1);
+        for i in 0..count {
+            stream.post_input(MimeMessage::text(format!("seq-{i:04}"))).unwrap();
+        }
+        for i in 0..count {
+            let got = tb.client().recv(Duration::from_secs(10)).expect("delivered");
+            prop_assert_eq!(got.body.to_vec(), format!("seq-{i:04}").into_bytes());
+        }
+        tb.shutdown();
+    }
+
+    /// A concurrent distributor may reorder (servlet-style threading,
+    /// §3.4.1) but must deliver exactly the sent set.
+    #[test]
+    fn bursts_preserve_set_concurrent(count in 1usize..40) {
+        let (tb, stream) = compress_encrypt_testbed();
+        for i in 0..count {
+            stream.post_input(MimeMessage::text(format!("seq-{i:04}"))).unwrap();
+        }
+        let mut got: Vec<Vec<u8>> = (0..count)
+            .map(|_| {
+                tb.client()
+                    .recv(Duration::from_secs(10))
+                    .expect("delivered")
+                    .body
+                    .to_vec()
+            })
+            .collect();
+        got.sort();
+        let mut want: Vec<Vec<u8>> =
+            (0..count).map(|i| format!("seq-{i:04}").into_bytes()).collect();
+        want.sort();
+        prop_assert_eq!(got, want);
+        tb.shutdown();
+    }
+}
