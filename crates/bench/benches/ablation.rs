@@ -27,13 +27,17 @@ fn bench_pooling(c: &mut Criterion) {
     let disabled = StreamletPool::disabled();
     group.bench_function("checkout_checkin_pooled", |b| {
         b.iter(|| {
-            let inst = pooled.checkout("builtin/text_compress", &directory).unwrap();
+            let inst = pooled
+                .checkout("builtin/text_compress", &directory)
+                .unwrap();
             pooled.checkin("builtin/text_compress", inst);
         });
     });
     group.bench_function("checkout_checkin_disabled", |b| {
         b.iter(|| {
-            let inst = disabled.checkout("builtin/text_compress", &directory).unwrap();
+            let inst = disabled
+                .checkout("builtin/text_compress", &directory)
+                .unwrap();
             disabled.checkin("builtin/text_compress", inst);
         });
     });
@@ -44,7 +48,10 @@ fn bench_channels(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_channels");
     let pool = Arc::new(MessagePool::new());
     let async_q = MessageQueue::new(
-        QueueConfig { capacity_bytes: 64 << 20, ..Default::default() },
+        QueueConfig {
+            capacity_bytes: 64 << 20,
+            ..Default::default()
+        },
         pool.clone(),
     );
     group.throughput(Throughput::Elements(1));
@@ -120,8 +127,9 @@ fn bench_event_fanout(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_event_fanout");
     for subs in [1usize, 16, 128] {
         let mgr = EventManager::new();
-        let holders: Vec<Arc<dyn EventSubscriber>> =
-            (0..subs).map(|_| Arc::new(NullSubscriber) as Arc<dyn EventSubscriber>).collect();
+        let holders: Vec<Arc<dyn EventSubscriber>> = (0..subs)
+            .map(|_| Arc::new(NullSubscriber) as Arc<dyn EventSubscriber>)
+            .collect();
         for h in &holders {
             mgr.subscribe(EventCategory::NetworkVariation, h);
         }
@@ -134,5 +142,11 @@ fn bench_event_fanout(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pooling, bench_channels, bench_lzss, bench_event_fanout);
+criterion_group!(
+    benches,
+    bench_pooling,
+    bench_channels,
+    bench_lzss,
+    bench_event_fanout
+);
 criterion_main!(benches);

@@ -14,15 +14,9 @@ fn bench_end_to_end(c: &mut Criterion) {
     for bw_kbps in [50u64, 500] {
         for with_mg in [false, true] {
             let label = if with_mg { "mobigate" } else { "direct" };
-            group.bench_with_input(
-                BenchmarkId::new(label, bw_kbps),
-                &bw_kbps,
-                |b, &bw| {
-                    b.iter(|| {
-                        end_to_end_point(bw * 1000, Duration::ZERO, with_mg, 6, 0.004, 11)
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, bw_kbps), &bw_kbps, |b, &bw| {
+                b.iter(|| end_to_end_point(bw * 1000, Duration::ZERO, with_mg, 6, 0.004, 11));
+            });
         }
     }
     group.finish();

@@ -1,0 +1,146 @@
+//! Ablation bench for the Execution Plane scaling work: message-pool
+//! sharding {1, N} × executor back end {thread-per-streamlet, worker-pool}.
+//!
+//! Three workloads:
+//!
+//! * the Figure 7-2 chain (10 redirectors, 10 KB messages) — end-to-end
+//!   latency under each configuration;
+//! * the Figure 7-6 reconfiguration (insert 20 redirectors in one action
+//!   series) — reconfiguration time under each configuration;
+//! * a direct pool-contention microbenchmark (8 threads hammering
+//!   insert/take on one shared pool) — isolates the shard-lock effect from
+//!   scheduling noise.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mobigate::core::pool::MessagePool;
+use mobigate::core::{ExecutorConfig, ServerConfig};
+use mobigate::mime::{MimeMessage, MimeType};
+use mobigate_bench::chain::ChainHarness;
+use mobigate_bench::reconfig::reconfig_time_with;
+use std::sync::Arc;
+
+/// The multi-shard corner: at least 16 shards even on small containers,
+/// where the core-count default would degenerate to a single shard.
+fn n_shards() -> usize {
+    MessagePool::new().shard_count().max(16)
+}
+
+/// The four ablation corners: {1 shard, N shards} × {executors}.
+fn corners() -> Vec<(&'static str, ServerConfig)> {
+    let tps = ExecutorConfig::ThreadPerStreamlet;
+    let wp8 = ExecutorConfig::WorkerPool { workers: 8 };
+    let n = n_shards();
+    vec![
+        (
+            "shards1_thread_per_streamlet",
+            ServerConfig {
+                pool_shards: Some(1),
+                executor: tps,
+                ..Default::default()
+            },
+        ),
+        (
+            "shardsN_thread_per_streamlet",
+            ServerConfig {
+                pool_shards: Some(n),
+                executor: tps,
+                ..Default::default()
+            },
+        ),
+        (
+            "shards1_worker_pool8",
+            ServerConfig {
+                pool_shards: Some(1),
+                executor: wp8,
+                ..Default::default()
+            },
+        ),
+        (
+            "shardsN_worker_pool8",
+            ServerConfig {
+                pool_shards: Some(n),
+                executor: wp8,
+                ..Default::default()
+            },
+        ),
+    ]
+}
+
+fn bench_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_sharding_chain");
+    group.sample_size(10);
+    for (label, cfg) in corners() {
+        let harness = ChainHarness::with_config(10, cfg);
+        let msg = MimeMessage::new(
+            &MimeType::new("application", "octet-stream"),
+            vec![0x5Au8; 10_000],
+        );
+        group.bench_with_input(BenchmarkId::new("fig7_2_k10_10KB", label), &(), |b, _| {
+            b.iter(|| harness.round_trip(msg.clone()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_reconfig(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_sharding_reconfig");
+    group.sample_size(10);
+    for (label, cfg) in corners() {
+        group.bench_with_input(BenchmarkId::new("fig7_6_insert20", label), &(), |b, _| {
+            b.iter_custom(|iters| {
+                let mut total = std::time::Duration::ZERO;
+                for _ in 0..iters {
+                    total += reconfig_time_with(20, cfg.clone()).total;
+                }
+                total
+            });
+        });
+    }
+    group.finish();
+}
+
+/// 8 threads × `OPS` insert/peek/take cycles against one shared pool.
+fn contended_ops(pool: &Arc<MessagePool>, threads: usize, ops: usize) {
+    let msg = MimeMessage::text("contention probe");
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let pool = pool.clone();
+            let msg = msg.clone();
+            scope.spawn(move || {
+                for _ in 0..ops {
+                    let id = pool.insert(msg.clone(), 1);
+                    criterion::black_box(pool.peek_len(id));
+                    criterion::black_box(pool.take_ref(id));
+                }
+            });
+        }
+    });
+}
+
+fn bench_pool_contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_sharding_contention");
+    group.sample_size(10);
+    const THREADS: usize = 8;
+    const OPS: usize = 500;
+    group.throughput(Throughput::Elements((THREADS * OPS) as u64));
+    for (label, shards) in [("shards1", 1), ("shardsN", n_shards())] {
+        let pool = Arc::new(MessagePool::with_shards(shards));
+        group.bench_with_input(
+            BenchmarkId::new("insert_peek_take_8thr", label),
+            &(),
+            |b, _| {
+                b.iter_custom(|iters| {
+                    let t0 = std::time::Instant::now();
+                    for _ in 0..iters {
+                        contended_ops(&pool, THREADS, OPS);
+                    }
+                    t0.elapsed()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain, bench_reconfig, bench_pool_contention);
+criterion_main!(benches);

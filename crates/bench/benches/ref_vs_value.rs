@@ -18,11 +18,9 @@ fn bench_ref_vs_value(c: &mut Criterion) {
             vec![0u8; size_kb * 1024],
         );
         group.throughput(Throughput::Bytes((size_kb * 1024) as u64));
-        group.bench_with_input(
-            BenchmarkId::new("reference", size_kb),
-            &size_kb,
-            |b, _| b.iter(|| by_ref.round_trip(msg.clone())),
-        );
+        group.bench_with_input(BenchmarkId::new("reference", size_kb), &size_kb, |b, _| {
+            b.iter(|| by_ref.round_trip(msg.clone()))
+        });
         group.bench_with_input(BenchmarkId::new("value", size_kb), &size_kb, |b, _| {
             b.iter(|| by_val.round_trip(msg.clone()))
         });

@@ -6,7 +6,7 @@
 //! pass-by-value, reproduces the Figure 7-3 comparison.
 
 use mobigate::core::pool::PayloadMode;
-use mobigate::core::{MobiGate, RunningStream};
+use mobigate::core::{MobiGate, RunningStream, ServerConfig, StreamletDirectory, StreamletPool};
 use mobigate::mime::{MimeMessage, MimeType};
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -23,8 +23,24 @@ pub struct ChainHarness {
 impl ChainHarness {
     /// Builds and deploys the chain in the given payload mode.
     pub fn new(k: usize, mode: PayloadMode) -> Self {
+        Self::with_config(
+            k,
+            ServerConfig {
+                mode,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// Builds and deploys the chain over a fully specified [`ServerConfig`]
+    /// (executor back end, pool sharding) — the ablation entry point.
+    pub fn with_config(k: usize, config: ServerConfig) -> Self {
         assert!(k >= 1, "a chain needs at least one streamlet");
-        let server = MobiGate::new(mode);
+        let server = MobiGate::with_config(
+            config,
+            Arc::new(StreamletDirectory::new()),
+            Arc::new(StreamletPool::new(64)),
+        );
         mobigate_streamlets::register_builtins(server.directory());
 
         let mut script = String::from(
@@ -42,7 +58,11 @@ impl ChainHarness {
         script.push('}');
 
         let stream = server.deploy_mcl(&script).expect("deploy chain");
-        ChainHarness { _server: server, stream, k }
+        ChainHarness {
+            _server: server,
+            stream,
+            k,
+        }
     }
 
     /// The deployed stream (for inspection).

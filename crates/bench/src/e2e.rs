@@ -91,12 +91,18 @@ pub fn end_to_end_point(
     let payload_bytes: usize = messages.iter().map(|m| m.body.len()).sum();
 
     let (link_bytes, wall) = if with_mobigate {
-        let tb = Testbed::new(TestbedConfig { link: link_cfg, ..TestbedConfig::default() });
-        let stream = tb.deploy_with_defs(ACCELERATOR).expect("deploy accelerator");
+        let tb = Testbed::new(TestbedConfig {
+            link: link_cfg,
+            ..TestbedConfig::default()
+        });
+        let stream = tb
+            .deploy_with_defs(ACCELERATOR)
+            .expect("deploy accelerator");
         if bandwidth_bps < LOW_BANDWIDTH_THRESHOLD {
             // The context monitor would raise this; the harness sets the
             // condition up front for a steady-state measurement.
-            tb.server().raise_event(&ContextEvent::broadcast(EventKind::LowBandwidth));
+            tb.server()
+                .raise_event(&ContextEvent::broadcast(EventKind::LowBandwidth));
         }
         let t0 = Instant::now();
         for m in messages {

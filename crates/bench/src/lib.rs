@@ -9,4 +9,4 @@ pub mod report;
 
 pub use chain::ChainHarness;
 pub use e2e::{end_to_end_point, E2EPoint};
-pub use reconfig::reconfig_time;
+pub use reconfig::{reconfig_time, reconfig_time_with};

@@ -9,13 +9,30 @@
 //! components.
 
 use mobigate::core::pool::PayloadMode;
-use mobigate::core::{MobiGate, ReconfigStats};
+use mobigate::core::{MobiGate, ReconfigStats, ServerConfig, StreamletDirectory, StreamletPool};
 use mobigate::mcl::config::ReconfigAction;
+use std::sync::Arc;
 
 /// Deploys a fresh two-streamlet stream and inserts `n` redirectors
 /// between them in a single reconfiguration, returning the Eq 7-1 stats.
 pub fn reconfig_time(n: usize) -> ReconfigStats {
-    let server = MobiGate::new(PayloadMode::Reference);
+    reconfig_time_with(
+        n,
+        ServerConfig {
+            mode: PayloadMode::Reference,
+            ..Default::default()
+        },
+    )
+}
+
+/// [`reconfig_time`] over a fully specified [`ServerConfig`] (executor back
+/// end, pool sharding) — the ablation entry point.
+pub fn reconfig_time_with(n: usize, config: ServerConfig) -> ReconfigStats {
+    let server = MobiGate::with_config(
+        config,
+        Arc::new(StreamletDirectory::new()),
+        Arc::new(StreamletPool::new(64)),
+    );
     mobigate_streamlets::register_builtins(server.directory());
     let stream = server
         .deploy_mcl(

@@ -14,7 +14,10 @@ pub struct Csv {
 impl Csv {
     /// Starts a CSV with the given column names.
     pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
-        Csv { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Csv {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (stringified cells).
@@ -22,17 +25,6 @@ impl Csv {
         let row: Vec<String> = cells.into_iter().map(Into::into).collect();
         assert_eq!(row.len(), self.header.len(), "row arity mismatch");
         self.rows.push(row);
-    }
-
-    /// Renders the CSV text.
-    pub fn to_string(&self) -> String {
-        let mut out = self.header.join(",");
-        out.push('\n');
-        for row in &self.rows {
-            out.push_str(&row.join(","));
-            out.push('\n');
-        }
-        out
     }
 
     /// Renders an aligned text table (for stdout).
@@ -75,10 +67,25 @@ pub fn ascii_series(title: &str, series: &[(&str, Vec<(f64, f64)>)], unit: &str)
         let _ = writeln!(out, "  [{label}]");
         for (x, y) in pts {
             let bar_len = ((y / max_y) * 50.0).round() as usize;
-            let _ = writeln!(out, "  {x:>10.1} | {:<50} {y:.2} {unit}", "#".repeat(bar_len));
+            let _ = writeln!(
+                out,
+                "  {x:>10.1} | {:<50} {y:.2} {unit}",
+                "#".repeat(bar_len)
+            );
         }
     }
     out
+}
+
+impl std::fmt::Display for Csv {
+    /// Renders the CSV text.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.header.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -107,11 +114,7 @@ mod tests {
 
     #[test]
     fn ascii_series_scales_bars() {
-        let chart = ascii_series(
-            "demo",
-            &[("s", vec![(1.0, 10.0), (2.0, 20.0)])],
-            "ms",
-        );
+        let chart = ascii_series("demo", &[("s", vec![(1.0, 10.0), (2.0, 20.0)])], "ms");
         assert!(chart.contains("demo"));
         // The 20.0 bar is the max → 50 hashes.
         assert!(chart.contains(&"#".repeat(50)));

@@ -162,7 +162,12 @@ impl MobiGateClient {
             if self.shared.stop.load(Ordering::Acquire) {
                 return None;
             }
-            if self.shared.outbox_cv.wait_until(&mut out, deadline).timed_out() {
+            if self
+                .shared
+                .outbox_cv
+                .wait_until(&mut out, deadline)
+                .timed_out()
+            {
                 return out.pop_front();
             }
         }
@@ -220,7 +225,9 @@ fn distributor_loop(shared: Arc<Shared>) {
                     break f;
                 }
                 shared.idle_workers.fetch_add(1, Ordering::AcqRel);
-                shared.inbox_cv.wait_for(&mut inbox, Duration::from_millis(50));
+                shared
+                    .inbox_cv
+                    .wait_for(&mut inbox, Duration::from_millis(50));
                 shared.idle_workers.fetch_sub(1, Ordering::AcqRel);
             }
         };
@@ -334,7 +341,10 @@ mod tests {
     struct Failing;
     impl StreamletLogic for Failing {
         fn process(&mut self, _: MimeMessage, _: &mut StreamletCtx) -> Result<(), CoreError> {
-            Err(CoreError::Process { streamlet: "f".into(), message: "nope".into() })
+            Err(CoreError::Process {
+                streamlet: "f".into(),
+                message: "nope".into(),
+            })
         }
     }
 
@@ -448,7 +458,11 @@ mod tests {
         }
         assert_eq!(got, 200);
         let stats = c.stats();
-        assert!(stats.threads >= 1 && stats.threads <= 4, "threads {}", stats.threads);
+        assert!(
+            stats.threads >= 1 && stats.threads <= 4,
+            "threads {}",
+            stats.threads
+        );
         assert_eq!(stats.delivered, 200);
     }
 
@@ -461,7 +475,10 @@ mod tests {
         c.set_context_reporter(move |e| seen2.lock().push(e));
         assert!(c.report_context(EventKind::LowGrays));
         assert!(c.report_context(EventKind::LowEnergy));
-        assert_eq!(*seen.lock(), vec![EventKind::LowGrays, EventKind::LowEnergy]);
+        assert_eq!(
+            *seen.lock(),
+            vec![EventKind::LowGrays, EventKind::LowEnergy]
+        );
     }
 
     #[test]

@@ -30,7 +30,10 @@ pub struct ClientStreamletPool {
 impl ClientStreamletPool {
     /// An empty pool retaining up to 8 idle instances per peer.
     pub fn new() -> Self {
-        ClientStreamletPool { inner: Mutex::new(Inner::default()), max_idle: 8 }
+        ClientStreamletPool {
+            inner: Mutex::new(Inner::default()),
+            max_idle: 8,
+        }
     }
 
     /// Registers the peer streamlet servicing `peer_id` (the identifier
@@ -39,7 +42,10 @@ impl ClientStreamletPool {
     where
         F: Fn() -> Box<dyn StreamletLogic> + Send + Sync + 'static,
     {
-        self.inner.lock().factories.insert(peer_id.to_string(), Arc::new(factory));
+        self.inner
+            .lock()
+            .factories
+            .insert(peer_id.to_string(), Arc::new(factory));
     }
 
     /// True when a peer id resolves.

@@ -53,10 +53,13 @@ impl CoordinationManager {
         program: &Program,
         stream_name: &str,
     ) -> Result<Arc<RunningStream>, CoreError> {
-        let table = program.streams.get(stream_name).ok_or_else(|| CoreError::NotFound {
-            kind: "stream",
-            name: stream_name.to_string(),
-        })?;
+        let table = program
+            .streams
+            .get(stream_name)
+            .ok_or_else(|| CoreError::NotFound {
+                kind: "stream",
+                name: stream_name.to_string(),
+            })?;
         let session = self.next_session_id(stream_name);
         let stream = RunningStream::deploy(
             table,
@@ -68,8 +71,11 @@ impl CoordinationManager {
         // Subscribe to the categories of interest (§6.4: streams subscribe
         // to events of interest and ignore the flood of the rest).
         let sub: Arc<dyn EventSubscriber> = stream.clone();
-        let mut categories: Vec<EventCategory> =
-            table.when_rules.iter().map(|r| r.event.category()).collect();
+        let mut categories: Vec<EventCategory> = table
+            .when_rules
+            .iter()
+            .map(|r| r.event.category())
+            .collect();
         categories.push(EventCategory::SystemCommand);
         categories.sort_by_key(|c| c.id());
         categories.dedup();
@@ -83,9 +89,12 @@ impl CoordinationManager {
 
     /// Deploys the program's `main` stream.
     pub fn deploy_main(&self, program: &Program) -> Result<Arc<RunningStream>, CoreError> {
-        let name = program.main_stream.clone().ok_or_else(|| CoreError::Deploy {
-            message: "program has no `main` stream".into(),
-        })?;
+        let name = program
+            .main_stream
+            .clone()
+            .ok_or_else(|| CoreError::Deploy {
+                message: "program has no `main` stream".into(),
+            })?;
         self.deploy(program, &name)
     }
 
@@ -164,6 +173,7 @@ mod tests {
             streamlet_pool: Arc::new(StreamletPool::new(8)),
             mode: PayloadMode::Reference,
             route_opts: Default::default(),
+            executor: crate::executor::default_executor(),
         };
         CoordinationManager::new(deps, Arc::new(EventManager::new()))
     }
@@ -219,7 +229,10 @@ mod tests {
     fn deploy_main_requires_main() {
         let mgr = manager();
         let program = compile("stream notmain { }").unwrap();
-        assert!(matches!(mgr.deploy_main(&program), Err(CoreError::Deploy { .. })));
+        assert!(matches!(
+            mgr.deploy_main(&program),
+            Err(CoreError::Deploy { .. })
+        ));
     }
 
     #[test]

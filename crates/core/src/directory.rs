@@ -44,7 +44,10 @@ impl StreamletDirectory {
     {
         self.entries.write().insert(
             library.to_string(),
-            DirEntry { factory: Arc::new(factory), description: description.to_string() },
+            DirEntry {
+                factory: Arc::new(factory),
+                description: description.to_string(),
+            },
         );
     }
 

@@ -28,7 +28,10 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::UnknownLibrary(lib) => {
-                write!(f, "no streamlet implementation registered for library `{lib}`")
+                write!(
+                    f,
+                    "no streamlet implementation registered for library `{lib}`"
+                )
             }
             CoreError::NotFound { kind, name } => write!(f, "{kind} `{name}` not found"),
             CoreError::Lifecycle { name, message } => {
@@ -54,12 +57,20 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        assert!(CoreError::UnknownLibrary("x/y".into()).to_string().contains("x/y"));
-        assert!(CoreError::NotFound { kind: "port", name: "pi".into() }
+        assert!(CoreError::UnknownLibrary("x/y".into())
             .to_string()
-            .contains("pi"));
-        assert!(CoreError::Process { streamlet: "s".into(), message: "boom".into() }
-            .to_string()
-            .contains("boom"));
+            .contains("x/y"));
+        assert!(CoreError::NotFound {
+            kind: "port",
+            name: "pi".into()
+        }
+        .to_string()
+        .contains("pi"));
+        assert!(CoreError::Process {
+            streamlet: "s".into(),
+            message: "boom".into()
+        }
+        .to_string()
+        .contains("boom"));
     }
 }

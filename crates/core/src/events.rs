@@ -34,7 +34,10 @@ impl ContextEvent {
 
     /// An event targeted at one stream application.
     pub fn targeted(kind: EventKind, source: impl Into<String>) -> Self {
-        ContextEvent { kind, source: Some(source.into()) }
+        ContextEvent {
+            kind,
+            source: Some(source.into()),
+        }
     }
 
     /// The `categoryID` of the event (Figure 6-5).
@@ -91,14 +94,20 @@ impl EventManager {
     /// Unsubscribes `app` from a category (paper `unsubscribeEvt`).
     pub fn unsubscribe(&self, category: EventCategory, app: &Arc<dyn EventSubscriber>) {
         let target = Arc::as_ptr(app) as *const ();
-        self.lists[category.id()]
-            .write()
-            .retain(|w| w.upgrade().map(|s| Arc::as_ptr(&s) as *const () != target).unwrap_or(false));
+        self.lists[category.id()].write().retain(|w| {
+            w.upgrade()
+                .map(|s| Arc::as_ptr(&s) as *const () != target)
+                .unwrap_or(false)
+        });
     }
 
     /// Number of live subscribers in a category.
     pub fn subscriber_count(&self, category: EventCategory) -> usize {
-        self.lists[category.id()].read().iter().filter(|w| w.strong_count() > 0).count()
+        self.lists[category.id()]
+            .read()
+            .iter()
+            .filter(|w| w.strong_count() > 0)
+            .count()
     }
 
     /// Multicasts an event to the subscribers of its category
@@ -152,7 +161,10 @@ mod tests {
     }
     impl Recorder {
         fn new(name: &str) -> Arc<Self> {
-            Arc::new(Recorder { name: name.into(), seen: Mutex::new(Vec::new()) })
+            Arc::new(Recorder {
+                name: name.into(),
+                seen: Mutex::new(Vec::new()),
+            })
         }
     }
     impl EventSubscriber for Recorder {
@@ -229,7 +241,10 @@ mod tests {
         }
         // The Arc is gone; the weak entry must not deliver or count.
         assert_eq!(mgr.subscriber_count(EventCategory::NetworkVariation), 0);
-        assert_eq!(mgr.multicast(&ContextEvent::broadcast(EventKind::LowBandwidth)), 0);
+        assert_eq!(
+            mgr.multicast(&ContextEvent::broadcast(EventKind::LowBandwidth)),
+            0
+        );
     }
 
     #[test]

@@ -1,0 +1,416 @@
+//! Execution backends for the Streamlet Execution Plane.
+//!
+//! The paper schedules streamlets with one OS thread each (`Streamlet
+//! extends Thread`, §6.1) — faithful, but a 100-streamlet chain (the
+//! Figure 7-6 workload) then burns 100 threads. This module decouples the
+//! logical streamlet graph from physical execution resources, in the
+//! spirit of component-pipeline platforms that separate composition from
+//! scheduling:
+//!
+//! * [`ThreadPerStreamlet`] — the paper-faithful default; each started
+//!   streamlet gets a dedicated blocking worker thread.
+//! * [`WorkerPool`] — `M` workers drive a run-queue of runnable streamlet
+//!   tasks. A task becomes runnable when its [`crate::queue::Notifier`]
+//!   fires (queue post, pause/activate/end, control command) via a wake
+//!   hook installed at launch, so idle streamlets cost no threads and a
+//!   100-redirector chain runs on a handful of workers.
+//!
+//! Both back ends drive the same [`StreamletTask`] state machine, so
+//! lifecycle semantics (Created → Running → Paused → Ended,
+//! suspend-during-reconfiguration per Figure 7-4, control commands
+//! serviced between messages) are identical under either executor.
+//!
+//! Caveat: sync (rendezvous) channels block their producer inside `post`.
+//! Under a [`WorkerPool`] that parks a worker thread, so chains of sync
+//! channels deeper than the worker count can stall; thread-per-streamlet
+//! has no such limit, which is one reason it remains the default.
+
+use crate::streamlet::{PumpOutcome, StreamletTask};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+
+/// Maximum messages a worker pumps from one task before requeueing it, so
+/// a busy streamlet cannot starve its siblings.
+const PUMP_BATCH: usize = 64;
+
+/// A scheduling back end for started streamlets.
+pub trait Executor: Send + Sync {
+    /// Adopts a started task and drives it until it ends.
+    fn launch(&self, task: Arc<StreamletTask>);
+
+    /// Diagnostic name of the back end.
+    fn name(&self) -> &'static str;
+
+    /// Stops the back end's threads. Streamlets must have ended first;
+    /// the default (thread-per-streamlet) has nothing to stop because each
+    /// thread exits with its streamlet.
+    fn shutdown(&self) {}
+}
+
+/// The paper's scheduling model: one dedicated OS thread per streamlet.
+#[derive(Debug, Default)]
+pub struct ThreadPerStreamlet;
+
+impl ThreadPerStreamlet {
+    /// A fresh thread-per-streamlet executor.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self)
+    }
+}
+
+impl Executor for ThreadPerStreamlet {
+    fn launch(&self, task: Arc<StreamletTask>) {
+        let name = format!("streamlet-{}", task.name());
+        std::thread::Builder::new()
+            .name(name)
+            .spawn(move || task.run_blocking())
+            .expect("spawn streamlet thread");
+    }
+
+    fn name(&self) -> &'static str {
+        "thread-per-streamlet"
+    }
+}
+
+/// The process-wide default executor (thread-per-streamlet), used by
+/// handles constructed without an explicit executor.
+pub fn default_executor() -> Arc<dyn Executor> {
+    static DEFAULT: OnceLock<Arc<ThreadPerStreamlet>> = OnceLock::new();
+    DEFAULT.get_or_init(ThreadPerStreamlet::new).clone()
+}
+
+/// Run-queue shared by a [`WorkerPool`]'s workers and the wake hooks.
+struct PoolState {
+    run_queue: Mutex<VecDeque<Arc<StreamletTask>>>,
+    cv: Condvar,
+    stop: AtomicBool,
+}
+
+impl PoolState {
+    /// Enqueues `task` unless it is already queued or being pumped. Paired
+    /// with the re-check in [`worker_loop`], this never loses a wakeup:
+    /// a notify during a pump is either absorbed by that pump or caught by
+    /// the post-pump `has_pending_work` check.
+    fn schedule(&self, task: Arc<StreamletTask>) {
+        if task.try_mark_scheduled() {
+            self.run_queue.lock().push_back(task);
+            self.cv.notify_one();
+        }
+    }
+}
+
+/// `M` worker threads multiplexing any number of streamlets.
+pub struct WorkerPool {
+    state: Arc<PoolState>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `workers` threads (clamped to at least 1).
+    pub fn new(workers: usize) -> Arc<Self> {
+        let state = Arc::new(PoolState {
+            run_queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+        });
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let state = state.clone();
+                std::thread::Builder::new()
+                    .name(format!("mobigate-worker-{i}"))
+                    .spawn(move || worker_loop(&state))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Arc::new(WorkerPool {
+            state,
+            workers: Mutex::new(handles),
+        })
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.lock().len()
+    }
+}
+
+fn worker_loop(state: &Arc<PoolState>) {
+    loop {
+        let task = {
+            let mut queue = state.run_queue.lock();
+            loop {
+                if state.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                if let Some(task) = queue.pop_front() {
+                    break task;
+                }
+                state.cv.wait(&mut queue);
+            }
+        };
+        let outcome = task.pump(PUMP_BATCH);
+        // Clear the membership mark *before* re-checking for work: a
+        // notify that raced with the pump either found the mark set (and
+        // is caught by the check below) or lands after and re-queues.
+        task.clear_scheduled();
+        match outcome {
+            PumpOutcome::Ended => task.clear_wake_hook(),
+            PumpOutcome::More => state.schedule(task),
+            PumpOutcome::Idle => {
+                if task.has_pending_work() {
+                    state.schedule(task);
+                }
+            }
+        }
+    }
+}
+
+impl Executor for WorkerPool {
+    fn launch(&self, task: Arc<StreamletTask>) {
+        let state = Arc::downgrade(&self.state);
+        let weak = Arc::downgrade(&task);
+        // Weak in both directions: the hook lives inside the task's
+        // notifier, so a strong task ref here would leak the task, and a
+        // strong pool ref would keep dead pools alive.
+        task.set_wake_hook(move || {
+            if let (Some(state), Some(task)) = (state.upgrade(), weak.upgrade()) {
+                state.schedule(task);
+            }
+        });
+        self.state.schedule(task);
+    }
+
+    fn name(&self) -> &'static str {
+        "worker-pool"
+    }
+
+    fn shutdown(&self) {
+        self.state.stop.store(true, Ordering::Release);
+        self.state.cv.notify_all();
+        for handle in self.workers.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::CoreError;
+    use crate::pool::{MessagePool, PayloadMode};
+    use crate::queue::{FetchResult, MessageQueue, PostResult, QueueConfig};
+    use crate::streamlet::{
+        Emitter, LifecycleState, RouteOpts, StreamletCtx, StreamletHandle, StreamletLogic,
+    };
+    use mobigate_mime::MimeMessage;
+    use std::time::Duration;
+
+    /// Uppercases text bodies, emits on `po`; `rate` is a control knob.
+    struct Upper {
+        rate: u32,
+    }
+
+    impl StreamletLogic for Upper {
+        fn process(&mut self, msg: MimeMessage, ctx: &mut StreamletCtx) -> Result<(), CoreError> {
+            let text = String::from_utf8_lossy(&msg.body).to_uppercase();
+            let mut out = msg.clone();
+            out.set_body(text.into_bytes());
+            ctx.emit("po", out);
+            Ok(())
+        }
+
+        fn control(&mut self, key: &str, value: &str) -> Result<(), CoreError> {
+            if key == "rate" {
+                self.rate = value.parse().map_err(|_| CoreError::NotFound {
+                    kind: "control value",
+                    name: value.into(),
+                })?;
+                Ok(())
+            } else {
+                Err(CoreError::NotFound {
+                    kind: "control parameter",
+                    name: key.into(),
+                })
+            }
+        }
+    }
+
+    /// Forwards its input unchanged (the Figure 7-6 redirector).
+    struct Redirect;
+
+    impl StreamletLogic for Redirect {
+        fn process(&mut self, msg: MimeMessage, ctx: &mut StreamletCtx) -> Result<(), CoreError> {
+            ctx.emit("po", msg);
+            Ok(())
+        }
+    }
+
+    fn queue(name: &str, pool: &Arc<MessagePool>) -> Arc<MessageQueue> {
+        MessageQueue::new(
+            QueueConfig {
+                name: name.into(),
+                ..Default::default()
+            },
+            pool.clone(),
+        )
+    }
+
+    fn upper_pipeline(
+        executor: Arc<dyn Executor>,
+    ) -> (
+        Arc<MessagePool>,
+        Arc<MessageQueue>,
+        Arc<MessageQueue>,
+        Arc<StreamletHandle>,
+    ) {
+        let pool = Arc::new(MessagePool::new());
+        let qin = queue("cin", &pool);
+        let qout = queue("cout", &pool);
+        let h = StreamletHandle::with_executor(
+            "u1",
+            "upper",
+            false,
+            Box::new(Upper { rate: 1 }),
+            pool.clone(),
+            PayloadMode::Reference,
+            None,
+            RouteOpts::default(),
+            executor,
+        );
+        h.attach_in("pi", &qin);
+        h.attach_out("po", &qout);
+        (pool, qin, qout, h)
+    }
+
+    fn post_text(pool: &MessagePool, q: &MessageQueue, s: &str) {
+        let msg = MimeMessage::text(s);
+        assert_eq!(
+            q.post(pool.wrap(msg, PayloadMode::Reference, 1)),
+            PostResult::Posted
+        );
+    }
+
+    fn fetch_text(pool: &MessagePool, q: &MessageQueue) -> String {
+        match q.fetch(Duration::from_secs(5)) {
+            FetchResult::Msg(p) => {
+                String::from_utf8_lossy(&pool.resolve(p).unwrap().body).into_owned()
+            }
+            other => panic!("expected message, got {other:?}"),
+        }
+    }
+
+    /// Full lifecycle — process, pause (Fig 7-4 step 2), control command,
+    /// activate, end with logic parked — identical under both back ends.
+    fn lifecycle_suite(executor: Arc<dyn Executor>) {
+        let (pool, qin, qout, h) = upper_pipeline(executor);
+        h.start().unwrap();
+        post_text(&pool, &qin, "a");
+        assert_eq!(fetch_text(&pool, &qout), "A");
+
+        h.pause_and_wait(Duration::from_secs(5)).unwrap();
+        assert_eq!(h.state(), LifecycleState::Paused);
+        post_text(&pool, &qin, "b");
+        assert!(matches!(
+            qout.fetch(Duration::from_millis(50)),
+            FetchResult::Empty
+        ));
+
+        h.activate().unwrap();
+        assert_eq!(fetch_text(&pool, &qout), "B");
+
+        h.set_parameter("rate", "9", Duration::from_secs(5))
+            .unwrap();
+        assert!(h
+            .set_parameter("nope", "1", Duration::from_secs(5))
+            .is_err());
+
+        h.end();
+        assert_eq!(h.state(), LifecycleState::Ended);
+        assert!(h.take_logic().is_some(), "logic parked back after end");
+    }
+
+    #[test]
+    fn lifecycle_under_thread_per_streamlet() {
+        lifecycle_suite(ThreadPerStreamlet::new());
+    }
+
+    #[test]
+    fn lifecycle_under_worker_pool() {
+        lifecycle_suite(WorkerPool::new(2));
+    }
+
+    #[test]
+    fn worker_pool_single_worker_suffices() {
+        // Even one worker must drive a streamlet through its lifecycle:
+        // the run-queue serializes, nothing blocks inside a pump.
+        lifecycle_suite(WorkerPool::new(1));
+    }
+
+    /// The Figure 7-6 stress shape: a chain of 100 redirector streamlets,
+    /// multiplexed onto far fewer worker threads than streamlets.
+    #[test]
+    fn hundred_redirector_chain_on_eight_workers() {
+        const CHAIN: usize = 100;
+        let executor = WorkerPool::new(8);
+        assert_eq!(executor.worker_count(), 8);
+        let pool = Arc::new(MessagePool::new());
+        let queues: Vec<_> = (0..=CHAIN)
+            .map(|i| queue(&format!("c{i}"), &pool))
+            .collect();
+        let handles: Vec<_> = (0..CHAIN)
+            .map(|i| {
+                let h = StreamletHandle::with_executor(
+                    format!("redir-{i}"),
+                    "redirect",
+                    false,
+                    Box::new(Redirect),
+                    pool.clone(),
+                    PayloadMode::Reference,
+                    None,
+                    RouteOpts::default(),
+                    executor.clone(),
+                );
+                h.attach_in("pi", &queues[i]);
+                h.attach_out("po", &queues[i + 1]);
+                h.start().unwrap();
+                h
+            })
+            .collect();
+
+        for i in 0..25 {
+            post_text(&pool, &queues[0], &format!("m{i}"));
+        }
+        for i in 0..25 {
+            assert_eq!(fetch_text(&pool, &queues[CHAIN]), format!("m{i}"));
+        }
+        for h in &handles {
+            h.end();
+        }
+        assert_eq!(pool.stats().resident, 0, "chain drained the pool");
+        executor.shutdown();
+    }
+
+    #[test]
+    fn worker_pool_shutdown_is_idempotent() {
+        let pool = WorkerPool::new(2);
+        pool.shutdown();
+        pool.shutdown();
+        assert_eq!(pool.worker_count(), 0, "workers joined");
+    }
+
+    #[test]
+    fn executor_names() {
+        assert_eq!(ThreadPerStreamlet::new().name(), "thread-per-streamlet");
+        assert_eq!(WorkerPool::new(1).name(), "worker-pool");
+        assert_eq!(default_executor().name(), "thread-per-streamlet");
+    }
+}

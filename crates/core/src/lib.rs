@@ -7,9 +7,10 @@
 //!   [`coordination::CoordinationManager`] with its per-stream configuration
 //!   tables;
 //! * the **Streamlet Execution Plane**: [`streamlet::StreamletLogic`]
-//!   computation objects scheduled on worker threads by
-//!   [`streamlet::StreamletHandle`], with [`pooling::StreamletPool`] reusing
-//!   stateless instances.
+//!   computation objects held by [`streamlet::StreamletHandle`] and
+//!   scheduled by an [`executor::Executor`] (thread-per-streamlet or a
+//!   shared worker pool), with [`pooling::StreamletPool`] reusing stateless
+//!   instances.
 //!
 //! Cross-cutting services: the [`events::EventManager`] (Table 6-1 context
 //! events, category subscription, multicast), the
@@ -25,6 +26,7 @@ pub mod coordination;
 pub mod directory;
 pub mod error;
 pub mod events;
+pub mod executor;
 pub mod pool;
 pub mod pooling;
 pub mod queue;
@@ -37,13 +39,16 @@ pub use coordination::CoordinationManager;
 pub use directory::StreamletDirectory;
 pub use error::CoreError;
 pub use events::{ContextEvent, EventManager};
+pub use executor::{default_executor, Executor, ThreadPerStreamlet, WorkerPool};
 pub use pool::{MessagePool, PayloadMode};
 pub use pooling::StreamletPool;
 pub use queue::{FetchResult, MessageQueue, PostResult, QueueConfig};
-pub use server::MobiGate;
+pub use server::{ExecutorConfig, MobiGate, ServerConfig};
 pub use sharing::{SharedStreamlet, SharingStats};
 pub use stream::{ReconfigStats, RunningStream, StreamStats};
-pub use streamlet::{Emitter, RouteOpts, StreamletCtx, StreamletHandle, StreamletLogic};
+pub use streamlet::{
+    Emitter, PumpOutcome, RouteOpts, StreamletCtx, StreamletHandle, StreamletLogic, StreamletTask,
+};
 
 // Re-export the language-level vocabulary the runtime shares with MCL.
 pub use mobigate_mcl::events::{EventCategory, EventKind};

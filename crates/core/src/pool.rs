@@ -12,7 +12,21 @@
 //! [`bytes::Bytes`] buffer — no copy) and drops one reference; the entry is
 //! evicted at zero. [`PayloadMode::Value`] exists to reproduce the paper's
 //! pass-by-value baseline (Figure 7-3): each hop deep-copies the body.
+//!
+//! # Sharding
+//!
+//! The store is split into `N` power-of-two shards selected by message id.
+//! Ids are allocated from one atomic counter, so consecutive messages
+//! round-robin across shards and concurrent streams contend on different
+//! locks instead of serializing on one. [`MessagePool::stats`] aggregates
+//! per-shard atomic counters without taking any shard lock; `resident` is
+//! derived as `inserted - evicted`, so the lifetime invariant
+//! `resident + evicted == inserted` holds by construction even while
+//! producers and consumers race. `MessagePool::new()` sizes the pool to the
+//! machine; [`MessagePool::with_shards`] pins a count (1 reproduces the
+//! paper's single-lock pool for ablation).
 
+use bytes::Bytes;
 use mobigate_mime::MimeMessage;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -72,41 +86,102 @@ pub struct PoolStats {
     pub evicted: u64,
 }
 
-/// The centralized, thread-safe message store.
+/// One lock's worth of the store: a slot map plus counters that mirror it.
+///
+/// The atomics are only written while holding `slots`, so they always agree
+/// with the map they describe; readers ([`MessagePool::stats`]) consume them
+/// without locking.
 #[derive(Debug, Default)]
+struct Shard {
+    slots: Mutex<HashMap<u64, Entry>>,
+    inserted: AtomicU64,
+    evicted: AtomicU64,
+    resident_bytes: AtomicU64,
+}
+
+impl Shard {
+    fn evict(&self, map: &mut HashMap<u64, Entry>, id: u64) -> MimeMessage {
+        let e = map.remove(&id).expect("present");
+        self.evicted.fetch_add(1, Ordering::Release);
+        self.resident_bytes
+            .fetch_sub(e.msg.body.len() as u64, Ordering::Release);
+        e.msg
+    }
+}
+
+/// The centralized, thread-safe message store, sharded by message id.
+#[derive(Debug)]
 pub struct MessagePool {
-    slots: Mutex<PoolInner>,
+    shards: Box<[Shard]>,
+    mask: u64,
     next_id: AtomicU64,
 }
 
-#[derive(Debug, Default)]
-struct PoolInner {
-    map: HashMap<u64, Entry>,
-    inserted: u64,
-    evicted: u64,
+impl Default for MessagePool {
+    fn default() -> Self {
+        Self::with_shards(default_shard_count())
+    }
+}
+
+/// Power-of-two near the core count, clamped to a sane range.
+fn default_shard_count() -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(8);
+    cores.next_power_of_two().clamp(1, 64)
 }
 
 impl MessagePool {
-    /// An empty pool.
+    /// An empty pool sized to the machine (power-of-two shards near the
+    /// core count).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty pool with a fixed shard count (rounded up to a power of
+    /// two; `1` reproduces the paper's single-lock pool).
+    pub fn with_shards(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        MessagePool {
+            shards: (0..n).map(|_| Shard::default()).collect(),
+            mask: n as u64 - 1,
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, id: u64) -> &Shard {
+        &self.shards[(id & self.mask) as usize]
     }
 
     /// Stores a message with `refs` outstanding references and returns its
     /// id. `refs == 0` is clamped to 1.
     pub fn insert(&self, msg: MimeMessage, refs: u32) -> MessageId {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let mut inner = self.slots.lock();
-        inner.map.insert(id, Entry { msg, refs: refs.max(1) });
-        inner.inserted += 1;
+        let shard = self.shard(id);
+        let body_len = msg.body.len() as u64;
+        let mut slots = shard.slots.lock();
+        slots.insert(
+            id,
+            Entry {
+                msg,
+                refs: refs.max(1),
+            },
+        );
+        shard.inserted.fetch_add(1, Ordering::Release);
+        shard.resident_bytes.fetch_add(body_len, Ordering::Release);
         MessageId(id)
     }
 
     /// Adds `n` references to an existing entry (fan-out after insertion).
     /// Returns false when the id is unknown (already fully consumed).
     pub fn add_refs(&self, id: MessageId, n: u32) -> bool {
-        let mut inner = self.slots.lock();
-        match inner.map.get_mut(&id.0) {
+        let mut slots = self.shard(id.0).slots.lock();
+        match slots.get_mut(&id.0) {
             Some(e) => {
                 e.refs += n;
                 true
@@ -116,26 +191,45 @@ impl MessagePool {
     }
 
     /// Reads the message *without* consuming a reference (stubs peeking at
-    /// headers for routing do this).
+    /// headers for routing do this). The returned message shares the pooled
+    /// body buffer — no payload bytes are copied.
     pub fn peek(&self, id: MessageId) -> Option<MimeMessage> {
-        self.slots.lock().map.get(&id.0).map(|e| e.msg.clone())
+        self.shard(id.0)
+            .slots
+            .lock()
+            .get(&id.0)
+            .map(|e| e.msg.clone())
+    }
+
+    /// Reads just the body of a resident message as a shared [`Bytes`]
+    /// handle — the cheapest way to inspect a payload without consuming a
+    /// reference or touching the headers.
+    pub fn peek_body(&self, id: MessageId) -> Option<Bytes> {
+        self.shard(id.0)
+            .slots
+            .lock()
+            .get(&id.0)
+            .map(|e| e.msg.body.clone())
     }
 
     /// Body length of a resident message (buffer accounting).
     pub fn peek_len(&self, id: MessageId) -> Option<usize> {
-        self.slots.lock().map.get(&id.0).map(|e| e.msg.wire_len())
+        self.shard(id.0)
+            .slots
+            .lock()
+            .get(&id.0)
+            .map(|e| e.msg.wire_len())
     }
 
     /// Takes one reference: returns the message (body shared, not copied)
     /// and evicts the entry when this was the last reference.
     pub fn take_ref(&self, id: MessageId) -> Option<MimeMessage> {
-        let mut inner = self.slots.lock();
-        let entry = inner.map.get_mut(&id.0)?;
+        let shard = self.shard(id.0);
+        let mut slots = shard.slots.lock();
+        let entry = slots.get_mut(&id.0)?;
         entry.refs -= 1;
         let msg = if entry.refs == 0 {
-            let e = inner.map.remove(&id.0).expect("present");
-            inner.evicted += 1;
-            e.msg
+            shard.evict(&mut slots, id.0)
         } else {
             entry.msg.clone()
         };
@@ -145,25 +239,36 @@ impl MessagePool {
     /// Drops one reference without reading (used when a queue discards a
     /// pending payload).
     pub fn drop_ref(&self, id: MessageId) {
-        let mut inner = self.slots.lock();
-        if let Some(entry) = inner.map.get_mut(&id.0) {
+        let shard = self.shard(id.0);
+        let mut slots = shard.slots.lock();
+        if let Some(entry) = slots.get_mut(&id.0) {
             entry.refs -= 1;
             if entry.refs == 0 {
-                inner.map.remove(&id.0);
-                inner.evicted += 1;
+                shard.evict(&mut slots, id.0);
             }
         }
     }
 
-    /// Current statistics snapshot.
+    /// Current statistics snapshot, aggregated across shards without
+    /// taking any lock.
+    ///
+    /// Per shard, `evicted` is read before `inserted`: evictions strictly
+    /// follow their insertion, so this ordering guarantees
+    /// `inserted >= evicted` in the snapshot and `resident` (derived as
+    /// the difference) never underflows, even mid-race. The lifetime
+    /// invariant `resident + evicted == inserted` holds by construction.
     pub fn stats(&self) -> PoolStats {
-        let inner = self.slots.lock();
-        PoolStats {
-            resident: inner.map.len(),
-            resident_bytes: inner.map.values().map(|e| e.msg.body.len()).sum(),
-            inserted: inner.inserted,
-            evicted: inner.evicted,
+        let mut stats = PoolStats::default();
+        for shard in self.shards.iter() {
+            let evicted = shard.evicted.load(Ordering::Acquire);
+            let resident_bytes = shard.resident_bytes.load(Ordering::Acquire);
+            let inserted = shard.inserted.load(Ordering::Acquire);
+            stats.inserted += inserted;
+            stats.evicted += evicted;
+            stats.resident += (inserted - evicted) as usize;
+            stats.resident_bytes += resident_bytes as usize;
         }
+        stats
     }
 
     /// Wraps a message as a payload according to `mode`, for delivery to
@@ -201,8 +306,13 @@ impl MessagePool {
 
 /// A genuine deep copy: headers cloned, body bytes memcpy'd into a fresh
 /// buffer (defeating `Bytes` sharing) — the cost Figure 7-3 measures.
+/// Exactly one copy: straight into a fresh `Bytes`, not via an
+/// intermediate `Vec`.
 pub fn deep_copy(msg: &MimeMessage) -> MimeMessage {
-    MimeMessage { headers: msg.headers.clone(), body: msg.body.to_vec().into() }
+    MimeMessage {
+        headers: msg.headers.clone(),
+        body: Bytes::copy_from_slice(&msg.body),
+    }
 }
 
 #[cfg(test)]
@@ -351,5 +461,107 @@ mod tests {
         assert_eq!(stats.resident, 0);
         assert_eq!(stats.inserted, 4000);
         assert_eq!(stats.evicted, 4000);
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(MessagePool::with_shards(1).shard_count(), 1);
+        assert_eq!(MessagePool::with_shards(3).shard_count(), 4);
+        assert_eq!(MessagePool::with_shards(8).shard_count(), 8);
+        assert_eq!(MessagePool::with_shards(0).shard_count(), 1);
+        assert!(MessagePool::new().shard_count().is_power_of_two());
+    }
+
+    #[test]
+    fn sequential_ids_round_robin_across_shards() {
+        let pool = MessagePool::with_shards(4);
+        let ids: Vec<MessageId> = (0..8).map(|_| pool.insert(msg(1), 1)).collect();
+        // Consecutive ids land on consecutive shards, so any 4 consecutive
+        // inserts touch 4 distinct locks.
+        for w in ids.windows(4) {
+            let mut shards: Vec<u64> = w.iter().map(|id| id.0 & 3).collect();
+            shards.sort_unstable();
+            shards.dedup();
+            assert_eq!(shards.len(), 4);
+        }
+    }
+
+    #[test]
+    fn single_shard_pool_behaves_identically() {
+        let pool = MessagePool::with_shards(1);
+        let id = pool.insert(msg(16), 2);
+        assert!(pool.add_refs(id, 1));
+        assert!(pool.take_ref(id).is_some());
+        assert!(pool.take_ref(id).is_some());
+        assert_eq!(pool.stats().resident, 1);
+        pool.drop_ref(id);
+        let stats = pool.stats();
+        assert_eq!(stats.resident, 0);
+        assert_eq!(stats.inserted, 1);
+        assert_eq!(stats.evicted, 1);
+    }
+
+    #[test]
+    fn peek_shares_body_buffer() {
+        // Peeking must not copy payload bytes in pass-by-reference mode.
+        let pool = MessagePool::new();
+        let original = msg(4096);
+        let ptr = original.body.as_ptr();
+        let id = pool.insert(original, 1);
+        let peeked = pool.peek(id).unwrap();
+        assert_eq!(peeked.body.as_ptr(), ptr);
+        let body = pool.peek_body(id).unwrap();
+        assert_eq!(body.as_ptr(), ptr);
+        assert_eq!(body.len(), 4096);
+        pool.drop_ref(id);
+        assert!(pool.peek_body(id).is_none());
+    }
+
+    #[test]
+    fn stats_track_resident_bytes_per_shard() {
+        let pool = MessagePool::with_shards(4);
+        let a = pool.insert(msg(100), 1);
+        let b = pool.insert(msg(50), 1);
+        assert_eq!(pool.stats().resident_bytes, 150);
+        pool.drop_ref(a);
+        assert_eq!(pool.stats().resident_bytes, 50);
+        pool.drop_ref(b);
+        assert_eq!(pool.stats().resident_bytes, 0);
+    }
+
+    /// The accounting race the sharded rewrite closes: concurrent
+    /// `take_ref`/`drop_ref` on the *last* reference of many messages must
+    /// never double-evict or leave `resident + evicted != inserted`.
+    #[test]
+    fn take_drop_race_keeps_accounting_consistent() {
+        use std::sync::Arc;
+        let pool = Arc::new(MessagePool::new());
+        let ids: Arc<Vec<MessageId>> =
+            Arc::new((0..2000).map(|_| pool.insert(msg(8), 2)).collect());
+        let mut handles = Vec::new();
+        for worker in 0..4 {
+            let pool = pool.clone();
+            let ids = ids.clone();
+            handles.push(std::thread::spawn(move || {
+                for id in ids.iter() {
+                    if worker % 2 == 0 {
+                        pool.take_ref(*id);
+                    } else {
+                        pool.drop_ref(*id);
+                    }
+                    // Mid-race snapshots must uphold the invariant too.
+                    let s = pool.stats();
+                    assert_eq!(s.resident as u64 + s.evicted, s.inserted);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.inserted, 2000);
+        assert_eq!(stats.evicted, 2000);
+        assert_eq!(stats.resident, 0);
+        assert_eq!(stats.resident_bytes, 0);
     }
 }

@@ -68,7 +68,10 @@ impl StreamletPool {
     /// A pool that never reuses instances (every checkout is a miss) — the
     /// "no pooling" ablation baseline.
     pub fn disabled() -> Self {
-        StreamletPool { enabled: false, ..Self::new(0) }
+        StreamletPool {
+            enabled: false,
+            ..Self::new(0)
+        }
     }
 
     /// Obtains a logic instance for `library`: pooled if available,
@@ -79,9 +82,7 @@ impl StreamletPool {
         directory: &StreamletDirectory,
     ) -> Result<Box<dyn StreamletLogic>, CoreError> {
         if self.enabled {
-            if let Some(instance) =
-                self.idle.lock().get_mut(library).and_then(|v| v.pop())
-            {
+            if let Some(instance) = self.idle.lock().get_mut(library).and_then(|v| v.pop()) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(instance);
             }
@@ -149,7 +150,12 @@ mod tests {
 
     fn dir() -> StreamletDirectory {
         let d = StreamletDirectory::new();
-        d.register("c", "counting", || Box::new(Counting { processed: 0, reset_calls: 0 }));
+        d.register("c", "counting", || {
+            Box::new(Counting {
+                processed: 0,
+                reset_calls: 0,
+            })
+        });
         d
     }
 

@@ -31,10 +31,24 @@ use std::time::{Duration, Instant};
 
 /// Wakes streamlet worker threads when any of their input queues receives a
 /// message (or a lifecycle change occurs).
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct Notifier {
     seq: Mutex<u64>,
     cv: Condvar,
+    /// Optional wake hook, invoked on every [`Notifier::notify`] — this is
+    /// how a [`crate::executor::WorkerPool`] turns queue posts and
+    /// lifecycle transitions into run-queue scheduling instead of waking a
+    /// dedicated blocked thread.
+    hook: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
+}
+
+impl std::fmt::Debug for Notifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Notifier")
+            .field("seq", &*self.seq.lock())
+            .field("hooked", &self.hook.lock().is_some())
+            .finish()
+    }
 }
 
 impl Notifier {
@@ -43,11 +57,29 @@ impl Notifier {
         Self::default()
     }
 
-    /// Wakes all waiters.
+    /// Wakes all waiters and fires the wake hook, if any.
     pub fn notify(&self) {
-        let mut seq = self.seq.lock();
-        *seq += 1;
-        self.cv.notify_all();
+        {
+            let mut seq = self.seq.lock();
+            *seq += 1;
+            self.cv.notify_all();
+        }
+        // Outside the seq lock: the hook takes scheduler locks of its own.
+        if let Some(hook) = &*self.hook.lock() {
+            hook();
+        }
+    }
+
+    /// Installs the wake hook (replacing any previous one). Executors call
+    /// this when adopting a streamlet so every notification also schedules
+    /// its task.
+    pub fn set_hook(&self, hook: impl Fn() + Send + Sync + 'static) {
+        *self.hook.lock() = Some(Box::new(hook));
+    }
+
+    /// Removes the wake hook.
+    pub fn clear_hook(&self) {
+        *self.hook.lock() = None;
     }
 
     /// Current notification sequence. Take a snapshot *before* checking
@@ -511,7 +543,10 @@ mod tests {
         let (q, pool) = setup(QueueConfig::default());
         for i in 0..10usize {
             let m = MimeMessage::text(format!("m{i}"));
-            assert_eq!(q.post(pool.wrap(m, crate::PayloadMode::Reference, 1)), PostResult::Posted);
+            assert_eq!(
+                q.post(pool.wrap(m, crate::PayloadMode::Reference, 1)),
+                PostResult::Posted
+            );
         }
         for i in 0..10usize {
             match q.try_fetch() {
@@ -545,7 +580,10 @@ mod tests {
 
     #[test]
     fn oversized_message_admitted_when_empty() {
-        let cfg = QueueConfig { capacity_bytes: 64, ..Default::default() };
+        let cfg = QueueConfig {
+            capacity_bytes: 64,
+            ..Default::default()
+        };
         let (q, pool) = setup(cfg);
         assert_eq!(q.post(payload(&pool, 4096)), PostResult::Posted);
     }
@@ -589,7 +627,10 @@ mod tests {
     fn fetch_times_out_empty() {
         let (q, _) = setup(QueueConfig::default());
         let t0 = Instant::now();
-        assert!(matches!(q.fetch(Duration::from_millis(15)), FetchResult::Empty));
+        assert!(matches!(
+            q.fetch(Duration::from_millis(15)),
+            FetchResult::Empty
+        ));
         assert!(t0.elapsed() >= Duration::from_millis(15));
     }
 
@@ -631,7 +672,10 @@ mod tests {
 
     #[test]
     fn bb_break_drops_pending_both_ways() {
-        let cfg = QueueConfig { category: ChannelCategory::BB, ..Default::default() };
+        let cfg = QueueConfig {
+            category: ChannelCategory::BB,
+            ..Default::default()
+        };
         let (q, pool) = setup(cfg);
         q.attach_source();
         q.attach_sink();
@@ -646,7 +690,10 @@ mod tests {
 
     #[test]
     fn bk_source_break_keeps_pending_flowing() {
-        let cfg = QueueConfig { category: ChannelCategory::BK, ..Default::default() };
+        let cfg = QueueConfig {
+            category: ChannelCategory::BK,
+            ..Default::default()
+        };
         let (q, pool) = setup(cfg);
         q.attach_source();
         q.attach_sink();
@@ -660,7 +707,10 @@ mod tests {
 
     #[test]
     fn bk_sink_break_drops_pending() {
-        let cfg = QueueConfig { category: ChannelCategory::BK, ..Default::default() };
+        let cfg = QueueConfig {
+            category: ChannelCategory::BK,
+            ..Default::default()
+        };
         let (q, pool) = setup(cfg);
         q.attach_source();
         q.attach_sink();
@@ -672,7 +722,10 @@ mod tests {
 
     #[test]
     fn kb_sink_break_retains_pending_for_new_sink() {
-        let cfg = QueueConfig { category: ChannelCategory::KB, ..Default::default() };
+        let cfg = QueueConfig {
+            category: ChannelCategory::KB,
+            ..Default::default()
+        };
         let (q, pool) = setup(cfg);
         q.attach_source();
         q.attach_sink();
@@ -686,7 +739,10 @@ mod tests {
 
     #[test]
     fn kk_cannot_be_disconnected() {
-        let cfg = QueueConfig { category: ChannelCategory::KK, ..Default::default() };
+        let cfg = QueueConfig {
+            category: ChannelCategory::KK,
+            ..Default::default()
+        };
         let (q, _) = setup(cfg);
         q.attach_source();
         q.attach_sink();
@@ -696,7 +752,10 @@ mod tests {
 
     #[test]
     fn reattach_reopens_channel() {
-        let cfg = QueueConfig { category: ChannelCategory::BB, ..Default::default() };
+        let cfg = QueueConfig {
+            category: ChannelCategory::BB,
+            ..Default::default()
+        };
         let (q, pool) = setup(cfg);
         q.attach_source();
         q.attach_sink();
@@ -736,7 +795,10 @@ mod tests {
         thread::sleep(Duration::from_millis(20));
         q.post(payload(&pool, 4));
         let waited = waiter.join().unwrap();
-        assert!(waited < Duration::from_millis(400), "woken early, waited {waited:?}");
+        assert!(
+            waited < Duration::from_millis(400),
+            "woken early, waited {waited:?}"
+        );
         q.remove_listener(&n);
     }
 

@@ -15,6 +15,7 @@ use crate::coordination::CoordinationManager;
 use crate::directory::StreamletDirectory;
 use crate::error::CoreError;
 use crate::events::{ContextEvent, EventManager};
+use crate::executor::{default_executor, Executor, WorkerPool};
 use crate::pool::{MessagePool, PayloadMode};
 use crate::pooling::StreamletPool;
 use crate::stream::{RunningStream, StreamDeps};
@@ -22,6 +23,57 @@ use mobigate_mcl::analysis;
 use mobigate_mcl::compile::compile;
 use mobigate_mcl::config::Program;
 use std::sync::Arc;
+
+/// Which back end schedules the execution plane's streamlets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutorConfig {
+    /// One OS thread per streamlet — the paper-faithful default
+    /// (`Streamlet extends Thread`).
+    #[default]
+    ThreadPerStreamlet,
+    /// A shared pool of `workers` threads driving a run-queue of runnable
+    /// streamlets, so deep compositions don't cost a thread per hop.
+    WorkerPool {
+        /// Number of pool worker threads (clamped to at least 1).
+        workers: usize,
+    },
+}
+
+impl ExecutorConfig {
+    /// Instantiates the configured executor.
+    pub fn build(self) -> Arc<dyn Executor> {
+        match self {
+            ExecutorConfig::ThreadPerStreamlet => default_executor(),
+            ExecutorConfig::WorkerPool { workers } => WorkerPool::new(workers),
+        }
+    }
+}
+
+/// Server-wide runtime knobs, grouped so ablations can vary one axis at a
+/// time.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Reference vs. value payload passing (Figure 7-3).
+    pub mode: PayloadMode,
+    /// Runtime type-check options (§4.1).
+    pub route_opts: crate::streamlet::RouteOpts,
+    /// Execution back end for streamlets.
+    pub executor: ExecutorConfig,
+    /// Message-pool shard count (rounded up to a power of two). `None`
+    /// derives it from the machine's available parallelism.
+    pub pool_shards: Option<usize>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            mode: PayloadMode::Reference,
+            route_opts: Default::default(),
+            executor: ExecutorConfig::default(),
+            pool_shards: None,
+        }
+    }
+}
 
 /// The assembled MobiGATE server.
 pub struct MobiGate {
@@ -31,6 +83,9 @@ pub struct MobiGate {
     events: Arc<EventManager>,
     coordination: CoordinationManager,
     mode: PayloadMode,
+    /// Declared after `coordination` on purpose: streams shut down (ending
+    /// their streamlets) before the executor's workers are joined.
+    executor: Arc<dyn Executor>,
 }
 
 impl Default for MobiGate {
@@ -67,14 +122,37 @@ impl MobiGate {
         streamlet_pool: Arc<StreamletPool>,
         route_opts: crate::streamlet::RouteOpts,
     ) -> Self {
-        let msg_pool = Arc::new(MessagePool::new());
+        Self::with_config(
+            ServerConfig {
+                mode,
+                route_opts,
+                ..Default::default()
+            },
+            directory,
+            streamlet_pool,
+        )
+    }
+
+    /// Builds a server from a full [`ServerConfig`] (executor back end,
+    /// message-pool sharding, payload mode, routing options).
+    pub fn with_config(
+        config: ServerConfig,
+        directory: Arc<StreamletDirectory>,
+        streamlet_pool: Arc<StreamletPool>,
+    ) -> Self {
+        let msg_pool = Arc::new(match config.pool_shards {
+            Some(n) => MessagePool::with_shards(n),
+            None => MessagePool::new(),
+        });
+        let executor = config.executor.build();
         let events = Arc::new(EventManager::new());
         let deps = StreamDeps {
             msg_pool: msg_pool.clone(),
             directory: directory.clone(),
             streamlet_pool: streamlet_pool.clone(),
-            mode,
-            route_opts,
+            mode: config.mode,
+            route_opts: config.route_opts,
+            executor: executor.clone(),
         };
         MobiGate {
             directory,
@@ -82,7 +160,8 @@ impl MobiGate {
             msg_pool,
             events: events.clone(),
             coordination: CoordinationManager::new(deps, events),
-            mode,
+            mode: config.mode,
+            executor,
         }
     }
 
@@ -116,17 +195,27 @@ impl MobiGate {
         self.mode
     }
 
+    /// The execution back end scheduling this server's streamlets.
+    pub fn executor(&self) -> &Arc<dyn Executor> {
+        &self.executor
+    }
+
     /// Compiles `source` and returns the program without deploying.
     pub fn compile(&self, source: &str) -> Result<Program, CoreError> {
-        compile(source).map_err(|e| CoreError::Deploy { message: e.to_string() })
+        compile(source).map_err(|e| CoreError::Deploy {
+            message: e.to_string(),
+        })
     }
 
     /// Compiles, analyzes, and deploys the `main` stream of an MCL script.
     pub fn deploy_mcl(&self, source: &str) -> Result<Arc<RunningStream>, CoreError> {
         let program = self.compile(source)?;
-        let name = program.main_stream.clone().ok_or_else(|| CoreError::Deploy {
-            message: "script has no `main` stream".into(),
-        })?;
+        let name = program
+            .main_stream
+            .clone()
+            .ok_or_else(|| CoreError::Deploy {
+                message: "script has no `main` stream".into(),
+            })?;
         // Chapter-5 consistency gate.
         if let Some(report) = analysis::analyze(&program, &name) {
             if !report.is_consistent() {
@@ -141,9 +230,12 @@ impl MobiGate {
     /// Deploys without the semantic-analysis gate.
     pub fn deploy_mcl_unchecked(&self, source: &str) -> Result<Arc<RunningStream>, CoreError> {
         let program = self.compile(source)?;
-        let name = program.main_stream.clone().ok_or_else(|| CoreError::Deploy {
-            message: "script has no `main` stream".into(),
-        })?;
+        let name = program
+            .main_stream
+            .clone()
+            .ok_or_else(|| CoreError::Deploy {
+                message: "script has no `main` stream".into(),
+            })?;
         self.coordination.deploy(&program, &name)
     }
 
@@ -183,7 +275,8 @@ mod tests {
 
     fn server() -> MobiGate {
         let gate = MobiGate::default();
-        gate.directory().register("builtin/rev", "reverse bytes", || Box::new(Rev));
+        gate.directory()
+            .register("builtin/rev", "reverse bytes", || Box::new(Rev));
         gate
     }
 
@@ -206,6 +299,40 @@ mod tests {
         stream.post_input(MimeMessage::text("abc")).unwrap();
         let out = stream.take_output(Duration::from_secs(5)).unwrap();
         assert_eq!(&out.body[..], b"cba");
+    }
+
+    #[test]
+    fn worker_pool_config_runs_streams() {
+        let gate = MobiGate::with_config(
+            ServerConfig {
+                executor: ExecutorConfig::WorkerPool { workers: 4 },
+                pool_shards: Some(4),
+                ..Default::default()
+            },
+            Arc::new(StreamletDirectory::new()),
+            Arc::new(crate::pooling::StreamletPool::new(8)),
+        );
+        assert_eq!(gate.executor().name(), "worker-pool");
+        assert_eq!(gate.message_pool().shard_count(), 4);
+        gate.directory()
+            .register("builtin/rev", "reverse bytes", || Box::new(Rev));
+        let stream = gate
+            .deploy_mcl(
+                r#"
+                streamlet rev {
+                    port { in pi : text; out po : text; }
+                    attribute { type = STATELESS; library = "builtin/rev"; }
+                }
+                main stream app {
+                    streamlet r = new-streamlet (rev);
+                }
+                "#,
+            )
+            .unwrap();
+        stream.post_input(MimeMessage::text("abc")).unwrap();
+        let out = stream.take_output(Duration::from_secs(5)).unwrap();
+        assert_eq!(&out.body[..], b"cba");
+        stream.shutdown();
     }
 
     #[test]

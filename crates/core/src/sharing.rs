@@ -105,7 +105,11 @@ impl SharedStreamlet {
                 .spawn(move || shared_worker(inner, slot, logic))
                 .expect("spawn shared streamlet")
         };
-        Arc::new(SharedStreamlet { inner, worker: Mutex::new(Some(worker)), logic_slot })
+        Arc::new(SharedStreamlet {
+            inner,
+            worker: Mutex::new(Some(worker)),
+            logic_slot,
+        })
     }
 
     /// Subscribes a stream: its emissions will arrive on `out`.
@@ -172,11 +176,15 @@ fn shared_worker(
         let payload = match inner.inbox.try_fetch() {
             FetchResult::Msg(p) => p,
             _ => {
-                inner.notifier.wait_unless(snapshot, Duration::from_millis(5));
+                inner
+                    .notifier
+                    .wait_unless(snapshot, Duration::from_millis(5));
                 continue;
             }
         };
-        let Some(msg) = inner.pool.resolve(payload) else { continue };
+        let Some(msg) = inner.pool.resolve(payload) else {
+            continue;
+        };
         let session = msg.session();
         let mut ctx = StreamletCtx::new(&inner.name, session.as_ref());
         if logic.process(msg, &mut ctx).is_err() {
@@ -193,9 +201,7 @@ fn shared_worker(
             match target {
                 Some(q) => {
                     let payload = match inner.mode {
-                        PayloadMode::Reference => {
-                            Payload::Ref(inner.pool.insert(out_msg, 1))
-                        }
+                        PayloadMode::Reference => Payload::Ref(inner.pool.insert(out_msg, 1)),
                         PayloadMode::Value => inner.pool.wrap_copy(&out_msg),
                     };
                     // Count before posting: a consumer that sees the
@@ -232,8 +238,12 @@ mod tests {
 
     fn setup() -> (Arc<MessagePool>, Arc<SharedStreamlet>) {
         let pool = Arc::new(MessagePool::new());
-        let shared =
-            SharedStreamlet::spawn("upper", Box::new(Upper), pool.clone(), PayloadMode::Reference);
+        let shared = SharedStreamlet::spawn(
+            "upper",
+            Box::new(Upper),
+            pool.clone(),
+            PayloadMode::Reference,
+        );
         (pool, shared)
     }
 
@@ -319,8 +329,7 @@ mod tests {
     #[test]
     fn concurrent_streams_share_one_instance() {
         let (pool, shared) = setup();
-        let sessions: Vec<SessionId> =
-            (0..8).map(|i| SessionId::new(format!("s{i}"))).collect();
+        let sessions: Vec<SessionId> = (0..8).map(|i| SessionId::new(format!("s{i}"))).collect();
         let queues: Vec<Arc<MessageQueue>> = (0..8).map(|_| out_queue(&pool)).collect();
         for (s, q) in sessions.iter().zip(&queues) {
             shared.subscribe(s, q.clone());
@@ -330,7 +339,9 @@ mod tests {
             let shared = shared.clone();
             posters.push(std::thread::spawn(move || {
                 for k in 0..25 {
-                    shared.post(&s, MimeMessage::text(format!("m{i}-{k}"))).unwrap();
+                    shared
+                        .post(&s, MimeMessage::text(format!("m{i}-{k}")))
+                        .unwrap();
                 }
             }));
         }

@@ -19,6 +19,7 @@
 use crate::directory::StreamletDirectory;
 use crate::error::CoreError;
 use crate::events::{ContextEvent, EventSubscriber};
+use crate::executor::Executor;
 use crate::pool::{MessagePool, PayloadMode};
 use crate::pooling::StreamletPool;
 use crate::queue::{FetchResult, MessageQueue, Notifier, QueueConfig};
@@ -45,6 +46,8 @@ pub struct StreamDeps {
     pub mode: PayloadMode,
     /// Runtime type-check options (§4.1).
     pub route_opts: RouteOpts,
+    /// Execution back end scheduling the streamlets.
+    pub executor: Arc<dyn Executor>,
 }
 
 /// Equation 7-1 instrumentation of one reconfiguration:
@@ -140,7 +143,10 @@ impl RunningStream {
         let mut channels: HashMap<String, Arc<MessageQueue>> = HashMap::new();
         for row in &table.channels {
             let cfg = QueueConfig::from_spec(&row.name, &row.spec);
-            channels.insert(row.name.clone(), MessageQueue::new(cfg, deps.msg_pool.clone()));
+            channels.insert(
+                row.name.clone(),
+                MessageQueue::new(cfg, deps.msg_pool.clone()),
+            );
         }
 
         // Ingress/egress channels for the stream's exported ports.
@@ -178,21 +184,24 @@ impl RunningStream {
                 lazy.insert(row.name.clone(), row.def.clone());
                 continue;
             }
-            let handle =
-                create_instance(&row.name, &row.def, defs, &deps, &session)?;
+            let handle = create_instance(&row.name, &row.def, defs, &deps, &session)?;
             instances.insert(row.name.clone(), handle);
         }
 
         // Bind ports per the connection rows.
         for c in &table.connections {
-            let q = channels.get(&c.channel).ok_or_else(|| CoreError::NotFound {
-                kind: "channel",
-                name: c.channel.clone(),
-            })?;
-            let from = instances.get(&c.from.0).ok_or_else(|| CoreError::NotFound {
-                kind: "streamlet instance",
-                name: c.from.0.clone(),
-            })?;
+            let q = channels
+                .get(&c.channel)
+                .ok_or_else(|| CoreError::NotFound {
+                    kind: "channel",
+                    name: c.channel.clone(),
+                })?;
+            let from = instances
+                .get(&c.from.0)
+                .ok_or_else(|| CoreError::NotFound {
+                    kind: "streamlet instance",
+                    name: c.from.0.clone(),
+                })?;
             let to = instances.get(&c.to.0).ok_or_else(|| CoreError::NotFound {
                 kind: "streamlet instance",
                 name: c.to.0.clone(),
@@ -293,7 +302,10 @@ impl RunningStream {
     /// The message is stamped with the stream session (§4.4.3).
     pub fn post_input(&self, msg: MimeMessage) -> Result<(), CoreError> {
         let Some((_, q)) = self.ingress.first() else {
-            return Err(CoreError::NotFound { kind: "exported input", name: self.name.clone() });
+            return Err(CoreError::NotFound {
+                kind: "exported input",
+                name: self.name.clone(),
+            });
         };
         self.post_to(q.clone(), msg)
     }
@@ -338,7 +350,8 @@ impl RunningStream {
                     if now >= deadline {
                         return None;
                     }
-                    self.egress_notifier.wait_unless(notified, (deadline - now).min(Duration::from_millis(20)));
+                    self.egress_notifier
+                        .wait_unless(notified, (deadline - now).min(Duration::from_millis(20)));
                 }
             }
         }
@@ -353,12 +366,7 @@ impl RunningStream {
     /// interface (§8.2.1 future-work feature: "data ports to communicate
     /// with other streamlets … and control interfaces to receive parameter
     /// setting information from the coordinator").
-    pub fn set_parameter(
-        &self,
-        instance: &str,
-        key: &str,
-        value: &str,
-    ) -> Result<(), CoreError> {
+    pub fn set_parameter(&self, instance: &str, key: &str, value: &str) -> Result<(), CoreError> {
         let handle = self
             .inner
             .lock()
@@ -385,7 +393,13 @@ impl RunningStream {
         names.sort();
         for name in names {
             let h = &inner.instances[name];
-            let _ = writeln!(out, "  \"{}\" [label=\"{}\\n({})\"];", name, name, h.def_name());
+            let _ = writeln!(
+                out,
+                "  \"{}\" [label=\"{}\\n({})\"];",
+                name,
+                name,
+                h.def_name()
+            );
         }
         for c in &inner.connections {
             let _ = writeln!(
@@ -429,8 +443,7 @@ impl RunningStream {
         if rules.is_empty() {
             return None;
         }
-        let actions: Vec<ReconfigAction> =
-            rules.into_iter().flat_map(|r| r.actions).collect();
+        let actions: Vec<ReconfigAction> = rules.into_iter().flat_map(|r| r.actions).collect();
         Some(self.reconfigure(&actions))
     }
 
@@ -602,7 +615,10 @@ impl RunningStream {
                 }
                 let t = Instant::now();
                 if inner.channels.remove(name).is_none() {
-                    return Err(CoreError::NotFound { kind: "channel", name: name.clone() });
+                    return Err(CoreError::NotFound {
+                        kind: "channel",
+                        name: name.clone(),
+                    });
                 }
                 stats.channel_ops += 1;
                 stats.channel_time += t.elapsed();
@@ -628,10 +644,14 @@ impl RunningStream {
         }
         let def = match def_hint {
             Some(d) => d.to_string(),
-            None => inner.lazy.get(name).cloned().ok_or_else(|| CoreError::NotFound {
-                kind: "streamlet instance",
-                name: name.to_string(),
-            })?,
+            None => inner
+                .lazy
+                .get(name)
+                .cloned()
+                .ok_or_else(|| CoreError::NotFound {
+                    kind: "streamlet instance",
+                    name: name.to_string(),
+                })?,
         };
         let handle = create_instance(name, &def, &self.defs, &self.deps, &self.session)?;
         handle.start()?;
@@ -655,7 +675,10 @@ impl RunningStream {
             .channels
             .get(channel)
             .cloned()
-            .ok_or_else(|| CoreError::NotFound { kind: "channel", name: channel.to_string() })?;
+            .ok_or_else(|| CoreError::NotFound {
+                kind: "channel",
+                name: channel.to_string(),
+            })?;
         let t = Instant::now();
         // A port that was exported at deploy time (unsatisfied, §5.1.4) is
         // satisfied by this connection: retire its ingress/egress binding so
@@ -748,14 +771,20 @@ impl RunningStream {
             .instances
             .get(&from.0)
             .cloned()
-            .ok_or_else(|| CoreError::NotFound { kind: "streamlet instance", name: from.0.clone() })?;
+            .ok_or_else(|| CoreError::NotFound {
+                kind: "streamlet instance",
+                name: from.0.clone(),
+            })?;
         let c_handle = self.ensure_instance(inner, instance, None, stats)?;
         let (c_in, c_out) = self.single_ports(c_handle.def_name())?;
         let m = inner
             .channels
             .get(&row.channel)
             .cloned()
-            .ok_or_else(|| CoreError::NotFound { kind: "channel", name: row.channel.clone() })?;
+            .ok_or_else(|| CoreError::NotFound {
+                kind: "channel",
+                name: row.channel.clone(),
+            })?;
 
         // Step 2: suspend A.
         let t_s = Instant::now();
@@ -775,7 +804,11 @@ impl RunningStream {
             }
         };
         let n = MessageQueue::new(
-            QueueConfig { name: n_name.clone(), ty: m.config().ty.clone(), ..Default::default() },
+            QueueConfig {
+                name: n_name.clone(),
+                ty: m.config().ty.clone(),
+                ..Default::default()
+            },
             self.deps.msg_pool.clone(),
         );
         a.attach_out(&from.1, &n);
@@ -817,7 +850,10 @@ impl RunningStream {
             .instances
             .get(name)
             .cloned()
-            .ok_or_else(|| CoreError::NotFound { kind: "streamlet instance", name: name.into() })?;
+            .ok_or_else(|| CoreError::NotFound {
+                kind: "streamlet instance",
+                name: name.into(),
+            })?;
 
         // Stop upstream flow into the streamlet first.
         let rows: Vec<ConnectionRow> = inner
@@ -841,7 +877,7 @@ impl RunningStream {
         // processing. (Outputs are delivered synchronously by the worker, so
         // quiescence implies condition 3.)
         let deadline = Instant::now() + deadline;
-        while !(handle.inputs_empty() && !handle.is_processing()) {
+        while !handle.inputs_empty() || handle.is_processing() {
             if Instant::now() >= deadline {
                 // Reactivate producers before giving up.
                 for row in &rows {
@@ -897,7 +933,10 @@ impl RunningStream {
             .instances
             .get(old)
             .cloned()
-            .ok_or_else(|| CoreError::NotFound { kind: "streamlet instance", name: old.into() })?;
+            .ok_or_else(|| CoreError::NotFound {
+                kind: "streamlet instance",
+                name: old.into(),
+            })?;
         let new_h = self.ensure_instance(inner, new, None, stats)?;
 
         let t_s = Instant::now();
@@ -911,13 +950,17 @@ impl RunningStream {
         // ports alive.
         let t_c = Instant::now();
         for (port, chan) in old_h.input_bindings() {
-            let Some(q) = self.find_queue(inner, &chan) else { continue };
+            let Some(q) = self.find_queue(inner, &chan) else {
+                continue;
+            };
             let _ = old_h.detach_in(&port, &chan);
             new_h.attach_in(&port, &q);
             stats.channel_ops += 2;
         }
         for (port, chan) in old_h.output_bindings() {
-            let Some(q) = self.find_queue(inner, &chan) else { continue };
+            let Some(q) = self.find_queue(inner, &chan) else {
+                continue;
+            };
             let _ = old_h.detach_out(&port, &chan);
             new_h.attach_out(&port, &q);
             stats.channel_ops += 2;
@@ -956,10 +999,10 @@ impl RunningStream {
 
     /// The (single input, single output) port names of a definition.
     fn single_ports(&self, def: &str) -> Result<(String, String), CoreError> {
-        let spec = self
-            .defs
-            .get(def)
-            .ok_or_else(|| CoreError::NotFound { kind: "streamlet definition", name: def.into() })?;
+        let spec = self.defs.get(def).ok_or_else(|| CoreError::NotFound {
+            kind: "streamlet definition",
+            name: def.into(),
+        })?;
         if spec.inputs.len() != 1 || spec.outputs.len() != 1 {
             return Err(CoreError::Reconfig {
                 message: format!(
@@ -1003,7 +1046,7 @@ fn create_instance(
     })?;
     let key = deps.directory.resolve_key(&spec.library, &spec.name);
     let logic = deps.streamlet_pool.checkout(key, &deps.directory)?;
-    Ok(StreamletHandle::with_route_opts(
+    Ok(StreamletHandle::with_executor(
         name,
         def,
         spec.stateful,
@@ -1012,6 +1055,7 @@ fn create_instance(
         deps.mode,
         Some(session.clone()),
         deps.route_opts.clone(),
+        deps.executor.clone(),
     ))
 }
 
@@ -1045,6 +1089,7 @@ mod tests {
             streamlet_pool: Arc::new(StreamletPool::new(16)),
             mode: PayloadMode::Reference,
             route_opts: RouteOpts::default(),
+            executor: crate::executor::default_executor(),
         }
     }
 
@@ -1114,7 +1159,10 @@ mod tests {
     #[test]
     fn lazy_instances_not_created_at_deploy() {
         let (stream, _) = deploy(SCRIPT);
-        assert_eq!(stream.instance_names(), vec!["s1".to_string(), "s2".to_string()]);
+        assert_eq!(
+            stream.instance_names(),
+            vec!["s1".to_string(), "s2".to_string()]
+        );
         stream.shutdown();
     }
 
@@ -1138,7 +1186,9 @@ mod tests {
     #[test]
     fn unmatched_event_is_ignored() {
         let (stream, _) = deploy(SCRIPT);
-        assert!(stream.handle_event(&ContextEvent::broadcast(EventKind::LowEnergy)).is_none());
+        assert!(stream
+            .handle_event(&ContextEvent::broadcast(EventKind::LowEnergy))
+            .is_none());
         stream.shutdown();
     }
 
@@ -1164,7 +1214,9 @@ mod tests {
         let stream2 = stream.clone();
         let producer = std::thread::spawn(move || {
             for i in 0..n {
-                stream2.post_input(MimeMessage::text(format!("m{i}"))).unwrap();
+                stream2
+                    .post_input(MimeMessage::text(format!("m{i}")))
+                    .unwrap();
                 if i == n / 2 {
                     stream2.handle_event(&ContextEvent::broadcast(EventKind::LowBandwidth));
                 }
@@ -1185,13 +1237,17 @@ mod tests {
     #[test]
     fn remove_streamlet_safely_drains_first() {
         let (stream, _) = deploy(SCRIPT);
-        stream.insert_streamlet(("s1", "po"), ("s2", "pi"), "mid", "tag_c").unwrap();
+        stream
+            .insert_streamlet(("s1", "po"), ("s2", "pi"), "mid", "tag_c")
+            .unwrap();
         assert_eq!(roundtrip(&stream, "q"), "qacb");
         // Remove the middle streamlet again; the stream must keep working
         // with the remaining topology (s1 -> ??). After removal, s1.po and
         // s2.pi are disconnected, so output stops — verify removal occurred
         // and nothing paniced.
-        stream.remove_streamlet("mid", Duration::from_secs(2)).unwrap();
+        stream
+            .remove_streamlet("mid", Duration::from_secs(2))
+            .unwrap();
         assert!(!stream.instance_names().contains(&"mid".to_string()));
         stream.shutdown();
     }
@@ -1199,7 +1255,9 @@ mod tests {
     #[test]
     fn remove_unknown_instance_errors() {
         let (stream, _) = deploy(SCRIPT);
-        assert!(stream.remove_streamlet("ghost", Duration::from_millis(100)).is_err());
+        assert!(stream
+            .remove_streamlet("ghost", Duration::from_millis(100))
+            .is_err());
         stream.shutdown();
     }
 
@@ -1263,9 +1321,13 @@ mod tests {
     fn post_to_named_ingress() {
         let (stream, _) = deploy(SCRIPT);
         assert_eq!(stream.ingress_count(), 1);
-        stream.post_input_to("s1.pi", MimeMessage::text("n")).unwrap();
+        stream
+            .post_input_to("s1.pi", MimeMessage::text("n"))
+            .unwrap();
         assert!(stream.take_output(Duration::from_secs(5)).is_some());
-        assert!(stream.post_input_to("bogus.pi", MimeMessage::text("n")).is_err());
+        assert!(stream
+            .post_input_to("bogus.pi", MimeMessage::text("n"))
+            .is_err());
         stream.shutdown();
     }
 }

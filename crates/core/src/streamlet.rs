@@ -4,18 +4,20 @@
 //! `processMsg()` override) and never touches communication: messages
 //! arrive from whatever channels the coordination plane bound to the input
 //! ports, and emissions go to whatever channels are bound to the named
-//! output ports. [`StreamletHandle`] supplies the paper's thread-per-
-//! streamlet scheduling (`Streamlet extends Thread`) and the lifecycle
-//! operations `pause()`, `activate()`, `end()`.
+//! output ports. [`StreamletHandle`] supplies the lifecycle operations
+//! `pause()`, `activate()`, `end()`; the actual scheduling is delegated to
+//! an [`Executor`] (thread-per-streamlet by default, matching the paper's
+//! `Streamlet extends Thread`, or a shared worker pool) which drives the
+//! handle's [`StreamletTask`].
 
 use crate::error::CoreError;
+use crate::executor::{default_executor, Executor};
 use crate::pool::{MessagePool, Payload, PayloadMode};
 use crate::queue::{FetchResult, MessageQueue, Notifier};
 use mobigate_mime::{MimeMessage, SessionId, TypeRegistry};
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Something that accepts emissions to named output ports.
@@ -38,7 +40,11 @@ impl<'a> StreamletCtx<'a> {
     /// Creates a context (exposed so tests and the client runtime can drive
     /// logic objects directly).
     pub fn new(instance: &'a str, session: Option<&'a SessionId>) -> Self {
-        StreamletCtx { instance, session, outputs: Vec::new() }
+        StreamletCtx {
+            instance,
+            session,
+            outputs: Vec::new(),
+        }
     }
 
     /// The instance name executing this invocation.
@@ -90,7 +96,10 @@ pub trait StreamletLogic: Send {
     /// return `Err` for unknown keys or invalid values; the default knows
     /// no parameters.
     fn control(&mut self, key: &str, value: &str) -> Result<(), CoreError> {
-        Err(CoreError::NotFound { kind: "control parameter", name: format!("{key}={value}") })
+        Err(CoreError::NotFound {
+            kind: "control parameter",
+            name: format!("{key}={value}"),
+        })
     }
 }
 
@@ -108,7 +117,10 @@ pub struct RouteOpts {
 
 impl Default for RouteOpts {
     fn default() -> Self {
-        RouteOpts { registry: Arc::new(TypeRegistry::standard()), enforce_types: false }
+        RouteOpts {
+            registry: Arc::new(TypeRegistry::standard()),
+            enforce_types: false,
+        }
     }
 }
 
@@ -149,6 +161,10 @@ struct Shared {
     processing: AtomicBool,
     /// Set by the worker when it has observed `Paused` and gone quiescent.
     pause_acked: AtomicBool,
+    /// Set (under the state lock) once the task has finalized: `on_end` ran
+    /// and the logic is parked back in the handle. `end()` waits on this
+    /// instead of joining a thread, so it works under any executor.
+    exited: AtomicBool,
     inputs: RwLock<Vec<(String, Arc<MessageQueue>)>>,
     outputs: RwLock<Vec<(String, Arc<MessageQueue>)>>,
     processed: AtomicU64,
@@ -165,10 +181,13 @@ struct Shared {
     controls: Mutex<Vec<ControlRequest>>,
 }
 
+/// Rendezvous slot a control requester waits on: result + wakeup.
+type ControlSlot = Arc<(Mutex<Option<Result<(), CoreError>>>, Condvar)>;
+
 struct ControlRequest {
     key: String,
     value: String,
-    done: Arc<(Mutex<Option<Result<(), CoreError>>>, Condvar)>,
+    done: ControlSlot,
 }
 
 impl Shared {
@@ -188,7 +207,8 @@ impl Shared {
                 targets.retain(|q| self.route_opts.registry.connectable(&ty, &q.config().ty));
                 let suppressed = (before - targets.len()) as u64;
                 if suppressed > 0 {
-                    self.type_violations.fetch_add(suppressed, Ordering::Relaxed);
+                    self.type_violations
+                        .fetch_add(suppressed, Ordering::Relaxed);
                 }
             }
             if targets.is_empty() {
@@ -214,17 +234,25 @@ impl Shared {
     }
 }
 
-/// A scheduled streamlet instance: logic + worker thread + port bindings.
+/// A scheduled streamlet instance: logic + execution back end + port
+/// bindings.
 pub struct StreamletHandle {
     shared: Arc<Shared>,
     def_name: String,
     stateful: bool,
     logic_slot: Arc<Mutex<Option<Box<dyn StreamletLogic>>>>,
-    join: Mutex<Option<JoinHandle<()>>>,
+    executor: Arc<dyn Executor>,
+    /// The live task, owned here so wake hooks (which hold only a `Weak`)
+    /// can upgrade for as long as the streamlet runs. `None` before
+    /// `start()` and after `end()`.
+    task: Mutex<Option<Arc<StreamletTask>>>,
+    /// True once `start()` handed a task to the executor; `end()` only
+    /// waits for exit when something actually ran.
+    started: AtomicBool,
 }
 
 impl StreamletHandle {
-    /// Creates a handle in the `Created` state (thread not yet spawned)
+    /// Creates a handle in the `Created` state (no execution resources yet)
     /// with default routing options.
     pub fn new(
         name: impl Into<String>,
@@ -235,8 +263,16 @@ impl StreamletHandle {
         mode: PayloadMode,
         session: Option<SessionId>,
     ) -> Arc<Self> {
-        Self::with_route_opts(name, def_name, stateful, logic, pool, mode, session,
-            RouteOpts::default())
+        Self::with_route_opts(
+            name,
+            def_name,
+            stateful,
+            logic,
+            pool,
+            mode,
+            session,
+            RouteOpts::default(),
+        )
     }
 
     /// Creates a handle with explicit routing options (runtime type check).
@@ -251,6 +287,32 @@ impl StreamletHandle {
         session: Option<SessionId>,
         route_opts: RouteOpts,
     ) -> Arc<Self> {
+        Self::with_executor(
+            name,
+            def_name,
+            stateful,
+            logic,
+            pool,
+            mode,
+            session,
+            route_opts,
+            default_executor(),
+        )
+    }
+
+    /// Creates a handle scheduled by an explicit [`Executor`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_executor(
+        name: impl Into<String>,
+        def_name: impl Into<String>,
+        stateful: bool,
+        logic: Box<dyn StreamletLogic>,
+        pool: Arc<MessagePool>,
+        mode: PayloadMode,
+        session: Option<SessionId>,
+        route_opts: RouteOpts,
+        executor: Arc<dyn Executor>,
+    ) -> Arc<Self> {
         Arc::new(StreamletHandle {
             shared: Arc::new(Shared {
                 name: name.into(),
@@ -259,6 +321,7 @@ impl StreamletHandle {
                 notifier: Arc::new(Notifier::new()),
                 processing: AtomicBool::new(false),
                 pause_acked: AtomicBool::new(false),
+                exited: AtomicBool::new(false),
                 inputs: RwLock::new(Vec::new()),
                 outputs: RwLock::new(Vec::new()),
                 processed: AtomicU64::new(0),
@@ -275,8 +338,15 @@ impl StreamletHandle {
             def_name: def_name.into(),
             stateful,
             logic_slot: Arc::new(Mutex::new(Some(logic))),
-            join: Mutex::new(None),
+            executor,
+            task: Mutex::new(None),
+            started: AtomicBool::new(false),
         })
+    }
+
+    /// Diagnostic name of the executor scheduling this handle.
+    pub fn executor_name(&self) -> &'static str {
+        self.executor.name()
     }
 
     /// Instance name.
@@ -337,7 +407,7 @@ impl StreamletHandle {
                 message: "cannot control an ended streamlet".into(),
             });
         }
-        let done = Arc::new((Mutex::new(None), Condvar::new()));
+        let done: ControlSlot = Arc::new((Mutex::new(None), Condvar::new()));
         self.shared.controls.lock().push(ControlRequest {
             key: key.to_string(),
             value: value.to_string(),
@@ -365,14 +435,20 @@ impl StreamletHandle {
     pub fn attach_in(&self, port: &str, q: &Arc<MessageQueue>) {
         q.attach_sink();
         q.add_listener(self.shared.notifier.clone());
-        self.shared.inputs.write().push((port.to_string(), q.clone()));
+        self.shared
+            .inputs
+            .write()
+            .push((port.to_string(), q.clone()));
         self.shared.notifier.notify();
     }
 
     /// Binds a channel to an output port (the paper's `setOut`).
     pub fn attach_out(&self, port: &str, q: &Arc<MessageQueue>) {
         q.attach_source();
-        self.shared.outputs.write().push((port.to_string(), q.clone()));
+        self.shared
+            .outputs
+            .write()
+            .push((port.to_string(), q.clone()));
     }
 
     /// Unbinds the channel named `chan` from input `port`.
@@ -449,7 +525,8 @@ impl StreamletHandle {
 
     // --- lifecycle ---------------------------------------------------------
 
-    /// Starts the worker thread (`Created` → `Running`).
+    /// Starts execution (`Created` → `Running`): hands a [`StreamletTask`]
+    /// to the handle's executor.
     pub fn start(self: &Arc<Self>) -> Result<(), CoreError> {
         let mut state = self.shared.state.lock();
         if *state != LifecycleState::Created {
@@ -458,20 +535,27 @@ impl StreamletHandle {
                 message: format!("cannot start from {:?}", *state),
             });
         }
-        let logic = self.logic_slot.lock().take().ok_or_else(|| CoreError::Lifecycle {
-            name: self.shared.name.clone(),
-            message: "logic already taken".into(),
-        })?;
+        let logic = self
+            .logic_slot
+            .lock()
+            .take()
+            .ok_or_else(|| CoreError::Lifecycle {
+                name: self.shared.name.clone(),
+                message: "logic already taken".into(),
+            })?;
         *state = LifecycleState::Running;
         drop(state);
 
-        let shared = self.shared.clone();
-        let slot = self.logic_slot.clone();
-        let handle = std::thread::Builder::new()
-            .name(format!("streamlet-{}", self.shared.name))
-            .spawn(move || worker(shared, slot, logic))
-            .expect("spawn streamlet thread");
-        *self.join.lock() = Some(handle);
+        let task = Arc::new(StreamletTask {
+            shared: self.shared.clone(),
+            park: self.logic_slot.clone(),
+            running: Mutex::new(Some(logic)),
+            activated: AtomicBool::new(false),
+            scheduled: AtomicBool::new(false),
+        });
+        *self.task.lock() = Some(task.clone());
+        self.started.store(true, Ordering::Release);
+        self.executor.launch(task);
         Ok(())
     }
 
@@ -529,9 +613,10 @@ impl StreamletHandle {
         }
     }
 
-    /// Ends the streamlet: the worker exits and the logic object is parked
-    /// back in the handle (retrievable via [`Self::take_logic`] for
-    /// pooling).
+    /// Ends the streamlet: the task finalizes and the logic object is
+    /// parked back in the handle (retrievable via [`Self::take_logic`] for
+    /// pooling). Blocks until the task has exited, whichever executor
+    /// drives it.
     pub fn end(&self) {
         {
             let mut state = self.shared.state.lock();
@@ -542,9 +627,22 @@ impl StreamletHandle {
             self.shared.cv.notify_all();
         }
         self.shared.notifier.notify();
-        if let Some(h) = self.join.lock().take() {
-            let _ = h.join();
+        if !self.started.load(Ordering::Acquire) {
+            return;
         }
+        while !self.shared.exited.load(Ordering::Acquire) {
+            // Re-kick the scheduler each round in case a wakeup was lost.
+            self.shared.notifier.notify();
+            let mut state = self.shared.state.lock();
+            if self.shared.exited.load(Ordering::Acquire) {
+                break;
+            }
+            self.shared
+                .cv
+                .wait_for(&mut state, Duration::from_millis(20));
+        }
+        // The task has finalized; release our ownership of it.
+        *self.task.lock() = None;
     }
 
     /// Takes the logic object back after `end()` (or before `start()`).
@@ -553,42 +651,169 @@ impl StreamletHandle {
     }
 }
 
-/// The worker loop: fetch from inputs, process, route emissions.
-fn worker(
+/// How a [`StreamletTask::pump`] call left the task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PumpOutcome {
+    /// Budget exhausted with work possibly remaining — reschedule.
+    More,
+    /// Nothing runnable right now (idle inputs, paused, or not started).
+    Idle,
+    /// The streamlet ended and its logic is parked; never reschedule.
+    Ended,
+}
+
+/// The executable unit an [`Executor`] drives: the streamlet's shared
+/// state plus its logic object. Exactly one driver runs a task at a time
+/// (a dedicated thread via [`Self::run_blocking`], or pool workers via
+/// [`Self::pump`] serialized by the scheduling mark).
+pub struct StreamletTask {
     shared: Arc<Shared>,
-    slot: Arc<Mutex<Option<Box<dyn StreamletLogic>>>>,
-    mut logic: Box<dyn StreamletLogic>,
-) {
-    logic.on_activate();
-    let idle_wait = Duration::from_millis(5);
-    'outer: loop {
-        // Snapshot before inspecting any state: a notify issued while we
-        // are checking queues/lifecycle is then caught by wait_unless.
-        let notified = shared.notifier.snapshot();
-        // Lifecycle gate.
-        {
-            let mut state = shared.state.lock();
-            loop {
-                match *state {
-                    LifecycleState::Running => break,
-                    LifecycleState::Paused => {
-                        if !shared.pause_acked.swap(true, Ordering::AcqRel) {
-                            logic.on_pause();
+    /// The handle's slot: the logic is parked back here at end for pooling.
+    park: Arc<Mutex<Option<Box<dyn StreamletLogic>>>>,
+    /// The logic while the task is live; `None` once finalized.
+    running: Mutex<Option<Box<dyn StreamletLogic>>>,
+    /// First-execution flag: `on_activate` fires exactly once.
+    activated: AtomicBool,
+    /// Run-queue membership mark (worker-pool scheduling protocol).
+    scheduled: AtomicBool,
+}
+
+impl StreamletTask {
+    /// Instance name (diagnostics, thread naming).
+    pub fn name(&self) -> &str {
+        &self.shared.name
+    }
+
+    /// Installs a callback fired on every wakeup source (queue post,
+    /// lifecycle transition, control command). Worker pools use this to
+    /// move the task onto their run-queue.
+    pub fn set_wake_hook(&self, hook: impl Fn() + Send + Sync + 'static) {
+        self.shared.notifier.set_hook(hook);
+    }
+
+    /// Removes the wake hook installed by [`Self::set_wake_hook`].
+    pub fn clear_wake_hook(&self) {
+        self.shared.notifier.clear_hook();
+    }
+
+    /// Atomically marks the task as queued; returns `true` when the caller
+    /// won the mark and must enqueue it.
+    pub fn try_mark_scheduled(&self) -> bool {
+        !self.scheduled.swap(true, Ordering::AcqRel)
+    }
+
+    /// Clears the run-queue membership mark (after a pump completes).
+    pub fn clear_scheduled(&self) {
+        self.scheduled.store(false, Ordering::Release);
+    }
+
+    /// True when a pump would make progress: unserviced lifecycle
+    /// transition, pending control command, or a non-empty input.
+    pub fn has_pending_work(&self) -> bool {
+        let state = *self.shared.state.lock();
+        match state {
+            LifecycleState::Ended => !self.shared.exited.load(Ordering::Acquire),
+            LifecycleState::Paused => !self.shared.pause_acked.load(Ordering::Acquire),
+            LifecycleState::Created => false,
+            LifecycleState::Running => {
+                !self.shared.controls.lock().is_empty()
+                    || self.shared.inputs.read().iter().any(|(_, q)| !q.is_empty())
+            }
+        }
+    }
+
+    /// Dedicated-thread driver: blocks on the notifier when idle and only
+    /// returns once the streamlet ends (the paper's `Streamlet.run()`).
+    pub fn run_blocking(&self) {
+        let Some(mut logic) = self.running.lock().take() else {
+            return;
+        };
+        if !self.activated.swap(true, Ordering::AcqRel) {
+            logic.on_activate();
+        }
+        let shared = &self.shared;
+        let idle_wait = Duration::from_millis(5);
+        'outer: loop {
+            // Snapshot before inspecting any state: a notify issued while
+            // we are checking queues/lifecycle is then caught by
+            // wait_unless.
+            let notified = shared.notifier.snapshot();
+            // Lifecycle gate.
+            {
+                let mut state = shared.state.lock();
+                loop {
+                    match *state {
+                        LifecycleState::Running => break,
+                        LifecycleState::Paused => {
+                            if !shared.pause_acked.swap(true, Ordering::AcqRel) {
+                                logic.on_pause();
+                            }
+                            shared.cv.wait(&mut state);
                         }
-                        shared.cv.wait(&mut state);
-                    }
-                    LifecycleState::Ended => break 'outer,
-                    LifecycleState::Created => {
-                        shared.cv.wait(&mut state);
+                        LifecycleState::Ended => break 'outer,
+                        LifecycleState::Created => {
+                            shared.cv.wait(&mut state);
+                        }
                     }
                 }
             }
+            self.service_controls(logic.as_mut());
+            if !self.step(logic.as_mut()) {
+                shared.notifier.wait_unless(notified, idle_wait);
+            }
         }
+        self.finalize(logic);
+    }
 
-        // Service pending control commands (§8.2.1) between messages.
+    /// Pool-worker driver: runs up to `budget` messages without ever
+    /// blocking, then reports how it left the task. Lifecycle handling
+    /// mirrors [`Self::run_blocking`] except that instead of waiting on
+    /// condition variables the task goes [`PumpOutcome::Idle`] and relies
+    /// on the wake hook to be rescheduled.
+    pub fn pump(&self, budget: usize) -> PumpOutcome {
+        let mut slot = self.running.lock();
+        if slot.is_none() {
+            // Already finalized (or owned by a run_blocking driver).
+            return PumpOutcome::Ended;
+        }
+        if !self.activated.swap(true, Ordering::AcqRel) {
+            slot.as_mut().expect("checked").on_activate();
+        }
+        for _ in 0..budget.max(1) {
+            // Copy the state out so the guard drops before the arms run:
+            // the `Ended` arm's finalize re-locks `state`.
+            let state = { *self.shared.state.lock() };
+            match state {
+                LifecycleState::Running => {}
+                LifecycleState::Paused => {
+                    if !self.shared.pause_acked.swap(true, Ordering::AcqRel) {
+                        slot.as_mut().expect("checked").on_pause();
+                    }
+                    return PumpOutcome::Idle;
+                }
+                LifecycleState::Ended => {
+                    let logic = slot.take().expect("checked");
+                    drop(slot);
+                    self.finalize(logic);
+                    return PumpOutcome::Ended;
+                }
+                LifecycleState::Created => return PumpOutcome::Idle,
+            }
+            let logic = slot.as_mut().expect("checked");
+            self.service_controls(logic.as_mut());
+            let logic = slot.as_mut().expect("checked");
+            if !self.step(logic.as_mut()) {
+                return PumpOutcome::Idle;
+            }
+        }
+        PumpOutcome::More
+    }
+
+    /// Services pending control commands (§8.2.1) between messages.
+    fn service_controls(&self, logic: &mut dyn StreamletLogic) {
         loop {
             let req = {
-                let mut controls = shared.controls.lock();
+                let mut controls = self.shared.controls.lock();
                 if controls.is_empty() {
                     break;
                 }
@@ -599,10 +824,18 @@ fn worker(
             *slot.lock() = Some(result);
             cv.notify_all();
         }
+    }
 
-        // Round-robin over input queues.
-        let inputs: Vec<Arc<MessageQueue>> =
-            shared.inputs.read().iter().map(|(_, q)| q.clone()).collect();
+    /// Fetches one message round-robin and processes it. Returns `false`
+    /// when every input was empty (no progress possible).
+    fn step(&self, logic: &mut dyn StreamletLogic) -> bool {
+        let shared = &self.shared;
+        let inputs: Vec<Arc<MessageQueue>> = shared
+            .inputs
+            .read()
+            .iter()
+            .map(|(_, q)| q.clone())
+            .collect();
         let mut got = None;
         for q in &inputs {
             if let FetchResult::Msg(p) = q.try_fetch() {
@@ -611,11 +844,11 @@ fn worker(
             }
         }
         let Some(payload) = got else {
-            shared.notifier.wait_unless(notified, idle_wait);
-            continue;
+            return false;
         };
         let Some(msg) = shared.pool.resolve(payload) else {
-            continue;
+            // Dangling reference: progress was made (the slot is drained).
+            return true;
         };
 
         shared.processing.store(true, Ordering::Release);
@@ -633,9 +866,21 @@ fn worker(
                 shared.errors.fetch_add(1, Ordering::Relaxed);
             }
         }
+        true
     }
-    logic.on_end();
-    *slot.lock() = Some(logic);
+
+    /// Runs `on_end`, parks the logic back in the handle, and publishes
+    /// the exit so `end()` waiters wake up.
+    fn finalize(&self, mut logic: Box<dyn StreamletLogic>) {
+        logic.on_end();
+        *self.park.lock() = Some(logic);
+        {
+            let _state = self.shared.state.lock();
+            self.shared.exited.store(true, Ordering::Release);
+            self.shared.cv.notify_all();
+        }
+        self.shared.notifier.notify();
+    }
 }
 
 #[cfg(test)]
@@ -659,19 +904,32 @@ mod tests {
     struct Exploder;
     impl StreamletLogic for Exploder {
         fn process(&mut self, _: MimeMessage, _: &mut StreamletCtx) -> Result<(), CoreError> {
-            Err(CoreError::Process { streamlet: "exploder".into(), message: "bang".into() })
+            Err(CoreError::Process {
+                streamlet: "exploder".into(),
+                message: "bang".into(),
+            })
         }
     }
 
-    fn pipeline() -> (Arc<MessagePool>, Arc<MessageQueue>, Arc<MessageQueue>, Arc<StreamletHandle>)
-    {
+    fn pipeline() -> (
+        Arc<MessagePool>,
+        Arc<MessageQueue>,
+        Arc<MessageQueue>,
+        Arc<StreamletHandle>,
+    ) {
         let pool = Arc::new(MessagePool::new());
         let qin = MessageQueue::new(
-            QueueConfig { name: "cin".into(), ..Default::default() },
+            QueueConfig {
+                name: "cin".into(),
+                ..Default::default()
+            },
             pool.clone(),
         );
         let qout = MessageQueue::new(
-            QueueConfig { name: "cout".into(), ..Default::default() },
+            QueueConfig {
+                name: "cout".into(),
+                ..Default::default()
+            },
             pool.clone(),
         );
         let h = StreamletHandle::new(
@@ -690,7 +948,10 @@ mod tests {
 
     fn post_text(pool: &MessagePool, q: &MessageQueue, s: &str) {
         let msg = MimeMessage::text(s);
-        assert_eq!(q.post(pool.wrap(msg, PayloadMode::Reference, 1)), PostResult::Posted);
+        assert_eq!(
+            q.post(pool.wrap(msg, PayloadMode::Reference, 1)),
+            PostResult::Posted
+        );
     }
 
     fn fetch_text(pool: &MessagePool, q: &MessageQueue) -> String {
@@ -738,7 +999,10 @@ mod tests {
         assert_eq!(h.state(), LifecycleState::Paused);
         post_text(&pool, &qin, "b");
         // Paused: nothing comes out.
-        assert!(matches!(qout.fetch(Duration::from_millis(50)), FetchResult::Empty));
+        assert!(matches!(
+            qout.fetch(Duration::from_millis(50)),
+            FetchResult::Empty
+        ));
         h.activate().unwrap();
         assert_eq!(fetch_text(&pool, &qout), "B");
         h.end();
@@ -748,7 +1012,10 @@ mod tests {
     fn end_returns_logic_for_pooling() {
         let (_pool, _qin, _qout, h) = pipeline();
         h.start().unwrap();
-        assert!(h.take_logic().is_none(), "logic lives on the worker while running");
+        assert!(
+            h.take_logic().is_none(),
+            "logic lives on the worker while running"
+        );
         h.end();
         assert!(h.take_logic().is_some(), "logic parked back after end");
     }
@@ -830,11 +1097,17 @@ mod tests {
         let pool = Arc::new(MessagePool::new());
         let qin = MessageQueue::new(QueueConfig::default(), pool.clone());
         let qa = MessageQueue::new(
-            QueueConfig { name: "a".into(), ..Default::default() },
+            QueueConfig {
+                name: "a".into(),
+                ..Default::default()
+            },
             pool.clone(),
         );
         let qb = MessageQueue::new(
-            QueueConfig { name: "b".into(), ..Default::default() },
+            QueueConfig {
+                name: "b".into(),
+                ..Default::default()
+            },
             pool.clone(),
         );
         let h = StreamletHandle::new(
@@ -914,7 +1187,11 @@ mod tests {
             FetchResult::Msg(Payload::Value(m)) => assert_eq!(&m.body[..], b"V"),
             other => panic!("expected value payload, got {other:?}"),
         }
-        assert_eq!(pool.stats().inserted, 0, "value mode never touches the pool");
+        assert_eq!(
+            pool.stats().inserted,
+            0,
+            "value mode never touches the pool"
+        );
         h.end();
     }
 }

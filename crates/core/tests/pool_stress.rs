@@ -1,0 +1,230 @@
+//! Concurrency and equivalence tests for the sharded [`MessagePool`].
+//!
+//! * an 8 producer × 8 consumer stress run, with a concurrent auditor
+//!   asserting the lifetime invariant `resident + evicted == inserted`
+//!   from the lock-free [`MessagePool::stats`] while the race is live;
+//! * a property test driving an identical random op sequence through a
+//!   single-shard pool and an 8-shard pool and requiring observational
+//!   equivalence (every return value and the final stats match).
+
+use bytes::Bytes;
+use mobigate_core::pool::{MessageId, MessagePool};
+use mobigate_mime::{MimeMessage, MimeType};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+
+const PRODUCERS: usize = 8;
+const CONSUMERS: usize = 8;
+const OPS_PER_PRODUCER: usize = 2_000;
+
+#[test]
+fn stress_8_producers_8_consumers_accounting_stays_consistent() {
+    let pool = Arc::new(MessagePool::with_shards(8));
+    let (tx, rx) = mpsc::channel::<MessageId>();
+    let rx = Arc::new(Mutex::new(rx));
+    let done = Arc::new(AtomicBool::new(false));
+
+    // Auditor: sample the lock-free stats mid-race; the invariant must hold
+    // at every instant, not just at quiescence.
+    let audit_pool = pool.clone();
+    let audit_done = done.clone();
+    let auditor = thread::spawn(move || {
+        let mut samples = 0u64;
+        while !audit_done.load(Ordering::Acquire) {
+            let s = audit_pool.stats();
+            assert_eq!(
+                s.resident as u64 + s.evicted,
+                s.inserted,
+                "mid-race stats violated resident + evicted == inserted: {s:?}"
+            );
+            samples += 1;
+        }
+        assert!(samples > 0);
+    });
+
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let pool = pool.clone();
+            let tx = tx.clone();
+            thread::spawn(move || {
+                for i in 0..OPS_PER_PRODUCER {
+                    let msg = MimeMessage::new(
+                        &MimeType::new("text", "plain"),
+                        Bytes::from(format!("p{p}-m{i}")),
+                    );
+                    // Two references: the consumer takes one and drops one.
+                    let id = pool.insert(msg, 2);
+                    tx.send(id).expect("consumer alive");
+                }
+            })
+        })
+        .collect();
+    drop(tx);
+
+    let consumers: Vec<_> = (0..CONSUMERS)
+        .map(|_| {
+            let pool = pool.clone();
+            let rx = rx.clone();
+            thread::spawn(move || {
+                let mut taken = 0usize;
+                loop {
+                    let id = match rx.lock().expect("not poisoned").recv() {
+                        Ok(id) => id,
+                        Err(_) => return taken,
+                    };
+                    assert!(pool.peek_len(id).is_some(), "id live until both refs go");
+                    assert!(pool.take_ref(id).is_some(), "first ref yields the message");
+                    pool.drop_ref(id); // second ref evicts
+                    taken += 1;
+                }
+            })
+        })
+        .collect();
+
+    for p in producers {
+        p.join().expect("producer ok");
+    }
+    let total_taken: usize = consumers
+        .into_iter()
+        .map(|c| c.join().expect("consumer ok"))
+        .sum();
+    done.store(true, Ordering::Release);
+    auditor.join().expect("auditor ok");
+
+    assert_eq!(total_taken, PRODUCERS * OPS_PER_PRODUCER);
+    let s = pool.stats();
+    assert_eq!(s.inserted, (PRODUCERS * OPS_PER_PRODUCER) as u64);
+    assert_eq!(s.evicted, s.inserted, "every message evicted");
+    assert_eq!(s.resident, 0);
+    assert_eq!(s.resident_bytes, 0);
+}
+
+/// One decoded step of the random op program.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert { body_len: usize, refs: u32 },
+    AddRefs { idx: usize, n: u32 },
+    Peek { idx: usize },
+    PeekLen { idx: usize },
+    TakeRef { idx: usize },
+    DropRef { idx: usize },
+}
+
+/// Packs a raw `u32` into an op: low bits select the kind, the rest select
+/// the target index / parameters, so `vec(any::<u32>(), ..)` is a program.
+fn decode(raw: u32) -> Op {
+    let idx = (raw >> 8) as usize;
+    match raw % 6 {
+        0 => Op::Insert {
+            body_len: (raw >> 8) as usize % 512,
+            refs: (raw >> 4) % 4,
+        },
+        1 => Op::AddRefs {
+            idx,
+            n: (raw >> 4) % 3 + 1,
+        },
+        2 => Op::Peek { idx },
+        3 => Op::PeekLen { idx },
+        4 => Op::TakeRef { idx },
+        _ => Op::DropRef { idx },
+    }
+}
+
+/// Applies one op to a pool, returning an observation string that must be
+/// identical across equivalent pools.
+fn apply(pool: &MessagePool, ids: &[MessageId], op: Op) -> (String, Option<MessageId>) {
+    let pick = |idx: usize| -> Option<MessageId> {
+        if ids.is_empty() {
+            None
+        } else {
+            Some(ids[idx % ids.len()])
+        }
+    };
+    match op {
+        Op::Insert { body_len, refs } => {
+            let msg = MimeMessage::new(
+                &MimeType::new("application", "octet-stream"),
+                vec![0xA5u8; body_len],
+            );
+            let id = pool.insert(msg, refs);
+            (format!("insert -> {}", id.0), Some(id))
+        }
+        Op::AddRefs { idx, n } => match pick(idx) {
+            Some(id) => (
+                format!("add_refs({}) -> {}", id.0, pool.add_refs(id, n)),
+                None,
+            ),
+            None => ("add_refs(none)".into(), None),
+        },
+        Op::Peek { idx } => match pick(idx) {
+            Some(id) => (
+                format!(
+                    "peek({}) -> {:?}",
+                    id.0,
+                    pool.peek(id).map(|m| m.body.len())
+                ),
+                None,
+            ),
+            None => ("peek(none)".into(), None),
+        },
+        Op::PeekLen { idx } => match pick(idx) {
+            Some(id) => (
+                format!("peek_len({}) -> {:?}", id.0, pool.peek_len(id)),
+                None,
+            ),
+            None => ("peek_len(none)".into(), None),
+        },
+        Op::TakeRef { idx } => match pick(idx) {
+            Some(id) => (
+                format!(
+                    "take_ref({}) -> {:?}",
+                    id.0,
+                    pool.take_ref(id).map(|m| m.body.len())
+                ),
+                None,
+            ),
+            None => ("take_ref(none)".into(), None),
+        },
+        Op::DropRef { idx } => match pick(idx) {
+            Some(id) => {
+                pool.drop_ref(id);
+                (format!("drop_ref({})", id.0), None)
+            }
+            None => ("drop_ref(none)".into(), None),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// A single-shard pool (the paper's single-lock design) and an 8-shard
+    /// pool are observationally equivalent under any op sequence.
+    #[test]
+    fn sharded_pool_matches_single_shard(raw_ops in prop::collection::vec(any::<u32>(), 0..200)) {
+        let single = MessagePool::with_shards(1);
+        let sharded = MessagePool::with_shards(8);
+        prop_assert_eq!(single.shard_count(), 1);
+        prop_assert_eq!(sharded.shard_count(), 8);
+
+        let mut ids_single = Vec::new();
+        let mut ids_sharded = Vec::new();
+        for (&raw, step) in raw_ops.iter().zip(0..) {
+            let op = decode(raw);
+            let (obs_s, new_s) = apply(&single, &ids_single, op);
+            let (obs_n, new_n) = apply(&sharded, &ids_sharded, op);
+            prop_assert_eq!(&obs_s, &obs_n, "step {} diverged on {:?}", step, op);
+            if let Some(id) = new_s {
+                ids_single.push(id);
+            }
+            if let Some(id) = new_n {
+                ids_sharded.push(id);
+            }
+            let (ss, sn) = (single.stats(), sharded.stats());
+            prop_assert_eq!(ss, sn, "stats diverged at step {} on {:?}", step, op);
+            prop_assert_eq!(ss.resident as u64 + ss.evicted, ss.inserted);
+        }
+    }
+}

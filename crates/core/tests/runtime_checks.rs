@@ -38,7 +38,11 @@ fn runtime_type_check_suppresses_mismatched_emissions() {
     let qin = MessageQueue::new(QueueConfig::default(), pool.clone());
     // A text-only channel downstream.
     let qout = MessageQueue::new(
-        QueueConfig { name: "textchan".into(), ty: "text".parse().unwrap(), ..Default::default() },
+        QueueConfig {
+            name: "textchan".into(),
+            ty: "text".parse().unwrap(),
+            ..Default::default()
+        },
         pool.clone(),
     );
     let opts = RouteOpts {
@@ -59,9 +63,16 @@ fn runtime_type_check_suppresses_mismatched_emissions() {
     h.attach_out("po", &qout);
     h.start().unwrap();
 
-    qin.post(pool.wrap(MimeMessage::text("becomes an image"), PayloadMode::Reference, 1));
+    qin.post(pool.wrap(
+        MimeMessage::text("becomes an image"),
+        PayloadMode::Reference,
+        1,
+    ));
     // The image/gif emission must never reach the text channel.
-    assert!(matches!(qout.fetch(Duration::from_millis(300)), FetchResult::Empty));
+    assert!(matches!(
+        qout.fetch(Duration::from_millis(300)),
+        FetchResult::Empty
+    ));
     assert_eq!(h.stats().type_violations, 1);
     h.end();
 }
@@ -71,7 +82,11 @@ fn runtime_type_check_off_by_default() {
     let pool = Arc::new(MessagePool::new());
     let qin = MessageQueue::new(QueueConfig::default(), pool.clone());
     let qout = MessageQueue::new(
-        QueueConfig { name: "textchan".into(), ty: "text".parse().unwrap(), ..Default::default() },
+        QueueConfig {
+            name: "textchan".into(),
+            ty: "text".parse().unwrap(),
+            ..Default::default()
+        },
         pool.clone(),
     );
     let h = StreamletHandle::new(
@@ -87,7 +102,10 @@ fn runtime_type_check_off_by_default() {
     h.attach_out("po", &qout);
     h.start().unwrap();
     qin.post(pool.wrap(MimeMessage::text("x"), PayloadMode::Reference, 1));
-    assert!(matches!(qout.fetch(Duration::from_secs(2)), FetchResult::Msg(_)));
+    assert!(matches!(
+        qout.fetch(Duration::from_secs(2)),
+        FetchResult::Msg(_)
+    ));
     assert_eq!(h.stats().type_violations, 0);
     h.end();
 }
@@ -134,7 +152,10 @@ fn slow_consumer_drops_messages_per_figure_6_9() {
     let produced_in = t0.elapsed();
     // The producer finished long before the slow consumer could have
     // processed 30 × 30 ms of work.
-    assert!(produced_in < Duration::from_millis(600), "producer stalled: {produced_in:?}");
+    assert!(
+        produced_in < Duration::from_millis(600),
+        "producer stalled: {produced_in:?}"
+    );
 
     // Drain whatever survived.
     let mut survived = 0;
@@ -144,8 +165,14 @@ fn slow_consumer_drops_messages_per_figure_6_9() {
     }
     let stats = chan.stats();
     assert_eq!(stats.posted + stats.dropped_full, n, "every post accounted");
-    assert!(stats.dropped_full > 0, "the narrow channel must have dropped");
-    assert_eq!(survived as u64, stats.posted, "everything admitted was processed");
+    assert!(
+        stats.dropped_full > 0,
+        "the narrow channel must have dropped"
+    );
+    assert_eq!(
+        survived as u64, stats.posted,
+        "everything admitted was processed"
+    );
     // Dropped refs were reclaimed — no leaks in the message pool.
     assert_eq!(pool.stats().resident, 0);
     slow.end();
@@ -157,11 +184,7 @@ fn to_dot_reflects_live_topology() {
     gate.directory().register("echo", "", || {
         struct Echo;
         impl StreamletLogic for Echo {
-            fn process(
-                &mut self,
-                m: MimeMessage,
-                ctx: &mut StreamletCtx,
-            ) -> Result<(), CoreError> {
+            fn process(&mut self, m: MimeMessage, ctx: &mut StreamletCtx) -> Result<(), CoreError> {
                 ctx.emit("po", m);
                 Ok(())
             }
@@ -185,7 +208,9 @@ fn to_dot_reflects_live_topology() {
     assert!(dot.contains("\"a\" -> \"b\""));
     assert!(dot.contains("(echo)"));
     // After an insert, the new node shows up.
-    stream.insert_streamlet(("a", "po"), ("b", "pi"), "mid", "echo").unwrap();
+    stream
+        .insert_streamlet(("a", "po"), ("b", "pi"), "mid", "echo")
+        .unwrap();
     let dot2 = stream.to_dot();
     assert!(dot2.contains("\"a\" -> \"mid\""));
     assert!(dot2.contains("\"mid\" -> \"b\""));
@@ -212,9 +237,10 @@ impl StreamletLogic for Repeater {
                 })?;
                 Ok(())
             }
-            other => {
-                Err(CoreError::NotFound { kind: "control parameter", name: other.into() })
-            }
+            other => Err(CoreError::NotFound {
+                kind: "control parameter",
+                name: other.into(),
+            }),
         }
     }
 }
@@ -238,20 +264,34 @@ fn control_interface_reaches_live_worker() {
     h.start().unwrap();
 
     qin.post(pool.wrap(MimeMessage::text("once"), PayloadMode::Reference, 1));
-    assert!(matches!(qout.fetch(Duration::from_secs(2)), FetchResult::Msg(_)));
+    assert!(matches!(
+        qout.fetch(Duration::from_secs(2)),
+        FetchResult::Msg(_)
+    ));
 
     // Live parameter change through the control interface.
-    h.set_parameter("times", "3", Duration::from_secs(2)).unwrap();
+    h.set_parameter("times", "3", Duration::from_secs(2))
+        .unwrap();
     qin.post(pool.wrap(MimeMessage::text("thrice"), PayloadMode::Reference, 1));
     for _ in 0..3 {
-        assert!(matches!(qout.fetch(Duration::from_secs(2)), FetchResult::Msg(_)));
+        assert!(matches!(
+            qout.fetch(Duration::from_secs(2)),
+            FetchResult::Msg(_)
+        ));
     }
-    assert!(matches!(qout.fetch(Duration::from_millis(100)), FetchResult::Empty));
+    assert!(matches!(
+        qout.fetch(Duration::from_millis(100)),
+        FetchResult::Empty
+    ));
 
     // Unknown keys surface the streamlet's error.
-    assert!(h.set_parameter("volume", "11", Duration::from_secs(2)).is_err());
+    assert!(h
+        .set_parameter("volume", "11", Duration::from_secs(2))
+        .is_err());
     h.end();
-    assert!(h.set_parameter("times", "1", Duration::from_millis(100)).is_err());
+    assert!(h
+        .set_parameter("times", "1", Duration::from_millis(100))
+        .is_err());
 }
 
 mod reconfig_actions {
@@ -340,7 +380,10 @@ mod reconfig_actions {
     fn end_event_shuts_down_via_coordination() {
         let g = gate();
         let stream = g.deploy_mcl(SRC).unwrap();
-        g.raise_event(&mobigate_core::ContextEvent::targeted(EventKind::End, "acts"));
+        g.raise_event(&mobigate_core::ContextEvent::targeted(
+            EventKind::End,
+            "acts",
+        ));
         stream.post_input(MimeMessage::text("too late")).unwrap();
         assert!(stream.take_output(Duration::from_millis(150)).is_none());
     }

@@ -60,7 +60,10 @@ impl StreamGraph {
         }
         for c in &table.connections {
             if g.nodes.contains_key(&c.from.0) && g.nodes.contains_key(&c.to.0) {
-                g.edges.entry(c.from.0.clone()).or_default().insert(c.to.0.clone());
+                g.edges
+                    .entry(c.from.0.clone())
+                    .or_default()
+                    .insert(c.to.0.clone());
                 g.connected_outputs.insert(c.from.clone());
             }
         }
@@ -102,7 +105,11 @@ impl StreamGraph {
 
     /// Direct successors of an instance.
     pub fn successors(&self, inst: &str) -> impl Iterator<Item = &str> {
-        self.edges.get(inst).into_iter().flatten().map(String::as_str)
+        self.edges
+            .get(inst)
+            .into_iter()
+            .flatten()
+            .map(String::as_str)
     }
 
     /// `(a, b) ∈ connect⁺` — the transitive (non-reflexive) closure used by
@@ -287,7 +294,11 @@ impl StreamGraph {
     /// All (instance of `def_a`, instance of `def_b`) pairs.
     fn instance_pairs(&self, def_a: &str, def_b: &str) -> Vec<(String, String)> {
         let of = |d: &str| -> Vec<&String> {
-            self.nodes.iter().filter(|(_, v)| *v == d).map(|(k, _)| k).collect()
+            self.nodes
+                .iter()
+                .filter(|(_, v)| *v == d)
+                .map(|(k, _)| k)
+                .collect()
         };
         let mut pairs = Vec::new();
         for a in of(def_a) {
@@ -333,10 +344,14 @@ impl AnalysisReport {
             out.push_str(&format!("feedback loop: {}\n", cycle.join(" -> ")));
         }
         for (i, p) in &self.open_circuits {
-            out.push_str(&format!("open circuit: output port {i}.{p} is unconnected\n"));
+            out.push_str(&format!(
+                "open circuit: output port {i}.{p} is unconnected\n"
+            ));
         }
         for (a, b) in &self.mutual_exclusions {
-            out.push_str(&format!("mutual exclusion violated: {a} and {b} share a path\n"));
+            out.push_str(&format!(
+                "mutual exclusion violated: {a} and {b} share a path\n"
+            ));
         }
         for (a, b) in &self.dependency_violations {
             out.push_str(&format!("dependency violated: {a} deployed without {b}\n"));
@@ -471,7 +486,9 @@ mod tests {
             &[("sw", "switch"), ("e1", "enc"), ("c1", "comp")],
             &[("sw", "e1"), ("sw", "c1")],
         );
-        assert!(graph.mutual_exclusions(&[("enc".into(), "comp".into())]).is_empty());
+        assert!(graph
+            .mutual_exclusions(&[("enc".into(), "comp".into())])
+            .is_empty());
     }
 
     #[test]
@@ -481,21 +498,22 @@ mod tests {
         assert_eq!(v.len(), 1);
         // Satisfied once the co-required definition is present.
         let graph2 = g(&[("e1", "enc"), ("d1", "dec")], &[]);
-        assert!(graph2.dependency_violations(&[("enc".into(), "dec".into())]).is_empty());
+        assert!(graph2
+            .dependency_violations(&[("enc".into(), "dec".into())])
+            .is_empty());
     }
 
     #[test]
     fn preorder_violation_detected() {
         // Compression before encryption is wrong when enc must precede comp.
-        let graph = g(
-            &[("c1", "comp"), ("e1", "enc")],
-            &[("c1", "e1")],
-        );
+        let graph = g(&[("c1", "comp"), ("e1", "enc")], &[("c1", "e1")]);
         let v = graph.preorder_violations(&[("enc".into(), "comp".into())]);
         assert_eq!(v, vec![("e1".to_string(), "c1".to_string())]);
         // The right order passes.
         let graph2 = g(&[("e1", "enc"), ("c1", "comp")], &[("e1", "c1")]);
-        assert!(graph2.preorder_violations(&[("enc".into(), "comp".into())]).is_empty());
+        assert!(graph2
+            .preorder_violations(&[("enc".into(), "comp".into())])
+            .is_empty());
     }
 
     #[test]
@@ -506,7 +524,9 @@ mod tests {
         assert_eq!(v.len(), 1);
         // Only one deployed: vacuously fine.
         let graph2 = g(&[("e1", "enc")], &[]);
-        assert!(graph2.preorder_violations(&[("enc".into(), "comp".into())]).is_empty());
+        assert!(graph2
+            .preorder_violations(&[("enc".into(), "comp".into())])
+            .is_empty());
     }
 
     #[test]
@@ -532,7 +552,10 @@ mod tests {
         assert!(graph.open_circuits(&allowed).is_empty());
         // Without the allowance, y.o is open.
         let none = HashSet::new();
-        assert_eq!(graph.open_circuits(&none), vec![("y".to_string(), "o".to_string())]);
+        assert_eq!(
+            graph.open_circuits(&none),
+            vec![("y".to_string(), "o".to_string())]
+        );
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //! extension the thesis lists as future work in §8.2.2).
 
 use crate::error::Span;
-use serde::{Deserialize, Serialize};
 use mobigate_mime::MimeType;
+use serde::{Deserialize, Serialize};
 
 /// A whole MCL compilation unit.
 #[derive(Debug, Clone, Default)]
@@ -168,27 +168,57 @@ impl std::fmt::Display for PortRef {
 #[derive(Debug, Clone)]
 pub enum StreamStmt {
     /// `streamlet a, b = new-streamlet (def);`
-    NewStreamlet { names: Vec<String>, def: String, span: Span },
+    NewStreamlet {
+        names: Vec<String>,
+        def: String,
+        span: Span,
+    },
     /// `channel c1, c2 = new-channel (def);`
-    NewChannel { names: Vec<String>, def: String, span: Span },
+    NewChannel {
+        names: Vec<String>,
+        def: String,
+        span: Span,
+    },
     /// `remove-streamlet (a);`
     RemoveStreamlet { name: String, span: Span },
     /// `remove-channel (c);`
     RemoveChannel { name: String, span: Span },
     /// `connect (p.o, q.i [, c]);`
-    Connect { from: PortRef, to: PortRef, channel: Option<String>, span: Span },
+    Connect {
+        from: PortRef,
+        to: PortRef,
+        channel: Option<String>,
+        span: Span,
+    },
     /// `disconnect (p.o, q.i);`
-    Disconnect { from: PortRef, to: PortRef, span: Span },
+    Disconnect {
+        from: PortRef,
+        to: PortRef,
+        span: Span,
+    },
     /// `disconnectall (p);`
     DisconnectAll { instance: String, span: Span },
     /// `insert (p.o, q.i, n);` — convenience reconfiguration primitive
     /// (mirrors `Stream.insert` in Figure 6-4): splice instance `n` into the
     /// existing connection between two ports.
-    Insert { from: PortRef, to: PortRef, instance: String, span: Span },
+    Insert {
+        from: PortRef,
+        to: PortRef,
+        instance: String,
+        span: Span,
+    },
     /// `replace (old, new);` (Figure 6-4 composition primitive).
-    Replace { old: String, new: String, span: Span },
+    Replace {
+        old: String,
+        new: String,
+        span: Span,
+    },
     /// `when (EVENT) { ... }` — event-triggered reconfiguration (§4.2.3).
-    When { event: String, body: Vec<StreamStmt>, span: Span },
+    When {
+        event: String,
+        body: Vec<StreamStmt>,
+        span: Span,
+    },
 }
 
 impl StreamStmt {
@@ -267,7 +297,11 @@ mod tests {
 
     #[test]
     fn port_ref_displays_dotted() {
-        let p = PortRef { instance: "s1".into(), port: "po".into(), span: Span::default() };
+        let p = PortRef {
+            instance: "s1".into(),
+            port: "po".into(),
+            span: Span::default(),
+        };
         assert_eq!(p.to_string(), "s1.po");
     }
 

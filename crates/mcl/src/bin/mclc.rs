@@ -60,7 +60,10 @@ fn pick_stream<'p>(program: &'p Program, arg: Option<&str>) -> Option<(&'p str, 
         .map(str::to_string)
         .or_else(|| program.main_stream.clone())
         .or_else(|| program.streams.keys().next().cloned())?;
-    program.streams.get_key_value(&name).map(|(k, v)| (k.as_str(), v))
+    program
+        .streams
+        .get_key_value(&name)
+        .map(|(k, v)| (k.as_str(), v))
 }
 
 fn check(program: &Program) -> ExitCode {
@@ -125,7 +128,11 @@ fn dump_table(program: &Program, stream: Option<&str>) -> ExitCode {
             "    {:<24} def={:<20} {}",
             r.name,
             r.def,
-            if r.initial { "initial" } else { "lazy (when-block)" }
+            if r.initial {
+                "initial"
+            } else {
+                "lazy (when-block)"
+            }
         );
     }
     println!("  channels:");
@@ -137,7 +144,10 @@ fn dump_table(program: &Program, stream: Option<&str>) -> ExitCode {
     }
     println!("  connections:");
     for c in &table.connections {
-        println!("    {}.{} -> {}.{}  via {}", c.from.0, c.from.1, c.to.0, c.to.1, c.channel);
+        println!(
+            "    {}.{} -> {}.{}  via {}",
+            c.from.0, c.from.1, c.to.0, c.to.1, c.channel
+        );
     }
     println!("  exported inputs:");
     for (i, p, t) in &table.exported_inputs {
@@ -166,7 +176,10 @@ fn dump_dot(program: &Program, stream: Option<&str>) -> ExitCode {
     println!("  node [shape=box, style=rounded];");
     for r in &table.streamlets {
         let style = if r.initial { "" } else { ", style=dashed" };
-        println!("  \"{}\" [label=\"{}\\n({})\"{}];", r.name, r.name, r.def, style);
+        println!(
+            "  \"{}\" [label=\"{}\\n({})\"{}];",
+            r.name, r.name, r.def, style
+        );
     }
     for c in &table.connections {
         println!(

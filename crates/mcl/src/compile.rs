@@ -156,11 +156,17 @@ impl<'a> Compiler<'a> {
         if self.compiled.contains_key(name) {
             return Ok(());
         }
-        let def = *self.stream_asts.get(name).expect("caller checked existence");
+        let def = *self
+            .stream_asts
+            .get(name)
+            .expect("caller checked existence");
         if chain.iter().any(|c| c == name) {
             let mut cycle = chain.clone();
             cycle.push(name.to_string());
-            return Err(MclError::RecursiveCycle { span: def.span, chain: cycle });
+            return Err(MclError::RecursiveCycle {
+                span: def.span,
+                chain: cycle,
+            });
         }
         chain.push(name.to_string());
         let table = StreamBuilder::new(self, name).build(&def.body, chain)?;
@@ -176,7 +182,11 @@ fn lower_streamlet(def: &ast::StreamletDef) -> Result<StreamletSpec, MclError> {
     let mut seen = HashSet::new();
     for p in &def.ports {
         if !seen.insert(p.name.clone()) {
-            return Err(MclError::Duplicate { span: p.span, kind: "port", name: p.name.clone() });
+            return Err(MclError::Duplicate {
+                span: p.span,
+                kind: "port",
+                name: p.name.clone(),
+            });
         }
         match p.dir {
             PortDir::In => inputs.push((p.name.clone(), p.ty.clone())),
@@ -229,7 +239,10 @@ impl<'c, 'a> StreamBuilder<'c, 'a> {
     fn new(compiler: &'c mut Compiler<'a>, name: &str) -> Self {
         StreamBuilder {
             compiler,
-            table: ConfigTable { name: name.to_string(), ..Default::default() },
+            table: ConfigTable {
+                name: name.to_string(),
+                ..Default::default()
+            },
             instance_defs: HashMap::new(),
             channel_specs: HashMap::new(),
             composite_ports: HashMap::new(),
@@ -256,12 +269,11 @@ impl<'c, 'a> StreamBuilder<'c, 'a> {
         // matches Figure 4-8 where `s4` is connected only on LOW_ENERGY.
         for stmt in body {
             if let StreamStmt::When { event, body, span } = stmt {
-                let event: EventKind =
-                    event.parse().map_err(|_| MclError::Undefined {
-                        span: *span,
-                        kind: "event",
-                        name: event.clone(),
-                    })?;
+                let event: EventKind = event.parse().map_err(|_| MclError::Undefined {
+                    span: *span,
+                    kind: "event",
+                    name: event.clone(),
+                })?;
                 let mut actions = Vec::new();
                 for inner in body {
                     self.compile_action(inner, &mut actions, chain)?;
@@ -293,7 +305,12 @@ impl<'c, 'a> StreamBuilder<'c, 'a> {
                 }
                 Ok(())
             }
-            StreamStmt::Connect { from, to, channel, span } => {
+            StreamStmt::Connect {
+                from,
+                to,
+                channel,
+                span,
+            } => {
                 let conn = self.resolve_connect(from, to, channel.as_deref(), *span)?;
                 self.table.connections.push(conn);
                 Ok(())
@@ -302,7 +319,9 @@ impl<'c, 'a> StreamBuilder<'c, 'a> {
                 let f = self.resolve_endpoint(from, PortDir::Out, *span)?;
                 let t = self.resolve_endpoint(to, PortDir::In, *span)?;
                 let before = self.table.connections.len();
-                self.table.connections.retain(|c| !(c.from == f && c.to == t));
+                self.table
+                    .connections
+                    .retain(|c| !(c.from == f && c.to == t));
                 if self.table.connections.len() == before {
                     return Err(MclError::Undefined {
                         span: *span,
@@ -344,7 +363,12 @@ impl<'c, 'a> StreamBuilder<'c, 'a> {
                 self.table.connections.retain(|c| c.channel != *name);
                 Ok(())
             }
-            StreamStmt::Insert { from, to, instance, span } => {
+            StreamStmt::Insert {
+                from,
+                to,
+                instance,
+                span,
+            } => {
                 // Splice: from→to becomes from→instance.in, instance.out→to.
                 let f = self.resolve_endpoint(from, PortDir::Out, *span)?;
                 let t = self.resolve_endpoint(to, PortDir::In, *span)?;
@@ -362,12 +386,20 @@ impl<'c, 'a> StreamBuilder<'c, 'a> {
                 let (in_port, out_port) = self.single_ports(instance, *span)?;
                 let first = self.resolve_connect(
                     from,
-                    &ast::PortRef { instance: instance.clone(), port: in_port, span: *span },
+                    &ast::PortRef {
+                        instance: instance.clone(),
+                        port: in_port,
+                        span: *span,
+                    },
                     Some(&old.channel),
                     *span,
                 )?;
                 let second = self.resolve_connect(
-                    &ast::PortRef { instance: instance.clone(), port: out_port, span: *span },
+                    &ast::PortRef {
+                        instance: instance.clone(),
+                        port: out_port,
+                        span: *span,
+                    },
                     to,
                     None,
                     *span,
@@ -392,9 +424,10 @@ impl<'c, 'a> StreamBuilder<'c, 'a> {
                 }
                 // Verify every rewired endpoint exists on the replacement.
                 for c in &rewired {
-                    for (inst, port, dir) in
-                        [(&c.from.0, &c.from.1, PortDir::Out), (&c.to.0, &c.to.1, PortDir::In)]
-                    {
+                    for (inst, port, dir) in [
+                        (&c.from.0, &c.from.1, PortDir::Out),
+                        (&c.to.0, &c.to.1, PortDir::In),
+                    ] {
                         if inst == new {
                             self.port_type_of(inst, port, dir, *span)?;
                         }
@@ -421,18 +454,29 @@ impl<'c, 'a> StreamBuilder<'c, 'a> {
             StreamStmt::NewStreamlet { names, def, span } => {
                 for n in names {
                     self.new_streamlet(n, def, false, *span, chain)?;
-                    out.push(ReconfigAction::NewStreamlet { name: n.clone(), def: def.clone() });
+                    out.push(ReconfigAction::NewStreamlet {
+                        name: n.clone(),
+                        def: def.clone(),
+                    });
                 }
                 Ok(())
             }
             StreamStmt::NewChannel { names, def, span } => {
                 for n in names {
                     let spec = self.new_channel(n, def, *span)?;
-                    out.push(ReconfigAction::NewChannel { name: n.clone(), spec });
+                    out.push(ReconfigAction::NewChannel {
+                        name: n.clone(),
+                        spec,
+                    });
                 }
                 Ok(())
             }
-            StreamStmt::Connect { from, to, channel, span } => {
+            StreamStmt::Connect {
+                from,
+                to,
+                channel,
+                span,
+            } => {
                 let conn = self.resolve_connect(from, to, channel.as_deref(), *span)?;
                 // Reconfiguration-time channels created for the rule must
                 // also be materialized at reconfiguration time.
@@ -451,7 +495,9 @@ impl<'c, 'a> StreamBuilder<'c, 'a> {
             }
             StreamStmt::DisconnectAll { instance, span } => {
                 self.require_instance(instance, *span)?;
-                out.push(ReconfigAction::DisconnectAll { instance: instance.clone() });
+                out.push(ReconfigAction::DisconnectAll {
+                    instance: instance.clone(),
+                });
                 Ok(())
             }
             StreamStmt::RemoveStreamlet { name, span } => {
@@ -470,7 +516,12 @@ impl<'c, 'a> StreamBuilder<'c, 'a> {
                 out.push(ReconfigAction::RemoveChannel { name: name.clone() });
                 Ok(())
             }
-            StreamStmt::Insert { from, to, instance, span } => {
+            StreamStmt::Insert {
+                from,
+                to,
+                instance,
+                span,
+            } => {
                 let f = self.resolve_endpoint(from, PortDir::Out, *span)?;
                 let t = self.resolve_endpoint(to, PortDir::In, *span)?;
                 self.require_instance(instance, *span)?;
@@ -478,13 +529,20 @@ impl<'c, 'a> StreamBuilder<'c, 'a> {
                 let (in_port, out_port) = self.single_ports(instance, *span)?;
                 self.check_compat(from, to, *span)?;
                 let _ = (in_port, out_port);
-                out.push(ReconfigAction::Insert { from: f, to: t, instance: instance.clone() });
+                out.push(ReconfigAction::Insert {
+                    from: f,
+                    to: t,
+                    instance: instance.clone(),
+                });
                 Ok(())
             }
             StreamStmt::Replace { old, new, span } => {
                 self.require_instance(old, *span)?;
                 self.require_instance(new, *span)?;
-                out.push(ReconfigAction::Replace { old: old.clone(), new: new.clone() });
+                out.push(ReconfigAction::Replace {
+                    old: old.clone(),
+                    new: new.clone(),
+                });
                 Ok(())
             }
             StreamStmt::When { span, .. } => Err(MclError::Parse {
@@ -532,12 +590,7 @@ impl<'c, 'a> StreamBuilder<'c, 'a> {
         Ok(())
     }
 
-    fn new_channel(
-        &mut self,
-        name: &str,
-        def: &str,
-        span: Span,
-    ) -> Result<ChannelSpec, MclError> {
+    fn new_channel(&mut self, name: &str, def: &str, span: Span) -> Result<ChannelSpec, MclError> {
         if self.channel_specs.contains_key(name) {
             return Err(MclError::Duplicate {
                 span,
@@ -556,7 +609,10 @@ impl<'c, 'a> StreamBuilder<'c, 'a> {
                 name: def.to_string(),
             })?;
         self.channel_specs.insert(name.to_string(), spec.clone());
-        self.table.channels.push(ChannelRow { name: name.to_string(), spec: spec.clone() });
+        self.table.channels.push(ChannelRow {
+            name: name.to_string(),
+            spec: spec.clone(),
+        });
         Ok(spec)
     }
 
@@ -569,7 +625,12 @@ impl<'c, 'a> StreamBuilder<'c, 'a> {
         chain: &mut Vec<String>,
     ) -> Result<(), MclError> {
         self.compiler.compile_stream(stream_def, chain)?;
-        let inner = self.compiler.compiled.get(stream_def).expect("just compiled").clone();
+        let inner = self
+            .compiler
+            .compiled
+            .get(stream_def)
+            .expect("just compiled")
+            .clone();
 
         let rename = |s: &str| format!("{name}/{s}");
         let mut members = Vec::new();
@@ -586,7 +647,10 @@ impl<'c, 'a> StreamBuilder<'c, 'a> {
         for row in &inner.channels {
             let renamed = rename(&row.name);
             self.channel_specs.insert(renamed.clone(), row.spec.clone());
-            self.table.channels.push(ChannelRow { name: renamed, spec: row.spec.clone() });
+            self.table.channels.push(ChannelRow {
+                name: renamed,
+                spec: row.spec.clone(),
+            });
         }
         for c in &inner.connections {
             self.table.connections.push(ConnectionRow {
@@ -596,8 +660,15 @@ impl<'c, 'a> StreamBuilder<'c, 'a> {
             });
         }
         for rule in &inner.when_rules {
-            let actions = rule.actions.iter().map(|a| rename_action(a, &rename)).collect();
-            self.table.when_rules.push(WhenRule { event: rule.event, actions });
+            let actions = rule
+                .actions
+                .iter()
+                .map(|a| rename_action(a, &rename))
+                .collect();
+            self.table.when_rules.push(WhenRule {
+                event: rule.event,
+                actions,
+            });
         }
 
         // Map the composite's public ports. A facade streamlet definition
@@ -641,8 +712,10 @@ impl<'c, 'a> StreamBuilder<'c, 'a> {
                         sink_type: ity.to_string(),
                     });
                 }
-                self.composite_ports
-                    .insert((name.to_string(), fname.clone()), (inst.clone(), port.clone()));
+                self.composite_ports.insert(
+                    (name.to_string(), fname.clone()),
+                    (inst.clone(), port.clone()),
+                );
             }
             for ((fname, fty), (inst, port, ity)) in facade.outputs.iter().zip(&derived_out) {
                 // Inner output flows out through the facade: inner must
@@ -656,13 +729,17 @@ impl<'c, 'a> StreamBuilder<'c, 'a> {
                         sink_type: fty.to_string(),
                     });
                 }
-                self.composite_ports
-                    .insert((name.to_string(), fname.clone()), (inst.clone(), port.clone()));
+                self.composite_ports.insert(
+                    (name.to_string(), fname.clone()),
+                    (inst.clone(), port.clone()),
+                );
             }
         } else {
             for (inst, port, _) in derived_in.iter().chain(derived_out.iter()) {
-                self.composite_ports
-                    .insert((name.to_string(), port.clone()), (inst.clone(), port.clone()));
+                self.composite_ports.insert(
+                    (name.to_string(), port.clone()),
+                    (inst.clone(), port.clone()),
+                );
             }
         }
         self.composite_members.insert(name.to_string(), members);
@@ -688,12 +765,14 @@ impl<'c, 'a> StreamBuilder<'c, 'a> {
                 ),
             });
         }
-        let (inst, port) =
-            if let Some(mapped) = self.composite_ports.get(&(r.instance.clone(), r.port.clone())) {
-                mapped.clone()
-            } else {
-                (r.instance.clone(), r.port.clone())
-            };
+        let (inst, port) = if let Some(mapped) = self
+            .composite_ports
+            .get(&(r.instance.clone(), r.port.clone()))
+        {
+            mapped.clone()
+        } else {
+            (r.instance.clone(), r.port.clone())
+        };
         self.port_type_of(&inst, &port, dir, span)?;
         Ok((inst, port))
     }
@@ -706,8 +785,10 @@ impl<'c, 'a> StreamBuilder<'c, 'a> {
         dir: PortDir,
         span: Span,
     ) -> Result<MimeType, MclError> {
-        let def_name =
-            self.instance_defs.get(instance).ok_or_else(|| MclError::Undefined {
+        let def_name = self
+            .instance_defs
+            .get(instance)
+            .ok_or_else(|| MclError::Undefined {
                 span,
                 kind: "streamlet instance",
                 name: instance.to_string(),
@@ -725,7 +806,11 @@ impl<'c, 'a> StreamBuilder<'c, 'a> {
                         span,
                         message: format!(
                             "port `{instance}.{port}` exists but is not an {} port",
-                            if dir == PortDir::In { "input" } else { "output" }
+                            if dir == PortDir::In {
+                                "input"
+                            } else {
+                                "output"
+                            }
                         ),
                     })
                 } else {
@@ -763,8 +848,10 @@ impl<'c, 'a> StreamBuilder<'c, 'a> {
     /// The single (in, out) port pair of an instance — `insert` splices
     /// through streamlets with exactly one input and one output.
     fn single_ports(&self, instance: &str, span: Span) -> Result<(String, String), MclError> {
-        let def_name =
-            self.instance_defs.get(instance).ok_or_else(|| MclError::Undefined {
+        let def_name = self
+            .instance_defs
+            .get(instance)
+            .ok_or_else(|| MclError::Undefined {
                 span,
                 kind: "streamlet instance",
                 name: instance.to_string(),
@@ -818,8 +905,10 @@ impl<'c, 'a> StreamBuilder<'c, 'a> {
         let t = self.resolve_endpoint(to, PortDir::In, span)?;
         let channel_name = match channel {
             Some(name) => {
-                let spec =
-                    self.channel_specs.get(name).ok_or_else(|| MclError::Undefined {
+                let spec = self
+                    .channel_specs
+                    .get(name)
+                    .ok_or_else(|| MclError::Undefined {
                         span,
                         kind: "channel instance",
                         name: name.to_string(),
@@ -848,20 +937,35 @@ impl<'c, 'a> StreamBuilder<'c, 'a> {
                 let mut spec = ChannelSpec::default_for(source_ty.clone());
                 spec.name = name.clone();
                 self.channel_specs.insert(name.clone(), spec.clone());
-                self.table.channels.push(ChannelRow { name: name.clone(), spec });
+                self.table.channels.push(ChannelRow {
+                    name: name.clone(),
+                    spec,
+                });
                 name
             }
         };
-        Ok(ConnectionRow { from: f, to: t, channel: channel_name })
+        Ok(ConnectionRow {
+            from: f,
+            to: t,
+            channel: channel_name,
+        })
     }
 
     /// Derives exported ports: inner ports unsatisfied by any *initial*
     /// connection (§5.1.4's `InnerIn` / `InnerOut`).
     fn derive_exports(&mut self) {
-        let connected_in: HashSet<(String, String)> =
-            self.table.connections.iter().map(|c| c.to.clone()).collect();
-        let connected_out: HashSet<(String, String)> =
-            self.table.connections.iter().map(|c| c.from.clone()).collect();
+        let connected_in: HashSet<(String, String)> = self
+            .table
+            .connections
+            .iter()
+            .map(|c| c.to.clone())
+            .collect();
+        let connected_out: HashSet<(String, String)> = self
+            .table
+            .connections
+            .iter()
+            .map(|c| c.from.clone())
+            .collect();
         for row in &self.table.streamlets {
             if !row.initial {
                 continue;
@@ -869,7 +973,9 @@ impl<'c, 'a> StreamBuilder<'c, 'a> {
             let spec = &self.compiler.streamlet_defs[&row.def];
             for (port, ty) in &spec.inputs {
                 if !connected_in.contains(&(row.name.clone(), port.clone())) {
-                    self.table.exported_inputs.push((row.name.clone(), port.clone(), ty.clone()));
+                    self.table
+                        .exported_inputs
+                        .push((row.name.clone(), port.clone(), ty.clone()));
                 }
             }
             for (port, ty) in &spec.outputs {
@@ -886,12 +992,14 @@ impl<'c, 'a> StreamBuilder<'c, 'a> {
 fn rename_action(a: &ReconfigAction, rename: &dyn Fn(&str) -> String) -> ReconfigAction {
     let rn = |pair: &(String, String)| (rename(&pair.0), pair.1.clone());
     match a {
-        ReconfigAction::NewStreamlet { name, def } => {
-            ReconfigAction::NewStreamlet { name: rename(name), def: def.clone() }
-        }
-        ReconfigAction::NewChannel { name, spec } => {
-            ReconfigAction::NewChannel { name: rename(name), spec: spec.clone() }
-        }
+        ReconfigAction::NewStreamlet { name, def } => ReconfigAction::NewStreamlet {
+            name: rename(name),
+            def: def.clone(),
+        },
+        ReconfigAction::NewChannel { name, spec } => ReconfigAction::NewChannel {
+            name: rename(name),
+            spec: spec.clone(),
+        },
         ReconfigAction::RemoveStreamlet { name } => {
             ReconfigAction::RemoveStreamlet { name: rename(name) }
         }
@@ -903,20 +1011,22 @@ fn rename_action(a: &ReconfigAction, rename: &dyn Fn(&str) -> String) -> Reconfi
             to: rn(to),
             channel: rename(channel),
         },
-        ReconfigAction::Disconnect { from, to } => {
-            ReconfigAction::Disconnect { from: rn(from), to: rn(to) }
-        }
-        ReconfigAction::DisconnectAll { instance } => {
-            ReconfigAction::DisconnectAll { instance: rename(instance) }
-        }
+        ReconfigAction::Disconnect { from, to } => ReconfigAction::Disconnect {
+            from: rn(from),
+            to: rn(to),
+        },
+        ReconfigAction::DisconnectAll { instance } => ReconfigAction::DisconnectAll {
+            instance: rename(instance),
+        },
         ReconfigAction::Insert { from, to, instance } => ReconfigAction::Insert {
             from: rn(from),
             to: rn(to),
             instance: rename(instance),
         },
-        ReconfigAction::Replace { old, new } => {
-            ReconfigAction::Replace { old: rename(old), new: rename(new) }
-        }
+        ReconfigAction::Replace { old, new } => ReconfigAction::Replace {
+            old: rename(old),
+            new: rename(new),
+        },
     }
 }
 
@@ -976,11 +1086,10 @@ mod tests {
         // 1 explicit + 3 auto channels.
         assert_eq!(t.channels.len(), 4);
         // Unsatisfied: s1.pi (in) and s7.po (out).
-        assert_eq!(t.exported_inputs, vec![(
-            "s1".to_string(),
-            "pi".to_string(),
-            MimeType::any()
-        )]);
+        assert_eq!(
+            t.exported_inputs,
+            vec![("s1".to_string(), "pi".to_string(), MimeType::any())]
+        );
         assert_eq!(t.exported_outputs.len(), 1);
         assert_eq!(t.exported_outputs[0].0, "s7");
     }
@@ -1090,8 +1199,10 @@ mod tests {
             MclError::Undefined { .. }
         ));
         assert!(matches!(
-            compile(&with_defs("main stream a { channel c = new-channel (ghost); }"))
-                .unwrap_err(),
+            compile(&with_defs(
+                "main stream a { channel c = new-channel (ghost); }"
+            ))
+            .unwrap_err(),
             MclError::Undefined { .. }
         ));
     }
@@ -1156,10 +1267,7 @@ mod tests {
 
     #[test]
     fn rejects_unknown_event() {
-        let err = compile(&with_defs(
-            "main stream app { when (SOLAR_FLARE) { } }",
-        ))
-        .unwrap_err();
+        let err = compile(&with_defs("main stream app { when (SOLAR_FLARE) { } }")).unwrap_err();
         assert!(matches!(err, MclError::Undefined { kind: "event", .. }));
     }
 
@@ -1328,7 +1436,13 @@ mod tests {
     #[test]
     fn duplicate_main_is_rejected() {
         let err = compile("main stream a { } main stream b { }").unwrap_err();
-        assert!(matches!(err, MclError::Duplicate { kind: "main stream", .. }));
+        assert!(matches!(
+            err,
+            MclError::Duplicate {
+                kind: "main stream",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1339,8 +1453,7 @@ mod tests {
         .unwrap();
         assert_eq!(p.constraints.len(), 1);
         assert_eq!(p.constraints[0].0, ConstraintKind::Exclude);
-        let err =
-            compile("constraint depend(nope, alsonope);\nmain stream a { }").unwrap_err();
+        let err = compile("constraint depend(nope, alsonope);\nmain stream a { }").unwrap_err();
         assert!(matches!(err, MclError::Undefined { .. }));
     }
 
@@ -1399,7 +1512,13 @@ mod tests {
         assert_eq!(t.channels.len(), 7);
         // Exported: s1.pi in; out: s7.po and s4.po (s4 has no initial
         // connection so both its ports are unsatisfied).
-        assert!(t.exported_inputs.iter().any(|(i, p, _)| i == "s1" && p == "pi"));
-        assert!(t.exported_outputs.iter().any(|(i, p, _)| i == "s7" && p == "po"));
+        assert!(t
+            .exported_inputs
+            .iter()
+            .any(|(i, p, _)| i == "s1" && p == "pi"));
+        assert!(t
+            .exported_outputs
+            .iter()
+            .any(|(i, p, _)| i == "s7" && p == "po"));
     }
 }

@@ -151,13 +151,24 @@ pub enum ReconfigAction {
     /// Remove a channel instance.
     RemoveChannel { name: String },
     /// Connect two ports through a channel.
-    Connect { from: (String, String), to: (String, String), channel: String },
+    Connect {
+        from: (String, String),
+        to: (String, String),
+        channel: String,
+    },
     /// Break a connection.
-    Disconnect { from: (String, String), to: (String, String) },
+    Disconnect {
+        from: (String, String),
+        to: (String, String),
+    },
     /// Break every connection of an instance.
     DisconnectAll { instance: String },
     /// Splice `instance` into the `from`→`to` connection (Fig 7-4 steps).
-    Insert { from: (String, String), to: (String, String), instance: String },
+    Insert {
+        from: (String, String),
+        to: (String, String),
+        instance: String,
+    },
     /// Swap an instance for another of a compatible definition.
     Replace { old: String, new: String },
 }
@@ -243,8 +254,16 @@ mod tests {
         let t = ConfigTable {
             name: "s".into(),
             streamlets: vec![
-                InstanceRow { name: "a".into(), def: "d".into(), initial: true },
-                InstanceRow { name: "b".into(), def: "d".into(), initial: false },
+                InstanceRow {
+                    name: "a".into(),
+                    def: "d".into(),
+                    initial: true,
+                },
+                InstanceRow {
+                    name: "b".into(),
+                    def: "d".into(),
+                    initial: false,
+                },
             ],
             ..Default::default()
         };

@@ -18,7 +18,12 @@ pub struct Span {
 impl Span {
     /// A span covering `start..end` at the given position.
     pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
-        Span { start, end, line, col }
+        Span {
+            start,
+            end,
+            line,
+            col,
+        }
     }
 
     /// The smallest span covering both `self` and `other`.
@@ -54,10 +59,18 @@ pub enum MclError {
     /// Syntax error.
     Parse { span: Span, message: String },
     /// An undefined name was referenced.
-    Undefined { span: Span, kind: &'static str, name: String },
+    Undefined {
+        span: Span,
+        kind: &'static str,
+        name: String,
+    },
     /// A name was defined twice ("name clashes between distinct streamlets
     /// and streams are disallowed", §5.1).
-    Duplicate { span: Span, kind: &'static str, name: String },
+    Duplicate {
+        span: Span,
+        kind: &'static str,
+        name: String,
+    },
     /// §4.4.1 restriction 2: source must specialize sink.
     Incompatible {
         span: Span,
@@ -187,6 +200,10 @@ mod tests {
 
     #[test]
     fn semantic_error_has_no_span() {
-        assert!(MclError::Semantic { message: "loop".into() }.span().is_none());
+        assert!(MclError::Semantic {
+            message: "loop".into()
+        }
+        .span()
+        .is_none());
     }
 }

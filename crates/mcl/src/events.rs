@@ -193,8 +193,14 @@ mod tests {
 
     #[test]
     fn low_gray_alias() {
-        assert_eq!("LOW_GRAY".parse::<EventKind>().unwrap(), EventKind::LowGrays);
-        assert_eq!("low_gray".parse::<EventKind>().unwrap(), EventKind::LowGrays);
+        assert_eq!(
+            "LOW_GRAY".parse::<EventKind>().unwrap(),
+            EventKind::LowGrays
+        );
+        assert_eq!(
+            "low_gray".parse::<EventKind>().unwrap(),
+            EventKind::LowGrays
+        );
     }
 
     #[test]
@@ -211,9 +217,18 @@ mod tests {
         }
         // The paper's named events land in the right categories.
         assert_eq!(EventKind::End.category(), EventCategory::SystemCommand);
-        assert_eq!(EventKind::LowBandwidth.category(), EventCategory::NetworkVariation);
-        assert_eq!(EventKind::LowEnergy.category(), EventCategory::HardwareVariation);
-        assert_eq!(EventKind::LowGrays.category(), EventCategory::HardwareVariation);
+        assert_eq!(
+            EventKind::LowBandwidth.category(),
+            EventCategory::NetworkVariation
+        );
+        assert_eq!(
+            EventKind::LowEnergy.category(),
+            EventCategory::HardwareVariation
+        );
+        assert_eq!(
+            EventKind::LowGrays.category(),
+            EventCategory::HardwareVariation
+        );
     }
 
     #[test]

@@ -105,7 +105,12 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(source: &'a str) -> Self {
-        Lexer { src: source.as_bytes(), pos: 0, line: 1, col: 1 }
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn run(mut self) -> Result<Vec<Token>, MclError> {
@@ -114,7 +119,10 @@ impl<'a> Lexer<'a> {
             self.skip_trivia()?;
             let start = self.mark();
             let Some(c) = self.peek() else {
-                tokens.push(Token { kind: TokenKind::Eof, span: self.span_from(start) });
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    span: self.span_from(start),
+                });
                 break;
             };
             let kind = match c {
@@ -431,7 +439,12 @@ mod tests {
         // `*/*` and `text/*` must lex as type tokens, not comment openers.
         assert_eq!(
             kinds("*/*"),
-            vec![TokenKind::Star, TokenKind::Slash, TokenKind::Star, TokenKind::Eof]
+            vec![
+                TokenKind::Star,
+                TokenKind::Slash,
+                TokenKind::Star,
+                TokenKind::Eof
+            ]
         );
         assert_eq!(
             kinds("text/* ;"),

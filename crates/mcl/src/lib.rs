@@ -58,5 +58,5 @@ pub use analysis::{AnalysisReport, StreamGraph};
 pub use compile::{compile, compile_with_registry};
 pub use config::{ChannelSpec, ConfigTable, Program, StreamletSpec};
 pub use error::{MclError, Span};
-pub use model::{verify_program, verify_table, ModelViolation};
 pub use events::{EventCategory, EventKind};
+pub use model::{verify_program, verify_table, ModelViolation};

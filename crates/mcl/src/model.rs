@@ -35,25 +35,42 @@ pub enum ModelViolation {
     /// undeclared port.
     DanglingEndpoint { endpoint: String },
     /// Stream schema: `port-type` incompatible with the channel type.
-    TypeMismatch { endpoint: String, port_type: String, channel_type: String },
+    TypeMismatch {
+        endpoint: String,
+        port_type: String,
+        channel_type: String,
+    },
     /// Channel schema: `sink = source`.
     SelfChannel { channel: String },
     /// Composite schema: an exported port is actually satisfied by an
     /// inner connection (or vice versa).
-    BadExport { endpoint: String, reason: &'static str },
+    BadExport {
+        endpoint: String,
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for ModelViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ModelViolation::PortsNotDisjoint { streamlet, port } => {
-                write!(f, "streamlet `{streamlet}`: port `{port}` is both input and output")
+                write!(
+                    f,
+                    "streamlet `{streamlet}`: port `{port}` is both input and output"
+                )
             }
             ModelViolation::NameClash { name } => write!(f, "name clash on `{name}`"),
             ModelViolation::DanglingEndpoint { endpoint } => {
-                write!(f, "connection endpoint `{endpoint}` is not a declared member port")
+                write!(
+                    f,
+                    "connection endpoint `{endpoint}` is not a declared member port"
+                )
             }
-            ModelViolation::TypeMismatch { endpoint, port_type, channel_type } => write!(
+            ModelViolation::TypeMismatch {
+                endpoint,
+                port_type,
+                channel_type,
+            } => write!(
                 f,
                 "`{endpoint}` of type `{port_type}` incompatible with channel type \
                  `{channel_type}`"
@@ -98,12 +115,16 @@ pub fn verify_table(
     let mut names: HashSet<&str> = HashSet::new();
     for row in &table.streamlets {
         if !names.insert(&row.name) {
-            violations.push(ModelViolation::NameClash { name: row.name.clone() });
+            violations.push(ModelViolation::NameClash {
+                name: row.name.clone(),
+            });
         }
     }
     for row in &table.channels {
         if !names.insert(&row.name) {
-            violations.push(ModelViolation::NameClash { name: row.name.clone() });
+            violations.push(ModelViolation::NameClash {
+                name: row.name.clone(),
+            });
         }
     }
 
@@ -117,18 +138,18 @@ pub fn verify_table(
     };
     for c in &table.connections {
         if c.from == c.to {
-            violations.push(ModelViolation::SelfChannel { channel: c.channel.clone() });
+            violations.push(ModelViolation::SelfChannel {
+                channel: c.channel.clone(),
+            });
         }
         let chan_ty = table.channel(&c.channel).map(|r| r.spec.ty.clone());
         match (port_type(&c.from.0, &c.from.1, true), &chan_ty) {
-            (Some(src_ty), Some(ct)) => {
-                if !registry.connectable(&src_ty, ct) {
-                    violations.push(ModelViolation::TypeMismatch {
-                        endpoint: format!("{}.{}", c.from.0, c.from.1),
-                        port_type: src_ty.to_string(),
-                        channel_type: ct.to_string(),
-                    });
-                }
+            (Some(src_ty), Some(ct)) if !registry.connectable(&src_ty, ct) => {
+                violations.push(ModelViolation::TypeMismatch {
+                    endpoint: format!("{}.{}", c.from.0, c.from.1),
+                    port_type: src_ty.to_string(),
+                    channel_type: ct.to_string(),
+                });
             }
             (None, _) => violations.push(ModelViolation::DanglingEndpoint {
                 endpoint: format!("{}.{}", c.from.0, c.from.1),
@@ -144,10 +165,16 @@ pub fn verify_table(
 
     // --- Composite schema (§5.1.4): exports are exactly the unsatisfied
     // initial ports.
-    let connected_in: HashSet<(&str, &str)> =
-        table.connections.iter().map(|c| (c.to.0.as_str(), c.to.1.as_str())).collect();
-    let connected_out: HashSet<(&str, &str)> =
-        table.connections.iter().map(|c| (c.from.0.as_str(), c.from.1.as_str())).collect();
+    let connected_in: HashSet<(&str, &str)> = table
+        .connections
+        .iter()
+        .map(|c| (c.to.0.as_str(), c.to.1.as_str()))
+        .collect();
+    let connected_out: HashSet<(&str, &str)> = table
+        .connections
+        .iter()
+        .map(|c| (c.from.0.as_str(), c.from.1.as_str()))
+        .collect();
     for (inst, port, _) in &table.exported_inputs {
         if connected_in.contains(&(inst.as_str(), port.as_str())) {
             violations.push(ModelViolation::BadExport {
@@ -176,7 +203,9 @@ pub fn verify_table(
         .map(|(i, p, _)| (i.as_str(), p.as_str()))
         .collect();
     for row in table.initial_instances() {
-        let Some(spec) = program.streamlet_defs.get(&row.def) else { continue };
+        let Some(spec) = program.streamlet_defs.get(&row.def) else {
+            continue;
+        };
         for (port, _) in &spec.inputs {
             let key = (row.name.as_str(), port.as_str());
             if !connected_in.contains(&key) && !exported_in.contains(&key) {
@@ -202,10 +231,7 @@ pub fn verify_table(
 
 /// Verifies every stream of a compiled program. Returns `(stream, violation)`
 /// pairs.
-pub fn verify_program(
-    program: &Program,
-    registry: &TypeRegistry,
-) -> Vec<(String, ModelViolation)> {
+pub fn verify_program(program: &Program, registry: &TypeRegistry) -> Vec<(String, ModelViolation)> {
     let mut out = Vec::new();
     for (name, table) in &program.streams {
         for v in verify_table(table, program, registry) {
@@ -281,7 +307,11 @@ mod tests {
             channel: table.channels[0].name.clone(),
         });
         let v = verify_table(&table, &p, &registry());
-        assert!(v.iter().any(|v| matches!(v, ModelViolation::DanglingEndpoint { .. })), "{v:?}");
+        assert!(
+            v.iter()
+                .any(|v| matches!(v, ModelViolation::DanglingEndpoint { .. })),
+            "{v:?}"
+        );
     }
 
     #[test]
@@ -291,7 +321,9 @@ mod tests {
         let dup = table.streamlets[0].clone();
         table.streamlets.push(dup);
         let v = verify_table(&table, &p, &registry());
-        assert!(v.iter().any(|v| matches!(v, ModelViolation::NameClash { .. })));
+        assert!(v
+            .iter()
+            .any(|v| matches!(v, ModelViolation::NameClash { .. })));
     }
 
     #[test]
@@ -301,7 +333,11 @@ mod tests {
         // Corrupt the channel type to something the source can't feed.
         table.channels[0].spec.ty = "image/gif".parse().unwrap();
         let v = verify_table(&table, &p, &registry());
-        assert!(v.iter().any(|v| matches!(v, ModelViolation::TypeMismatch { .. })), "{v:?}");
+        assert!(
+            v.iter()
+                .any(|v| matches!(v, ModelViolation::TypeMismatch { .. })),
+            "{v:?}"
+        );
     }
 
     #[test]
@@ -310,7 +346,9 @@ mod tests {
         let mut table = p.main().unwrap().clone();
         table.connections[0].to = table.connections[0].from.clone();
         let v = verify_table(&table, &p, &registry());
-        assert!(v.iter().any(|v| matches!(v, ModelViolation::SelfChannel { .. })));
+        assert!(v
+            .iter()
+            .any(|v| matches!(v, ModelViolation::SelfChannel { .. })));
     }
 
     #[test]

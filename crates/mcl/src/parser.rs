@@ -107,7 +107,10 @@ impl Parser {
     }
 
     fn error(&self, message: String) -> MclError {
-        MclError::Parse { span: self.peek().span, message }
+        MclError::Parse {
+            span: self.peek().span,
+            message,
+        }
     }
 
     // --- grammar productions -------------------------------------------
@@ -148,7 +151,11 @@ impl Parser {
         self.expect_word("under")?;
         let parent = self.mime_type()?;
         let end = self.expect(TokenKind::Semi)?.span;
-        Ok(TypeDecl { child, parent, span: start.merge(end) })
+        Ok(TypeDecl {
+            child,
+            parent,
+            span: start.merge(end),
+        })
     }
 
     /// Parses `top` | `top/sub` | `*/*` | `top/*`. Components may contain
@@ -229,7 +236,12 @@ impl Parser {
             self.expect(TokenKind::Colon)?;
             let ty = self.mime_type()?;
             let end = self.expect(TokenKind::Semi)?.span;
-            ports.push(PortDecl { dir, name, ty, span: dspan.merge(end) });
+            ports.push(PortDecl {
+                dir,
+                name,
+                ty,
+                span: dspan.merge(end),
+            });
         }
         self.expect(TokenKind::RBrace)?;
         Ok(ports)
@@ -373,7 +385,12 @@ impl Parser {
         self.expect(TokenKind::LBrace)?;
         let body = self.stream_body()?;
         let end = self.expect(TokenKind::RBrace)?.span;
-        Ok(StreamDef { name, is_main, body, span: start.merge(end) })
+        Ok(StreamDef {
+            name,
+            is_main,
+            body,
+            span: start.merge(end),
+        })
     }
 
     fn stream_body(&mut self) -> Result<Vec<StreamStmt>, MclError> {
@@ -406,7 +423,12 @@ impl Parser {
                 };
                 self.expect(TokenKind::RParen)?;
                 let end = self.expect(TokenKind::Semi)?.span;
-                Ok(StreamStmt::Connect { from, to, channel, span: span.merge(end) })
+                Ok(StreamStmt::Connect {
+                    from,
+                    to,
+                    channel,
+                    span: span.merge(end),
+                })
             }
             "disconnect" => {
                 self.bump();
@@ -416,7 +438,11 @@ impl Parser {
                 let to = self.port_ref()?;
                 self.expect(TokenKind::RParen)?;
                 let end = self.expect(TokenKind::Semi)?.span;
-                Ok(StreamStmt::Disconnect { from, to, span: span.merge(end) })
+                Ok(StreamStmt::Disconnect {
+                    from,
+                    to,
+                    span: span.merge(end),
+                })
             }
             "disconnectall" => {
                 self.bump();
@@ -424,7 +450,10 @@ impl Parser {
                 let (instance, _) = self.ident()?;
                 self.expect(TokenKind::RParen)?;
                 let end = self.expect(TokenKind::Semi)?.span;
-                Ok(StreamStmt::DisconnectAll { instance, span: span.merge(end) })
+                Ok(StreamStmt::DisconnectAll {
+                    instance,
+                    span: span.merge(end),
+                })
             }
             "insert" => {
                 self.bump();
@@ -436,7 +465,12 @@ impl Parser {
                 let (instance, _) = self.ident()?;
                 self.expect(TokenKind::RParen)?;
                 let end = self.expect(TokenKind::Semi)?.span;
-                Ok(StreamStmt::Insert { from, to, instance, span: span.merge(end) })
+                Ok(StreamStmt::Insert {
+                    from,
+                    to,
+                    instance,
+                    span: span.merge(end),
+                })
             }
             "replace" => {
                 self.bump();
@@ -446,7 +480,11 @@ impl Parser {
                 let (new, _) = self.ident()?;
                 self.expect(TokenKind::RParen)?;
                 let end = self.expect(TokenKind::Semi)?.span;
-                Ok(StreamStmt::Replace { old, new, span: span.merge(end) })
+                Ok(StreamStmt::Replace {
+                    old,
+                    new,
+                    span: span.merge(end),
+                })
             }
             "remove-streamlet" => {
                 self.bump();
@@ -454,7 +492,10 @@ impl Parser {
                 let (name, _) = self.ident()?;
                 self.expect(TokenKind::RParen)?;
                 let end = self.expect(TokenKind::Semi)?.span;
-                Ok(StreamStmt::RemoveStreamlet { name, span: span.merge(end) })
+                Ok(StreamStmt::RemoveStreamlet {
+                    name,
+                    span: span.merge(end),
+                })
             }
             "remove-channel" => {
                 self.bump();
@@ -462,7 +503,10 @@ impl Parser {
                 let (name, _) = self.ident()?;
                 self.expect(TokenKind::RParen)?;
                 let end = self.expect(TokenKind::Semi)?.span;
-                Ok(StreamStmt::RemoveChannel { name, span: span.merge(end) })
+                Ok(StreamStmt::RemoveChannel {
+                    name,
+                    span: span.merge(end),
+                })
             }
             "when" => {
                 self.bump();
@@ -472,7 +516,11 @@ impl Parser {
                 self.expect(TokenKind::LBrace)?;
                 let body = self.stream_body()?;
                 let end = self.expect(TokenKind::RBrace)?.span;
-                Ok(StreamStmt::When { event, body, span: span.merge(end) })
+                Ok(StreamStmt::When {
+                    event,
+                    body,
+                    span: span.merge(end),
+                })
             }
             other => Err(self.error(format!("unknown statement `{other}`"))),
         }
@@ -488,7 +536,11 @@ impl Parser {
         }
         self.expect(TokenKind::Eq)?;
         // Accept `new-streamlet`, `new streamlet`, `new-channel`, `new channel`.
-        let expected_hyphen = if is_streamlet { "new-streamlet" } else { "new-channel" };
+        let expected_hyphen = if is_streamlet {
+            "new-streamlet"
+        } else {
+            "new-channel"
+        };
         let expected_word = if is_streamlet { "streamlet" } else { "channel" };
         if self.eat_ident(expected_hyphen) {
             // canonical form
@@ -513,7 +565,11 @@ impl Parser {
         let (instance, ispan) = self.ident()?;
         self.expect(TokenKind::Dot)?;
         let (port, pspan) = self.ident()?;
-        Ok(PortRef { instance, port, span: ispan.merge(pspan) })
+        Ok(PortRef {
+            instance,
+            port,
+            span: ispan.merge(pspan),
+        })
     }
 
     fn constraint_decl(&mut self) -> Result<ConstraintDecl, MclError> {
@@ -538,7 +594,12 @@ impl Parser {
         let (b, _) = self.ident()?;
         self.expect(TokenKind::RParen)?;
         let end = self.expect(TokenKind::Semi)?.span;
-        Ok(ConstraintDecl { kind, a, b, span: start.merge(end) })
+        Ok(ConstraintDecl {
+            kind,
+            a,
+            b,
+            span: start.merge(end),
+        })
     }
 }
 
@@ -677,10 +738,9 @@ mod tests {
 
     #[test]
     fn parses_constraints() {
-        let s = parse(
-            "constraint exclude(a, b); constraint depend(c, d); constraint preorder(e, f);",
-        )
-        .unwrap();
+        let s =
+            parse("constraint exclude(a, b); constraint depend(c, d); constraint preorder(e, f);")
+                .unwrap();
         assert_eq!(s.constraints.len(), 3);
         assert_eq!(s.constraints[0].kind, ConstraintKind::Exclude);
         assert_eq!(s.constraints[1].kind, ConstraintKind::Depend);
@@ -708,8 +768,14 @@ mod tests {
              out o : application/vnd.ms-excel; } }",
         )
         .unwrap();
-        assert_eq!(s.streamlets[0].ports[0].ty, MimeType::new("application", "octet-stream"));
-        assert_eq!(s.streamlets[0].ports[1].ty, MimeType::new("application", "vnd.ms-excel"));
+        assert_eq!(
+            s.streamlets[0].ports[0].ty,
+            MimeType::new("application", "octet-stream")
+        );
+        assert_eq!(
+            s.streamlets[0].ports[1].ty,
+            MimeType::new("application", "vnd.ms-excel")
+        );
     }
 
     #[test]
@@ -720,10 +786,8 @@ mod tests {
 
     #[test]
     fn rejects_bad_statefulness() {
-        let err = parse(
-            "streamlet a { port { in i : text; } attribute { type = SOMETIMES; } }",
-        )
-        .unwrap_err();
+        let err = parse("streamlet a { port { in i : text; } attribute { type = SOMETIMES; } }")
+            .unwrap_err();
         assert!(matches!(err, MclError::Attribute { .. }));
     }
 

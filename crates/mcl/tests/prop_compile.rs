@@ -13,7 +13,10 @@ use std::fmt::Write as _;
 /// in order, optionally with explicit channels every other hop.
 fn pipeline_script(k: usize, ty: &str, explicit_channels: bool) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "streamlet node {{ port {{ in pi : {ty}; out po : {ty}; }} }}");
+    let _ = writeln!(
+        s,
+        "streamlet node {{ port {{ in pi : {ty}; out po : {ty}; }} }}"
+    );
     if explicit_channels {
         let _ = writeln!(
             s,

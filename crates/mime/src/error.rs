@@ -76,6 +76,8 @@ mod tests {
     #[test]
     fn error_is_std_error() {
         fn takes_err(_: &dyn std::error::Error) {}
-        takes_err(&MimeError::InvalidHeader { line: String::new() });
+        takes_err(&MimeError::InvalidHeader {
+            line: String::new(),
+        });
     }
 }

@@ -175,7 +175,10 @@ mod tests {
 
     #[test]
     fn names_compare_case_insensitively() {
-        assert_eq!(HeaderName::new("Content-Type"), HeaderName::new("content-type"));
+        assert_eq!(
+            HeaderName::new("Content-Type"),
+            HeaderName::new("content-type")
+        );
         assert!(HeaderName::new("Content-Type") == *"CONTENT-TYPE");
     }
 

@@ -104,7 +104,8 @@ impl MimeMessage {
     /// Replaces the body and keeps `Content-Length` consistent.
     pub fn set_body(&mut self, body: impl Into<Bytes>) {
         self.body = body.into();
-        self.headers.set(CONTENT_LENGTH, self.body.len().to_string());
+        self.headers
+            .set(CONTENT_LENGTH, self.body.len().to_string());
     }
 
     /// The session this message belongs to, if labeled.
@@ -130,7 +131,10 @@ impl MimeMessage {
 
     /// The peer chain bottom-to-top (order the server applied processing).
     pub fn peer_chain(&self) -> Vec<String> {
-        self.headers.get_all(PEER_CHAIN).map(str::to_owned).collect()
+        self.headers
+            .get_all(PEER_CHAIN)
+            .map(str::to_owned)
+            .collect()
     }
 
     /// Total size on the wire: headers + blank line + body.
@@ -291,7 +295,10 @@ mod tests {
             headers: Headers::new(),
             body: Bytes::new(),
         };
-        assert_eq!(m.content_type(), MimeType::new("application", "octet-stream"));
+        assert_eq!(
+            m.content_type(),
+            MimeType::new("application", "octet-stream")
+        );
     }
 
     #[test]

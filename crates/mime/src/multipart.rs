@@ -154,7 +154,7 @@ mod tests {
     fn round_trip_binary_parts() {
         let body: Vec<u8> = (0u8..=255).collect();
         let part = MimeMessage::new(&MimeType::new("image", "gif"), body);
-        let combined = compose(&[part.clone()], "q");
+        let combined = compose(std::slice::from_ref(&part), "q");
         assert_eq!(split(&combined).unwrap(), vec![part]);
     }
 

@@ -23,8 +23,8 @@
 
 pub mod link;
 pub mod monitor;
-pub mod snoop;
 pub mod schedule;
+pub mod snoop;
 
 pub use link::{LinkConfig, LinkReceiver, LinkSender, LinkStats, WirelessLink};
 pub use monitor::{LinkEvent, LinkMonitor};

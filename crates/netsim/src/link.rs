@@ -149,8 +149,13 @@ impl WirelessLink {
             .spawn(move || link_worker(worker_shared))
             .expect("spawn link worker");
         (
-            WirelessLink { shared: shared.clone(), worker: Some(worker) },
-            LinkSender { shared: shared.clone() },
+            WirelessLink {
+                shared: shared.clone(),
+                worker: Some(worker),
+            },
+            LinkSender {
+                shared: shared.clone(),
+            },
             LinkReceiver { shared },
         )
     }
@@ -239,7 +244,12 @@ impl LinkReceiver {
             if self.shared.stop.load(Ordering::Acquire) {
                 return None;
             }
-            if self.shared.delivered_cv.wait_until(&mut d, deadline).timed_out() {
+            if self
+                .shared
+                .delivered_cv
+                .wait_until(&mut d, deadline)
+                .timed_out()
+            {
                 return d.pop_front();
             }
         }
@@ -270,7 +280,9 @@ fn link_worker(shared: Arc<Shared>) {
         // Serialization: the channel is busy for bits/bandwidth.
         let bw = shared.bandwidth_bps.load(Ordering::Acquire);
         let tx = transmission_time(frame.len(), bw);
-        shared.busy_micros.fetch_add(tx.as_micros() as u64, Ordering::Relaxed);
+        shared
+            .busy_micros
+            .fetch_add(tx.as_micros() as u64, Ordering::Relaxed);
         let wall = tx.mul_f64(shared.cfg.time_scale)
             + shared.cfg.propagation_delay.mul_f64(shared.cfg.time_scale);
         precise_sleep(wall, &shared.stop);
@@ -279,15 +291,16 @@ fn link_worker(shared: Arc<Shared>) {
         }
 
         // Loss process: flat frame loss plus length-dependent bit errors.
-        let survival =
-            (1.0 - shared.cfg.loss_rate.clamp(0.0, 1.0))
-                * frame_survival(frame.len(), shared.cfg.bit_error_rate);
+        let survival = (1.0 - shared.cfg.loss_rate.clamp(0.0, 1.0))
+            * frame_survival(frame.len(), shared.cfg.bit_error_rate);
         if survival < 1.0 && !rng.gen_bool(survival.clamp(0.0, 1.0)) {
             shared.lost.fetch_add(1, Ordering::Relaxed);
             continue;
         }
 
-        shared.delivered_bytes.fetch_add(frame.len() as u64, Ordering::Relaxed);
+        shared
+            .delivered_bytes
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
         shared.delivered_count.fetch_add(1, Ordering::Relaxed);
         shared.delivered.lock().push_back(frame);
         shared.delivered_cv.notify_all();
@@ -348,7 +361,10 @@ mod tests {
         tx.send(vec![0u8; 8000]);
         rx.recv(Duration::from_secs(5)).expect("frame");
         let elapsed = t0.elapsed();
-        assert!(elapsed >= Duration::from_millis(45), "too fast: {elapsed:?}");
+        assert!(
+            elapsed >= Duration::from_millis(45),
+            "too fast: {elapsed:?}"
+        );
     }
 
     #[test]

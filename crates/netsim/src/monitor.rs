@@ -34,13 +34,7 @@ impl LinkMonitor {
     ///
     /// The callback fires once when bandwidth drops below `low`, and once
     /// again only after it has risen above `high` (and vice versa).
-    pub fn watch<F>(
-        link: &WirelessLink,
-        low: u64,
-        high: u64,
-        poll: Duration,
-        callback: F,
-    ) -> Self
+    pub fn watch<F>(link: &WirelessLink, low: u64, high: u64, poll: Duration, callback: F) -> Self
     where
         F: Fn(LinkEvent) + Send + 'static,
     {
@@ -66,7 +60,10 @@ impl LinkMonitor {
                 }
             })
             .expect("spawn link monitor");
-        LinkMonitor { stop, worker: Some(worker) }
+        LinkMonitor {
+            stop,
+            worker: Some(worker),
+        }
     }
 
     /// Stops the monitor.

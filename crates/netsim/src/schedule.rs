@@ -19,7 +19,9 @@ pub struct BandwidthSchedule {
 impl BandwidthSchedule {
     /// A constant-bandwidth schedule.
     pub fn constant(bps: u64) -> Self {
-        BandwidthSchedule { steps: vec![(Duration::ZERO, bps)] }
+        BandwidthSchedule {
+            steps: vec![(Duration::ZERO, bps)],
+        }
     }
 
     /// Builds from unsorted steps; the earliest step is shifted to zero if
@@ -110,7 +112,11 @@ mod tests {
             (Duration::from_secs(8), 100),
             (Duration::from_secs(4), 200),
         ]);
-        assert_eq!(s.bandwidth_at(Duration::ZERO), 200, "anchored to earliest value");
+        assert_eq!(
+            s.bandwidth_at(Duration::ZERO),
+            200,
+            "anchored to earliest value"
+        );
         assert_eq!(s.bandwidth_at(Duration::from_secs(5)), 200);
         assert_eq!(s.bandwidth_at(Duration::from_secs(9)), 100);
     }

@@ -181,8 +181,16 @@ impl SnoopLink {
         }
 
         (
-            SnoopLink { forward, _reverse: reverse, shared: shared.clone(), threads },
-            SnoopSender { shared, next_seq: Arc::new(AtomicU64::new(0)) },
+            SnoopLink {
+                forward,
+                _reverse: reverse,
+                shared: shared.clone(),
+                threads,
+            },
+            SnoopSender {
+                shared,
+                next_seq: Arc::new(AtomicU64::new(0)),
+            },
             SnoopReceiver { ordered },
         )
     }
@@ -226,7 +234,11 @@ impl SnoopSender {
         let frame = encode_data(seq, &payload);
         self.shared.cache.lock().insert(
             seq,
-            Pending { payload, attempts: 1, last_tx: Instant::now() },
+            Pending {
+                payload,
+                attempts: 1,
+                last_tx: Instant::now(),
+            },
         );
         self.shared.sent.fetch_add(1, Ordering::Relaxed);
         self.shared.tx.send(frame);
@@ -248,7 +260,11 @@ impl SnoopReceiver {
                 return None;
             }
             if cv.wait_until(&mut st, deadline).timed_out() {
-                return if st.ready.is_empty() { None } else { Some(st.ready.remove(0)) };
+                return if st.ready.is_empty() {
+                    None
+                } else {
+                    Some(st.ready.remove(0))
+                };
             }
         }
     }
@@ -277,8 +293,12 @@ fn mobile_worker(
     shared: Arc<AgentShared>,
 ) {
     while !shared.stop.load(Ordering::Acquire) {
-        let Some(frame) = rx.recv(Duration::from_millis(20)) else { continue };
-        let Some((seq, payload)) = decode_data(&frame) else { continue };
+        let Some(frame) = rx.recv(Duration::from_millis(20)) else {
+            continue;
+        };
+        let Some((seq, payload)) = decode_data(&frame) else {
+            continue;
+        };
         // Ack everything, including duplicates (the earlier ack or the
         // original may still be in flight).
         let mut ack = Vec::with_capacity(12);
@@ -310,11 +330,15 @@ fn mobile_worker(
 
 fn ack_worker(ack_rx: LinkReceiver, shared: Arc<AgentShared>) {
     while !shared.stop.load(Ordering::Acquire) {
-        let Some(frame) = ack_rx.recv(Duration::from_millis(20)) else { continue };
+        let Some(frame) = ack_rx.recv(Duration::from_millis(20)) else {
+            continue;
+        };
         if frame.len() != 12 || &frame[..4] != ACK_MAGIC {
             continue;
         }
-        let Ok(bytes) = frame[4..12].try_into() else { continue };
+        let Ok(bytes) = frame[4..12].try_into() else {
+            continue;
+        };
         let seq = u64::from_le_bytes(bytes);
         if shared.cache.lock().remove(&seq).is_some() {
             shared.acked.fetch_add(1, Ordering::Relaxed);
@@ -404,7 +428,10 @@ mod tests {
             assert_eq!(p[0], i, "in-order despite loss");
         }
         let stats = link.stats();
-        assert!(stats.retransmissions > 0, "losses must have triggered retries");
+        assert!(
+            stats.retransmissions > 0,
+            "losses must have triggered retries"
+        );
         assert_eq!(stats.gave_up, 0);
         link.shutdown();
     }
@@ -450,7 +477,10 @@ mod tests {
         }
         // Nothing further arrives even though retransmissions happened.
         assert!(rx.recv(Duration::from_millis(100)).is_none());
-        assert!(link.stats().retransmissions > 0, "RTO was tight enough to fire");
+        assert!(
+            link.stats().retransmissions > 0,
+            "RTO was tight enough to fire"
+        );
         link.shutdown();
     }
 

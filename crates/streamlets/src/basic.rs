@@ -8,16 +8,20 @@ use std::collections::VecDeque;
 
 /// Registers the structural streamlets.
 pub fn register(directory: &StreamletDirectory) {
-    directory.register("builtin/redirector", "parse + re-encapsulate + forward", || {
-        Box::new(Redirector::default())
-    });
+    directory.register(
+        "builtin/redirector",
+        "parse + re-encapsulate + forward",
+        || Box::new(Redirector::default()),
+    );
     directory.register("builtin/switch", "divide messages by semantic type", || {
         Box::new(Switch)
     });
     directory.register("builtin/merge", "integrate parts into a whole body", || {
         Box::new(Merge::default())
     });
-    directory.register("builtin/cache", "content cache", || Box::new(Cache::default()));
+    directory.register("builtin/cache", "content cache", || {
+        Box::new(Cache::default())
+    });
     directory.register("builtin/power_saving", "power-saving degradation", || {
         Box::new(PowerSaving)
     });
@@ -47,7 +51,10 @@ impl StreamletLogic for Redirector {
                 streamlet: ctx.instance().to_string(),
                 message: e.to_string(),
             })?;
-        let mut parsed = MimeMessage { headers, body: msg.body.clone() };
+        let mut parsed = MimeMessage {
+            headers,
+            body: msg.body.clone(),
+        };
         // …encapsulate the necessary headers…
         parsed.headers.set("X-MobiGATE-Hop", self.hops.to_string());
         // …and forward.
@@ -236,7 +243,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let mut m = Merge::default();
         let img = workload::image_message(&mut rng, 8);
-        assert!(run(&mut m, img.clone()).is_empty(), "waits for the text part");
+        assert!(
+            run(&mut m, img.clone()).is_empty(),
+            "waits for the text part"
+        );
         let txt = workload::text_message(&mut rng, 32);
         let outs = run(&mut m, txt.clone());
         assert_eq!(outs.len(), 1);
@@ -303,7 +313,10 @@ mod tests {
         let img = workload::image_message(&mut rng, 64);
         let before = img.body.len();
         let outs = run(&mut p, img);
-        assert!(outs[0].1.body.len() < before, "degraded image must be smaller");
+        assert!(
+            outs[0].1.body.len() < before,
+            "degraded image must be smaller"
+        );
         assert_eq!(outs[0].1.headers.get("X-Power-Saving"), Some("on"));
 
         let txt = MimeMessage::text("hello");

@@ -17,10 +17,14 @@ pub const DISAGGREGATE_PEER: &str = "disaggregate";
 
 /// Registers the batching streamlets.
 pub fn register(directory: &StreamletDirectory) {
-    directory.register("builtin/aggregate", "bundle n messages into one multipart", || {
-        Box::new(Aggregate::new(4))
+    directory.register(
+        "builtin/aggregate",
+        "bundle n messages into one multipart",
+        || Box::new(Aggregate::new(4)),
+    );
+    directory.register("builtin/disaggregate", "peer of aggregate", || {
+        Box::new(Disaggregate)
     });
-    directory.register("builtin/disaggregate", "peer of aggregate", || Box::new(Disaggregate));
     directory.register("builtin/paginate", "split long text into pages", || {
         Box::new(Paginate::new(4 * 1024))
     });
@@ -58,7 +62,11 @@ pub struct Aggregate {
 impl Aggregate {
     /// An aggregator with the given bundle size (≥ 1).
     pub fn new(n: usize) -> Self {
-        Aggregate { n: n.max(1), pending: Vec::new(), bundles: 0 }
+        Aggregate {
+            n: n.max(1),
+            pending: Vec::new(),
+            bundles: 0,
+        }
     }
 
     /// Messages waiting for the current bundle to fill.
@@ -147,7 +155,9 @@ pub struct Paginate {
 impl Paginate {
     /// A paginator with the given page size (≥ 64 bytes).
     pub fn new(page_size: usize) -> Self {
-        Paginate { page_size: page_size.max(64) }
+        Paginate {
+            page_size: page_size.max(64),
+        }
     }
 }
 
@@ -252,7 +262,9 @@ mod tests {
     #[test]
     fn disaggregate_rejects_non_multipart() {
         let mut ctx = StreamletCtx::new("t", None);
-        assert!(Disaggregate.process(MimeMessage::text("plain"), &mut ctx).is_err());
+        assert!(Disaggregate
+            .process(MimeMessage::text("plain"), &mut ctx)
+            .is_err());
     }
 
     #[test]
@@ -303,14 +315,21 @@ mod tests {
         let mut a = Aggregate::new(4);
         a.control("bundle", "2").unwrap();
         assert!(run(&mut a, MimeMessage::text("1")).is_empty());
-        assert_eq!(run(&mut a, MimeMessage::text("2")).len(), 1, "bundle of 2 now");
+        assert_eq!(
+            run(&mut a, MimeMessage::text("2")).len(),
+            1,
+            "bundle of 2 now"
+        );
         assert!(a.control("bundle", "0").is_err());
 
         let mut p = Paginate::new(1024);
         p.control("page_size", "100").unwrap();
         let pages = run(&mut p, MimeMessage::text("y".repeat(250)));
         assert_eq!(pages.len(), 3);
-        assert!(p.control("page_size", "10").is_err(), "below the 64-byte floor");
+        assert!(
+            p.control("page_size", "10").is_err(),
+            "below the 64-byte floor"
+        );
         assert!(p.control("bogus", "1").is_err());
     }
 

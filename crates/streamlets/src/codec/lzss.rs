@@ -188,7 +188,10 @@ mod tests {
         let data = b"the quick brown fox jumps over the lazy dog. ".repeat(100);
         round_trip(&data);
         let r = ratio(&data);
-        assert!(r < 0.25, "expected >75% reduction on repeated text, ratio {r}");
+        assert!(
+            r < 0.25,
+            "expected >75% reduction on repeated text, ratio {r}"
+        );
     }
 
     #[test]
@@ -204,7 +207,9 @@ mod tests {
         let mut x = 0x12345678u64;
         let data: Vec<u8> = (0..4096)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 33) as u8
             })
             .collect();

@@ -97,7 +97,12 @@ impl Image {
     /// Allocates a black image.
     pub fn new(width: u16, height: u16, channels: u8) -> Self {
         let n = width as usize * height as usize * channels as usize;
-        Image { width, height, channels, samples: vec![0; n] }
+        Image {
+            width,
+            height,
+            channels,
+            samples: vec![0; n],
+        }
     }
 
     /// Pixel count.
@@ -139,8 +144,7 @@ impl Image {
         let quality = data[7];
         let width = u16::from_le_bytes([data[8], data[9]]);
         let height = u16::from_le_bytes([data[10], data[11]]);
-        let payload_len =
-            u32::from_le_bytes([data[12], data[13], data[14], data[15]]) as usize;
+        let payload_len = u32::from_le_bytes([data[12], data[13], data[14], data[15]]) as usize;
         if data.len() < HEADER_LEN + payload_len {
             return Err(RasterError::BadPayload("truncated payload"));
         }
@@ -159,7 +163,16 @@ impl Image {
             Encoding::Palette => decode_palette(payload, width, height, channels)?,
             Encoding::Quantized => decode_quantized(payload, n, channels, quality)?,
         };
-        Ok((Image { width, height, channels, samples }, encoding, quality))
+        Ok((
+            Image {
+                width,
+                height,
+                channels,
+                samples,
+            },
+            encoding,
+            quality,
+        ))
     }
 }
 
@@ -219,9 +232,7 @@ fn decode_palette(
             3 => samples.extend_from_slice(&[r, g, b]),
             _ => {
                 samples.extend_from_slice(&[r, g, b]);
-                for _ in 3..ch {
-                    samples.push(255);
-                }
+                samples.extend(std::iter::repeat_n(255, ch.saturating_sub(3)));
             }
         }
     }
@@ -251,7 +262,9 @@ fn encode_quantized(img: &Image, quality: u8) -> Vec<u8> {
         let mut iter = (0..pixels)
             .map(|p| img.samples[p * ch + c])
             .map(|s| ((s as u16 / step) * step) as u8);
-        let Some(mut current) = iter.next() else { continue };
+        let Some(mut current) = iter.next() else {
+            continue;
+        };
         let mut count: u8 = 1;
         for v in iter {
             if v == current && count < 255 {
@@ -275,12 +288,14 @@ fn decode_quantized(
     channels: u8,
     _quality: u8,
 ) -> Result<Vec<u8>, RasterError> {
-    if payload.len() % 2 != 0 {
+    if !payload.len().is_multiple_of(2) {
         return Err(RasterError::BadPayload("odd RLE payload"));
     }
     let ch = channels as usize;
-    if n % ch != 0 {
-        return Err(RasterError::BadPayload("sample count not divisible by channels"));
+    if !n.is_multiple_of(ch) {
+        return Err(RasterError::BadPayload(
+            "sample count not divisible by channels",
+        ));
     }
     // Expand the concatenated planes…
     let mut planes = Vec::with_capacity(n);
@@ -289,7 +304,7 @@ fn decode_quantized(
         if count == 0 {
             return Err(RasterError::BadPayload("zero RLE run"));
         }
-        planes.extend(std::iter::repeat(value).take(count));
+        planes.extend(std::iter::repeat_n(value, count));
     }
     if planes.len() != n {
         return Err(RasterError::BadPayload("RLE sample count mismatch"));
@@ -362,8 +377,7 @@ mod tests {
         for y in 0..h as usize {
             for x in 0..w as usize {
                 for c in 0..ch {
-                    img.samples[(y * w as usize + x) * ch + c] =
-                        ((x + y * 2 + c * 40) % 256) as u8;
+                    img.samples[(y * w as usize + x) * ch + c] = ((x + y * 2 + c * 40) % 256) as u8;
                 }
             }
         }
@@ -383,8 +397,12 @@ mod tests {
     fn palette_round_trip_stable() {
         // decode(encode(x)) is lossy once, then stable.
         let img = gradient(16, 16, 3);
-        let once = Image::decode(&img.encode(Encoding::Palette, 100)).unwrap().0;
-        let twice = Image::decode(&once.encode(Encoding::Palette, 100)).unwrap().0;
+        let once = Image::decode(&img.encode(Encoding::Palette, 100))
+            .unwrap()
+            .0;
+        let twice = Image::decode(&once.encode(Encoding::Palette, 100))
+            .unwrap()
+            .0;
         assert_eq!(once.width, img.width);
         assert_eq!(once, twice, "palette quantization must be idempotent");
     }
@@ -450,10 +468,7 @@ mod tests {
         levels.dedup();
         assert!(levels.len() <= 16, "{} levels", levels.len());
         // Gray raw is 3x smaller than RGB raw.
-        assert!(
-            gray.encode(Encoding::Raw, 100).len() * 2
-                < img.encode(Encoding::Raw, 100).len()
-        );
+        assert!(gray.encode(Encoding::Raw, 100).len() * 2 < img.encode(Encoding::Raw, 100).len());
     }
 
     #[test]
@@ -467,7 +482,10 @@ mod tests {
         let img = gradient(8, 8, 1);
         let mut bytes = img.encode(Encoding::Raw, 100);
         bytes.truncate(bytes.len() - 5);
-        assert!(matches!(Image::decode(&bytes).unwrap_err(), RasterError::BadPayload(_)));
+        assert!(matches!(
+            Image::decode(&bytes).unwrap_err(),
+            RasterError::BadPayload(_)
+        ));
     }
 
     #[test]

@@ -28,7 +28,11 @@ pub struct Communicator {
 impl Communicator {
     /// A communicator over the given transport.
     pub fn new(transport: Arc<dyn Transport>) -> Self {
-        Communicator { transport, sent: 0, sent_bytes: 0 }
+        Communicator {
+            transport,
+            sent: 0,
+            sent_bytes: 0,
+        }
     }
 
     /// Messages successfully handed to the transport.
@@ -44,9 +48,11 @@ impl Communicator {
     /// Registers a communicator factory bound to `transport` under the
     /// `builtin/communicator` key.
     pub fn register(directory: &StreamletDirectory, transport: Arc<dyn Transport>) {
-        directory.register("builtin/communicator", "send messages onto the network", move || {
-            Box::new(Communicator::new(transport.clone()))
-        });
+        directory.register(
+            "builtin/communicator",
+            "send messages onto the network",
+            move || Box::new(Communicator::new(transport.clone())),
+        );
     }
 }
 
@@ -168,7 +174,9 @@ mod tests {
         Communicator::register(&dir, collector.clone());
         let mut logic = dir.create("builtin/communicator").unwrap();
         let mut ctx = StreamletCtx::new("comm", None);
-        logic.process(MimeMessage::text("via factory"), &mut ctx).unwrap();
+        logic
+            .process(MimeMessage::text("via factory"), &mut ctx)
+            .unwrap();
         assert_eq!(collector.len(), 1);
     }
 }

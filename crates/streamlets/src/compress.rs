@@ -18,9 +18,11 @@ pub const ORIGINAL_TYPE: &str = "X-Original-Type";
 
 /// Registers compressor and decompressor.
 pub fn register(directory: &StreamletDirectory) {
-    directory.register("builtin/text_compress", "generic LZSS text compressor", || {
-        Box::new(TextCompress)
-    });
+    directory.register(
+        "builtin/text_compress",
+        "generic LZSS text compressor",
+        || Box::new(TextCompress),
+    );
     directory.register("builtin/text_decompress", "peer decompressor", || {
         Box::new(TextDecompress)
     });
@@ -34,7 +36,8 @@ impl StreamletLogic for TextCompress {
     fn process(&mut self, msg: MimeMessage, ctx: &mut StreamletCtx) -> Result<(), CoreError> {
         let compressed = lzss::compress(&msg.body);
         let mut out = msg.clone();
-        out.headers.set(ORIGINAL_TYPE, msg.content_type().to_string());
+        out.headers
+            .set(ORIGINAL_TYPE, msg.content_type().to_string());
         out.set_body(compressed);
         out.set_content_type(&MimeType::new("text", "x-lzss"));
         out.push_peer(DECOMPRESS_PEER);
@@ -101,7 +104,10 @@ mod tests {
         let original = workload::text_message(&mut rng, 16 * 1024);
         let compressed = run(&mut TextCompress, original.clone());
         let reduction = 1.0 - compressed.body.len() as f64 / original.body.len() as f64;
-        assert!(reduction > 0.55, "expected strong reduction, got {reduction:.2}");
+        assert!(
+            reduction > 0.55,
+            "expected strong reduction, got {reduction:.2}"
+        );
     }
 
     #[test]

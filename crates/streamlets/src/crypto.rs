@@ -67,7 +67,8 @@ impl StreamletLogic for Encrypt {
         self.counter += 1;
         let nonce = self.counter;
         let mut out = msg.clone();
-        out.headers.set(ORIGINAL_TYPE, msg.content_type().to_string());
+        out.headers
+            .set(ORIGINAL_TYPE, msg.content_type().to_string());
         out.headers.set(NONCE_HEADER, nonce.to_string());
         out.set_body(keystream_apply(self.key, nonce, &msg.body));
         out.set_content_type(&MimeType::new("application", "octet-stream"));
@@ -147,7 +148,10 @@ mod tests {
         let mut e = Encrypt::new(DEFAULT_KEY);
         let a = run(&mut e, MimeMessage::text("same plaintext"));
         let b = run(&mut e, MimeMessage::text("same plaintext"));
-        assert_ne!(a.body, b.body, "identical plaintexts must differ in ciphertext");
+        assert_ne!(
+            a.body, b.body,
+            "identical plaintexts must differ in ciphertext"
+        );
     }
 
     #[test]

@@ -35,7 +35,9 @@ pub struct ImgDownSample {
 impl ImgDownSample {
     /// Down-sampling factor ≥ 1 in each dimension.
     pub fn new(factor: u16) -> Self {
-        ImgDownSample { factor: factor.max(1) }
+        ImgDownSample {
+            factor: factor.max(1),
+        }
     }
 }
 
@@ -99,7 +101,9 @@ pub struct Gif2Jpeg {
 impl Gif2Jpeg {
     /// Target JPEG-like quality (1..=100).
     pub fn new(quality: u8) -> Self {
-        Gif2Jpeg { quality: quality.clamp(1, 100) }
+        Gif2Jpeg {
+            quality: quality.clamp(1, 100),
+        }
     }
 }
 
@@ -150,7 +154,9 @@ impl StreamletLogic for Postscript2Text {
             // Extract every parenthesized string shown on this line.
             let mut rest = line;
             while let Some(start) = rest.find('(') {
-                let Some(end_rel) = rest[start + 1..].find(')') else { break };
+                let Some(end_rel) = rest[start + 1..].find(')') else {
+                    break;
+                };
                 let end = start + 1 + end_rel;
                 out_text.push_str(&rest[start + 1..end]);
                 out_text.push('\n');
@@ -200,8 +206,7 @@ mod tests {
         let mut ctx = StreamletCtx::new("t", None);
         let err = ImgDownSample::new(2)
             .process(MimeMessage::text("not an image"), &mut ctx)
-            .err()
-            .expect("must fail");
+            .expect_err("must fail");
         assert!(matches!(err, CoreError::Process { .. }));
     }
 

@@ -20,9 +20,31 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 const VOCAB: &[&str] = &[
-    "mobile", "gateway", "proxy", "streamlet", "channel", "wireless", "bandwidth", "adaptive",
-    "middleware", "composition", "coordination", "message", "network", "transport", "entity",
-    "the", "a", "of", "and", "for", "with", "over", "across", "between", "system",
+    "mobile",
+    "gateway",
+    "proxy",
+    "streamlet",
+    "channel",
+    "wireless",
+    "bandwidth",
+    "adaptive",
+    "middleware",
+    "composition",
+    "coordination",
+    "message",
+    "network",
+    "transport",
+    "entity",
+    "the",
+    "a",
+    "of",
+    "and",
+    "for",
+    "with",
+    "over",
+    "across",
+    "between",
+    "system",
 ];
 
 /// Generates `len` bytes of redundant English-like text.
@@ -105,13 +127,19 @@ pub fn text_message(rng: &mut StdRng, len: usize) -> MimeMessage {
 
 /// A pseudo-PostScript MIME message.
 pub fn postscript_message(rng: &mut StdRng, len: usize) -> MimeMessage {
-    MimeMessage::new(&MimeType::new("application", "postscript"), gen_postscript(rng, len))
+    MimeMessage::new(
+        &MimeType::new("application", "postscript"),
+        gen_postscript(rng, len),
+    )
 }
 
 /// A GIF-like image MIME message (`image/gif` content type, MGRF palette
 /// body).
 pub fn image_message(rng: &mut StdRng, side: u16) -> MimeMessage {
-    MimeMessage::new(&MimeType::new("image", "gif"), gen_image(rng, side, Encoding::Palette))
+    MimeMessage::new(
+        &MimeType::new("image", "gif"),
+        gen_image(rng, side, Encoding::Palette),
+    )
 }
 
 /// A deterministic image/text message mix for end-to-end experiments
@@ -167,7 +195,10 @@ mod tests {
         let t = gen_text(&mut rng(), 8192);
         assert_eq!(t.len(), 8192);
         let r = lzss::ratio(&t);
-        assert!(r < 0.45, "generated text must be highly compressible, got {r}");
+        assert!(
+            r < 0.45,
+            "generated text must be highly compressible, got {r}"
+        );
     }
 
     #[test]
@@ -202,21 +233,32 @@ mod tests {
     #[test]
     fn messages_carry_proper_types() {
         let mut r = rng();
-        assert_eq!(text_message(&mut r, 100).content_type().to_string(), "text/plain");
+        assert_eq!(
+            text_message(&mut r, 100).content_type().to_string(),
+            "text/plain"
+        );
         assert_eq!(
             postscript_message(&mut r, 100).content_type().to_string(),
             "application/postscript"
         );
-        assert_eq!(image_message(&mut r, 16).content_type().to_string(), "image/gif");
+        assert_eq!(
+            image_message(&mut r, 16).content_type().to_string(),
+            "image/gif"
+        );
     }
 
     #[test]
     fn mix_respects_ratio_roughly() {
         let mix = MessageMix::new(1, 30, 16, 256);
         let msgs: Vec<_> = mix.take(500).collect();
-        let images =
-            msgs.iter().filter(|m| m.content_type().top == "image").count();
-        assert!((100..200).contains(&images), "expected ~150 images, got {images}");
+        let images = msgs
+            .iter()
+            .filter(|m| m.content_type().top == "image")
+            .count();
+        assert!(
+            (100..200).contains(&images),
+            "expected ~150 images, got {images}"
+        );
     }
 
     #[test]

@@ -69,8 +69,15 @@ fn main() {
         LARGE_CHANNEL,
         STREAM_APP.replace("new-streamlet (switch)", "new-streamlet (app_switch)"),
     );
-    let stream = testbed.server().deploy_mcl(&script).expect("deploy streamApp");
-    println!("deployed `{}` with instances: {:?}", stream.name(), stream.instance_names());
+    let stream = testbed
+        .server()
+        .deploy_mcl(&script)
+        .expect("deploy streamApp");
+    println!(
+        "deployed `{}` with instances: {:?}",
+        stream.name(),
+        stream.instance_names()
+    );
 
     let mut rng = StdRng::seed_from_u64(2004);
 
@@ -81,7 +88,9 @@ fn main() {
     let in_bytes = image.body.len() + doc.body.len();
     stream.post_input(image).unwrap();
     stream.post_input(doc).unwrap();
-    let merged = stream.take_output(Duration::from_secs(5)).expect("merged output");
+    let merged = stream
+        .take_output(Duration::from_secs(5))
+        .expect("merged output");
     let parts = multipart::split(&merged).expect("multipart");
     println!("\n--- normal conditions ---");
     println!("input: {in_bytes} bytes (image + postscript)");
@@ -107,7 +116,9 @@ fn main() {
     let doc = workload::postscript_message(&mut rng, 6 * 1024);
     stream.post_input(image).unwrap();
     stream.post_input(doc).unwrap();
-    let merged = stream.take_output(Duration::from_secs(5)).expect("merged output");
+    let merged = stream
+        .take_output(Duration::from_secs(5))
+        .expect("merged output");
     let parts = multipart::split(&merged).expect("multipart");
     println!(
         "grayscale output: {} bytes (image part now {} bytes)",
@@ -127,10 +138,15 @@ fn main() {
     stream.post_input(doc).unwrap();
     // s7.po now fans out to both the stream output and the power-saving
     // entity; observe that s4 is processing.
-    let _merged = stream.take_output(Duration::from_secs(5)).expect("merged output");
+    let _merged = stream
+        .take_output(Duration::from_secs(5))
+        .expect("merged output");
     std::thread::sleep(Duration::from_millis(200));
     let s4 = stream.instance("s4").expect("power saving live");
-    println!("power-saving streamlet processed {} message(s)", s4.stats().processed);
+    println!(
+        "power-saving streamlet processed {} message(s)",
+        s4.stats().processed
+    );
 
     println!("\nstream stats: {:?}", stream.stats());
     testbed.shutdown();

@@ -73,7 +73,10 @@ fn client() -> Arc<MobiGateClient> {
 fn drive(stream: &mobigate::core::RunningStream, client: &MobiGateClient) -> usize {
     for i in 0..N {
         stream
-            .post_input(MimeMessage::text(format!("payload {i} {}", "data ".repeat(60))))
+            .post_input(MimeMessage::text(format!(
+                "payload {i} {}",
+                "data ".repeat(60)
+            )))
             .unwrap();
     }
     let mut got = 0;
@@ -100,7 +103,10 @@ fn main() {
         })
     };
     let got = drive(&stream, &c);
-    println!("raw lossy link:   {got}/{N} messages delivered (lost {})", N - got);
+    println!(
+        "raw lossy link:   {got}/{N} messages delivered (lost {})",
+        N - got
+    );
     println!("  link stats: {:?}", raw_link.stats());
     stop.store(true, Ordering::Release);
     pump.join().unwrap();

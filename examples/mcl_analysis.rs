@@ -23,7 +23,11 @@ fn check(title: &str, source: &str) {
             print!("{}", report.summary());
             println!(
                 "verdict: {}\n",
-                if report.is_consistent() { "CONSISTENT" } else { "INCONSISTENT" }
+                if report.is_consistent() {
+                    "CONSISTENT"
+                } else {
+                    "INCONSISTENT"
+                }
             );
         }
     }
@@ -68,7 +72,11 @@ fn main() {
     print!("{}", report.summary());
     println!(
         "verdict: {}\n",
-        if report.is_consistent() { "CONSISTENT" } else { "INCONSISTENT" }
+        if report.is_consistent() {
+            "CONSISTENT"
+        } else {
+            "INCONSISTENT"
+        }
     );
 
     // §5.2.3: mutually exclusive streamlets must never share a path.

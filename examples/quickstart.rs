@@ -28,11 +28,17 @@ fn main() {
         )
         .expect("deploy");
 
-    println!("deployed stream `{}` (session {})", stream.name(), stream.session());
+    println!(
+        "deployed stream `{}` (session {})",
+        stream.name(),
+        stream.session()
+    );
 
     let body = "an adaptive middleware for wireless environments ".repeat(40);
     println!("sending {} bytes of text", body.len());
-    stream.post_input(MimeMessage::text(body.clone())).expect("post");
+    stream
+        .post_input(MimeMessage::text(body.clone()))
+        .expect("post");
 
     // The client reverses the compression via the peer chain (§6.5).
     let delivered = testbed

@@ -34,12 +34,7 @@ fn main() {
     for i in 0..5 {
         let name = format!("mid{i}");
         let stats = stream
-            .insert_streamlet(
-                (&upstream.0, &upstream.1),
-                ("b", "pi"),
-                &name,
-                "redirector",
-            )
+            .insert_streamlet((&upstream.0, &upstream.1), ("b", "pi"), &name, "redirector")
             .expect("insert");
         println!(
             "  {name}: total {:>9.1?} = suspend {:>9.1?} (×{}) + channel {:>9.1?} ({} ops) + \
@@ -56,15 +51,22 @@ fn main() {
     }
 
     // The chain still works, messages hop through every insert.
-    stream.post_input(MimeMessage::text("through the chain")).unwrap();
+    stream
+        .post_input(MimeMessage::text("through the chain"))
+        .unwrap();
     let out = stream.take_output(Duration::from_secs(5)).expect("output");
     drop(out);
-    println!("\nmessage crossed all {} streamlets", stream.instance_names().len());
+    println!(
+        "\nmessage crossed all {} streamlets",
+        stream.instance_names().len()
+    );
     println!("instances: {:?}", stream.instance_names());
 
     // Safe removal per Figure 6-8: inputs drained + not processing.
     println!("\nremoving mid2 safely…");
-    stream.remove_streamlet("mid2", Duration::from_secs(2)).expect("remove");
+    stream
+        .remove_streamlet("mid2", Duration::from_secs(2))
+        .expect("remove");
     println!("instances now: {:?}", stream.instance_names());
 
     testbed.shutdown();

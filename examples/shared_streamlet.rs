@@ -38,20 +38,27 @@ fn main() {
     // Three independent "streams" subscribe, each with its own output
     // channel and session ID (§4.4.3: "the system automatically generates a
     // unique session ID for each instance of a stream").
-    let sessions: Vec<SessionId> =
-        (1..=3).map(|i| SessionId::new(format!("stream-{i}"))).collect();
+    let sessions: Vec<SessionId> = (1..=3)
+        .map(|i| SessionId::new(format!("stream-{i}")))
+        .collect();
     let queues: Vec<Arc<MessageQueue>> = sessions
         .iter()
         .map(|s| {
             let q = MessageQueue::new(
-                QueueConfig { name: format!("out-{s}"), ..Default::default() },
+                QueueConfig {
+                    name: format!("out-{s}"),
+                    ..Default::default()
+                },
                 pool.clone(),
             );
             shared.subscribe(s, q.clone());
             q
         })
         .collect();
-    println!("one instance, {} subscribed streams", shared.subscriber_count());
+    println!(
+        "one instance, {} subscribed streams",
+        shared.subscriber_count()
+    );
 
     // Interleaved traffic from all three streams into the single instance.
     for round in 0..4 {

@@ -54,7 +54,11 @@ fn main() {
     };
     let testbed = Testbed::new(cfg);
     let stream = testbed.deploy_with_defs(ACCELERATOR).expect("deploy");
-    println!("deployed `{}`: {:?}", stream.name(), stream.instance_names());
+    println!(
+        "deployed `{}`: {:?}",
+        stream.name(),
+        stream.instance_names()
+    );
 
     // Wire the link monitor to the Event Manager: bandwidth crossings
     // become LOW_BANDWIDTH / HIGH_BANDWIDTH context events (§6.4).

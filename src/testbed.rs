@@ -9,10 +9,12 @@
 
 use mobigate_client::{ClientStreamletPool, MobiGateClient};
 use mobigate_core::pool::PayloadMode;
-use mobigate_core::{CoreError, MobiGate, RunningStream, StreamletPool};
+use mobigate_core::{
+    CoreError, ExecutorConfig, MobiGate, RunningStream, ServerConfig, StreamletPool,
+};
 use mobigate_netsim::{LinkConfig, LinkSender, WirelessLink};
-use mobigate_streamlets::comm::{Communicator, Transport};
 use mobigate_streamlets::batch::{Disaggregate, DISAGGREGATE_PEER};
+use mobigate_streamlets::comm::{Communicator, Transport};
 use mobigate_streamlets::compress::{TextDecompress, DECOMPRESS_PEER};
 use mobigate_streamlets::crypto::{Decrypt, DECRYPT_PEER, DEFAULT_KEY};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -33,7 +35,9 @@ pub struct LinkTransport {
 impl LinkTransport {
     /// Wraps the initial link sender.
     pub fn new(sender: LinkSender) -> Self {
-        LinkTransport { sender: parking_lot::Mutex::new(sender) }
+        LinkTransport {
+            sender: parking_lot::Mutex::new(sender),
+        }
     }
 
     /// Redirects all future sends onto a different link.
@@ -65,6 +69,10 @@ pub struct TestbedConfig {
     pub disable_pooling: bool,
     /// Enable the §4.1 runtime type check on every emission.
     pub runtime_type_check: bool,
+    /// Execution back end for the server's streamlets.
+    pub executor: ExecutorConfig,
+    /// Message-pool shard count override (`None` = auto).
+    pub pool_shards: Option<usize>,
 }
 
 impl Default for TestbedConfig {
@@ -75,6 +83,8 @@ impl Default for TestbedConfig {
             client_threads: 4,
             disable_pooling: false,
             runtime_type_check: false,
+            executor: ExecutorConfig::default(),
+            pool_shards: None,
         }
     }
 }
@@ -114,14 +124,18 @@ impl Testbed {
         } else {
             Arc::new(StreamletPool::new(64))
         };
-        let server = MobiGate::with_options(
-            cfg.mode,
+        let server = MobiGate::with_config(
+            ServerConfig {
+                mode: cfg.mode,
+                route_opts: mobigate_core::RouteOpts {
+                    enforce_types: cfg.runtime_type_check,
+                    ..Default::default()
+                },
+                executor: cfg.executor,
+                pool_shards: cfg.pool_shards,
+            },
             Arc::new(mobigate_core::StreamletDirectory::new()),
             pool,
-            mobigate_core::RouteOpts {
-                enforce_types: cfg.runtime_type_check,
-                ..Default::default()
-            },
         );
         mobigate_streamlets::register_builtins(server.directory());
 
@@ -139,7 +153,14 @@ impl Testbed {
         // node's network interface).
         let (pump_stop, pump) = spawn_pump(receiver, client.clone());
 
-        let tb = Testbed { server, link, client, transport, pump_stop, pump: Some(pump) };
+        let tb = Testbed {
+            server,
+            link,
+            client,
+            transport,
+            pump_stop,
+            pump: Some(pump),
+        };
         // Uplink: client context reports become gateway events (§3.1).
         let events = tb.server.events().clone();
         tb.client.set_context_reporter(move |kind| {
@@ -283,9 +304,36 @@ mod tests {
                  connect (r.po, out.pi);\n}",
             )
             .unwrap();
-        stream.post_input(MimeMessage::text("across the air")).unwrap();
+        stream
+            .post_input(MimeMessage::text("across the air"))
+            .unwrap();
         let got = tb.client().recv(Duration::from_secs(5)).expect("delivered");
         assert_eq!(&got.body[..], b"across the air");
+        tb.shutdown();
+    }
+
+    #[test]
+    fn worker_pool_testbed_end_to_end() {
+        let tb = Testbed::new(TestbedConfig {
+            executor: ExecutorConfig::WorkerPool { workers: 4 },
+            pool_shards: Some(4),
+            ..TestbedConfig::fast()
+        });
+        assert_eq!(tb.server().executor().name(), "worker-pool");
+        assert_eq!(tb.server().message_pool().shard_count(), 4);
+        let stream = tb
+            .deploy_with_defs(
+                "main stream app {\n\
+                 streamlet r = new-streamlet (redirector);\n\
+                 streamlet out = new-streamlet (communicator);\n\
+                 connect (r.po, out.pi);\n}",
+            )
+            .unwrap();
+        stream
+            .post_input(MimeMessage::text("pooled workers"))
+            .unwrap();
+        let got = tb.client().recv(Duration::from_secs(5)).expect("delivered");
+        assert_eq!(&got.body[..], b"pooled workers");
         tb.shutdown();
     }
 
@@ -306,7 +354,11 @@ mod tests {
         assert_eq!(got.body, body.as_bytes());
         // The link saw fewer bytes than the plaintext.
         let link_bytes = tb.link().stats().delivered_bytes;
-        assert!(link_bytes < body.len() as u64, "{link_bytes} >= {}", body.len());
+        assert!(
+            link_bytes < body.len() as u64,
+            "{link_bytes} >= {}",
+            body.len()
+        );
         assert_eq!(tb.client().stats().reversals, 1);
         tb.shutdown();
     }

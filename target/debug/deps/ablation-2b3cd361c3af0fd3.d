@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-2b3cd361c3af0fd3.d: crates/bench/benches/ablation.rs
+
+/root/repo/target/debug/deps/ablation-2b3cd361c3af0fd3: crates/bench/benches/ablation.rs
+
+crates/bench/benches/ablation.rs:

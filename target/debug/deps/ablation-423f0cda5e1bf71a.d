@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation-423f0cda5e1bf71a.d: crates/bench/benches/ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation-423f0cda5e1bf71a.rmeta: crates/bench/benches/ablation.rs Cargo.toml
+
+crates/bench/benches/ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

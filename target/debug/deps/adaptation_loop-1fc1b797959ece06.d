@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adaptation_loop-1fc1b797959ece06.d: tests/adaptation_loop.rs
+
+/root/repo/target/debug/deps/adaptation_loop-1fc1b797959ece06: tests/adaptation_loop.rs
+
+tests/adaptation_loop.rs:

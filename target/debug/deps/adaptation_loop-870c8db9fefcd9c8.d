@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adaptation_loop-870c8db9fefcd9c8.d: tests/adaptation_loop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadaptation_loop-870c8db9fefcd9c8.rmeta: tests/adaptation_loop.rs Cargo.toml
+
+tests/adaptation_loop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/composition-52732b38ec02c41a.d: tests/composition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcomposition-52732b38ec02c41a.rmeta: tests/composition.rs Cargo.toml
+
+tests/composition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/composition-b8a07f45c7973bf4.d: tests/composition.rs
+
+/root/repo/target/debug/deps/composition-b8a07f45c7973bf4: tests/composition.rs
+
+tests/composition.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-9dc407592e8b2969.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-9dc407592e8b2969.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-9dc407592e8b2969.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-b33d2ec6116d7702.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-b33d2ec6116d7702: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-ac4b757d3c8e79ce.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-ac4b757d3c8e79ce: tests/end_to_end.rs
+
+tests/end_to_end.rs:

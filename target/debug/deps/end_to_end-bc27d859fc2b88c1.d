@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-bc27d859fc2b88c1.d: crates/bench/benches/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-bc27d859fc2b88c1: crates/bench/benches/end_to_end.rs
+
+crates/bench/benches/end_to_end.rs:

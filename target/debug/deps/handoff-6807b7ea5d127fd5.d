@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/handoff-6807b7ea5d127fd5.d: tests/handoff.rs
+
+/root/repo/target/debug/deps/handoff-6807b7ea5d127fd5: tests/handoff.rs
+
+tests/handoff.rs:

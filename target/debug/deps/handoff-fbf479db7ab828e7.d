@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/handoff-fbf479db7ab828e7.d: tests/handoff.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhandoff-fbf479db7ab828e7.rmeta: tests/handoff.rs Cargo.toml
+
+tests/handoff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mclc-0ac3138bbd83c59e.d: crates/mcl/src/bin/mclc.rs
+
+/root/repo/target/debug/deps/mclc-0ac3138bbd83c59e: crates/mcl/src/bin/mclc.rs
+
+crates/mcl/src/bin/mclc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mclc-1f1a16683fa5da0e.d: crates/mcl/src/bin/mclc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmclc-1f1a16683fa5da0e.rmeta: crates/mcl/src/bin/mclc.rs Cargo.toml
+
+crates/mcl/src/bin/mclc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

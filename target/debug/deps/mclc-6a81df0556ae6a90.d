@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mclc-6a81df0556ae6a90.d: crates/mcl/src/bin/mclc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmclc-6a81df0556ae6a90.rmeta: crates/mcl/src/bin/mclc.rs Cargo.toml
+
+crates/mcl/src/bin/mclc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mclc-a8ab181f1b11f243.d: crates/mcl/src/bin/mclc.rs
+
+/root/repo/target/debug/deps/mclc-a8ab181f1b11f243: crates/mcl/src/bin/mclc.rs
+
+crates/mcl/src/bin/mclc.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/mobigate-0c9c4094aefe9341.d: src/lib.rs src/testbed.rs
+
+/root/repo/target/debug/deps/mobigate-0c9c4094aefe9341: src/lib.rs src/testbed.rs
+
+src/lib.rs:
+src/testbed.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mobigate-22fc97b81ac7cbb5.d: src/lib.rs src/testbed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmobigate-22fc97b81ac7cbb5.rmeta: src/lib.rs src/testbed.rs Cargo.toml
+
+src/lib.rs:
+src/testbed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mobigate-a5e77947c3deffe3.d: src/lib.rs src/testbed.rs
+
+/root/repo/target/debug/deps/libmobigate-a5e77947c3deffe3.rlib: src/lib.rs src/testbed.rs
+
+/root/repo/target/debug/deps/libmobigate-a5e77947c3deffe3.rmeta: src/lib.rs src/testbed.rs
+
+src/lib.rs:
+src/testbed.rs:

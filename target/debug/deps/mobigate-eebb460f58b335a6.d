@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mobigate-eebb460f58b335a6.d: src/lib.rs src/testbed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmobigate-eebb460f58b335a6.rmeta: src/lib.rs src/testbed.rs Cargo.toml
+
+src/lib.rs:
+src/testbed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

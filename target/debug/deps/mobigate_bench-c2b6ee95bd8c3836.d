@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mobigate_bench-c2b6ee95bd8c3836.d: crates/bench/src/lib.rs crates/bench/src/chain.rs crates/bench/src/e2e.rs crates/bench/src/reconfig.rs crates/bench/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmobigate_bench-c2b6ee95bd8c3836.rmeta: crates/bench/src/lib.rs crates/bench/src/chain.rs crates/bench/src/e2e.rs crates/bench/src/reconfig.rs crates/bench/src/report.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/chain.rs:
+crates/bench/src/e2e.rs:
+crates/bench/src/reconfig.rs:
+crates/bench/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

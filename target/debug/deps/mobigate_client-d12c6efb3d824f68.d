@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mobigate_client-d12c6efb3d824f68.d: crates/client/src/lib.rs crates/client/src/distributor.rs crates/client/src/pool.rs
+
+/root/repo/target/debug/deps/libmobigate_client-d12c6efb3d824f68.rlib: crates/client/src/lib.rs crates/client/src/distributor.rs crates/client/src/pool.rs
+
+/root/repo/target/debug/deps/libmobigate_client-d12c6efb3d824f68.rmeta: crates/client/src/lib.rs crates/client/src/distributor.rs crates/client/src/pool.rs
+
+crates/client/src/lib.rs:
+crates/client/src/distributor.rs:
+crates/client/src/pool.rs:

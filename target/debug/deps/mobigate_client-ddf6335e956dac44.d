@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mobigate_client-ddf6335e956dac44.d: crates/client/src/lib.rs crates/client/src/distributor.rs crates/client/src/pool.rs
+
+/root/repo/target/debug/deps/mobigate_client-ddf6335e956dac44: crates/client/src/lib.rs crates/client/src/distributor.rs crates/client/src/pool.rs
+
+crates/client/src/lib.rs:
+crates/client/src/distributor.rs:
+crates/client/src/pool.rs:

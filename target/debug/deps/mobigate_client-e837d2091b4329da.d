@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mobigate_client-e837d2091b4329da.d: crates/client/src/lib.rs crates/client/src/distributor.rs crates/client/src/pool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmobigate_client-e837d2091b4329da.rmeta: crates/client/src/lib.rs crates/client/src/distributor.rs crates/client/src/pool.rs Cargo.toml
+
+crates/client/src/lib.rs:
+crates/client/src/distributor.rs:
+crates/client/src/pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mobigate_mcl-1bcae6fe64bb5eaa.d: crates/mcl/src/lib.rs crates/mcl/src/analysis.rs crates/mcl/src/ast.rs crates/mcl/src/compile.rs crates/mcl/src/config.rs crates/mcl/src/error.rs crates/mcl/src/events.rs crates/mcl/src/lexer.rs crates/mcl/src/model.rs crates/mcl/src/parser.rs
+
+/root/repo/target/debug/deps/libmobigate_mcl-1bcae6fe64bb5eaa.rlib: crates/mcl/src/lib.rs crates/mcl/src/analysis.rs crates/mcl/src/ast.rs crates/mcl/src/compile.rs crates/mcl/src/config.rs crates/mcl/src/error.rs crates/mcl/src/events.rs crates/mcl/src/lexer.rs crates/mcl/src/model.rs crates/mcl/src/parser.rs
+
+/root/repo/target/debug/deps/libmobigate_mcl-1bcae6fe64bb5eaa.rmeta: crates/mcl/src/lib.rs crates/mcl/src/analysis.rs crates/mcl/src/ast.rs crates/mcl/src/compile.rs crates/mcl/src/config.rs crates/mcl/src/error.rs crates/mcl/src/events.rs crates/mcl/src/lexer.rs crates/mcl/src/model.rs crates/mcl/src/parser.rs
+
+crates/mcl/src/lib.rs:
+crates/mcl/src/analysis.rs:
+crates/mcl/src/ast.rs:
+crates/mcl/src/compile.rs:
+crates/mcl/src/config.rs:
+crates/mcl/src/error.rs:
+crates/mcl/src/events.rs:
+crates/mcl/src/lexer.rs:
+crates/mcl/src/model.rs:
+crates/mcl/src/parser.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/mobigate_mcl-2ec013250ca7e3b1.d: crates/mcl/src/lib.rs crates/mcl/src/analysis.rs crates/mcl/src/ast.rs crates/mcl/src/compile.rs crates/mcl/src/config.rs crates/mcl/src/error.rs crates/mcl/src/events.rs crates/mcl/src/lexer.rs crates/mcl/src/model.rs crates/mcl/src/parser.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmobigate_mcl-2ec013250ca7e3b1.rmeta: crates/mcl/src/lib.rs crates/mcl/src/analysis.rs crates/mcl/src/ast.rs crates/mcl/src/compile.rs crates/mcl/src/config.rs crates/mcl/src/error.rs crates/mcl/src/events.rs crates/mcl/src/lexer.rs crates/mcl/src/model.rs crates/mcl/src/parser.rs Cargo.toml
+
+crates/mcl/src/lib.rs:
+crates/mcl/src/analysis.rs:
+crates/mcl/src/ast.rs:
+crates/mcl/src/compile.rs:
+crates/mcl/src/config.rs:
+crates/mcl/src/error.rs:
+crates/mcl/src/events.rs:
+crates/mcl/src/lexer.rs:
+crates/mcl/src/model.rs:
+crates/mcl/src/parser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

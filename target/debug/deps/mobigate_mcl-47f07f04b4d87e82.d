@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mobigate_mcl-47f07f04b4d87e82.d: crates/mcl/src/lib.rs crates/mcl/src/analysis.rs crates/mcl/src/ast.rs crates/mcl/src/compile.rs crates/mcl/src/config.rs crates/mcl/src/error.rs crates/mcl/src/events.rs crates/mcl/src/lexer.rs crates/mcl/src/model.rs crates/mcl/src/parser.rs
+
+/root/repo/target/debug/deps/mobigate_mcl-47f07f04b4d87e82: crates/mcl/src/lib.rs crates/mcl/src/analysis.rs crates/mcl/src/ast.rs crates/mcl/src/compile.rs crates/mcl/src/config.rs crates/mcl/src/error.rs crates/mcl/src/events.rs crates/mcl/src/lexer.rs crates/mcl/src/model.rs crates/mcl/src/parser.rs
+
+crates/mcl/src/lib.rs:
+crates/mcl/src/analysis.rs:
+crates/mcl/src/ast.rs:
+crates/mcl/src/compile.rs:
+crates/mcl/src/config.rs:
+crates/mcl/src/error.rs:
+crates/mcl/src/events.rs:
+crates/mcl/src/lexer.rs:
+crates/mcl/src/model.rs:
+crates/mcl/src/parser.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mobigate_mime-39e5ae4291f7f3f4.d: crates/mime/src/lib.rs crates/mime/src/error.rs crates/mime/src/headers.rs crates/mime/src/message.rs crates/mime/src/multipart.rs crates/mime/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmobigate_mime-39e5ae4291f7f3f4.rmeta: crates/mime/src/lib.rs crates/mime/src/error.rs crates/mime/src/headers.rs crates/mime/src/message.rs crates/mime/src/multipart.rs crates/mime/src/types.rs Cargo.toml
+
+crates/mime/src/lib.rs:
+crates/mime/src/error.rs:
+crates/mime/src/headers.rs:
+crates/mime/src/message.rs:
+crates/mime/src/multipart.rs:
+crates/mime/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

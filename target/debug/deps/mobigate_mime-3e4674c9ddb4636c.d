@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mobigate_mime-3e4674c9ddb4636c.d: crates/mime/src/lib.rs crates/mime/src/error.rs crates/mime/src/headers.rs crates/mime/src/message.rs crates/mime/src/multipart.rs crates/mime/src/types.rs
+
+/root/repo/target/debug/deps/mobigate_mime-3e4674c9ddb4636c: crates/mime/src/lib.rs crates/mime/src/error.rs crates/mime/src/headers.rs crates/mime/src/message.rs crates/mime/src/multipart.rs crates/mime/src/types.rs
+
+crates/mime/src/lib.rs:
+crates/mime/src/error.rs:
+crates/mime/src/headers.rs:
+crates/mime/src/message.rs:
+crates/mime/src/multipart.rs:
+crates/mime/src/types.rs:

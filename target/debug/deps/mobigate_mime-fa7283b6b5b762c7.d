@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mobigate_mime-fa7283b6b5b762c7.d: crates/mime/src/lib.rs crates/mime/src/error.rs crates/mime/src/headers.rs crates/mime/src/message.rs crates/mime/src/multipart.rs crates/mime/src/types.rs
+
+/root/repo/target/debug/deps/libmobigate_mime-fa7283b6b5b762c7.rlib: crates/mime/src/lib.rs crates/mime/src/error.rs crates/mime/src/headers.rs crates/mime/src/message.rs crates/mime/src/multipart.rs crates/mime/src/types.rs
+
+/root/repo/target/debug/deps/libmobigate_mime-fa7283b6b5b762c7.rmeta: crates/mime/src/lib.rs crates/mime/src/error.rs crates/mime/src/headers.rs crates/mime/src/message.rs crates/mime/src/multipart.rs crates/mime/src/types.rs
+
+crates/mime/src/lib.rs:
+crates/mime/src/error.rs:
+crates/mime/src/headers.rs:
+crates/mime/src/message.rs:
+crates/mime/src/multipart.rs:
+crates/mime/src/types.rs:

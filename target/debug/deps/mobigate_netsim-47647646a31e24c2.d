@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mobigate_netsim-47647646a31e24c2.d: crates/netsim/src/lib.rs crates/netsim/src/link.rs crates/netsim/src/monitor.rs crates/netsim/src/schedule.rs crates/netsim/src/snoop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmobigate_netsim-47647646a31e24c2.rmeta: crates/netsim/src/lib.rs crates/netsim/src/link.rs crates/netsim/src/monitor.rs crates/netsim/src/schedule.rs crates/netsim/src/snoop.rs Cargo.toml
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/monitor.rs:
+crates/netsim/src/schedule.rs:
+crates/netsim/src/snoop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

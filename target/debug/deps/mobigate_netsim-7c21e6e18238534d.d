@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mobigate_netsim-7c21e6e18238534d.d: crates/netsim/src/lib.rs crates/netsim/src/link.rs crates/netsim/src/monitor.rs crates/netsim/src/schedule.rs crates/netsim/src/snoop.rs
+
+/root/repo/target/debug/deps/libmobigate_netsim-7c21e6e18238534d.rlib: crates/netsim/src/lib.rs crates/netsim/src/link.rs crates/netsim/src/monitor.rs crates/netsim/src/schedule.rs crates/netsim/src/snoop.rs
+
+/root/repo/target/debug/deps/libmobigate_netsim-7c21e6e18238534d.rmeta: crates/netsim/src/lib.rs crates/netsim/src/link.rs crates/netsim/src/monitor.rs crates/netsim/src/schedule.rs crates/netsim/src/snoop.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/monitor.rs:
+crates/netsim/src/schedule.rs:
+crates/netsim/src/snoop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mobigate_netsim-a0be4e881ff2ee5b.d: crates/netsim/src/lib.rs crates/netsim/src/link.rs crates/netsim/src/monitor.rs crates/netsim/src/schedule.rs crates/netsim/src/snoop.rs
+
+/root/repo/target/debug/deps/mobigate_netsim-a0be4e881ff2ee5b: crates/netsim/src/lib.rs crates/netsim/src/link.rs crates/netsim/src/monitor.rs crates/netsim/src/schedule.rs crates/netsim/src/snoop.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/monitor.rs:
+crates/netsim/src/schedule.rs:
+crates/netsim/src/snoop.rs:

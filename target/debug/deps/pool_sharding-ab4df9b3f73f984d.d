@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pool_sharding-ab4df9b3f73f984d.d: crates/bench/benches/pool_sharding.rs
+
+/root/repo/target/debug/deps/pool_sharding-ab4df9b3f73f984d: crates/bench/benches/pool_sharding.rs
+
+crates/bench/benches/pool_sharding.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pool_sharding-d7fdc5efb6da4384.d: crates/bench/benches/pool_sharding.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpool_sharding-d7fdc5efb6da4384.rmeta: crates/bench/benches/pool_sharding.rs Cargo.toml
+
+crates/bench/benches/pool_sharding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pool_stress-408cfbb1e12fe1e1.d: crates/core/tests/pool_stress.rs
+
+/root/repo/target/debug/deps/pool_stress-408cfbb1e12fe1e1: crates/core/tests/pool_stress.rs
+
+crates/core/tests/pool_stress.rs:

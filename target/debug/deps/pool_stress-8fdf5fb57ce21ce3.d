@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pool_stress-8fdf5fb57ce21ce3.d: crates/core/tests/pool_stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpool_stress-8fdf5fb57ce21ce3.rmeta: crates/core/tests/pool_stress.rs Cargo.toml
+
+crates/core/tests/pool_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_compile-4b9aa84046e6a1cc.d: crates/mcl/tests/prop_compile.rs
+
+/root/repo/target/debug/deps/prop_compile-4b9aa84046e6a1cc: crates/mcl/tests/prop_compile.rs
+
+crates/mcl/tests/prop_compile.rs:

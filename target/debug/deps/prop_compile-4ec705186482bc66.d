@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_compile-4ec705186482bc66.d: crates/mcl/tests/prop_compile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_compile-4ec705186482bc66.rmeta: crates/mcl/tests/prop_compile.rs Cargo.toml
+
+crates/mcl/tests/prop_compile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_mime-5a75fafe67641e5f.d: crates/mime/tests/prop_mime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_mime-5a75fafe67641e5f.rmeta: crates/mime/tests/prop_mime.rs Cargo.toml
+
+crates/mime/tests/prop_mime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

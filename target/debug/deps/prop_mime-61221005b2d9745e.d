@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_mime-61221005b2d9745e.d: crates/mime/tests/prop_mime.rs
+
+/root/repo/target/debug/deps/prop_mime-61221005b2d9745e: crates/mime/tests/prop_mime.rs
+
+crates/mime/tests/prop_mime.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_round_trip-82db20738993ee8f.d: tests/prop_round_trip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_round_trip-82db20738993ee8f.rmeta: tests/prop_round_trip.rs Cargo.toml
+
+tests/prop_round_trip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_round_trip-fcaa58c6562ac104.d: tests/prop_round_trip.rs
+
+/root/repo/target/debug/deps/prop_round_trip-fcaa58c6562ac104: tests/prop_round_trip.rs
+
+tests/prop_round_trip.rs:

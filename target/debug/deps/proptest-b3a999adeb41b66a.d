@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-b3a999adeb41b66a.d: vendor/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-b3a999adeb41b66a.rmeta: vendor/proptest/src/lib.rs Cargo.toml
+
+vendor/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

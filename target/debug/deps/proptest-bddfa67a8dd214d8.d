@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-bddfa67a8dd214d8.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-bddfa67a8dd214d8: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-c4ec064e21e9302b.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-c4ec064e21e9302b.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-c4ec064e21e9302b.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

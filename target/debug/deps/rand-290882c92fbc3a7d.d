@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-290882c92fbc3a7d.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-290882c92fbc3a7d: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

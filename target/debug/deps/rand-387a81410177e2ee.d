@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-387a81410177e2ee.d: vendor/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-387a81410177e2ee.rmeta: vendor/rand/src/lib.rs Cargo.toml
+
+vendor/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

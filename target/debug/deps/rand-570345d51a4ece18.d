@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-570345d51a4ece18.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-570345d51a4ece18.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-570345d51a4ece18.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

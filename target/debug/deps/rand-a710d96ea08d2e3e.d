@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-a710d96ea08d2e3e.d: vendor/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-a710d96ea08d2e3e.rmeta: vendor/rand/src/lib.rs Cargo.toml
+
+vendor/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reconfiguration-136e606c1f4a0941.d: crates/bench/benches/reconfiguration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreconfiguration-136e606c1f4a0941.rmeta: crates/bench/benches/reconfiguration.rs Cargo.toml
+
+crates/bench/benches/reconfiguration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reconfiguration-641325f73f144592.d: tests/reconfiguration.rs
+
+/root/repo/target/debug/deps/reconfiguration-641325f73f144592: tests/reconfiguration.rs
+
+tests/reconfiguration.rs:

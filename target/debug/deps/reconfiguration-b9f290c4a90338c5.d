@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reconfiguration-b9f290c4a90338c5.d: tests/reconfiguration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreconfiguration-b9f290c4a90338c5.rmeta: tests/reconfiguration.rs Cargo.toml
+
+tests/reconfiguration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

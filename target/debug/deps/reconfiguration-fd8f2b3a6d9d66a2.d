@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reconfiguration-fd8f2b3a6d9d66a2.d: crates/bench/benches/reconfiguration.rs
+
+/root/repo/target/debug/deps/reconfiguration-fd8f2b3a6d9d66a2: crates/bench/benches/reconfiguration.rs
+
+crates/bench/benches/reconfiguration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ref_vs_value-4841ca088a7c70b8.d: crates/bench/benches/ref_vs_value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libref_vs_value-4841ca088a7c70b8.rmeta: crates/bench/benches/ref_vs_value.rs Cargo.toml
+
+crates/bench/benches/ref_vs_value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ref_vs_value-f0c95e327b0df0d2.d: crates/bench/benches/ref_vs_value.rs
+
+/root/repo/target/debug/deps/ref_vs_value-f0c95e327b0df0d2: crates/bench/benches/ref_vs_value.rs
+
+crates/bench/benches/ref_vs_value.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-012ceb8c65238a5a.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-012ceb8c65238a5a: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-5bbb1632caab2f80.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-5bbb1632caab2f80: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

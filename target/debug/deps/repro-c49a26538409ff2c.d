@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro-c49a26538409ff2c.d: crates/bench/src/bin/repro.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro-c49a26538409ff2c.rmeta: crates/bench/src/bin/repro.rs Cargo.toml
+
+crates/bench/src/bin/repro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_checks-15b7ca3eee7b0549.d: crates/core/tests/runtime_checks.rs
+
+/root/repo/target/debug/deps/runtime_checks-15b7ca3eee7b0549: crates/core/tests/runtime_checks.rs
+
+crates/core/tests/runtime_checks.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime_checks-2ec8f3cb982f9b6e.d: crates/core/tests/runtime_checks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime_checks-2ec8f3cb982f9b6e.rmeta: crates/core/tests/runtime_checks.rs Cargo.toml
+
+crates/core/tests/runtime_checks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/snoop_integration-7a8db94811ec2787.d: tests/snoop_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsnoop_integration-7a8db94811ec2787.rmeta: tests/snoop_integration.rs Cargo.toml
+
+tests/snoop_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/snoop_integration-b07296e84fe27729.d: tests/snoop_integration.rs
+
+/root/repo/target/debug/deps/snoop_integration-b07296e84fe27729: tests/snoop_integration.rs
+
+tests/snoop_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/streamlet_overhead-b0bc97e9239de26f.d: crates/bench/benches/streamlet_overhead.rs
+
+/root/repo/target/debug/deps/streamlet_overhead-b0bc97e9239de26f: crates/bench/benches/streamlet_overhead.rs
+
+crates/bench/benches/streamlet_overhead.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/streamlet_overhead-e92e474f8b0ab7fc.d: crates/bench/benches/streamlet_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstreamlet_overhead-e92e474f8b0ab7fc.rmeta: crates/bench/benches/streamlet_overhead.rs Cargo.toml
+
+crates/bench/benches/streamlet_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

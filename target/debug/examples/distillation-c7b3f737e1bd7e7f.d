@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/distillation-c7b3f737e1bd7e7f.d: examples/distillation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdistillation-c7b3f737e1bd7e7f.rmeta: examples/distillation.rs Cargo.toml
+
+examples/distillation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

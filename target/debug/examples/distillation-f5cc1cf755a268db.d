@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distillation-f5cc1cf755a268db.d: examples/distillation.rs
+
+/root/repo/target/debug/examples/distillation-f5cc1cf755a268db: examples/distillation.rs
+
+examples/distillation.rs:

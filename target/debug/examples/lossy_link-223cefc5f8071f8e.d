@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lossy_link-223cefc5f8071f8e.d: examples/lossy_link.rs
+
+/root/repo/target/debug/examples/lossy_link-223cefc5f8071f8e: examples/lossy_link.rs
+
+examples/lossy_link.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lossy_link-b1dce50f7d111186.d: examples/lossy_link.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblossy_link-b1dce50f7d111186.rmeta: examples/lossy_link.rs Cargo.toml
+
+examples/lossy_link.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

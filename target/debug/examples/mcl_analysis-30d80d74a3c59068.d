@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mcl_analysis-30d80d74a3c59068.d: examples/mcl_analysis.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmcl_analysis-30d80d74a3c59068.rmeta: examples/mcl_analysis.rs Cargo.toml
+
+examples/mcl_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

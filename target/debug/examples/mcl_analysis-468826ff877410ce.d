@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mcl_analysis-468826ff877410ce.d: examples/mcl_analysis.rs
+
+/root/repo/target/debug/examples/mcl_analysis-468826ff877410ce: examples/mcl_analysis.rs
+
+examples/mcl_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0c672a90792e08c0.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0c672a90792e08c0: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/reconfiguration-17adaee0be6e7b3d.d: examples/reconfiguration.rs
+
+/root/repo/target/debug/examples/reconfiguration-17adaee0be6e7b3d: examples/reconfiguration.rs
+
+examples/reconfiguration.rs:

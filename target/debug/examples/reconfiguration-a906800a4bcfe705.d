@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/reconfiguration-a906800a4bcfe705.d: examples/reconfiguration.rs Cargo.toml
+
+/root/repo/target/debug/examples/libreconfiguration-a906800a4bcfe705.rmeta: examples/reconfiguration.rs Cargo.toml
+
+examples/reconfiguration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/shared_streamlet-76cc77b71e935b26.d: examples/shared_streamlet.rs Cargo.toml
+
+/root/repo/target/debug/examples/libshared_streamlet-76cc77b71e935b26.rmeta: examples/shared_streamlet.rs Cargo.toml
+
+examples/shared_streamlet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/shared_streamlet-a9df0befadaebe25.d: examples/shared_streamlet.rs
+
+/root/repo/target/debug/examples/shared_streamlet-a9df0befadaebe25: examples/shared_streamlet.rs
+
+examples/shared_streamlet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/web_accelerator-4a96d3be5c60c036.d: examples/web_accelerator.rs
+
+/root/repo/target/debug/examples/web_accelerator-4a96d3be5c60c036: examples/web_accelerator.rs
+
+examples/web_accelerator.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/web_accelerator-59ebaa6150c337a4.d: examples/web_accelerator.rs Cargo.toml
+
+/root/repo/target/debug/examples/libweb_accelerator-59ebaa6150c337a4.rmeta: examples/web_accelerator.rs Cargo.toml
+
+examples/web_accelerator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

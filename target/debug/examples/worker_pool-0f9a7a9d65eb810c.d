@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/worker_pool-0f9a7a9d65eb810c.d: examples/worker_pool.rs
+
+/root/repo/target/debug/examples/worker_pool-0f9a7a9d65eb810c: examples/worker_pool.rs
+
+examples/worker_pool.rs:

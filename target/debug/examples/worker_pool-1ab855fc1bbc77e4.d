@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/worker_pool-1ab855fc1bbc77e4.d: examples/worker_pool.rs Cargo.toml
+
+/root/repo/target/debug/examples/libworker_pool-1ab855fc1bbc77e4.rmeta: examples/worker_pool.rs Cargo.toml
+
+examples/worker_pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-220b6b67b8bdb165.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-220b6b67b8bdb165.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-220b6b67b8bdb165.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

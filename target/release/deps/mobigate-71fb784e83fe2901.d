@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/mobigate-71fb784e83fe2901.d: src/lib.rs src/testbed.rs
+
+/root/repo/target/release/deps/libmobigate-71fb784e83fe2901.rlib: src/lib.rs src/testbed.rs
+
+/root/repo/target/release/deps/libmobigate-71fb784e83fe2901.rmeta: src/lib.rs src/testbed.rs
+
+src/lib.rs:
+src/testbed.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mobigate_client-fddf2c89d403e913.d: crates/client/src/lib.rs crates/client/src/distributor.rs crates/client/src/pool.rs
+
+/root/repo/target/release/deps/libmobigate_client-fddf2c89d403e913.rlib: crates/client/src/lib.rs crates/client/src/distributor.rs crates/client/src/pool.rs
+
+/root/repo/target/release/deps/libmobigate_client-fddf2c89d403e913.rmeta: crates/client/src/lib.rs crates/client/src/distributor.rs crates/client/src/pool.rs
+
+crates/client/src/lib.rs:
+crates/client/src/distributor.rs:
+crates/client/src/pool.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/mobigate_mcl-61a72c698e78862b.d: crates/mcl/src/lib.rs crates/mcl/src/analysis.rs crates/mcl/src/ast.rs crates/mcl/src/compile.rs crates/mcl/src/config.rs crates/mcl/src/error.rs crates/mcl/src/events.rs crates/mcl/src/lexer.rs crates/mcl/src/model.rs crates/mcl/src/parser.rs
+
+/root/repo/target/release/deps/libmobigate_mcl-61a72c698e78862b.rlib: crates/mcl/src/lib.rs crates/mcl/src/analysis.rs crates/mcl/src/ast.rs crates/mcl/src/compile.rs crates/mcl/src/config.rs crates/mcl/src/error.rs crates/mcl/src/events.rs crates/mcl/src/lexer.rs crates/mcl/src/model.rs crates/mcl/src/parser.rs
+
+/root/repo/target/release/deps/libmobigate_mcl-61a72c698e78862b.rmeta: crates/mcl/src/lib.rs crates/mcl/src/analysis.rs crates/mcl/src/ast.rs crates/mcl/src/compile.rs crates/mcl/src/config.rs crates/mcl/src/error.rs crates/mcl/src/events.rs crates/mcl/src/lexer.rs crates/mcl/src/model.rs crates/mcl/src/parser.rs
+
+crates/mcl/src/lib.rs:
+crates/mcl/src/analysis.rs:
+crates/mcl/src/ast.rs:
+crates/mcl/src/compile.rs:
+crates/mcl/src/config.rs:
+crates/mcl/src/error.rs:
+crates/mcl/src/events.rs:
+crates/mcl/src/lexer.rs:
+crates/mcl/src/model.rs:
+crates/mcl/src/parser.rs:

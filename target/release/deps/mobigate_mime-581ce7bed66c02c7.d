@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mobigate_mime-581ce7bed66c02c7.d: crates/mime/src/lib.rs crates/mime/src/error.rs crates/mime/src/headers.rs crates/mime/src/message.rs crates/mime/src/multipart.rs crates/mime/src/types.rs
+
+/root/repo/target/release/deps/libmobigate_mime-581ce7bed66c02c7.rlib: crates/mime/src/lib.rs crates/mime/src/error.rs crates/mime/src/headers.rs crates/mime/src/message.rs crates/mime/src/multipart.rs crates/mime/src/types.rs
+
+/root/repo/target/release/deps/libmobigate_mime-581ce7bed66c02c7.rmeta: crates/mime/src/lib.rs crates/mime/src/error.rs crates/mime/src/headers.rs crates/mime/src/message.rs crates/mime/src/multipart.rs crates/mime/src/types.rs
+
+crates/mime/src/lib.rs:
+crates/mime/src/error.rs:
+crates/mime/src/headers.rs:
+crates/mime/src/message.rs:
+crates/mime/src/multipart.rs:
+crates/mime/src/types.rs:

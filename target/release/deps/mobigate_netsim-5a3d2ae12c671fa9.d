@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mobigate_netsim-5a3d2ae12c671fa9.d: crates/netsim/src/lib.rs crates/netsim/src/link.rs crates/netsim/src/monitor.rs crates/netsim/src/schedule.rs crates/netsim/src/snoop.rs
+
+/root/repo/target/release/deps/libmobigate_netsim-5a3d2ae12c671fa9.rlib: crates/netsim/src/lib.rs crates/netsim/src/link.rs crates/netsim/src/monitor.rs crates/netsim/src/schedule.rs crates/netsim/src/snoop.rs
+
+/root/repo/target/release/deps/libmobigate_netsim-5a3d2ae12c671fa9.rmeta: crates/netsim/src/lib.rs crates/netsim/src/link.rs crates/netsim/src/monitor.rs crates/netsim/src/schedule.rs crates/netsim/src/snoop.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/monitor.rs:
+crates/netsim/src/schedule.rs:
+crates/netsim/src/snoop.rs:

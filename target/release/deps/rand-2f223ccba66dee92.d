@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-2f223ccba66dee92.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-2f223ccba66dee92.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-2f223ccba66dee92.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

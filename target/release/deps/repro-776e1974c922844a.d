@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-776e1974c922844a.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-776e1974c922844a: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -42,7 +42,9 @@ fn client_report_drives_gateway_reconfiguration() {
 
     // Before the report: the image arrives in color (3 channels).
     tb.client();
-    stream.post_input(workload::image_message(&mut rng, 32)).unwrap();
+    stream
+        .post_input(workload::image_message(&mut rng, 32))
+        .unwrap();
     let before = tb.client().recv(Duration::from_secs(5)).expect("delivered");
     let (img, _, _) = Image::decode(&before.body).unwrap();
     assert_eq!(img.channels, 3);
@@ -60,7 +62,9 @@ fn client_report_drives_gateway_reconfiguration() {
     assert!(stream.instance_names().contains(&"gray".to_string()));
 
     // After the report: images arrive as 16-level grayscale.
-    stream.post_input(workload::image_message(&mut rng, 32)).unwrap();
+    stream
+        .post_input(workload::image_message(&mut rng, 32))
+        .unwrap();
     let after = tb.client().recv(Duration::from_secs(5)).expect("delivered");
     let (img, _, _) = Image::decode(&after.body).unwrap();
     assert_eq!(img.channels, 1, "client now receives grayscale");
@@ -86,14 +90,18 @@ fn aggregation_is_transparent_across_the_link() {
     // The default aggregator bundles 4 messages; the client's disaggregate
     // peer unpacks them, so the application sees 8 individual messages.
     for i in 0..8 {
-        stream.post_input(MimeMessage::text(format!("part-{i}"))).unwrap();
+        stream
+            .post_input(MimeMessage::text(format!("part-{i}")))
+            .unwrap();
     }
     let mut got = Vec::new();
     for _ in 0..8 {
         got.push(tb.client().recv(Duration::from_secs(5)).expect("delivered"));
     }
-    let mut bodies: Vec<String> =
-        got.iter().map(|m| String::from_utf8_lossy(&m.body).into_owned()).collect();
+    let mut bodies: Vec<String> = got
+        .iter()
+        .map(|m| String::from_utf8_lossy(&m.body).into_owned())
+        .collect();
     bodies.sort();
     let expected: Vec<String> = (0..8).map(|i| format!("part-{i}")).collect();
     assert_eq!(bodies, expected);
@@ -127,7 +135,10 @@ fn aggregate_then_compress_chains_reverse_fully() {
         .unwrap();
     for i in 0..4 {
         stream
-            .post_input(MimeMessage::text(format!("bundle member {i} {}", "pad ".repeat(30))))
+            .post_input(MimeMessage::text(format!(
+                "bundle member {i} {}",
+                "pad ".repeat(30)
+            )))
             .unwrap();
     }
     let mut bodies = Vec::new();

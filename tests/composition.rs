@@ -71,7 +71,9 @@ fn nested_recursive_composition_two_levels() {
     assert!(names.contains(&"m/i/r1".to_string()), "{names:?}");
     assert!(names.contains(&"m/r2".to_string()), "{names:?}");
 
-    stream.post_input(MimeMessage::text("three levels deep")).unwrap();
+    stream
+        .post_input(MimeMessage::text("three levels deep"))
+        .unwrap();
     let got = tb.client().recv(Duration::from_secs(5)).expect("delivered");
     assert_eq!(&got.body[..], b"three levels deep");
     tb.shutdown();

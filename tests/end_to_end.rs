@@ -33,7 +33,11 @@ fn compress_then_encrypt_chain_reverses_in_lifo_order() {
     stream.post_input(MimeMessage::text(body.clone())).unwrap();
 
     let got = tb.client().recv(Duration::from_secs(5)).expect("delivered");
-    assert_eq!(got.body, body.as_bytes(), "decrypt→decompress must restore the original");
+    assert_eq!(
+        got.body,
+        body.as_bytes(),
+        "decrypt→decompress must restore the original"
+    );
     assert!(got.peer_chain().is_empty(), "whole chain consumed");
     assert_eq!(tb.client().stats().reversals, 2);
     tb.shutdown();
@@ -70,7 +74,11 @@ fn image_transcoding_pipeline_shrinks_and_remains_decodable() {
 
     let got = tb.client().recv(Duration::from_secs(5)).expect("delivered");
     assert_eq!(got.content_type().to_string(), "image/jpeg");
-    assert!(got.body.len() < original_len, "{} !< {original_len}", got.body.len());
+    assert!(
+        got.body.len() < original_len,
+        "{} !< {original_len}",
+        got.body.len()
+    );
     let (img, enc, _) = Image::decode(&got.body).expect("decodable");
     assert_eq!(enc, Encoding::Quantized);
     assert_eq!(img.width, 64, "down-sampled 2x from 128");
@@ -129,7 +137,9 @@ fn lossy_link_drops_are_accounted_not_hung() {
 
     let n = 100;
     for i in 0..n {
-        stream.post_input(MimeMessage::text(format!("m{i}"))).unwrap();
+        stream
+            .post_input(MimeMessage::text(format!("m{i}")))
+            .unwrap();
     }
     let mut delivered = 0;
     while tb.client().recv(Duration::from_millis(400)).is_some() {
@@ -139,7 +149,11 @@ fn lossy_link_drops_are_accounted_not_hung() {
     assert_eq!(link.sent, n);
     assert_eq!(link.delivered + link.lost, n);
     assert_eq!(delivered as u64, link.delivered);
-    assert!(link.lost > 10, "loss process should have bitten, lost {}", link.lost);
+    assert!(
+        link.lost > 10,
+        "loss process should have bitten, lost {}",
+        link.lost
+    );
     tb.shutdown();
 }
 
@@ -165,10 +179,14 @@ fn bandwidth_throttling_orders_throughput() {
             .unwrap();
         let t0 = std::time::Instant::now();
         for _ in 0..6 {
-            stream.post_input(MimeMessage::text("x".repeat(10_000))).unwrap();
+            stream
+                .post_input(MimeMessage::text("x".repeat(10_000)))
+                .unwrap();
         }
         for _ in 0..6 {
-            tb.client().recv(Duration::from_secs(30)).expect("delivered");
+            tb.client()
+                .recv(Duration::from_secs(30))
+                .expect("delivered");
         }
         let elapsed = t0.elapsed();
         tb.shutdown();
@@ -191,10 +209,12 @@ fn pause_event_stops_the_flow_until_resume() {
              streamlet out = new-streamlet (communicator);\n connect (r.po, out.pi);\n}",
         )
         .unwrap();
-    tb.server().raise_event(&ContextEvent::broadcast(EventKind::Pause));
+    tb.server()
+        .raise_event(&ContextEvent::broadcast(EventKind::Pause));
     stream.post_input(MimeMessage::text("held")).unwrap();
     assert!(tb.client().recv(Duration::from_millis(200)).is_none());
-    tb.server().raise_event(&ContextEvent::broadcast(EventKind::Resume));
+    tb.server()
+        .raise_event(&ContextEvent::broadcast(EventKind::Resume));
     assert!(tb.client().recv(Duration::from_secs(5)).is_some());
     tb.shutdown();
 }

@@ -26,7 +26,9 @@ fn handoff_keeps_the_stream_flowing() {
     let mut tb = Testbed::new(TestbedConfig::fast());
     let stream = tb.deploy_with_defs(APP).unwrap();
 
-    stream.post_input(MimeMessage::text("on network A")).unwrap();
+    stream
+        .post_input(MimeMessage::text("on network A"))
+        .unwrap();
     assert!(tb.client().recv(Duration::from_secs(5)).is_some());
     let before = tb.link().stats();
     assert_eq!(before.delivered, 1);
@@ -42,12 +44,18 @@ fn handoff_keeps_the_stream_flowing() {
 
     // The same deployed stream transmits over the new link untouched.
     for i in 0..5 {
-        stream.post_input(MimeMessage::text(format!("on network B #{i}"))).unwrap();
+        stream
+            .post_input(MimeMessage::text(format!("on network B #{i}")))
+            .unwrap();
     }
     for _ in 0..5 {
         assert!(tb.client().recv(Duration::from_secs(10)).is_some());
     }
-    assert_eq!(tb.link().stats().delivered, 5, "new link carried the new traffic");
+    assert_eq!(
+        tb.link().stats().delivered,
+        5,
+        "new link carried the new traffic"
+    );
     tb.shutdown();
 }
 
@@ -65,12 +73,16 @@ fn handoff_to_slow_network_can_trigger_adaptation() {
         time_scale: 0.001,
         ..Default::default()
     });
-    tb.server().raise_event(&ContextEvent::broadcast(EventKind::LowBandwidth));
+    tb.server()
+        .raise_event(&ContextEvent::broadcast(EventKind::LowBandwidth));
     assert!(stream.instance_names().contains(&"comp".to_string()));
 
     let body = "roaming payload ".repeat(200);
     stream.post_input(MimeMessage::text(body.clone())).unwrap();
-    let got = tb.client().recv(Duration::from_secs(10)).expect("delivered");
+    let got = tb
+        .client()
+        .recv(Duration::from_secs(10))
+        .expect("delivered");
     assert_eq!(got.body, body.as_bytes());
     let link_bytes = tb.link().stats().delivered_bytes;
     assert!(
@@ -96,7 +108,9 @@ fn repeated_handoffs_are_stable() {
             propagation_delay: Duration::ZERO,
             ..Default::default()
         });
-        stream.post_input(MimeMessage::text(format!("round {round}"))).unwrap();
+        stream
+            .post_input(MimeMessage::text(format!("round {round}")))
+            .unwrap();
         let got = tb.client().recv(Duration::from_secs(5)).expect("delivered");
         assert_eq!(got.body, format!("round {round}").as_bytes());
     }

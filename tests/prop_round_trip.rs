@@ -10,7 +10,10 @@ use std::time::Duration;
 fn compress_encrypt_testbed_with(
     client_threads: usize,
 ) -> (Testbed, std::sync::Arc<mobigate::core::RunningStream>) {
-    let tb = Testbed::new(TestbedConfig { client_threads, ..TestbedConfig::fast() });
+    let tb = Testbed::new(TestbedConfig {
+        client_threads,
+        ..TestbedConfig::fast()
+    });
     let stream = tb
         .deploy_with_defs(
             r#"

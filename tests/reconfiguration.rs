@@ -35,7 +35,9 @@ fn no_message_lost_across_event_reconfiguration() {
     };
     for i in 0..n {
         server_raise(i);
-        stream.post_input(MimeMessage::text(format!("msg-{i} {}", "pad ".repeat(50)))).unwrap();
+        stream
+            .post_input(MimeMessage::text(format!("msg-{i} {}", "pad ".repeat(50))))
+            .unwrap();
     }
 
     let mut got = 0usize;
@@ -48,7 +50,10 @@ fn no_message_lost_across_event_reconfiguration() {
     assert_eq!(got, n, "every message must survive the live insert");
     // The compressor actually joined the path.
     let comp = stream.instance("comp").expect("compressor live");
-    assert!(comp.stats().processed > 0, "compressor processed part of the flow");
+    assert!(
+        comp.stats().processed > 0,
+        "compressor processed part of the flow"
+    );
     tb.shutdown();
 }
 
@@ -62,7 +67,11 @@ fn eq_7_1_components_sum_below_total() {
     // T = Σ s_i + n·c + Σ a_i — the measured components are disjoint phases
     // of the same wall interval, so their sum bounds the total from below.
     let sum = stats.suspension_time + stats.channel_time + stats.activation_time;
-    assert!(sum <= stats.total, "components {sum:?} exceed total {:?}", stats.total);
+    assert!(
+        sum <= stats.total,
+        "components {sum:?} exceed total {:?}",
+        stats.total
+    );
     assert_eq!(stats.suspensions, 1);
     assert_eq!(stats.activations, 1);
     assert!(stats.channel_ops >= 4);
@@ -78,23 +87,31 @@ fn repeated_insert_remove_cycles_stay_healthy() {
         stream
             .insert_streamlet(("a", "po"), ("out", "pi"), &name, "redirector")
             .unwrap();
-        stream.post_input(MimeMessage::text(format!("round {round}"))).unwrap();
+        stream
+            .post_input(MimeMessage::text(format!("round {round}")))
+            .unwrap();
         assert!(
             tb.client().recv(Duration::from_secs(5)).is_some(),
             "flow must work with {name} inserted"
         );
-        stream.remove_streamlet(&name, Duration::from_secs(2)).unwrap();
+        stream
+            .remove_streamlet(&name, Duration::from_secs(2))
+            .unwrap();
         // Removing the splice leaves a -> ? and ? -> out disconnected;
         // re-establish the direct path for the next round.
         let reconnect = stream.reconfigure(&[mobigate::mcl::config::ReconfigAction::Connect {
             from: ("a".into(), "po".into()),
             to: ("out".into(), "pi".into()),
-            channel: stream.connections().first().map(|c| c.channel.clone()).unwrap_or_else(
-                || "__chan0".into(),
-            ),
+            channel: stream
+                .connections()
+                .first()
+                .map(|c| c.channel.clone())
+                .unwrap_or_else(|| "__chan0".into()),
         }]);
         assert_eq!(reconnect.errors, 0, "round {round} reconnect failed");
-        stream.post_input(MimeMessage::text("direct again")).unwrap();
+        stream
+            .post_input(MimeMessage::text("direct again"))
+            .unwrap();
         assert!(tb.client().recv(Duration::from_secs(5)).is_some());
     }
     tb.shutdown();
@@ -113,7 +130,12 @@ fn reconfiguration_time_grows_with_insert_count() {
         for i in 0..count {
             let name = format!("r{i}");
             let stats = stream
-                .insert_streamlet((&upstream.0, &upstream.1), ("out", "pi"), &name, "redirector")
+                .insert_streamlet(
+                    (&upstream.0, &upstream.1),
+                    ("out", "pi"),
+                    &name,
+                    "redirector",
+                )
                 .unwrap();
             total += stats.total;
             upstream = (name, "po".to_string());

@@ -72,7 +72,10 @@ fn compressed_stream_survives_a_40_percent_lossy_link() {
     let n = 40;
     for i in 0..n {
         stream
-            .post_input(MimeMessage::text(format!("snooped message {i} {}", "pad ".repeat(40))))
+            .post_input(MimeMessage::text(format!(
+                "snooped message {i} {}",
+                "pad ".repeat(40)
+            )))
             .unwrap();
     }
     let mut got = 0;
@@ -90,7 +93,11 @@ fn compressed_stream_survives_a_40_percent_lossy_link() {
     let stats = snoop.stats();
     assert!(stats.retransmissions > 0, "the loss process was active");
     assert_eq!(stats.gave_up, 0);
-    assert_eq!(client.stats().reversals as usize, n, "every message decompressed");
+    assert_eq!(
+        client.stats().reversals as usize,
+        n,
+        "every message decompressed"
+    );
 
     stream.shutdown();
     stop.store(true, Ordering::Release);

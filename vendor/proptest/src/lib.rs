@@ -1,0 +1,493 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no crates.io access, so this shim implements
+//! the API subset the workspace's property tests use: the `proptest!` /
+//! `prop_oneof!` / `prop_assert*!` macros, `Strategy` with `prop_map`,
+//! `Just`, integer-range and tuple strategies, `any::<T>()`,
+//! `collection::vec`, a small regex-subset string strategy, and
+//! `ProptestConfig { cases }`.
+//!
+//! Differences from the real crate, acceptable for passing-test suites:
+//! sampling is deterministic (fixed seed) and there is **no shrinking** —
+//! a failing case panics with the assertion message rather than a
+//! minimized input.
+
+pub mod strategy {
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// The RNG handed to strategies; deterministic per test function.
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        /// Samples one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among alternatives; built by [`prop_oneof!`].
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Self {
+            Union {
+                options: Vec::new(),
+            }
+        }
+
+        /// Adds an alternative.
+        pub fn or(mut self, s: impl Strategy<Value = T> + 'static) -> Self {
+            self.options.push(Box::new(s));
+            self
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(
+                !self.options.is_empty(),
+                "prop_oneof! needs at least one arm"
+            );
+            let idx = rand::Rng::gen_range(rng, 0..self.options.len());
+            self.options[idx].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+
+    /// `&'static str` acts as a regex-subset string strategy, e.g.
+    /// `"[a-z][a-z0-9.+-]{0,10}"`. Supported: literal chars, `\x` escapes,
+    /// `[...]` classes with ranges, and `{m}` / `{m,n}` quantifiers.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            super::string::sample_pattern(self, rng)
+        }
+    }
+
+    /// Strategy for [`super::arbitrary::any`].
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    impl<T: super::arbitrary::Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::{Any, TestRng};
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rand::Rng::gen(rng)
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+    /// The strategy of all values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s of strategy-generated elements.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose length is drawn from `size` (half-open).
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.start + 1 >= self.size.end {
+                self.size.start
+            } else {
+                rand::Rng::gen_range(rng, self.size.clone())
+            };
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+mod string {
+    use super::strategy::TestRng;
+
+    enum Atom {
+        Lit(char),
+        Class(Vec<char>),
+    }
+
+    /// Samples a string matching the supported regex subset.
+    pub(crate) fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut chars = pattern.chars().peekable();
+        let mut out = String::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => Atom::Class(parse_class(&mut chars, pattern)),
+                '\\' => Atom::Lit(chars.next().unwrap_or_else(|| unsupported(pattern))),
+                '(' | ')' | '|' | '*' | '+' | '?' | '^' | '$' => unsupported(pattern),
+                lit => Atom::Lit(lit),
+            };
+            let (min, max) = parse_quantifier(&mut chars, pattern);
+            let count = if min == max {
+                min
+            } else {
+                rand::Rng::gen_range(rng, min..=max)
+            };
+            for _ in 0..count {
+                match &atom {
+                    Atom::Lit(l) => out.push(*l),
+                    Atom::Class(set) => {
+                        let idx = rand::Rng::gen_range(rng, 0..set.len());
+                        out.push(set[idx]);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn parse_class(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        pattern: &str,
+    ) -> Vec<char> {
+        let mut set = Vec::new();
+        loop {
+            let c = chars.next().unwrap_or_else(|| unsupported(pattern));
+            match c {
+                ']' => break,
+                '\\' => set.push(chars.next().unwrap_or_else(|| unsupported(pattern))),
+                _ => {
+                    // `a-z` range unless the '-' is the class's last char.
+                    if chars.peek() == Some(&'-') {
+                        let mut ahead = chars.clone();
+                        ahead.next();
+                        match ahead.peek() {
+                            Some(&']') | None => set.push(c),
+                            Some(&hi) => {
+                                chars.next();
+                                chars.next();
+                                assert!(c <= hi, "bad class range in {pattern:?}");
+                                set.extend(c..=hi);
+                            }
+                        }
+                    } else {
+                        set.push(c);
+                    }
+                }
+            }
+        }
+        assert!(!set.is_empty(), "empty class in {pattern:?}");
+        set
+    }
+
+    fn parse_quantifier(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        pattern: &str,
+    ) -> (usize, usize) {
+        if chars.peek() != Some(&'{') {
+            return (1, 1);
+        }
+        chars.next();
+        let mut spec = String::new();
+        for c in chars.by_ref() {
+            if c == '}' {
+                let (lo, hi) = match spec.split_once(',') {
+                    Some((lo, hi)) => (lo, hi),
+                    None => (spec.as_str(), spec.as_str()),
+                };
+                let lo: usize = lo.trim().parse().unwrap_or_else(|_| unsupported(pattern));
+                let hi: usize = hi.trim().parse().unwrap_or_else(|_| unsupported(pattern));
+                assert!(lo <= hi, "bad quantifier in {pattern:?}");
+                return (lo, hi);
+            }
+            spec.push(c);
+        }
+        unsupported(pattern)
+    }
+
+    fn unsupported(pattern: &str) -> ! {
+        panic!(
+            "string pattern {pattern:?} uses regex features beyond the vendored \
+             proptest shim (literals, escapes, [..] classes, {{m,n}} quantifiers)"
+        )
+    }
+}
+
+pub mod test_runner {
+    use super::strategy::TestRng;
+    use rand::SeedableRng;
+
+    /// Runner configuration; only `cases` is consulted.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+        /// Accepted for source compatibility; shrinking is not implemented.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 64,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    /// Drives a property: samples inputs and runs the body `cases` times.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        pub fn new(config: ProptestConfig) -> Self {
+            // Fixed seed: deterministic suites, reproducible failures.
+            TestRunner {
+                config,
+                rng: TestRng::seed_from_u64(0x5052_4F50_5445_5354),
+            }
+        }
+
+        /// Runs `case` once per configured case with this runner's rng.
+        pub fn run_cases(&mut self, mut case: impl FnMut(&mut TestRng)) {
+            for _ in 0..self.config.cases {
+                case(&mut self.rng);
+            }
+        }
+    }
+}
+
+/// Asserts a condition inside a property (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new()$(.or($strat))+
+    };
+}
+
+/// Declares property test functions: each `pat in strategy` binding is
+/// sampled per case and the body runs `config.cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!({ $cfg } $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!({ $crate::test_runner::ProptestConfig::default() } $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ({ $cfg:expr }) => {};
+    ({ $cfg:expr }
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut __runner = $crate::test_runner::TestRunner::new($cfg);
+            __runner.run_cases(|__rng| {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                $body
+            });
+        }
+        $crate::__proptest_impl!({ $cfg } $($rest)*);
+    };
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::TestRng;
+    use rand::SeedableRng;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn pattern_strategy_matches_shape() {
+        let strat = "[a-z][a-z0-9.+-]{0,10}";
+        for _ in 0..200 {
+            let s = Strategy::generate(&strat, &mut rng());
+            let mut cs = s.chars();
+            let head = cs.next().unwrap();
+            assert!(head.is_ascii_lowercase(), "{s:?}");
+            assert!(s.len() <= 11, "{s:?}");
+            for c in cs {
+                assert!(
+                    c.is_ascii_lowercase() || c.is_ascii_digit() || ".+-".contains(c),
+                    "{s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let strat = prop_oneof![Just(1u32), Just(2), Just(3)].prop_map(|v| v * 10);
+        let mut r = rng();
+        for _ in 0..50 {
+            let v = strat.generate(&mut r);
+            assert!([10, 20, 30].contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let strat = crate::collection::vec(any::<u8>(), 2..5);
+        let mut r = rng();
+        for _ in 0..50 {
+            let v = strat.generate(&mut r);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+        /// The macro itself: bindings, tuples, trailing comma.
+        #[test]
+        fn macro_round_trip(
+            n in 1usize..10,
+            pair in (0u8..4, "[x-z]{1,3}"),
+        ) {
+            prop_assert!((1..10).contains(&n));
+            prop_assert!(pair.0 < 4);
+            prop_assert!(!pair.1.is_empty() && pair.1.len() <= 3);
+        }
+    }
+}

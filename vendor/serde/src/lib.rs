@@ -1,0 +1,9 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derives from the vendored
+//! `serde_derive` shim so `use serde::{Deserialize, Serialize}` and
+//! `#[derive(Serialize, Deserialize)]` compile without crates.io access.
+//! No runtime serialization machinery is provided — nothing in the
+//! workspace calls it yet.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config and AST types
+//! for forward compatibility, but nothing actually serializes them yet
+//! (wire formats are hand-rolled in `mobigate-mime`). These no-op derives
+//! let the annotations compile without crates.io access; when real
+//! serialization lands, swap this shim for the published crate.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`: accepts the item, emits nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`: accepts the item, emits nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
