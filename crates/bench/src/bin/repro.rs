@@ -14,7 +14,10 @@ use mobigate::core::pool::{MessagePool, PayloadMode};
 use mobigate::core::{ExecutorConfig, ServerConfig};
 use mobigate::mime::{MimeMessage, MimeType};
 use mobigate_bench::report::{ascii_series, Csv};
-use mobigate_bench::{end_to_end_point, reconfig_time, reconfig_time_with, ChainHarness};
+use mobigate_bench::{
+    chaos_server_config, end_to_end_point, reconfig_time, reconfig_time_with, run_chaos,
+    with_quiet_panics, ChainHarness, ChaosConfig,
+};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -48,6 +51,9 @@ fn main() {
     }
     if want("pool_sharding") {
         pool_sharding(quick);
+    }
+    if want("chaos") {
+        chaos(quick);
     }
     println!("\nCSV written under results/");
 }
@@ -473,4 +479,127 @@ fn pool_sharding(quick: bool) {
     std::fs::write("results/BENCH_pool_sharding.json", json).expect("write ablation json");
     save("pool_sharding_ablation", &csv);
     println!("JSON written to results/BENCH_pool_sharding.json");
+}
+
+/// Chaos harness: throughput and delivery of the `r0 → fault_injector → r1`
+/// chain under injected panic rates, per executor back end. Asserts that
+/// supervision keeps ≥99% of the benign load flowing and that poison
+/// messages land in the dead-letter queue. Emits `results/BENCH_chaos.json`.
+fn chaos(quick: bool) {
+    println!("\n=========== Chaos: delivery under streamlet faults ===========");
+    println!("(supervision restarts the faulting injector; poison messages are");
+    println!(" evicted to the dead-letter queue; the benign load keeps flowing)\n");
+
+    let messages = if quick { 300 } else { 1500 };
+    let poison = 3usize;
+    let rates: &[f64] = &[0.0, 0.01, 0.05];
+    let executors: [(&str, ExecutorConfig); 2] = [
+        ("thread_per_streamlet", ExecutorConfig::ThreadPerStreamlet),
+        ("worker_pool8", ExecutorConfig::WorkerPool { workers: 8 }),
+    ];
+
+    let mut csv = Csv::new([
+        "executor",
+        "panic_rate",
+        "sent",
+        "delivered",
+        "dead_lettered",
+        "faults",
+        "restarts",
+        "quarantined",
+        "throughput_msg_s",
+    ]);
+    let mut series = Vec::new();
+    for (exec_name, exec_cfg) in &executors {
+        for &rate in rates {
+            let cfg = ChaosConfig {
+                server: chaos_server_config(ServerConfig {
+                    executor: *exec_cfg,
+                    ..Default::default()
+                }),
+                panic_rate: rate,
+                garbage_rate: 0.01,
+                messages,
+                // Poison only makes sense alongside faults; keep the 0%
+                // corner perfectly clean as the baseline.
+                poison: if rate > 0.0 { poison } else { 0 },
+                seed: 0xC4A05 + (rate * 1000.0) as u64,
+                ..Default::default()
+            };
+            let out = with_quiet_panics(|| run_chaos(&cfg));
+            println!(
+                "  {exec_name:<21} rate={rate:>4}: {}/{} delivered ({:.2}%), \
+                 {} dead-lettered, {} faults, {} restarts, {:.0} msg/s",
+                out.delivered,
+                out.sent,
+                out.delivery_ratio() * 100.0,
+                out.dead_lettered,
+                out.faults,
+                out.restarts,
+                out.throughput()
+            );
+            assert!(
+                out.delivery_ratio() >= 0.99,
+                "{exec_name} rate {rate}: delivered only {}/{}",
+                out.delivered,
+                out.sent
+            );
+            assert_eq!(out.quarantined, 0, "restart budget must never exhaust");
+            if rate > 0.0 {
+                assert_eq!(
+                    out.dead_lettered, poison,
+                    "{exec_name} rate {rate}: every poison message must be dead-lettered"
+                );
+            }
+            csv.row([
+                exec_name.to_string(),
+                format!("{rate}"),
+                out.sent.to_string(),
+                out.delivered.to_string(),
+                out.dead_lettered.to_string(),
+                out.faults.to_string(),
+                out.restarts.to_string(),
+                out.quarantined.to_string(),
+                format!("{:.0}", out.throughput()),
+            ]);
+            series.push((exec_name.to_string(), rate, out));
+        }
+    }
+    println!();
+    print!("{}", csv.to_table());
+
+    // The serde shim is a no-op, so the JSON is formatted by hand.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"experiment\": \"chaos_supervision\",\n");
+    json.push_str("  \"chain\": \"r0 -> fault_injector -> r1\",\n");
+    json.push_str(&format!("  \"messages\": {messages},\n"));
+    json.push_str(&format!("  \"poison_messages\": {poison},\n"));
+    json.push_str("  \"garbage_rate\": 0.01,\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str("  \"series\": [\n");
+    for (i, (exec_name, rate, out)) in series.iter().enumerate() {
+        let sep = if i + 1 == series.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"executor\": \"{exec_name}\", \"panic_rate\": {rate}, \
+             \"sent\": {}, \"delivered\": {}, \"delivery_ratio\": {:.5}, \
+             \"garbage_delivered\": {}, \"dead_lettered\": {}, \"faults\": {}, \
+             \"restarts\": {}, \"quarantined\": {}, \
+             \"throughput_msg_per_s\": {:.1}}}{sep}\n",
+            out.sent,
+            out.delivered,
+            out.delivery_ratio(),
+            out.garbage,
+            out.dead_lettered,
+            out.faults,
+            out.restarts,
+            out.quarantined,
+            out.throughput()
+        ));
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+    std::fs::write("results/BENCH_chaos.json", json).expect("write chaos json");
+    save("chaos_supervision", &csv);
+    println!("JSON written to results/BENCH_chaos.json");
 }

@@ -174,6 +174,7 @@ mod tests {
             mode: PayloadMode::Reference,
             route_opts: Default::default(),
             executor: crate::executor::default_executor(),
+            supervisor: None,
         };
         CoordinationManager::new(deps, Arc::new(EventManager::new()))
     }

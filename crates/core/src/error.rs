@@ -1,6 +1,7 @@
 //! Runtime error type.
 
 use std::fmt;
+use std::time::Duration;
 
 /// Errors raised by the MobiGATE runtime.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,6 +23,8 @@ pub enum CoreError {
     Reconfig { message: String },
     /// Deployment failed (bad configuration table, MCL error text, …).
     Deploy { message: String },
+    /// A bounded wait on an instance (e.g. a pause acknowledgement) expired.
+    Timeout { waited: Duration, instance: String },
 }
 
 impl fmt::Display for CoreError {
@@ -45,6 +48,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::Reconfig { message } => write!(f, "reconfiguration failed: {message}"),
             CoreError::Deploy { message } => write!(f, "deployment failed: {message}"),
+            CoreError::Timeout { waited, instance } => {
+                write!(f, "timed out after {waited:?} waiting on `{instance}`")
+            }
         }
     }
 }

@@ -10,13 +10,17 @@
 //! a subscriber additionally filters on `evtSource` (an event targeted at a
 //! specific stream application is ignored by others).
 
+use crate::supervisor::FaultInfo;
 use mobigate_mcl::events::{EventCategory, EventKind};
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
-/// A context event (Figure 6-5). Events carry no data payload (§4.2.3):
-/// they purely trigger the evolution of coordinated streamlets.
+/// A context event (Figure 6-5). The paper's events carry no data payload
+/// (§4.2.3) — they purely trigger the evolution of coordinated streamlets.
+/// The supervision extension attaches optional [`FaultInfo`] to
+/// `STREAMLET_FAULT` events so observers can see which instance failed and
+/// why; `when` matching still keys on `kind` alone.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ContextEvent {
     /// Which event.
@@ -24,12 +28,18 @@ pub struct ContextEvent {
     /// Originating source: `None` broadcasts to every subscriber of the
     /// category; `Some(stream)` targets one stream application.
     pub source: Option<String>,
+    /// Fault details, present only on supervisor-raised events.
+    pub fault: Option<FaultInfo>,
 }
 
 impl ContextEvent {
     /// A broadcast event.
     pub fn broadcast(kind: EventKind) -> Self {
-        ContextEvent { kind, source: None }
+        ContextEvent {
+            kind,
+            source: None,
+            fault: None,
+        }
     }
 
     /// An event targeted at one stream application.
@@ -37,6 +47,17 @@ impl ContextEvent {
         ContextEvent {
             kind,
             source: Some(source.into()),
+            fault: None,
+        }
+    }
+
+    /// A supervisor-raised `STREAMLET_FAULT` event, targeted at the owning
+    /// stream when known.
+    pub fn fault(info: FaultInfo, source: Option<String>) -> Self {
+        ContextEvent {
+            kind: EventKind::StreamletFault,
+            source,
+            fault: Some(info),
         }
     }
 

@@ -34,6 +34,7 @@ pub mod server;
 pub mod sharing;
 pub mod stream;
 pub mod streamlet;
+pub mod supervisor;
 
 pub use coordination::CoordinationManager;
 pub use directory::StreamletDirectory;
@@ -43,11 +44,15 @@ pub use executor::{default_executor, Executor, ThreadPerStreamlet, WorkerPool};
 pub use pool::{MessagePool, PayloadMode};
 pub use pooling::StreamletPool;
 pub use queue::{FetchResult, MessageQueue, PostResult, QueueConfig};
-pub use server::{ExecutorConfig, MobiGate, ServerConfig};
+pub use server::{ExecutorConfig, MobiGate, ServerConfig, SupervisionConfig};
 pub use sharing::{SharedStreamlet, SharingStats};
 pub use stream::{ReconfigStats, RunningStream, StreamStats};
 pub use streamlet::{
-    Emitter, PumpOutcome, RouteOpts, StreamletCtx, StreamletHandle, StreamletLogic, StreamletTask,
+    Emitter, LifecycleState, PumpOutcome, RouteOpts, StreamletCtx, StreamletHandle, StreamletLogic,
+    StreamletTask,
+};
+pub use supervisor::{
+    DeadLetter, DeadLetterQueue, FaultCause, FaultInfo, RestartPolicy, Supervisor, SupervisorStats,
 };
 
 // Re-export the language-level vocabulary the runtime shares with MCL.

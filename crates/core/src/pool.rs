@@ -26,6 +26,9 @@
 //! machine; [`MessagePool::with_shards`] pins a count (1 reproduces the
 //! paper's single-lock pool for ablation).
 
+// Hot-path modules must surface failures as `CoreError`s, never abort.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use bytes::Bytes;
 use mobigate_mime::MimeMessage;
 use parking_lot::Mutex;
@@ -100,12 +103,12 @@ struct Shard {
 }
 
 impl Shard {
-    fn evict(&self, map: &mut HashMap<u64, Entry>, id: u64) -> MimeMessage {
-        let e = map.remove(&id).expect("present");
+    fn evict(&self, map: &mut HashMap<u64, Entry>, id: u64) -> Option<MimeMessage> {
+        let e = map.remove(&id)?;
         self.evicted.fetch_add(1, Ordering::Release);
         self.resident_bytes
             .fetch_sub(e.msg.body.len() as u64, Ordering::Release);
-        e.msg
+        Some(e.msg)
     }
 }
 
@@ -228,12 +231,11 @@ impl MessagePool {
         let mut slots = shard.slots.lock();
         let entry = slots.get_mut(&id.0)?;
         entry.refs -= 1;
-        let msg = if entry.refs == 0 {
+        if entry.refs == 0 {
             shard.evict(&mut slots, id.0)
         } else {
-            entry.msg.clone()
-        };
-        Some(msg)
+            Some(entry.msg.clone())
+        }
     }
 
     /// Drops one reference without reading (used when a queue discards a
@@ -316,6 +318,7 @@ pub fn deep_copy(msg: &MimeMessage) -> MimeMessage {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use mobigate_mime::MimeType;

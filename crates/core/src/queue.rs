@@ -20,6 +20,9 @@
 //! a 1024 KB image could never cross a 100 KB channel and the stream would
 //! stall forever).
 
+// Hot-path modules must surface failures as `CoreError`s, never abort.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::pool::{MessagePool, Payload};
 use mobigate_mcl::ast::{ChannelCategory, ChannelKind};
 use mobigate_mime::MimeType;
@@ -519,6 +522,7 @@ impl MessageQueue {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use mobigate_mime::MimeMessage;

@@ -19,6 +19,7 @@ use crate::executor::{default_executor, Executor, WorkerPool};
 use crate::pool::{MessagePool, PayloadMode};
 use crate::pooling::StreamletPool;
 use crate::stream::{RunningStream, StreamDeps};
+use crate::supervisor::{DeadLetterQueue, RestartPolicy, Supervisor};
 use mobigate_mcl::analysis;
 use mobigate_mcl::compile::compile;
 use mobigate_mcl::config::Program;
@@ -49,6 +50,28 @@ impl ExecutorConfig {
     }
 }
 
+/// Fault-tolerance knobs for the execution plane (see `supervisor.rs`).
+#[derive(Clone)]
+pub struct SupervisionConfig {
+    /// When false, no supervisor is built: a faulted instance stays
+    /// `Faulted` forever (panics are still isolated from the executor).
+    pub enabled: bool,
+    /// Default restart policy applied to every deployed instance.
+    pub policy: RestartPolicy,
+    /// Capacity of the poison-message dead-letter queue.
+    pub dead_letter_capacity: usize,
+}
+
+impl Default for SupervisionConfig {
+    fn default() -> Self {
+        SupervisionConfig {
+            enabled: true,
+            policy: RestartPolicy::default(),
+            dead_letter_capacity: 64,
+        }
+    }
+}
+
 /// Server-wide runtime knobs, grouped so ablations can vary one axis at a
 /// time.
 #[derive(Clone)]
@@ -62,6 +85,9 @@ pub struct ServerConfig {
     /// Message-pool shard count (rounded up to a power of two). `None`
     /// derives it from the machine's available parallelism.
     pub pool_shards: Option<usize>,
+    /// Streamlet supervision (panic isolation is always on; this governs
+    /// restarts, quarantine, and the dead-letter queue).
+    pub supervision: SupervisionConfig,
 }
 
 impl Default for ServerConfig {
@@ -71,6 +97,7 @@ impl Default for ServerConfig {
             route_opts: Default::default(),
             executor: ExecutorConfig::default(),
             pool_shards: None,
+            supervision: SupervisionConfig::default(),
         }
     }
 }
@@ -84,7 +111,9 @@ pub struct MobiGate {
     coordination: CoordinationManager,
     mode: PayloadMode,
     /// Declared after `coordination` on purpose: streams shut down (ending
-    /// their streamlets) before the executor's workers are joined.
+    /// their streamlets) before the supervisor stops restarting them and
+    /// before the executor's workers are joined.
+    supervisor: Option<Arc<Supervisor>>,
     executor: Arc<dyn Executor>,
 }
 
@@ -146,6 +175,15 @@ impl MobiGate {
         });
         let executor = config.executor.build();
         let events = Arc::new(EventManager::new());
+        let supervisor = if config.supervision.enabled {
+            Some(Supervisor::new(
+                events.clone(),
+                config.supervision.policy.clone(),
+                config.supervision.dead_letter_capacity,
+            ))
+        } else {
+            None
+        };
         let deps = StreamDeps {
             msg_pool: msg_pool.clone(),
             directory: directory.clone(),
@@ -153,6 +191,7 @@ impl MobiGate {
             mode: config.mode,
             route_opts: config.route_opts,
             executor: executor.clone(),
+            supervisor: supervisor.clone(),
         };
         MobiGate {
             directory,
@@ -161,6 +200,7 @@ impl MobiGate {
             events: events.clone(),
             coordination: CoordinationManager::new(deps, events),
             mode: config.mode,
+            supervisor,
             executor,
         }
     }
@@ -198,6 +238,17 @@ impl MobiGate {
     /// The execution back end scheduling this server's streamlets.
     pub fn executor(&self) -> &Arc<dyn Executor> {
         &self.executor
+    }
+
+    /// The streamlet supervisor, when supervision is enabled.
+    pub fn supervisor(&self) -> Option<&Arc<Supervisor>> {
+        self.supervisor.as_ref()
+    }
+
+    /// The poison-message dead-letter queue (inspection API), when
+    /// supervision is enabled.
+    pub fn dead_letters(&self) -> Option<&Arc<DeadLetterQueue>> {
+        self.supervisor.as_ref().map(|s| s.dead_letters())
     }
 
     /// Compiles `source` and returns the program without deploying.

@@ -16,6 +16,9 @@
 //! prerequisites: the input queues must be empty, the streamlet must not be
 //! processing, and produced messages must have been handed downstream.
 
+// Hot-path modules must surface failures as `CoreError`s, never abort.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::directory::StreamletDirectory;
 use crate::error::CoreError;
 use crate::events::{ContextEvent, EventSubscriber};
@@ -48,6 +51,9 @@ pub struct StreamDeps {
     pub route_opts: RouteOpts,
     /// Execution back end scheduling the streamlets.
     pub executor: Arc<dyn Executor>,
+    /// Optional fault supervisor; when present every created instance is
+    /// registered for panic recovery and restart.
+    pub supervisor: Option<Arc<crate::supervisor::Supervisor>>,
 }
 
 /// Equation 7-1 instrumentation of one reconfiguration:
@@ -184,7 +190,7 @@ impl RunningStream {
                 lazy.insert(row.name.clone(), row.def.clone());
                 continue;
             }
-            let handle = create_instance(&row.name, &row.def, defs, &deps, &session)?;
+            let handle = create_instance(&row.name, &row.def, defs, &deps, &session, &table.name)?;
             instances.insert(row.name.clone(), handle);
         }
 
@@ -653,7 +659,14 @@ impl RunningStream {
                     name: name.to_string(),
                 })?,
         };
-        let handle = create_instance(name, &def, &self.defs, &self.deps, &self.session)?;
+        let handle = create_instance(
+            name,
+            &def,
+            &self.defs,
+            &self.deps,
+            &self.session,
+            &self.name,
+        )?;
         handle.start()?;
         stats.instance_creations += 1;
         inner.lazy.remove(name);
@@ -1033,12 +1046,16 @@ impl Drop for RunningStream {
 }
 
 /// Checks logic out of the pool (or directory) and wraps it in a handle.
+/// When the deps carry a supervisor, the new instance is registered for
+/// panic recovery: rebuilds go through the directory factory (never the
+/// pool, which could recycle poisoned state).
 fn create_instance(
     name: &str,
     def: &str,
     defs: &BTreeMap<String, StreamletSpec>,
     deps: &StreamDeps,
     session: &SessionId,
+    stream: &str,
 ) -> Result<Arc<StreamletHandle>, CoreError> {
     let spec = defs.get(def).ok_or_else(|| CoreError::NotFound {
         kind: "streamlet definition",
@@ -1046,7 +1063,7 @@ fn create_instance(
     })?;
     let key = deps.directory.resolve_key(&spec.library, &spec.name);
     let logic = deps.streamlet_pool.checkout(key, &deps.directory)?;
-    Ok(StreamletHandle::with_executor(
+    let handle = StreamletHandle::with_executor(
         name,
         def,
         spec.stateful,
@@ -1056,10 +1073,17 @@ fn create_instance(
         Some(session.clone()),
         deps.route_opts.clone(),
         deps.executor.clone(),
-    ))
+    );
+    if let Some(sup) = &deps.supervisor {
+        let dir = deps.directory.clone();
+        let key = key.to_string();
+        sup.supervise(&handle, move || dir.create(&key), Some(stream.to_string()));
+    }
+    Ok(handle)
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::streamlet::{Emitter, StreamletCtx, StreamletLogic};
@@ -1090,6 +1114,7 @@ mod tests {
             mode: PayloadMode::Reference,
             route_opts: RouteOpts::default(),
             executor: crate::executor::default_executor(),
+            supervisor: None,
         }
     }
 

@@ -14,8 +14,10 @@ use crate::error::CoreError;
 use crate::executor::{default_executor, Executor};
 use crate::pool::{MessagePool, Payload, PayloadMode};
 use crate::queue::{FetchResult, MessageQueue, Notifier};
+use crate::supervisor::FaultCause;
 use mobigate_mime::{MimeMessage, SessionId, TypeRegistry};
 use parking_lot::{Condvar, Mutex, RwLock};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -135,6 +137,12 @@ pub enum LifecycleState {
     Paused,
     /// Terminated; the worker thread has exited or will imminently.
     Ended,
+    /// The logic panicked; the poisoned object was dropped and the task is
+    /// parked awaiting a supervisor restart (see `supervisor.rs`).
+    Faulted,
+    /// The supervisor's restart budget is exhausted: the instance stays
+    /// wired but will never process again unless reconfigured away.
+    Quarantined,
 }
 
 /// Counters exposed by a handle.
@@ -150,6 +158,10 @@ pub struct StreamletStats {
     pub errors: u64,
     /// Emissions suppressed by the runtime type check.
     pub type_violations: u64,
+    /// Panics caught in `process`/`control`/`on_activate`.
+    pub faults: u64,
+    /// Supervisor restarts applied to this instance.
+    pub restarts: u64,
 }
 
 struct Shared {
@@ -179,10 +191,25 @@ struct Shared {
     /// Pending control-interface commands, applied by the worker between
     /// messages: (key, value, result slot).
     controls: Mutex<Vec<ControlRequest>>,
+    /// A message whose `process` panicked, stashed (with its fault count)
+    /// for redelivery after the supervisor restarts the instance — or for
+    /// eviction to the dead-letter queue if it keeps faulting.
+    redelivery: Mutex<Option<(MimeMessage, u32)>>,
+    /// Cause of the most recent fault.
+    last_fault: Mutex<Option<FaultCause>>,
+    /// Fired from the executor thread when the instance faults; installed
+    /// by the supervisor to enqueue restart work.
+    fault_hook: Mutex<Option<FaultHook>>,
+    faults: AtomicU64,
+    restarts: AtomicU64,
 }
 
 /// Rendezvous slot a control requester waits on: result + wakeup.
 type ControlSlot = Arc<(Mutex<Option<Result<(), CoreError>>>, Condvar)>;
+
+/// Supervisor callback invoked (off the executor thread's unwind path)
+/// whenever the instance faults.
+type FaultHook = Box<dyn Fn(FaultCause) + Send + Sync>;
 
 struct ControlRequest {
     key: String,
@@ -334,6 +361,11 @@ impl StreamletHandle {
                 route_opts,
                 type_violations: AtomicU64::new(0),
                 controls: Mutex::new(Vec::new()),
+                redelivery: Mutex::new(None),
+                last_fault: Mutex::new(None),
+                fault_hook: Mutex::new(None),
+                faults: AtomicU64::new(0),
+                restarts: AtomicU64::new(0),
             }),
             def_name: def_name.into(),
             stateful,
@@ -387,6 +419,8 @@ impl StreamletHandle {
             dropped_unrouted: self.shared.dropped_unrouted.load(Ordering::Relaxed),
             errors: self.shared.errors.load(Ordering::Relaxed),
             type_violations: self.shared.type_violations.load(Ordering::Relaxed),
+            faults: self.shared.faults.load(Ordering::Relaxed),
+            restarts: self.shared.restarts.load(Ordering::Relaxed),
         }
     }
 
@@ -401,10 +435,11 @@ impl StreamletHandle {
         value: &str,
         timeout: Duration,
     ) -> Result<(), CoreError> {
-        if *self.shared.state.lock() == LifecycleState::Ended {
+        let s = *self.shared.state.lock();
+        if matches!(s, LifecycleState::Ended | LifecycleState::Quarantined) {
             return Err(CoreError::Lifecycle {
                 name: self.shared.name.clone(),
-                message: "cannot control an ended streamlet".into(),
+                message: format!("cannot control a streamlet in {s:?}"),
             });
         }
         let done: ControlSlot = Arc::new((Mutex::new(None), Condvar::new()));
@@ -483,19 +518,41 @@ impl StreamletHandle {
     }
 
     /// Detaches every binding (used during teardown). Errors (KK channels)
-    /// are returned after best-effort detachment of the rest.
+    /// are returned after best-effort detachment of the rest; bindings the
+    /// channel *refused* to release stay recorded on the handle, so the
+    /// handle's view never disagrees with the queue's attachment counts.
     pub fn detach_all(&self) -> Result<(), CoreError> {
         let mut first_err = None;
-        for (_, q) in self.shared.inputs.write().drain(..) {
-            q.remove_listener(&self.shared.notifier);
-            if let Err(e) = q.detach_sink() {
-                first_err.get_or_insert(e);
+        {
+            let mut inputs = self.shared.inputs.write();
+            let mut kept = Vec::new();
+            for (port, q) in inputs.drain(..) {
+                q.remove_listener(&self.shared.notifier);
+                match q.detach_sink() {
+                    Ok(()) => {}
+                    Err(e) => {
+                        // Restore the listener along with the binding.
+                        q.add_listener(self.shared.notifier.clone());
+                        first_err.get_or_insert(e);
+                        kept.push((port, q));
+                    }
+                }
             }
+            *inputs = kept;
         }
-        for (_, q) in self.shared.outputs.write().drain(..) {
-            if let Err(e) = q.detach_source() {
-                first_err.get_or_insert(e);
+        {
+            let mut outputs = self.shared.outputs.write();
+            let mut kept = Vec::new();
+            for (port, q) in outputs.drain(..) {
+                match q.detach_source() {
+                    Ok(()) => {}
+                    Err(e) => {
+                        first_err.get_or_insert(e);
+                        kept.push((port, q));
+                    }
+                }
             }
+            *outputs = kept;
         }
         match first_err {
             Some(e) => Err(e),
@@ -562,6 +619,7 @@ impl StreamletHandle {
     /// Requests suspension and returns once the worker is quiescent (not
     /// inside `process`). This is step 2 of the Figure 7-4 reconfiguration.
     pub fn pause_and_wait(&self, timeout: Duration) -> Result<(), CoreError> {
+        let t0 = Instant::now();
         {
             let mut state = self.shared.state.lock();
             match *state {
@@ -571,6 +629,9 @@ impl StreamletHandle {
                     self.shared.cv.notify_all();
                 }
                 LifecycleState::Paused => {}
+                // No worker is inside `process` for a faulted/quarantined
+                // instance: it is already quiescent for reconfiguration.
+                LifecycleState::Faulted | LifecycleState::Quarantined => return Ok(()),
                 other => {
                     return Err(CoreError::Lifecycle {
                         name: self.shared.name.clone(),
@@ -580,12 +641,20 @@ impl StreamletHandle {
             }
         }
         self.shared.notifier.notify();
-        let deadline = Instant::now() + timeout;
+        let deadline = t0 + timeout;
         while !self.shared.pause_acked.load(Ordering::Acquire) {
+            // A fault can supersede the pause; the instance is then
+            // quiescent anyway.
+            if matches!(
+                self.state(),
+                LifecycleState::Faulted | LifecycleState::Quarantined
+            ) {
+                return Ok(());
+            }
             if Instant::now() >= deadline {
-                return Err(CoreError::Lifecycle {
-                    name: self.shared.name.clone(),
-                    message: "pause not acknowledged in time".into(),
+                return Err(CoreError::Timeout {
+                    waited: t0.elapsed(),
+                    instance: self.shared.name.clone(),
                 });
             }
             std::thread::yield_now();
@@ -648,6 +717,96 @@ impl StreamletHandle {
     /// Takes the logic object back after `end()` (or before `start()`).
     pub fn take_logic(&self) -> Option<Box<dyn StreamletLogic>> {
         self.logic_slot.lock().take()
+    }
+
+    // --- supervision (see `supervisor.rs`) -------------------------------
+
+    /// Installs the callback fired (from the executor thread) when the
+    /// instance faults. The supervisor uses this to enqueue restart work;
+    /// the hook must be cheap and must not block.
+    pub fn set_fault_hook(&self, hook: impl Fn(FaultCause) + Send + Sync + 'static) {
+        *self.shared.fault_hook.lock() = Some(Box::new(hook));
+    }
+
+    /// Removes the fault hook.
+    pub fn clear_fault_hook(&self) {
+        *self.shared.fault_hook.lock() = None;
+    }
+
+    /// The most recent fault's cause, if any.
+    pub fn last_fault(&self) -> Option<FaultCause> {
+        self.shared.last_fault.lock().clone()
+    }
+
+    /// How many times the currently stashed redelivery message has faulted
+    /// this instance (0 when nothing is stashed).
+    pub fn redelivery_faults(&self) -> u32 {
+        self.shared
+            .redelivery
+            .lock()
+            .as_ref()
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    }
+
+    /// Removes the stashed redelivery message (poison eviction): the next
+    /// restart then resumes from the input queues instead of replaying it.
+    pub fn take_redelivery(&self) -> Option<(MimeMessage, u32)> {
+        self.shared.redelivery.lock().take()
+    }
+
+    /// Installs fresh logic into a `Faulted` instance and resumes it in
+    /// place. Channel bindings live on the handle and are untouched, so the
+    /// restarted instance keeps its exact position in the stream topology.
+    pub fn restart_with(&self, logic: Box<dyn StreamletLogic>) -> Result<(), CoreError> {
+        let task = self.task.lock().clone();
+        let Some(task) = task else {
+            return Err(CoreError::Lifecycle {
+                name: self.shared.name.clone(),
+                message: "no live task to restart".into(),
+            });
+        };
+        {
+            // Lock order matches `pump`: running slot, then state.
+            let mut slot = task.running.lock();
+            let mut state = self.shared.state.lock();
+            if *state != LifecycleState::Faulted {
+                return Err(CoreError::Lifecycle {
+                    name: self.shared.name.clone(),
+                    message: format!("cannot restart from {:?}", *state),
+                });
+            }
+            *slot = Some(logic);
+            // The fresh logic gets its own `on_activate`.
+            task.activated.store(false, Ordering::Release);
+            self.shared.pause_acked.store(false, Ordering::Release);
+            *state = LifecycleState::Running;
+            self.shared.restarts.fetch_add(1, Ordering::Relaxed);
+            self.shared.cv.notify_all();
+        }
+        self.shared.notifier.notify();
+        Ok(())
+    }
+
+    /// Gives up on a `Faulted` instance (`Faulted` → `Quarantined`): it
+    /// stays wired but processes nothing until a reconfiguration bypasses
+    /// or removes it.
+    pub fn quarantine(&self) -> Result<(), CoreError> {
+        let mut state = self.shared.state.lock();
+        match *state {
+            LifecycleState::Faulted => {
+                *state = LifecycleState::Quarantined;
+                self.shared.cv.notify_all();
+                drop(state);
+                self.shared.notifier.notify();
+                Ok(())
+            }
+            LifecycleState::Quarantined => Ok(()),
+            other => Err(CoreError::Lifecycle {
+                name: self.shared.name.clone(),
+                message: format!("cannot quarantine from {other:?}"),
+            }),
+        }
     }
 }
 
@@ -715,8 +874,13 @@ impl StreamletTask {
             LifecycleState::Ended => !self.shared.exited.load(Ordering::Acquire),
             LifecycleState::Paused => !self.shared.pause_acked.load(Ordering::Acquire),
             LifecycleState::Created => false,
+            // A faulted/quarantined task has nothing to run until the
+            // supervisor's `restart_with` moves it back to Running (which
+            // notifies, so the wake hook reschedules it).
+            LifecycleState::Faulted | LifecycleState::Quarantined => false,
             LifecycleState::Running => {
                 !self.shared.controls.lock().is_empty()
+                    || self.shared.redelivery.lock().is_some()
                     || self.shared.inputs.read().iter().any(|(_, q)| !q.is_empty())
             }
         }
@@ -724,45 +888,95 @@ impl StreamletTask {
 
     /// Dedicated-thread driver: blocks on the notifier when idle and only
     /// returns once the streamlet ends (the paper's `Streamlet.run()`).
+    ///
+    /// A panic in the logic does **not** unwind out of this function: the
+    /// poisoned logic object is dropped, the instance goes `Faulted`, and
+    /// the thread parks until the supervisor installs fresh logic via
+    /// [`StreamletHandle::restart_with`] (or `end()` terminates it).
     pub fn run_blocking(&self) {
         let Some(mut logic) = self.running.lock().take() else {
             return;
         };
-        if !self.activated.swap(true, Ordering::AcqRel) {
-            logic.on_activate();
-        }
         let shared = &self.shared;
         let idle_wait = Duration::from_millis(5);
-        'outer: loop {
-            // Snapshot before inspecting any state: a notify issued while
-            // we are checking queues/lifecycle is then caught by
-            // wait_unless.
-            let notified = shared.notifier.snapshot();
-            // Lifecycle gate.
-            {
-                let mut state = shared.state.lock();
-                loop {
-                    match *state {
-                        LifecycleState::Running => break,
-                        LifecycleState::Paused => {
-                            if !shared.pause_acked.swap(true, Ordering::AcqRel) {
-                                logic.on_pause();
+        loop {
+            let mut faulted = !self.activate_logic(logic.as_mut());
+            while !faulted {
+                // Snapshot before inspecting any state: a notify issued
+                // while we are checking queues/lifecycle is then caught by
+                // wait_unless.
+                let notified = shared.notifier.snapshot();
+                // Lifecycle gate.
+                {
+                    let mut state = shared.state.lock();
+                    loop {
+                        match *state {
+                            LifecycleState::Running => break,
+                            LifecycleState::Paused => {
+                                if !shared.pause_acked.swap(true, Ordering::AcqRel) {
+                                    logic.on_pause();
+                                }
+                                shared.cv.wait(&mut state);
                             }
-                            shared.cv.wait(&mut state);
-                        }
-                        LifecycleState::Ended => break 'outer,
-                        LifecycleState::Created => {
-                            shared.cv.wait(&mut state);
+                            LifecycleState::Ended => {
+                                drop(state);
+                                self.finalize(logic);
+                                return;
+                            }
+                            LifecycleState::Created => {
+                                shared.cv.wait(&mut state);
+                            }
+                            // Only this driver's own step/controls fault
+                            // the task, and those exit the loop below —
+                            // but tolerate external transitions too.
+                            LifecycleState::Faulted | LifecycleState::Quarantined => {
+                                faulted = true;
+                                break;
+                            }
                         }
                     }
                 }
+                if faulted {
+                    break;
+                }
+                if !self.service_controls(logic.as_mut()) {
+                    // A control handler panicked: state is already Faulted.
+                    break;
+                }
+                match self.step(logic.as_mut()) {
+                    Step::Progress => {}
+                    Step::Idle => shared.notifier.wait_unless(notified, idle_wait),
+                    Step::Fault => faulted = true,
+                }
             }
-            self.service_controls(logic.as_mut());
-            if !self.step(logic.as_mut()) {
-                shared.notifier.wait_unless(notified, idle_wait);
-            }
+            // The logic object is poisoned: drop it and park until the
+            // supervisor installs a fresh one (or `end()` arrives).
+            drop(logic);
+            logic = loop {
+                let ended = {
+                    let mut state = shared.state.lock();
+                    loop {
+                        match *state {
+                            LifecycleState::Running => break false,
+                            LifecycleState::Ended => break true,
+                            _ => shared.cv.wait(&mut state),
+                        }
+                    }
+                };
+                if ended {
+                    self.finalize_empty();
+                    return;
+                }
+                if let Some(fresh) = self.running.lock().take() {
+                    break fresh;
+                }
+                // Running with an empty slot: a wakeup raced the restart
+                // installing the logic; go around.
+                std::thread::yield_now();
+            };
+            // Loop: `restart_with` cleared `activated`, so the fresh logic
+            // gets its `on_activate`.
         }
-        self.finalize(logic);
     }
 
     /// Pool-worker driver: runs up to `budget` messages without ever
@@ -773,11 +987,28 @@ impl StreamletTask {
     pub fn pump(&self, budget: usize) -> PumpOutcome {
         let mut slot = self.running.lock();
         if slot.is_none() {
-            // Already finalized (or owned by a run_blocking driver).
-            return PumpOutcome::Ended;
+            if self.shared.exited.load(Ordering::Acquire) {
+                // Already finalized.
+                return PumpOutcome::Ended;
+            }
+            // The poisoned logic was dropped by a fault. Keep servicing
+            // lifecycle transitions: `end()` still needs the exit
+            // published, and until then the task just idles awaiting a
+            // supervisor restart. (A task driven by `run_blocking` also
+            // has an empty slot, but executors never mix drivers.)
+            let state = { *self.shared.state.lock() };
+            return match state {
+                LifecycleState::Ended => {
+                    drop(slot);
+                    self.finalize_empty();
+                    PumpOutcome::Ended
+                }
+                _ => PumpOutcome::Idle,
+            };
         }
-        if !self.activated.swap(true, Ordering::AcqRel) {
-            slot.as_mut().expect("checked").on_activate();
+        if !self.activate_logic(slot.as_mut().expect("checked").as_mut()) {
+            drop(slot.take());
+            return PumpOutcome::Idle;
         }
         for _ in 0..budget.max(1) {
             // Copy the state out so the guard drops before the arms run:
@@ -798,19 +1029,47 @@ impl StreamletTask {
                     return PumpOutcome::Ended;
                 }
                 LifecycleState::Created => return PumpOutcome::Idle,
+                LifecycleState::Faulted | LifecycleState::Quarantined => {
+                    return PumpOutcome::Idle;
+                }
             }
             let logic = slot.as_mut().expect("checked");
-            self.service_controls(logic.as_mut());
-            let logic = slot.as_mut().expect("checked");
-            if !self.step(logic.as_mut()) {
+            if !self.service_controls(logic.as_mut()) {
+                drop(slot.take());
                 return PumpOutcome::Idle;
+            }
+            let logic = slot.as_mut().expect("checked");
+            match self.step(logic.as_mut()) {
+                Step::Progress => {}
+                Step::Idle => return PumpOutcome::Idle,
+                Step::Fault => {
+                    drop(slot.take());
+                    return PumpOutcome::Idle;
+                }
             }
         }
         PumpOutcome::More
     }
 
+    /// Fires `on_activate` exactly once per (re)start. A panic there is a
+    /// fault like any other; returns `false` when the logic is poisoned.
+    fn activate_logic(&self, logic: &mut dyn StreamletLogic) -> bool {
+        if self.activated.swap(true, Ordering::AcqRel) {
+            return true;
+        }
+        match std::panic::catch_unwind(AssertUnwindSafe(|| logic.on_activate())) {
+            Ok(()) => true,
+            Err(payload) => {
+                self.fault(FaultCause::Panic(panic_message(payload.as_ref())));
+                false
+            }
+        }
+    }
+
     /// Services pending control commands (§8.2.1) between messages.
-    fn service_controls(&self, logic: &mut dyn StreamletLogic) {
+    /// Returns `false` when a control handler panicked (the task faulted;
+    /// the caller must drop the logic).
+    fn service_controls(&self, logic: &mut dyn StreamletLogic) -> bool {
         loop {
             let req = {
                 let mut controls = self.shared.controls.lock();
@@ -819,54 +1078,117 @@ impl StreamletTask {
                 }
                 controls.remove(0)
             };
-            let result = logic.control(&req.key, &req.value);
+            let outcome =
+                std::panic::catch_unwind(AssertUnwindSafe(|| logic.control(&req.key, &req.value)));
             let (slot, cv) = &*req.done;
-            *slot.lock() = Some(result);
-            cv.notify_all();
-        }
-    }
-
-    /// Fetches one message round-robin and processes it. Returns `false`
-    /// when every input was empty (no progress possible).
-    fn step(&self, logic: &mut dyn StreamletLogic) -> bool {
-        let shared = &self.shared;
-        let inputs: Vec<Arc<MessageQueue>> = shared
-            .inputs
-            .read()
-            .iter()
-            .map(|(_, q)| q.clone())
-            .collect();
-        let mut got = None;
-        for q in &inputs {
-            if let FetchResult::Msg(p) = q.try_fetch() {
-                got = Some(p);
-                break;
-            }
-        }
-        let Some(payload) = got else {
-            return false;
-        };
-        let Some(msg) = shared.pool.resolve(payload) else {
-            // Dangling reference: progress was made (the slot is drained).
-            return true;
-        };
-
-        shared.processing.store(true, Ordering::Release);
-        let mut ctx = StreamletCtx::new(&shared.name, shared.session.as_ref());
-        let result = logic.process(msg, &mut ctx);
-        let outs = ctx.into_outputs();
-        shared.processing.store(false, Ordering::Release);
-
-        match result {
-            Ok(()) => {
-                shared.processed.fetch_add(1, Ordering::Relaxed);
-                shared.route_outputs(outs);
-            }
-            Err(_) => {
-                shared.errors.fetch_add(1, Ordering::Relaxed);
+            match outcome {
+                Ok(result) => {
+                    *slot.lock() = Some(result);
+                    cv.notify_all();
+                }
+                Err(payload) => {
+                    let text = panic_message(payload.as_ref());
+                    // The requester gets an error rather than a timeout.
+                    *slot.lock() = Some(Err(CoreError::Process {
+                        streamlet: self.shared.name.clone(),
+                        message: format!("control handler panicked: {text}"),
+                    }));
+                    cv.notify_all();
+                    self.fault(FaultCause::ControlPanic(text));
+                    return false;
+                }
             }
         }
         true
+    }
+
+    /// Fetches one message round-robin and processes it inside a panic
+    /// boundary. A stashed redelivery message (from a previous fault) takes
+    /// priority over fresh input, so a restarted instance resumes exactly
+    /// where it failed.
+    fn step(&self, logic: &mut dyn StreamletLogic) -> Step {
+        let shared = &self.shared;
+        let pending = shared.redelivery.lock().take();
+        let (msg, prior_faults) = match pending {
+            Some(p) => p,
+            None => {
+                let inputs: Vec<Arc<MessageQueue>> = shared
+                    .inputs
+                    .read()
+                    .iter()
+                    .map(|(_, q)| q.clone())
+                    .collect();
+                let mut got = None;
+                for q in &inputs {
+                    if let FetchResult::Msg(p) = q.try_fetch() {
+                        got = Some(p);
+                        break;
+                    }
+                }
+                let Some(payload) = got else {
+                    return Step::Idle;
+                };
+                let Some(msg) = shared.pool.resolve(payload) else {
+                    // Dangling reference: progress was made (the slot is
+                    // drained).
+                    return Step::Progress;
+                };
+                (msg, 0)
+            }
+        };
+
+        // Keep a handle on the message so a panic can stash it for
+        // redelivery (the body is `Bytes`; this clone is cheap).
+        let replay = msg.clone();
+        shared.processing.store(true, Ordering::Release);
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut ctx = StreamletCtx::new(&shared.name, shared.session.as_ref());
+            let result = logic.process(msg, &mut ctx);
+            (result, ctx.into_outputs())
+        }));
+        shared.processing.store(false, Ordering::Release);
+
+        match outcome {
+            Ok((Ok(()), outs)) => {
+                shared.processed.fetch_add(1, Ordering::Relaxed);
+                shared.route_outputs(outs);
+                Step::Progress
+            }
+            Ok((Err(_), _)) => {
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                Step::Progress
+            }
+            Err(payload) => {
+                *shared.redelivery.lock() = Some((replay, prior_faults + 1));
+                self.fault(FaultCause::Panic(panic_message(payload.as_ref())));
+                Step::Fault
+            }
+        }
+    }
+
+    /// Marks the instance `Faulted` and fires the supervisor's fault hook.
+    /// Loses gracefully to a concurrent `end()`: an ended instance is never
+    /// resurrected into `Faulted`.
+    fn fault(&self, cause: FaultCause) {
+        let shared = &self.shared;
+        shared.faults.fetch_add(1, Ordering::Relaxed);
+        let report = {
+            let mut state = shared.state.lock();
+            if *state == LifecycleState::Ended {
+                false
+            } else {
+                *state = LifecycleState::Faulted;
+                *shared.last_fault.lock() = Some(cause.clone());
+                shared.cv.notify_all();
+                true
+            }
+        };
+        if report {
+            let hook = shared.fault_hook.lock();
+            if let Some(h) = &*hook {
+                h(cause);
+            }
+        }
     }
 
     /// Runs `on_end`, parks the logic back in the handle, and publishes
@@ -880,6 +1202,39 @@ impl StreamletTask {
             self.shared.cv.notify_all();
         }
         self.shared.notifier.notify();
+    }
+
+    /// Publishes the exit for a task whose logic was already dropped by a
+    /// fault: there is nothing to run `on_end` on and nothing to park.
+    fn finalize_empty(&self) {
+        {
+            let _state = self.shared.state.lock();
+            self.shared.exited.store(true, Ordering::Release);
+            self.shared.cv.notify_all();
+        }
+        self.shared.notifier.notify();
+    }
+}
+
+/// How a [`StreamletTask::step`] invocation left the task.
+enum Step {
+    /// A message was consumed (successfully or with a logic `Err`).
+    Progress,
+    /// Every input was empty; nothing to do.
+    Idle,
+    /// The logic panicked: the task is `Faulted` and the logic object must
+    /// be dropped by the driver.
+    Fault,
+}
+
+/// Extracts the human-readable text of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 

@@ -1,0 +1,607 @@
+//! Streamlet supervision: restart policies, poison-message quarantine, and
+//! the dead-letter queue.
+//!
+//! The paper's event-driven reconfiguration (`when (EVENT) { … }`, §4.2.3)
+//! presumes the coordination plane can *detect* execution-plane failure.
+//! This module closes that loop: when a `StreamletLogic` panics, the
+//! executor marks the instance [`Faulted`](crate::streamlet::LifecycleState)
+//! (see `streamlet.rs`) and notifies the [`Supervisor`], which
+//!
+//! 1. rebuilds the logic object from the directory factory and restarts the
+//!    instance in place — channel bindings live on the handle, so they are
+//!    preserved across the restart;
+//! 2. applies a per-streamlet [`RestartPolicy`] (restart budget over a
+//!    sliding window, exponential backoff with jitter) and gives up into
+//!    `Quarantined` once the budget is exhausted;
+//! 3. evicts a *poison message* — one that faults the same instance
+//!    `poison_threshold` times in a row — into a bounded [`DeadLetterQueue`]
+//!    so the restarted instance makes progress without it;
+//! 4. raises every fault as a categorized `STREAMLET_FAULT` context event
+//!    through the Event Manager, so MCL `when (STREAMLET_FAULT)` rules can
+//!    degrade or bypass the failing streamlet.
+
+use crate::error::CoreError;
+use crate::events::{ContextEvent, EventManager};
+use crate::streamlet::{StreamletHandle, StreamletLogic};
+use mobigate_mime::MimeMessage;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Why a streamlet instance faulted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultCause {
+    /// `StreamletLogic::process` panicked (payload text).
+    Panic(String),
+    /// `StreamletLogic::control` panicked (payload text).
+    ControlPanic(String),
+}
+
+impl FaultCause {
+    /// The panic payload text.
+    pub fn message(&self) -> &str {
+        match self {
+            FaultCause::Panic(m) | FaultCause::ControlPanic(m) => m,
+        }
+    }
+
+    /// A stable category label for reporting.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultCause::Panic(_) => "panic",
+            FaultCause::ControlPanic(_) => "control-panic",
+        }
+    }
+}
+
+impl fmt::Display for FaultCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.label(), self.message())
+    }
+}
+
+/// Details attached to a `STREAMLET_FAULT` context event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultInfo {
+    /// Faulted instance name.
+    pub instance: String,
+    /// Why it faulted.
+    pub cause: FaultCause,
+    /// Supervisor restarts performed on this instance so far (before this
+    /// fault is handled).
+    pub restarts: u32,
+}
+
+/// Per-streamlet restart policy.
+#[derive(Debug, Clone)]
+pub struct RestartPolicy {
+    /// Faults tolerated inside `window` before the instance is quarantined.
+    pub max_restarts: u32,
+    /// Sliding window over which faults are counted.
+    pub window: Duration,
+    /// First restart delay; doubles per consecutive fault in the window.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+    /// Randomize each delay into `[50%, 150%]` of the exponential value so
+    /// a burst of correlated faults does not restart in lock-step.
+    pub jitter: bool,
+    /// A message that faults the same instance this many times is evicted
+    /// to the dead-letter queue instead of being redelivered again.
+    pub poison_threshold: u32,
+}
+
+impl Default for RestartPolicy {
+    fn default() -> Self {
+        RestartPolicy {
+            max_restarts: 5,
+            window: Duration::from_secs(10),
+            backoff_base: Duration::from_millis(2),
+            backoff_max: Duration::from_millis(200),
+            jitter: true,
+            poison_threshold: 3,
+        }
+    }
+}
+
+impl RestartPolicy {
+    /// The delay before restart number `consecutive` (1-based count of
+    /// faults currently inside the window). `jitter_bits` supplies the
+    /// randomness; only the low 16 bits are used.
+    pub fn backoff_for(&self, consecutive: u32, jitter_bits: u64) -> Duration {
+        let exp = consecutive.saturating_sub(1).min(16);
+        let raw = self
+            .backoff_base
+            .saturating_mul(1u32 << exp)
+            .min(self.backoff_max);
+        if !self.jitter {
+            return raw;
+        }
+        // Scale into [0.5, 1.5) of the exponential value.
+        let frac = (jitter_bits & 0xFFFF) as f64 / 65536.0;
+        raw.mul_f64(0.5 + frac)
+    }
+}
+
+/// A poison message evicted from a faulting instance.
+#[derive(Debug, Clone)]
+pub struct DeadLetter {
+    /// Instance the message repeatedly faulted.
+    pub instance: String,
+    /// Stream the instance belongs to, when known.
+    pub stream: Option<String>,
+    /// The message itself (body is `Bytes`, so this clone is cheap).
+    pub message: MimeMessage,
+    /// How many faults the message caused before eviction.
+    pub faults: u32,
+    /// The final fault's cause.
+    pub cause: FaultCause,
+}
+
+/// Counters exposed by [`DeadLetterQueue::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeadLetterStats {
+    /// Messages ever enqueued.
+    pub enqueued: u64,
+    /// Messages dropped because the queue was full (oldest-first).
+    pub discarded: u64,
+}
+
+/// A bounded FIFO of poison messages, inspectable through the server API
+/// ([`crate::server::MobiGate::dead_letters`]).
+pub struct DeadLetterQueue {
+    slots: Mutex<VecDeque<DeadLetter>>,
+    capacity: usize,
+    enqueued: AtomicU64,
+    discarded: AtomicU64,
+}
+
+impl DeadLetterQueue {
+    /// An empty queue holding at most `capacity` letters; when full, the
+    /// oldest letter is discarded to admit the new one.
+    pub fn new(capacity: usize) -> Self {
+        DeadLetterQueue {
+            slots: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            enqueued: AtomicU64::new(0),
+            discarded: AtomicU64::new(0),
+        }
+    }
+
+    /// Admits a letter, evicting the oldest if at capacity.
+    pub fn push(&self, letter: DeadLetter) {
+        let mut slots = self.slots.lock();
+        if slots.len() >= self.capacity {
+            slots.pop_front();
+            self.discarded.fetch_add(1, Ordering::Relaxed);
+        }
+        slots.push_back(letter);
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Letters currently held.
+    pub fn len(&self) -> usize {
+        self.slots.lock().len()
+    }
+
+    /// Whether the queue holds no letters.
+    pub fn is_empty(&self) -> bool {
+        self.slots.lock().is_empty()
+    }
+
+    /// Removes and returns the oldest letter.
+    pub fn take(&self) -> Option<DeadLetter> {
+        self.slots.lock().pop_front()
+    }
+
+    /// Clones the current contents oldest-first (inspection API).
+    pub fn snapshot(&self) -> Vec<DeadLetter> {
+        self.slots.lock().iter().cloned().collect()
+    }
+
+    /// Removes and returns everything, oldest-first.
+    pub fn drain(&self) -> Vec<DeadLetter> {
+        self.slots.lock().drain(..).collect()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> DeadLetterStats {
+        DeadLetterStats {
+            enqueued: self.enqueued.load(Ordering::Relaxed),
+            discarded: self.discarded.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Counters exposed by [`Supervisor::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SupervisorStats {
+    /// Faults handled.
+    pub faults: u64,
+    /// Successful restarts performed.
+    pub restarts: u64,
+    /// Instances given up on.
+    pub quarantined: u64,
+    /// Poison messages evicted to the dead-letter queue.
+    pub dead_lettered: u64,
+}
+
+type RebuildFn = Box<dyn Fn() -> Result<Box<dyn StreamletLogic>, CoreError> + Send + Sync>;
+
+struct Entry {
+    handle: Weak<StreamletHandle>,
+    rebuild: RebuildFn,
+    policy: RestartPolicy,
+    stream: Option<String>,
+    /// Fault timestamps inside the policy window (pruned on each fault).
+    fault_times: Vec<Instant>,
+    restarts: u32,
+}
+
+enum JobKind {
+    Fault(FaultCause),
+    Restart,
+}
+
+struct Job {
+    key: u64,
+    due: Instant,
+    kind: JobKind,
+}
+
+struct WorkQueue {
+    jobs: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+    stop: AtomicBool,
+}
+
+/// The supervision engine: one background worker that restarts faulted
+/// instances, quarantines repeat offenders, dead-letters poison messages,
+/// and raises `STREAMLET_FAULT` events.
+pub struct Supervisor {
+    entries: Mutex<HashMap<u64, Entry>>,
+    next_key: AtomicU64,
+    work: Arc<WorkQueue>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+    events: Arc<EventManager>,
+    dead_letters: Arc<DeadLetterQueue>,
+    default_policy: RestartPolicy,
+    faults: AtomicU64,
+    restarts: AtomicU64,
+    quarantined: AtomicU64,
+    /// xorshift state for backoff jitter.
+    seed: AtomicU64,
+}
+
+impl Supervisor {
+    /// Spawns the supervision worker. Faults are reported through `events`;
+    /// poison messages land in a dead-letter queue of `dead_letter_capacity`.
+    pub fn new(
+        events: Arc<EventManager>,
+        default_policy: RestartPolicy,
+        dead_letter_capacity: usize,
+    ) -> Arc<Self> {
+        let sup = Arc::new(Supervisor {
+            entries: Mutex::new(HashMap::new()),
+            next_key: AtomicU64::new(1),
+            work: Arc::new(WorkQueue {
+                jobs: Mutex::new(VecDeque::new()),
+                cv: Condvar::new(),
+                stop: AtomicBool::new(false),
+            }),
+            worker: Mutex::new(None),
+            events,
+            dead_letters: Arc::new(DeadLetterQueue::new(dead_letter_capacity)),
+            default_policy,
+            faults: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            seed: AtomicU64::new(0x9E37_79B9_7F4A_7C15),
+        });
+        let weak = Arc::downgrade(&sup);
+        let handle = std::thread::Builder::new()
+            .name("mobigate-supervisor".into())
+            .spawn(move || Supervisor::worker_loop(weak))
+            .expect("spawn supervisor thread");
+        *sup.worker.lock() = Some(handle);
+        sup
+    }
+
+    /// Places `handle` under supervision with the supervisor-wide default
+    /// policy. `rebuild` must produce a fresh logic object (normally
+    /// `directory.create(key)` — deliberately *not* the instance pool, so a
+    /// poisoned object is never recycled). `stream` scopes fault events to
+    /// the owning stream when known.
+    pub fn supervise(
+        self: &Arc<Self>,
+        handle: &Arc<StreamletHandle>,
+        rebuild: impl Fn() -> Result<Box<dyn StreamletLogic>, CoreError> + Send + Sync + 'static,
+        stream: Option<String>,
+    ) {
+        let policy = self.default_policy.clone();
+        self.supervise_with_policy(handle, rebuild, policy, stream);
+    }
+
+    /// [`Self::supervise`] with an explicit per-streamlet policy.
+    pub fn supervise_with_policy(
+        self: &Arc<Self>,
+        handle: &Arc<StreamletHandle>,
+        rebuild: impl Fn() -> Result<Box<dyn StreamletLogic>, CoreError> + Send + Sync + 'static,
+        policy: RestartPolicy,
+        stream: Option<String>,
+    ) {
+        let key = self.next_key.fetch_add(1, Ordering::Relaxed);
+        self.entries.lock().insert(
+            key,
+            Entry {
+                handle: Arc::downgrade(handle),
+                rebuild: Box::new(rebuild),
+                policy,
+                stream,
+                fault_times: Vec::new(),
+                restarts: 0,
+            },
+        );
+        let work = Arc::clone(&self.work);
+        handle.set_fault_hook(move |cause| {
+            let mut jobs = work.jobs.lock();
+            jobs.push_back(Job {
+                key,
+                due: Instant::now(),
+                kind: JobKind::Fault(cause),
+            });
+            work.cv.notify_all();
+        });
+    }
+
+    /// The dead-letter queue (server inspection API).
+    pub fn dead_letters(&self) -> &Arc<DeadLetterQueue> {
+        &self.dead_letters
+    }
+
+    /// The supervisor-wide default policy.
+    pub fn default_policy(&self) -> &RestartPolicy {
+        &self.default_policy
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> SupervisorStats {
+        SupervisorStats {
+            faults: self.faults.load(Ordering::Relaxed),
+            restarts: self.restarts.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            dead_lettered: self.dead_letters.stats().enqueued,
+        }
+    }
+
+    /// Stops the worker thread. Idempotent; also run on drop.
+    pub fn shutdown(&self) {
+        self.work.stop.store(true, Ordering::Release);
+        self.work.cv.notify_all();
+        if let Some(h) = self.worker.lock().take() {
+            let _ = h.join();
+        }
+    }
+
+    fn next_jitter(&self) -> u64 {
+        // xorshift64: cheap, deterministic, good enough to de-correlate
+        // restart delays (no external RNG dependency in core).
+        let mut x = self.seed.load(Ordering::Relaxed);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.seed.store(x, Ordering::Relaxed);
+        x
+    }
+
+    fn worker_loop(sup: Weak<Supervisor>) {
+        loop {
+            // Hold only the job queue lock while waiting so supervised
+            // streamlets (and Drop) never block on the worker.
+            let job = {
+                let Some(sup) = sup.upgrade() else { return };
+                let work = Arc::clone(&sup.work);
+                drop(sup);
+                let mut jobs = work.jobs.lock();
+                loop {
+                    if work.stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let now = Instant::now();
+                    let due_idx = jobs
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, j)| j.due)
+                        .map(|(i, j)| (i, j.due));
+                    match due_idx {
+                        Some((i, due)) if due <= now => {
+                            break jobs.remove(i);
+                        }
+                        Some((_, due)) => {
+                            work.cv.wait_for(&mut jobs, due - now);
+                        }
+                        None => {
+                            work.cv.wait(&mut jobs);
+                        }
+                    }
+                }
+            };
+            let Some(job) = job else { continue };
+            let Some(sup) = sup.upgrade() else { return };
+            match job.kind {
+                JobKind::Fault(cause) => sup.handle_fault(job.key, cause),
+                JobKind::Restart => sup.handle_restart(job.key),
+            }
+        }
+    }
+
+    /// Decides what to do about one fault: quarantine, dead-letter the
+    /// poison message, schedule a backoff restart — and always raise a
+    /// `STREAMLET_FAULT` event.
+    fn handle_fault(&self, key: u64, cause: FaultCause) {
+        self.faults.fetch_add(1, Ordering::Relaxed);
+        let event = {
+            let mut entries = self.entries.lock();
+            let Some(entry) = entries.get_mut(&key) else {
+                return;
+            };
+            let Some(handle) = entry.handle.upgrade() else {
+                entries.remove(&key);
+                return;
+            };
+            let now = Instant::now();
+            let window = entry.policy.window;
+            entry
+                .fault_times
+                .retain(|t| now.duration_since(*t) < window);
+            entry.fault_times.push(now);
+
+            let info = FaultInfo {
+                instance: handle.name().to_string(),
+                cause: cause.clone(),
+                restarts: entry.restarts,
+            };
+            let event = ContextEvent::fault(info, entry.stream.clone());
+
+            if entry.fault_times.len() as u32 > entry.policy.max_restarts {
+                // Budget exhausted: give up on this instance. The handle
+                // stays attached so a `when (STREAMLET_FAULT)` rule can
+                // still bypass or remove it.
+                let _ = handle.quarantine();
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+            } else {
+                // Poison eviction: the pending message already faulted this
+                // instance too many times — park it in the dead-letter
+                // queue so the restart makes progress without it.
+                if handle.redelivery_faults() >= entry.policy.poison_threshold {
+                    if let Some((message, faults)) = handle.take_redelivery() {
+                        self.dead_letters.push(DeadLetter {
+                            instance: handle.name().to_string(),
+                            stream: entry.stream.clone(),
+                            message,
+                            faults,
+                            cause: cause.clone(),
+                        });
+                    }
+                }
+                let delay = entry
+                    .policy
+                    .backoff_for(entry.fault_times.len() as u32, self.next_jitter());
+                let mut jobs = self.work.jobs.lock();
+                jobs.push_back(Job {
+                    key,
+                    due: now + delay,
+                    kind: JobKind::Restart,
+                });
+                self.work.cv.notify_all();
+            }
+            event
+        };
+        // Raise the event only after releasing the registry lock: delivery
+        // can run `when` rules that create (and hence supervise) instances.
+        self.events.multicast(&event);
+    }
+
+    /// Rebuilds the logic from the factory and restarts the instance.
+    fn handle_restart(&self, key: u64) {
+        let mut entries = self.entries.lock();
+        let Some(entry) = entries.get_mut(&key) else {
+            return;
+        };
+        let Some(handle) = entry.handle.upgrade() else {
+            entries.remove(&key);
+            return;
+        };
+        match (entry.rebuild)() {
+            Ok(logic) => {
+                // `restart_with` refuses unless the instance is still
+                // Faulted — losing the race with `end()` or a second
+                // restart is benign.
+                if handle.restart_with(logic).is_ok() {
+                    entry.restarts += 1;
+                    self.restarts.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(_) => {
+                // The factory itself failed; nothing to install.
+                let _ = handle.quarantine();
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl Drop for Supervisor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dead_letter_queue_is_bounded_fifo() {
+        let q = DeadLetterQueue::new(2);
+        for i in 0..3 {
+            q.push(DeadLetter {
+                instance: format!("s{i}"),
+                stream: None,
+                message: MimeMessage::text(format!("m{i}")),
+                faults: 1,
+                cause: FaultCause::Panic("boom".into()),
+            });
+        }
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.stats().enqueued, 3);
+        assert_eq!(q.stats().discarded, 1);
+        // Oldest (s0) was discarded; s1 is now at the front.
+        assert_eq!(q.take().unwrap().instance, "s1");
+        assert_eq!(q.drain().len(), 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RestartPolicy {
+            backoff_base: Duration::from_millis(2),
+            backoff_max: Duration::from_millis(16),
+            jitter: false,
+            ..Default::default()
+        };
+        assert_eq!(p.backoff_for(1, 0), Duration::from_millis(2));
+        assert_eq!(p.backoff_for(2, 0), Duration::from_millis(4));
+        assert_eq!(p.backoff_for(3, 0), Duration::from_millis(8));
+        assert_eq!(p.backoff_for(4, 0), Duration::from_millis(16));
+        assert_eq!(p.backoff_for(10, 0), Duration::from_millis(16), "capped");
+    }
+
+    #[test]
+    fn jittered_backoff_stays_in_band() {
+        let p = RestartPolicy {
+            backoff_base: Duration::from_millis(8),
+            backoff_max: Duration::from_millis(8),
+            jitter: true,
+            ..Default::default()
+        };
+        for bits in [0u64, 0x7FFF, 0xFFFF, 0xDEAD_BEEF] {
+            let d = p.backoff_for(1, bits);
+            assert!(d >= Duration::from_millis(4), "{d:?} below 50%");
+            assert!(d < Duration::from_millis(12), "{d:?} above 150%");
+        }
+    }
+
+    #[test]
+    fn fault_cause_reports_label_and_message() {
+        let c = FaultCause::Panic("index out of bounds".into());
+        assert_eq!(c.label(), "panic");
+        assert!(c.to_string().contains("index out of bounds"));
+        let c = FaultCause::ControlPanic("bad knob".into());
+        assert_eq!(c.label(), "control-panic");
+    }
+}

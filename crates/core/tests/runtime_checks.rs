@@ -388,3 +388,407 @@ mod reconfig_actions {
         assert!(stream.take_output(Duration::from_millis(150)).is_none());
     }
 }
+
+mod supervision {
+    use super::*;
+    use mobigate_core::events::EventSubscriber;
+    use mobigate_core::{
+        ContextEvent, EventCategory, EventManager, Executor, LifecycleState, MessageQueue,
+        PayloadMode, QueueConfig, RestartPolicy, ServerConfig, SupervisionConfig, Supervisor,
+        ThreadPerStreamlet, WorkerPool,
+    };
+    use parking_lot::Mutex;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Instant;
+
+    /// Panics on a `boom` body while `armed`, echoes otherwise. The flag is
+    /// disarmed *before* panicking, so the redelivered message succeeds —
+    /// a transient fault a restart genuinely fixes.
+    struct Flaky(Arc<AtomicBool>);
+    impl StreamletLogic for Flaky {
+        fn process(&mut self, msg: MimeMessage, ctx: &mut StreamletCtx) -> Result<(), CoreError> {
+            if &msg.body[..] == b"boom" && self.0.swap(false, Ordering::SeqCst) {
+                panic!("flaky: transient failure");
+            }
+            ctx.emit("po", msg);
+            Ok(())
+        }
+    }
+
+    /// Panics deterministically on a `boom` body — a poison message no
+    /// restart can get past.
+    struct BoomAllergic;
+    impl StreamletLogic for BoomAllergic {
+        fn process(&mut self, msg: MimeMessage, ctx: &mut StreamletCtx) -> Result<(), CoreError> {
+            if &msg.body[..] == b"boom" {
+                panic!("allergic to boom");
+            }
+            ctx.emit("po", msg);
+            Ok(())
+        }
+    }
+
+    struct FaultRecorder {
+        name: String,
+        seen: Mutex<Vec<ContextEvent>>,
+    }
+    impl EventSubscriber for FaultRecorder {
+        fn subscriber_name(&self) -> String {
+            self.name.clone()
+        }
+        fn on_event(&self, event: &ContextEvent) {
+            self.seen.lock().push(event.clone());
+        }
+    }
+
+    struct Rig {
+        pool: Arc<MessagePool>,
+        qin: Arc<MessageQueue>,
+        qout: Arc<MessageQueue>,
+        handle: Arc<StreamletHandle>,
+        sup: Arc<Supervisor>,
+        events: Arc<EventManager>,
+    }
+
+    fn rig(
+        executor: Arc<dyn Executor>,
+        policy: RestartPolicy,
+        make: impl Fn() -> Box<dyn StreamletLogic> + Send + Sync + 'static,
+    ) -> Rig {
+        let pool = Arc::new(MessagePool::new());
+        let qin = MessageQueue::new(QueueConfig::default(), pool.clone());
+        let qout = MessageQueue::new(QueueConfig::default(), pool.clone());
+        let events = Arc::new(EventManager::new());
+        let sup = Supervisor::new(events.clone(), policy, 16);
+        let handle = StreamletHandle::with_executor(
+            "probe",
+            "probe",
+            true,
+            make(),
+            pool.clone(),
+            PayloadMode::Reference,
+            None,
+            RouteOpts::default(),
+            executor,
+        );
+        sup.supervise(&handle, move || Ok(make()), Some("rigstream".into()));
+        handle.attach_in("pi", &qin);
+        handle.attach_out("po", &qout);
+        handle.start().unwrap();
+        Rig {
+            pool,
+            qin,
+            qout,
+            handle,
+            sup,
+            events,
+        }
+    }
+
+    fn post(rig: &Rig, body: &str) {
+        rig.qin.post(
+            rig.pool
+                .wrap(MimeMessage::text(body), PayloadMode::Reference, 1),
+        );
+    }
+
+    fn take(rig: &Rig, timeout: Duration) -> Option<MimeMessage> {
+        match rig.qout.fetch(timeout) {
+            FetchResult::Msg(p) => rig.pool.resolve(p),
+            _ => None,
+        }
+    }
+
+    fn wait_for(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+        let t0 = Instant::now();
+        while t0.elapsed() < deadline {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        cond()
+    }
+
+    fn executors() -> Vec<(&'static str, Arc<dyn Executor>)> {
+        vec![
+            ("thread-per-streamlet", ThreadPerStreamlet::new()),
+            ("worker-pool", WorkerPool::new(4)),
+        ]
+    }
+
+    #[test]
+    fn transient_fault_is_restarted_and_message_redelivered() {
+        for (name, executor) in executors() {
+            let armed = Arc::new(AtomicBool::new(true));
+            let r = rig(executor, RestartPolicy::default(), move || {
+                Box::new(Flaky(armed.clone()))
+            });
+            let recorder = Arc::new(FaultRecorder {
+                name: "rigstream".into(),
+                seen: Mutex::new(Vec::new()),
+            });
+            let sub: Arc<dyn EventSubscriber> = recorder.clone();
+            r.events.subscribe(EventCategory::RuntimeFault, &sub);
+
+            post(&r, "first");
+            assert_eq!(
+                take(&r, Duration::from_secs(5)).map(|m| m.body.to_vec()),
+                Some(b"first".to_vec()),
+                "[{name}] healthy delivery before the fault"
+            );
+
+            // The panic faults the instance; the supervisor restarts it and
+            // the *same* message is redelivered and now succeeds.
+            post(&r, "boom");
+            assert_eq!(
+                take(&r, Duration::from_secs(5)).map(|m| m.body.to_vec()),
+                Some(b"boom".to_vec()),
+                "[{name}] faulting message must survive the restart"
+            );
+            post(&r, "after");
+            assert_eq!(
+                take(&r, Duration::from_secs(5)).map(|m| m.body.to_vec()),
+                Some(b"after".to_vec()),
+                "[{name}] flow continues after recovery"
+            );
+
+            assert!(
+                wait_for(Duration::from_secs(2), || r.handle.state()
+                    == LifecycleState::Running),
+                "[{name}] instance must end up Running again"
+            );
+            let stats = r.handle.stats();
+            assert_eq!(stats.faults, 1, "[{name}]");
+            assert_eq!(stats.restarts, 1, "[{name}]");
+            // The supervisor credits its restart counter only after
+            // `restart_with` returns, and the redelivered message can be
+            // observed above before that happens — so poll briefly.
+            assert!(
+                wait_for(Duration::from_secs(2), || r.sup.stats().restarts == 1),
+                "[{name}] supervisor must record the restart"
+            );
+
+            // The fault was surfaced as a categorized event with details.
+            assert!(
+                wait_for(Duration::from_secs(2), || !recorder.seen.lock().is_empty()),
+                "[{name}] STREAMLET_FAULT event must reach subscribers"
+            );
+            let seen = recorder.seen.lock();
+            assert_eq!(seen[0].kind, mobigate_core::EventKind::StreamletFault);
+            let info = seen[0].fault.as_ref().expect("fault payload");
+            assert_eq!(info.instance, "probe");
+            assert!(info.cause.message().contains("transient failure"));
+
+            r.handle.end();
+            r.sup.shutdown();
+        }
+    }
+
+    #[test]
+    fn restart_budget_exhaustion_quarantines() {
+        for (name, executor) in executors() {
+            let policy = RestartPolicy {
+                max_restarts: 1,
+                window: Duration::from_secs(60),
+                backoff_base: Duration::from_micros(100),
+                backoff_max: Duration::from_millis(1),
+                jitter: false,
+                // Higher than the budget so quarantine wins the race.
+                poison_threshold: 100,
+            };
+            let r = rig(executor, policy, || Box::new(BoomAllergic));
+
+            post(&r, "boom");
+            assert!(
+                wait_for(Duration::from_secs(5), || r.handle.state()
+                    == LifecycleState::Quarantined),
+                "[{name}] exhausting the budget must quarantine (state: {:?})",
+                r.handle.state()
+            );
+            assert_eq!(r.sup.stats().quarantined, 1, "[{name}]");
+            // A quarantined instance rejects control traffic outright.
+            assert!(
+                r.handle
+                    .set_parameter("k", "v", Duration::from_millis(100))
+                    .is_err(),
+                "[{name}]"
+            );
+            r.handle.end();
+            r.sup.shutdown();
+        }
+    }
+
+    #[test]
+    fn poison_message_is_dead_lettered_and_flow_resumes() {
+        for (name, executor) in executors() {
+            let policy = RestartPolicy {
+                max_restarts: 1000,
+                window: Duration::from_secs(60),
+                backoff_base: Duration::from_micros(100),
+                backoff_max: Duration::from_millis(1),
+                jitter: false,
+                poison_threshold: 3,
+            };
+            let r = rig(executor, policy, || Box::new(BoomAllergic));
+
+            post(&r, "ok-1");
+            post(&r, "boom");
+            post(&r, "ok-2");
+
+            // ok-1 precedes the poison; ok-2 must flow once `boom` has been
+            // evicted to the dead-letter queue after 3 failed deliveries.
+            assert_eq!(
+                take(&r, Duration::from_secs(5)).map(|m| m.body.to_vec()),
+                Some(b"ok-1".to_vec()),
+                "[{name}]"
+            );
+            assert_eq!(
+                take(&r, Duration::from_secs(10)).map(|m| m.body.to_vec()),
+                Some(b"ok-2".to_vec()),
+                "[{name}] flow must resume past the poison message"
+            );
+
+            let dlq = r.sup.dead_letters();
+            assert_eq!(dlq.len(), 1, "[{name}]");
+            let letters = dlq.snapshot();
+            assert_eq!(&letters[0].message.body[..], b"boom", "[{name}]");
+            assert_eq!(letters[0].instance, "probe", "[{name}]");
+            assert_eq!(letters[0].faults, 3, "[{name}]");
+            assert_eq!(r.sup.stats().dead_lettered, 1, "[{name}]");
+
+            r.handle.end();
+            r.sup.shutdown();
+        }
+    }
+
+    #[test]
+    fn pause_timeout_is_a_dedicated_error() {
+        let pool = Arc::new(MessagePool::new());
+        let qin = MessageQueue::new(QueueConfig::default(), pool.clone());
+        let qout = MessageQueue::new(QueueConfig::default(), pool.clone());
+        let h = StreamletHandle::new(
+            "sleeper",
+            "slow",
+            false,
+            Box::new(Slow(Duration::from_millis(400))),
+            pool.clone(),
+            PayloadMode::Reference,
+            None,
+        );
+        h.attach_in("pi", &qin);
+        h.attach_out("po", &qout);
+        h.start().unwrap();
+        qin.post(pool.wrap(MimeMessage::text("x"), PayloadMode::Reference, 1));
+        std::thread::sleep(Duration::from_millis(50)); // let processing begin
+        let err = h.pause_and_wait(Duration::from_millis(20)).unwrap_err();
+        match err {
+            CoreError::Timeout { waited, instance } => {
+                assert_eq!(instance, "sleeper");
+                assert!(waited >= Duration::from_millis(20));
+            }
+            other => panic!("expected Timeout, got {other}"),
+        }
+        h.end();
+    }
+
+    /// The acceptance scenario: a `when (STREAMLET_FAULT)` rule reconfigures
+    /// the stream to bypass a quarantined streamlet.
+    #[test]
+    fn streamlet_fault_event_drives_mcl_bypass() {
+        let config = ServerConfig {
+            supervision: SupervisionConfig {
+                enabled: true,
+                policy: RestartPolicy {
+                    // No restart budget: the first fault quarantines, and
+                    // the when-rule routes around the dead instance.
+                    max_restarts: 0,
+                    window: Duration::from_secs(60),
+                    backoff_base: Duration::from_micros(100),
+                    backoff_max: Duration::from_millis(1),
+                    jitter: false,
+                    poison_threshold: 3,
+                },
+                dead_letter_capacity: 16,
+            },
+            ..Default::default()
+        };
+        let gate = MobiGate::with_config(
+            config,
+            Arc::new(mobigate_core::StreamletDirectory::new()),
+            Arc::new(mobigate_core::StreamletPool::new(8)),
+        );
+        gate.directory().register("test/echo", "", || {
+            struct Echo;
+            impl StreamletLogic for Echo {
+                fn process(
+                    &mut self,
+                    m: MimeMessage,
+                    ctx: &mut StreamletCtx,
+                ) -> Result<(), CoreError> {
+                    ctx.emit("po", m);
+                    Ok(())
+                }
+            }
+            Box::new(Echo)
+        });
+        gate.directory()
+            .register("test/boom", "", || Box::new(BoomAllergic));
+
+        let stream = gate
+            .deploy_mcl(
+                r#"
+                streamlet echo { port { in pi : */*; out po : */*; }
+                                 attribute { type = STATELESS; library = "test/echo"; } }
+                streamlet boom { port { in pi : */*; out po : */*; }
+                                 attribute { type = STATEFUL; library = "test/boom"; } }
+                main stream bypass {
+                    streamlet a = new-streamlet (echo);
+                    streamlet f = new-streamlet (boom);
+                    streamlet b = new-streamlet (echo);
+                    connect (a.po, f.pi);
+                    connect (f.po, b.pi);
+                    when (STREAMLET_FAULT) {
+                        disconnect (a.po, f.pi);
+                        disconnect (f.po, b.pi);
+                        connect (a.po, b.pi);
+                    }
+                }
+                "#,
+            )
+            .unwrap();
+
+        // Healthy path first.
+        stream.post_input(MimeMessage::text("fine")).unwrap();
+        assert!(stream.take_output(Duration::from_secs(5)).is_some());
+
+        // Fault the middle streamlet. Budget 0 ⇒ quarantine + event ⇒ the
+        // when-rule reconnects a.po straight to b.pi.
+        stream.post_input(MimeMessage::text("boom")).unwrap();
+        let reconfigured = {
+            let t0 = Instant::now();
+            loop {
+                if stream.stats().reconfigurations >= 1 {
+                    break true;
+                }
+                if t0.elapsed() > Duration::from_secs(5) {
+                    break false;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        };
+        assert!(reconfigured, "STREAMLET_FAULT must trigger the when-rule");
+        let f = stream.instance("f").unwrap();
+        assert_eq!(f.state(), LifecycleState::Quarantined);
+
+        // Traffic now flows around the quarantined instance.
+        stream.post_input(MimeMessage::text("rerouted")).unwrap();
+        let out = stream.take_output(Duration::from_secs(5));
+        assert_eq!(
+            out.map(|m| m.body.to_vec()),
+            Some(b"rerouted".to_vec()),
+            "bypass must carry traffic end to end"
+        );
+        stream.shutdown();
+    }
+}

@@ -28,15 +28,21 @@ pub enum EventCategory {
     HardwareVariation,
     /// Client software capability constraints.
     SoftwareVariation,
+    /// Proxy-side execution-plane faults (streamlet panics, quarantines).
+    /// An extension beyond Table 6-1: the supervision layer reports
+    /// execution-plane failure as a context event so `when (...)` rules can
+    /// degrade or bypass a faulted streamlet.
+    RuntimeFault,
 }
 
 impl EventCategory {
     /// All categories, in stable `categoryID` order.
-    pub const ALL: [EventCategory; 4] = [
+    pub const ALL: [EventCategory; 5] = [
         EventCategory::SystemCommand,
         EventCategory::NetworkVariation,
         EventCategory::HardwareVariation,
         EventCategory::SoftwareVariation,
+        EventCategory::RuntimeFault,
     ];
 
     /// The numeric `categoryID` used to index subscriber lists (Figure 6-7).
@@ -46,11 +52,12 @@ impl EventCategory {
             EventCategory::NetworkVariation => 1,
             EventCategory::HardwareVariation => 2,
             EventCategory::SoftwareVariation => 3,
+            EventCategory::RuntimeFault => 4,
         }
     }
 
     /// Number of categories (sizes the subscriber-list array).
-    pub const COUNT: usize = 4;
+    pub const COUNT: usize = 5;
 }
 
 impl fmt::Display for EventCategory {
@@ -60,6 +67,7 @@ impl fmt::Display for EventCategory {
             EventCategory::NetworkVariation => "Network Variation",
             EventCategory::HardwareVariation => "Hardware Variation",
             EventCategory::SoftwareVariation => "Software Variation",
+            EventCategory::RuntimeFault => "Runtime Fault",
         };
         f.write_str(s)
     }
@@ -98,11 +106,15 @@ pub enum EventKind {
     DecoderUnavailable,
     /// Client cannot render the current data format.
     FormatUnsupported,
+    // --- Runtime Fault ---
+    /// A streamlet instance faulted (panicked) in the execution plane; the
+    /// supervisor raises it so streams can reconfigure around the failure.
+    StreamletFault,
 }
 
 impl EventKind {
     /// Every predefined event.
-    pub const ALL: [EventKind; 13] = [
+    pub const ALL: [EventKind; 14] = [
         EventKind::Pause,
         EventKind::Resume,
         EventKind::End,
@@ -116,6 +128,7 @@ impl EventKind {
         EventKind::LowMemory,
         EventKind::DecoderUnavailable,
         EventKind::FormatUnsupported,
+        EventKind::StreamletFault,
     ];
 
     /// The category the event belongs to (Table 6-1 column 1).
@@ -133,6 +146,7 @@ impl EventKind {
             EventKind::DecoderUnavailable | EventKind::FormatUnsupported => {
                 EventCategory::SoftwareVariation
             }
+            EventKind::StreamletFault => EventCategory::RuntimeFault,
         }
     }
 
@@ -152,6 +166,7 @@ impl EventKind {
             EventKind::LowMemory => "LOW_MEMORY",
             EventKind::DecoderUnavailable => "DECODER_UNAVAILABLE",
             EventKind::FormatUnsupported => "FORMAT_UNSUPPORTED",
+            EventKind::StreamletFault => "STREAMLET_FAULT",
         }
     }
 }
@@ -229,13 +244,17 @@ mod tests {
             EventKind::LowGrays.category(),
             EventCategory::HardwareVariation
         );
+        assert_eq!(
+            EventKind::StreamletFault.category(),
+            EventCategory::RuntimeFault
+        );
     }
 
     #[test]
     fn category_ids_are_dense() {
         let mut ids: Vec<usize> = EventCategory::ALL.iter().map(|c| c.id()).collect();
         ids.sort_unstable();
-        assert_eq!(ids, vec![0, 1, 2, 3]);
-        assert_eq!(EventCategory::COUNT, 4);
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        assert_eq!(EventCategory::COUNT, 5);
     }
 }

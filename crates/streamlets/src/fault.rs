@@ -1,0 +1,194 @@
+//! Fault injection for the supervision chaos harness.
+//!
+//! The paper's evaluation assumes well-behaved streamlets; the supervision
+//! extension does not. [`FaultInjector`] is a pass-through streamlet that
+//! misbehaves on purpose — panicking, stalling, or corrupting output at
+//! configurable rates — so `repro -- chaos` can measure end-to-end delivery
+//! while the supervisor restarts it.
+
+use mobigate_core::{CoreError, Emitter, StreamletCtx, StreamletDirectory, StreamletLogic};
+use mobigate_mime::MimeMessage;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// Marker header: a message carrying it makes the injector panic
+/// *deterministically*, every time it is (re)delivered — the poison-message
+/// scenario the dead-letter queue exists for.
+pub const POISON_HEADER: &str = "X-Chaos-Poison";
+
+/// Header stamped onto garbage-corrupted output so receivers can count it.
+pub const GARBAGE_HEADER: &str = "X-Chaos-Garbage";
+
+/// Registers the fault-injection streamlet.
+pub fn register(directory: &StreamletDirectory) {
+    directory.register(
+        "builtin/fault_injector",
+        "pass-through that panics/stalls/corrupts at configurable rates",
+        || Box::new(FaultInjector::default()),
+    );
+}
+
+/// A pass-through streamlet that injects faults (stateful so each restart
+/// builds a genuinely fresh instance from the directory factory).
+///
+/// Knobs, settable at construction or via `control()`:
+///
+/// | key | meaning |
+/// |---|---|
+/// | `panic_rate` | probability in `[0,1]` of panicking per message |
+/// | `garbage_rate` | probability of emitting a corrupted body instead |
+/// | `delay_ms` | fixed processing delay per message |
+/// | `seed` | reseeds the internal RNG (deterministic runs) |
+///
+/// Independent of the rates, any message carrying [`POISON_HEADER`] panics
+/// deterministically.
+pub struct FaultInjector {
+    panic_rate: f64,
+    garbage_rate: f64,
+    delay: Duration,
+    rng: StdRng,
+    processed: u64,
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        FaultInjector::new(0.0, 0.0, Duration::ZERO, 0x5eed)
+    }
+}
+
+impl FaultInjector {
+    /// An injector with explicit rates.
+    pub fn new(panic_rate: f64, garbage_rate: f64, delay: Duration, seed: u64) -> Self {
+        FaultInjector {
+            panic_rate: panic_rate.clamp(0.0, 1.0),
+            garbage_rate: garbage_rate.clamp(0.0, 1.0),
+            delay,
+            rng: StdRng::seed_from_u64(seed),
+            processed: 0,
+        }
+    }
+
+    /// Messages successfully passed through so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+}
+
+fn parse<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, CoreError> {
+    value.parse().map_err(|_| CoreError::NotFound {
+        kind: "control parameter",
+        name: format!("{key}={value}"),
+    })
+}
+
+impl StreamletLogic for FaultInjector {
+    fn process(&mut self, msg: MimeMessage, ctx: &mut StreamletCtx) -> Result<(), CoreError> {
+        if msg.headers.get(POISON_HEADER).is_some() {
+            panic!("chaos: poison message");
+        }
+        if self.panic_rate > 0.0 && self.rng.gen_bool(self.panic_rate) {
+            panic!("chaos: injected panic");
+        }
+        if !self.delay.is_zero() {
+            std::thread::sleep(self.delay);
+        }
+        self.processed += 1;
+        if self.garbage_rate > 0.0 && self.rng.gen_bool(self.garbage_rate) {
+            let mut garbled = msg.clone();
+            let noise: Vec<u8> = (0..msg.body.len().min(64))
+                .map(|_| self.rng.gen::<u8>())
+                .collect();
+            garbled.set_body(noise);
+            garbled.headers.set(GARBAGE_HEADER, "1");
+            ctx.emit("po", garbled);
+        } else {
+            ctx.emit("po", msg);
+        }
+        Ok(())
+    }
+
+    fn control(&mut self, key: &str, value: &str) -> Result<(), CoreError> {
+        match key {
+            "panic_rate" => self.panic_rate = parse::<f64>(key, value)?.clamp(0.0, 1.0),
+            "garbage_rate" => self.garbage_rate = parse::<f64>(key, value)?.clamp(0.0, 1.0),
+            "delay_ms" => self.delay = Duration::from_millis(parse(key, value)?),
+            "seed" => self.rng = StdRng::seed_from_u64(parse(key, value)?),
+            _ => {
+                return Err(CoreError::NotFound {
+                    kind: "control parameter",
+                    name: format!("{key}={value}"),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    fn reset(&mut self) {
+        self.processed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(logic: &mut dyn StreamletLogic, msg: MimeMessage) -> Vec<(String, MimeMessage)> {
+        let mut ctx = StreamletCtx::new("test", None);
+        logic.process(msg, &mut ctx).unwrap();
+        ctx.into_outputs()
+    }
+
+    #[test]
+    fn passes_through_when_benign() {
+        let mut f = FaultInjector::default();
+        let outs = run(&mut f, MimeMessage::text("hello"));
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].0, "po");
+        assert_eq!(&outs[0].1.body[..], b"hello");
+        assert_eq!(f.processed(), 1);
+    }
+
+    #[test]
+    fn poison_header_panics_deterministically() {
+        let mut f = FaultInjector::default();
+        let mut msg = MimeMessage::text("bad");
+        msg.headers.set(POISON_HEADER, "1");
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut ctx = StreamletCtx::new("test", None);
+            let _ = f.process(msg, &mut ctx);
+        }));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn panic_rate_one_always_panics() {
+        let mut f = FaultInjector::new(1.0, 0.0, Duration::ZERO, 7);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut ctx = StreamletCtx::new("test", None);
+            let _ = f.process(MimeMessage::text("x"), &mut ctx);
+        }));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn garbage_rate_one_corrupts_and_marks() {
+        let mut f = FaultInjector::new(0.0, 1.0, Duration::ZERO, 7);
+        let outs = run(&mut f, MimeMessage::text("original body text"));
+        assert_eq!(outs[0].1.headers.get(GARBAGE_HEADER), Some("1"));
+        assert_ne!(&outs[0].1.body[..], b"original body text");
+    }
+
+    #[test]
+    fn control_knobs_update_behaviour() {
+        let mut f = FaultInjector::default();
+        f.control("panic_rate", "1.0").unwrap();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut ctx = StreamletCtx::new("test", None);
+            let _ = f.process(MimeMessage::text("x"), &mut ctx);
+        }));
+        assert!(err.is_err());
+        assert!(f.control("panic_rate", "nonsense").is_err());
+        assert!(f.control("unknown_knob", "1").is_err());
+    }
+}

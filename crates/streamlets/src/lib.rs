@@ -36,6 +36,7 @@ pub mod codec;
 pub mod comm;
 pub mod compress;
 pub mod crypto;
+pub mod fault;
 pub mod transform;
 pub mod workload;
 
@@ -49,6 +50,7 @@ pub fn register_builtins(directory: &StreamletDirectory) {
     transform::register(directory);
     compress::register(directory);
     crypto::register(directory);
+    fault::register(directory);
 }
 
 /// MCL streamlet definitions for the built-ins, ready to prepend to
@@ -121,6 +123,11 @@ streamlet decrypt {
     attribute { type = STATELESS; library = "builtin/decrypt";
                 description = "peer of encrypt"; }
 }
+streamlet fault_injector {
+    port { in pi : */*; out po : */*; }
+    attribute { type = STATEFUL; library = "builtin/fault_injector";
+                description = "chaos probe: panics/stalls/corrupts at configurable rates"; }
+}
 "#
 }
 
@@ -156,6 +163,7 @@ mod tests {
             "builtin/aggregate",
             "builtin/disaggregate",
             "builtin/paginate",
+            "builtin/fault_injector",
         ] {
             assert!(dir.contains(lib), "missing {lib}");
         }

@@ -133,6 +133,7 @@ impl Testbed {
                 },
                 executor: cfg.executor,
                 pool_shards: cfg.pool_shards,
+                supervision: Default::default(),
             },
             Arc::new(mobigate_core::StreamletDirectory::new()),
             pool,

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/mobigate_bench-a08de9fa10315fea.d: crates/bench/src/lib.rs crates/bench/src/chain.rs crates/bench/src/e2e.rs crates/bench/src/reconfig.rs crates/bench/src/report.rs
+/root/repo/target/debug/deps/mobigate_bench-a08de9fa10315fea.d: crates/bench/src/lib.rs crates/bench/src/chain.rs crates/bench/src/chaos.rs crates/bench/src/e2e.rs crates/bench/src/reconfig.rs crates/bench/src/report.rs
 
-/root/repo/target/debug/deps/mobigate_bench-a08de9fa10315fea: crates/bench/src/lib.rs crates/bench/src/chain.rs crates/bench/src/e2e.rs crates/bench/src/reconfig.rs crates/bench/src/report.rs
+/root/repo/target/debug/deps/mobigate_bench-a08de9fa10315fea: crates/bench/src/lib.rs crates/bench/src/chain.rs crates/bench/src/chaos.rs crates/bench/src/e2e.rs crates/bench/src/reconfig.rs crates/bench/src/report.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/chain.rs:
+crates/bench/src/chaos.rs:
 crates/bench/src/e2e.rs:
 crates/bench/src/reconfig.rs:
 crates/bench/src/report.rs:

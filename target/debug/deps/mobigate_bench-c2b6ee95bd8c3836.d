@@ -1,13 +1,14 @@
-/root/repo/target/debug/deps/mobigate_bench-c2b6ee95bd8c3836.d: crates/bench/src/lib.rs crates/bench/src/chain.rs crates/bench/src/e2e.rs crates/bench/src/reconfig.rs crates/bench/src/report.rs Cargo.toml
+/root/repo/target/debug/deps/mobigate_bench-c2b6ee95bd8c3836.d: crates/bench/src/lib.rs crates/bench/src/chain.rs crates/bench/src/chaos.rs crates/bench/src/e2e.rs crates/bench/src/reconfig.rs crates/bench/src/report.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmobigate_bench-c2b6ee95bd8c3836.rmeta: crates/bench/src/lib.rs crates/bench/src/chain.rs crates/bench/src/e2e.rs crates/bench/src/reconfig.rs crates/bench/src/report.rs Cargo.toml
+/root/repo/target/debug/deps/libmobigate_bench-c2b6ee95bd8c3836.rmeta: crates/bench/src/lib.rs crates/bench/src/chain.rs crates/bench/src/chaos.rs crates/bench/src/e2e.rs crates/bench/src/reconfig.rs crates/bench/src/report.rs Cargo.toml
 
 crates/bench/src/lib.rs:
 crates/bench/src/chain.rs:
+crates/bench/src/chaos.rs:
 crates/bench/src/e2e.rs:
 crates/bench/src/reconfig.rs:
 crates/bench/src/report.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

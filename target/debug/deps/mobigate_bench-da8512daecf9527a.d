@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/mobigate_bench-da8512daecf9527a.d: crates/bench/src/lib.rs crates/bench/src/chain.rs crates/bench/src/e2e.rs crates/bench/src/reconfig.rs crates/bench/src/report.rs
+/root/repo/target/debug/deps/mobigate_bench-da8512daecf9527a.d: crates/bench/src/lib.rs crates/bench/src/chain.rs crates/bench/src/chaos.rs crates/bench/src/e2e.rs crates/bench/src/reconfig.rs crates/bench/src/report.rs
 
-/root/repo/target/debug/deps/libmobigate_bench-da8512daecf9527a.rlib: crates/bench/src/lib.rs crates/bench/src/chain.rs crates/bench/src/e2e.rs crates/bench/src/reconfig.rs crates/bench/src/report.rs
+/root/repo/target/debug/deps/libmobigate_bench-da8512daecf9527a.rlib: crates/bench/src/lib.rs crates/bench/src/chain.rs crates/bench/src/chaos.rs crates/bench/src/e2e.rs crates/bench/src/reconfig.rs crates/bench/src/report.rs
 
-/root/repo/target/debug/deps/libmobigate_bench-da8512daecf9527a.rmeta: crates/bench/src/lib.rs crates/bench/src/chain.rs crates/bench/src/e2e.rs crates/bench/src/reconfig.rs crates/bench/src/report.rs
+/root/repo/target/debug/deps/libmobigate_bench-da8512daecf9527a.rmeta: crates/bench/src/lib.rs crates/bench/src/chain.rs crates/bench/src/chaos.rs crates/bench/src/e2e.rs crates/bench/src/reconfig.rs crates/bench/src/report.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/chain.rs:
+crates/bench/src/chaos.rs:
 crates/bench/src/e2e.rs:
 crates/bench/src/reconfig.rs:
 crates/bench/src/report.rs:

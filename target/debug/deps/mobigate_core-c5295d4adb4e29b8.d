@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/mobigate_core-c5295d4adb4e29b8.d: crates/core/src/lib.rs crates/core/src/coordination.rs crates/core/src/directory.rs crates/core/src/error.rs crates/core/src/events.rs crates/core/src/executor.rs crates/core/src/pool.rs crates/core/src/pooling.rs crates/core/src/queue.rs crates/core/src/server.rs crates/core/src/sharing.rs crates/core/src/stream.rs crates/core/src/streamlet.rs Cargo.toml
+/root/repo/target/debug/deps/mobigate_core-c5295d4adb4e29b8.d: crates/core/src/lib.rs crates/core/src/coordination.rs crates/core/src/directory.rs crates/core/src/error.rs crates/core/src/events.rs crates/core/src/executor.rs crates/core/src/pool.rs crates/core/src/pooling.rs crates/core/src/queue.rs crates/core/src/server.rs crates/core/src/sharing.rs crates/core/src/stream.rs crates/core/src/streamlet.rs crates/core/src/supervisor.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmobigate_core-c5295d4adb4e29b8.rmeta: crates/core/src/lib.rs crates/core/src/coordination.rs crates/core/src/directory.rs crates/core/src/error.rs crates/core/src/events.rs crates/core/src/executor.rs crates/core/src/pool.rs crates/core/src/pooling.rs crates/core/src/queue.rs crates/core/src/server.rs crates/core/src/sharing.rs crates/core/src/stream.rs crates/core/src/streamlet.rs Cargo.toml
+/root/repo/target/debug/deps/libmobigate_core-c5295d4adb4e29b8.rmeta: crates/core/src/lib.rs crates/core/src/coordination.rs crates/core/src/directory.rs crates/core/src/error.rs crates/core/src/events.rs crates/core/src/executor.rs crates/core/src/pool.rs crates/core/src/pooling.rs crates/core/src/queue.rs crates/core/src/server.rs crates/core/src/sharing.rs crates/core/src/stream.rs crates/core/src/streamlet.rs crates/core/src/supervisor.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/coordination.rs:
@@ -15,7 +15,8 @@ crates/core/src/server.rs:
 crates/core/src/sharing.rs:
 crates/core/src/stream.rs:
 crates/core/src/streamlet.rs:
+crates/core/src/supervisor.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

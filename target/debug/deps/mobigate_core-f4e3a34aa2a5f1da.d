@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/mobigate_core-f4e3a34aa2a5f1da.d: crates/core/src/lib.rs crates/core/src/coordination.rs crates/core/src/directory.rs crates/core/src/error.rs crates/core/src/events.rs crates/core/src/executor.rs crates/core/src/pool.rs crates/core/src/pooling.rs crates/core/src/queue.rs crates/core/src/server.rs crates/core/src/sharing.rs crates/core/src/stream.rs crates/core/src/streamlet.rs
+/root/repo/target/debug/deps/mobigate_core-f4e3a34aa2a5f1da.d: crates/core/src/lib.rs crates/core/src/coordination.rs crates/core/src/directory.rs crates/core/src/error.rs crates/core/src/events.rs crates/core/src/executor.rs crates/core/src/pool.rs crates/core/src/pooling.rs crates/core/src/queue.rs crates/core/src/server.rs crates/core/src/sharing.rs crates/core/src/stream.rs crates/core/src/streamlet.rs crates/core/src/supervisor.rs
 
-/root/repo/target/debug/deps/libmobigate_core-f4e3a34aa2a5f1da.rlib: crates/core/src/lib.rs crates/core/src/coordination.rs crates/core/src/directory.rs crates/core/src/error.rs crates/core/src/events.rs crates/core/src/executor.rs crates/core/src/pool.rs crates/core/src/pooling.rs crates/core/src/queue.rs crates/core/src/server.rs crates/core/src/sharing.rs crates/core/src/stream.rs crates/core/src/streamlet.rs
+/root/repo/target/debug/deps/libmobigate_core-f4e3a34aa2a5f1da.rlib: crates/core/src/lib.rs crates/core/src/coordination.rs crates/core/src/directory.rs crates/core/src/error.rs crates/core/src/events.rs crates/core/src/executor.rs crates/core/src/pool.rs crates/core/src/pooling.rs crates/core/src/queue.rs crates/core/src/server.rs crates/core/src/sharing.rs crates/core/src/stream.rs crates/core/src/streamlet.rs crates/core/src/supervisor.rs
 
-/root/repo/target/debug/deps/libmobigate_core-f4e3a34aa2a5f1da.rmeta: crates/core/src/lib.rs crates/core/src/coordination.rs crates/core/src/directory.rs crates/core/src/error.rs crates/core/src/events.rs crates/core/src/executor.rs crates/core/src/pool.rs crates/core/src/pooling.rs crates/core/src/queue.rs crates/core/src/server.rs crates/core/src/sharing.rs crates/core/src/stream.rs crates/core/src/streamlet.rs
+/root/repo/target/debug/deps/libmobigate_core-f4e3a34aa2a5f1da.rmeta: crates/core/src/lib.rs crates/core/src/coordination.rs crates/core/src/directory.rs crates/core/src/error.rs crates/core/src/events.rs crates/core/src/executor.rs crates/core/src/pool.rs crates/core/src/pooling.rs crates/core/src/queue.rs crates/core/src/server.rs crates/core/src/sharing.rs crates/core/src/stream.rs crates/core/src/streamlet.rs crates/core/src/supervisor.rs
 
 crates/core/src/lib.rs:
 crates/core/src/coordination.rs:
@@ -17,3 +17,4 @@ crates/core/src/server.rs:
 crates/core/src/sharing.rs:
 crates/core/src/stream.rs:
 crates/core/src/streamlet.rs:
+crates/core/src/supervisor.rs:

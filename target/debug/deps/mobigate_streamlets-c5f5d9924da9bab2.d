@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/mobigate_streamlets-c5f5d9924da9bab2.d: crates/streamlets/src/lib.rs crates/streamlets/src/basic.rs crates/streamlets/src/batch.rs crates/streamlets/src/codec/mod.rs crates/streamlets/src/codec/lzss.rs crates/streamlets/src/codec/raster.rs crates/streamlets/src/comm.rs crates/streamlets/src/compress.rs crates/streamlets/src/crypto.rs crates/streamlets/src/transform.rs crates/streamlets/src/workload.rs
+/root/repo/target/debug/deps/mobigate_streamlets-c5f5d9924da9bab2.d: crates/streamlets/src/lib.rs crates/streamlets/src/basic.rs crates/streamlets/src/batch.rs crates/streamlets/src/codec/mod.rs crates/streamlets/src/codec/lzss.rs crates/streamlets/src/codec/raster.rs crates/streamlets/src/comm.rs crates/streamlets/src/compress.rs crates/streamlets/src/crypto.rs crates/streamlets/src/fault.rs crates/streamlets/src/transform.rs crates/streamlets/src/workload.rs
 
-/root/repo/target/debug/deps/mobigate_streamlets-c5f5d9924da9bab2: crates/streamlets/src/lib.rs crates/streamlets/src/basic.rs crates/streamlets/src/batch.rs crates/streamlets/src/codec/mod.rs crates/streamlets/src/codec/lzss.rs crates/streamlets/src/codec/raster.rs crates/streamlets/src/comm.rs crates/streamlets/src/compress.rs crates/streamlets/src/crypto.rs crates/streamlets/src/transform.rs crates/streamlets/src/workload.rs
+/root/repo/target/debug/deps/mobigate_streamlets-c5f5d9924da9bab2: crates/streamlets/src/lib.rs crates/streamlets/src/basic.rs crates/streamlets/src/batch.rs crates/streamlets/src/codec/mod.rs crates/streamlets/src/codec/lzss.rs crates/streamlets/src/codec/raster.rs crates/streamlets/src/comm.rs crates/streamlets/src/compress.rs crates/streamlets/src/crypto.rs crates/streamlets/src/fault.rs crates/streamlets/src/transform.rs crates/streamlets/src/workload.rs
 
 crates/streamlets/src/lib.rs:
 crates/streamlets/src/basic.rs:
@@ -11,5 +11,6 @@ crates/streamlets/src/codec/raster.rs:
 crates/streamlets/src/comm.rs:
 crates/streamlets/src/compress.rs:
 crates/streamlets/src/crypto.rs:
+crates/streamlets/src/fault.rs:
 crates/streamlets/src/transform.rs:
 crates/streamlets/src/workload.rs:

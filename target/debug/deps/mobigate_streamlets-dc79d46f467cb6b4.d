@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/mobigate_streamlets-dc79d46f467cb6b4.d: crates/streamlets/src/lib.rs crates/streamlets/src/basic.rs crates/streamlets/src/batch.rs crates/streamlets/src/codec/mod.rs crates/streamlets/src/codec/lzss.rs crates/streamlets/src/codec/raster.rs crates/streamlets/src/comm.rs crates/streamlets/src/compress.rs crates/streamlets/src/crypto.rs crates/streamlets/src/transform.rs crates/streamlets/src/workload.rs Cargo.toml
+/root/repo/target/debug/deps/mobigate_streamlets-dc79d46f467cb6b4.d: crates/streamlets/src/lib.rs crates/streamlets/src/basic.rs crates/streamlets/src/batch.rs crates/streamlets/src/codec/mod.rs crates/streamlets/src/codec/lzss.rs crates/streamlets/src/codec/raster.rs crates/streamlets/src/comm.rs crates/streamlets/src/compress.rs crates/streamlets/src/crypto.rs crates/streamlets/src/fault.rs crates/streamlets/src/transform.rs crates/streamlets/src/workload.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmobigate_streamlets-dc79d46f467cb6b4.rmeta: crates/streamlets/src/lib.rs crates/streamlets/src/basic.rs crates/streamlets/src/batch.rs crates/streamlets/src/codec/mod.rs crates/streamlets/src/codec/lzss.rs crates/streamlets/src/codec/raster.rs crates/streamlets/src/comm.rs crates/streamlets/src/compress.rs crates/streamlets/src/crypto.rs crates/streamlets/src/transform.rs crates/streamlets/src/workload.rs Cargo.toml
+/root/repo/target/debug/deps/libmobigate_streamlets-dc79d46f467cb6b4.rmeta: crates/streamlets/src/lib.rs crates/streamlets/src/basic.rs crates/streamlets/src/batch.rs crates/streamlets/src/codec/mod.rs crates/streamlets/src/codec/lzss.rs crates/streamlets/src/codec/raster.rs crates/streamlets/src/comm.rs crates/streamlets/src/compress.rs crates/streamlets/src/crypto.rs crates/streamlets/src/fault.rs crates/streamlets/src/transform.rs crates/streamlets/src/workload.rs Cargo.toml
 
 crates/streamlets/src/lib.rs:
 crates/streamlets/src/basic.rs:
@@ -11,9 +11,10 @@ crates/streamlets/src/codec/raster.rs:
 crates/streamlets/src/comm.rs:
 crates/streamlets/src/compress.rs:
 crates/streamlets/src/crypto.rs:
+crates/streamlets/src/fault.rs:
 crates/streamlets/src/transform.rs:
 crates/streamlets/src/workload.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

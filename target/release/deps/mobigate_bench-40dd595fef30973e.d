@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/mobigate_bench-40dd595fef30973e.d: crates/bench/src/lib.rs crates/bench/src/chain.rs crates/bench/src/e2e.rs crates/bench/src/reconfig.rs crates/bench/src/report.rs
+/root/repo/target/release/deps/mobigate_bench-40dd595fef30973e.d: crates/bench/src/lib.rs crates/bench/src/chain.rs crates/bench/src/chaos.rs crates/bench/src/e2e.rs crates/bench/src/reconfig.rs crates/bench/src/report.rs
 
-/root/repo/target/release/deps/libmobigate_bench-40dd595fef30973e.rlib: crates/bench/src/lib.rs crates/bench/src/chain.rs crates/bench/src/e2e.rs crates/bench/src/reconfig.rs crates/bench/src/report.rs
+/root/repo/target/release/deps/libmobigate_bench-40dd595fef30973e.rlib: crates/bench/src/lib.rs crates/bench/src/chain.rs crates/bench/src/chaos.rs crates/bench/src/e2e.rs crates/bench/src/reconfig.rs crates/bench/src/report.rs
 
-/root/repo/target/release/deps/libmobigate_bench-40dd595fef30973e.rmeta: crates/bench/src/lib.rs crates/bench/src/chain.rs crates/bench/src/e2e.rs crates/bench/src/reconfig.rs crates/bench/src/report.rs
+/root/repo/target/release/deps/libmobigate_bench-40dd595fef30973e.rmeta: crates/bench/src/lib.rs crates/bench/src/chain.rs crates/bench/src/chaos.rs crates/bench/src/e2e.rs crates/bench/src/reconfig.rs crates/bench/src/report.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/chain.rs:
+crates/bench/src/chaos.rs:
 crates/bench/src/e2e.rs:
 crates/bench/src/reconfig.rs:
 crates/bench/src/report.rs:

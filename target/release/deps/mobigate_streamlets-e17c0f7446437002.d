@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/mobigate_streamlets-e17c0f7446437002.d: crates/streamlets/src/lib.rs crates/streamlets/src/basic.rs crates/streamlets/src/batch.rs crates/streamlets/src/codec/mod.rs crates/streamlets/src/codec/lzss.rs crates/streamlets/src/codec/raster.rs crates/streamlets/src/comm.rs crates/streamlets/src/compress.rs crates/streamlets/src/crypto.rs crates/streamlets/src/transform.rs crates/streamlets/src/workload.rs
+/root/repo/target/release/deps/mobigate_streamlets-e17c0f7446437002.d: crates/streamlets/src/lib.rs crates/streamlets/src/basic.rs crates/streamlets/src/batch.rs crates/streamlets/src/codec/mod.rs crates/streamlets/src/codec/lzss.rs crates/streamlets/src/codec/raster.rs crates/streamlets/src/comm.rs crates/streamlets/src/compress.rs crates/streamlets/src/crypto.rs crates/streamlets/src/fault.rs crates/streamlets/src/transform.rs crates/streamlets/src/workload.rs
 
-/root/repo/target/release/deps/libmobigate_streamlets-e17c0f7446437002.rlib: crates/streamlets/src/lib.rs crates/streamlets/src/basic.rs crates/streamlets/src/batch.rs crates/streamlets/src/codec/mod.rs crates/streamlets/src/codec/lzss.rs crates/streamlets/src/codec/raster.rs crates/streamlets/src/comm.rs crates/streamlets/src/compress.rs crates/streamlets/src/crypto.rs crates/streamlets/src/transform.rs crates/streamlets/src/workload.rs
+/root/repo/target/release/deps/libmobigate_streamlets-e17c0f7446437002.rlib: crates/streamlets/src/lib.rs crates/streamlets/src/basic.rs crates/streamlets/src/batch.rs crates/streamlets/src/codec/mod.rs crates/streamlets/src/codec/lzss.rs crates/streamlets/src/codec/raster.rs crates/streamlets/src/comm.rs crates/streamlets/src/compress.rs crates/streamlets/src/crypto.rs crates/streamlets/src/fault.rs crates/streamlets/src/transform.rs crates/streamlets/src/workload.rs
 
-/root/repo/target/release/deps/libmobigate_streamlets-e17c0f7446437002.rmeta: crates/streamlets/src/lib.rs crates/streamlets/src/basic.rs crates/streamlets/src/batch.rs crates/streamlets/src/codec/mod.rs crates/streamlets/src/codec/lzss.rs crates/streamlets/src/codec/raster.rs crates/streamlets/src/comm.rs crates/streamlets/src/compress.rs crates/streamlets/src/crypto.rs crates/streamlets/src/transform.rs crates/streamlets/src/workload.rs
+/root/repo/target/release/deps/libmobigate_streamlets-e17c0f7446437002.rmeta: crates/streamlets/src/lib.rs crates/streamlets/src/basic.rs crates/streamlets/src/batch.rs crates/streamlets/src/codec/mod.rs crates/streamlets/src/codec/lzss.rs crates/streamlets/src/codec/raster.rs crates/streamlets/src/comm.rs crates/streamlets/src/compress.rs crates/streamlets/src/crypto.rs crates/streamlets/src/fault.rs crates/streamlets/src/transform.rs crates/streamlets/src/workload.rs
 
 crates/streamlets/src/lib.rs:
 crates/streamlets/src/basic.rs:
@@ -13,5 +13,6 @@ crates/streamlets/src/codec/raster.rs:
 crates/streamlets/src/comm.rs:
 crates/streamlets/src/compress.rs:
 crates/streamlets/src/crypto.rs:
+crates/streamlets/src/fault.rs:
 crates/streamlets/src/transform.rs:
 crates/streamlets/src/workload.rs:
