@@ -11,7 +11,7 @@
 //! under `results/`.
 
 use mobigate::core::pool::{MessagePool, PayloadMode};
-use mobigate::core::{ExecutorConfig, ServerConfig};
+use mobigate::core::{BatchConfig, ExecutorConfig, ServerConfig};
 use mobigate::mime::{MimeMessage, MimeType};
 use mobigate_bench::report::{ascii_series, Csv};
 use mobigate_bench::{
@@ -54,6 +54,9 @@ fn main() {
     }
     if want("chaos") {
         chaos(quick);
+    }
+    if want("batching") {
+        batching(quick);
     }
     println!("\nCSV written under results/");
 }
@@ -602,4 +605,135 @@ fn chaos(quick: bool) {
     std::fs::write("results/BENCH_chaos.json", json).expect("write chaos json");
     save("chaos_supervision", &csv);
     println!("JSON written to results/BENCH_chaos.json");
+}
+
+/// Hot-path batching ablation: pipelined chain throughput (the Figure 7-2
+/// redirector chain, kept saturated) under {batch=1, batch=16} × {SPSC
+/// ring on, off} × executor back end. Emits `results/BENCH_batching.json`.
+fn batching(quick: bool) {
+    println!("\n========= Ablation: hot-path batching x SPSC x executor =========");
+    println!("(pipelined throughput, every hop busy at once — the workload that");
+    println!(" per-message locking and per-message wakeups throttle)\n");
+
+    let chain_k = 10;
+    let chain_bytes = 10 * 1024;
+    let total = if quick { 400 } else { 2000 };
+    let runs = if quick { 3 } else { 5 };
+    let batch_n = 16;
+
+    let executors: [(&str, ExecutorConfig); 2] = [
+        ("thread_per_streamlet", ExecutorConfig::ThreadPerStreamlet),
+        ("worker_pool8", ExecutorConfig::WorkerPool { workers: 8 }),
+    ];
+    let corners: [(&str, usize, bool); 4] = [
+        ("batch1_spsc_off", 1, false),
+        ("batch1_spsc_on", 1, true),
+        ("batchN_spsc_off", batch_n, false),
+        ("batchN_spsc_on", batch_n, true),
+    ];
+
+    let mut csv = Csv::new(["executor", "batch_max", "spsc", "throughput_msg_s"]);
+    // (executor, corner label, batch, spsc, median msg/s)
+    let mut series: Vec<(String, String, usize, bool, f64)> = Vec::new();
+    for (exec_name, exec_cfg) in &executors {
+        for (label, batch_max, spsc) in &corners {
+            let cfg = ServerConfig {
+                executor: *exec_cfg,
+                batching: BatchConfig {
+                    batch_max: *batch_max,
+                    spsc: *spsc,
+                },
+                ..Default::default()
+            };
+            let harness = ChainHarness::with_config(chain_k, cfg);
+            let mut samples: Vec<f64> = (0..runs)
+                .map(|_| harness.throughput(chain_bytes, total))
+                .collect();
+            samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let median = samples[samples.len() / 2];
+            println!("  {exec_name:<21} {label:<17}: {median:>9.0} msg/s");
+            csv.row([
+                exec_name.to_string(),
+                batch_max.to_string(),
+                spsc.to_string(),
+                format!("{median:.0}"),
+            ]);
+            series.push((
+                exec_name.to_string(),
+                label.to_string(),
+                *batch_max,
+                *spsc,
+                median,
+            ));
+        }
+    }
+    println!();
+    print!("{}", csv.to_table());
+
+    let find = |exec: &str, label: &str| -> f64 {
+        series
+            .iter()
+            .find(|(e, l, ..)| e == exec && l == label)
+            .map(|(.., t)| *t)
+            .expect("corner measured")
+    };
+    // Headline ratio: everything on vs. the pre-batching baseline.
+    let speedup_tps = find("thread_per_streamlet", "batchN_spsc_on")
+        / find("thread_per_streamlet", "batch1_spsc_off");
+    let speedup_wp8 =
+        find("worker_pool8", "batchN_spsc_on") / find("worker_pool8", "batch1_spsc_off");
+    // Axis isolation on the thread-per-streamlet back end.
+    let spsc_only = find("thread_per_streamlet", "batch1_spsc_on")
+        / find("thread_per_streamlet", "batch1_spsc_off");
+    let batch_only = find("thread_per_streamlet", "batchN_spsc_off")
+        / find("thread_per_streamlet", "batch1_spsc_off");
+    println!(
+        "\nbatched+spsc over batch=1 baseline: thread-per-streamlet {speedup_tps:.2}x, \
+         worker-pool8 {speedup_wp8:.2}x (spsc alone {spsc_only:.2}x, batching alone \
+         {batch_only:.2}x on tps)"
+    );
+
+    // The serde shim is a no-op, so the JSON is formatted by hand.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"experiment\": \"hot_path_batching_ablation\",\n");
+    json.push_str("  \"workload\": {\n");
+    json.push_str(&format!(
+        "    \"redirectors\": {chain_k}, \"message_bytes\": {chain_bytes}, \
+         \"messages_per_burst\": {total}, \"runs\": {runs}, \"metric\": \
+         \"median pipelined throughput (msg/s)\"\n"
+    ));
+    json.push_str("  },\n");
+    json.push_str(&format!("  \"batch_n\": {batch_n},\n"));
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str("  \"series\": [\n");
+    for (i, (exec_name, label, batch_max, spsc, msg_s)) in series.iter().enumerate() {
+        let sep = if i + 1 == series.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"executor\": \"{exec_name}\", \"config\": \"{label}\", \
+             \"batch_max\": {batch_max}, \"spsc\": {spsc}, \
+             \"throughput_msg_per_s\": {msg_s:.1}}}{sep}\n"
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"batched_over_batch1\": {\n");
+    json.push_str(&format!(
+        "    \"thread_per_streamlet\": {speedup_tps:.3},\n"
+    ));
+    json.push_str(&format!("    \"worker_pool8\": {speedup_wp8:.3},\n"));
+    json.push_str(&format!(
+        "    \"spsc_only_thread_per_streamlet\": {spsc_only:.3},\n"
+    ));
+    json.push_str(&format!(
+        "    \"batch_only_thread_per_streamlet\": {batch_only:.3}\n"
+    ));
+    json.push_str("  },\n");
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    json.push_str(&format!("  \"host_cores\": {cores}\n"));
+    json.push_str("}\n");
+    std::fs::write("results/BENCH_batching.json", json).expect("write batching json");
+    save("batching_ablation", &csv);
+    println!("JSON written to results/BENCH_batching.json");
 }

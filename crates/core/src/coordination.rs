@@ -175,6 +175,7 @@ mod tests {
             route_opts: Default::default(),
             executor: crate::executor::default_executor(),
             supervisor: None,
+            batching: Default::default(),
         };
         CoordinationManager::new(deps, Arc::new(EventManager::new()))
     }

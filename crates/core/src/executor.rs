@@ -20,8 +20,13 @@
 //! suspend-during-reconfiguration per Figure 7-4, control commands
 //! serviced between messages) are identical under either executor.
 //!
-//! Caveat: sync (rendezvous) channels block their producer inside `post`.
-//! Under a [`WorkerPool`] that parks a worker thread, so chains of sync
+//! Pool-driven tasks post outputs without blocking: a full async queue
+//! parks the message in the task's pending-output buffer (with its Figure
+//! 6-9 drop deadline) rather than parking the worker, so chains deeper
+//! than the worker count keep making progress under backpressure.
+//!
+//! Caveat: sync (rendezvous) channels still block their producer inside
+//! `post` — rendezvous semantics cannot be buffered — so chains of sync
 //! channels deeper than the worker count can stall; thread-per-streamlet
 //! has no such limit, which is one reason it remains the default.
 
@@ -156,6 +161,10 @@ fn worker_loop(state: &Arc<PoolState>) {
         // notify that raced with the pump either found the mark set (and
         // is caught by the check below) or lands after and re-queues.
         task.clear_scheduled();
+        // Re-arm the coalescing notifier next, for the same reason: a post
+        // arriving after this line fires the wake hook again; one arriving
+        // before it is seen by `has_pending_work` below.
+        task.disarm_wake();
         match outcome {
             PumpOutcome::Ended => task.clear_wake_hook(),
             PumpOutcome::More => state.schedule(task),
@@ -170,6 +179,12 @@ fn worker_loop(state: &Arc<PoolState>) {
 
 impl Executor for WorkerPool {
     fn launch(&self, task: Arc<StreamletTask>) {
+        // Workers must never park inside a downstream post: with more
+        // streamlets than workers, a backed-up chain would otherwise eat
+        // every worker and stall until the drop deadline. Full async
+        // queues instead park the message in the task's pending-output
+        // buffer and the worker moves on.
+        task.set_nonblocking_outputs(true);
         let state = Arc::downgrade(&self.state);
         let weak = Arc::downgrade(&task);
         // Weak in both directions: the hook lives inside the task's

@@ -32,6 +32,7 @@ pub mod pooling;
 pub mod queue;
 pub mod server;
 pub mod sharing;
+mod spsc;
 pub mod stream;
 pub mod streamlet;
 pub mod supervisor;
@@ -46,7 +47,7 @@ pub use pooling::StreamletPool;
 pub use queue::{FetchResult, MessageQueue, PostResult, QueueConfig};
 pub use server::{ExecutorConfig, MobiGate, ServerConfig, SupervisionConfig};
 pub use sharing::{SharedStreamlet, SharingStats};
-pub use stream::{ReconfigStats, RunningStream, StreamStats};
+pub use stream::{BatchConfig, ReconfigStats, RunningStream, StreamStats};
 pub use streamlet::{
     Emitter, LifecycleState, PumpOutcome, RouteOpts, StreamletCtx, StreamletHandle, StreamletLogic,
     StreamletTask,

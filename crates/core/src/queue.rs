@@ -24,24 +24,43 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use crate::pool::{MessagePool, Payload};
+use crate::spsc::SpscRing;
 use mobigate_mcl::ast::{ChannelCategory, ChannelKind};
 use mobigate_mime::MimeType;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Slot count of the SPSC fast-path ring (bounds *messages*; the byte
+/// budget still comes from [`QueueConfig::capacity_bytes`]).
+const SPSC_SLOTS: usize = 256;
+
 /// Wakes streamlet worker threads when any of their input queues receives a
 /// message (or a lifecycle change occurs).
+///
+/// Wakeups **coalesce**: an atomic "armed" flag records that a wake is
+/// already pending, and while it is set further [`Notifier::notify`] calls
+/// return without touching the sequence mutex or the hook. The contract is
+/// that consumers *disarm* before re-checking their work sources —
+/// [`Notifier::snapshot`], [`Notifier::wait_unless`] and [`Notifier::wait`]
+/// all disarm on entry, as does `StreamletTask::pump` — so a skipped
+/// notification is always covered by a re-check that observes its effects.
 #[derive(Default)]
 pub struct Notifier {
     seq: Mutex<u64>,
     cv: Condvar,
-    /// Optional wake hook, invoked on every [`Notifier::notify`] — this is
-    /// how a [`crate::executor::WorkerPool`] turns queue posts and
-    /// lifecycle transitions into run-queue scheduling instead of waking a
-    /// dedicated blocked thread.
+    /// A wake is pending and its consumer has not yet re-checked: further
+    /// notifies are redundant and skipped.
+    armed: AtomicBool,
+    /// Mirrors `hook.is_some()` so the common no-hook case never locks.
+    has_hook: AtomicBool,
+    /// Optional wake hook, invoked on every non-coalesced
+    /// [`Notifier::notify`] — this is how a
+    /// [`crate::executor::WorkerPool`] turns queue posts and lifecycle
+    /// transitions into run-queue scheduling instead of waking a dedicated
+    /// blocked thread.
     hook: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
 }
 
@@ -49,6 +68,7 @@ impl std::fmt::Debug for Notifier {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Notifier")
             .field("seq", &*self.seq.lock())
+            .field("armed", &self.armed.load(Ordering::Relaxed))
             .field("hooked", &self.hook.lock().is_some())
             .finish()
     }
@@ -60,17 +80,40 @@ impl Notifier {
         Self::default()
     }
 
-    /// Wakes all waiters and fires the wake hook, if any.
+    /// Wakes all waiters and fires the wake hook, if any. Returns without
+    /// doing either when a previous wake is still unconsumed (the consumer
+    /// has not disarmed since): repeated posts to an already-woken consumer
+    /// cost one atomic swap.
     pub fn notify(&self) {
+        if self.armed.swap(true, Ordering::SeqCst) {
+            // Already armed: the pending wake's consumer will disarm and
+            // then re-check, observing whatever this notify announces.
+            return;
+        }
         {
             let mut seq = self.seq.lock();
             *seq += 1;
             self.cv.notify_all();
         }
         // Outside the seq lock: the hook takes scheduler locks of its own.
-        if let Some(hook) = &*self.hook.lock() {
-            hook();
+        // The atomic guard keeps hookless notifiers (the common case —
+        // thread-per-streamlet installs no hook) off this mutex entirely.
+        if self.has_hook.load(Ordering::Acquire) {
+            if let Some(hook) = &*self.hook.lock() {
+                hook();
+            }
         }
+    }
+
+    /// Clears the coalescing flag. Consumers call this *before* re-checking
+    /// the condition they sleep on; any notify after the disarm then does a
+    /// full (non-coalesced) wake.
+    pub fn disarm(&self) {
+        // A swap (RMW), not a store: reading the producer's `swap(true)`
+        // synchronizes-with it, so everything the producer published
+        // before a coalesced notify (e.g. a lock-free ring push) is
+        // visible to the re-check that follows this disarm.
+        self.armed.swap(false, Ordering::SeqCst);
     }
 
     /// Installs the wake hook (replacing any previous one). Executors call
@@ -78,23 +121,28 @@ impl Notifier {
     /// its task.
     pub fn set_hook(&self, hook: impl Fn() + Send + Sync + 'static) {
         *self.hook.lock() = Some(Box::new(hook));
+        self.has_hook.store(true, Ordering::Release);
     }
 
     /// Removes the wake hook.
     pub fn clear_hook(&self) {
+        self.has_hook.store(false, Ordering::Release);
         *self.hook.lock() = None;
     }
 
     /// Current notification sequence. Take a snapshot *before* checking
     /// the condition you wait on, then use [`Notifier::wait_unless`]: any
     /// notify between the snapshot and the wait is then never missed.
+    /// Disarms wake coalescing, per the consumer contract.
     pub fn snapshot(&self) -> u64 {
+        self.disarm();
         *self.seq.lock()
     }
 
     /// Waits until notified or `timeout` elapses. Returns immediately when
     /// a notification already happened after `since` was snapshotted.
     pub fn wait_unless(&self, since: u64, timeout: Duration) {
+        self.disarm();
         let mut seq = self.seq.lock();
         if *seq != since {
             return;
@@ -106,6 +154,7 @@ impl Notifier {
     /// notification issued just before the call can be missed — prefer
     /// `snapshot` + `wait_unless` in loops).
     pub fn wait(&self, timeout: Duration) {
+        self.disarm();
         let mut seq = self.seq.lock();
         self.cv.wait_for(&mut seq, timeout);
     }
@@ -127,6 +176,10 @@ pub struct QueueConfig {
     pub full_wait: Duration,
     /// The MIME type the channel carries (runtime type check on post).
     pub ty: MimeType,
+    /// Enables the lock-free SPSC fast path: while the queue has at most
+    /// one producer and one consumer attached, posts go through a bounded
+    /// ring instead of the monitor mutex. Ignored for sync channels.
+    pub spsc: bool,
 }
 
 impl Default for QueueConfig {
@@ -138,6 +191,7 @@ impl Default for QueueConfig {
             capacity_bytes: 100 * 1024,
             full_wait: Duration::from_millis(50),
             ty: MimeType::any(),
+            spsc: true,
         }
     }
 }
@@ -152,6 +206,7 @@ impl QueueConfig {
             capacity_bytes: (spec.buffer_kb as usize) * 1024,
             full_wait: Duration::from_millis(50),
             ty: spec.ty.clone(),
+            spsc: true,
         }
     }
 }
@@ -219,12 +274,32 @@ pub struct MessageQueue {
     dropped_full: AtomicU64,
     dropped_closed: AtomicU64,
     dropped_break: AtomicU64,
-    listeners: Mutex<Vec<Arc<Notifier>>>,
+    listeners: RwLock<Vec<Arc<Notifier>>>,
+    /// Producer-side peers of `listeners`: notified whenever capacity
+    /// frees up, so pool-driven producers with parked outputs wake
+    /// edge-triggered instead of polling the full queue.
+    space_listeners: RwLock<Vec<Arc<Notifier>>>,
+    /// SPSC fast-path ring, allocated once for async channels with
+    /// [`QueueConfig::spsc`] set. Consumers *always* drain it before the
+    /// mutex queue, so FIFO holds across activation changes.
+    ring: Option<SpscRing>,
+    /// True while fast-path posts are allowed: at most one producer and
+    /// one consumer, sink open, and both buffers were empty at the last
+    /// (re)activation point. Maintained under the state lock; read
+    /// lock-free by producers (`SeqCst` both sides, so a post that
+    /// causally follows a deactivating attach never sees a stale `true`).
+    spsc_active: AtomicBool,
+    /// Consumers blocked in [`MessageQueue::fetch`]: a fast-path post must
+    /// briefly take the state lock to wake them (Dekker-style handshake —
+    /// the consumer registers *before* its final emptiness re-check).
+    sleepers: AtomicUsize,
 }
 
 impl MessageQueue {
     /// Creates a queue backed by `pool` for reference accounting.
     pub fn new(cfg: QueueConfig, pool: Arc<MessagePool>) -> Arc<Self> {
+        let ring = (cfg.spsc && cfg.kind == ChannelKind::Async).then(|| SpscRing::new(SPSC_SLOTS));
+        let spsc_active = ring.is_some();
         Arc::new(MessageQueue {
             cfg,
             state: Mutex::new(QState {
@@ -242,8 +317,34 @@ impl MessageQueue {
             dropped_full: AtomicU64::new(0),
             dropped_closed: AtomicU64::new(0),
             dropped_break: AtomicU64::new(0),
-            listeners: Mutex::new(Vec::new()),
+            listeners: RwLock::new(Vec::new()),
+            space_listeners: RwLock::new(Vec::new()),
+            ring,
+            spsc_active: AtomicBool::new(spsc_active),
+            sleepers: AtomicUsize::new(0),
         })
+    }
+
+    /// Re-evaluates SPSC eligibility. Called under the state lock at every
+    /// attachment change. Deactivation is immediate; (re)activation
+    /// additionally requires both buffers empty, so ring entries always
+    /// predate mutex-queue entries and the drain order (ring first)
+    /// preserves FIFO.
+    fn refresh_spsc(&self, st: &QState) {
+        let Some(ring) = &self.ring else { return };
+        let eligible = self.pcount.load(Ordering::SeqCst) <= 1
+            && self.ccount.load(Ordering::SeqCst) <= 1
+            && st.sink_open;
+        if !eligible {
+            self.spsc_active.store(false, Ordering::SeqCst);
+        } else if st.queue.is_empty() && ring.is_empty() {
+            self.spsc_active.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// True when the SPSC fast path is currently switched in.
+    pub fn spsc_active(&self) -> bool {
+        self.spsc_active.load(Ordering::SeqCst)
     }
 
     /// The queue's configuration.
@@ -263,28 +364,51 @@ impl MessageQueue {
 
     /// Registers a notifier woken on every post (consumer-side wakeup).
     pub fn add_listener(&self, n: Arc<Notifier>) {
-        self.listeners.lock().push(n);
+        self.listeners.write().push(n);
     }
 
     /// Unregisters a notifier.
     pub fn remove_listener(&self, n: &Arc<Notifier>) {
-        self.listeners.lock().retain(|l| !Arc::ptr_eq(l, n));
+        self.listeners.write().retain(|l| !Arc::ptr_eq(l, n));
+    }
+
+    /// Registers a notifier woken whenever buffered capacity frees up — a
+    /// fetch, a pending drop, or a sink close (producer-side wakeup).
+    /// Pool-driven producers with outputs parked behind this (full) queue
+    /// sleep on it instead of spinning through the run queue.
+    pub fn add_space_listener(&self, n: Arc<Notifier>) {
+        self.space_listeners.write().push(n);
+    }
+
+    /// Unregisters a space notifier.
+    pub fn remove_space_listener(&self, n: &Arc<Notifier>) {
+        self.space_listeners.write().retain(|l| !Arc::ptr_eq(l, n));
+    }
+
+    fn wake_space_listeners(&self) {
+        for l in self.space_listeners.read().iter() {
+            l.notify();
+        }
     }
 
     /// Attaches a producer (paper `incr_pCount`); reopens the source side.
+    /// A second producer immediately deactivates the SPSC fast path.
     pub fn attach_source(&self) {
-        self.pcount.fetch_add(1, Ordering::AcqRel);
+        self.pcount.fetch_add(1, Ordering::SeqCst);
         let mut st = self.state.lock();
         st.source_open = true;
+        self.refresh_spsc(&st);
         drop(st);
         self.cv.notify_all();
     }
 
     /// Attaches a consumer (paper `incr_cCount`); reopens the sink side.
+    /// A second consumer immediately deactivates the SPSC fast path.
     pub fn attach_sink(&self) {
-        self.ccount.fetch_add(1, Ordering::AcqRel);
+        self.ccount.fetch_add(1, Ordering::SeqCst);
         let mut st = self.state.lock();
         st.sink_open = true;
+        self.refresh_spsc(&st);
         drop(st);
         self.cv.notify_all();
         self.wake_listeners();
@@ -300,10 +424,10 @@ impl MessageQueue {
                 message: "KK channels cannot be disconnected".into(),
             });
         }
-        let prev = self.pcount.fetch_sub(1, Ordering::AcqRel);
+        let prev = self.pcount.fetch_sub(1, Ordering::SeqCst);
         debug_assert!(prev > 0, "detach_source without attach");
+        let mut st = self.state.lock();
         if prev == 1 {
-            let mut st = self.state.lock();
             st.source_open = false;
             match self.cfg.category {
                 // BB: breaking one side breaks the other; pending dropped.
@@ -320,9 +444,13 @@ impl MessageQueue {
                 // no pending by construction.
                 ChannelCategory::BK | ChannelCategory::S | ChannelCategory::KK => {}
             }
-            drop(st);
+        }
+        self.refresh_spsc(&st);
+        drop(st);
+        if prev == 1 {
             self.cv.notify_all();
             self.wake_listeners();
+            self.wake_space_listeners();
         }
         Ok(())
     }
@@ -335,10 +463,10 @@ impl MessageQueue {
                 message: "KK channels cannot be disconnected".into(),
             });
         }
-        let prev = self.ccount.fetch_sub(1, Ordering::AcqRel);
+        let prev = self.ccount.fetch_sub(1, Ordering::SeqCst);
         debug_assert!(prev > 0, "detach_sink without attach");
+        let mut st = self.state.lock();
         if prev == 1 {
-            let mut st = self.state.lock();
             st.sink_open = false;
             match self.cfg.category {
                 ChannelCategory::BB => {
@@ -353,31 +481,124 @@ impl MessageQueue {
                 // KB: pending units are retained for a future sink.
                 ChannelCategory::KB | ChannelCategory::S | ChannelCategory::KK => {}
             }
-            drop(st);
+        }
+        self.refresh_spsc(&st);
+        drop(st);
+        if prev == 1 {
             self.cv.notify_all();
+            // A closed sink unblocks parked producers too: their next
+            // flush discards into the pool instead of waiting for room.
+            self.wake_space_listeners();
         }
         Ok(())
     }
 
     fn drop_pending(&self, st: &mut QState) {
-        let n = st.queue.len() as u64;
+        let mut n = st.queue.len() as u64;
         for p in st.queue.drain(..) {
             self.pool.discard(p);
         }
         st.bytes = 0;
+        // The fast-path ring is pending buffer too; the state lock we hold
+        // serializes us with every other popper.
+        if let Some(ring) = &self.ring {
+            while let Some((p, _)) = ring.pop() {
+                self.pool.discard(p);
+                n += 1;
+            }
+        }
         self.dropped_break.fetch_add(n, Ordering::Relaxed);
     }
 
     fn wake_listeners(&self) {
-        for l in self.listeners.lock().iter() {
+        for l in self.listeners.read().iter() {
             l.notify();
         }
     }
 
+    /// Wakes a consumer after a lock-free ring post: listeners always (the
+    /// armed flag makes redundant notifies one atomic swap), and blocked
+    /// `fetch` callers only when the sleeper count says someone is waiting
+    /// — taking the state lock then is what makes the handshake lossless.
+    fn wake_after_ring_post(&self) {
+        // Store-buffer hazard: the ring push ends in Release stores, and a
+        // plain SeqCst *load* of `sleepers` may still be satisfied before
+        // those stores drain — letting the producer see 0 sleepers while
+        // the consumer (who registered and then saw an empty ring) sleeps.
+        // The fence orders the push before the read, pairing with the
+        // consumer's SeqCst register-then-recheck in `fetch`.
+        std::sync::atomic::fence(Ordering::SeqCst);
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            drop(self.state.lock());
+            self.cv.notify_all();
+        }
+        self.wake_listeners();
+    }
+
     /// Posts a payload (Figure 6-9 semantics). Sync channels block until
     /// the message is taken or `T` elapses (rendezvous-or-drop).
+    ///
+    /// While the SPSC specialization is active (one producer, one
+    /// consumer) the post is lock-free: the payload goes straight into the
+    /// ring, and only consumers blocked inside [`MessageQueue::fetch`]
+    /// cost a lock acquisition to wake.
     pub fn post(&self, payload: Payload) -> PostResult {
         let len = payload.buffered_len(&self.pool);
+        match self.try_ring_post(payload, len) {
+            Ok(()) => PostResult::Posted,
+            Err(payload) => self.post_locked(payload, len),
+        }
+    }
+
+    /// Lock-free fast path; hands the payload back whenever it does not
+    /// apply (SPSC inactive, full ring, or over the byte budget — the
+    /// locked path then waits out Figure 6-9's `T`).
+    fn try_ring_post(&self, payload: Payload, len: usize) -> Result<(), Payload> {
+        if !self.spsc_active.load(Ordering::SeqCst) {
+            return Err(payload);
+        }
+        let Some(ring) = &self.ring else {
+            return Err(payload);
+        };
+        // Byte-budget admission mirrors the mutex path: an empty buffer
+        // always admits one (possibly oversized) message. The check and
+        // the push are not atomic together, but overshoot needs a second
+        // producer racing a stale activation flag — transient and bounded
+        // by one message.
+        if !ring.is_empty() && ring.bytes() + len > self.cfg.capacity_bytes {
+            return Err(payload);
+        }
+        ring.push(payload, len)?;
+        self.posted.fetch_add(1, Ordering::Relaxed);
+        self.wake_after_ring_post();
+        Ok(())
+    }
+
+    /// Admits `payload` into whichever buffer is current — the ring while
+    /// SPSC is active, the mutex queue otherwise — if the byte budget
+    /// allows (an empty channel admits one oversized message). Caller
+    /// holds the state lock.
+    fn try_admit(&self, st: &mut QState, payload: Payload, len: usize) -> Result<(), Payload> {
+        let ring_bytes = self.ring.as_ref().map_or(0, SpscRing::bytes);
+        let ring_empty = self.ring.as_ref().is_none_or(SpscRing::is_empty);
+        let empty = st.queue.is_empty() && ring_empty;
+        if !empty && st.bytes + ring_bytes + len > self.cfg.capacity_bytes {
+            return Err(payload);
+        }
+        if self.spsc_active.load(Ordering::SeqCst) {
+            if let Some(ring) = &self.ring {
+                // Ring slots can fill before the byte budget does; the
+                // caller then waits for the consumer like any full queue.
+                return ring.push(payload, len);
+            }
+        }
+        st.queue.push_back(payload);
+        st.bytes += len;
+        Ok(())
+    }
+
+    /// The monitor-based post path (the paper's Figure 6-9 pseudocode).
+    fn post_locked(&self, payload: Payload, len: usize) -> PostResult {
         let deadline = Instant::now() + self.cfg.full_wait;
         let mut st = self.state.lock();
         if !st.sink_open {
@@ -388,16 +609,34 @@ impl MessageQueue {
         }
         match self.cfg.kind {
             ChannelKind::Async => {
-                // Wait while full; an empty queue always admits one message.
-                while !st.queue.is_empty() && st.bytes + len > self.cfg.capacity_bytes {
-                    if self.cv.wait_until(&mut st, deadline).timed_out() {
-                        if !st.queue.is_empty() && st.bytes + len > self.cfg.capacity_bytes {
+                let mut payload = payload;
+                loop {
+                    match self.try_admit(&mut st, payload, len) {
+                        Ok(()) => {
+                            self.posted.fetch_add(1, Ordering::Relaxed);
                             drop(st);
-                            self.pool.discard(payload);
-                            self.dropped_full.fetch_add(1, Ordering::Relaxed);
-                            return PostResult::Dropped;
+                            self.cv.notify_all();
+                            self.wake_listeners();
+                            return PostResult::Posted;
                         }
-                        break;
+                        Err(p) => payload = p,
+                    }
+                    if self.cv.wait_until(&mut st, deadline).timed_out() {
+                        match self.try_admit(&mut st, payload, len) {
+                            Ok(()) => {
+                                self.posted.fetch_add(1, Ordering::Relaxed);
+                                drop(st);
+                                self.cv.notify_all();
+                                self.wake_listeners();
+                                return PostResult::Posted;
+                            }
+                            Err(p) => {
+                                drop(st);
+                                self.pool.discard(p);
+                                self.dropped_full.fetch_add(1, Ordering::Relaxed);
+                                return PostResult::Dropped;
+                            }
+                        }
                     }
                     if !st.sink_open {
                         drop(st);
@@ -406,13 +645,6 @@ impl MessageQueue {
                         return PostResult::Closed;
                     }
                 }
-                st.queue.push_back(payload);
-                st.bytes += len;
-                self.posted.fetch_add(1, Ordering::Relaxed);
-                drop(st);
-                self.cv.notify_all();
-                self.wake_listeners();
-                PostResult::Posted
             }
             ChannelKind::Sync => {
                 // Zero-length buffer: admit when empty, then wait until the
@@ -456,14 +688,262 @@ impl MessageQueue {
         }
     }
 
+    /// Posts a run of payloads under a single lock acquisition, sharing
+    /// one Figure 6-9 wait budget `T` across the run. Per-message byte
+    /// accounting and drop-on-full semantics are identical to calling
+    /// [`MessageQueue::post`] once per payload; sync (zero-length)
+    /// channels rendezvous per message and SPSC-active channels post
+    /// lock-free per message, so both simply delegate. Returns one
+    /// `PostResult` per payload, in order.
+    pub fn post_all(&self, payloads: Vec<Payload>) -> Vec<PostResult> {
+        if payloads.is_empty() {
+            return Vec::new();
+        }
+        if self.cfg.kind == ChannelKind::Sync || self.spsc_active.load(Ordering::SeqCst) {
+            return payloads.into_iter().map(|p| self.post(p)).collect();
+        }
+        let deadline = Instant::now() + self.cfg.full_wait;
+        let mut results = Vec::with_capacity(payloads.len());
+        let mut admitted = 0u64;
+        let mut st = self.state.lock();
+        'run: for payload in payloads {
+            if !st.sink_open {
+                self.pool.discard(payload);
+                self.dropped_closed.fetch_add(1, Ordering::Relaxed);
+                results.push(PostResult::Closed);
+                continue;
+            }
+            let len = payload.buffered_len(&self.pool);
+            let mut payload = payload;
+            loop {
+                match self.try_admit(&mut st, payload, len) {
+                    Ok(()) => {
+                        admitted += 1;
+                        results.push(PostResult::Posted);
+                        if st.queue.len() == 1 {
+                            // Empty→non-empty: blocked fetchers wake as
+                            // soon as we release (or wait on) the lock.
+                            self.cv.notify_all();
+                        }
+                        // Make the wake visible *during* the run, not just
+                        // at its end: if the queue fills before the run
+                        // completes, we wait on the consumer below — and a
+                        // consumer that was never woken would leave us
+                        // stuck until the drop deadline. The coalescing
+                        // armed flag keeps the repeat notifies down to one
+                        // atomic swap each.
+                        self.wake_listeners();
+                        continue 'run;
+                    }
+                    Err(p) => payload = p,
+                }
+                if self.cv.wait_until(&mut st, deadline).timed_out() {
+                    match self.try_admit(&mut st, payload, len) {
+                        Ok(()) => {
+                            admitted += 1;
+                            results.push(PostResult::Posted);
+                        }
+                        Err(p) => {
+                            self.pool.discard(p);
+                            self.dropped_full.fetch_add(1, Ordering::Relaxed);
+                            results.push(PostResult::Dropped);
+                        }
+                    }
+                    continue 'run;
+                }
+                if !st.sink_open {
+                    self.pool.discard(payload);
+                    self.dropped_closed.fetch_add(1, Ordering::Relaxed);
+                    results.push(PostResult::Closed);
+                    continue 'run;
+                }
+            }
+        }
+        drop(st);
+        if admitted > 0 {
+            self.posted.fetch_add(admitted, Ordering::Relaxed);
+            self.cv.notify_all();
+            self.wake_listeners();
+        }
+        results
+    }
+
+    /// Non-blocking post: admits the payload if the channel has room right
+    /// now, otherwise hands it straight back without waiting out Figure
+    /// 6-9's `T`. A closed sink discards the payload (as `post` does) and
+    /// reports `Closed`. Not meaningful for sync (rendezvous) channels —
+    /// callers route those through [`MessageQueue::post`].
+    ///
+    /// Pool executors use this so a full downstream queue parks the
+    /// *message* (in the producer's pending-output buffer) instead of the
+    /// *worker thread* — a chain deeper than the worker count would
+    /// otherwise deadlock with every worker blocked inside a post.
+    pub fn post_nowait(&self, payload: Payload) -> Result<PostResult, Payload> {
+        let len = payload.buffered_len(&self.pool);
+        let payload = match self.try_ring_post(payload, len) {
+            Ok(()) => return Ok(PostResult::Posted),
+            Err(p) => p,
+        };
+        let mut st = self.state.lock();
+        if !st.sink_open {
+            drop(st);
+            self.pool.discard(payload);
+            self.dropped_closed.fetch_add(1, Ordering::Relaxed);
+            return Ok(PostResult::Closed);
+        }
+        match self.try_admit(&mut st, payload, len) {
+            Ok(()) => {
+                self.posted.fetch_add(1, Ordering::Relaxed);
+                drop(st);
+                self.cv.notify_all();
+                self.wake_listeners();
+                Ok(PostResult::Posted)
+            }
+            Err(p) => Err(p),
+        }
+    }
+
+    /// Non-blocking batch post under one lock acquisition: admits a prefix
+    /// of `payloads` while room lasts and returns the rest untouched. The
+    /// `Vec<PostResult>` covers only the handled prefix (admitted or
+    /// closed-discarded); leftover payloads carry no result — the caller
+    /// still owns them.
+    pub fn post_all_nowait(&self, payloads: Vec<Payload>) -> (Vec<PostResult>, Vec<Payload>) {
+        if payloads.is_empty() {
+            return (Vec::new(), Vec::new());
+        }
+        if self.cfg.kind == ChannelKind::Sync {
+            // Rendezvous has no buffer that "has room": delegate to the
+            // blocking per-message path, exactly as `post_all` does.
+            return (
+                payloads.into_iter().map(|p| self.post(p)).collect(),
+                Vec::new(),
+            );
+        }
+        if self.spsc_active.load(Ordering::SeqCst) {
+            // The SPSC ring path is lock-free per message anyway.
+            let mut results = Vec::new();
+            let mut iter = payloads.into_iter();
+            for payload in iter.by_ref() {
+                match self.post_nowait(payload) {
+                    Ok(r) => results.push(r),
+                    Err(p) => {
+                        let mut rest = vec![p];
+                        rest.extend(iter);
+                        return (results, rest);
+                    }
+                }
+            }
+            return (results, Vec::new());
+        }
+        let mut results = Vec::new();
+        let mut admitted = 0u64;
+        let mut rest = Vec::new();
+        let mut st = self.state.lock();
+        let mut iter = payloads.into_iter();
+        for payload in iter.by_ref() {
+            if !st.sink_open {
+                self.pool.discard(payload);
+                self.dropped_closed.fetch_add(1, Ordering::Relaxed);
+                results.push(PostResult::Closed);
+                continue;
+            }
+            let len = payload.buffered_len(&self.pool);
+            match self.try_admit(&mut st, payload, len) {
+                Ok(()) => {
+                    admitted += 1;
+                    results.push(PostResult::Posted);
+                }
+                Err(p) => {
+                    // Full: stop here so per-queue FIFO order survives.
+                    rest.push(p);
+                    rest.extend(iter);
+                    break;
+                }
+            }
+        }
+        drop(st);
+        if admitted > 0 {
+            self.posted.fetch_add(admitted, Ordering::Relaxed);
+            self.cv.notify_all();
+            self.wake_listeners();
+        }
+        (results, rest)
+    }
+
+    /// Accounts a payload that waited out Figure 6-9's `T` *outside* the
+    /// queue (in a producer's pending-output buffer) and must now be
+    /// dropped: discarded to the pool and counted against `dropped_full`,
+    /// exactly as an in-queue deadline expiry would be.
+    pub fn discard_expired(&self, payload: Payload) {
+        self.pool.discard(payload);
+        self.dropped_full.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The Figure 6-9 full-wait budget `T` configured for this channel.
+    pub fn full_wait(&self) -> Duration {
+        self.cfg.full_wait
+    }
+
+    /// True when a [`MessageQueue::post_nowait`] of a `len`-byte payload
+    /// would make progress right now — room in the byte budget, an empty
+    /// buffer (oversized admission), or a closed sink (the post discards
+    /// and reports `Closed`). Advisory: the answer can go stale the moment
+    /// the lock drops, so callers treat `true` as "worth retrying", not a
+    /// guarantee.
+    pub fn has_space(&self, len: usize) -> bool {
+        let st = self.state.lock();
+        if !st.sink_open {
+            return true;
+        }
+        let ring_bytes = self.ring.as_ref().map_or(0, SpscRing::bytes);
+        let ring_empty = self.ring.as_ref().is_none_or(SpscRing::is_empty);
+        if st.queue.is_empty() && ring_empty {
+            return true;
+        }
+        st.bytes + ring_bytes + len <= self.cfg.capacity_bytes
+    }
+
+    /// True for sync (zero-length, rendezvous) channels.
+    pub fn is_sync(&self) -> bool {
+        self.cfg.kind == ChannelKind::Sync
+    }
+
+    /// Pops the oldest pending payload: ring first (entries there always
+    /// predate mutex-queue entries — the SPSC path only activates on an
+    /// empty channel), then the mutex queue. The ring manages its own byte
+    /// counter; only mutex-queue pops adjust `st.bytes`. Caller holds the
+    /// state lock, which serializes every popper.
+    fn pop_one(&self, st: &mut QState) -> Option<Payload> {
+        if let Some(ring) = &self.ring {
+            if let Some((p, _)) = ring.pop() {
+                return Some(p);
+            }
+        }
+        let p = st.queue.pop_front()?;
+        st.bytes = st.bytes.saturating_sub(p.buffered_len(&self.pool));
+        Some(p)
+    }
+
+    /// Buffered length of the oldest pending payload. Caller holds the
+    /// state lock.
+    fn peek_front_len(&self, st: &QState) -> Option<usize> {
+        if let Some(ring) = &self.ring {
+            if let Some(len) = ring.peek_len() {
+                return Some(len);
+            }
+        }
+        st.queue.front().map(|p| p.buffered_len(&self.pool))
+    }
+
     /// Non-blocking fetch.
     pub fn try_fetch(&self) -> FetchResult {
         let mut st = self.state.lock();
-        if let Some(p) = st.queue.pop_front() {
-            st.bytes = st.bytes.saturating_sub(p.buffered_len(&self.pool));
+        if let Some(p) = self.pop_one(&mut st) {
             self.fetched.fetch_add(1, Ordering::Relaxed);
             drop(st);
             self.cv.notify_all();
+            self.wake_space_listeners();
             return FetchResult::Msg(p);
         }
         if !st.source_open && self.pcount() == 0 {
@@ -478,35 +958,84 @@ impl MessageQueue {
         let deadline = Instant::now() + timeout;
         let mut st = self.state.lock();
         loop {
-            if let Some(p) = st.queue.pop_front() {
-                st.bytes = st.bytes.saturating_sub(p.buffered_len(&self.pool));
+            if let Some(p) = self.pop_one(&mut st) {
                 self.fetched.fetch_add(1, Ordering::Relaxed);
                 drop(st);
                 self.cv.notify_all();
+                self.wake_space_listeners();
                 return FetchResult::Msg(p);
             }
             if !st.source_open && self.pcount() == 0 {
                 return FetchResult::Disconnected;
             }
-            if self.cv.wait_until(&mut st, deadline).timed_out() && st.queue.is_empty() {
+            // Dekker handshake with the lock-free producer: register as a
+            // sleeper, then re-check the ring. The producer pushes first
+            // and then reads `sleepers`, so it either sees our increment
+            // (and grabs the lock to notify) or we see its payload here.
+            self.sleepers.fetch_add(1, Ordering::SeqCst);
+            if self.ring.as_ref().is_some_and(|r| !r.is_empty()) {
+                self.sleepers.fetch_sub(1, Ordering::SeqCst);
+                continue;
+            }
+            let timed_out = self.cv.wait_until(&mut st, deadline).timed_out();
+            self.sleepers.fetch_sub(1, Ordering::SeqCst);
+            if timed_out && st.queue.is_empty() && self.ring.as_ref().is_none_or(|r| r.is_empty()) {
                 return FetchResult::Empty;
             }
         }
     }
 
+    /// Removes up to `max_n` pending payloads under a single lock
+    /// acquisition, in FIFO order, stopping before a payload that would
+    /// push the batch past `max_bytes` — except the first, which is always
+    /// taken regardless of size (mirroring the oversized-admission rule so
+    /// a message bigger than any budget still makes progress). Returns an
+    /// empty vec when nothing is pending.
+    pub fn take_batch(&self, max_n: usize, max_bytes: usize) -> Vec<Payload> {
+        if max_n == 0 {
+            return Vec::new();
+        }
+        let mut st = self.state.lock();
+        let mut out = Vec::new();
+        let mut bytes = 0usize;
+        while out.len() < max_n {
+            let Some(next) = self.peek_front_len(&st) else {
+                break;
+            };
+            if !out.is_empty() && bytes.saturating_add(next) > max_bytes {
+                break;
+            }
+            let Some(p) = self.pop_one(&mut st) else {
+                break;
+            };
+            bytes = bytes.saturating_add(next);
+            out.push(p);
+        }
+        if !out.is_empty() {
+            self.fetched.fetch_add(out.len() as u64, Ordering::Relaxed);
+            drop(st);
+            self.cv.notify_all();
+            self.wake_space_listeners();
+        }
+        out
+    }
+
     /// Number of pending messages.
     pub fn len(&self) -> usize {
-        self.state.lock().queue.len()
+        let st = self.state.lock();
+        st.queue.len() + self.ring.as_ref().map_or(0, |r| r.len())
     }
 
     /// True when nothing is pending.
     pub fn is_empty(&self) -> bool {
-        self.state.lock().queue.is_empty()
+        let st = self.state.lock();
+        st.queue.is_empty() && self.ring.as_ref().is_none_or(|r| r.is_empty())
     }
 
     /// Bytes currently buffered.
     pub fn buffered_bytes(&self) -> usize {
-        self.state.lock().bytes
+        let st = self.state.lock();
+        st.bytes + self.ring.as_ref().map_or(0, |r| r.bytes())
     }
 
     /// Statistics snapshot.

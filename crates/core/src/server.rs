@@ -18,7 +18,7 @@ use crate::events::{ContextEvent, EventManager};
 use crate::executor::{default_executor, Executor, WorkerPool};
 use crate::pool::{MessagePool, PayloadMode};
 use crate::pooling::StreamletPool;
-use crate::stream::{RunningStream, StreamDeps};
+use crate::stream::{BatchConfig, RunningStream, StreamDeps};
 use crate::supervisor::{DeadLetterQueue, RestartPolicy, Supervisor};
 use mobigate_mcl::analysis;
 use mobigate_mcl::compile::compile;
@@ -88,6 +88,9 @@ pub struct ServerConfig {
     /// Streamlet supervision (panic isolation is always on; this governs
     /// restarts, quarantine, and the dead-letter queue).
     pub supervision: SupervisionConfig,
+    /// Hot-path batching: per-wake drain ceiling and the SPSC channel
+    /// fast path.
+    pub batching: BatchConfig,
 }
 
 impl Default for ServerConfig {
@@ -98,6 +101,7 @@ impl Default for ServerConfig {
             executor: ExecutorConfig::default(),
             pool_shards: None,
             supervision: SupervisionConfig::default(),
+            batching: BatchConfig::default(),
         }
     }
 }
@@ -192,6 +196,7 @@ impl MobiGate {
             route_opts: config.route_opts,
             executor: executor.clone(),
             supervisor: supervisor.clone(),
+            batching: config.batching,
         };
         MobiGate {
             directory,

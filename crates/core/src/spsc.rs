@@ -1,0 +1,263 @@
+//! Lock-free bounded ring used as the SPSC fast path of
+//! [`crate::queue::MessageQueue`].
+//!
+//! When a channel has at most one producer and one consumer (the common
+//! case in a streamlet chain — every inter-hop channel is 1:1), posts can
+//! skip the queue's monitor mutex entirely. The ring is a Vyukov-style
+//! bounded queue: each slot carries its own sequence number and the
+//! producer/consumer cursors advance by compare-and-swap, so even if the
+//! queue's SPSC activation heuristic is momentarily stale (a second
+//! producer attaching while an old one still holds a fast-path ticket) the
+//! structure stays memory-safe — the specialization is a performance
+//! contract, never a safety one.
+//!
+//! Byte accounting rides along: each slot stores the payload's buffered
+//! length, and a shared counter tracks the total so the queue's
+//! byte-budget admission (Figure 6-9) works identically on both paths.
+
+use crate::pool::Payload;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct Slot {
+    /// Vyukov sequence: `pos` when free for the producer at ticket `pos`,
+    /// `pos + 1` when filled, `pos + capacity` after the consumer drains it.
+    seq: AtomicUsize,
+    value: UnsafeCell<Option<(Payload, usize)>>,
+}
+
+/// Bounded lock-free ring of `(Payload, buffered_len)` pairs.
+pub(crate) struct SpscRing {
+    mask: usize,
+    slots: Box<[Slot]>,
+    /// Consumer cursor.
+    head: AtomicUsize,
+    /// Producer cursor.
+    tail: AtomicUsize,
+    /// Total buffered bytes currently in the ring.
+    bytes: AtomicUsize,
+}
+
+// The UnsafeCell contents are only touched by whoever won the slot's
+// sequence-number protocol, which serializes access per slot.
+unsafe impl Send for SpscRing {}
+unsafe impl Sync for SpscRing {}
+
+impl std::fmt::Debug for SpscRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpscRing")
+            .field("len", &self.len())
+            .field("bytes", &self.bytes())
+            .field("capacity", &(self.mask + 1))
+            .finish()
+    }
+}
+
+impl SpscRing {
+    /// Creates a ring with `capacity` slots (rounded up to a power of two).
+    pub(crate) fn new(capacity: usize) -> Self {
+        let n = capacity.max(2).next_power_of_two();
+        SpscRing {
+            mask: n - 1,
+            slots: (0..n)
+                .map(|i| Slot {
+                    seq: AtomicUsize::new(i),
+                    value: UnsafeCell::new(None),
+                })
+                .collect(),
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            bytes: AtomicUsize::new(0),
+        }
+    }
+
+    /// Pushes a payload; returns it back when every slot is occupied.
+    pub(crate) fn push(&self, payload: Payload, len: usize) -> Result<(), Payload> {
+        let mut pos = self.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq as isize - pos as isize;
+            if dif == 0 {
+                match self.tail.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        unsafe { *slot.value.get() = Some((payload, len)) };
+                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        self.bytes.fetch_add(len, Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if dif < 0 {
+                return Err(payload);
+            } else {
+                pos = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Pops the oldest payload, if any.
+    pub(crate) fn pop(&self) -> Option<(Payload, usize)> {
+        let mut pos = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq as isize - pos.wrapping_add(1) as isize;
+            if dif == 0 {
+                match self.head.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        let taken = unsafe { (*slot.value.get()).take() };
+                        slot.seq
+                            .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
+                        debug_assert!(taken.is_some(), "won slot holds no value");
+                        if let Some((_, len)) = &taken {
+                            self.bytes.fetch_sub(*len, Ordering::Release);
+                        }
+                        return taken;
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if dif < 0 {
+                return None;
+            } else {
+                pos = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Buffered length of the oldest payload without removing it.
+    ///
+    /// Only meaningful for the (single) consumer — callers hold the owning
+    /// queue's state mutex, which serializes all poppers, so the head slot
+    /// cannot be concurrently drained while we read it.
+    pub(crate) fn peek_len(&self) -> Option<usize> {
+        let pos = self.head.load(Ordering::Acquire);
+        let slot = &self.slots[pos & self.mask];
+        if slot.seq.load(Ordering::Acquire) != pos.wrapping_add(1) {
+            return None;
+        }
+        unsafe { (*slot.value.get()).as_ref().map(|(_, len)| *len) }
+    }
+
+    /// Number of buffered payloads (racy snapshot).
+    pub(crate) fn len(&self) -> usize {
+        let tail = self.tail.load(Ordering::Acquire);
+        let head = self.head.load(Ordering::Acquire);
+        tail.wrapping_sub(head)
+    }
+
+    /// True when no payload is buffered (racy snapshot).
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total buffered bytes (racy snapshot).
+    pub(crate) fn bytes(&self) -> usize {
+        self.bytes.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::MessageId;
+
+    fn p(i: u64) -> Payload {
+        Payload::Ref(MessageId(i))
+    }
+
+    fn id(payload: &Payload) -> u64 {
+        match payload {
+            Payload::Ref(MessageId(i)) => *i,
+            Payload::Value(_) => unreachable!("tests use Ref payloads"),
+        }
+    }
+
+    #[test]
+    fn fifo_and_byte_accounting() {
+        let ring = SpscRing::new(8);
+        for i in 0..5 {
+            ring.push(p(i), 10).unwrap();
+        }
+        assert_eq!(ring.len(), 5);
+        assert_eq!(ring.bytes(), 50);
+        assert_eq!(ring.peek_len(), Some(10));
+        for i in 0..5 {
+            let (payload, len) = ring.pop().unwrap();
+            assert_eq!(id(&payload), i);
+            assert_eq!(len, 10);
+        }
+        assert!(ring.is_empty());
+        assert_eq!(ring.bytes(), 0);
+        assert!(ring.pop().is_none());
+        assert_eq!(ring.peek_len(), None);
+    }
+
+    #[test]
+    fn rejects_when_full_then_accepts_after_pop() {
+        let ring = SpscRing::new(4);
+        for i in 0..4 {
+            ring.push(p(i), 1).unwrap();
+        }
+        assert!(ring.push(p(99), 1).is_err());
+        assert_eq!(id(&ring.pop().unwrap().0), 0);
+        ring.push(p(4), 1).unwrap();
+        let drained: Vec<u64> = std::iter::from_fn(|| ring.pop().map(|(pl, _)| id(&pl))).collect();
+        assert_eq!(drained, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn wraps_around_many_times() {
+        let ring = SpscRing::new(4);
+        for round in 0..100u64 {
+            ring.push(p(round), 3).unwrap();
+            let (payload, len) = ring.pop().unwrap();
+            assert_eq!(id(&payload), round);
+            assert_eq!(len, 3);
+        }
+        assert_eq!(ring.bytes(), 0);
+    }
+
+    #[test]
+    fn concurrent_producer_consumer() {
+        let ring = std::sync::Arc::new(SpscRing::new(64));
+        let total = 10_000u64;
+        let prod = {
+            let ring = ring.clone();
+            std::thread::spawn(move || {
+                let mut i = 0;
+                while i < total {
+                    if ring.push(p(i), 1).is_ok() {
+                        i += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        };
+        let mut seen = 0;
+        let mut expect = 0u64;
+        while seen < total {
+            if let Some((payload, _)) = ring.pop() {
+                assert_eq!(id(&payload), expect, "FIFO per producer");
+                expect += 1;
+                seen += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        prod.join().unwrap();
+        assert!(ring.is_empty());
+        assert_eq!(ring.bytes(), 0);
+    }
+}

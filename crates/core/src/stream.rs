@@ -36,6 +36,26 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Hot-path batching knobs, plumbed from `ServerConfig` down to every
+/// channel and streamlet instance a stream deploys.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Maximum messages a streamlet drains per wake (1 = the paper's
+    /// per-message cadence; `process_batch` only engages above 1).
+    pub batch_max: usize,
+    /// Enables the lock-free SPSC ring fast path on 1:1 async channels.
+    pub spsc: bool,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            batch_max: 16,
+            spsc: true,
+        }
+    }
+}
+
 /// Shared services a stream deploys against.
 #[derive(Clone)]
 pub struct StreamDeps {
@@ -54,6 +74,8 @@ pub struct StreamDeps {
     /// Optional fault supervisor; when present every created instance is
     /// registered for panic recovery and restart.
     pub supervisor: Option<Arc<crate::supervisor::Supervisor>>,
+    /// Hot-path batching knobs applied to every channel and instance.
+    pub batching: BatchConfig,
 }
 
 /// Equation 7-1 instrumentation of one reconfiguration:
@@ -148,7 +170,8 @@ impl RunningStream {
     ) -> Result<Arc<Self>, CoreError> {
         let mut channels: HashMap<String, Arc<MessageQueue>> = HashMap::new();
         for row in &table.channels {
-            let cfg = QueueConfig::from_spec(&row.name, &row.spec);
+            let mut cfg = QueueConfig::from_spec(&row.name, &row.spec);
+            cfg.spsc = deps.batching.spsc;
             channels.insert(
                 row.name.clone(),
                 MessageQueue::new(cfg, deps.msg_pool.clone()),
@@ -163,6 +186,7 @@ impl RunningStream {
                 capacity_bytes: 8 << 20,
                 full_wait: Duration::from_millis(500),
                 ty: ty.clone(),
+                spsc: deps.batching.spsc,
                 ..Default::default()
             };
             ingress.push((
@@ -175,6 +199,7 @@ impl RunningStream {
                 name: "__egress".into(),
                 capacity_bytes: 8 << 20,
                 full_wait: Duration::from_millis(500),
+                spsc: deps.batching.spsc,
                 ..Default::default()
             },
             deps.msg_pool.clone(),
@@ -384,6 +409,52 @@ impl RunningStream {
                 name: instance.to_string(),
             })?;
         handle.set_parameter(key, value, Duration::from_secs(2))
+    }
+
+    /// One-line-per-component dump of buffered message locations —
+    /// channel depths, per-instance pending outputs and lifecycle state —
+    /// for diagnosing where in-flight messages sit when a drain stalls.
+    pub fn debug_depths(&self) -> String {
+        use std::fmt::Write as _;
+        let inner = self.inner.lock();
+        let mut out = String::new();
+        let mut names: Vec<&String> = inner.channels.keys().collect();
+        names.sort();
+        for name in names {
+            let q = &inner.channels[name];
+            let stats = q.stats();
+            if !q.is_empty() || stats.dropped_full > 0 {
+                let _ = writeln!(
+                    out,
+                    "channel {name}: len={} spsc={} dropped_full={}",
+                    q.len(),
+                    q.spsc_active(),
+                    stats.dropped_full
+                );
+            }
+        }
+        let mut names: Vec<&String> = inner.instances.keys().collect();
+        names.sort();
+        for name in names {
+            let h = &inner.instances[name];
+            let pending = h.pending_outputs();
+            if pending > 0 {
+                let _ = writeln!(
+                    out,
+                    "instance {name}: pending_out={pending} state={:?}",
+                    h.state()
+                );
+            }
+        }
+        for (alias, q) in &self.ingress {
+            if !q.is_empty() {
+                let _ = writeln!(out, "ingress {alias}: len={}", q.len());
+            }
+        }
+        if !self.egress.is_empty() {
+            let _ = writeln!(out, "egress: len={}", self.egress.len());
+        }
+        out
     }
 
     /// Renders the current live topology as Graphviz DOT (initial and
@@ -1074,6 +1145,7 @@ fn create_instance(
         deps.route_opts.clone(),
         deps.executor.clone(),
     );
+    handle.set_batch_max(deps.batching.batch_max);
     if let Some(sup) = &deps.supervisor {
         let dir = deps.directory.clone();
         let key = key.to_string();
@@ -1115,6 +1187,7 @@ mod tests {
             route_opts: RouteOpts::default(),
             executor: crate::executor::default_executor(),
             supervisor: None,
+            batching: BatchConfig::default(),
         }
     }
 

@@ -17,8 +17,9 @@ use crate::queue::{FetchResult, MessageQueue, Notifier};
 use crate::supervisor::FaultCause;
 use mobigate_mime::{MimeMessage, SessionId, TypeRegistry};
 use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -78,6 +79,29 @@ impl Emitter for StreamletCtx<'_> {
 pub trait StreamletLogic: Send {
     /// Processes one incoming message, emitting any number of results.
     fn process(&mut self, msg: MimeMessage, ctx: &mut StreamletCtx) -> Result<(), CoreError>;
+
+    /// True when `process_batch` should be preferred over per-message
+    /// `process` calls. Only streamlets whose per-message behavior is
+    /// independent of batching (stateless transforms) should opt in: a
+    /// batch shares one panic-isolation boundary, so a panic faults the
+    /// whole batch rather than the single message that caused it.
+    fn supports_batch(&self) -> bool {
+        false
+    }
+
+    /// Processes a run of messages under one invocation, amortizing the
+    /// dispatch and routing overhead. The default simply loops over
+    /// [`StreamletLogic::process`], stopping at the first error.
+    fn process_batch(
+        &mut self,
+        msgs: Vec<MimeMessage>,
+        ctx: &mut StreamletCtx,
+    ) -> Result<(), CoreError> {
+        for msg in msgs {
+            self.process(msg, ctx)?;
+        }
+        Ok(())
+    }
 
     /// Lifecycle hook: the streamlet (re)starts running.
     fn on_activate(&mut self) {}
@@ -191,10 +215,27 @@ struct Shared {
     /// Pending control-interface commands, applied by the worker between
     /// messages: (key, value, result slot).
     controls: Mutex<Vec<ControlRequest>>,
-    /// A message whose `process` panicked, stashed (with its fault count)
-    /// for redelivery after the supervisor restarts the instance — or for
-    /// eviction to the dead-letter queue if it keeps faulting.
-    redelivery: Mutex<Option<(MimeMessage, u32)>>,
+    /// Messages whose `process`/`process_batch` panicked, stashed (with a
+    /// per-message fault count) for redelivery after the supervisor
+    /// restarts the instance — or, for the head entry, eviction to the
+    /// dead-letter queue if it keeps faulting. Redelivered messages are
+    /// always reprocessed one at a time so a poison message isolates to
+    /// the front of the deque.
+    redelivery: Mutex<VecDeque<(MimeMessage, u32)>>,
+    /// Upper bound on messages drained per wake (1 = the paper's original
+    /// per-message cadence; set via `StreamletHandle::set_batch_max`).
+    batch_max: AtomicUsize,
+    /// When set (pool executors), output posts never block the driving
+    /// worker: a full downstream queue hands the payload back and it waits
+    /// in `pending_out` instead, so a chain deeper than the worker count
+    /// cannot deadlock with every worker stuck inside a post.
+    nonblocking_outputs: AtomicBool,
+    /// Outputs a full downstream queue refused, each with the absolute
+    /// Figure 6-9 drop deadline it inherited at first refusal. Flushed (in
+    /// order, per queue) before the task consumes any new input, so the
+    /// buffer never exceeds one step's emissions and backpressure still
+    /// propagates upstream.
+    pending_out: Mutex<VecDeque<(Arc<MessageQueue>, Payload, Instant)>>,
     /// Cause of the most recent fault.
     last_fault: Mutex<Option<FaultCause>>,
     /// Fired from the executor thread when the instance faults; installed
@@ -219,6 +260,10 @@ struct ControlRequest {
 
 impl Shared {
     fn route_outputs(&self, outs: Vec<(String, MimeMessage)>) {
+        // Per-queue payload runs, flushed with `post_all` so a batch of
+        // emissions to the same channel pays one lock acquisition. Keyed
+        // by queue identity; order within a queue is emission order.
+        let mut runs: Vec<(Arc<MessageQueue>, Vec<Payload>)> = Vec::new();
         for (port, msg) in outs {
             let mut targets: Vec<Arc<MessageQueue>> = {
                 let outputs = self.outputs.read();
@@ -248,15 +293,117 @@ impl Shared {
                 PayloadMode::Reference => {
                     let id = self.pool.insert(msg, targets.len() as u32);
                     for q in &targets {
-                        q.post(Payload::Ref(id));
+                        Self::push_run(&mut runs, q, Payload::Ref(id));
                     }
                 }
                 PayloadMode::Value => {
                     for q in &targets {
-                        q.post(self.pool.wrap_copy(&msg));
+                        Self::push_run(&mut runs, q, self.pool.wrap_copy(&msg));
                     }
                 }
             }
+        }
+        let nonblocking = self.nonblocking_outputs.load(Ordering::Relaxed);
+        for (q, payloads) in runs {
+            if nonblocking && !q.is_sync() {
+                let (_, rest) = q.post_all_nowait(payloads);
+                if !rest.is_empty() {
+                    // Full queue: park the tail with the drop deadline it
+                    // would have waited out inside `post`, and yield the
+                    // worker. `flush_pending` retries before any new input
+                    // is consumed.
+                    let deadline = Instant::now() + q.full_wait();
+                    let mut pending = self.pending_out.lock();
+                    pending.extend(rest.into_iter().map(|p| (q.clone(), p, deadline)));
+                }
+            } else if payloads.len() == 1 {
+                if let Some(p) = payloads.into_iter().next() {
+                    q.post(p);
+                }
+            } else {
+                q.post_all(payloads);
+            }
+        }
+    }
+
+    /// Retries every parked output in emission order; entries whose drop
+    /// deadline has passed are accounted as `dropped_full` on their queue.
+    /// Returns `true` when the buffer ended up empty (the task may consume
+    /// new input), `false` when something is still stuck behind a full
+    /// queue.
+    fn flush_pending(&self) -> bool {
+        let items = {
+            let mut pending = self.pending_out.lock();
+            if pending.is_empty() {
+                return true;
+            }
+            std::mem::take(&mut *pending)
+        };
+        let mut stuck: VecDeque<(Arc<MessageQueue>, Payload, Instant)> = VecDeque::new();
+        let now = Instant::now();
+        for (q, payload, deadline) in items {
+            // Per-queue FIFO: once one of a queue's messages is stuck,
+            // everything later for that queue stays parked behind it.
+            if stuck.iter().any(|(sq, _, _)| Arc::ptr_eq(sq, &q)) {
+                stuck.push_back((q, payload, deadline));
+                continue;
+            }
+            match q.post_nowait(payload) {
+                Ok(_) => {}
+                Err(p) => {
+                    if now >= deadline {
+                        q.discard_expired(p);
+                    } else {
+                        stuck.push_back((q, p, deadline));
+                    }
+                }
+            }
+        }
+        let empty = stuck.is_empty();
+        // The single driving thread is the only writer, so nothing was
+        // appended concurrently — the put-back preserves order.
+        *self.pending_out.lock() = stuck;
+        empty
+    }
+
+    /// True when a `flush_pending` would make progress right now: some
+    /// parked output's queue has room (or a closed sink), or its drop
+    /// deadline has passed. Deliberately *not* "buffer non-empty" — a task
+    /// whose outputs are all stuck behind a still-full queue parks and
+    /// waits for that queue's space wakeup instead of spinning through the
+    /// pool's run queue (which starves the very consumer it waits on).
+    fn pending_flushable(&self) -> bool {
+        let pending = self.pending_out.lock();
+        if pending.is_empty() {
+            return false;
+        }
+        let now = Instant::now();
+        let mut checked: Vec<*const MessageQueue> = Vec::new();
+        for (q, p, deadline) in pending.iter() {
+            // Per-queue FIFO: only each queue's first parked entry can
+            // move; later ones sit behind it.
+            let key = Arc::as_ptr(q);
+            if checked.contains(&key) {
+                continue;
+            }
+            checked.push(key);
+            if now >= *deadline || q.has_space(p.buffered_len(&self.pool)) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Appends a payload to the run for `q`, creating it on first use.
+    fn push_run(
+        runs: &mut Vec<(Arc<MessageQueue>, Vec<Payload>)>,
+        q: &Arc<MessageQueue>,
+        payload: Payload,
+    ) {
+        if let Some((_, run)) = runs.iter_mut().find(|(rq, _)| Arc::ptr_eq(rq, q)) {
+            run.push(payload);
+        } else {
+            runs.push((q.clone(), vec![payload]));
         }
     }
 }
@@ -361,7 +508,10 @@ impl StreamletHandle {
                 route_opts,
                 type_violations: AtomicU64::new(0),
                 controls: Mutex::new(Vec::new()),
-                redelivery: Mutex::new(None),
+                redelivery: Mutex::new(VecDeque::new()),
+                batch_max: AtomicUsize::new(1),
+                nonblocking_outputs: AtomicBool::new(false),
+                pending_out: Mutex::new(VecDeque::new()),
                 last_fault: Mutex::new(None),
                 fault_hook: Mutex::new(None),
                 faults: AtomicU64::new(0),
@@ -404,6 +554,12 @@ impl StreamletHandle {
     /// True while the worker is inside `process` (Fig 6-8 condition).
     pub fn is_processing(&self) -> bool {
         self.shared.processing.load(Ordering::Acquire)
+    }
+
+    /// Outputs currently parked behind full downstream queues (pool
+    /// executors only; always 0 under dedicated-thread drivers).
+    pub fn pending_outputs(&self) -> usize {
+        self.shared.pending_out.lock().len()
     }
 
     /// True when every bound input queue is empty (Fig 6-8 condition).
@@ -477,9 +633,13 @@ impl StreamletHandle {
         self.shared.notifier.notify();
     }
 
-    /// Binds a channel to an output port (the paper's `setOut`).
+    /// Binds a channel to an output port (the paper's `setOut`). The
+    /// worker's notifier also subscribes to the queue's *space* wakeups,
+    /// so a pool-driven task with outputs parked behind this queue wakes
+    /// when room frees instead of polling.
     pub fn attach_out(&self, port: &str, q: &Arc<MessageQueue>) {
         q.attach_source();
+        q.add_space_listener(self.shared.notifier.clone());
         self.shared
             .outputs
             .write()
@@ -514,6 +674,7 @@ impl StreamletHandle {
             })?;
         let (_, q) = outputs.remove(idx);
         drop(outputs);
+        q.remove_space_listener(&self.shared.notifier);
         q.detach_source()
     }
 
@@ -544,9 +705,11 @@ impl StreamletHandle {
             let mut outputs = self.shared.outputs.write();
             let mut kept = Vec::new();
             for (port, q) in outputs.drain(..) {
+                q.remove_space_listener(&self.shared.notifier);
                 match q.detach_source() {
                     Ok(()) => {}
                     Err(e) => {
+                        q.add_space_listener(self.shared.notifier.clone());
                         first_err.get_or_insert(e);
                         kept.push((port, q));
                     }
@@ -738,21 +901,31 @@ impl StreamletHandle {
         self.shared.last_fault.lock().clone()
     }
 
-    /// How many times the currently stashed redelivery message has faulted
-    /// this instance (0 when nothing is stashed).
+    /// How many times the head of the redelivery queue has faulted this
+    /// instance (0 when nothing is stashed). Redelivered messages are
+    /// reprocessed one at a time, so only the head accumulates faults —
+    /// messages stashed behind it (the rest of a faulted batch) carry
+    /// count 0 until they reach the front.
     pub fn redelivery_faults(&self) -> u32 {
         self.shared
             .redelivery
             .lock()
-            .as_ref()
+            .front()
             .map(|(_, n)| *n)
             .unwrap_or(0)
     }
 
-    /// Removes the stashed redelivery message (poison eviction): the next
-    /// restart then resumes from the input queues instead of replaying it.
+    /// Removes the head redelivery message (poison eviction): the next
+    /// restart then resumes from the rest of the stash — or the input
+    /// queues — instead of replaying the poison message.
     pub fn take_redelivery(&self) -> Option<(MimeMessage, u32)> {
-        self.shared.redelivery.lock().take()
+        self.shared.redelivery.lock().pop_front()
+    }
+
+    /// Sets the per-wake batch ceiling (1 = the paper's per-message
+    /// cadence). Takes effect from the next wake.
+    pub fn set_batch_max(&self, max: usize) {
+        self.shared.batch_max.store(max.max(1), Ordering::Relaxed);
     }
 
     /// Installs fresh logic into a `Faulted` instance and resumes it in
@@ -866,6 +1039,23 @@ impl StreamletTask {
         self.scheduled.store(false, Ordering::Release);
     }
 
+    /// Re-arms the coalescing wake notifier: the next `notify` fires the
+    /// wake hook again. Pool workers call this after a pump, before the
+    /// final `has_pending_work` re-check, so a post that raced the drain
+    /// either re-fires the hook or is caught by the re-check.
+    pub fn disarm_wake(&self) {
+        self.shared.notifier.disarm();
+    }
+
+    /// Switches output posting to the non-blocking pending-buffer
+    /// discipline. Pool executors set this at launch: their workers must
+    /// never park inside a downstream `post`, or a backed-up chain deeper
+    /// than the pool eats every worker and deadlocks until the drop
+    /// deadline. Dedicated-thread drivers keep the paper's blocking posts.
+    pub fn set_nonblocking_outputs(&self, on: bool) {
+        self.shared.nonblocking_outputs.store(on, Ordering::Relaxed);
+    }
+
     /// True when a pump would make progress: unserviced lifecycle
     /// transition, pending control command, or a non-empty input.
     pub fn has_pending_work(&self) -> bool {
@@ -879,8 +1069,21 @@ impl StreamletTask {
             // notifies, so the wake hook reschedules it).
             LifecycleState::Faulted | LifecycleState::Quarantined => false,
             LifecycleState::Running => {
-                !self.shared.controls.lock().is_empty()
-                    || self.shared.redelivery.lock().is_some()
+                if !self.shared.controls.lock().is_empty() {
+                    return true;
+                }
+                // At the parked-output cap a step would bail immediately
+                // (see the flush gate in `step`), so non-empty inputs are
+                // not runnable work — counting them would hot-spin every
+                // backpressured task through the run queue and starve the
+                // consumers that could actually free space. The space
+                // listener re-arms the wake hook when room frees up.
+                let batch_max = self.shared.batch_max.load(Ordering::Relaxed).max(1);
+                if self.shared.pending_out.lock().len() >= batch_max {
+                    return self.shared.pending_flushable();
+                }
+                !self.shared.redelivery.lock().is_empty()
+                    || self.shared.pending_flushable()
                     || self.shared.inputs.read().iter().any(|(_, q)| !q.is_empty())
             }
         }
@@ -985,6 +1188,11 @@ impl StreamletTask {
     /// condition variables the task goes [`PumpOutcome::Idle`] and relies
     /// on the wake hook to be rescheduled.
     pub fn pump(&self, budget: usize) -> PumpOutcome {
+        // Re-arm wakeups for the work we are about to drain: posts from
+        // here on must fire the wake hook again (`Notifier::notify`
+        // coalesces while armed), and anything posted before this line is
+        // observed by the drain below.
+        self.shared.notifier.disarm();
         let mut slot = self.running.lock();
         if slot.is_none() {
             if self.shared.exited.load(Ordering::Acquire) {
@@ -1102,41 +1310,97 @@ impl StreamletTask {
         true
     }
 
-    /// Fetches one message round-robin and processes it inside a panic
-    /// boundary. A stashed redelivery message (from a previous fault) takes
-    /// priority over fresh input, so a restarted instance resumes exactly
-    /// where it failed.
+    /// Fetches up to `batch_max` messages round-robin and processes them
+    /// inside panic boundaries. A stashed redelivery message (from a
+    /// previous fault) takes priority over fresh input and is always
+    /// reprocessed **alone** — one message, one panic boundary — so a
+    /// restarted instance resumes exactly where it failed and a poison
+    /// message isolates to the front of the redelivery queue.
     fn step(&self, logic: &mut dyn StreamletLogic) -> Step {
         let shared = &self.shared;
-        let pending = shared.redelivery.lock().take();
-        let (msg, prior_faults) = match pending {
-            Some(p) => p,
-            None => {
-                let inputs: Vec<Arc<MessageQueue>> = shared
-                    .inputs
-                    .read()
-                    .iter()
-                    .map(|(_, q)| q.clone())
-                    .collect();
-                let mut got = None;
-                for q in &inputs {
-                    if let FetchResult::Msg(p) = q.try_fetch() {
-                        got = Some(p);
-                        break;
-                    }
-                }
-                let Some(payload) = got else {
-                    return Step::Idle;
-                };
-                let Some(msg) = shared.pool.resolve(payload) else {
-                    // Dangling reference: progress was made (the slot is
-                    // drained).
-                    return Step::Progress;
-                };
-                (msg, 0)
-            }
-        };
+        // Outputs parked behind a full queue go first. A still-stuck
+        // buffer does not gate input outright — demanding a fully empty
+        // buffer turns a backpressured chain into a lockstep wave, one
+        // scheduling round-trip per batch per hop. Instead the task keeps
+        // consuming while the backlog is under one batch, so the buffer
+        // acts as a bounded overflow extension of the downstream queue
+        // (≤ one batch parked + one step's emissions) and the pipeline
+        // stays full.
+        let flushed = shared.flush_pending();
+        let batch_max = shared.batch_max.load(Ordering::Relaxed).max(1);
+        if !flushed && shared.pending_out.lock().len() >= batch_max {
+            return Step::Idle;
+        }
+        let pending = shared.redelivery.lock().pop_front();
+        if let Some((msg, prior_faults)) = pending {
+            return self.process_one(logic, msg, prior_faults);
+        }
 
+        let batch_max = shared.batch_max.load(Ordering::Relaxed).max(1);
+        let inputs: Vec<Arc<MessageQueue>> = shared
+            .inputs
+            .read()
+            .iter()
+            .map(|(_, q)| q.clone())
+            .collect();
+        let mut payloads = Vec::new();
+        for q in &inputs {
+            if payloads.len() >= batch_max {
+                break;
+            }
+            if batch_max == 1 {
+                // The paper's per-message cadence.
+                if let FetchResult::Msg(p) = q.try_fetch() {
+                    payloads.push(p);
+                    break;
+                }
+            } else {
+                payloads.extend(q.take_batch(batch_max - payloads.len(), BATCH_BYTE_BUDGET));
+            }
+        }
+        if payloads.is_empty() {
+            return Step::Idle;
+        }
+        let mut msgs = Vec::with_capacity(payloads.len());
+        for p in payloads {
+            if let Some(msg) = shared.pool.resolve(p) {
+                msgs.push(msg);
+            }
+            // Dangling references still count as progress: the slots are
+            // drained.
+        }
+        if msgs.is_empty() {
+            return Step::Progress;
+        }
+
+        if msgs.len() > 1 && logic.supports_batch() {
+            return self.process_batched(logic, msgs);
+        }
+        let mut iter = msgs.into_iter();
+        while let Some(msg) = iter.next() {
+            if let Step::Fault = self.process_one(logic, msg, 0) {
+                // `process_one` stashed the faulted message at the front;
+                // queue the unprocessed tail behind it, in order.
+                let mut redelivery = shared.redelivery.lock();
+                for rest in iter {
+                    redelivery.push_back((rest, 0));
+                }
+                return Step::Fault;
+            }
+        }
+        Step::Progress
+    }
+
+    /// Processes one message inside its own panic boundary (the paper's
+    /// per-message contract). On panic the message is stashed at the front
+    /// of the redelivery queue with an incremented fault count.
+    fn process_one(
+        &self,
+        logic: &mut dyn StreamletLogic,
+        msg: MimeMessage,
+        prior_faults: u32,
+    ) -> Step {
+        let shared = &self.shared;
         // Keep a handle on the message so a panic can stash it for
         // redelivery (the body is `Bytes`; this clone is cheap).
         let replay = msg.clone();
@@ -1159,7 +1423,52 @@ impl StreamletTask {
                 Step::Progress
             }
             Err(payload) => {
-                *shared.redelivery.lock() = Some((replay, prior_faults + 1));
+                shared
+                    .redelivery
+                    .lock()
+                    .push_front((replay, prior_faults + 1));
+                self.fault(FaultCause::Panic(panic_message(payload.as_ref())));
+                Step::Fault
+            }
+        }
+    }
+
+    /// Processes a fresh batch through `process_batch` under a single
+    /// panic boundary (only reached when the logic opted in via
+    /// `supports_batch`).
+    fn process_batched(&self, logic: &mut dyn StreamletLogic, msgs: Vec<MimeMessage>) -> Step {
+        let shared = &self.shared;
+        let replays: Vec<MimeMessage> = msgs.to_vec();
+        let n = msgs.len() as u64;
+        shared.processing.store(true, Ordering::Release);
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut ctx = StreamletCtx::new(&shared.name, shared.session.as_ref());
+            let result = logic.process_batch(msgs, &mut ctx);
+            (result, ctx.into_outputs())
+        }));
+        shared.processing.store(false, Ordering::Release);
+
+        match outcome {
+            Ok((Ok(()), outs)) => {
+                shared.processed.fetch_add(n, Ordering::Relaxed);
+                shared.route_outputs(outs);
+                Step::Progress
+            }
+            Ok((Err(_), _)) => {
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                Step::Progress
+            }
+            Err(payload) => {
+                // The batch shared one panic boundary, so stash every
+                // message for redelivery, charging the fault to the head.
+                // Redelivered messages are reprocessed one at a time, so a
+                // true poison message re-isolates itself on replay.
+                {
+                    let mut redelivery = shared.redelivery.lock();
+                    for (i, replay) in replays.into_iter().enumerate().rev() {
+                        redelivery.push_front((replay, u32::from(i == 0)));
+                    }
+                }
                 self.fault(FaultCause::Panic(panic_message(payload.as_ref())));
                 Step::Fault
             }
@@ -1191,11 +1500,20 @@ impl StreamletTask {
         }
     }
 
+    /// Discards outputs still parked behind full queues so the pool's
+    /// reference accounting balances when the task exits.
+    fn drain_pending_out(&self) {
+        for (_, payload, _) in self.shared.pending_out.lock().drain(..) {
+            self.shared.pool.discard(payload);
+        }
+    }
+
     /// Runs `on_end`, parks the logic back in the handle, and publishes
     /// the exit so `end()` waiters wake up.
     fn finalize(&self, mut logic: Box<dyn StreamletLogic>) {
         logic.on_end();
         *self.park.lock() = Some(logic);
+        self.drain_pending_out();
         {
             let _state = self.shared.state.lock();
             self.shared.exited.store(true, Ordering::Release);
@@ -1207,6 +1525,7 @@ impl StreamletTask {
     /// Publishes the exit for a task whose logic was already dropped by a
     /// fault: there is nothing to run `on_end` on and nothing to park.
     fn finalize_empty(&self) {
+        self.drain_pending_out();
         {
             let _state = self.shared.state.lock();
             self.shared.exited.store(true, Ordering::Release);
@@ -1215,6 +1534,10 @@ impl StreamletTask {
         self.shared.notifier.notify();
     }
 }
+
+/// Byte ceiling for one fetched batch, keeping a single wake's working set
+/// bounded even when `batch_max` is large and messages are fat.
+const BATCH_BYTE_BUDGET: usize = 4 << 20;
 
 /// How a [`StreamletTask::step`] invocation left the task.
 enum Step {

@@ -476,7 +476,12 @@ impl Supervisor {
             } else {
                 // Poison eviction: the pending message already faulted this
                 // instance too many times — park it in the dead-letter
-                // queue so the restart makes progress without it.
+                // queue so the restart makes progress without it. With
+                // batching, `redelivery_faults`/`take_redelivery` address
+                // the *head* of the redelivery queue: a faulted batch is
+                // replayed one message at a time, so only the message that
+                // keeps faulting accumulates a count and gets evicted;
+                // innocent batch-mates are redelivered normally.
                 if handle.redelivery_faults() >= entry.policy.poison_threshold {
                     if let Some((message, faults)) = handle.take_redelivery() {
                         self.dead_letters.push(DeadLetter {

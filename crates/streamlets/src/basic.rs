@@ -62,6 +62,23 @@ impl StreamletLogic for Redirector {
         Ok(())
     }
 
+    // Per-message behavior is independent, so a whole batch can share one
+    // dispatch and panic boundary.
+    fn supports_batch(&self) -> bool {
+        true
+    }
+
+    fn process_batch(
+        &mut self,
+        msgs: Vec<MimeMessage>,
+        ctx: &mut StreamletCtx,
+    ) -> Result<(), CoreError> {
+        for msg in msgs {
+            self.process(msg, ctx)?;
+        }
+        Ok(())
+    }
+
     fn reset(&mut self) {
         self.hops = 0;
     }

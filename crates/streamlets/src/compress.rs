@@ -44,6 +44,22 @@ impl StreamletLogic for TextCompress {
         ctx.emit("po", out);
         Ok(())
     }
+
+    // Stateless transform: batches share one dispatch and panic boundary.
+    fn supports_batch(&self) -> bool {
+        true
+    }
+
+    fn process_batch(
+        &mut self,
+        msgs: Vec<MimeMessage>,
+        ctx: &mut StreamletCtx,
+    ) -> Result<(), CoreError> {
+        for msg in msgs {
+            self.process(msg, ctx)?;
+        }
+        Ok(())
+    }
 }
 
 /// The client-side peer: reverses [`TextCompress`].
@@ -65,6 +81,22 @@ impl StreamletLogic for TextDecompress {
         out.set_content_type(&original);
         out.headers.remove(ORIGINAL_TYPE);
         ctx.emit("po", out);
+        Ok(())
+    }
+
+    // Stateless transform: batches share one dispatch and panic boundary.
+    fn supports_batch(&self) -> bool {
+        true
+    }
+
+    fn process_batch(
+        &mut self,
+        msgs: Vec<MimeMessage>,
+        ctx: &mut StreamletCtx,
+    ) -> Result<(), CoreError> {
+        for msg in msgs {
+            self.process(msg, ctx)?;
+        }
         Ok(())
     }
 }

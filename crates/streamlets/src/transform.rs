@@ -51,6 +51,22 @@ impl StreamletLogic for ImgDownSample {
         Ok(())
     }
 
+    // Stateless codec: batches share one dispatch and panic boundary.
+    fn supports_batch(&self) -> bool {
+        true
+    }
+
+    fn process_batch(
+        &mut self,
+        msgs: Vec<MimeMessage>,
+        ctx: &mut StreamletCtx,
+    ) -> Result<(), CoreError> {
+        for msg in msgs {
+            self.process(msg, ctx)?;
+        }
+        Ok(())
+    }
+
     /// Control interface (§8.2.1): `factor = <n>` adjusts the sample-rate
     /// reduction at runtime.
     fn control(&mut self, key: &str, value: &str) -> Result<(), CoreError> {
@@ -89,6 +105,22 @@ impl StreamletLogic for MapTo16Grays {
         ctx.emit("po", out);
         Ok(())
     }
+
+    // Stateless codec: batches share one dispatch and panic boundary.
+    fn supports_batch(&self) -> bool {
+        true
+    }
+
+    fn process_batch(
+        &mut self,
+        msgs: Vec<MimeMessage>,
+        ctx: &mut StreamletCtx,
+    ) -> Result<(), CoreError> {
+        for msg in msgs {
+            self.process(msg, ctx)?;
+        }
+        Ok(())
+    }
 }
 
 /// Converting incoming image messages into Jpeg format (§7.5): re-encodes
@@ -114,6 +146,22 @@ impl StreamletLogic for Gif2Jpeg {
         out.set_body(img.encode(Encoding::Quantized, self.quality));
         out.set_content_type(&MimeType::new("image", "jpeg"));
         ctx.emit("po", out);
+        Ok(())
+    }
+
+    // Stateless codec: batches share one dispatch and panic boundary.
+    fn supports_batch(&self) -> bool {
+        true
+    }
+
+    fn process_batch(
+        &mut self,
+        msgs: Vec<MimeMessage>,
+        ctx: &mut StreamletCtx,
+    ) -> Result<(), CoreError> {
+        for msg in msgs {
+            self.process(msg, ctx)?;
+        }
         Ok(())
     }
 
@@ -167,6 +215,22 @@ impl StreamletLogic for Postscript2Text {
         out.set_body(out_text.into_bytes());
         out.set_content_type(&MimeType::new("text", "richtext"));
         ctx.emit("po", out);
+        Ok(())
+    }
+
+    // Stateless codec: batches share one dispatch and panic boundary.
+    fn supports_batch(&self) -> bool {
+        true
+    }
+
+    fn process_batch(
+        &mut self,
+        msgs: Vec<MimeMessage>,
+        ctx: &mut StreamletCtx,
+    ) -> Result<(), CoreError> {
+        for msg in msgs {
+            self.process(msg, ctx)?;
+        }
         Ok(())
     }
 }

@@ -134,6 +134,7 @@ impl Testbed {
                 executor: cfg.executor,
                 pool_shards: cfg.pool_shards,
                 supervision: Default::default(),
+                batching: Default::default(),
             },
             Arc::new(mobigate_core::StreamletDirectory::new()),
             pool,
