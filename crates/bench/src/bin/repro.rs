@@ -58,6 +58,9 @@ fn main() {
     if want("batching") {
         batching(quick);
     }
+    if want("fusion") {
+        fusion(quick);
+    }
     println!("\nCSV written under results/");
 }
 
@@ -736,4 +739,181 @@ fn batching(quick: bool) {
     std::fs::write("results/BENCH_batching.json", json).expect("write batching json");
     save("batching_ablation", &csv);
     println!("JSON written to results/BENCH_batching.json");
+}
+
+/// Chain fusion ablation: pipelined throughput of the Figure 7-2 redirector
+/// chain with the whole run statically fused into one execution unit vs.
+/// the discrete (batched, SPSC) baseline, per executor back end and chain
+/// length — plus a fusion-enabled chaos run proving supervision still
+/// holds. Emits `results/BENCH_fusion.json`.
+fn fusion(quick: bool) {
+    println!("\n=========== Ablation: chain fusion vs discrete chain ===========");
+    println!("(fused: one execution unit runs every redirector back-to-back —");
+    println!(" no interior queues, no interior wakeups, no pool round-trips)\n");
+
+    let chain_ks: &[usize] = if quick { &[10] } else { &[10, 30] };
+    let chain_bytes = 10 * 1024;
+    let total = if quick { 400 } else { 2000 };
+    let runs = if quick { 3 } else { 5 };
+
+    let executors: [(&str, ExecutorConfig); 2] = [
+        ("thread_per_streamlet", ExecutorConfig::ThreadPerStreamlet),
+        ("worker_pool8", ExecutorConfig::WorkerPool { workers: 8 }),
+    ];
+    let corners: [(&str, bool); 2] = [("unfused_batched", false), ("fused", true)];
+
+    let mut csv = Csv::new([
+        "executor",
+        "chain_k",
+        "fused",
+        "instances",
+        "throughput_msg_s",
+    ]);
+    // (executor, k, fused, live instances, median msg/s)
+    let mut series: Vec<(String, usize, bool, usize, f64)> = Vec::new();
+    for (exec_name, exec_cfg) in &executors {
+        for &k in chain_ks {
+            for (label, fused) in &corners {
+                let cfg = ServerConfig {
+                    executor: *exec_cfg,
+                    fusion: *fused,
+                    ..Default::default()
+                };
+                let harness = ChainHarness::with_config(k, cfg);
+                let instances = harness.stream().instance_names().len();
+                if *fused {
+                    assert_eq!(
+                        instances, 1,
+                        "the whole {k}-redirector run must fuse into one unit"
+                    );
+                }
+                let mut samples: Vec<f64> = (0..runs)
+                    .map(|_| harness.throughput(chain_bytes, total))
+                    .collect();
+                samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                let median = samples[samples.len() / 2];
+                println!(
+                    "  {exec_name:<21} k={k:<3} {label:<15}: {median:>9.0} msg/s \
+                     ({instances} live instances)"
+                );
+                csv.row([
+                    exec_name.to_string(),
+                    k.to_string(),
+                    fused.to_string(),
+                    instances.to_string(),
+                    format!("{median:.0}"),
+                ]);
+                series.push((exec_name.to_string(), k, *fused, instances, median));
+            }
+        }
+    }
+    println!();
+    print!("{}", csv.to_table());
+
+    let find = |exec: &str, k: usize, fused: bool| -> f64 {
+        series
+            .iter()
+            .find(|(e, kk, f, ..)| e == exec && *kk == k && *f == fused)
+            .map(|(.., t)| *t)
+            .expect("corner measured")
+    };
+    let headline_k = chain_ks[0];
+    let speedup_tps = find("thread_per_streamlet", headline_k, true)
+        / find("thread_per_streamlet", headline_k, false);
+    let speedup_wp8 =
+        find("worker_pool8", headline_k, true) / find("worker_pool8", headline_k, false);
+    println!(
+        "\nfused over unfused-batched (k={headline_k}): thread-per-streamlet \
+         {speedup_tps:.2}x, worker-pool8 {speedup_wp8:.2}x"
+    );
+
+    // Chaos with fusion on: fused runs flank the (unfusable, stateful)
+    // fault injector; restarts in the discrete middle must leave the
+    // fused units flowing.
+    let chaos_messages = if quick { 300 } else { 1500 };
+    let chaos_cfg = ChaosConfig {
+        server: chaos_server_config(ServerConfig {
+            fusion: true,
+            ..Default::default()
+        }),
+        panic_rate: 0.05,
+        garbage_rate: 0.01,
+        messages: chaos_messages,
+        poison: 3,
+        pad_redirectors: 2,
+        seed: 0xF0510,
+        ..Default::default()
+    };
+    let chaos_out = with_quiet_panics(|| run_chaos(&chaos_cfg));
+    println!(
+        "\nchaos with fusion on (r0-r1 fused -> injector -> r2-r3 fused): \
+         {}/{} delivered ({:.2}%), {} dead-lettered, {} faults, {} restarts",
+        chaos_out.delivered,
+        chaos_out.sent,
+        chaos_out.delivery_ratio() * 100.0,
+        chaos_out.dead_lettered,
+        chaos_out.faults,
+        chaos_out.restarts
+    );
+    assert!(
+        chaos_out.delivery_ratio() >= 0.99,
+        "fusion-enabled chaos delivered only {}/{}",
+        chaos_out.delivered,
+        chaos_out.sent
+    );
+    assert_eq!(
+        chaos_out.quarantined, 0,
+        "restart budget must never exhaust under fused chaos"
+    );
+
+    // The serde shim is a no-op, so the JSON is formatted by hand.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"experiment\": \"chain_fusion_ablation\",\n");
+    json.push_str("  \"workload\": {\n");
+    json.push_str(&format!(
+        "    \"message_bytes\": {chain_bytes}, \"messages_per_burst\": {total}, \
+         \"runs\": {runs}, \"metric\": \"median pipelined throughput (msg/s)\"\n"
+    ));
+    json.push_str("  },\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str("  \"series\": [\n");
+    for (i, (exec_name, k, fused, instances, msg_s)) in series.iter().enumerate() {
+        let sep = if i + 1 == series.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"executor\": \"{exec_name}\", \"chain_k\": {k}, \"fused\": {fused}, \
+             \"live_instances\": {instances}, \"throughput_msg_per_s\": {msg_s:.1}}}{sep}\n"
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"fused_over_batched\": {{\n    \"chain_k\": {headline_k},\n"
+    ));
+    json.push_str(&format!(
+        "    \"thread_per_streamlet\": {speedup_tps:.3},\n"
+    ));
+    json.push_str(&format!("    \"worker_pool8\": {speedup_wp8:.3}\n"));
+    json.push_str("  },\n");
+    json.push_str("  \"chaos_with_fusion\": {\n");
+    json.push_str("    \"chain\": \"r0 -> r1 (fused) -> fault_injector -> r2 -> r3 (fused)\",\n");
+    json.push_str(&format!(
+        "    \"sent\": {}, \"delivered\": {}, \"delivery_ratio\": {:.5},\n",
+        chaos_out.sent,
+        chaos_out.delivered,
+        chaos_out.delivery_ratio()
+    ));
+    json.push_str(&format!(
+        "    \"dead_lettered\": {}, \"faults\": {}, \"restarts\": {}, \
+         \"quarantined\": {}\n",
+        chaos_out.dead_lettered, chaos_out.faults, chaos_out.restarts, chaos_out.quarantined
+    ));
+    json.push_str("  },\n");
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    json.push_str(&format!("  \"host_cores\": {cores}\n"));
+    json.push_str("}\n");
+    std::fs::write("results/BENCH_fusion.json", json).expect("write fusion json");
+    save("fusion_ablation", &csv);
+    println!("JSON written to results/BENCH_fusion.json");
 }

@@ -34,6 +34,11 @@ pub struct ChaosConfig {
     pub messages: usize,
     /// Deterministic poison messages interleaved with the load.
     pub poison: usize,
+    /// Redirectors on *each* side of the injector. The default of 1 is the
+    /// classic `r0 → f → r1` probe; with chain fusion enabled, use ≥ 2 so a
+    /// fusable run actually forms on both sides of the (stateful, unfusable)
+    /// injector and the faults land next to live fused units.
+    pub pad_redirectors: usize,
     /// Base RNG seed (each injector rebuild gets `seed + n`).
     pub seed: u64,
 }
@@ -47,6 +52,7 @@ impl Default for ChaosConfig {
             delay: Duration::ZERO,
             messages: 500,
             poison: 0,
+            pad_redirectors: 1,
             seed: 0xC4A05,
         }
     }
@@ -136,50 +142,70 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
         directory,
         Arc::new(StreamletPool::new(64)),
     );
-    let script = r#"
-        streamlet redirector {
-            port { in pi : */*; out po : */*; }
-            attribute { type = STATELESS; library = "builtin/redirector"; }
-        }
-        streamlet fault_injector {
-            port { in pi : */*; out po : */*; }
-            attribute { type = STATEFUL; library = "chaos/fault_injector"; }
-        }
-        main stream chaos {
-            streamlet r0 = new-streamlet (redirector);
-            streamlet f = new-streamlet (fault_injector);
-            streamlet r1 = new-streamlet (redirector);
-            connect (r0.po, f.pi);
-            connect (f.po, r1.pi);
-        }
-    "#;
-    let stream = server.deploy_mcl(script).expect("deploy chaos chain");
-
-    // Interleave poison messages evenly through the benign load.
+    let pad = cfg.pad_redirectors.max(1);
+    let mut script = String::from(
+        "streamlet redirector {\n\
+            port { in pi : */*; out po : */*; }\n\
+            attribute { type = STATELESS; library = \"builtin/redirector\"; }\n\
+        }\n\
+        streamlet fault_injector {\n\
+            port { in pi : */*; out po : */*; }\n\
+            attribute { type = STATEFUL; library = \"chaos/fault_injector\"; }\n\
+        }\n\
+        main stream chaos {\n",
+    );
+    use std::fmt::Write as _;
+    for i in 0..2 * pad {
+        let _ = writeln!(script, "streamlet r{i} = new-streamlet (redirector);");
+    }
+    let _ = writeln!(script, "streamlet f = new-streamlet (fault_injector);");
+    for i in 1..pad {
+        let _ = writeln!(script, "connect (r{}.po, r{}.pi);", i - 1, i);
+    }
+    let _ = writeln!(script, "connect (r{}.po, f.pi);", pad - 1);
+    let _ = writeln!(script, "connect (f.po, r{pad}.pi);");
+    for i in pad + 1..2 * pad {
+        let _ = writeln!(script, "connect (r{}.po, r{}.pi);", i - 1, i);
+    }
+    script.push('}');
+    let stream = server.deploy_mcl(&script).expect("deploy chaos chain");
+    // Interleave poison messages evenly through the benign load. The
+    // producer runs on its own thread while this thread drains the egress:
+    // a gateway's output is consumed continuously, and posting the whole
+    // load before draining would turn any burst larger than the chain's
+    // total buffering into guaranteed Figure 6-9 drops (every queue full,
+    // nothing freeing space, each post waiting out its budget).
     let every = if cfg.poison > 0 {
         (cfg.messages / (cfg.poison + 1)).max(1)
     } else {
         usize::MAX
     };
-    let ty = MimeType::new("application", "octet-stream");
     let t0 = Instant::now();
-    let mut poison_sent = 0usize;
-    for i in 0..cfg.messages {
-        if poison_sent < cfg.poison && i > 0 && i % every == 0 {
-            let mut bad = MimeMessage::new(&ty, format!("poison-{poison_sent}").into_bytes());
-            bad.headers.set(POISON_HEADER, "1");
-            stream.post_input(bad).expect("post poison");
-            poison_sent += 1;
-        }
-        let msg = MimeMessage::new(&ty, format!("chaos-{i}").into_bytes());
-        stream.post_input(msg).expect("post");
-    }
-    while poison_sent < cfg.poison {
-        let mut bad = MimeMessage::new(&ty, format!("poison-{poison_sent}").into_bytes());
-        bad.headers.set(POISON_HEADER, "1");
-        stream.post_input(bad).expect("post poison");
-        poison_sent += 1;
-    }
+    let producer = {
+        let stream = stream.clone();
+        let (messages, poison) = (cfg.messages, cfg.poison);
+        std::thread::spawn(move || {
+            let ty = MimeType::new("application", "octet-stream");
+            let mut poison_sent = 0usize;
+            for i in 0..messages {
+                if poison_sent < poison && i > 0 && i % every == 0 {
+                    let mut bad =
+                        MimeMessage::new(&ty, format!("poison-{poison_sent}").into_bytes());
+                    bad.headers.set(POISON_HEADER, "1");
+                    stream.post_input(bad).expect("post poison");
+                    poison_sent += 1;
+                }
+                let msg = MimeMessage::new(&ty, format!("chaos-{i}").into_bytes());
+                stream.post_input(msg).expect("post");
+            }
+            while poison_sent < poison {
+                let mut bad = MimeMessage::new(&ty, format!("poison-{poison_sent}").into_bytes());
+                bad.headers.set(POISON_HEADER, "1");
+                stream.post_input(bad).expect("post poison");
+                poison_sent += 1;
+            }
+        })
+    };
 
     // Drain until the benign load is accounted for or the chain goes quiet
     // (a few consecutive empty waits after the last delivery).
@@ -200,6 +226,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
             None => quiet += 1,
         }
     }
+    producer.join().expect("chaos producer thread");
     let elapsed = last.duration_since(t0);
 
     let (faults, restarts, quarantined) = match server.supervisor() {
@@ -268,6 +295,33 @@ mod tests {
         assert_eq!(out.dead_lettered, 2, "both poison messages evicted");
         assert!(out.faults > 0, "the injector must actually have faulted");
         assert!(out.restarts > 0);
+        assert_eq!(out.quarantined, 0);
+    }
+
+    #[test]
+    fn fusion_enabled_chaos_still_delivers() {
+        // Fused runs on both sides of the (unfusable) injector: faults and
+        // restarts in the discrete middle must not disturb the fused units.
+        let cfg = ChaosConfig {
+            server: chaos_server_config(ServerConfig {
+                fusion: true,
+                ..Default::default()
+            }),
+            panic_rate: 0.05,
+            messages: 120,
+            poison: 2,
+            pad_redirectors: 2,
+            ..Default::default()
+        };
+        let out = with_quiet_panics(|| run_chaos(&cfg));
+        assert!(
+            out.delivery_ratio() >= 0.99,
+            "delivered {}/{}",
+            out.delivered,
+            out.sent
+        );
+        assert_eq!(out.dead_lettered, 2);
+        assert!(out.faults > 0);
         assert_eq!(out.quarantined, 0);
     }
 }

@@ -6,6 +6,12 @@
 //! "another important function of the Coordination Manager is to filter
 //! events from the Event Manager and to broadcast them among coordination
 //! streams."
+//!
+//! Per-message routing never consults these tables on the hot path: each
+//! `StreamletHandle` memoizes its port → channel routes behind an epoch
+//! counter (`streamlet.rs::Shared::resolve_route`) that every rewiring
+//! bumps, so reconfigurations here invalidate the caches without the data
+//! path ever taking the coordination locks.
 
 use crate::error::CoreError;
 use crate::events::{ContextEvent, EventManager, EventSubscriber};
@@ -77,6 +83,12 @@ impl CoordinationManager {
             .map(|r| r.event.category())
             .collect();
         categories.push(EventCategory::SystemCommand);
+        if self.deps.fusion {
+            // Fault-driven fission: the stream must observe STREAMLET_FAULT
+            // events to split a quarantined fused unit around its poisoned
+            // member (see `stream.rs::fission_quarantined`).
+            categories.push(EventCategory::RuntimeFault);
+        }
         categories.sort_by_key(|c| c.id());
         categories.dedup();
         for c in categories {
@@ -176,6 +188,7 @@ mod tests {
             executor: crate::executor::default_executor(),
             supervisor: None,
             batching: Default::default(),
+            fusion: false,
         };
         CoordinationManager::new(deps, Arc::new(EventManager::new()))
     }

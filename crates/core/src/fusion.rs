@@ -1,0 +1,551 @@
+//! Chain fusion: the runtime half of the fusion/fission engine.
+//!
+//! The static half (`mobigate-mcl::fusion`) finds maximal runs of fusable
+//! streamlets; this module executes such a run as **one** scheduled unit.
+//! A [`FusedLogic`] is an ordinary [`StreamletLogic`] installed on a
+//! single [`StreamletHandle`](crate::StreamletHandle): each incoming
+//! message is threaded through the member logics back-to-back on the same
+//! driver, stage by stage, so the interior `MessageQueue`s — and their
+//! admission locks, pool reference handoffs, and wakeups — disappear
+//! entirely. The stream keeps the member roster in the shared state
+//! ([`FusedShared`]), which is what makes **fission** possible: the
+//! coordination plane can pause the unit, take the member logics back out
+//! ([`FusedShared::take_members`]), and re-materialize discrete instances
+//! with real channels, without ever copying or losing a message.
+//!
+//! Supervision resolves to the *member*, not the unit: a member panic is
+//! re-thrown with the member's name and recorded index
+//! ([`FusedShared::faulted_member`]), so the supervisor's rebuild closure
+//! replaces only that member's logic, and quarantine-fission can split the
+//! unit around exactly the poisoned stage.
+
+use crate::error::CoreError;
+use crate::streamlet::{Emitter, StreamletCtx, StreamletLogic};
+use mobigate_mime::MimeMessage;
+use parking_lot::Mutex;
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+
+/// One member of a fused run: identity (for fault attribution, rebuild,
+/// and fission) plus the live logic object.
+pub struct FusedMember {
+    /// Original instance name from the configuration table.
+    pub instance: String,
+    /// Definition name (fission re-creates the instance row from this).
+    pub def: String,
+    /// Directory key of the implementing component (member rebuild).
+    pub key: String,
+    /// The single input port of the member's definition.
+    pub in_port: String,
+    /// The single output port of the member's definition.
+    pub out_port: String,
+    /// The live logic; `None` while poisoned (awaiting rebuild) or after
+    /// fission took it.
+    pub logic: Option<Box<dyn StreamletLogic>>,
+    /// Member-attributed `process` errors (the counter the member's own
+    /// handle would have charged when running unfused).
+    pub errors: u64,
+}
+
+/// State shared between a fused unit's logic, its supervisor rebuild
+/// closure, and the owning stream (for fission). The members `Mutex` is
+/// uncontended on the hot path: exactly one driver runs a task at a time,
+/// and the other lockers (rebuild, fission) only run while the task is
+/// parked or paused.
+pub struct FusedShared {
+    unit: String,
+    members: Mutex<Vec<FusedMember>>,
+    /// Index of the member whose panic poisoned the unit, if any.
+    faulted: Mutex<Option<usize>>,
+}
+
+impl FusedShared {
+    /// Creates the shared roster for unit `unit`.
+    pub fn new(unit: impl Into<String>, members: Vec<FusedMember>) -> Arc<Self> {
+        Arc::new(FusedShared {
+            unit: unit.into(),
+            members: Mutex::new(members),
+            faulted: Mutex::new(None),
+        })
+    }
+
+    /// The fused unit's instance name.
+    pub fn unit_name(&self) -> &str {
+        &self.unit
+    }
+
+    /// Member instance names in pipeline order.
+    pub fn member_names(&self) -> Vec<String> {
+        self.members
+            .lock()
+            .iter()
+            .map(|m| m.instance.clone())
+            .collect()
+    }
+
+    /// Member-attributed error counters, pipeline order.
+    pub fn member_errors(&self) -> Vec<(String, u64)> {
+        self.members
+            .lock()
+            .iter()
+            .map(|m| (m.instance.clone(), m.errors))
+            .collect()
+    }
+
+    /// The member whose panic poisoned the unit: (index, instance name).
+    pub fn faulted_member(&self) -> Option<(usize, String)> {
+        let idx = (*self.faulted.lock())?;
+        let members = self.members.lock();
+        members.get(idx).map(|m| (idx, m.instance.clone()))
+    }
+
+    /// Directory key of the faulted member (rebuild closures resolve the
+    /// replacement logic through this).
+    pub fn faulted_member_key(&self) -> Option<(usize, String)> {
+        let idx = (*self.faulted.lock())?;
+        let members = self.members.lock();
+        members.get(idx).map(|m| (idx, m.key.clone()))
+    }
+
+    /// Installs fresh logic for member `idx` and clears the fault marker
+    /// (the supervisor's member-level restart).
+    pub fn install_member_logic(&self, idx: usize, logic: Box<dyn StreamletLogic>) {
+        {
+            let mut members = self.members.lock();
+            if let Some(m) = members.get_mut(idx) {
+                m.logic = Some(logic);
+            }
+        }
+        *self.faulted.lock() = None;
+    }
+
+    /// Drains the entire member roster (logic objects included) for
+    /// fission. The unit's `FusedLogic` processes nothing afterwards; the
+    /// caller must have paused the owning handle first.
+    pub fn take_members(&self) -> Vec<FusedMember> {
+        std::mem::take(&mut *self.members.lock())
+    }
+
+    /// Number of members currently in the roster.
+    pub fn len(&self) -> usize {
+        self.members.lock().len()
+    }
+
+    /// True when the roster was drained by fission.
+    pub fn is_empty(&self) -> bool {
+        self.members.lock().is_empty()
+    }
+}
+
+/// The [`StreamletLogic`] adapter that drives a fused run. Stage-by-stage
+/// threading: every message of the invocation passes member `i` before any
+/// message reaches member `i + 1`, which is exactly the order a FIFO
+/// channel between them would have enforced — fused and unfused pipelines
+/// are observationally equivalent under non-saturating load (fusion has no
+/// interior queues, so interior Figure 6-9 overflow drops cannot occur).
+pub struct FusedLogic {
+    shared: Arc<FusedShared>,
+}
+
+impl FusedLogic {
+    /// A logic view over the shared roster (the supervisor creates a fresh
+    /// one per member-level restart; they all drive the same members).
+    pub fn new(shared: Arc<FusedShared>) -> Self {
+        FusedLogic { shared }
+    }
+
+    /// Runs `msgs` through every member. Emissions on a member's single
+    /// output port feed the next stage; the last stage's feed is emitted on
+    /// its own port name (the fused handle's output binding uses the same
+    /// name). Any *other* emission is surfaced as `instance.port` — never
+    /// bound, so it drops as unrouted exactly like the open circuit it
+    /// would have been unfused.
+    fn thread(&self, msgs: Vec<MimeMessage>, ctx: &mut StreamletCtx) -> Result<(), CoreError> {
+        let mut members = self.shared.members.lock();
+        let mut batch = msgs;
+        let last = members.len().saturating_sub(1);
+        for (i, member) in members.iter_mut().enumerate() {
+            if batch.is_empty() {
+                break;
+            }
+            let Some(logic) = member.logic.as_mut() else {
+                // Poisoned member awaiting rebuild: the outer handle is
+                // normally Faulted before this can run, but a racing
+                // activation must not silently eat messages — fault the
+                // unit so the batch lands in redelivery.
+                std::panic::panic_any(format!(
+                    "fused member {} has no logic installed",
+                    member.instance
+                ));
+            };
+            let batch_in = std::mem::take(&mut batch);
+            let use_batch = batch_in.len() > 1 && logic.supports_batch();
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                // Error semantics mirror the member's own handle exactly:
+                // a per-message `Err` discards that invocation's emissions
+                // and counts one error; a batched `Err` discards the whole
+                // batch's emissions under one error count (what
+                // `process_batched` does for a discrete streamlet).
+                let mut errors = 0u64;
+                let mut outs: Vec<(String, MimeMessage)> = Vec::new();
+                if use_batch {
+                    let mut mctx = StreamletCtx::new(&member.instance, ctx.session());
+                    match logic.process_batch(batch_in, &mut mctx) {
+                        Ok(()) => outs = mctx.into_outputs(),
+                        Err(_) => errors += 1,
+                    }
+                } else {
+                    for msg in batch_in {
+                        let mut mctx = StreamletCtx::new(&member.instance, ctx.session());
+                        match logic.process(msg, &mut mctx) {
+                            Ok(()) => outs.extend(mctx.into_outputs()),
+                            Err(_) => errors += 1,
+                        }
+                    }
+                }
+                (errors, outs)
+            }));
+            let (errors, outs) = match outcome {
+                Ok(pair) => pair,
+                Err(payload) => {
+                    // Member-attributed fault: drop the poisoned logic,
+                    // record which stage it was, and re-throw so the
+                    // handle's panic boundary does its normal redelivery +
+                    // Faulted bookkeeping for the whole unit.
+                    member.logic = None;
+                    *self.shared.faulted.lock() = Some(i);
+                    let text = crate::streamlet::panic_message(payload.as_ref());
+                    std::panic::resume_unwind(Box::new(format!(
+                        "fused member {}: {text}",
+                        member.instance
+                    )));
+                }
+            };
+            member.errors += errors;
+            for (port, msg) in outs {
+                if port == member.out_port {
+                    if i == last {
+                        ctx.emit(&port, msg);
+                    } else {
+                        batch.push(msg);
+                    }
+                } else {
+                    ctx.emit(&format!("{}.{port}", member.instance), msg);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl StreamletLogic for FusedLogic {
+    fn process(&mut self, msg: MimeMessage, ctx: &mut StreamletCtx) -> Result<(), CoreError> {
+        self.thread(vec![msg], ctx)
+    }
+
+    fn supports_batch(&self) -> bool {
+        true
+    }
+
+    fn process_batch(
+        &mut self,
+        msgs: Vec<MimeMessage>,
+        ctx: &mut StreamletCtx,
+    ) -> Result<(), CoreError> {
+        self.thread(msgs, ctx)
+    }
+
+    fn on_activate(&mut self) {
+        for m in self.shared.members.lock().iter_mut() {
+            if let Some(logic) = m.logic.as_mut() {
+                logic.on_activate();
+            }
+        }
+    }
+
+    fn on_pause(&mut self) {
+        for m in self.shared.members.lock().iter_mut() {
+            if let Some(logic) = m.logic.as_mut() {
+                logic.on_pause();
+            }
+        }
+    }
+
+    fn on_end(&mut self) {
+        for m in self.shared.members.lock().iter_mut() {
+            if let Some(logic) = m.logic.as_mut() {
+                logic.on_end();
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        for m in self.shared.members.lock().iter_mut() {
+            if let Some(logic) = m.logic.as_mut() {
+                logic.reset();
+            }
+        }
+    }
+
+    /// Member-addressed control: `"<member>.<key>"` routes to that member's
+    /// own control handler; a bare key is offered to every member in order
+    /// until one accepts it.
+    fn control(&mut self, key: &str, value: &str) -> Result<(), CoreError> {
+        let mut members = self.shared.members.lock();
+        if let Some((member, mkey)) = key.split_once('.') {
+            for m in members.iter_mut() {
+                if m.instance == member {
+                    if let Some(logic) = m.logic.as_mut() {
+                        return logic.control(mkey, value);
+                    }
+                }
+            }
+        } else {
+            for m in members.iter_mut() {
+                if let Some(logic) = m.logic.as_mut() {
+                    if logic.control(key, value).is_ok() {
+                        return Ok(());
+                    }
+                }
+            }
+        }
+        Err(CoreError::NotFound {
+            kind: "control parameter",
+            name: format!("{key}={value}"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    struct Append(&'static str);
+    impl StreamletLogic for Append {
+        fn process(&mut self, msg: MimeMessage, ctx: &mut StreamletCtx) -> Result<(), CoreError> {
+            let mut body = msg.body.to_vec();
+            body.extend_from_slice(self.0.as_bytes());
+            let mut out = msg.clone();
+            out.set_body(body);
+            ctx.emit("po", out);
+            Ok(())
+        }
+        fn supports_batch(&self) -> bool {
+            true
+        }
+    }
+
+    struct FailOn(&'static str);
+    impl StreamletLogic for FailOn {
+        fn process(&mut self, msg: MimeMessage, ctx: &mut StreamletCtx) -> Result<(), CoreError> {
+            if msg.body.starts_with(self.0.as_bytes()) {
+                return Err(CoreError::Process {
+                    streamlet: "failer".into(),
+                    message: "refused".into(),
+                });
+            }
+            ctx.emit("po", msg);
+            Ok(())
+        }
+    }
+
+    struct PanicOn(&'static str);
+    impl StreamletLogic for PanicOn {
+        fn process(&mut self, msg: MimeMessage, ctx: &mut StreamletCtx) -> Result<(), CoreError> {
+            assert!(!msg.body.starts_with(self.0.as_bytes()), "poison");
+            ctx.emit("po", msg);
+            Ok(())
+        }
+    }
+
+    fn member(name: &str, logic: Box<dyn StreamletLogic>) -> FusedMember {
+        FusedMember {
+            instance: name.to_string(),
+            def: "d".into(),
+            key: "builtin/d".into(),
+            in_port: "pi".into(),
+            out_port: "po".into(),
+            logic: Some(logic),
+            errors: 0,
+        }
+    }
+
+    fn texts(outs: &[(String, MimeMessage)]) -> Vec<String> {
+        outs.iter()
+            .map(|(_, m)| String::from_utf8_lossy(&m.body).into_owned())
+            .collect()
+    }
+
+    #[test]
+    fn threads_messages_through_all_members_in_order() {
+        let shared = FusedShared::new(
+            "fused:a..c",
+            vec![
+                member("a", Box::new(Append(".a"))),
+                member("b", Box::new(Append(".b"))),
+                member("c", Box::new(Append(".c"))),
+            ],
+        );
+        let mut fused = FusedLogic::new(shared);
+        let mut ctx = StreamletCtx::new("fused:a..c", None);
+        fused
+            .process_batch(
+                vec![MimeMessage::text("m1"), MimeMessage::text("m2")],
+                &mut ctx,
+            )
+            .unwrap();
+        let outs = ctx.into_outputs();
+        assert_eq!(texts(&outs), vec!["m1.a.b.c", "m2.a.b.c"]);
+        assert!(outs.iter().all(|(p, _)| p == "po"), "last stage's port");
+    }
+
+    #[test]
+    fn member_error_drops_only_that_message() {
+        let shared = FusedShared::new(
+            "u",
+            vec![
+                member("a", Box::new(Append(".a"))),
+                member("b", Box::new(FailOn("bad"))),
+                member("c", Box::new(Append(".c"))),
+            ],
+        );
+        let mut fused = FusedLogic::new(shared.clone());
+        let mut ctx = StreamletCtx::new("u", None);
+        fused
+            .process_batch(
+                vec![
+                    MimeMessage::text("ok1"),
+                    MimeMessage::text("bad"),
+                    MimeMessage::text("ok2"),
+                ],
+                &mut ctx,
+            )
+            .unwrap();
+        assert_eq!(texts(&ctx.into_outputs()), vec!["ok1.a.c", "ok2.a.c"]);
+        assert_eq!(
+            shared.member_errors(),
+            vec![("a".into(), 0), ("b".into(), 1), ("c".into(), 0)]
+        );
+    }
+
+    #[test]
+    fn member_panic_attributes_and_poisons_only_that_member() {
+        let shared = FusedShared::new(
+            "u",
+            vec![
+                member("a", Box::new(Append(".a"))),
+                member("boom", Box::new(PanicOn("poison"))),
+                member("c", Box::new(Append(".c"))),
+            ],
+        );
+        let mut fused = FusedLogic::new(shared.clone());
+        let mut ctx = StreamletCtx::new("u", None);
+        let payload = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _ = fused.process(MimeMessage::text("poison"), &mut ctx);
+        }))
+        .unwrap_err();
+        let text = crate::streamlet::panic_message(payload.as_ref());
+        assert!(text.contains("fused member boom"), "got: {text}");
+        assert_eq!(shared.faulted_member(), Some((1, "boom".into())));
+        // Only the poisoned member lost its logic.
+        let members = shared.take_members();
+        assert!(members[0].logic.is_some());
+        assert!(members[1].logic.is_none());
+        assert!(members[2].logic.is_some());
+    }
+
+    #[test]
+    fn rebuild_installs_fresh_member_logic() {
+        let shared = FusedShared::new(
+            "u",
+            vec![
+                member("a", Box::new(Append(".a"))),
+                member("boom", Box::new(PanicOn("poison"))),
+            ],
+        );
+        let mut fused = FusedLogic::new(shared.clone());
+        let mut ctx = StreamletCtx::new("u", None);
+        let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _ = fused.process(MimeMessage::text("poison"), &mut ctx);
+        }));
+        let (idx, key) = shared.faulted_member_key().unwrap();
+        assert_eq!((idx, key.as_str()), (1, "builtin/d"));
+        shared.install_member_logic(idx, Box::new(Append(".b2")));
+        assert!(shared.faulted_member().is_none());
+        let mut fresh = FusedLogic::new(shared);
+        let mut ctx = StreamletCtx::new("u", None);
+        fresh.process(MimeMessage::text("x"), &mut ctx).unwrap();
+        assert_eq!(texts(&ctx.into_outputs()), vec!["x.a.b2"]);
+    }
+
+    #[test]
+    fn side_emissions_surface_with_member_prefix() {
+        struct Teer;
+        impl StreamletLogic for Teer {
+            fn process(
+                &mut self,
+                msg: MimeMessage,
+                ctx: &mut StreamletCtx,
+            ) -> Result<(), CoreError> {
+                ctx.emit("side", msg.clone());
+                ctx.emit("po", msg);
+                Ok(())
+            }
+        }
+        let shared = FusedShared::new(
+            "u",
+            vec![
+                member("t", Box::new(Teer)),
+                member("z", Box::new(Append(".z"))),
+            ],
+        );
+        let mut fused = FusedLogic::new(shared);
+        let mut ctx = StreamletCtx::new("u", None);
+        fused.process(MimeMessage::text("m"), &mut ctx).unwrap();
+        let outs = ctx.into_outputs();
+        let ports: Vec<&str> = outs.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(ports, vec!["t.side", "po"]);
+    }
+
+    #[test]
+    fn member_addressed_control_routes() {
+        struct Knob {
+            #[allow(dead_code)]
+            v: String,
+        }
+        impl StreamletLogic for Knob {
+            fn process(
+                &mut self,
+                msg: MimeMessage,
+                ctx: &mut StreamletCtx,
+            ) -> Result<(), CoreError> {
+                ctx.emit("po", msg);
+                Ok(())
+            }
+            fn control(&mut self, key: &str, value: &str) -> Result<(), CoreError> {
+                if key == "v" {
+                    self.v = value.to_string();
+                    Ok(())
+                } else {
+                    Err(CoreError::NotFound {
+                        kind: "control parameter",
+                        name: key.to_string(),
+                    })
+                }
+            }
+        }
+        let shared = FusedShared::new(
+            "u",
+            vec![
+                member("k1", Box::new(Knob { v: String::new() })),
+                member("k2", Box::new(Knob { v: String::new() })),
+            ],
+        );
+        let mut fused = FusedLogic::new(shared);
+        fused.control("k2.v", "x").unwrap();
+        fused.control("v", "y").unwrap(); // first taker (k1)
+        assert!(fused.control("k1.nope", "x").is_err());
+        assert!(fused.control("ghost.v", "x").is_err());
+    }
+}

@@ -27,6 +27,7 @@ pub mod directory;
 pub mod error;
 pub mod events;
 pub mod executor;
+pub mod fusion;
 pub mod pool;
 pub mod pooling;
 pub mod queue;
@@ -42,6 +43,7 @@ pub use directory::StreamletDirectory;
 pub use error::CoreError;
 pub use events::{ContextEvent, EventManager};
 pub use executor::{default_executor, Executor, ThreadPerStreamlet, WorkerPool};
+pub use fusion::{FusedLogic, FusedMember, FusedShared};
 pub use pool::{MessagePool, PayloadMode};
 pub use pooling::StreamletPool;
 pub use queue::{FetchResult, MessageQueue, PostResult, QueueConfig};

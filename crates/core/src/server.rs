@@ -91,6 +91,10 @@ pub struct ServerConfig {
     /// Hot-path batching: per-wake drain ceiling and the SPSC channel
     /// fast path.
     pub batching: BatchConfig,
+    /// Chain fusion: statically collapse maximal runs of fusable streamlets
+    /// into single execution units at deploy time, with event-driven
+    /// fission on reconfiguration or member quarantine (see `fusion.rs`).
+    pub fusion: bool,
 }
 
 impl Default for ServerConfig {
@@ -102,6 +106,7 @@ impl Default for ServerConfig {
             pool_shards: None,
             supervision: SupervisionConfig::default(),
             batching: BatchConfig::default(),
+            fusion: false,
         }
     }
 }
@@ -197,6 +202,7 @@ impl MobiGate {
             executor: executor.clone(),
             supervisor: supervisor.clone(),
             batching: config.batching,
+            fusion: config.fusion,
         };
         MobiGate {
             directory,

@@ -23,15 +23,19 @@ use crate::directory::StreamletDirectory;
 use crate::error::CoreError;
 use crate::events::{ContextEvent, EventSubscriber};
 use crate::executor::Executor;
+use crate::fusion::{FusedLogic, FusedMember, FusedShared};
 use crate::pool::{MessagePool, PayloadMode};
 use crate::pooling::StreamletPool;
 use crate::queue::{FetchResult, MessageQueue, Notifier, QueueConfig};
-use crate::streamlet::{RouteOpts, StreamletHandle};
-use mobigate_mcl::config::{ConfigTable, ConnectionRow, ReconfigAction, StreamletSpec, WhenRule};
+use crate::streamlet::{LifecycleState, RouteOpts, StreamletHandle, StreamletLogic};
+use mobigate_mcl::config::{
+    ChannelRow, ConfigTable, ConnectionRow, ReconfigAction, StreamletSpec, WhenRule,
+};
 use mobigate_mcl::events::EventKind;
+use mobigate_mcl::fusion::{FusedRun, FusionPlan};
 use mobigate_mime::{MimeMessage, SessionId};
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -76,6 +80,10 @@ pub struct StreamDeps {
     pub supervisor: Option<Arc<crate::supervisor::Supervisor>>,
     /// Hot-path batching knobs applied to every channel and instance.
     pub batching: BatchConfig,
+    /// Chain fusion: collapse maximal runs of fusable streamlets into
+    /// single execution units at deploy time (see `fusion.rs` in this crate
+    /// and in `mobigate-mcl`); fission re-expands them on demand.
+    pub fusion: bool,
 }
 
 /// Equation 7-1 instrumentation of one reconfiguration:
@@ -135,6 +143,23 @@ struct Inner {
     when_rules: Vec<WhenRule>,
     reconf_chan_counter: usize,
     shutdown: bool,
+    /// Live fused units: unit instance name → fission bookkeeping.
+    fused: HashMap<String, FusedInfo>,
+    /// Member instance name → owning fused unit name.
+    fused_members: HashMap<String, String>,
+}
+
+/// Everything the stream must remember about one fused unit to be able to
+/// fission it back into discrete streamlets with real channels.
+struct FusedInfo {
+    /// Shared member roster; the member logic objects live here while the
+    /// run is fused.
+    shared: Arc<FusedShared>,
+    /// The collapsed interior channels, pipeline order (`[i]` joined member
+    /// `i` to member `i + 1`).
+    interior_channels: Vec<ChannelRow>,
+    /// The connection rows those channels carried, same order.
+    interior_connections: Vec<ConnectionRow>,
 }
 
 /// A deployed, running stream application.
@@ -168,8 +193,43 @@ impl RunningStream {
         deps: StreamDeps,
         session: SessionId,
     ) -> Result<Arc<Self>, CoreError> {
+        // Chain fusion (empty plan when the knob is off): member instances
+        // and their interior channels are skipped below, and each run is
+        // materialized as one fused execution unit instead. Rule 4 of the
+        // plan (logic opt-in) is answered by probing an instance out of the
+        // pool/directory and asking `StreamletLogic::fusable`.
+        let plan = if deps.fusion {
+            let probe = |spec: &StreamletSpec| {
+                let key = deps.directory.resolve_key(&spec.library, &spec.name);
+                match deps.streamlet_pool.checkout(key, &deps.directory) {
+                    Ok(logic) => {
+                        let fusable = logic.fusable();
+                        deps.streamlet_pool.checkin(key, logic);
+                        fusable
+                    }
+                    Err(_) => false,
+                }
+            };
+            mobigate_mcl::fusion::plan(table, defs, &deps.route_opts.registry, &probe)
+        } else {
+            FusionPlan::default()
+        };
+        let interior: HashSet<&str> = plan
+            .runs
+            .iter()
+            .flat_map(|r| r.interior_channels.iter().map(String::as_str))
+            .collect();
+        let is_member: HashSet<&str> = plan
+            .runs
+            .iter()
+            .flat_map(|r| r.members.iter().map(String::as_str))
+            .collect();
+
         let mut channels: HashMap<String, Arc<MessageQueue>> = HashMap::new();
         for row in &table.channels {
+            if interior.contains(row.name.as_str()) {
+                continue;
+            }
             let mut cfg = QueueConfig::from_spec(&row.name, &row.spec);
             cfg.spsc = deps.batching.spsc;
             channels.insert(
@@ -207,7 +267,8 @@ impl RunningStream {
         let egress_notifier = Arc::new(Notifier::new());
         egress.add_listener(egress_notifier.clone());
 
-        // Create the initial streamlet instances.
+        // Create the initial streamlet instances (members of fused runs are
+        // created inside their unit below).
         let mut instances: HashMap<String, Arc<StreamletHandle>> = HashMap::new();
         let mut lazy = HashMap::new();
         for row in &table.streamlets {
@@ -215,25 +276,50 @@ impl RunningStream {
                 lazy.insert(row.name.clone(), row.def.clone());
                 continue;
             }
+            if is_member.contains(row.name.as_str()) {
+                continue;
+            }
             let handle = create_instance(&row.name, &row.def, defs, &deps, &session, &table.name)?;
             instances.insert(row.name.clone(), handle);
         }
 
-        // Bind ports per the connection rows.
+        // Materialize each fused run as one execution unit. Members stay
+        // addressable through `alias` for the wiring below and through
+        // `fused_members` afterwards (set_parameter routing, fission).
+        let mut fused: HashMap<String, FusedInfo> = HashMap::new();
+        let mut fused_members: HashMap<String, String> = HashMap::new();
+        let mut alias: HashMap<String, Arc<StreamletHandle>> = HashMap::new();
+        for run in &plan.runs {
+            let (unit, handle, info) =
+                build_fused_unit(run, table, defs, &deps, &session, &table.name)?;
+            for m in &run.members {
+                fused_members.insert(m.clone(), unit.clone());
+                alias.insert(m.clone(), handle.clone());
+            }
+            fused.insert(unit.clone(), info);
+            instances.insert(unit, handle);
+        }
+        let resolve = |name: &str| -> Option<Arc<StreamletHandle>> {
+            instances.get(name).or_else(|| alias.get(name)).cloned()
+        };
+
+        // Bind ports per the connection rows (interior rows of fused runs
+        // have no physical channel; member endpoints resolve to their unit).
         for c in &table.connections {
+            if interior.contains(c.channel.as_str()) {
+                continue;
+            }
             let q = channels
                 .get(&c.channel)
                 .ok_or_else(|| CoreError::NotFound {
                     kind: "channel",
                     name: c.channel.clone(),
                 })?;
-            let from = instances
-                .get(&c.from.0)
-                .ok_or_else(|| CoreError::NotFound {
-                    kind: "streamlet instance",
-                    name: c.from.0.clone(),
-                })?;
-            let to = instances.get(&c.to.0).ok_or_else(|| CoreError::NotFound {
+            let from = resolve(&c.from.0).ok_or_else(|| CoreError::NotFound {
+                kind: "streamlet instance",
+                name: c.from.0.clone(),
+            })?;
+            let to = resolve(&c.to.0).ok_or_else(|| CoreError::NotFound {
                 kind: "streamlet instance",
                 name: c.to.0.clone(),
             })?;
@@ -243,20 +329,19 @@ impl RunningStream {
 
         // Bind exported ports to ingress/egress.
         for ((inst, port, _), (_, q)) in table.exported_inputs.iter().zip(&ingress) {
-            let h = instances.get(inst).ok_or_else(|| CoreError::NotFound {
+            let h = resolve(inst).ok_or_else(|| CoreError::NotFound {
                 kind: "streamlet instance",
                 name: inst.clone(),
             })?;
             h.attach_in(port, q);
         }
         for (inst, port, _) in &table.exported_outputs {
-            let h = instances.get(inst).ok_or_else(|| CoreError::NotFound {
+            let h = resolve(inst).ok_or_else(|| CoreError::NotFound {
                 kind: "streamlet instance",
                 name: inst.clone(),
             })?;
             h.attach_out(port, &egress);
         }
-
         // Start every worker.
         for h in instances.values() {
             h.start()?;
@@ -270,11 +355,20 @@ impl RunningStream {
             inner: Mutex::new(Inner {
                 instances,
                 channels,
-                connections: table.connections.clone(),
+                // Interior rows of fused runs have no live channel; they are
+                // remembered in `fused` and resurface on fission.
+                connections: table
+                    .connections
+                    .iter()
+                    .filter(|c| !interior.contains(c.channel.as_str()))
+                    .cloned()
+                    .collect(),
                 lazy,
                 when_rules: table.when_rules.clone(),
                 reconf_chan_counter: 0,
                 shutdown: false,
+                fused,
+                fused_members,
             }),
             ingress,
             egress,
@@ -398,17 +492,30 @@ impl RunningStream {
     /// with other streamlets … and control interfaces to receive parameter
     /// setting information from the coordinator").
     pub fn set_parameter(&self, instance: &str, key: &str, value: &str) -> Result<(), CoreError> {
-        let handle = self
-            .inner
-            .lock()
-            .instances
-            .get(instance)
-            .cloned()
-            .ok_or_else(|| CoreError::NotFound {
-                kind: "streamlet instance",
-                name: instance.to_string(),
-            })?;
-        handle.set_parameter(key, value, Duration::from_secs(2))
+        let (handle, key) = {
+            let inner = self.inner.lock();
+            if let Some(h) = inner.instances.get(instance) {
+                (h.clone(), key.to_string())
+            } else if let Some(unit) = inner.fused_members.get(instance) {
+                // The instance runs fused: route through the unit's
+                // member-addressed control interface (`member.key`).
+                let h = inner
+                    .instances
+                    .get(unit)
+                    .cloned()
+                    .ok_or_else(|| CoreError::NotFound {
+                        kind: "streamlet instance",
+                        name: unit.clone(),
+                    })?;
+                (h, format!("{instance}.{key}"))
+            } else {
+                return Err(CoreError::NotFound {
+                    kind: "streamlet instance",
+                    name: instance.to_string(),
+                });
+            }
+        };
+        handle.set_parameter(&key, value, Duration::from_secs(2))
     }
 
     /// One-line-per-component dump of buffered message locations —
@@ -506,6 +613,14 @@ impl RunningStream {
             EventKind::End => {
                 self.shutdown();
             }
+            EventKind::StreamletFault => {
+                // Fault-driven fission: when supervision has given up on a
+                // fused unit, split it so quarantine is confined to the
+                // member that actually faulted.
+                if let Some(info) = &event.fault {
+                    self.fission_quarantined(&info.instance);
+                }
+            }
             _ => {}
         }
         let rules: Vec<WhenRule> = {
@@ -549,12 +664,24 @@ impl RunningStream {
         }
         inner.shutdown = true;
         let handles: Vec<_> = inner.instances.drain().map(|(_, h)| h).collect();
+        let fused: Vec<FusedInfo> = inner.fused.drain().map(|(_, i)| i).collect();
+        inner.fused_members.clear();
         inner.connections.clear();
         drop(inner);
         for h in handles {
             h.end();
             let _ = h.detach_all();
             self.reclaim_logic(&h);
+        }
+        // Fused units are stateful handles on purpose (a FusedLogic must
+        // never be recycled through the stateless pool), but their members
+        // are ordinary pooling-eligible logics: return each one.
+        for info in fused {
+            for m in info.shared.take_members() {
+                if let Some(logic) = m.logic {
+                    self.deps.streamlet_pool.checkin(&m.key, logic);
+                }
+            }
         }
     }
 
@@ -585,6 +712,10 @@ impl RunningStream {
         let t0 = Instant::now();
         let mut stats = ReconfigStats::default();
         let mut inner = self.inner.lock();
+        // Event-driven fission: any fused unit one of these actions
+        // addresses (by member or interior channel) returns to discrete
+        // form first, so the actions operate on ordinary instances.
+        self.fission_for_actions(&mut inner, actions, &mut stats);
         for action in actions {
             match self.apply_action(&mut inner, action) {
                 Ok(s) => stats.absorb(s),
@@ -611,14 +742,19 @@ impl RunningStream {
         let t0 = Instant::now();
         let mut inner = self.inner.lock();
         inner.lazy.insert(instance.to_string(), def.to_string());
-        let mut stats = self.apply_action(
+        let action = ReconfigAction::Insert {
+            from: (from.0.to_string(), from.1.to_string()),
+            to: (to.0.to_string(), to.1.to_string()),
+            instance: instance.to_string(),
+        };
+        let mut fission_stats = ReconfigStats::default();
+        self.fission_for_actions(
             &mut inner,
-            &ReconfigAction::Insert {
-                from: (from.0.to_string(), from.1.to_string()),
-                to: (to.0.to_string(), to.1.to_string()),
-                instance: instance.to_string(),
-            },
-        )?;
+            std::slice::from_ref(&action),
+            &mut fission_stats,
+        );
+        let mut stats = self.apply_action(&mut inner, &action)?;
+        stats.absorb(fission_stats);
         drop(inner);
         stats.total = t0.elapsed();
         self.reconfigurations.fetch_add(1, Ordering::Relaxed);
@@ -632,6 +768,10 @@ impl RunningStream {
     pub fn remove_streamlet(&self, name: &str, deadline: Duration) -> Result<(), CoreError> {
         let mut inner = self.inner.lock();
         let mut stats = ReconfigStats::default();
+        let action = ReconfigAction::RemoveStreamlet {
+            name: name.to_string(),
+        };
+        self.fission_for_actions(&mut inner, std::slice::from_ref(&action), &mut stats);
         self.do_remove_with_deadline(&mut inner, name, &mut stats, deadline)
     }
 
@@ -1065,6 +1205,312 @@ impl RunningStream {
         Ok(())
     }
 
+    // --- fission --------------------------------------------------------------
+
+    /// Splits every fused unit that `actions` address — by member instance
+    /// or by collapsed interior channel — back into discrete streamlets, so
+    /// the actions then operate on ordinary instances. Event-driven: this
+    /// runs as a pre-pass of every reconfiguration entry point.
+    fn fission_for_actions(
+        &self,
+        inner: &mut Inner,
+        actions: &[ReconfigAction],
+        stats: &mut ReconfigStats,
+    ) {
+        if inner.fused.is_empty() {
+            return;
+        }
+        let mut units: Vec<String> = Vec::new();
+        for action in actions {
+            for name in mobigate_mcl::fusion::action_instances(action) {
+                if let Some(unit) = inner.fused_members.get(name) {
+                    units.push(unit.clone());
+                }
+            }
+            for chan in mobigate_mcl::fusion::action_channels(action) {
+                for (unit, info) in &inner.fused {
+                    if info.interior_channels.iter().any(|r| r.name == chan) {
+                        units.push(unit.clone());
+                    }
+                }
+            }
+        }
+        units.sort_unstable();
+        units.dedup();
+        for unit in units {
+            match self.fission_unit(inner, &unit, None) {
+                Ok(s) => stats.absorb(s),
+                Err(_) => stats.errors += 1,
+            }
+        }
+    }
+
+    /// Splits a fused unit that supervision has given up on, so quarantine
+    /// is confined to the member whose panics exhausted the restart budget.
+    /// Driven by the `STREAMLET_FAULT` event the supervisor raises.
+    fn fission_quarantined(&self, unit: &str) {
+        let mut inner = self.inner.lock();
+        if inner.shutdown || !inner.fused.contains_key(unit) {
+            return;
+        }
+        let quarantined = inner
+            .instances
+            .get(unit)
+            .map(|h| h.state() == LifecycleState::Quarantined)
+            .unwrap_or(false);
+        if !quarantined {
+            return; // restartable fault — the supervisor handles it in place
+        }
+        let at = inner
+            .fused
+            .get(unit)
+            .and_then(|i| i.shared.faulted_member())
+            .map(|(idx, _)| idx);
+        let _ = self.fission_unit(&mut inner, unit, at);
+    }
+
+    /// Fission: pause the fused unit, drain its parked outputs, re-create
+    /// the interior channels and member instances, splice them into the
+    /// live topology **attach-before-detach** (so no queue ever closes with
+    /// messages in flight), transplant the redelivery backlog into the
+    /// entry member, and only then retire the unit — zero message loss.
+    ///
+    /// With `quarantine_at = Some(i)`, member `i` comes back discrete with
+    /// fresh directory logic but is left `Quarantined`, and the surviving
+    /// contiguous segments on either side re-fuse — one poisoned stage
+    /// costs only its own fusion.
+    fn fission_unit(
+        &self,
+        inner: &mut Inner,
+        unit: &str,
+        quarantine_at: Option<usize>,
+    ) -> Result<ReconfigStats, CoreError> {
+        let mut stats = ReconfigStats::default();
+        let handle = inner
+            .instances
+            .get(unit)
+            .cloned()
+            .ok_or_else(|| CoreError::NotFound {
+                kind: "streamlet instance",
+                name: unit.to_string(),
+            })?;
+
+        // 1. Suspend the unit. A Faulted/Quarantined worker is already
+        // parked and cannot race the roster handoff.
+        if matches!(
+            handle.state(),
+            LifecycleState::Running | LifecycleState::Paused
+        ) {
+            let t_s = Instant::now();
+            handle.pause_and_wait(Duration::from_secs(2))?;
+            stats.suspensions += 1;
+            stats.suspension_time += t_s.elapsed();
+            // 2. Push the unit's parked emissions downstream so nothing is
+            // stranded with the old handle (bounded: a persistently full
+            // downstream queue expires the stragglers per Figure 6-9).
+            let deadline = Instant::now() + Duration::from_millis(500);
+            while !handle.flush_pending_outputs() && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+
+        let Some(info) = inner.fused.remove(unit) else {
+            return Err(CoreError::NotFound {
+                kind: "fused unit",
+                name: unit.to_string(),
+            });
+        };
+        let member_names = info.shared.member_names();
+        let members = info.shared.take_members();
+        let redelivery = handle.drain_redelivery();
+        for name in &member_names {
+            inner.fused_members.remove(name);
+        }
+        let n = members.len();
+        let quarantine_at = quarantine_at.filter(|&q| q < n);
+
+        // 3. Segment the roster: fully discrete by default; around a
+        // quarantined member, the survivors re-fuse.
+        let (segments, boundary): (Vec<(usize, usize)>, HashSet<usize>) = match quarantine_at {
+            None => (
+                (0..n).map(|i| (i, i)).collect(),
+                (0..n.saturating_sub(1)).collect(),
+            ),
+            Some(q) => {
+                let mut segs = Vec::new();
+                if q > 0 {
+                    segs.push((0, q - 1));
+                }
+                segs.push((q, q));
+                if q + 1 < n {
+                    segs.push((q + 1, n - 1));
+                }
+                let mut b = HashSet::new();
+                if q > 0 {
+                    b.insert(q - 1);
+                }
+                if q + 1 < n {
+                    b.insert(q);
+                }
+                (segs, b)
+            }
+        };
+
+        // 4. Re-materialize the boundary channels (those between segments;
+        // channels interior to a re-fused segment stay collapsed).
+        for (i, row) in info.interior_channels.iter().enumerate() {
+            if !boundary.contains(&i) {
+                continue;
+            }
+            let t = Instant::now();
+            let mut cfg = QueueConfig::from_spec(&row.name, &row.spec);
+            cfg.spsc = self.deps.batching.spsc;
+            inner.channels.insert(
+                row.name.clone(),
+                MessageQueue::new(cfg, self.deps.msg_pool.clone()),
+            );
+            stats.channel_ops += 1;
+            stats.channel_time += t.elapsed();
+        }
+
+        // 5. One handle per segment, in pipeline order.
+        let mut seg_handles: Vec<Arc<StreamletHandle>> = Vec::new();
+        let mut quarantine_seg: Option<usize> = None;
+        let mut roster: VecDeque<FusedMember> = members.into();
+        for (si, &(start, end)) in segments.iter().enumerate() {
+            let count = end - start + 1;
+            let segment: Vec<FusedMember> = roster.drain(..count).collect();
+            if count == 1 {
+                let Some(m) = segment.into_iter().next() else {
+                    continue;
+                };
+                if quarantine_at == Some(start) {
+                    quarantine_seg = Some(si);
+                }
+                let name = m.instance.clone();
+                let h = self.materialize_member(m)?;
+                inner.instances.insert(name, h.clone());
+                stats.instance_creations += 1;
+                seg_handles.push(h);
+            } else {
+                let (sub_unit, h, shared) =
+                    assemble_fused_handle(segment, &self.deps, &self.session, &self.name);
+                for name in &member_names[start..=end] {
+                    inner.fused_members.insert(name.clone(), sub_unit.clone());
+                }
+                inner.fused.insert(
+                    sub_unit.clone(),
+                    FusedInfo {
+                        shared,
+                        interior_channels: info.interior_channels[start..end].to_vec(),
+                        interior_connections: info.interior_connections[start..end].to_vec(),
+                    },
+                );
+                inner.instances.insert(sub_unit, h.clone());
+                seg_handles.push(h);
+            }
+        }
+
+        // 6. Splice into the live topology. Attach-before-detach: every
+        // stream-side queue gains its new consumer/producer before the old
+        // handle lets go.
+        let t_c = Instant::now();
+        if let (Some(first), Some(last)) = (seg_handles.first(), seg_handles.last()) {
+            for (port, q) in handle.bound_inputs() {
+                first.attach_in(&port, &q);
+                stats.channel_ops += 1;
+            }
+            for (port, q) in handle.bound_outputs() {
+                last.attach_out(&port, &q);
+                stats.channel_ops += 1;
+            }
+        }
+        let mut seg_of = vec![0usize; n];
+        for (si, &(s, e)) in segments.iter().enumerate() {
+            for slot in seg_of.iter_mut().take(e + 1).skip(s) {
+                *slot = si;
+            }
+        }
+        for (i, row) in info.interior_connections.iter().enumerate() {
+            if !boundary.contains(&i) {
+                continue;
+            }
+            let Some(q) = inner.channels.get(&row.channel).cloned() else {
+                continue;
+            };
+            if let (Some(from), Some(to)) =
+                (seg_handles.get(seg_of[i]), seg_handles.get(seg_of[i + 1]))
+            {
+                from.attach_out(&row.from.1, &q);
+                to.attach_in(&row.to.1, &q);
+                stats.channel_ops += 2;
+                inner.connections.push(row.clone());
+            }
+        }
+        stats.channel_time += t_c.elapsed();
+
+        // 7. Transplant the redelivery backlog into the entry segment so a
+        // faulted batch keeps replaying (poison accounting survives).
+        if let Some(first) = seg_handles.first() {
+            if !redelivery.is_empty() {
+                first.stash_redelivery(redelivery);
+            }
+        }
+
+        // 8. Retire the unit, then start the segments.
+        handle.end();
+        let _ = handle.detach_all();
+        inner.instances.remove(unit);
+        for (si, h) in seg_handles.iter().enumerate() {
+            if quarantine_seg == Some(si) {
+                // The poisoned member stays down — but discrete, so the rest
+                // of the pipeline keeps flowing and a `when (STREAMLET_FAULT)`
+                // rule can still bypass or remove exactly this instance.
+                let _ = h.quarantine();
+                continue;
+            }
+            let t_a = Instant::now();
+            match h.start() {
+                Ok(()) => {
+                    stats.activations += 1;
+                    stats.activation_time += t_a.elapsed();
+                }
+                Err(_) => stats.errors += 1,
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Rebuilds one ex-member as a discrete, individually supervised
+    /// instance. A poisoned member (its logic was dropped by the panic
+    /// boundary) gets fresh logic from the directory factory — never the
+    /// pool, which could recycle poisoned state.
+    fn materialize_member(&self, mut m: FusedMember) -> Result<Arc<StreamletHandle>, CoreError> {
+        let stateful = self.defs.get(&m.def).map(|d| d.stateful).unwrap_or(false);
+        let logic = match m.logic.take() {
+            Some(l) => l,
+            None => self.deps.directory.create(&m.key)?,
+        };
+        let handle = StreamletHandle::with_executor(
+            &m.instance,
+            &m.def,
+            stateful,
+            logic,
+            self.deps.msg_pool.clone(),
+            self.deps.mode,
+            Some(self.session.clone()),
+            self.deps.route_opts.clone(),
+            self.deps.executor.clone(),
+        );
+        handle.set_batch_max(self.deps.batching.batch_max);
+        if let Some(sup) = &self.deps.supervisor {
+            let dir = self.deps.directory.clone();
+            let key = m.key.clone();
+            sup.supervise(&handle, move || dir.create(&key), Some(self.name.clone()));
+        }
+        Ok(handle)
+    }
+
     /// Resolves a channel name to its queue, covering MCL channels plus the
     /// stream-boundary ingress/egress queues.
     fn find_queue(&self, inner: &Inner, name: &str) -> Option<Arc<MessageQueue>> {
@@ -1154,6 +1600,115 @@ fn create_instance(
     Ok(handle)
 }
 
+/// Wraps a member roster in a stateful handle driving a [`FusedLogic`].
+/// Supervision resolves to the *member*: the rebuild closure re-creates
+/// only the faulted member's logic (directory factory, never the pool) and
+/// hands back a fresh logic view over the same roster, so one bad stage
+/// never resets its healthy neighbours.
+fn assemble_fused_handle(
+    members: Vec<FusedMember>,
+    deps: &StreamDeps,
+    session: &SessionId,
+    stream: &str,
+) -> (String, Arc<StreamletHandle>, Arc<FusedShared>) {
+    let unit = match (members.first(), members.last()) {
+        (Some(a), Some(b)) => format!("fused:{}..{}", a.instance, b.instance),
+        _ => "fused:".to_string(),
+    };
+    let shared = FusedShared::new(unit.clone(), members);
+    let handle = StreamletHandle::with_executor(
+        &unit,
+        "fused",
+        true, // stateful: a fused logic must never enter the stateless pool
+        Box::new(FusedLogic::new(shared.clone())),
+        deps.msg_pool.clone(),
+        deps.mode,
+        Some(session.clone()),
+        deps.route_opts.clone(),
+        deps.executor.clone(),
+    );
+    handle.set_batch_max(deps.batching.batch_max);
+    if let Some(sup) = &deps.supervisor {
+        let dir = deps.directory.clone();
+        let roster = shared.clone();
+        sup.supervise(
+            &handle,
+            move || {
+                if let Some((idx, key)) = roster.faulted_member_key() {
+                    let fresh = dir.create(&key)?;
+                    roster.install_member_logic(idx, fresh);
+                }
+                Ok(Box::new(FusedLogic::new(roster.clone())) as Box<dyn StreamletLogic>)
+            },
+            Some(stream.to_string()),
+        );
+    }
+    (unit, handle, shared)
+}
+
+/// Deploy-time fusion of one planned run: checks each member's logic out
+/// of the pool and assembles the run into a single execution unit, keeping
+/// the collapsed channel/connection rows so fission can resurrect them.
+fn build_fused_unit(
+    run: &FusedRun,
+    table: &ConfigTable,
+    defs: &BTreeMap<String, StreamletSpec>,
+    deps: &StreamDeps,
+    session: &SessionId,
+    stream: &str,
+) -> Result<(String, Arc<StreamletHandle>, FusedInfo), CoreError> {
+    let mut members = Vec::with_capacity(run.members.len());
+    for name in &run.members {
+        let row = table.instance(name).ok_or_else(|| CoreError::NotFound {
+            kind: "streamlet instance",
+            name: name.clone(),
+        })?;
+        let spec = defs.get(&row.def).ok_or_else(|| CoreError::NotFound {
+            kind: "streamlet definition",
+            name: row.def.clone(),
+        })?;
+        let (Some(pin), Some(pout)) = (spec.inputs.first(), spec.outputs.first()) else {
+            return Err(CoreError::Reconfig {
+                message: format!("fused member `{name}` must have 1 input + 1 output"),
+            });
+        };
+        let key = deps
+            .directory
+            .resolve_key(&spec.library, &spec.name)
+            .to_string();
+        let logic = deps.streamlet_pool.checkout(&key, &deps.directory)?;
+        members.push(FusedMember {
+            instance: name.clone(),
+            def: row.def.clone(),
+            key,
+            in_port: pin.0.clone(),
+            out_port: pout.0.clone(),
+            logic: Some(logic),
+            errors: 0,
+        });
+    }
+    let (unit, handle, shared) = assemble_fused_handle(members, deps, session, stream);
+    let interior_channels = run
+        .interior_channels
+        .iter()
+        .filter_map(|n| table.channel(n).cloned())
+        .collect();
+    let interior_connections = run
+        .interior_channels
+        .iter()
+        .filter_map(|n| table.connections.iter().find(|c| &c.channel == n).cloned())
+        .collect();
+    Ok((
+        unit,
+        handle,
+        FusedInfo {
+            shared,
+            interior_channels,
+            interior_connections,
+        },
+    ))
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
@@ -1188,6 +1743,7 @@ mod tests {
             executor: crate::executor::default_executor(),
             supervisor: None,
             batching: BatchConfig::default(),
+            fusion: false,
         }
     }
 

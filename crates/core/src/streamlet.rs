@@ -103,6 +103,19 @@ pub trait StreamletLogic: Send {
         Ok(())
     }
 
+    /// True when this logic may be **chain-fused** with adjacent fusable
+    /// streamlets (see `fusion.rs`): members of a fused unit run
+    /// back-to-back on one driver, handing each emission directly to the
+    /// next member instead of crossing a `MessageQueue`. Only opt in when
+    /// `process` is a pure per-message transform — nothing may observe
+    /// the missing channel boundary (no cross-message buffering, no
+    /// reliance on queue backpressure or on running concurrently with its
+    /// neighbors). Stateless pooling-eligible transforms qualify; the
+    /// default is conservative.
+    fn fusable(&self) -> bool {
+        false
+    }
+
     /// Lifecycle hook: the streamlet (re)starts running.
     fn on_activate(&mut self) {}
 
@@ -203,6 +216,14 @@ struct Shared {
     exited: AtomicBool,
     inputs: RwLock<Vec<(String, Arc<MessageQueue>)>>,
     outputs: RwLock<Vec<(String, Arc<MessageQueue>)>>,
+    /// Monotonic generation of the `outputs` binding table, bumped *after*
+    /// every mutation (`attach_out`/`detach_out`/`detach_all`). Readers of
+    /// `route_memo` compare against it to invalidate stale entries, so the
+    /// per-message hot path never re-resolves a port against the `RwLock`d
+    /// table while the wiring is stable.
+    route_epoch: AtomicU64,
+    /// Per-port resolved routes, valid for one `route_epoch` generation.
+    route_memo: Mutex<RouteMemo>,
     processed: AtomicU64,
     emitted: AtomicU64,
     dropped_unrouted: AtomicU64,
@@ -258,6 +279,17 @@ struct ControlRequest {
     done: ControlSlot,
 }
 
+/// Cached routing-table resolutions (satellite of the fusion PR): the
+/// coordination plane mutates port wiring rarely (deploy, Figure 7-4
+/// reconfiguration) while the execution plane resolves a port on every
+/// emission, so each resolved port keeps its target list here until the
+/// epoch moves. Port counts are tiny (1–2), so a `Vec` scan beats hashing.
+#[derive(Default)]
+struct RouteMemo {
+    epoch: u64,
+    entries: Vec<(String, Vec<Arc<MessageQueue>>)>,
+}
+
 impl Shared {
     fn route_outputs(&self, outs: Vec<(String, MimeMessage)>) {
         // Per-queue payload runs, flushed with `post_all` so a batch of
@@ -265,14 +297,7 @@ impl Shared {
         // by queue identity; order within a queue is emission order.
         let mut runs: Vec<(Arc<MessageQueue>, Vec<Payload>)> = Vec::new();
         for (port, msg) in outs {
-            let mut targets: Vec<Arc<MessageQueue>> = {
-                let outputs = self.outputs.read();
-                outputs
-                    .iter()
-                    .filter(|(p, _)| *p == port)
-                    .map(|(_, q)| q.clone())
-                    .collect()
-            };
+            let mut targets = self.resolve_route(&port);
             if self.route_opts.enforce_types {
                 let ty = msg.content_type();
                 let before = targets.len();
@@ -326,6 +351,39 @@ impl Shared {
         }
     }
 
+    /// Resolves the channels bound to output `port` through the
+    /// epoch-invalidated memo. The epoch is loaded *before* the binding
+    /// table is read, so a concurrent rewiring either invalidates what we
+    /// cache (its bump lands after our load) or is what we cache — a memo
+    /// entry can never outlive the next post-mutation lookup. The
+    /// per-message type check (`enforce_types`) stays outside the memo:
+    /// it depends on each message's content type, not on the wiring.
+    fn resolve_route(&self, port: &str) -> Vec<Arc<MessageQueue>> {
+        let epoch = self.route_epoch.load(Ordering::Acquire);
+        let mut memo = self.route_memo.lock();
+        if memo.epoch != epoch {
+            memo.entries.clear();
+            memo.epoch = epoch;
+        }
+        if let Some((_, targets)) = memo.entries.iter().find(|(p, _)| p == port) {
+            return targets.clone();
+        }
+        let targets: Vec<Arc<MessageQueue>> = self
+            .outputs
+            .read()
+            .iter()
+            .filter(|(p, _)| p == port)
+            .map(|(_, q)| q.clone())
+            .collect();
+        memo.entries.push((port.to_string(), targets.clone()));
+        targets
+    }
+
+    /// Invalidate the route memo after an output-binding mutation.
+    fn bump_route_epoch(&self) {
+        self.route_epoch.fetch_add(1, Ordering::Release);
+    }
+
     /// Retries every parked output in emission order; entries whose drop
     /// deadline has passed are accounted as `dropped_full` on their queue.
     /// Returns `true` when the buffer ended up empty (the task may consume
@@ -342,6 +400,16 @@ impl Shared {
         let mut stuck: VecDeque<(Arc<MessageQueue>, Payload, Instant)> = VecDeque::new();
         let now = Instant::now();
         for (q, payload, deadline) in items {
+            // Figure 6-9: the wait budget `T` elapsed while the entry was
+            // parked, so it drops — charged via `discard_expired`, the
+            // single `dropped_full` charge site — *before* any retry. An
+            // expired entry must never race a successful late post (which
+            // would deliver it *and* leave it eligible for a second charge
+            // on a later flush) nor be charged once per flush round.
+            if now >= deadline {
+                q.discard_expired(payload);
+                continue;
+            }
             // Per-queue FIFO: once one of a queue's messages is stuck,
             // everything later for that queue stays parked behind it.
             if stuck.iter().any(|(sq, _, _)| Arc::ptr_eq(sq, &q)) {
@@ -350,13 +418,7 @@ impl Shared {
             }
             match q.post_nowait(payload) {
                 Ok(_) => {}
-                Err(p) => {
-                    if now >= deadline {
-                        q.discard_expired(p);
-                    } else {
-                        stuck.push_back((q, p, deadline));
-                    }
-                }
+                Err(p) => stuck.push_back((q, p, deadline)),
             }
         }
         let empty = stuck.is_empty();
@@ -498,6 +560,8 @@ impl StreamletHandle {
                 exited: AtomicBool::new(false),
                 inputs: RwLock::new(Vec::new()),
                 outputs: RwLock::new(Vec::new()),
+                route_epoch: AtomicU64::new(0),
+                route_memo: Mutex::new(RouteMemo::default()),
                 processed: AtomicU64::new(0),
                 emitted: AtomicU64::new(0),
                 dropped_unrouted: AtomicU64::new(0),
@@ -644,6 +708,7 @@ impl StreamletHandle {
             .outputs
             .write()
             .push((port.to_string(), q.clone()));
+        self.shared.bump_route_epoch();
     }
 
     /// Unbinds the channel named `chan` from input `port`.
@@ -674,6 +739,7 @@ impl StreamletHandle {
             })?;
         let (_, q) = outputs.remove(idx);
         drop(outputs);
+        self.shared.bump_route_epoch();
         q.remove_space_listener(&self.shared.notifier);
         q.detach_source()
     }
@@ -717,6 +783,7 @@ impl StreamletHandle {
             }
             *outputs = kept;
         }
+        self.shared.bump_route_epoch();
         match first_err {
             Some(e) => Err(e),
             None => Ok(()),
@@ -741,6 +808,46 @@ impl StreamletHandle {
             .iter()
             .map(|(p, q)| (p.clone(), q.config().name.clone()))
             .collect()
+    }
+
+    /// Input bindings with their live queues (port, queue). Fission uses
+    /// this to hand a fused unit's exact attachments to the re-materialized
+    /// member instances before the unit detaches.
+    pub fn bound_inputs(&self) -> Vec<(String, Arc<MessageQueue>)> {
+        self.shared.inputs.read().clone()
+    }
+
+    /// Output bindings with their live queues (port, queue).
+    pub fn bound_outputs(&self) -> Vec<(String, Arc<MessageQueue>)> {
+        self.shared.outputs.read().clone()
+    }
+
+    /// Retries parked outputs once (see `flush_pending`); returns `true`
+    /// when the overflow buffer is empty afterwards. Fission drains a
+    /// paused unit's parked emissions through this before re-materializing
+    /// its members, so no in-flight output is lost with the old handle.
+    pub fn flush_pending_outputs(&self) -> bool {
+        self.shared.flush_pending()
+    }
+
+    /// Moves this handle's entire redelivery stash out (message, fault
+    /// count), preserving order. Fission transplants the stash into the
+    /// first re-materialized member so faulted-batch replays survive the
+    /// split.
+    pub fn drain_redelivery(&self) -> Vec<(MimeMessage, u32)> {
+        self.shared.redelivery.lock().drain(..).collect()
+    }
+
+    /// Prepends messages to the redelivery stash in order (the transplant
+    /// counterpart of [`Self::drain_redelivery`]). Redelivered messages
+    /// are processed before fresh input, one at a time.
+    pub fn stash_redelivery(&self, msgs: Vec<(MimeMessage, u32)>) {
+        let mut redelivery = self.shared.redelivery.lock();
+        for entry in msgs.into_iter().rev() {
+            redelivery.push_front(entry);
+        }
+        drop(redelivery);
+        self.shared.notifier.notify();
     }
 
     // --- lifecycle ---------------------------------------------------------
@@ -963,11 +1070,13 @@ impl StreamletHandle {
 
     /// Gives up on a `Faulted` instance (`Faulted` → `Quarantined`): it
     /// stays wired but processes nothing until a reconfiguration bypasses
-    /// or removes it.
+    /// or removes it. Also accepted from `Created` — quarantine-fission
+    /// re-materializes the faulted member of a fused unit as a discrete,
+    /// never-started instance that must carry the quarantine over.
     pub fn quarantine(&self) -> Result<(), CoreError> {
         let mut state = self.shared.state.lock();
         match *state {
-            LifecycleState::Faulted => {
+            LifecycleState::Faulted | LifecycleState::Created => {
                 *state = LifecycleState::Quarantined;
                 self.shared.cv.notify_all();
                 drop(state);
@@ -1501,10 +1610,19 @@ impl StreamletTask {
     }
 
     /// Discards outputs still parked behind full queues so the pool's
-    /// reference accounting balances when the task exits.
+    /// reference accounting balances when the task exits. Entries whose
+    /// Figure 6-9 deadline already passed are overflow drops the next
+    /// flush would have charged — charge them now (exactly once, via the
+    /// single charge site); entries still inside their budget are a
+    /// teardown artifact, not an overflow, and stay uncharged.
     fn drain_pending_out(&self) {
-        for (_, payload, _) in self.shared.pending_out.lock().drain(..) {
-            self.shared.pool.discard(payload);
+        let now = Instant::now();
+        for (q, payload, deadline) in self.shared.pending_out.lock().drain(..) {
+            if now >= deadline {
+                q.discard_expired(payload);
+            } else {
+                self.shared.pool.discard(payload);
+            }
         }
     }
 
@@ -1551,7 +1669,7 @@ enum Step {
 }
 
 /// Extracts the human-readable text of a caught panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -1871,5 +1989,131 @@ mod tests {
             "value mode never touches the pool"
         );
         h.end();
+    }
+
+    #[test]
+    fn route_memo_follows_rewiring() {
+        let (_pool, _qin, _qout, h) = pipeline();
+        // First resolution populates the memo, second one hits it.
+        assert_eq!(h.shared.resolve_route("po").len(), 1);
+        assert_eq!(h.shared.resolve_route("po").len(), 1);
+        // A new binding bumps the epoch: the memo may not serve the stale
+        // single-target route.
+        let extra = MessageQueue::new(
+            QueueConfig {
+                name: "extra".into(),
+                ..Default::default()
+            },
+            h.shared.pool.clone(),
+        );
+        h.attach_out("po", &extra);
+        assert_eq!(h.shared.resolve_route("po").len(), 2);
+        h.detach_out("po", "extra").unwrap();
+        assert_eq!(h.shared.resolve_route("po").len(), 1);
+        // Unknown ports memoize as empty, not as an error.
+        assert!(h.shared.resolve_route("nope").is_empty());
+    }
+
+    #[test]
+    fn expired_pending_out_charged_exactly_once() {
+        let pool = Arc::new(MessagePool::new());
+        let qin = MessageQueue::new(QueueConfig::default(), pool.clone());
+        // A queue whose byte budget is exhausted by its first message and
+        // whose Figure 6-9 wait budget is tiny.
+        let qout = MessageQueue::new(
+            QueueConfig {
+                name: "tiny".into(),
+                capacity_bytes: 1,
+                full_wait: Duration::from_millis(10),
+                ..Default::default()
+            },
+            pool.clone(),
+        );
+        let h = StreamletHandle::new(
+            "u1",
+            "upper",
+            false,
+            Box::new(Upper),
+            pool.clone(),
+            PayloadMode::Reference,
+            None,
+        );
+        h.attach_in("pi", &qin);
+        h.attach_out("po", &qout);
+        h.shared.nonblocking_outputs.store(true, Ordering::Relaxed);
+        // Oversized-head admission fills the queue past its budget…
+        assert_eq!(
+            qout.post(pool.wrap(MimeMessage::text("head"), PayloadMode::Reference, 1)),
+            PostResult::Posted
+        );
+        // …so this emission is refused and parked with its drop deadline.
+        h.shared
+            .route_outputs(vec![("po".to_string(), MimeMessage::text("parked"))]);
+        assert_eq!(h.pending_outputs(), 1);
+        assert_eq!(qout.stats().dropped_full, 0);
+        std::thread::sleep(Duration::from_millis(20));
+        // Space frees up before the flush — the entry is expired anyway
+        // and must drop (Figure 6-9), charged exactly once.
+        let _ = fetch_text(&pool, &qout);
+        assert!(h.shared.flush_pending());
+        assert_eq!(qout.stats().dropped_full, 1);
+        // Regression: repeated flushes after expiry must not re-charge,
+        // and the expired entry must not have been delivered late.
+        assert!(h.shared.flush_pending());
+        assert!(h.shared.flush_pending());
+        assert_eq!(qout.stats().dropped_full, 1);
+        assert!(matches!(
+            qout.fetch(Duration::from_millis(20)),
+            FetchResult::Empty
+        ));
+        assert_eq!(pool.stats().resident, 0, "dropped payload fully released");
+    }
+
+    #[test]
+    fn teardown_charges_only_expired_pending_out() {
+        let pool = Arc::new(MessagePool::new());
+        let qin = MessageQueue::new(QueueConfig::default(), pool.clone());
+        let qout = MessageQueue::new(
+            QueueConfig {
+                name: "tiny".into(),
+                capacity_bytes: 1,
+                full_wait: Duration::from_millis(10),
+                ..Default::default()
+            },
+            pool.clone(),
+        );
+        let h = StreamletHandle::new(
+            "u1",
+            "upper",
+            false,
+            Box::new(Upper),
+            pool.clone(),
+            PayloadMode::Reference,
+            None,
+        );
+        h.attach_in("pi", &qin);
+        h.attach_out("po", &qout);
+        h.shared.nonblocking_outputs.store(true, Ordering::Relaxed);
+        assert_eq!(
+            qout.post(pool.wrap(MimeMessage::text("head"), PayloadMode::Reference, 1)),
+            PostResult::Posted
+        );
+        h.shared
+            .route_outputs(vec![("po".to_string(), MimeMessage::text("parked"))]);
+        assert_eq!(h.pending_outputs(), 1);
+        std::thread::sleep(Duration::from_millis(20));
+        // Ending the (started) streamlet drains the overflow buffer; the
+        // entry sat past its deadline, so the teardown books the drop.
+        h.start().unwrap();
+        h.end();
+        assert_eq!(qout.stats().dropped_full, 1);
+    }
+
+    #[test]
+    fn quarantine_accepts_created_instances() {
+        let (_pool, _qin, _qout, h) = pipeline();
+        h.quarantine().unwrap();
+        assert_eq!(h.state(), LifecycleState::Quarantined);
+        assert!(h.start().is_err(), "a quarantined instance never starts");
     }
 }

@@ -383,7 +383,13 @@ impl Supervisor {
         self.work.stop.store(true, Ordering::Release);
         self.work.cv.notify_all();
         if let Some(h) = self.worker.lock().take() {
-            let _ = h.join();
+            // The worker loop upgrades its Weak while handling a job, so the
+            // last Arc can die *on the worker thread* (Drop → shutdown here).
+            // Joining ourselves would EDEADLK; the stop flag is already set,
+            // so detaching lets the loop exit on its own right after this.
+            if std::thread::current().id() != h.thread().id() {
+                let _ = h.join();
+            }
         }
     }
 

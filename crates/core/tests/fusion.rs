@@ -1,0 +1,324 @@
+//! Chain fusion / fission integration tests:
+//!
+//! * a fused deployment collapses a maximal fusable run into one execution
+//!   unit while producing byte-identical output to the discrete topology;
+//! * a property test feeding the same random message sequence through a
+//!   fused and an unfused deployment of the same MCL script and requiring
+//!   observational equivalence (same bodies, same order);
+//! * fission under load — a reconfiguration addressed at fused members
+//!   splits the unit mid-burst with zero message loss;
+//! * member-granular quarantine — a poisoned member inside a fused unit is
+//!   quarantined *alone*; surviving contiguous segments re-fuse.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use mobigate_core::stream::{RunningStream, StreamDeps};
+use mobigate_core::{
+    default_executor, CoreError, Emitter, LifecycleState, MessagePool, MobiGate, PayloadMode,
+    RouteOpts, ServerConfig, StreamletCtx, StreamletDirectory, StreamletLogic, StreamletPool,
+};
+use mobigate_mcl::compile::compile;
+use mobigate_mime::{MimeMessage, SessionId};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Appends a marker character to text bodies and opts into fusion.
+struct FTag(char);
+impl StreamletLogic for FTag {
+    fn process(&mut self, msg: MimeMessage, ctx: &mut StreamletCtx) -> Result<(), CoreError> {
+        let mut s = String::from_utf8_lossy(&msg.body).into_owned();
+        s.push(self.0);
+        let mut out = msg.clone();
+        out.set_body(s.into_bytes());
+        ctx.emit("po", out);
+        Ok(())
+    }
+    fn fusable(&self) -> bool {
+        true
+    }
+}
+
+/// Fusable, but panics on any body starting with `boom`.
+struct Boom;
+impl StreamletLogic for Boom {
+    fn process(&mut self, msg: MimeMessage, ctx: &mut StreamletCtx) -> Result<(), CoreError> {
+        if msg.body.starts_with(b"boom") {
+            panic!("boom poison");
+        }
+        let mut s = String::from_utf8_lossy(&msg.body).into_owned();
+        s.push('b');
+        let mut out = msg.clone();
+        out.set_body(s.into_bytes());
+        ctx.emit("po", out);
+        Ok(())
+    }
+    fn fusable(&self) -> bool {
+        true
+    }
+}
+
+fn deps(fusion: bool) -> StreamDeps {
+    let directory = Arc::new(StreamletDirectory::new());
+    directory.register("fuse/tag_a", "", || Box::new(FTag('a')));
+    directory.register("fuse/tag_b", "", || Box::new(FTag('b')));
+    directory.register("fuse/tag_c", "", || Box::new(FTag('c')));
+    StreamDeps {
+        msg_pool: Arc::new(MessagePool::new()),
+        directory,
+        streamlet_pool: Arc::new(StreamletPool::new(16)),
+        mode: PayloadMode::Reference,
+        route_opts: RouteOpts::default(),
+        executor: default_executor(),
+        supervisor: None,
+        batching: Default::default(),
+        fusion,
+    }
+}
+
+/// Three fusable streamlets in a chain, no `when` rules: the whole run is
+/// eligible, so a fused deployment collapses f1→f2→f3 into one unit.
+const CHAIN: &str = r#"
+    streamlet ftag_a {
+        port { in pi : text/plain; out po : text/plain; }
+        attribute { type = STATELESS; library = "fuse/tag_a"; }
+    }
+    streamlet ftag_b {
+        port { in pi : text/plain; out po : text/plain; }
+        attribute { type = STATELESS; library = "fuse/tag_b"; }
+    }
+    streamlet ftag_c {
+        port { in pi : text/plain; out po : text/plain; }
+        attribute { type = STATELESS; library = "fuse/tag_c"; }
+    }
+    main stream app {
+        streamlet f1 = new-streamlet (ftag_a);
+        streamlet f2 = new-streamlet (ftag_b);
+        streamlet f3 = new-streamlet (ftag_c);
+        connect (f1.po, f2.pi);
+        connect (f2.po, f3.pi);
+    }
+"#;
+
+fn deploy_chain(fusion: bool) -> (Arc<RunningStream>, StreamDeps) {
+    let program = compile(CHAIN).unwrap();
+    let d = deps(fusion);
+    let stream = RunningStream::deploy(
+        program.main().unwrap(),
+        &program.streamlet_defs,
+        d.clone(),
+        SessionId::new(if fusion { "fused" } else { "unfused" }),
+    )
+    .unwrap();
+    (stream, d)
+}
+
+fn roundtrip(stream: &RunningStream, text: &str) -> String {
+    stream.post_input(MimeMessage::text(text)).unwrap();
+    let out = stream.take_output(Duration::from_secs(5)).expect("output");
+    String::from_utf8_lossy(&out.body).into_owned()
+}
+
+#[test]
+fn fused_deploy_collapses_chain_and_processes() {
+    let (stream, _) = deploy_chain(true);
+    assert_eq!(
+        stream.instance_names(),
+        vec!["fused:f1..f3".to_string()],
+        "the whole run collapses into one execution unit"
+    );
+    assert_eq!(roundtrip(&stream, "x"), "xabc");
+    let stats = stream.stats();
+    assert_eq!(stats.injected, 1);
+    assert_eq!(stats.delivered, 1);
+    stream.shutdown();
+}
+
+#[test]
+fn unfused_control_keeps_discrete_instances() {
+    let (stream, _) = deploy_chain(false);
+    assert_eq!(stream.instance_names(), vec!["f1", "f2", "f3"]);
+    assert_eq!(roundtrip(&stream, "x"), "xabc");
+    stream.shutdown();
+}
+
+#[test]
+fn fused_members_return_to_pool_on_shutdown() {
+    let (stream, d) = deploy_chain(true);
+    assert_eq!(roundtrip(&stream, "x"), "xabc");
+    stream.shutdown();
+    // The FusedLogic wrapper is stateful and never pooled, but each member
+    // logic is an ordinary pooling-eligible object.
+    for key in ["fuse/tag_a", "fuse/tag_b", "fuse/tag_c"] {
+        assert_eq!(d.streamlet_pool.idle_count(key), 1, "{key}");
+    }
+}
+
+#[test]
+fn insert_addressed_at_members_triggers_fission() {
+    let (stream, _) = deploy_chain(true);
+    assert_eq!(roundtrip(&stream, "x"), "xabc");
+    // `mid` splices between f1 and f2 — both currently run fused, so the
+    // pre-pass must split the unit back into discrete instances first.
+    stream
+        .insert_streamlet(("f1", "po"), ("f2", "pi"), "mid", "ftag_c")
+        .unwrap();
+    let names = stream.instance_names();
+    for want in ["f1", "f2", "f3", "mid"] {
+        assert!(
+            names.contains(&want.to_string()),
+            "{want} missing: {names:?}"
+        );
+    }
+    assert!(
+        !names.iter().any(|n| n.starts_with("fused:")),
+        "fission must fully re-materialize the run: {names:?}"
+    );
+    assert_eq!(roundtrip(&stream, "y"), "yacbc");
+    stream.shutdown();
+}
+
+#[test]
+fn fission_under_load_loses_nothing() {
+    let (stream, _) = deploy_chain(true);
+    let n = 200;
+    let stream2 = stream.clone();
+    let producer = std::thread::spawn(move || {
+        for i in 0..n {
+            stream2
+                .post_input(MimeMessage::text(format!("m{i}")))
+                .unwrap();
+            if i == n / 2 {
+                stream2
+                    .insert_streamlet(("f1", "po"), ("f2", "pi"), "mid", "ftag_c")
+                    .unwrap();
+            }
+        }
+    });
+    let mut got = 0;
+    while got < n {
+        match stream.take_output(Duration::from_secs(5)) {
+            Some(_) => got += 1,
+            None => break,
+        }
+    }
+    producer.join().unwrap();
+    assert_eq!(got, n, "all {n} messages must survive the fission");
+    assert!(stream.instance_names().contains(&"mid".to_string()));
+    stream.shutdown();
+}
+
+#[test]
+fn member_panic_quarantines_only_that_member() {
+    let mut cfg = ServerConfig {
+        fusion: true,
+        ..Default::default()
+    };
+    // No restart budget: the first fault quarantines immediately.
+    cfg.supervision.policy.max_restarts = 0;
+    let gate = MobiGate::with_config(
+        cfg,
+        Arc::new(StreamletDirectory::new()),
+        Arc::new(StreamletPool::new(16)),
+    );
+    gate.directory()
+        .register("fuse/tag_a", "", || Box::new(FTag('a')));
+    gate.directory()
+        .register("fuse/boom", "", || Box::new(Boom));
+    gate.directory()
+        .register("fuse/tag_c", "", || Box::new(FTag('c')));
+    gate.directory()
+        .register("fuse/tag_d", "", || Box::new(FTag('d')));
+    let stream = gate
+        .deploy_mcl(
+            r#"
+            streamlet ftag_a {
+                port { in pi : text/plain; out po : text/plain; }
+                attribute { type = STATELESS; library = "fuse/tag_a"; }
+            }
+            streamlet fboom {
+                port { in pi : text/plain; out po : text/plain; }
+                attribute { type = STATELESS; library = "fuse/boom"; }
+            }
+            streamlet ftag_c {
+                port { in pi : text/plain; out po : text/plain; }
+                attribute { type = STATELESS; library = "fuse/tag_c"; }
+            }
+            streamlet ftag_d {
+                port { in pi : text/plain; out po : text/plain; }
+                attribute { type = STATELESS; library = "fuse/tag_d"; }
+            }
+            main stream app {
+                streamlet f1 = new-streamlet (ftag_a);
+                streamlet f2 = new-streamlet (fboom);
+                streamlet f3 = new-streamlet (ftag_c);
+                streamlet f4 = new-streamlet (ftag_d);
+                connect (f1.po, f2.pi);
+                connect (f2.po, f3.pi);
+                connect (f3.po, f4.pi);
+            }
+        "#,
+        )
+        .unwrap();
+    assert_eq!(stream.instance_names(), vec!["fused:f1..f4".to_string()]);
+    assert_eq!(roundtrip(&stream, "ok"), "okabcd");
+
+    // Poison member f2. The supervisor quarantines the unit, raises
+    // STREAMLET_FAULT, and fault-driven fission splits the run around the
+    // poisoned member.
+    stream.post_input(MimeMessage::text("boom")).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while std::time::Instant::now() < deadline {
+        if stream.instance_names().iter().any(|n| n == "f2") {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let names = stream.instance_names();
+    assert!(names.contains(&"f1".to_string()), "{names:?}");
+    assert!(names.contains(&"f2".to_string()), "{names:?}");
+    assert!(
+        names.contains(&"fused:f3..f4".to_string()),
+        "the surviving downstream segment must re-fuse: {names:?}"
+    );
+    assert!(!names.contains(&"fused:f1..f4".to_string()), "{names:?}");
+    // Only the poisoned member is quarantined; its neighbours keep running.
+    let state = |n: &str| stream.instance(n).unwrap().state();
+    assert_eq!(state("f2"), LifecycleState::Quarantined);
+    assert_eq!(state("f1"), LifecycleState::Running);
+    assert_eq!(state("fused:f3..f4"), LifecycleState::Running);
+    stream.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    /// Fusion is a pure scheduling optimization: under a non-saturating
+    /// load (no interior queue ever overflows) a fused deployment is
+    /// observationally equivalent to the discrete one — identical bodies
+    /// in identical order.
+    #[test]
+    fn fused_stream_matches_unfused_stream(tags in prop::collection::vec(any::<u8>(), 1..24)) {
+        let (fused, _) = deploy_chain(true);
+        let (unfused, _) = deploy_chain(false);
+        for (i, t) in tags.iter().enumerate() {
+            let text = format!("m{i}-{t}");
+            fused.post_input(MimeMessage::text(text.clone())).unwrap();
+            unfused.post_input(MimeMessage::text(text)).unwrap();
+        }
+        let drain = |s: &RunningStream| -> Vec<String> {
+            (0..tags.len())
+                .map(|_| {
+                    let out = s.take_output(Duration::from_secs(5)).expect("output");
+                    String::from_utf8_lossy(&out.body).into_owned()
+                })
+                .collect()
+        };
+        let out_fused = drain(&fused);
+        let out_unfused = drain(&unfused);
+        prop_assert_eq!(out_fused, out_unfused);
+        fused.shutdown();
+        unfused.shutdown();
+    }
+}

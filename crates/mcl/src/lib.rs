@@ -50,6 +50,7 @@ pub mod compile;
 pub mod config;
 pub mod error;
 pub mod events;
+pub mod fusion;
 pub mod lexer;
 pub mod model;
 pub mod parser;
@@ -59,4 +60,5 @@ pub use compile::{compile, compile_with_registry};
 pub use config::{ChannelSpec, ConfigTable, Program, StreamletSpec};
 pub use error::{MclError, Span};
 pub use events::{EventCategory, EventKind};
+pub use fusion::{FusedRun, FusionPlan};
 pub use model::{verify_program, verify_table, ModelViolation};

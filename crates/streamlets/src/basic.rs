@@ -68,6 +68,13 @@ impl StreamletLogic for Redirector {
         true
     }
 
+    // The hop counter is diagnostic, not cross-message coupling: each
+    // message's transform is independent, so a redirector run can collapse
+    // into one fused unit.
+    fn fusable(&self) -> bool {
+        true
+    }
+
     fn process_batch(
         &mut self,
         msgs: Vec<MimeMessage>,
@@ -208,6 +215,11 @@ impl StreamletLogic for PowerSaving {
         out.headers.set("X-Power-Saving", "on");
         ctx.emit("po", out);
         Ok(())
+    }
+
+    // Pure per-message degradation: safe to chain-fuse.
+    fn fusable(&self) -> bool {
+        true
     }
 }
 

@@ -50,6 +50,11 @@ impl StreamletLogic for TextCompress {
         true
     }
 
+    // Pure per-message transform: eligible for chain fusion.
+    fn fusable(&self) -> bool {
+        true
+    }
+
     fn process_batch(
         &mut self,
         msgs: Vec<MimeMessage>,
@@ -86,6 +91,11 @@ impl StreamletLogic for TextDecompress {
 
     // Stateless transform: batches share one dispatch and panic boundary.
     fn supports_batch(&self) -> bool {
+        true
+    }
+
+    // Pure per-message transform: eligible for chain fusion.
+    fn fusable(&self) -> bool {
         true
     }
 

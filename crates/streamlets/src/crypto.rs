@@ -80,6 +80,13 @@ impl StreamletLogic for Encrypt {
     fn reset(&mut self) {
         self.counter = 0;
     }
+
+    // The nonce counter only orders nonces; each message's transform is
+    // self-contained (nonce travels in the header), so fusion — which
+    // preserves sequential processing on one driver — is safe.
+    fn fusable(&self) -> bool {
+        true
+    }
 }
 
 /// The client-side peer: reverses [`Encrypt`].
@@ -116,6 +123,11 @@ impl StreamletLogic for Decrypt {
         out.headers.remove(NONCE_HEADER);
         ctx.emit("po", out);
         Ok(())
+    }
+
+    // Pure per-message transform: eligible for chain fusion.
+    fn fusable(&self) -> bool {
+        true
     }
 }
 

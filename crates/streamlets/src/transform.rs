@@ -56,6 +56,11 @@ impl StreamletLogic for ImgDownSample {
         true
     }
 
+    // Pure per-message transform: eligible for chain fusion.
+    fn fusable(&self) -> bool {
+        true
+    }
+
     fn process_batch(
         &mut self,
         msgs: Vec<MimeMessage>,
@@ -111,6 +116,11 @@ impl StreamletLogic for MapTo16Grays {
         true
     }
 
+    // Pure per-message transform: eligible for chain fusion.
+    fn fusable(&self) -> bool {
+        true
+    }
+
     fn process_batch(
         &mut self,
         msgs: Vec<MimeMessage>,
@@ -151,6 +161,11 @@ impl StreamletLogic for Gif2Jpeg {
 
     // Stateless codec: batches share one dispatch and panic boundary.
     fn supports_batch(&self) -> bool {
+        true
+    }
+
+    // Pure per-message transform: eligible for chain fusion.
+    fn fusable(&self) -> bool {
         true
     }
 
@@ -220,6 +235,11 @@ impl StreamletLogic for Postscript2Text {
 
     // Stateless codec: batches share one dispatch and panic boundary.
     fn supports_batch(&self) -> bool {
+        true
+    }
+
+    // Pure per-message transform: eligible for chain fusion.
+    fn fusable(&self) -> bool {
         true
     }
 

@@ -73,6 +73,9 @@ pub struct TestbedConfig {
     pub executor: ExecutorConfig,
     /// Message-pool shard count override (`None` = auto).
     pub pool_shards: Option<usize>,
+    /// Chain fusion: collapse fusable streamlet runs into single execution
+    /// units on the server (ablation).
+    pub fusion: bool,
 }
 
 impl Default for TestbedConfig {
@@ -85,6 +88,7 @@ impl Default for TestbedConfig {
             runtime_type_check: false,
             executor: ExecutorConfig::default(),
             pool_shards: None,
+            fusion: false,
         }
     }
 }
@@ -135,6 +139,7 @@ impl Testbed {
                 pool_shards: cfg.pool_shards,
                 supervision: Default::default(),
                 batching: Default::default(),
+                fusion: cfg.fusion,
             },
             Arc::new(mobigate_core::StreamletDirectory::new()),
             pool,
