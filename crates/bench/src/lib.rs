@@ -7,8 +7,10 @@ pub mod chaos;
 pub mod e2e;
 pub mod reconfig;
 pub mod report;
+pub mod sessions;
 
 pub use chain::ChainHarness;
 pub use chaos::{chaos_server_config, run_chaos, with_quiet_panics, ChaosConfig, ChaosOutcome};
 pub use e2e::{end_to_end_point, E2EPoint};
 pub use reconfig::{reconfig_time, reconfig_time_with};
+pub use sessions::{run_sessions, SessionsConfig, SessionsOutcome};

@@ -12,35 +12,70 @@
 //! counter (`streamlet.rs::Shared::resolve_route`) that every rewiring
 //! bumps, so reconfigurations here invalidate the caches without the data
 //! path ever taking the coordination locks.
+//!
+//! ## Sharding (session plane)
+//!
+//! The routing table itself ("the configuration table acts as the routing
+//! table", §3.3.1) is split into power-of-two shards keyed by session ID,
+//! matching the already-sharded `MessagePool`: deploying, reconfiguring,
+//! or tearing down one session locks only the shard its session hashes
+//! to, so churn on one user never serializes against lookups — or other
+//! churn — on the other `shards − 1` of the population.
 
 use crate::error::CoreError;
 use crate::events::{ContextEvent, EventManager, EventSubscriber};
 use crate::stream::{RunningStream, StreamDeps};
-use mobigate_mcl::config::Program;
-use mobigate_mcl::events::EventCategory;
+use mobigate_mcl::config::{ConfigTable, Program, StreamletSpec};
 use mobigate_mime::SessionId;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+type StreamShard = Mutex<HashMap<SessionId, Arc<RunningStream>>>;
 
 /// Deploys and tracks running streams.
 pub struct CoordinationManager {
     deps: StreamDeps,
     events: Arc<EventManager>,
-    streams: Mutex<HashMap<SessionId, Arc<RunningStream>>>,
+    shards: Box<[StreamShard]>,
+    mask: usize,
     next_session: AtomicU64,
 }
 
 impl CoordinationManager {
-    /// A manager over shared runtime services.
+    /// A manager over shared runtime services, sized to the machine.
     pub fn new(deps: StreamDeps, events: Arc<EventManager>) -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::with_shards(deps, events, cores.next_power_of_two().clamp(1, 64))
+    }
+
+    /// A manager with a fixed routing-table shard count (rounded up to a
+    /// power of two; `1` reproduces the original single-lock table).
+    pub fn with_shards(deps: StreamDeps, events: Arc<EventManager>, shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
         CoordinationManager {
             deps,
             events,
-            streams: Mutex::new(HashMap::new()),
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            mask: n - 1,
             next_session: AtomicU64::new(1),
         }
+    }
+
+    /// Number of routing-table shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a session's routing-table row lives in.
+    fn shard_for(&self, session: &SessionId) -> &StreamShard {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        session.as_str().hash(&mut h);
+        &self.shards[(h.finish() as usize) & self.mask]
     }
 
     /// Generates the next unique session ID (§4.4.3: "the system
@@ -51,9 +86,35 @@ impl CoordinationManager {
         SessionId::new(format!("{stream_name}-{n}"))
     }
 
-    /// Deploys one stream of a compiled program and subscribes it to the
-    /// event categories its `when` rules react to (plus System Command,
-    /// which every stream obeys for PAUSE/RESUME/END).
+    /// Deploys one configuration table under an explicit session identity
+    /// and subscribes the stream to the event categories its `when` rules
+    /// react to (plus System Command, which every stream obeys for
+    /// PAUSE/RESUME/END). This is the bottom of every deployment path —
+    /// `deploy` routes compiled programs here, and the session plane
+    /// (`session.rs`) feeds it template-instantiated tables directly,
+    /// skipping recompilation.
+    pub fn deploy_table(
+        &self,
+        table: &ConfigTable,
+        defs: &BTreeMap<String, StreamletSpec>,
+        session: SessionId,
+    ) -> Result<Arc<RunningStream>, CoreError> {
+        let stream = RunningStream::deploy(table, defs, self.deps.clone(), session.clone())?;
+
+        // Subscribe to the categories of interest (§6.4: streams subscribe
+        // to events of interest and ignore the flood of the rest).
+        let sub: Arc<dyn EventSubscriber> = stream.clone();
+        for c in stream.subscribed_categories() {
+            self.events.subscribe(c, &sub);
+        }
+
+        self.shard_for(&session)
+            .lock()
+            .insert(session, stream.clone());
+        Ok(stream)
+    }
+
+    /// Deploys one stream of a compiled program under a generated session.
     pub fn deploy(
         &self,
         program: &Program,
@@ -67,36 +128,7 @@ impl CoordinationManager {
                 name: stream_name.to_string(),
             })?;
         let session = self.next_session_id(stream_name);
-        let stream = RunningStream::deploy(
-            table,
-            &program.streamlet_defs,
-            self.deps.clone(),
-            session.clone(),
-        )?;
-
-        // Subscribe to the categories of interest (§6.4: streams subscribe
-        // to events of interest and ignore the flood of the rest).
-        let sub: Arc<dyn EventSubscriber> = stream.clone();
-        let mut categories: Vec<EventCategory> = table
-            .when_rules
-            .iter()
-            .map(|r| r.event.category())
-            .collect();
-        categories.push(EventCategory::SystemCommand);
-        if self.deps.fusion {
-            // Fault-driven fission: the stream must observe STREAMLET_FAULT
-            // events to split a quarantined fused unit around its poisoned
-            // member (see `stream.rs::fission_quarantined`).
-            categories.push(EventCategory::RuntimeFault);
-        }
-        categories.sort_by_key(|c| c.id());
-        categories.dedup();
-        for c in categories {
-            self.events.subscribe(c, &sub);
-        }
-
-        self.streams.lock().insert(session, stream.clone());
-        Ok(stream)
+        self.deploy_table(table, &program.streamlet_defs, session)
     }
 
     /// Deploys the program's `main` stream.
@@ -111,9 +143,21 @@ impl CoordinationManager {
     }
 
     /// Shuts a stream down and forgets it. Returns whether it existed.
+    ///
+    /// Teardown protocol: the routing-table row is removed first (new
+    /// lookups miss immediately), the stream is unsubscribed from every
+    /// event category it registered for (so 10k session teardowns do not
+    /// leave 10k dead weak entries for multicast to prune), and only then
+    /// is the stream shut down — outside the shard lock, because shutdown
+    /// waits on executor tasks and checks instances back into the pool.
     pub fn undeploy(&self, session: &SessionId) -> bool {
-        match self.streams.lock().remove(session) {
+        let removed = self.shard_for(session).lock().remove(session);
+        match removed {
             Some(stream) => {
+                let sub: Arc<dyn EventSubscriber> = stream.clone();
+                for c in stream.subscribed_categories() {
+                    self.events.unsubscribe(c, &sub);
+                }
                 stream.shutdown();
                 true
             }
@@ -121,14 +165,23 @@ impl CoordinationManager {
         }
     }
 
-    /// Live streams snapshot.
+    /// Live streams snapshot (all shards; no global order).
     pub fn streams(&self) -> Vec<Arc<RunningStream>> {
-        self.streams.lock().values().cloned().collect()
+        self.shards
+            .iter()
+            .flat_map(|s| s.lock().values().cloned().collect::<Vec<_>>())
+            .collect()
     }
 
-    /// Looks up a stream by session.
+    /// Number of live streams.
+    pub fn stream_count(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Looks up a stream by session — one shard lock, untouched by churn
+    /// on sessions hashing elsewhere.
     pub fn stream(&self, session: &SessionId) -> Option<Arc<RunningStream>> {
-        self.streams.lock().get(session).cloned()
+        self.shard_for(session).lock().get(session).cloned()
     }
 
     /// Raises a context event through the Event Manager; returns the number
@@ -142,10 +195,19 @@ impl CoordinationManager {
         &self.events
     }
 
+    /// The shared runtime services streams deploy against.
+    pub fn deps(&self) -> &StreamDeps {
+        &self.deps
+    }
+
     /// Shuts every stream down.
     pub fn shutdown_all(&self) {
-        for (_, stream) in self.streams.lock().drain() {
-            stream.shutdown();
+        for shard in self.shards.iter() {
+            // Collect under the lock, shut down outside it.
+            let drained: Vec<_> = shard.lock().drain().map(|(_, s)| s).collect();
+            for stream in drained {
+                stream.shutdown();
+            }
         }
     }
 }

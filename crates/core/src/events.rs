@@ -9,10 +9,26 @@
 //! **multicast**: every subscriber of the category receives the event, and
 //! a subscriber additionally filters on `evtSource` (an event targeted at a
 //! specific stream application is ignored by others).
+//!
+//! ## Sharding (session plane)
+//!
+//! With thousands of per-user sessions subscribed, one `RwLock` per
+//! category would make every deploy (a `subscribe` write) contend with
+//! every `when`-rule delivery. Each category's subscriber list is
+//! therefore split into power-of-two shards keyed by the *subscriber
+//! name* — the same identity `evtSource` targets — so a targeted event
+//! locks exactly one shard (the one its target lives in) and a session's
+//! subscribe/unsubscribe never touches the shard another session's
+//! delivery is reading. Broadcasts still sweep every shard; they are the
+//! rare whole-gateway signals (LOW_BANDWIDTH et al.), not the per-session
+//! hot path. Delivery semantics are shard-count independent; only the
+//! `filtered` counter narrows (a targeted event no longer *sees* — and so
+//! no longer counts — non-matching subscribers parked in other shards).
 
 use crate::supervisor::FaultInfo;
 use mobigate_mcl::events::{EventCategory, EventKind};
 use parking_lot::RwLock;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
@@ -89,58 +105,135 @@ pub struct EventStats {
     pub filtered: u64,
 }
 
+/// One shard: a subscriber list per category, indexed by
+/// `EventCategory::id()` (`subscriberList` in Figure 6-7).
+struct EventShard {
+    lists: Vec<RwLock<Vec<Weak<dyn EventSubscriber>>>>,
+}
+
+impl EventShard {
+    fn new() -> Self {
+        EventShard {
+            lists: (0..EventCategory::COUNT)
+                .map(|_| RwLock::new(Vec::new()))
+                .collect(),
+        }
+    }
+}
+
 /// The Event Manager (Figure 6-7): category-indexed subscriber lists plus
-/// multicast.
-#[derive(Default)]
+/// multicast, sharded by subscriber name (see the module docs).
 pub struct EventManager {
-    /// One subscriber list per category, indexed by `EventCategory::id()`.
-    lists: [RwLock<Vec<Weak<dyn EventSubscriber>>>; EventCategory::COUNT],
+    shards: Box<[EventShard]>,
+    mask: usize,
     published: AtomicU64,
     delivered: AtomicU64,
     filtered: AtomicU64,
 }
 
+impl Default for EventManager {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::with_shards(cores.next_power_of_two().clamp(1, 64))
+    }
+}
+
 impl EventManager {
-    /// A manager with empty subscriber lists.
+    /// A manager with empty subscriber lists, sized to the machine.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A manager with a fixed shard count (rounded up to a power of two;
+    /// `1` reproduces the paper's single `subscriberList` per category).
+    pub fn with_shards(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        EventManager {
+            shards: (0..n).map(|_| EventShard::new()).collect(),
+            mask: n - 1,
+            published: AtomicU64::new(0),
+            delivered: AtomicU64::new(0),
+            filtered: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards each category's subscriber list is split into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a subscriber (or `evtSource` target) named `name` lives
+    /// in. Keyed by name so targeted delivery and the target's own
+    /// subscribe/unsubscribe agree on a single shard.
+    fn shard_for(&self, name: &str) -> &EventShard {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        name.hash(&mut h);
+        &self.shards[(h.finish() as usize) & self.mask]
     }
 
     /// Subscribes `app` to a category (paper `subscribeEvt`). Subscribers
     /// are held weakly: a dropped stream unsubscribes itself implicitly.
     pub fn subscribe(&self, category: EventCategory, app: &Arc<dyn EventSubscriber>) {
-        self.lists[category.id()].write().push(Arc::downgrade(app));
+        self.shard_for(&app.subscriber_name()).lists[category.id()]
+            .write()
+            .push(Arc::downgrade(app));
     }
 
     /// Unsubscribes `app` from a category (paper `unsubscribeEvt`).
     pub fn unsubscribe(&self, category: EventCategory, app: &Arc<dyn EventSubscriber>) {
         let target = Arc::as_ptr(app) as *const ();
-        self.lists[category.id()].write().retain(|w| {
-            w.upgrade()
-                .map(|s| Arc::as_ptr(&s) as *const () != target)
-                .unwrap_or(false)
-        });
+        self.shard_for(&app.subscriber_name()).lists[category.id()]
+            .write()
+            .retain(|w| {
+                w.upgrade()
+                    .map(|s| Arc::as_ptr(&s) as *const () != target)
+                    .unwrap_or(false)
+            });
     }
 
-    /// Number of live subscribers in a category.
+    /// Number of live subscribers in a category (all shards).
     pub fn subscriber_count(&self, category: EventCategory) -> usize {
-        self.lists[category.id()]
-            .read()
+        self.shards
             .iter()
-            .filter(|w| w.strong_count() > 0)
-            .count()
+            .map(|shard| {
+                shard.lists[category.id()]
+                    .read()
+                    .iter()
+                    .filter(|w| w.strong_count() > 0)
+                    .count()
+            })
+            .sum()
     }
 
     /// Multicasts an event to the subscribers of its category
     /// (Figure 6-7's `multicastEvent`). An `evtSource`-targeted event is
     /// delivered only to the stream whose name matches (§6.4: "the Event
     /// Manager is required to check the attribute evtSource … and verify
-    /// whether the corresponding stream application has subscribed").
-    /// Returns the number of deliveries.
+    /// whether the corresponding stream application has subscribed") — and
+    /// since a subscriber's shard is derived from that same name, a
+    /// targeted event locks exactly one shard. Broadcasts sweep all
+    /// shards. Returns the number of deliveries.
     pub fn multicast(&self, event: &ContextEvent) -> usize {
         self.published.fetch_add(1, Ordering::Relaxed);
+        let mut count = 0;
+        match &event.source {
+            Some(src) => {
+                count += self.multicast_shard(self.shard_for(src), event);
+            }
+            None => {
+                for shard in self.shards.iter() {
+                    count += self.multicast_shard(shard, event);
+                }
+            }
+        }
+        count
+    }
+
+    fn multicast_shard(&self, shard: &EventShard, event: &ContextEvent) -> usize {
         let subs: Vec<Arc<dyn EventSubscriber>> = {
-            let mut list = self.lists[event.category().id()].write();
+            let mut list = shard.lists[event.category().id()].write();
             // Opportunistically drop dead subscribers.
             list.retain(|w| w.strong_count() > 0);
             list.iter().filter_map(Weak::upgrade).collect()
@@ -217,7 +310,9 @@ mod tests {
 
     #[test]
     fn targeted_events_filter_by_source() {
-        let mgr = EventManager::new();
+        // One shard so the `filtered` counter observes the non-matching
+        // subscriber (with more shards it may never be scanned at all).
+        let mgr = EventManager::with_shards(1);
         let a = Recorder::new("appA");
         let b = Recorder::new("appB");
         mgr.subscribe(EventCategory::SystemCommand, &as_sub(&a));
@@ -228,6 +323,68 @@ mod tests {
         assert!(a.seen.lock().is_empty());
         assert_eq!(b.seen.lock().len(), 1);
         assert_eq!(mgr.stats().filtered, 1);
+    }
+
+    #[test]
+    fn shard_count_rounds_up_to_power_of_two() {
+        assert_eq!(EventManager::with_shards(1).shard_count(), 1);
+        assert_eq!(EventManager::with_shards(3).shard_count(), 4);
+        assert_eq!(EventManager::with_shards(16).shard_count(), 16);
+        assert_eq!(EventManager::with_shards(0).shard_count(), 1);
+    }
+
+    #[test]
+    fn delivery_is_shard_count_independent() {
+        // The same subscriber population and event sequence deliver
+        // identically whatever the shard count: a subscriber lives in the
+        // shard its *name* hashes to, which is exactly the shard a
+        // targeted event scans.
+        for shards in [1usize, 2, 8, 64] {
+            let mgr = EventManager::with_shards(shards);
+            let subs: Vec<_> = (0..17).map(|i| Recorder::new(&format!("s{i}"))).collect();
+            for s in &subs {
+                mgr.subscribe(EventCategory::NetworkVariation, &as_sub(s));
+                mgr.subscribe(EventCategory::SystemCommand, &as_sub(s));
+            }
+            assert_eq!(
+                mgr.multicast(&ContextEvent::broadcast(EventKind::LowBandwidth)),
+                17,
+                "broadcast with {shards} shards"
+            );
+            for (i, s) in subs.iter().enumerate() {
+                let n = mgr.multicast(&ContextEvent::targeted(EventKind::End, format!("s{i}")));
+                assert_eq!(n, 1, "target s{i} with {shards} shards");
+                assert_eq!(
+                    s.seen
+                        .lock()
+                        .iter()
+                        .filter(|k| **k == EventKind::End)
+                        .count(),
+                    1
+                );
+            }
+            // A target nobody owns reaches nobody.
+            assert_eq!(
+                mgr.multicast(&ContextEvent::targeted(EventKind::End, "ghost")),
+                0
+            );
+        }
+    }
+
+    #[test]
+    fn unsubscribe_finds_the_right_shard() {
+        for shards in [1usize, 4, 32] {
+            let mgr = EventManager::with_shards(shards);
+            let subs: Vec<_> = (0..9).map(|i| Recorder::new(&format!("u{i}"))).collect();
+            for s in &subs {
+                mgr.subscribe(EventCategory::SystemCommand, &as_sub(s));
+            }
+            for s in &subs {
+                mgr.unsubscribe(EventCategory::SystemCommand, &as_sub(s));
+            }
+            assert_eq!(mgr.subscriber_count(EventCategory::SystemCommand), 0);
+            assert_eq!(mgr.multicast(&ContextEvent::broadcast(EventKind::End)), 0);
+        }
     }
 
     #[test]

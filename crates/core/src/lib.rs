@@ -32,6 +32,7 @@ pub mod pool;
 pub mod pooling;
 pub mod queue;
 pub mod server;
+pub mod session;
 pub mod sharing;
 mod spsc;
 pub mod stream;
@@ -48,6 +49,7 @@ pub use pool::{MessagePool, PayloadMode};
 pub use pooling::StreamletPool;
 pub use queue::{FetchResult, MessageQueue, PostResult, QueueConfig};
 pub use server::{ExecutorConfig, MobiGate, ServerConfig, SupervisionConfig};
+pub use session::SessionManager;
 pub use sharing::{SharedStreamlet, SharingStats};
 pub use stream::{BatchConfig, ReconfigStats, RunningStream, StreamStats};
 pub use streamlet::{

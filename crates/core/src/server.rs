@@ -18,11 +18,14 @@ use crate::events::{ContextEvent, EventManager};
 use crate::executor::{default_executor, Executor, WorkerPool};
 use crate::pool::{MessagePool, PayloadMode};
 use crate::pooling::StreamletPool;
+use crate::session::SessionManager;
 use crate::stream::{BatchConfig, RunningStream, StreamDeps};
 use crate::supervisor::{DeadLetterQueue, RestartPolicy, Supervisor};
 use mobigate_mcl::analysis;
 use mobigate_mcl::compile::compile;
 use mobigate_mcl::config::Program;
+use mobigate_mcl::template::StreamTemplate;
+use mobigate_mime::SessionId;
 use std::sync::Arc;
 
 /// Which back end schedules the execution plane's streamlets.
@@ -85,6 +88,11 @@ pub struct ServerConfig {
     /// Message-pool shard count (rounded up to a power of two). `None`
     /// derives it from the machine's available parallelism.
     pub pool_shards: Option<usize>,
+    /// Coordination-plane shard count — splits the Coordination Manager's
+    /// routing table and the Event Manager's per-category subscriber
+    /// lists (rounded up to a power of two; `1` reproduces the paper's
+    /// single-lock planes). `None` derives it from available parallelism.
+    pub coord_shards: Option<usize>,
     /// Streamlet supervision (panic isolation is always on; this governs
     /// restarts, quarantine, and the dead-letter queue).
     pub supervision: SupervisionConfig,
@@ -104,6 +112,7 @@ impl Default for ServerConfig {
             route_opts: Default::default(),
             executor: ExecutorConfig::default(),
             pool_shards: None,
+            coord_shards: None,
             supervision: SupervisionConfig::default(),
             batching: BatchConfig::default(),
             fusion: false,
@@ -117,13 +126,25 @@ pub struct MobiGate {
     streamlet_pool: Arc<StreamletPool>,
     msg_pool: Arc<MessagePool>,
     events: Arc<EventManager>,
-    coordination: CoordinationManager,
+    /// Shared (`Arc`) so session managers can deploy/undeploy against it;
+    /// the server's `Drop` still shuts every stream down first (see
+    /// below), whatever clones are outstanding.
+    coordination: Arc<CoordinationManager>,
     mode: PayloadMode,
     /// Declared after `coordination` on purpose: streams shut down (ending
     /// their streamlets) before the supervisor stops restarting them and
     /// before the executor's workers are joined.
     supervisor: Option<Arc<Supervisor>>,
     executor: Arc<dyn Executor>,
+}
+
+impl Drop for MobiGate {
+    fn drop(&mut self) {
+        // An outstanding `Arc<CoordinationManager>` (a SessionManager kept
+        // alive past the gate) must not keep streams running against an
+        // executor whose workers the next field drops are about to join.
+        self.coordination.shutdown_all();
+    }
 }
 
 impl Default for MobiGate {
@@ -183,7 +204,10 @@ impl MobiGate {
             None => MessagePool::new(),
         });
         let executor = config.executor.build();
-        let events = Arc::new(EventManager::new());
+        let events = Arc::new(match config.coord_shards {
+            Some(n) => EventManager::with_shards(n),
+            None => EventManager::new(),
+        });
         let supervisor = if config.supervision.enabled {
             Some(Supervisor::new(
                 events.clone(),
@@ -204,12 +228,16 @@ impl MobiGate {
             batching: config.batching,
             fusion: config.fusion,
         };
+        let coordination = Arc::new(match config.coord_shards {
+            Some(n) => CoordinationManager::with_shards(deps, events.clone(), n),
+            None => CoordinationManager::new(deps, events.clone()),
+        });
         MobiGate {
             directory,
             streamlet_pool,
             msg_pool,
-            events: events.clone(),
-            coordination: CoordinationManager::new(deps, events),
+            events,
+            coordination,
             mode: config.mode,
             supervisor,
             executor,
@@ -236,8 +264,8 @@ impl MobiGate {
         &self.events
     }
 
-    /// The coordination manager.
-    pub fn coordination(&self) -> &CoordinationManager {
+    /// The coordination manager (shared with session managers).
+    pub fn coordination(&self) -> &Arc<CoordinationManager> {
         &self.coordination
     }
 
@@ -269,8 +297,10 @@ impl MobiGate {
         })
     }
 
-    /// Compiles, analyzes, and deploys the `main` stream of an MCL script.
-    pub fn deploy_mcl(&self, source: &str) -> Result<Arc<RunningStream>, CoreError> {
+    /// The single compile-and-resolve path every script entry point shares:
+    /// compiles `source`, resolves the `main` stream, and (when `checked`)
+    /// runs the Chapter-5 consistency gate.
+    fn compile_main(&self, source: &str, checked: bool) -> Result<(Program, String), CoreError> {
         let program = self.compile(source)?;
         let name = program
             .main_stream
@@ -278,27 +308,56 @@ impl MobiGate {
             .ok_or_else(|| CoreError::Deploy {
                 message: "script has no `main` stream".into(),
             })?;
-        // Chapter-5 consistency gate.
-        if let Some(report) = analysis::analyze(&program, &name) {
-            if !report.is_consistent() {
-                return Err(CoreError::Deploy {
-                    message: format!("composition inconsistent:\n{}", report.summary()),
-                });
+        if checked {
+            // Chapter-5 consistency gate.
+            if let Some(report) = analysis::analyze(&program, &name) {
+                if !report.is_consistent() {
+                    return Err(CoreError::Deploy {
+                        message: format!("composition inconsistent:\n{}", report.summary()),
+                    });
+                }
             }
         }
+        Ok((program, name))
+    }
+
+    /// Compiles, analyzes, and deploys the `main` stream of an MCL script.
+    pub fn deploy_mcl(&self, source: &str) -> Result<Arc<RunningStream>, CoreError> {
+        let (program, name) = self.compile_main(source, true)?;
         self.coordination.deploy(&program, &name)
     }
 
     /// Deploys without the semantic-analysis gate.
     pub fn deploy_mcl_unchecked(&self, source: &str) -> Result<Arc<RunningStream>, CoreError> {
-        let program = self.compile(source)?;
-        let name = program
-            .main_stream
-            .clone()
-            .ok_or_else(|| CoreError::Deploy {
-                message: "script has no `main` stream".into(),
-            })?;
+        let (program, name) = self.compile_main(source, false)?;
         self.coordination.deploy(&program, &name)
+    }
+
+    /// Compiles an MCL script into a session plane: the `main` stream
+    /// becomes a validated template and the returned [`SessionManager`]
+    /// stamps out one independent per-user stream per `spawn`, each with
+    /// its own `Content-Session` identity. Compilation and the Chapter-5
+    /// analyses run once here, not once per session.
+    pub fn session_manager(&self, source: &str) -> Result<SessionManager, CoreError> {
+        // The template runs the consistency gate itself.
+        let (program, name) = self.compile_main(source, false)?;
+        let template =
+            StreamTemplate::from_program(&program, &name).map_err(|e| CoreError::Deploy {
+                message: e.to_string(),
+            })?;
+        Ok(SessionManager::new(template, self.coordination.clone()))
+    }
+
+    /// Tears one stream down: drains its in-flight messages (bounded),
+    /// detaches its channels, checks stateless instances back into the
+    /// §3.3.4 pool, and forgets its routing-table row. Returns whether
+    /// the session existed. (Before the session plane, streams only died
+    /// with the server.)
+    pub fn undeploy(&self, session: &SessionId) -> bool {
+        if let Some(stream) = self.coordination.stream(session) {
+            stream.drain(crate::session::DEFAULT_DRAIN_TIMEOUT);
+        }
+        self.coordination.undeploy(session)
     }
 
     /// Deploys a named (non-main) stream of an already-compiled program.

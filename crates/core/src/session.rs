@@ -1,0 +1,146 @@
+//! The session plane — one MCL template, N per-user streams.
+//!
+//! MobiGATE's premise is a gateway multiplexing *many mobile users*, each
+//! with a private streamlet chain keyed by `Content-Session` (§4.4.3:
+//! "the system automatically generates a unique session ID for each
+//! instance of a stream"; §3.3.4 pooling exists so that per-session cost
+//! stays small). The [`SessionManager`] industrializes that: it holds one
+//! validated [`StreamTemplate`] (compiled and analyzed exactly once) and
+//! stamps out independent sessions from it, each a full `RunningStream`
+//! with its own session ID, event identity, and routing-table row in the
+//! sharded Coordination Manager.
+//!
+//! Per-session cost at idle is deliberately tiny: instances come out of
+//! the §3.3.4 streamlet pool, fusion (when enabled) collapses the chain
+//! into few execution units, and under the worker-pool executor an idle
+//! session is just parked tasks — a routing-table row, not threads.
+//! Teardown reverses all of it: drain in-flight traffic, detach channels,
+//! check stateless logic back into the pool, drop the row.
+
+use crate::coordination::CoordinationManager;
+use crate::error::CoreError;
+use crate::stream::RunningStream;
+use mobigate_mcl::template::StreamTemplate;
+use mobigate_mime::SessionId;
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long session teardown waits for in-flight messages to clear
+/// before tearing down anyway (dropping whatever is still queued).
+pub const DEFAULT_DRAIN_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Stamps out and tears down per-user sessions of one stream template.
+pub struct SessionManager {
+    template: StreamTemplate,
+    coordination: Arc<CoordinationManager>,
+    /// Monotonic per-template sequence feeding `StreamTemplate::
+    /// session_name` — never reused, so a torn-down session's ID cannot
+    /// be resurrected by a later spawn.
+    next_seq: AtomicU64,
+    /// Sessions this manager spawned and has not torn down. Manager-local
+    /// bookkeeping (`teardown_all`, listing); the authoritative routing
+    /// rows live sharded in the Coordination Manager.
+    roster: Mutex<HashSet<SessionId>>,
+}
+
+impl SessionManager {
+    /// A manager stamping sessions of `template` into `coordination`.
+    pub fn new(template: StreamTemplate, coordination: Arc<CoordinationManager>) -> Self {
+        SessionManager {
+            template,
+            coordination,
+            next_seq: AtomicU64::new(0),
+            roster: Mutex::new(HashSet::new()),
+        }
+    }
+
+    /// The underlying template.
+    pub fn template(&self) -> &StreamTemplate {
+        &self.template
+    }
+
+    /// Instantiates one new session: clones the template table under a
+    /// fresh `<stream>#<seq>` identity and deploys it. The session ID,
+    /// the stream name (= event `evtSource` identity), and the
+    /// `Content-Session` header stamped on every message the session
+    /// carries are all that same string.
+    pub fn spawn(&self) -> Result<Arc<RunningStream>, CoreError> {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let name = self.template.session_name(seq);
+        let table = self.template.instantiate(&name);
+        let session = SessionId::new(name);
+        let stream =
+            self.coordination
+                .deploy_table(&table, self.template.defs(), session.clone())?;
+        self.roster.lock().insert(session);
+        Ok(stream)
+    }
+
+    /// Spawns `n` sessions, returning them in spawn order. Fails fast on
+    /// the first deployment error (already-spawned sessions stay up).
+    pub fn spawn_many(&self, n: usize) -> Result<Vec<Arc<RunningStream>>, CoreError> {
+        (0..n).map(|_| self.spawn()).collect()
+    }
+
+    /// Looks up a live session (one coordination shard lock).
+    pub fn get(&self, session: &SessionId) -> Option<Arc<RunningStream>> {
+        self.coordination.stream(session)
+    }
+
+    /// Sessions currently alive under this manager (no global order).
+    pub fn sessions(&self) -> Vec<SessionId> {
+        self.roster.lock().iter().cloned().collect()
+    }
+
+    /// Number of live sessions under this manager.
+    pub fn session_count(&self) -> usize {
+        self.roster.lock().len()
+    }
+
+    /// Tears one session down: drains in-flight messages (bounded by
+    /// `drain_timeout`), removes the routing-table row, unsubscribes the
+    /// stream from its event categories, ends its execution units, and
+    /// checks stateless logic back into the §3.3.4 pool. Returns whether
+    /// the session existed.
+    pub fn teardown_with_timeout(&self, session: &SessionId, drain_timeout: Duration) -> bool {
+        if !self.roster.lock().remove(session) {
+            return false;
+        }
+        if let Some(stream) = self.coordination.stream(session) {
+            stream.drain(drain_timeout);
+        }
+        self.coordination.undeploy(session)
+    }
+
+    /// [`Self::teardown_with_timeout`] with [`DEFAULT_DRAIN_TIMEOUT`].
+    pub fn teardown(&self, session: &SessionId) -> bool {
+        self.teardown_with_timeout(session, DEFAULT_DRAIN_TIMEOUT)
+    }
+
+    /// Tears down every live session of this manager; returns how many.
+    pub fn teardown_all(&self) -> usize {
+        let sessions: Vec<SessionId> = { self.roster.lock().drain().collect() };
+        let mut n = 0;
+        for session in sessions {
+            if let Some(stream) = self.coordination.stream(&session) {
+                stream.drain(DEFAULT_DRAIN_TIMEOUT);
+            }
+            if self.coordination.undeploy(&session) {
+                n += 1;
+            }
+        }
+        n
+    }
+}
+
+impl Drop for SessionManager {
+    fn drop(&mut self) {
+        // Sessions are this manager's resources: dropping it reclaims
+        // them (instances back to the pool, rows out of the coordination
+        // shards) instead of leaving orphans only `shutdown_all` can find.
+        self.teardown_all();
+    }
+}

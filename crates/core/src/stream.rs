@@ -31,7 +31,7 @@ use crate::streamlet::{LifecycleState, RouteOpts, StreamletHandle, StreamletLogi
 use mobigate_mcl::config::{
     ChannelRow, ConfigTable, ConnectionRow, ReconfigAction, StreamletSpec, WhenRule,
 };
-use mobigate_mcl::events::EventKind;
+use mobigate_mcl::events::{EventCategory, EventKind};
 use mobigate_mcl::fusion::{FusedRun, FusionPlan};
 use mobigate_mime::{MimeMessage, SessionId};
 use parking_lot::Mutex;
@@ -132,6 +132,19 @@ pub struct StreamStats {
     pub delivered: u64,
     /// Reconfigurations executed.
     pub reconfigurations: u64,
+    /// Body bytes currently buffered in the stream's channels (interior
+    /// channels + ingress + egress).
+    pub queued_bytes: u64,
+    /// Body bytes held in instance overflow buffers (outputs a full
+    /// downstream queue refused, waiting in `pending_out`).
+    pub pending_out_bytes: u64,
+}
+
+impl StreamStats {
+    /// Total bytes of in-flight message memory attributable to the stream.
+    pub fn resident_bytes(&self) -> u64 {
+        self.queued_bytes + self.pending_out_bytes
+    }
 }
 
 struct Inner {
@@ -390,12 +403,36 @@ impl RunningStream {
         &self.session
     }
 
-    /// Counters snapshot.
+    /// Counters snapshot. The byte gauges walk the stream's channels and
+    /// instances under the stream lock — control-plane cost, paid by the
+    /// caller asking, never by the data path.
     pub fn stats(&self) -> StreamStats {
+        let (queued, pending) = {
+            let inner = self.inner.lock();
+            let mut queued: u64 = inner
+                .channels
+                .values()
+                .map(|q| q.buffered_bytes() as u64)
+                .sum();
+            queued += self
+                .ingress
+                .iter()
+                .map(|(_, q)| q.buffered_bytes() as u64)
+                .sum::<u64>();
+            queued += self.egress.buffered_bytes() as u64;
+            let pending: u64 = inner
+                .instances
+                .values()
+                .map(|h| h.pending_output_bytes() as u64)
+                .sum();
+            (queued, pending)
+        };
         StreamStats {
             injected: self.injected.load(Ordering::Relaxed),
             delivered: self.delivered.load(Ordering::Relaxed),
             reconfigurations: self.reconfigurations.load(Ordering::Relaxed),
+            queued_bytes: queued,
+            pending_out_bytes: pending,
         }
     }
 
@@ -598,6 +635,30 @@ impl RunningStream {
 
     // --- events --------------------------------------------------------------
 
+    /// The event categories this stream needs subscribed: whatever its
+    /// `when` rules react to, plus System Command (every stream obeys
+    /// PAUSE/RESUME/END), plus Runtime Fault when fusion is on (fault-
+    /// driven fission must observe STREAMLET_FAULT). The Coordination
+    /// Manager uses this for symmetric subscribe-on-deploy /
+    /// unsubscribe-on-undeploy; `when` rules are fixed at compile time, so
+    /// the set never changes over the stream's life.
+    pub fn subscribed_categories(&self) -> Vec<EventCategory> {
+        let mut categories: Vec<EventCategory> = self
+            .inner
+            .lock()
+            .when_rules
+            .iter()
+            .map(|r| r.event.category())
+            .collect();
+        categories.push(EventCategory::SystemCommand);
+        if self.deps.fusion {
+            categories.push(EventCategory::RuntimeFault);
+        }
+        categories.sort_by_key(|c| c.id());
+        categories.dedup();
+        categories
+    }
+
     /// Reacts to a context event: System-Command events get their built-in
     /// behaviour (PAUSE/RESUME/END), and any matching `when` rules from the
     /// MCL script run as reconfigurations. Returns the instrumentation when
@@ -652,6 +713,45 @@ impl RunningStream {
         let handles: Vec<_> = self.inner.lock().instances.values().cloned().collect();
         for h in handles {
             let _ = h.activate();
+        }
+    }
+
+    /// Waits (up to `timeout`) for every in-flight message to leave the
+    /// stream's interior: ingress and interior channels empty, no instance
+    /// mid-`process`, no overflow buffer occupied. Egress is deliberately
+    /// excluded — delivered output waiting for the consumer is not
+    /// "in flight". Returns whether quiescence was reached; either way the
+    /// stream keeps running, so a false return means the caller tears down
+    /// with messages still queued (they are dropped by `shutdown`).
+    pub fn drain(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let quiescent = {
+                let inner = self.inner.lock();
+                // Channels → instances → channels again: a message leaving
+                // a queue shows up as `is_processing` on its consumer, and
+                // one leaving `process` lands back in a queue before the
+                // worker clears the flag, so (absent new input) passing
+                // all three passes means nothing is in flight.
+                let queues_empty = |inner: &Inner| {
+                    self.ingress.iter().all(|(_, q)| q.is_empty())
+                        && inner.channels.values().all(|q| q.is_empty())
+                };
+                inner.shutdown
+                    || (queues_empty(&inner)
+                        && inner
+                            .instances
+                            .values()
+                            .all(|h| !h.is_processing() && h.pending_outputs() == 0)
+                        && queues_empty(&inner))
+            };
+            if quiescent {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
         }
     }
 

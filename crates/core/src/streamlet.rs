@@ -390,13 +390,14 @@ impl Shared {
     /// new input), `false` when something is still stuck behind a full
     /// queue.
     fn flush_pending(&self) -> bool {
-        let items = {
-            let mut pending = self.pending_out.lock();
-            if pending.is_empty() {
-                return true;
-            }
-            std::mem::take(&mut *pending)
-        };
+        // The lock is held across the whole flush (every post is a
+        // `post_nowait`, so nothing blocks under it): quiescence checks
+        // must never observe an empty buffer while entries are mid-repost.
+        let mut pending = self.pending_out.lock();
+        if pending.is_empty() {
+            return true;
+        }
+        let items = std::mem::take(&mut *pending);
         let mut stuck: VecDeque<(Arc<MessageQueue>, Payload, Instant)> = VecDeque::new();
         let now = Instant::now();
         for (q, payload, deadline) in items {
@@ -424,7 +425,7 @@ impl Shared {
         let empty = stuck.is_empty();
         // The single driving thread is the only writer, so nothing was
         // appended concurrently — the put-back preserves order.
-        *self.pending_out.lock() = stuck;
+        *pending = stuck;
         empty
     }
 
@@ -624,6 +625,17 @@ impl StreamletHandle {
     /// executors only; always 0 under dedicated-thread drivers).
     pub fn pending_outputs(&self) -> usize {
         self.shared.pending_out.lock().len()
+    }
+
+    /// Total body bytes held in the overflow buffer (the memory the
+    /// instance itself is holding, as opposed to bytes parked in channels).
+    pub fn pending_output_bytes(&self) -> usize {
+        self.shared
+            .pending_out
+            .lock()
+            .iter()
+            .map(|(_, p, _)| p.buffered_len(&self.shared.pool))
+            .sum()
     }
 
     /// True when every bound input queue is empty (Fig 6-8 condition).
@@ -1519,9 +1531,12 @@ impl StreamletTask {
             let result = logic.process(msg, &mut ctx);
             (result, ctx.into_outputs())
         }));
-        shared.processing.store(false, Ordering::Release);
-
-        match outcome {
+        // `processing` stays up through routing: until the emissions land
+        // in their queues the message is still in flight through this
+        // instance, and both Fig 6-8 safe removal and `RunningStream::
+        // drain` rely on "not processing && queues empty" meaning nothing
+        // is in transit.
+        let step = match outcome {
             Ok((Ok(()), outs)) => {
                 shared.processed.fetch_add(1, Ordering::Relaxed);
                 shared.route_outputs(outs);
@@ -1539,7 +1554,9 @@ impl StreamletTask {
                 self.fault(FaultCause::Panic(panic_message(payload.as_ref())));
                 Step::Fault
             }
-        }
+        };
+        shared.processing.store(false, Ordering::Release);
+        step
     }
 
     /// Processes a fresh batch through `process_batch` under a single
@@ -1555,9 +1572,10 @@ impl StreamletTask {
             let result = logic.process_batch(msgs, &mut ctx);
             (result, ctx.into_outputs())
         }));
-        shared.processing.store(false, Ordering::Release);
-
-        match outcome {
+        // As in `process_one`: the flag stays up until the batch's
+        // emissions are routed, so quiescence checks never miss in-transit
+        // messages.
+        let step = match outcome {
             Ok((Ok(()), outs)) => {
                 shared.processed.fetch_add(n, Ordering::Relaxed);
                 shared.route_outputs(outs);
@@ -1581,7 +1599,9 @@ impl StreamletTask {
                 self.fault(FaultCause::Panic(panic_message(payload.as_ref())));
                 Step::Fault
             }
-        }
+        };
+        shared.processing.store(false, Ordering::Release);
+        step
     }
 
     /// Marks the instance `Faulted` and fires the supervisor's fault hook.

@@ -1,0 +1,352 @@
+//! Session-plane integration tests:
+//!
+//! * concurrent session churn — spawn/teardown batches racing steady
+//!   traffic on survivor sessions and reconfiguration on a neighbor
+//!   session, with zero loss, correct per-session labels, and no
+//!   deadlock;
+//! * a property test driving an identical random op program (spawn /
+//!   teardown / round-trip / census) through a single-shard and an
+//!   8-shard coordination plane and requiring observational equivalence;
+//! * the satellite leak assertion — `MobiGate::undeploy` returns every
+//!   fused member to the §3.3.4 pool and clears the routing-table row;
+//! * per-session targeted events — a `Pause` aimed at one session's
+//!   `evtSource` identity stalls that session alone, across shard counts.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use mobigate_core::{
+    ContextEvent, CoreError, Emitter, EventKind, ExecutorConfig, MobiGate, ServerConfig,
+    SessionManager, StreamletCtx, StreamletDirectory, StreamletLogic, StreamletPool,
+};
+use mobigate_mime::{MimeMessage, MimeType, SessionId};
+use proptest::prelude::*;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Pass-through logic; fusable so the session plane's intended mode
+/// (fused chains drawn from the pool) is what gets exercised.
+struct Echo;
+impl StreamletLogic for Echo {
+    fn process(&mut self, msg: MimeMessage, ctx: &mut StreamletCtx) -> Result<(), CoreError> {
+        ctx.emit("po", msg);
+        Ok(())
+    }
+    fn fusable(&self) -> bool {
+        true
+    }
+}
+
+/// A k-echo chain template named `app`.
+fn script(k: usize) -> String {
+    let mut s = String::from(
+        "streamlet echo {\n\
+         port { in pi : */*; out po : */*; }\n\
+         attribute { type = STATELESS; library = \"test/echo\"; }\n}\n\
+         main stream app {\n",
+    );
+    for i in 0..k {
+        let _ = writeln!(s, "streamlet e{i} = new-streamlet (echo);");
+    }
+    for i in 1..k {
+        let _ = writeln!(s, "connect (e{}.po, e{}.pi);", i - 1, i);
+    }
+    s.push('}');
+    s
+}
+
+fn gate(coord_shards: usize, pool_cap: usize) -> MobiGate {
+    let directory = Arc::new(StreamletDirectory::new());
+    directory.register("test/echo", "", || Box::new(Echo));
+    MobiGate::with_config(
+        ServerConfig {
+            executor: ExecutorConfig::WorkerPool { workers: 2 },
+            fusion: true,
+            coord_shards: Some(coord_shards),
+            ..Default::default()
+        },
+        directory,
+        Arc::new(StreamletPool::new(pool_cap)),
+    )
+}
+
+fn msg(tag: &str) -> MimeMessage {
+    MimeMessage::new(&MimeType::new("text", "plain"), tag.as_bytes().to_vec())
+}
+
+/// Posts one message through `stream` and asserts it comes back carrying
+/// that session's own `Content-Session`.
+fn round_trip(stream: &mobigate_core::RunningStream, tag: &str) {
+    stream.post_input(msg(tag)).expect("post");
+    let out = stream
+        .take_output(Duration::from_secs(20))
+        .expect("round trip output");
+    assert_eq!(out.body.as_ref(), tag.as_bytes());
+    assert_eq!(
+        out.session().as_ref(),
+        Some(stream.session()),
+        "output must carry its own session's label"
+    );
+}
+
+#[test]
+fn session_churn_races_traffic_and_reconfiguration_without_loss() {
+    let server = gate(8, 256);
+    let manager = Arc::new(server.session_manager(&script(3)).expect("template"));
+    let survivors = manager.spawn_many(8).expect("survivors");
+    // A dedicated neighbor session that only gets reconfigured, living in
+    // the same coordination shards the churn and traffic hit.
+    let neighbor = manager.spawn().expect("neighbor");
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Churn: spawn a batch, run one verified message through each new
+    // session, tear the batch down again — repeatedly.
+    let churn = {
+        let m = manager.clone();
+        let stop = stop.clone();
+        thread::spawn(move || {
+            let mut cycles = 0u32;
+            while !stop.load(Ordering::Acquire) {
+                let batch = m.spawn_many(4).expect("churn spawn");
+                for s in &batch {
+                    round_trip(s, "churn");
+                }
+                for s in &batch {
+                    assert!(m.teardown(s.session()), "churn teardown");
+                }
+                cycles += 1;
+            }
+            cycles
+        })
+    };
+
+    // Reconfiguration on the neighbor: splice an extra echo into the live
+    // chain, safely remove it, and re-link the seam (removal detaches the
+    // neighbor connections; Fig 6-8 does not heal them), while churn and
+    // traffic race in the same plane. Fusion makes this fission + insert
+    // every time.
+    let reconfig = {
+        let stop = stop.clone();
+        let neighbor = neighbor.clone();
+        thread::spawn(move || {
+            use mobigate_mcl::config::{ChannelSpec, ReconfigAction};
+            let mut cycles = 0u32;
+            while !stop.load(Ordering::Acquire) {
+                neighbor
+                    .insert_streamlet(("e0", "po"), ("e1", "pi"), "extra", "echo")
+                    .expect("insert on idle neighbor");
+                neighbor
+                    .remove_streamlet("extra", Duration::from_secs(5))
+                    .expect("safe removal on idle neighbor");
+                let heal = neighbor.reconfigure(&[
+                    ReconfigAction::NewChannel {
+                        name: "heal".into(),
+                        spec: ChannelSpec::default_for(MimeType::new("*", "*")),
+                    },
+                    ReconfigAction::Connect {
+                        from: ("e0".into(), "po".into()),
+                        to: ("e1".into(), "pi".into()),
+                        channel: "heal".into(),
+                    },
+                ]);
+                assert_eq!(heal.errors, 0, "re-linking the seam failed");
+                cycles += 1;
+            }
+            cycles
+        })
+    };
+
+    // Steady traffic on the survivors, every message verified.
+    for round in 0..150 {
+        for s in &survivors {
+            s.post_input(msg(&format!("r{round}"))).expect("post");
+        }
+        for s in &survivors {
+            let out = s
+                .take_output(Duration::from_secs(20))
+                .expect("survivor output (no deadlock under churn)");
+            assert_eq!(out.session().as_ref(), Some(s.session()));
+        }
+    }
+
+    stop.store(true, Ordering::Release);
+    assert!(churn.join().expect("churn thread") > 0);
+    assert!(reconfig.join().expect("reconfig thread") > 0);
+
+    // The neighbor still works after all that reconfiguration.
+    round_trip(&neighbor, "after");
+    drop(neighbor);
+
+    assert_eq!(manager.teardown_all(), 9);
+    assert_eq!(server.coordination().stream_count(), 0);
+}
+
+/// One decoded step of the random session op program.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Spawn,
+    Teardown { idx: usize },
+    RoundTrip { idx: usize },
+    Census,
+}
+
+fn decode(raw: u32) -> Op {
+    let idx = (raw >> 4) as usize;
+    match raw % 4 {
+        0 => Op::Spawn,
+        1 => Op::Teardown { idx },
+        2 => Op::RoundTrip { idx },
+        _ => Op::Census,
+    }
+}
+
+/// Applies one op to a (gate, manager, live-roster) triple, returning an
+/// observation string that must match across equivalent planes.
+fn apply(server: &MobiGate, manager: &SessionManager, live: &mut Vec<SessionId>, op: Op) -> String {
+    match op {
+        Op::Spawn => {
+            let stream = manager.spawn().expect("spawn");
+            live.push(stream.session().clone());
+            format!("spawn -> {}", stream.session().as_str())
+        }
+        Op::Teardown { idx } => {
+            if live.is_empty() {
+                "teardown(none)".into()
+            } else {
+                let session = live.remove(idx % live.len());
+                format!(
+                    "teardown({}) -> {}",
+                    session.as_str(),
+                    manager.teardown(&session)
+                )
+            }
+        }
+        Op::RoundTrip { idx } => {
+            if live.is_empty() {
+                "round_trip(none)".into()
+            } else {
+                let session = live[idx % live.len()].clone();
+                let stream = manager.get(&session).expect("live session");
+                stream.post_input(msg("prop")).expect("post");
+                let out = stream.take_output(Duration::from_secs(20)).expect("output");
+                format!(
+                    "round_trip({}) -> body={} label_ok={}",
+                    session.as_str(),
+                    out.body.len(),
+                    out.session().as_ref() == Some(&session)
+                )
+            }
+        }
+        Op::Census => format!(
+            "census sessions={} rows={}",
+            manager.session_count(),
+            server.coordination().stream_count()
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// A single-shard coordination plane (the paper's single-lock design)
+    /// and an 8-shard plane are observationally equivalent under any
+    /// spawn/teardown/traffic program.
+    #[test]
+    fn sharded_coordination_matches_single_shard(raw_ops in prop::collection::vec(any::<u32>(), 0..30)) {
+        let single = gate(1, 128);
+        let sharded = gate(8, 128);
+        prop_assert_eq!(single.coordination().shard_count(), 1);
+        prop_assert_eq!(sharded.coordination().shard_count(), 8);
+        let m_single = single.session_manager(&script(2)).expect("template");
+        let m_sharded = sharded.session_manager(&script(2)).expect("template");
+        let mut live_single = Vec::new();
+        let mut live_sharded = Vec::new();
+        for (&raw, step) in raw_ops.iter().zip(0..) {
+            let op = decode(raw);
+            let obs_s = apply(&single, &m_single, &mut live_single, op);
+            let obs_n = apply(&sharded, &m_sharded, &mut live_sharded, op);
+            prop_assert_eq!(&obs_s, &obs_n, "step {} diverged on {:?}", step, op);
+        }
+        // Full teardown leaves both planes empty.
+        m_single.teardown_all();
+        m_sharded.teardown_all();
+        prop_assert_eq!(single.coordination().stream_count(), 0);
+        prop_assert_eq!(sharded.coordination().stream_count(), 0);
+    }
+}
+
+#[test]
+fn undeploy_returns_every_instance_to_the_pool() {
+    let server = gate(4, 64);
+    let manager = server.session_manager(&script(3)).expect("template");
+    let streams = manager.spawn_many(5).expect("spawn");
+    for s in &streams {
+        round_trip(s, "traffic");
+    }
+
+    let before = server.streamlet_pool().stats();
+    for s in &streams {
+        assert!(server.undeploy(s.session()), "undeploy live session");
+    }
+    let after = server.streamlet_pool().stats();
+
+    // Every fused member of every chain checked back in, none discarded:
+    // the sessions cost the pool nothing.
+    assert_eq!(after.returned - before.returned, (5 * 3) as u64);
+    assert_eq!(after.discarded, before.discarded);
+    assert_eq!(server.coordination().stream_count(), 0);
+
+    // Idempotent: the rows are gone.
+    assert!(!server.undeploy(streams[0].session()));
+    assert!(!server.undeploy(&SessionId::new("app#999")));
+}
+
+#[test]
+fn targeted_pause_stalls_only_the_named_session() {
+    for shards in [1usize, 8] {
+        let server = gate(shards, 64);
+        let manager = server.session_manager(&script(2)).expect("template");
+        let streams = manager.spawn_many(6).expect("spawn");
+        let (target, bystander) = (&streams[3], &streams[0]);
+
+        // The Pause is addressed by evtSource == the session ID; exactly
+        // one subscriber may act on it regardless of shard count.
+        let delivered = server.raise_event(&ContextEvent::targeted(
+            EventKind::Pause,
+            target.session().as_str(),
+        ));
+        assert_eq!(delivered, 1, "shards={shards}");
+
+        // The paused session queues its input; the bystander still flows.
+        target.post_input(msg("held")).expect("post");
+        round_trip(bystander, "flowing");
+        assert!(
+            target.take_output(Duration::from_millis(200)).is_none(),
+            "paused session must not emit (shards={shards})"
+        );
+
+        // Resume releases the queued message.
+        let delivered = server.raise_event(&ContextEvent::targeted(
+            EventKind::Resume,
+            target.session().as_str(),
+        ));
+        assert_eq!(delivered, 1);
+        let out = target
+            .take_output(Duration::from_secs(20))
+            .expect("resumed session delivers");
+        assert_eq!(out.body.as_ref(), b"held");
+        assert_eq!(out.session().as_ref(), Some(target.session()));
+
+        // A ghost target reaches nobody.
+        let delivered = server.raise_event(&ContextEvent::targeted(
+            EventKind::Pause,
+            "app#no-such-session",
+        ));
+        assert_eq!(delivered, 0);
+
+        assert_eq!(manager.teardown_all(), 6);
+        assert_eq!(server.coordination().stream_count(), 0);
+    }
+}

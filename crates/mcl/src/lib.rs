@@ -54,6 +54,7 @@ pub mod fusion;
 pub mod lexer;
 pub mod model;
 pub mod parser;
+pub mod template;
 
 pub use analysis::{AnalysisReport, StreamGraph};
 pub use compile::{compile, compile_with_registry};
@@ -62,3 +63,4 @@ pub use error::{MclError, Span};
 pub use events::{EventCategory, EventKind};
 pub use fusion::{FusedRun, FusionPlan};
 pub use model::{verify_program, verify_table, ModelViolation};
+pub use template::StreamTemplate;

@@ -73,6 +73,9 @@ pub struct TestbedConfig {
     pub executor: ExecutorConfig,
     /// Message-pool shard count override (`None` = auto).
     pub pool_shards: Option<usize>,
+    /// Coordination-plane shard count override — routing table and event
+    /// fan-out (`None` = auto).
+    pub coord_shards: Option<usize>,
     /// Chain fusion: collapse fusable streamlet runs into single execution
     /// units on the server (ablation).
     pub fusion: bool,
@@ -88,6 +91,7 @@ impl Default for TestbedConfig {
             runtime_type_check: false,
             executor: ExecutorConfig::default(),
             pool_shards: None,
+            coord_shards: None,
             fusion: false,
         }
     }
@@ -137,6 +141,7 @@ impl Testbed {
                 },
                 executor: cfg.executor,
                 pool_shards: cfg.pool_shards,
+                coord_shards: cfg.coord_shards,
                 supervision: Default::default(),
                 batching: Default::default(),
                 fusion: cfg.fusion,
