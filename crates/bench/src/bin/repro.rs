@@ -15,8 +15,9 @@ use mobigate::core::{BatchConfig, ExecutorConfig, ServerConfig};
 use mobigate::mime::{MimeMessage, MimeType};
 use mobigate_bench::report::{ascii_series, Csv};
 use mobigate_bench::{
-    chaos_server_config, end_to_end_point, reconfig_time, reconfig_time_with, run_chaos,
-    run_sessions, with_quiet_panics, ChainHarness, ChaosConfig, SessionsConfig,
+    chaos_server_config, end_to_end_point, obs_chain_pair, reconfig_time, reconfig_time_with,
+    run_chaos, run_scrape_churn, run_sessions, with_quiet_panics, ChainHarness, ChaosConfig,
+    ObsChainConfig, SessionsConfig,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -64,6 +65,9 @@ fn main() {
     }
     if want("sessions") {
         sessions(quick, smoke);
+    }
+    if want("obs") {
+        obs(quick, smoke);
     }
     println!("\nCSV written under results/");
 }
@@ -1105,4 +1109,158 @@ fn sessions(quick: bool, smoke: bool) {
     std::fs::write("results/BENCH_sessions.json", json).expect("write sessions json");
     save("sessions_ablation", &csv);
     println!("JSON written to results/BENCH_sessions.json");
+}
+
+/// Observability ablation: telemetry-on vs. telemetry-off chain
+/// throughput per executor back end (the ≤5% overhead guard), plus a
+/// scrape-under-load point at session scale. Emits
+/// `results/BENCH_obs.json`.
+fn obs(quick: bool, smoke: bool) {
+    println!("\n=========== Ablation: observability plane on vs off ===========");
+    println!("(on: queue/process probes on every channel, trace ring, bridge");
+    println!(" thread polling; off: one `None` branch per instrumented op)\n");
+
+    let chain_k = 8;
+    let chain_bytes = 4 * 1024;
+    let (total, runs) = if smoke {
+        (500, 4)
+    } else if quick {
+        (1_000, 5)
+    } else {
+        (2_000, 8)
+    };
+    let executors: [(&str, ExecutorConfig); 2] = [
+        ("thread_per_streamlet", ExecutorConfig::ThreadPerStreamlet),
+        ("worker_pool8", ExecutorConfig::WorkerPool { workers: 8 }),
+    ];
+
+    let mut csv = Csv::new(["executor", "telemetry", "throughput_msg_s", "on_over_off"]);
+    // (executor, telemetry, best-of msg/s)
+    let mut series: Vec<(String, bool, f64)> = Vec::new();
+    let mut ratios: Vec<(String, f64)> = Vec::new();
+    for (exec_name, exec_cfg) in &executors {
+        let pair = |runs: usize| {
+            obs_chain_pair(&ObsChainConfig {
+                executor: *exec_cfg,
+                chain_k,
+                message_bytes: chain_bytes,
+                total,
+                runs,
+            })
+        };
+        let (mut off, mut on) = pair(runs);
+        if on < off * 0.95 {
+            // One retry at doubled depth before declaring a regression:
+            // a single noisy burst must not fail the guard.
+            let (off2, on2) = pair(runs * 2);
+            off = off.max(off2);
+            on = on.max(on2);
+        }
+        let ratio = on / off;
+        println!(
+            "  {exec_name:<21} off {off:>9.0} msg/s   on {on:>9.0} msg/s   \
+             on/off {ratio:.3}"
+        );
+        assert!(
+            ratio >= 0.95,
+            "telemetry-on regressed {exec_name} by more than 5%: \
+             {on:.0} vs {off:.0} msg/s (ratio {ratio:.3})"
+        );
+        for (telemetry, msg_s) in [(false, off), (true, on)] {
+            csv.row([
+                exec_name.to_string(),
+                telemetry.to_string(),
+                format!("{msg_s:.0}"),
+                format!("{ratio:.3}"),
+            ]);
+            series.push((exec_name.to_string(), telemetry, msg_s));
+        }
+        ratios.push((exec_name.to_string(), ratio));
+    }
+
+    // Scrape-under-load: 1k live telemetry-enabled sessions (full mode).
+    let n_sessions = if smoke {
+        50
+    } else if quick {
+        250
+    } else {
+        1_000
+    };
+    let scrape = run_scrape_churn(n_sessions, ExecutorConfig::WorkerPool { workers: 4 });
+    println!(
+        "\n  scrape with {} live sessions: {:.0} µs/scrape, {} B exposition, \
+         trace {}/{} recorded/overwritten, registry {}→{}",
+        scrape.sessions,
+        scrape.scrape_micros,
+        scrape.render_bytes,
+        scrape.trace_recorded,
+        scrape.trace_overwritten,
+        scrape.live_streams_mid,
+        scrape.live_streams_after
+    );
+    assert_eq!(
+        scrape.live_streams_mid, scrape.sessions,
+        "every live session must be registered for metrics"
+    );
+    assert_eq!(
+        scrape.live_streams_after, 0,
+        "teardown must deregister every session"
+    );
+    assert!(scrape.round_trips >= 1, "traffic phase must round-trip");
+
+    println!();
+    print!("{}", csv.to_table());
+
+    // The serde shim is a no-op, so the JSON is formatted by hand.
+    let mode = if smoke {
+        "smoke"
+    } else if quick {
+        "quick"
+    } else {
+        "full"
+    };
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"experiment\": \"observability_ablation\",\n");
+    json.push_str(&format!(
+        "  \"workload\": {{\"chain_k\": {chain_k}, \"message_bytes\": {chain_bytes}, \
+         \"messages_per_burst\": {total}, \"runs\": {runs}, \
+         \"metric\": \"best-of pipelined throughput (msg/s)\"}},\n"
+    ));
+    json.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    json.push_str("  \"series\": [\n");
+    for (i, (exec_name, telemetry, msg_s)) in series.iter().enumerate() {
+        let sep = if i + 1 == series.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"executor\": \"{exec_name}\", \"telemetry\": {telemetry}, \
+             \"throughput_msg_per_s\": {msg_s:.1}}}{sep}\n"
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"on_over_off\": {\n");
+    for (i, (exec_name, ratio)) in ratios.iter().enumerate() {
+        let sep = if i + 1 == ratios.len() { "" } else { "," };
+        json.push_str(&format!("    \"{exec_name}\": {ratio:.3}{sep}\n"));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"scrape_under_load\": {{\"sessions\": {}, \"spawn_secs\": {:.3}, \
+         \"scrape_us\": {:.1}, \"exposition_bytes\": {}, \"trace_recorded\": {}, \
+         \"trace_overwritten\": {}, \"live_streams_after_teardown\": {}}},\n",
+        scrape.sessions,
+        scrape.spawn_secs,
+        scrape.scrape_micros,
+        scrape.render_bytes,
+        scrape.trace_recorded,
+        scrape.trace_overwritten,
+        scrape.live_streams_after
+    ));
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    json.push_str(&format!("  \"host_cores\": {cores}\n"));
+    json.push_str("}\n");
+    std::fs::write("results/BENCH_obs.json", json).expect("write obs json");
+    save("obs_ablation", &csv);
+    println!("JSON written to results/BENCH_obs.json");
 }

@@ -5,6 +5,7 @@
 pub mod chain;
 pub mod chaos;
 pub mod e2e;
+pub mod obs;
 pub mod reconfig;
 pub mod report;
 pub mod sessions;
@@ -12,5 +13,6 @@ pub mod sessions;
 pub use chain::ChainHarness;
 pub use chaos::{chaos_server_config, run_chaos, with_quiet_panics, ChaosConfig, ChaosOutcome};
 pub use e2e::{end_to_end_point, E2EPoint};
+pub use obs::{obs_chain_pair, run_scrape_churn, ObsChainConfig, ScrapeOutcome};
 pub use reconfig::{reconfig_time, reconfig_time_with};
 pub use sessions::{run_sessions, SessionsConfig, SessionsOutcome};

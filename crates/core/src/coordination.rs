@@ -251,6 +251,7 @@ mod tests {
             supervisor: None,
             batching: Default::default(),
             fusion: false,
+            telemetry: None,
         };
         CoordinationManager::new(deps, Arc::new(EventManager::new()))
     }

@@ -38,6 +38,7 @@ mod spsc;
 pub mod stream;
 pub mod streamlet;
 pub mod supervisor;
+pub mod telemetry;
 
 pub use coordination::CoordinationManager;
 pub use directory::StreamletDirectory;
@@ -58,6 +59,9 @@ pub use streamlet::{
 };
 pub use supervisor::{
     DeadLetter, DeadLetterQueue, FaultCause, FaultInfo, RestartPolicy, Supervisor, SupervisorStats,
+};
+pub use telemetry::{
+    BridgeConfig, DropReason, MetricsSnapshot, Telemetry, TelemetryConfig, TraceEvent, TraceKind,
 };
 
 // Re-export the language-level vocabulary the runtime shares with MCL.

@@ -25,6 +25,7 @@
 
 use crate::pool::{MessagePool, Payload};
 use crate::spsc::SpscRing;
+use crate::telemetry::{DropReason, QueueProbe};
 use mobigate_mcl::ast::{ChannelCategory, ChannelKind};
 use mobigate_mime::MimeType;
 use parking_lot::{Condvar, Mutex, RwLock};
@@ -247,6 +248,23 @@ pub struct QueueStats {
     pub dropped_closed: u64,
     /// Pending messages discarded by a category-mandated break.
     pub dropped_break: u64,
+    /// Parked pending outputs whose Figure 6-9 deadline expired before
+    /// the queue had room.
+    pub dropped_expired: u64,
+    /// Pending messages discarded by the overload relief valve
+    /// ([`MessageQueue::shed_oldest`]).
+    pub dropped_shed: u64,
+}
+
+impl QueueStats {
+    /// Sum of every drop reason.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_full
+            + self.dropped_closed
+            + self.dropped_break
+            + self.dropped_expired
+            + self.dropped_shed
+    }
 }
 
 #[derive(Debug)]
@@ -274,6 +292,12 @@ pub struct MessageQueue {
     dropped_full: AtomicU64,
     dropped_closed: AtomicU64,
     dropped_break: AtomicU64,
+    dropped_expired: AtomicU64,
+    dropped_shed: AtomicU64,
+    /// Telemetry recording handle of the owning stream, when the
+    /// observability plane is enabled. `None` costs one branch per
+    /// instrumented operation.
+    probe: Option<QueueProbe>,
     listeners: RwLock<Vec<Arc<Notifier>>>,
     /// Producer-side peers of `listeners`: notified whenever capacity
     /// frees up, so pool-driven producers with parked outputs wake
@@ -298,6 +322,16 @@ pub struct MessageQueue {
 impl MessageQueue {
     /// Creates a queue backed by `pool` for reference accounting.
     pub fn new(cfg: QueueConfig, pool: Arc<MessagePool>) -> Arc<Self> {
+        Self::with_probe(cfg, pool, None)
+    }
+
+    /// Creates a queue carrying an optional telemetry probe: every post,
+    /// fetch, and drop is mirrored into the owning stream's metrics.
+    pub fn with_probe(
+        cfg: QueueConfig,
+        pool: Arc<MessagePool>,
+        probe: Option<QueueProbe>,
+    ) -> Arc<Self> {
         let ring = (cfg.spsc && cfg.kind == ChannelKind::Async).then(|| SpscRing::new(SPSC_SLOTS));
         let spsc_active = ring.is_some();
         Arc::new(MessageQueue {
@@ -317,12 +351,39 @@ impl MessageQueue {
             dropped_full: AtomicU64::new(0),
             dropped_closed: AtomicU64::new(0),
             dropped_break: AtomicU64::new(0),
+            dropped_expired: AtomicU64::new(0),
+            dropped_shed: AtomicU64::new(0),
+            probe,
             listeners: RwLock::new(Vec::new()),
             space_listeners: RwLock::new(Vec::new()),
             ring,
             spsc_active: AtomicBool::new(spsc_active),
             sleepers: AtomicUsize::new(0),
         })
+    }
+
+    /// Charges `n` drops to `reason` — the single bookkeeping site for
+    /// every drop path, mirroring into the telemetry probe when present.
+    fn charge_drop(&self, reason: DropReason, n: u64) {
+        let ctr = match reason {
+            DropReason::Full => &self.dropped_full,
+            DropReason::Closed => &self.dropped_closed,
+            DropReason::Break => &self.dropped_break,
+            DropReason::Expired => &self.dropped_expired,
+            DropReason::Shed => &self.dropped_shed,
+        };
+        ctr.fetch_add(n, Ordering::Relaxed);
+        if let Some(p) = &self.probe {
+            p.on_drop(&self.cfg.name, reason, n);
+        }
+    }
+
+    /// Mirrors one admitted message into the probe, when present.
+    #[inline]
+    fn probe_admit(&self, len: usize) {
+        if let Some(p) = &self.probe {
+            p.on_admit(len);
+        }
     }
 
     /// Re-evaluates SPSC eligibility. Called under the state lock at every
@@ -507,7 +568,9 @@ impl MessageQueue {
                 n += 1;
             }
         }
-        self.dropped_break.fetch_add(n, Ordering::Relaxed);
+        if n > 0 {
+            self.charge_drop(DropReason::Break, n);
+        }
     }
 
     fn wake_listeners(&self) {
@@ -544,10 +607,19 @@ impl MessageQueue {
     /// cost a lock acquisition to wake.
     pub fn post(&self, payload: Payload) -> PostResult {
         let len = payload.buffered_len(&self.pool);
-        match self.try_ring_post(payload, len) {
+        let t0 = self
+            .probe
+            .as_ref()
+            .filter(|p| p.sample_timing())
+            .map(|_| Instant::now());
+        let res = match self.try_ring_post(payload, len) {
             Ok(()) => PostResult::Posted,
             Err(payload) => self.post_locked(payload, len),
+        };
+        if let (Some(p), Some(t0)) = (&self.probe, t0) {
+            p.on_post_ns(t0.elapsed().as_nanos() as u64);
         }
+        res
     }
 
     /// Lock-free fast path; hands the payload back whenever it does not
@@ -570,6 +642,10 @@ impl MessageQueue {
         }
         ring.push(payload, len)?;
         self.posted.fetch_add(1, Ordering::Relaxed);
+        if let Some(p) = &self.probe {
+            p.on_admit(len);
+            p.on_ring_depth(ring.len());
+        }
         self.wake_after_ring_post();
         Ok(())
     }
@@ -604,7 +680,7 @@ impl MessageQueue {
         if !st.sink_open {
             drop(st);
             self.pool.discard(payload);
-            self.dropped_closed.fetch_add(1, Ordering::Relaxed);
+            self.charge_drop(DropReason::Closed, 1);
             return PostResult::Closed;
         }
         match self.cfg.kind {
@@ -614,6 +690,7 @@ impl MessageQueue {
                     match self.try_admit(&mut st, payload, len) {
                         Ok(()) => {
                             self.posted.fetch_add(1, Ordering::Relaxed);
+                            self.probe_admit(len);
                             drop(st);
                             self.cv.notify_all();
                             self.wake_listeners();
@@ -625,6 +702,7 @@ impl MessageQueue {
                         match self.try_admit(&mut st, payload, len) {
                             Ok(()) => {
                                 self.posted.fetch_add(1, Ordering::Relaxed);
+                                self.probe_admit(len);
                                 drop(st);
                                 self.cv.notify_all();
                                 self.wake_listeners();
@@ -633,7 +711,7 @@ impl MessageQueue {
                             Err(p) => {
                                 drop(st);
                                 self.pool.discard(p);
-                                self.dropped_full.fetch_add(1, Ordering::Relaxed);
+                                self.charge_drop(DropReason::Full, 1);
                                 return PostResult::Dropped;
                             }
                         }
@@ -641,7 +719,7 @@ impl MessageQueue {
                     if !st.sink_open {
                         drop(st);
                         self.pool.discard(payload);
-                        self.dropped_closed.fetch_add(1, Ordering::Relaxed);
+                        self.charge_drop(DropReason::Closed, 1);
                         return PostResult::Closed;
                     }
                 }
@@ -653,14 +731,14 @@ impl MessageQueue {
                     if self.cv.wait_until(&mut st, deadline).timed_out() {
                         drop(st);
                         self.pool.discard(payload);
-                        self.dropped_full.fetch_add(1, Ordering::Relaxed);
+                        self.charge_drop(DropReason::Full, 1);
                         return PostResult::Dropped;
                     }
                 }
                 if !st.sink_open {
                     drop(st);
                     self.pool.discard(payload);
-                    self.dropped_closed.fetch_add(1, Ordering::Relaxed);
+                    self.charge_drop(DropReason::Closed, 1);
                     return PostResult::Closed;
                 }
                 st.queue.push_back(payload);
@@ -677,12 +755,15 @@ impl MessageQueue {
                             drop(st);
                             self.pool.discard(p);
                             self.posted.fetch_sub(1, Ordering::Relaxed);
-                            self.dropped_full.fetch_add(1, Ordering::Relaxed);
+                            self.charge_drop(DropReason::Full, 1);
                             return PostResult::Dropped;
                         }
                         break;
                     }
                 }
+                // The rendezvous completed: only now is the admission
+                // final (a withdrawn message must never have been counted).
+                self.probe_admit(len);
                 PostResult::Posted
             }
         }
@@ -700,8 +781,14 @@ impl MessageQueue {
             return Vec::new();
         }
         if self.cfg.kind == ChannelKind::Sync || self.spsc_active.load(Ordering::SeqCst) {
+            // Per-message delegation records its own post timings.
             return payloads.into_iter().map(|p| self.post(p)).collect();
         }
+        let t0 = self
+            .probe
+            .as_ref()
+            .filter(|p| p.sample_timing())
+            .map(|_| Instant::now());
         let deadline = Instant::now() + self.cfg.full_wait;
         let mut results = Vec::with_capacity(payloads.len());
         let mut admitted = 0u64;
@@ -709,7 +796,7 @@ impl MessageQueue {
         'run: for payload in payloads {
             if !st.sink_open {
                 self.pool.discard(payload);
-                self.dropped_closed.fetch_add(1, Ordering::Relaxed);
+                self.charge_drop(DropReason::Closed, 1);
                 results.push(PostResult::Closed);
                 continue;
             }
@@ -719,6 +806,7 @@ impl MessageQueue {
                 match self.try_admit(&mut st, payload, len) {
                     Ok(()) => {
                         admitted += 1;
+                        self.probe_admit(len);
                         results.push(PostResult::Posted);
                         if st.queue.len() == 1 {
                             // Empty→non-empty: blocked fetchers wake as
@@ -741,11 +829,12 @@ impl MessageQueue {
                     match self.try_admit(&mut st, payload, len) {
                         Ok(()) => {
                             admitted += 1;
+                            self.probe_admit(len);
                             results.push(PostResult::Posted);
                         }
                         Err(p) => {
                             self.pool.discard(p);
-                            self.dropped_full.fetch_add(1, Ordering::Relaxed);
+                            self.charge_drop(DropReason::Full, 1);
                             results.push(PostResult::Dropped);
                         }
                     }
@@ -753,7 +842,7 @@ impl MessageQueue {
                 }
                 if !st.sink_open {
                     self.pool.discard(payload);
-                    self.dropped_closed.fetch_add(1, Ordering::Relaxed);
+                    self.charge_drop(DropReason::Closed, 1);
                     results.push(PostResult::Closed);
                     continue 'run;
                 }
@@ -764,6 +853,9 @@ impl MessageQueue {
             self.posted.fetch_add(admitted, Ordering::Relaxed);
             self.cv.notify_all();
             self.wake_listeners();
+        }
+        if let (Some(p), Some(t0)) = (&self.probe, t0) {
+            p.on_post_ns(t0.elapsed().as_nanos() as u64);
         }
         results
     }
@@ -788,12 +880,13 @@ impl MessageQueue {
         if !st.sink_open {
             drop(st);
             self.pool.discard(payload);
-            self.dropped_closed.fetch_add(1, Ordering::Relaxed);
+            self.charge_drop(DropReason::Closed, 1);
             return Ok(PostResult::Closed);
         }
         match self.try_admit(&mut st, payload, len) {
             Ok(()) => {
                 self.posted.fetch_add(1, Ordering::Relaxed);
+                self.probe_admit(len);
                 drop(st);
                 self.cv.notify_all();
                 self.wake_listeners();
@@ -844,7 +937,7 @@ impl MessageQueue {
         for payload in iter.by_ref() {
             if !st.sink_open {
                 self.pool.discard(payload);
-                self.dropped_closed.fetch_add(1, Ordering::Relaxed);
+                self.charge_drop(DropReason::Closed, 1);
                 results.push(PostResult::Closed);
                 continue;
             }
@@ -852,6 +945,7 @@ impl MessageQueue {
             match self.try_admit(&mut st, payload, len) {
                 Ok(()) => {
                     admitted += 1;
+                    self.probe_admit(len);
                     results.push(PostResult::Posted);
                 }
                 Err(p) => {
@@ -873,11 +967,37 @@ impl MessageQueue {
 
     /// Accounts a payload that waited out Figure 6-9's `T` *outside* the
     /// queue (in a producer's pending-output buffer) and must now be
-    /// dropped: discarded to the pool and counted against `dropped_full`,
-    /// exactly as an in-queue deadline expiry would be.
+    /// dropped: discarded to the pool and charged to `dropped_expired` —
+    /// its own reason code, distinct from an in-queue `dropped_full`
+    /// (which blocked a `post`), so overflow and expiry stay separable.
     pub fn discard_expired(&self, payload: Payload) {
         self.pool.discard(payload);
-        self.dropped_full.fetch_add(1, Ordering::Relaxed);
+        self.charge_drop(DropReason::Expired, 1);
+    }
+
+    /// Overload relief valve: discards up to `max_n` of the *oldest*
+    /// pending messages (ring entries first — they always predate the
+    /// mutex queue's), charging them to the `shed` drop reason. Returns
+    /// how many were shed. Load-shedding policies (an MCL rule reacting
+    /// to `HIGH_DROP_RATE`, an operator hook) call this to trade old data
+    /// for headroom instead of stalling producers.
+    pub fn shed_oldest(&self, max_n: usize) -> usize {
+        let mut st = self.state.lock();
+        let mut n = 0usize;
+        while n < max_n {
+            let Some(p) = self.pop_one(&mut st) else {
+                break;
+            };
+            self.pool.discard(p);
+            n += 1;
+        }
+        drop(st);
+        if n > 0 {
+            self.charge_drop(DropReason::Shed, n as u64);
+            self.cv.notify_all();
+            self.wake_space_listeners();
+        }
+        n
     }
 
     /// The Figure 6-9 full-wait budget `T` configured for this channel.
@@ -941,6 +1061,9 @@ impl MessageQueue {
         let mut st = self.state.lock();
         if let Some(p) = self.pop_one(&mut st) {
             self.fetched.fetch_add(1, Ordering::Relaxed);
+            if let Some(pr) = &self.probe {
+                pr.on_fetch(1);
+            }
             drop(st);
             self.cv.notify_all();
             self.wake_space_listeners();
@@ -960,6 +1083,9 @@ impl MessageQueue {
         loop {
             if let Some(p) = self.pop_one(&mut st) {
                 self.fetched.fetch_add(1, Ordering::Relaxed);
+                if let Some(pr) = &self.probe {
+                    pr.on_fetch(1);
+                }
                 drop(st);
                 self.cv.notify_all();
                 self.wake_space_listeners();
@@ -1013,6 +1139,9 @@ impl MessageQueue {
         }
         if !out.is_empty() {
             self.fetched.fetch_add(out.len() as u64, Ordering::Relaxed);
+            if let Some(p) = &self.probe {
+                p.on_batch(out.len());
+            }
             drop(st);
             self.cv.notify_all();
             self.wake_space_listeners();
@@ -1046,6 +1175,8 @@ impl MessageQueue {
             dropped_full: self.dropped_full.load(Ordering::Relaxed),
             dropped_closed: self.dropped_closed.load(Ordering::Relaxed),
             dropped_break: self.dropped_break.load(Ordering::Relaxed),
+            dropped_expired: self.dropped_expired.load(Ordering::Relaxed),
+            dropped_shed: self.dropped_shed.load(Ordering::Relaxed),
         }
     }
 }
@@ -1391,5 +1522,71 @@ mod tests {
         let received: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
         assert_eq!(received, total);
         assert_eq!(pool.stats().resident, 0);
+    }
+
+    #[test]
+    fn drops_are_reason_coded() {
+        let (q, pool) = setup(QueueConfig {
+            capacity_bytes: 64,
+            full_wait: Duration::from_millis(1),
+            ..Default::default()
+        });
+        q.attach_source();
+        q.attach_sink();
+        // Oversized-head admission fills the queue; the next post waits
+        // out its tiny budget and drops with reason `full`.
+        assert_eq!(q.post(payload(&pool, 128)), PostResult::Posted);
+        assert_eq!(q.post(payload(&pool, 16)), PostResult::Dropped);
+        let s = q.stats();
+        assert_eq!((s.dropped_full, s.dropped_total()), (1, 1));
+
+        // Shedding the resident head charges `shed`, not `full`.
+        assert_eq!(q.shed_oldest(8), 1);
+        assert!(q.is_empty());
+        let s = q.stats();
+        assert_eq!(s.dropped_shed, 1);
+
+        // A parked output whose Figure 6-9 deadline passed charges
+        // `expired` when its owner discards it.
+        q.discard_expired(payload(&pool, 16));
+        // `break` covers in-queue messages destroyed when a BK channel's
+        // sink side breaks the stream.
+        assert_eq!(q.post(payload(&pool, 8)), PostResult::Posted);
+        q.detach_sink().unwrap();
+        let s = q.stats();
+        assert_eq!(s.dropped_full, 1);
+        assert_eq!(s.dropped_expired, 1);
+        assert_eq!(s.dropped_break, 1);
+        assert_eq!(s.dropped_shed, 1);
+        assert_eq!(s.dropped_total(), 4);
+        assert_eq!(pool.stats().resident, 0, "every drop released its payload");
+    }
+
+    #[test]
+    fn shed_oldest_sheds_in_fifo_order_and_wakes_space() {
+        let (q, pool) = setup(QueueConfig {
+            capacity_bytes: 1 << 20,
+            ..Default::default()
+        });
+        for i in 0..4usize {
+            let m = MimeMessage::text(format!("m{i}"));
+            assert_eq!(
+                q.post(pool.wrap(m, crate::PayloadMode::Reference, 1)),
+                PostResult::Posted
+            );
+        }
+        assert_eq!(q.shed_oldest(2), 2);
+        // The survivors are the *newest* two, still in order.
+        for expect in ["m2", "m3"] {
+            match q.try_fetch() {
+                FetchResult::Msg(p) => {
+                    let m = pool.resolve(p).unwrap();
+                    assert_eq!(&m.body[..], expect.as_bytes());
+                }
+                other => panic!("expected {expect}, got {other:?}"),
+            }
+        }
+        assert_eq!(q.shed_oldest(5), 0, "empty queue sheds nothing");
+        assert_eq!(q.stats().dropped_shed, 2);
     }
 }

@@ -21,6 +21,7 @@ use crate::pooling::StreamletPool;
 use crate::session::SessionManager;
 use crate::stream::{BatchConfig, RunningStream, StreamDeps};
 use crate::supervisor::{DeadLetterQueue, RestartPolicy, Supervisor};
+use crate::telemetry::{bridge::MetricsBridge, MetricsSnapshot, Telemetry, TelemetryConfig};
 use mobigate_mcl::analysis;
 use mobigate_mcl::compile::compile;
 use mobigate_mcl::config::Program;
@@ -103,6 +104,10 @@ pub struct ServerConfig {
     /// into single execution units at deploy time, with event-driven
     /// fission on reconfiguration or member quarantine (see `fusion.rs`).
     pub fusion: bool,
+    /// Observability plane: hot-path metrics, lifecycle traces, and the
+    /// metrics→event bridge. Disabled by default — the off path allocates
+    /// nothing and costs one branch per instrumented operation.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ServerConfig {
@@ -116,6 +121,7 @@ impl Default for ServerConfig {
             supervision: SupervisionConfig::default(),
             batching: BatchConfig::default(),
             fusion: false,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -136,10 +142,18 @@ pub struct MobiGate {
     /// before the executor's workers are joined.
     supervisor: Option<Arc<Supervisor>>,
     executor: Arc<dyn Executor>,
+    /// The observability plane, when `ServerConfig { telemetry }` enabled
+    /// it. `None` otherwise — nothing is allocated, nothing is polled.
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Drop for MobiGate {
     fn drop(&mut self) {
+        // Stop the bridge's watcher thread before tearing streams down so
+        // it never observes a half-shut-down coordination plane.
+        if let Some(t) = &self.telemetry {
+            t.stop_bridge();
+        }
         // An outstanding `Arc<CoordinationManager>` (a SessionManager kept
         // alive past the gate) must not keep streams running against an
         // executor whose workers the next field drops are about to join.
@@ -217,6 +231,15 @@ impl MobiGate {
         } else {
             None
         };
+        let telemetry = if config.telemetry.enabled {
+            let t = Telemetry::new(&config.telemetry);
+            if let Some(sup) = &supervisor {
+                sup.set_telemetry(t.clone());
+            }
+            Some(t)
+        } else {
+            None
+        };
         let deps = StreamDeps {
             msg_pool: msg_pool.clone(),
             directory: directory.clone(),
@@ -227,11 +250,23 @@ impl MobiGate {
             supervisor: supervisor.clone(),
             batching: config.batching,
             fusion: config.fusion,
+            telemetry: telemetry.clone(),
         };
         let coordination = Arc::new(match config.coord_shards {
             Some(n) => CoordinationManager::with_shards(deps, events.clone(), n),
             None => CoordinationManager::new(deps, events.clone()),
         });
+        if let Some(t) = &telemetry {
+            if config.telemetry.bridge.enabled {
+                let bridge = MetricsBridge::start(
+                    config.telemetry.bridge.clone(),
+                    Arc::downgrade(t),
+                    Arc::downgrade(&coordination),
+                    Arc::downgrade(&events),
+                );
+                t.install_bridge(bridge);
+            }
+        }
         MobiGate {
             directory,
             streamlet_pool,
@@ -241,6 +276,7 @@ impl MobiGate {
             mode: config.mode,
             supervisor,
             executor,
+            telemetry,
         }
     }
 
@@ -288,6 +324,38 @@ impl MobiGate {
     /// supervision is enabled.
     pub fn dead_letters(&self) -> Option<&Arc<DeadLetterQueue>> {
         self.supervisor.as_ref().map(|s| s.dead_letters())
+    }
+
+    /// The observability plane, when enabled.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
+    }
+
+    /// Assembles one coherent [`MetricsSnapshot`] across every subsystem
+    /// (stream totals + per-stream breakdown, pools, events, supervisor,
+    /// trace ring). `None` when telemetry is disabled. Render it with
+    /// [`MetricsSnapshot::render_prometheus`].
+    pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        let t = self.telemetry.as_ref()?;
+        let registry = t.registry();
+        Some(MetricsSnapshot {
+            totals: registry.totals(),
+            per_stream: registry.per_stream(),
+            live_streams: registry.live_count(),
+            streamlet_pool: self.streamlet_pool.stats(),
+            msg_pool: self.msg_pool.stats(),
+            events: self.events.stats(),
+            supervisor: self.supervisor.as_ref().map(|s| s.stats()),
+            dead_letters: self.supervisor.as_ref().map(|s| s.dead_letters().stats()),
+            trace_recorded: t.trace().recorded(),
+            trace_overwritten: t.trace().overwritten(),
+        })
+    }
+
+    /// JSONL export of the lifecycle trace ring. `None` when telemetry is
+    /// disabled.
+    pub fn export_trace_jsonl(&self) -> Option<String> {
+        self.telemetry.as_ref().map(|t| t.export_trace_jsonl())
     }
 
     /// Compiles `source` and returns the program without deploying.

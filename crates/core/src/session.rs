@@ -20,6 +20,7 @@
 use crate::coordination::CoordinationManager;
 use crate::error::CoreError;
 use crate::stream::RunningStream;
+use crate::telemetry::TraceKind;
 use mobigate_mcl::template::StreamTemplate;
 use mobigate_mime::SessionId;
 use parking_lot::Mutex;
@@ -75,6 +76,14 @@ impl SessionManager {
         let stream =
             self.coordination
                 .deploy_table(&table, self.template.defs(), session.clone())?;
+        if let Some(t) = &self.coordination.deps().telemetry {
+            t.trace_event(
+                TraceKind::SessionSpawn,
+                Some(session.as_str()),
+                None,
+                format!("template {}", self.template.base_name()),
+            );
+        }
         self.roster.lock().insert(session);
         Ok(stream)
     }
@@ -112,6 +121,7 @@ impl SessionManager {
         if let Some(stream) = self.coordination.stream(session) {
             stream.drain(drain_timeout);
         }
+        self.trace_teardown(session);
         self.coordination.undeploy(session)
     }
 
@@ -128,11 +138,23 @@ impl SessionManager {
             if let Some(stream) = self.coordination.stream(&session) {
                 stream.drain(DEFAULT_DRAIN_TIMEOUT);
             }
+            self.trace_teardown(&session);
             if self.coordination.undeploy(&session) {
                 n += 1;
             }
         }
         n
+    }
+
+    fn trace_teardown(&self, session: &SessionId) {
+        if let Some(t) = &self.coordination.deps().telemetry {
+            t.trace_event(
+                TraceKind::SessionTeardown,
+                Some(session.as_str()),
+                None,
+                format!("template {}", self.template.base_name()),
+            );
+        }
     }
 }
 

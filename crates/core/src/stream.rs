@@ -28,6 +28,7 @@ use crate::pool::{MessagePool, PayloadMode};
 use crate::pooling::StreamletPool;
 use crate::queue::{FetchResult, MessageQueue, Notifier, QueueConfig};
 use crate::streamlet::{LifecycleState, RouteOpts, StreamletHandle, StreamletLogic};
+use crate::telemetry::{QueueProbe, Telemetry, TraceKind};
 use mobigate_mcl::config::{
     ChannelRow, ConfigTable, ConnectionRow, ReconfigAction, StreamletSpec, WhenRule,
 };
@@ -84,6 +85,9 @@ pub struct StreamDeps {
     /// single execution units at deploy time (see `fusion.rs` in this crate
     /// and in `mobigate-mcl`); fission re-expands them on demand.
     pub fusion: bool,
+    /// The observability plane, when enabled. `None` keeps every
+    /// instrumented hot path at a single branch.
+    pub telemetry: Option<Arc<Telemetry>>,
 }
 
 /// Equation 7-1 instrumentation of one reconfiguration:
@@ -192,6 +196,10 @@ pub struct RunningStream {
     delivered: AtomicU64,
     reconfigurations: AtomicU64,
     last_reconfig: Mutex<Option<ReconfigStats>>,
+    /// Telemetry recording handle (session-keyed), cloned into every
+    /// channel this stream creates — including reconfiguration- and
+    /// fission-created ones, so instrumentation survives topology changes.
+    probe: Option<QueueProbe>,
 }
 
 impl RunningStream {
@@ -238,6 +246,13 @@ impl RunningStream {
             .flat_map(|r| r.members.iter().map(String::as_str))
             .collect();
 
+        // One session-keyed telemetry probe is shared by every channel and
+        // handle of this stream; `None` when the observability plane is off.
+        let tprobe = deps
+            .telemetry
+            .as_ref()
+            .map(|t| t.probe_for(session.as_str()));
+
         let mut channels: HashMap<String, Arc<MessageQueue>> = HashMap::new();
         for row in &table.channels {
             if interior.contains(row.name.as_str()) {
@@ -247,7 +262,7 @@ impl RunningStream {
             cfg.spsc = deps.batching.spsc;
             channels.insert(
                 row.name.clone(),
-                MessageQueue::new(cfg, deps.msg_pool.clone()),
+                MessageQueue::with_probe(cfg, deps.msg_pool.clone(), tprobe.clone()),
             );
         }
 
@@ -264,10 +279,10 @@ impl RunningStream {
             };
             ingress.push((
                 format!("{inst}.{port}"),
-                MessageQueue::new(cfg, deps.msg_pool.clone()),
+                MessageQueue::with_probe(cfg, deps.msg_pool.clone(), tprobe.clone()),
             ));
         }
-        let egress = MessageQueue::new(
+        let egress = MessageQueue::with_probe(
             QueueConfig {
                 name: "__egress".into(),
                 capacity_bytes: 8 << 20,
@@ -276,6 +291,7 @@ impl RunningStream {
                 ..Default::default()
             },
             deps.msg_pool.clone(),
+            tprobe.clone(),
         );
         let egress_notifier = Arc::new(Notifier::new());
         egress.add_listener(egress_notifier.clone());
@@ -360,6 +376,20 @@ impl RunningStream {
             h.start()?;
         }
 
+        if let Some(t) = &deps.telemetry {
+            t.trace_event(
+                TraceKind::Deploy,
+                Some(session.as_str()),
+                None,
+                format!(
+                    "stream {} ({} instances, {} fused)",
+                    table.name,
+                    instances.len(),
+                    fused.len()
+                ),
+            );
+        }
+
         Ok(Arc::new(RunningStream {
             name: table.name.clone(),
             session,
@@ -390,6 +420,7 @@ impl RunningStream {
             delivered: AtomicU64::new(0),
             reconfigurations: AtomicU64::new(0),
             last_reconfig: Mutex::new(None),
+            probe: tprobe,
         }))
     }
 
@@ -488,6 +519,9 @@ impl RunningStream {
 
     fn post_to(&self, q: Arc<MessageQueue>, mut msg: MimeMessage) -> Result<(), CoreError> {
         msg.set_session(&self.session);
+        if let Some(p) = &self.probe {
+            p.on_bytes_in(msg.body.len() as u64);
+        }
         let payload = self.deps.msg_pool.wrap(msg, self.deps.mode, 1);
         q.post(payload);
         self.injected.fetch_add(1, Ordering::Relaxed);
@@ -567,13 +601,13 @@ impl RunningStream {
         for name in names {
             let q = &inner.channels[name];
             let stats = q.stats();
-            if !q.is_empty() || stats.dropped_full > 0 {
+            if !q.is_empty() || stats.dropped_total() > 0 {
                 let _ = writeln!(
                     out,
-                    "channel {name}: len={} spsc={} dropped_full={}",
+                    "channel {name}: len={} spsc={} dropped={}",
                     q.len(),
                     q.spsc_active(),
-                    stats.dropped_full
+                    stats.dropped_total()
                 );
             }
         }
@@ -783,6 +817,18 @@ impl RunningStream {
                 }
             }
         }
+        // Retire this session's metrics (totals fold into the registry's
+        // retired accumulator) and trace the teardown. Only reachable on
+        // the first shutdown thanks to the `inner.shutdown` guard above.
+        if let Some(p) = &self.probe {
+            p.telemetry.trace_event(
+                TraceKind::Undeploy,
+                Some(&p.key),
+                None,
+                format!("stream {}", self.name),
+            );
+            p.telemetry.registry().deregister(&p.key);
+        }
     }
 
     fn reclaim_logic(&self, handle: &Arc<StreamletHandle>) {
@@ -825,6 +871,14 @@ impl RunningStream {
         drop(inner);
         stats.total = t0.elapsed();
         self.reconfigurations.fetch_add(1, Ordering::Relaxed);
+        if let Some(p) = &self.probe {
+            p.telemetry.trace_event(
+                TraceKind::Reconfigure,
+                Some(&p.key),
+                None,
+                format!("{} actions, {} errors", actions.len(), stats.errors),
+            );
+        }
         *self.last_reconfig.lock() = Some(stats);
         stats
     }
@@ -888,9 +942,10 @@ impl RunningStream {
             ReconfigAction::NewChannel { name, spec } => {
                 if !inner.channels.contains_key(name) {
                     let t = Instant::now();
-                    let q = MessageQueue::new(
+                    let q = MessageQueue::with_probe(
                         QueueConfig::from_spec(name, spec),
                         self.deps.msg_pool.clone(),
+                        self.probe.clone(),
                     );
                     inner.channels.insert(name.clone(), q);
                     stats.channel_ops += 1;
@@ -1127,13 +1182,14 @@ impl RunningStream {
                 break candidate;
             }
         };
-        let n = MessageQueue::new(
+        let n = MessageQueue::with_probe(
             QueueConfig {
                 name: n_name.clone(),
                 ty: m.config().ty.clone(),
                 ..Default::default()
             },
             self.deps.msg_pool.clone(),
+            self.probe.clone(),
         );
         a.attach_out(&from.1, &n);
         c_handle.attach_in(&c_in, &n);
@@ -1467,7 +1523,7 @@ impl RunningStream {
             cfg.spsc = self.deps.batching.spsc;
             inner.channels.insert(
                 row.name.clone(),
-                MessageQueue::new(cfg, self.deps.msg_pool.clone()),
+                MessageQueue::with_probe(cfg, self.deps.msg_pool.clone(), self.probe.clone()),
             );
             stats.channel_ops += 1;
             stats.channel_time += t.elapsed();
@@ -1578,6 +1634,14 @@ impl RunningStream {
                 Err(_) => stats.errors += 1,
             }
         }
+        if let Some(p) = &self.probe {
+            p.telemetry.trace_event(
+                TraceKind::Fission,
+                Some(&p.key),
+                Some(unit),
+                format!("{} segments", seg_handles.len()),
+            );
+        }
         Ok(stats)
     }
 
@@ -1603,6 +1667,9 @@ impl RunningStream {
             self.deps.executor.clone(),
         );
         handle.set_batch_max(self.deps.batching.batch_max);
+        if let Some(p) = &self.probe {
+            handle.set_probe(p.clone());
+        }
         if let Some(sup) = &self.deps.supervisor {
             let dir = self.deps.directory.clone();
             let key = m.key.clone();
@@ -1692,6 +1759,9 @@ fn create_instance(
         deps.executor.clone(),
     );
     handle.set_batch_max(deps.batching.batch_max);
+    if let Some(t) = &deps.telemetry {
+        handle.set_probe(t.probe_for(session.as_str()));
+    }
     if let Some(sup) = &deps.supervisor {
         let dir = deps.directory.clone();
         let key = key.to_string();
@@ -1715,6 +1785,7 @@ fn assemble_fused_handle(
         (Some(a), Some(b)) => format!("fused:{}..{}", a.instance, b.instance),
         _ => "fused:".to_string(),
     };
+    let n_members = members.len();
     let shared = FusedShared::new(unit.clone(), members);
     let handle = StreamletHandle::with_executor(
         &unit,
@@ -1728,6 +1799,15 @@ fn assemble_fused_handle(
         deps.executor.clone(),
     );
     handle.set_batch_max(deps.batching.batch_max);
+    if let Some(t) = &deps.telemetry {
+        handle.set_probe(t.probe_for(session.as_str()));
+        t.trace_event(
+            TraceKind::Fuse,
+            Some(session.as_str()),
+            Some(&unit),
+            format!("{n_members} members"),
+        );
+    }
     if let Some(sup) = &deps.supervisor {
         let dir = deps.directory.clone();
         let roster = shared.clone();
@@ -1844,6 +1924,7 @@ mod tests {
             supervisor: None,
             batching: BatchConfig::default(),
             fusion: false,
+            telemetry: None,
         }
     }
 

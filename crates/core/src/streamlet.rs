@@ -15,12 +15,13 @@ use crate::executor::{default_executor, Executor};
 use crate::pool::{MessagePool, Payload, PayloadMode};
 use crate::queue::{FetchResult, MessageQueue, Notifier};
 use crate::supervisor::FaultCause;
+use crate::telemetry::QueueProbe;
 use mobigate_mime::{MimeMessage, SessionId, TypeRegistry};
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Something that accepts emissions to named output ports.
@@ -264,6 +265,9 @@ struct Shared {
     fault_hook: Mutex<Option<FaultHook>>,
     faults: AtomicU64,
     restarts: AtomicU64,
+    /// Session-keyed telemetry probe (observability plane). `get()` is a
+    /// single atomic load, so the disabled path stays one branch per call.
+    probe: OnceLock<QueueProbe>,
 }
 
 /// Rendezvous slot a control requester waits on: result + wakeup.
@@ -385,7 +389,8 @@ impl Shared {
     }
 
     /// Retries every parked output in emission order; entries whose drop
-    /// deadline has passed are accounted as `dropped_full` on their queue.
+    /// deadline has passed are accounted as `dropped_expired` on their
+    /// queue.
     /// Returns `true` when the buffer ended up empty (the task may consume
     /// new input), `false` when something is still stuck behind a full
     /// queue.
@@ -403,10 +408,10 @@ impl Shared {
         for (q, payload, deadline) in items {
             // Figure 6-9: the wait budget `T` elapsed while the entry was
             // parked, so it drops — charged via `discard_expired`, the
-            // single `dropped_full` charge site — *before* any retry. An
-            // expired entry must never race a successful late post (which
-            // would deliver it *and* leave it eligible for a second charge
-            // on a later flush) nor be charged once per flush round.
+            // single `dropped_expired` charge site — *before* any retry.
+            // An expired entry must never race a successful late post
+            // (which would deliver it *and* leave it eligible for a second
+            // charge on a later flush) nor be charged once per flush round.
             if now >= deadline {
                 q.discard_expired(payload);
                 continue;
@@ -581,6 +586,7 @@ impl StreamletHandle {
                 fault_hook: Mutex::new(None),
                 faults: AtomicU64::new(0),
                 restarts: AtomicU64::new(0),
+                probe: OnceLock::new(),
             }),
             def_name: def_name.into(),
             stateful,
@@ -1045,6 +1051,13 @@ impl StreamletHandle {
     /// cadence). Takes effect from the next wake.
     pub fn set_batch_max(&self, max: usize) {
         self.shared.batch_max.store(max.max(1), Ordering::Relaxed);
+    }
+
+    /// Installs the session-keyed telemetry probe. First install wins;
+    /// later calls are no-ops (the probe is immutable once published to
+    /// the worker).
+    pub fn set_probe(&self, probe: QueueProbe) {
+        let _ = self.shared.probe.set(probe);
     }
 
     /// Installs fresh logic into a `Faulted` instance and resumes it in
@@ -1525,6 +1538,11 @@ impl StreamletTask {
         // Keep a handle on the message so a panic can stash it for
         // redelivery (the body is `Bytes`; this clone is cheap).
         let replay = msg.clone();
+        let t0 = shared
+            .probe
+            .get()
+            .filter(|p| p.sample_timing())
+            .map(|_| Instant::now());
         shared.processing.store(true, Ordering::Release);
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
             let mut ctx = StreamletCtx::new(&shared.name, shared.session.as_ref());
@@ -1555,6 +1573,9 @@ impl StreamletTask {
                 Step::Fault
             }
         };
+        if let (Some(p), Some(t0)) = (shared.probe.get(), t0) {
+            p.on_process_ns(t0.elapsed().as_nanos() as u64);
+        }
         shared.processing.store(false, Ordering::Release);
         step
     }
@@ -1566,6 +1587,11 @@ impl StreamletTask {
         let shared = &self.shared;
         let replays: Vec<MimeMessage> = msgs.to_vec();
         let n = msgs.len() as u64;
+        let t0 = shared
+            .probe
+            .get()
+            .filter(|p| p.sample_timing())
+            .map(|_| Instant::now());
         shared.processing.store(true, Ordering::Release);
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
             let mut ctx = StreamletCtx::new(&shared.name, shared.session.as_ref());
@@ -1600,6 +1626,9 @@ impl StreamletTask {
                 Step::Fault
             }
         };
+        if let (Some(p), Some(t0)) = (shared.probe.get(), t0) {
+            p.on_process_ns(t0.elapsed().as_nanos() as u64);
+        }
         shared.processing.store(false, Ordering::Release);
         step
     }
@@ -1610,6 +1639,9 @@ impl StreamletTask {
     fn fault(&self, cause: FaultCause) {
         let shared = &self.shared;
         shared.faults.fetch_add(1, Ordering::Relaxed);
+        if let Some(p) = shared.probe.get() {
+            p.on_fault();
+        }
         let report = {
             let mut state = shared.state.lock();
             if *state == LifecycleState::Ended {
@@ -2070,18 +2102,20 @@ mod tests {
         h.shared
             .route_outputs(vec![("po".to_string(), MimeMessage::text("parked"))]);
         assert_eq!(h.pending_outputs(), 1);
-        assert_eq!(qout.stats().dropped_full, 0);
+        assert_eq!(qout.stats().dropped_expired, 0);
         std::thread::sleep(Duration::from_millis(20));
         // Space frees up before the flush — the entry is expired anyway
-        // and must drop (Figure 6-9), charged exactly once.
+        // and must drop (Figure 6-9), charged exactly once, under its own
+        // reason code (`expired`, not an in-queue `full`).
         let _ = fetch_text(&pool, &qout);
         assert!(h.shared.flush_pending());
-        assert_eq!(qout.stats().dropped_full, 1);
+        assert_eq!(qout.stats().dropped_expired, 1);
+        assert_eq!(qout.stats().dropped_full, 0);
         // Regression: repeated flushes after expiry must not re-charge,
         // and the expired entry must not have been delivered late.
         assert!(h.shared.flush_pending());
         assert!(h.shared.flush_pending());
-        assert_eq!(qout.stats().dropped_full, 1);
+        assert_eq!(qout.stats().dropped_expired, 1);
         assert!(matches!(
             qout.fetch(Duration::from_millis(20)),
             FetchResult::Empty
@@ -2123,10 +2157,12 @@ mod tests {
         assert_eq!(h.pending_outputs(), 1);
         std::thread::sleep(Duration::from_millis(20));
         // Ending the (started) streamlet drains the overflow buffer; the
-        // entry sat past its deadline, so the teardown books the drop.
+        // entry sat past its deadline, so the teardown books the drop
+        // under the `expired` reason.
         h.start().unwrap();
         h.end();
-        assert_eq!(qout.stats().dropped_full, 1);
+        assert_eq!(qout.stats().dropped_expired, 1);
+        assert_eq!(qout.stats().dropped_full, 0);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 use crate::error::CoreError;
 use crate::events::{ContextEvent, EventManager};
 use crate::streamlet::{StreamletHandle, StreamletLogic};
+use crate::telemetry::{Telemetry, TraceKind};
 use mobigate_mime::MimeMessage;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
@@ -275,6 +276,9 @@ pub struct Supervisor {
     quarantined: AtomicU64,
     /// xorshift state for backoff jitter.
     seed: AtomicU64,
+    /// Observability plane; when installed, every supervision decision
+    /// (fault, restart, refusal, quarantine, dead-letter) leaves a trace.
+    telemetry: Mutex<Option<Arc<Telemetry>>>,
 }
 
 impl Supervisor {
@@ -301,6 +305,7 @@ impl Supervisor {
             restarts: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
             seed: AtomicU64::new(0x9E37_79B9_7F4A_7C15),
+            telemetry: Mutex::new(None),
         });
         let weak = Arc::downgrade(&sup);
         let handle = std::thread::Builder::new()
@@ -309,6 +314,18 @@ impl Supervisor {
             .expect("spawn supervisor thread");
         *sup.worker.lock() = Some(handle);
         sup
+    }
+
+    /// Attaches the observability plane: subsequent supervision decisions
+    /// append lifecycle trace events.
+    pub fn set_telemetry(&self, telemetry: Arc<Telemetry>) {
+        *self.telemetry.lock() = Some(telemetry);
+    }
+
+    fn trace(&self, kind: TraceKind, stream: Option<&str>, instance: &str, detail: String) {
+        if let Some(t) = &*self.telemetry.lock() {
+            t.trace_event(kind, stream, Some(instance), detail);
+        }
     }
 
     /// Places `handle` under supervision with the supervisor-wide default
@@ -472,6 +489,12 @@ impl Supervisor {
                 restarts: entry.restarts,
             };
             let event = ContextEvent::fault(info, entry.stream.clone());
+            self.trace(
+                TraceKind::Fault,
+                entry.stream.as_deref(),
+                handle.name(),
+                format!("{cause}"),
+            );
 
             if entry.fault_times.len() as u32 > entry.policy.max_restarts {
                 // Budget exhausted: give up on this instance. The handle
@@ -479,6 +502,12 @@ impl Supervisor {
                 // still bypass or remove it.
                 let _ = handle.quarantine();
                 self.quarantined.fetch_add(1, Ordering::Relaxed);
+                self.trace(
+                    TraceKind::Quarantine,
+                    entry.stream.as_deref(),
+                    handle.name(),
+                    format!("restart budget exhausted ({})", entry.policy.max_restarts),
+                );
             } else {
                 // Poison eviction: the pending message already faulted this
                 // instance too many times — park it in the dead-letter
@@ -490,6 +519,12 @@ impl Supervisor {
                 // innocent batch-mates are redelivered normally.
                 if handle.redelivery_faults() >= entry.policy.poison_threshold {
                     if let Some((message, faults)) = handle.take_redelivery() {
+                        self.trace(
+                            TraceKind::DeadLetter,
+                            entry.stream.as_deref(),
+                            handle.name(),
+                            format!("poison message after {faults} faults"),
+                        );
                         self.dead_letters.push(DeadLetter {
                             instance: handle.name().to_string(),
                             stream: entry.stream.clone(),
@@ -535,12 +570,31 @@ impl Supervisor {
                 if handle.restart_with(logic).is_ok() {
                     entry.restarts += 1;
                     self.restarts.fetch_add(1, Ordering::Relaxed);
+                    self.trace(
+                        TraceKind::Restart,
+                        entry.stream.as_deref(),
+                        handle.name(),
+                        format!("restart #{}", entry.restarts),
+                    );
+                } else {
+                    self.trace(
+                        TraceKind::RestartRefused,
+                        entry.stream.as_deref(),
+                        handle.name(),
+                        format!("instance is {:?}, not Faulted", handle.state()),
+                    );
                 }
             }
             Err(_) => {
                 // The factory itself failed; nothing to install.
                 let _ = handle.quarantine();
                 self.quarantined.fetch_add(1, Ordering::Relaxed);
+                self.trace(
+                    TraceKind::Quarantine,
+                    entry.stream.as_deref(),
+                    handle.name(),
+                    "rebuild factory failed".to_string(),
+                );
             }
         }
     }

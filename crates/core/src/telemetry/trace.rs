@@ -1,0 +1,232 @@
+//! Bounded ring buffer of structured lifecycle trace events.
+//!
+//! The runtime's interesting moments — deploy, reconfigure, fuse/fission,
+//! fault, quarantine, session spawn/teardown, drops — are appended to a
+//! power-of-two ring that overwrites its oldest entry when full. Writers
+//! claim a slot with one `fetch_add` on the cursor and then fill it under
+//! that slot's own mutex, so concurrent writers never serialize on each
+//! other (different slots) and a full ring costs an overwrite, never a
+//! block. Timestamps are nanoseconds since the owning [`super::Telemetry`]
+//! was created (monotonic, comparable across threads).
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What happened. A closed vocabulary so exports stay greppable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    Deploy,
+    Undeploy,
+    Reconfigure,
+    Fuse,
+    Fission,
+    Fault,
+    Restart,
+    RestartRefused,
+    Quarantine,
+    DeadLetter,
+    SessionSpawn,
+    SessionTeardown,
+    Drop,
+}
+
+impl TraceKind {
+    /// The stable wire name used in JSONL exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::Deploy => "deploy",
+            TraceKind::Undeploy => "undeploy",
+            TraceKind::Reconfigure => "reconfigure",
+            TraceKind::Fuse => "fuse",
+            TraceKind::Fission => "fission",
+            TraceKind::Fault => "fault",
+            TraceKind::Restart => "restart",
+            TraceKind::RestartRefused => "restart-refused",
+            TraceKind::Quarantine => "quarantine",
+            TraceKind::DeadLetter => "dead-letter",
+            TraceKind::SessionSpawn => "session-spawn",
+            TraceKind::SessionTeardown => "session-teardown",
+            TraceKind::Drop => "drop",
+        }
+    }
+}
+
+/// One lifecycle event.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Global sequence number (also the slot-claim ticket) — total order.
+    pub seq: u64,
+    /// Nanoseconds since the telemetry plane came up.
+    pub t_ns: u64,
+    pub kind: TraceKind,
+    /// The stream/session the event concerns, when known.
+    pub stream: Option<String>,
+    /// The streamlet instance concerned, when known.
+    pub instance: Option<String>,
+    /// Free-form detail (drop reason, action count, fault cause…).
+    pub detail: String,
+}
+
+/// Bounded overwrite-oldest ring of [`TraceEvent`]s.
+pub struct TraceRing {
+    slots: Box<[Mutex<Option<TraceEvent>>]>,
+    mask: u64,
+    cursor: AtomicU64,
+    /// Events lost to overwrite (`max(0, cursor - capacity)` is implied;
+    /// this counts them explicitly for the snapshot).
+    overwritten: AtomicU64,
+}
+
+impl TraceRing {
+    /// A ring holding at least `capacity` events (rounded up to a power of
+    /// two, minimum 8).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(8).next_power_of_two();
+        TraceRing {
+            slots: (0..cap).map(|_| Mutex::new(None)).collect(),
+            mask: cap as u64 - 1,
+            cursor: AtomicU64::new(0),
+            overwritten: AtomicU64::new(0),
+        }
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Events lost to overwrite so far.
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten.load(Ordering::Relaxed)
+    }
+
+    /// Appends one event, overwriting the oldest when the ring is full.
+    pub fn record(
+        &self,
+        t_ns: u64,
+        kind: TraceKind,
+        stream: Option<&str>,
+        instance: Option<&str>,
+        detail: impl Into<String>,
+    ) {
+        let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(seq & self.mask) as usize];
+        let ev = TraceEvent {
+            seq,
+            t_ns,
+            kind,
+            stream: stream.map(str::to_string),
+            instance: instance.map(str::to_string),
+            detail: detail.into(),
+        };
+        let mut guard = slot.lock();
+        // A slower writer that claimed an *older* ticket for this slot may
+        // arrive after us; keep whichever event is newest.
+        match guard.as_ref() {
+            Some(prev) if prev.seq > seq => {}
+            Some(_) => {
+                self.overwritten.fetch_add(1, Ordering::Relaxed);
+                *guard = Some(ev);
+            }
+            None => *guard = Some(ev),
+        }
+    }
+
+    /// The surviving events in sequence order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out: Vec<TraceEvent> = self.slots.iter().filter_map(|s| s.lock().clone()).collect();
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+
+    /// JSONL export: one JSON object per line, sequence order. Formatted
+    /// by hand (the vendored serde is a no-op shim).
+    pub fn export_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in self.events() {
+            out.push_str(&format!(
+                "{{\"seq\":{},\"t_ns\":{},\"kind\":\"{}\"",
+                e.seq,
+                e.t_ns,
+                e.kind.name()
+            ));
+            if let Some(s) = &e.stream {
+                out.push_str(&format!(",\"stream\":\"{}\"", json_escape(s)));
+            }
+            if let Some(i) = &e.instance {
+                out.push_str(&format!(",\"instance\":\"{}\"", json_escape(i)));
+            }
+            if !e.detail.is_empty() {
+                out.push_str(&format!(",\"detail\":\"{}\"", json_escape(&e.detail)));
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+/// Minimal JSON string escaping for the hand-rolled exporter.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let ring = TraceRing::new(16);
+        for i in 0..5u64 {
+            ring.record(i, TraceKind::Deploy, Some("s"), None, format!("{i}"));
+        }
+        let evs = ring.events();
+        assert_eq!(evs.len(), 5);
+        assert!(evs.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(ring.overwritten(), 0);
+    }
+
+    #[test]
+    fn wraparound_keeps_newest() {
+        let ring = TraceRing::new(8);
+        for i in 0..20u64 {
+            ring.record(i, TraceKind::Drop, None, None, "");
+        }
+        let evs = ring.events();
+        assert_eq!(evs.len(), 8);
+        // The survivors are exactly the newest 8, in order.
+        let seqs: Vec<u64> = evs.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (12..20).collect::<Vec<_>>());
+        assert_eq!(ring.recorded(), 20);
+        assert_eq!(ring.overwritten(), 12);
+    }
+
+    #[test]
+    fn jsonl_escapes_and_shapes() {
+        let ring = TraceRing::new(8);
+        ring.record(7, TraceKind::Fault, Some("app\"x"), Some("inst"), "a\nb");
+        let jsonl = ring.export_jsonl();
+        assert!(jsonl.contains("\"kind\":\"fault\""));
+        assert!(jsonl.contains("app\\\"x"));
+        assert!(jsonl.contains("a\\nb"));
+        assert!(jsonl.ends_with('\n'));
+        assert_eq!(jsonl.lines().count(), 1);
+    }
+}

@@ -73,6 +73,7 @@ fn deps(fusion: bool) -> StreamDeps {
         supervisor: None,
         batching: Default::default(),
         fusion,
+        telemetry: None,
     }
 }
 

@@ -33,16 +33,23 @@ pub enum EventCategory {
     /// execution-plane failure as a context event so `when (...)` rules can
     /// degrade or bypass a faulted streamlet.
     RuntimeFault,
+    /// Proxy-side load conditions measured by the telemetry plane (queue
+    /// high-water, drop rate, fault rate, byte budgets). Another extension
+    /// beyond Table 6-1: the metrics→event bridge publishes these so
+    /// `when (...)` rules react to *measured* runtime state rather than
+    /// injected test events.
+    LoadVariation,
 }
 
 impl EventCategory {
     /// All categories, in stable `categoryID` order.
-    pub const ALL: [EventCategory; 5] = [
+    pub const ALL: [EventCategory; 6] = [
         EventCategory::SystemCommand,
         EventCategory::NetworkVariation,
         EventCategory::HardwareVariation,
         EventCategory::SoftwareVariation,
         EventCategory::RuntimeFault,
+        EventCategory::LoadVariation,
     ];
 
     /// The numeric `categoryID` used to index subscriber lists (Figure 6-7).
@@ -53,11 +60,12 @@ impl EventCategory {
             EventCategory::HardwareVariation => 2,
             EventCategory::SoftwareVariation => 3,
             EventCategory::RuntimeFault => 4,
+            EventCategory::LoadVariation => 5,
         }
     }
 
     /// Number of categories (sizes the subscriber-list array).
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = 6;
 }
 
 impl fmt::Display for EventCategory {
@@ -68,6 +76,7 @@ impl fmt::Display for EventCategory {
             EventCategory::HardwareVariation => "Hardware Variation",
             EventCategory::SoftwareVariation => "Software Variation",
             EventCategory::RuntimeFault => "Runtime Fault",
+            EventCategory::LoadVariation => "Load Variation",
         };
         f.write_str(s)
     }
@@ -110,11 +119,20 @@ pub enum EventKind {
     /// A streamlet instance faulted (panicked) in the execution plane; the
     /// supervisor raises it so streams can reconfigure around the failure.
     StreamletFault,
+    // --- Load Variation (metrics→event bridge) ---
+    /// A stream's queued bytes crossed the configured high-water mark.
+    ChannelCongested,
+    /// A stream's drop rate crossed the configured threshold.
+    HighDropRate,
+    /// A stream's fault rate crossed the configured threshold.
+    HighFaultRate,
+    /// A session consumed more ingress bytes than its configured budget.
+    ByteBudgetExceeded,
 }
 
 impl EventKind {
     /// Every predefined event.
-    pub const ALL: [EventKind; 14] = [
+    pub const ALL: [EventKind; 18] = [
         EventKind::Pause,
         EventKind::Resume,
         EventKind::End,
@@ -129,6 +147,10 @@ impl EventKind {
         EventKind::DecoderUnavailable,
         EventKind::FormatUnsupported,
         EventKind::StreamletFault,
+        EventKind::ChannelCongested,
+        EventKind::HighDropRate,
+        EventKind::HighFaultRate,
+        EventKind::ByteBudgetExceeded,
     ];
 
     /// The category the event belongs to (Table 6-1 column 1).
@@ -147,6 +169,10 @@ impl EventKind {
                 EventCategory::SoftwareVariation
             }
             EventKind::StreamletFault => EventCategory::RuntimeFault,
+            EventKind::ChannelCongested
+            | EventKind::HighDropRate
+            | EventKind::HighFaultRate
+            | EventKind::ByteBudgetExceeded => EventCategory::LoadVariation,
         }
     }
 
@@ -167,6 +193,10 @@ impl EventKind {
             EventKind::DecoderUnavailable => "DECODER_UNAVAILABLE",
             EventKind::FormatUnsupported => "FORMAT_UNSUPPORTED",
             EventKind::StreamletFault => "STREAMLET_FAULT",
+            EventKind::ChannelCongested => "CHANNEL_CONGESTED",
+            EventKind::HighDropRate => "HIGH_DROP_RATE",
+            EventKind::HighFaultRate => "HIGH_FAULT_RATE",
+            EventKind::ByteBudgetExceeded => "BYTE_BUDGET_EXCEEDED",
         }
     }
 }
@@ -248,13 +278,17 @@ mod tests {
             EventKind::StreamletFault.category(),
             EventCategory::RuntimeFault
         );
+        assert_eq!(
+            EventKind::ChannelCongested.category(),
+            EventCategory::LoadVariation
+        );
     }
 
     #[test]
     fn category_ids_are_dense() {
         let mut ids: Vec<usize> = EventCategory::ALL.iter().map(|c| c.id()).collect();
         ids.sort_unstable();
-        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
-        assert_eq!(EventCategory::COUNT, 5);
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(EventCategory::COUNT, 6);
     }
 }

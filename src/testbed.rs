@@ -145,6 +145,7 @@ impl Testbed {
                 supervision: Default::default(),
                 batching: Default::default(),
                 fusion: cfg.fusion,
+                telemetry: Default::default(),
             },
             Arc::new(mobigate_core::StreamletDirectory::new()),
             pool,
