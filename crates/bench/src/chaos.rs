@@ -74,6 +74,7 @@ pub fn chaos_server_config(base: ServerConfig) -> ServerConfig {
                 poison_threshold: 3,
             },
             dead_letter_capacity: 1024,
+            jitter_seed: mobigate_core::Supervisor::DEFAULT_JITTER_SEED,
         },
         ..base
     }

@@ -6,6 +6,7 @@ pub mod chain;
 pub mod chaos;
 pub mod e2e;
 pub mod obs;
+pub mod overload;
 pub mod reconfig;
 pub mod report;
 pub mod sessions;
@@ -14,5 +15,9 @@ pub use chain::ChainHarness;
 pub use chaos::{chaos_server_config, run_chaos, with_quiet_panics, ChaosConfig, ChaosOutcome};
 pub use e2e::{end_to_end_point, E2EPoint};
 pub use obs::{obs_chain_pair, run_scrape_churn, ObsChainConfig, ScrapeOutcome};
+pub use overload::{
+    run_breaker_probe, run_overload_burst, BreakerProbeOutcome, OverloadBurstConfig,
+    OverloadBurstOutcome,
+};
 pub use reconfig::{reconfig_time, reconfig_time_with};
 pub use sessions::{run_sessions, SessionsConfig, SessionsOutcome};

@@ -252,6 +252,8 @@ mod tests {
             batching: Default::default(),
             fusion: false,
             telemetry: None,
+            overload: Default::default(),
+            admission: None,
         };
         CoordinationManager::new(deps, Arc::new(EventManager::new()))
     }

@@ -25,6 +25,10 @@ pub enum CoreError {
     Deploy { message: String },
     /// A bounded wait on an instance (e.g. a pause acknowledgement) expired.
     Timeout { waited: Duration, instance: String },
+    /// Admission control rejected an ingress post: the session's or the
+    /// gateway's token bucket was empty. The message never entered the
+    /// pool; the rejection is charged to the `admission` drop reason.
+    Overloaded { session: String },
 }
 
 impl fmt::Display for CoreError {
@@ -50,6 +54,9 @@ impl fmt::Display for CoreError {
             CoreError::Deploy { message } => write!(f, "deployment failed: {message}"),
             CoreError::Timeout { waited, instance } => {
                 write!(f, "timed out after {waited:?} waiting on `{instance}`")
+            }
+            CoreError::Overloaded { session } => {
+                write!(f, "admission control rejected ingress for `{session}`")
             }
         }
     }

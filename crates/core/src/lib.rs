@@ -28,6 +28,7 @@ pub mod error;
 pub mod events;
 pub mod executor;
 pub mod fusion;
+pub mod overload;
 pub mod pool;
 pub mod pooling;
 pub mod queue;
@@ -46,6 +47,11 @@ pub use error::CoreError;
 pub use events::{ContextEvent, EventManager};
 pub use executor::{default_executor, Executor, ThreadPerStreamlet, WorkerPool};
 pub use fusion::{FusedLogic, FusedMember, FusedShared};
+pub use overload::{
+    AdmissionConfig, AdmissionController, AdmissionStats, BreakerConfig, BreakerState,
+    CircuitBreaker, FaultVerdict, OverloadConfig, PriorityClass, ProbeOutcome, ShedConfig,
+    TokenBucket,
+};
 pub use pool::{MessagePool, PayloadMode};
 pub use pooling::StreamletPool;
 pub use queue::{FetchResult, MessageQueue, PostResult, QueueConfig};

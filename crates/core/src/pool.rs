@@ -30,7 +30,7 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use bytes::Bytes;
-use mobigate_mime::MimeMessage;
+use mobigate_mime::{MimeMessage, MimeType};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -222,6 +222,16 @@ impl MessagePool {
             .lock()
             .get(&id.0)
             .map(|e| e.msg.wire_len())
+    }
+
+    /// Content type of a resident message — feeds priority classification
+    /// during shedding without cloning the body handle or the headers.
+    pub fn peek_type(&self, id: MessageId) -> Option<MimeType> {
+        self.shard(id.0)
+            .slots
+            .lock()
+            .get(&id.0)
+            .map(|e| e.msg.content_type())
     }
 
     /// Takes one reference: returns the message (body shared, not copied)

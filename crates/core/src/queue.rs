@@ -23,6 +23,7 @@
 // Hot-path modules must surface failures as `CoreError`s, never abort.
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
+use crate::overload::PriorityClass;
 use crate::pool::{MessagePool, Payload};
 use crate::spsc::SpscRing;
 use crate::telemetry::{DropReason, QueueProbe};
@@ -254,6 +255,9 @@ pub struct QueueStats {
     /// Pending messages discarded by the overload relief valve
     /// ([`MessageQueue::shed_oldest`]).
     pub dropped_shed: u64,
+    /// Ingress posts rejected by token-bucket admission control before a
+    /// payload was ever created.
+    pub dropped_admission: u64,
 }
 
 impl QueueStats {
@@ -264,6 +268,7 @@ impl QueueStats {
             + self.dropped_break
             + self.dropped_expired
             + self.dropped_shed
+            + self.dropped_admission
     }
 }
 
@@ -294,6 +299,7 @@ pub struct MessageQueue {
     dropped_break: AtomicU64,
     dropped_expired: AtomicU64,
     dropped_shed: AtomicU64,
+    dropped_admission: AtomicU64,
     /// Telemetry recording handle of the owning stream, when the
     /// observability plane is enabled. `None` costs one branch per
     /// instrumented operation.
@@ -353,6 +359,7 @@ impl MessageQueue {
             dropped_break: AtomicU64::new(0),
             dropped_expired: AtomicU64::new(0),
             dropped_shed: AtomicU64::new(0),
+            dropped_admission: AtomicU64::new(0),
             probe,
             listeners: RwLock::new(Vec::new()),
             space_listeners: RwLock::new(Vec::new()),
@@ -371,6 +378,7 @@ impl MessageQueue {
             DropReason::Break => &self.dropped_break,
             DropReason::Expired => &self.dropped_expired,
             DropReason::Shed => &self.dropped_shed,
+            DropReason::Admission => &self.dropped_admission,
         };
         ctr.fetch_add(n, Ordering::Relaxed);
         if let Some(p) = &self.probe {
@@ -975,21 +983,67 @@ impl MessageQueue {
         self.charge_drop(DropReason::Expired, 1);
     }
 
-    /// Overload relief valve: discards up to `max_n` of the *oldest*
-    /// pending messages (ring entries first — they always predate the
-    /// mutex queue's), charging them to the `shed` drop reason. Returns
-    /// how many were shed. Load-shedding policies (an MCL rule reacting
-    /// to `HIGH_DROP_RATE`, an operator hook) call this to trade old data
-    /// for headroom instead of stalling producers.
+    /// Overload relief valve: discards up to `max_n` pending messages,
+    /// charging them to the `shed` drop reason, and returns how many were
+    /// shed. The runtime's congestion handler (a `CHANNEL_CONGESTED`
+    /// event from the metrics→event bridge) and operator hooks call this
+    /// to trade old data for headroom instead of stalling producers.
+    ///
+    /// Selection is **priority-aware** over the mutex queue: lowest
+    /// [`PriorityClass`] first (bulk `image/*`/`video/*`/`audio/*` before
+    /// interactive `text/*`/`application/*`), oldest within a class. SPSC
+    /// ring entries have no selective removal and always predate the
+    /// mutex queue's, so they shed first in plain FIFO order — build
+    /// shed-managed queues with [`QueueConfig::spsc`] off to get the full
+    /// priority policy.
     pub fn shed_oldest(&self, max_n: usize) -> usize {
+        if max_n == 0 {
+            return 0;
+        }
         let mut st = self.state.lock();
         let mut n = 0usize;
-        while n < max_n {
-            let Some(p) = self.pop_one(&mut st) else {
-                break;
-            };
-            self.pool.discard(p);
-            n += 1;
+        if let Some(ring) = &self.ring {
+            while n < max_n {
+                let Some((p, _)) = ring.pop() else {
+                    break;
+                };
+                self.pool.discard(p);
+                n += 1;
+            }
+        }
+        if n < max_n && !st.queue.is_empty() {
+            let classes: Vec<PriorityClass> =
+                st.queue.iter().map(|p| self.payload_class(p)).collect();
+            let mut shed = vec![false; classes.len()];
+            let mut remaining = max_n - n;
+            for class in [
+                PriorityClass::Bulk,
+                PriorityClass::Normal,
+                PriorityClass::Interactive,
+            ] {
+                if remaining == 0 {
+                    break;
+                }
+                for (i, c) in classes.iter().enumerate() {
+                    if remaining == 0 {
+                        break;
+                    }
+                    if *c == class {
+                        shed[i] = true;
+                        remaining -= 1;
+                    }
+                }
+            }
+            let old = std::mem::take(&mut st.queue);
+            for (i, p) in old.into_iter().enumerate() {
+                if shed[i] {
+                    st.bytes = st.bytes.saturating_sub(p.buffered_len(&self.pool));
+                    self.pool.discard(p);
+                    n += 1;
+                } else {
+                    st.queue.push_back(p);
+                }
+            }
         }
         drop(st);
         if n > 0 {
@@ -998,6 +1052,26 @@ impl MessageQueue {
             self.wake_space_listeners();
         }
         n
+    }
+
+    /// Priority class of a pending payload, by its MIME top-level type.
+    /// A `Ref` whose pool entry vanished classifies as `Normal`.
+    fn payload_class(&self, p: &Payload) -> PriorityClass {
+        match p {
+            Payload::Value(m) => PriorityClass::of(&m.content_type()),
+            Payload::Ref(id) => self
+                .pool
+                .peek_type(*id)
+                .map_or(PriorityClass::Normal, |t| PriorityClass::of(&t)),
+        }
+    }
+
+    /// Accounts `n` ingress posts rejected by admission control. No
+    /// payload ever existed (rejection happens before the message enters
+    /// the pool), so only the reason counter — and its probe/trace mirror
+    /// — is charged.
+    pub fn charge_admission_rejected(&self, n: u64) {
+        self.charge_drop(DropReason::Admission, n);
     }
 
     /// The Figure 6-9 full-wait budget `T` configured for this channel.
@@ -1177,6 +1251,7 @@ impl MessageQueue {
             dropped_break: self.dropped_break.load(Ordering::Relaxed),
             dropped_expired: self.dropped_expired.load(Ordering::Relaxed),
             dropped_shed: self.dropped_shed.load(Ordering::Relaxed),
+            dropped_admission: self.dropped_admission.load(Ordering::Relaxed),
         }
     }
 }
@@ -1588,5 +1663,80 @@ mod tests {
         }
         assert_eq!(q.shed_oldest(5), 0, "empty queue sheds nothing");
         assert_eq!(q.stats().dropped_shed, 2);
+    }
+
+    #[test]
+    fn shed_oldest_sheds_lowest_priority_first() {
+        // spsc off: the mutex queue holds everything, so the priority
+        // policy applies to every pending message.
+        let (q, pool) = setup(QueueConfig {
+            capacity_bytes: 1 << 20,
+            spsc: false,
+            ..Default::default()
+        });
+        let post = |top: &str, body: &str| {
+            let m = MimeMessage::new(&MimeType::new(top, "x"), body.as_bytes().to_vec());
+            assert_eq!(
+                q.post(pool.wrap(m, crate::PayloadMode::Reference, 1)),
+                PostResult::Posted
+            );
+        };
+        post("text", "t0");
+        post("image", "i0");
+        post("multipart", "n0");
+        post("video", "i1");
+        post("text", "t1");
+        post("image", "i2");
+        // Shed 4: all three bulk entries go first (oldest-first), then the
+        // single normal entry; interactive text survives untouched.
+        assert_eq!(q.shed_oldest(4), 4);
+        for expect in ["t0", "t1"] {
+            match q.try_fetch() {
+                FetchResult::Msg(p) => {
+                    let m = pool.resolve(p).unwrap();
+                    assert_eq!(&m.body[..], expect.as_bytes());
+                }
+                other => panic!("expected {expect}, got {other:?}"),
+            }
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.stats().dropped_shed, 4);
+        assert_eq!(pool.stats().resident, 0, "shed payloads released");
+    }
+
+    #[test]
+    fn shed_oldest_partial_within_class_keeps_order_and_bytes() {
+        let (q, pool) = setup(QueueConfig {
+            capacity_bytes: 1 << 20,
+            spsc: false,
+            ..Default::default()
+        });
+        for i in 0..3 {
+            let m = MimeMessage::new(&MimeType::new("image", "gif"), vec![7u8; 100 + i]);
+            assert_eq!(
+                q.post(pool.wrap(m, crate::PayloadMode::Reference, 1)),
+                PostResult::Posted
+            );
+        }
+        let before = q.buffered_bytes();
+        assert_eq!(q.shed_oldest(1), 1);
+        assert!(q.buffered_bytes() < before, "byte accounting shrank");
+        // Survivors keep FIFO order within the class.
+        match q.try_fetch() {
+            FetchResult::Msg(p) => {
+                assert_eq!(pool.resolve(p).unwrap().body.len(), 101);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn admission_rejections_are_reason_coded() {
+        let (q, _) = setup(QueueConfig::default());
+        q.charge_admission_rejected(3);
+        let s = q.stats();
+        assert_eq!(s.dropped_admission, 3);
+        assert_eq!(s.dropped_total(), 3);
+        assert_eq!(s.posted, 0, "rejected posts never count as posted");
     }
 }

@@ -16,6 +16,7 @@ use crate::directory::StreamletDirectory;
 use crate::error::CoreError;
 use crate::events::{ContextEvent, EventManager};
 use crate::executor::{default_executor, Executor, WorkerPool};
+use crate::overload::{AdmissionController, OverloadConfig};
 use crate::pool::{MessagePool, PayloadMode};
 use crate::pooling::StreamletPool;
 use crate::session::SessionManager;
@@ -64,6 +65,10 @@ pub struct SupervisionConfig {
     pub policy: RestartPolicy,
     /// Capacity of the poison-message dead-letter queue.
     pub dead_letter_capacity: usize,
+    /// Seed of the supervisor's restart-backoff jitter PRNG. A fixed seed
+    /// makes restart schedules bit-for-bit reproducible across runs; vary
+    /// it to decorrelate restart storms across gateway replicas.
+    pub jitter_seed: u64,
 }
 
 impl Default for SupervisionConfig {
@@ -72,6 +77,7 @@ impl Default for SupervisionConfig {
             enabled: true,
             policy: RestartPolicy::default(),
             dead_letter_capacity: 64,
+            jitter_seed: Supervisor::DEFAULT_JITTER_SEED,
         }
     }
 }
@@ -108,6 +114,11 @@ pub struct ServerConfig {
     /// metrics→event bridge. Disabled by default — the off path allocates
     /// nothing and costs one branch per instrumented operation.
     pub telemetry: TelemetryConfig,
+    /// Overload protection: token-bucket admission control at ingress,
+    /// priority-aware load shedding, and per-instance circuit breakers.
+    /// Disabled by default — enabling it is the graceful-degradation
+    /// posture for gateways facing bursty client populations.
+    pub overload: OverloadConfig,
 }
 
 impl Default for ServerConfig {
@@ -122,6 +133,7 @@ impl Default for ServerConfig {
             batching: BatchConfig::default(),
             fusion: false,
             telemetry: TelemetryConfig::default(),
+            overload: OverloadConfig::default(),
         }
     }
 }
@@ -145,6 +157,9 @@ pub struct MobiGate {
     /// The observability plane, when `ServerConfig { telemetry }` enabled
     /// it. `None` otherwise — nothing is allocated, nothing is polled.
     telemetry: Option<Arc<Telemetry>>,
+    /// Gateway-wide admission controller, when `ServerConfig { overload }`
+    /// enabled admission control. Shared with every stream's deps.
+    admission: Option<Arc<AdmissionController>>,
 }
 
 impl Drop for MobiGate {
@@ -223,14 +238,23 @@ impl MobiGate {
             None => EventManager::new(),
         });
         let supervisor = if config.supervision.enabled {
-            Some(Supervisor::new(
+            Some(Supervisor::with_options(
                 events.clone(),
                 config.supervision.policy.clone(),
                 config.supervision.dead_letter_capacity,
+                config.supervision.jitter_seed,
+                config
+                    .overload
+                    .breaker_on()
+                    .then(|| config.overload.breaker.clone()),
             ))
         } else {
             None
         };
+        let admission = config
+            .overload
+            .admission_on()
+            .then(|| AdmissionController::new(config.overload.admission.clone()));
         let telemetry = if config.telemetry.enabled {
             let t = Telemetry::new(&config.telemetry);
             if let Some(sup) = &supervisor {
@@ -251,6 +275,8 @@ impl MobiGate {
             batching: config.batching,
             fusion: config.fusion,
             telemetry: telemetry.clone(),
+            overload: config.overload.clone(),
+            admission: admission.clone(),
         };
         let coordination = Arc::new(match config.coord_shards {
             Some(n) => CoordinationManager::with_shards(deps, events.clone(), n),
@@ -277,6 +303,7 @@ impl MobiGate {
             supervisor,
             executor,
             telemetry,
+            admission,
         }
     }
 
@@ -329,6 +356,11 @@ impl MobiGate {
     /// The observability plane, when enabled.
     pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
         self.telemetry.as_ref()
+    }
+
+    /// The admission controller, when overload protection enabled it.
+    pub fn admission(&self) -> Option<&Arc<AdmissionController>> {
+        self.admission.as_ref()
     }
 
     /// Assembles one coherent [`MetricsSnapshot`] across every subsystem

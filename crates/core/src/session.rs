@@ -84,6 +84,11 @@ impl SessionManager {
                 format!("template {}", self.template.base_name()),
             );
         }
+        // Pre-create the session's admission bucket so its very first
+        // burst sees the full configured burst capacity.
+        if let Some(ctl) = &self.coordination.deps().admission {
+            ctl.register(session.as_str());
+        }
         self.roster.lock().insert(session);
         Ok(stream)
     }
@@ -147,6 +152,11 @@ impl SessionManager {
     }
 
     fn trace_teardown(&self, session: &SessionId) {
+        // Drop the session's admission bucket with the session, so the
+        // controller's map tracks only live sessions.
+        if let Some(ctl) = &self.coordination.deps().admission {
+            ctl.forget(session.as_str());
+        }
         if let Some(t) = &self.coordination.deps().telemetry {
             t.trace_event(
                 TraceKind::SessionTeardown,

@@ -24,6 +24,7 @@ use crate::error::CoreError;
 use crate::events::{ContextEvent, EventSubscriber};
 use crate::executor::Executor;
 use crate::fusion::{FusedLogic, FusedMember, FusedShared};
+use crate::overload::{AdmissionController, OverloadConfig};
 use crate::pool::{MessagePool, PayloadMode};
 use crate::pooling::StreamletPool;
 use crate::queue::{FetchResult, MessageQueue, Notifier, QueueConfig};
@@ -88,6 +89,14 @@ pub struct StreamDeps {
     /// The observability plane, when enabled. `None` keeps every
     /// instrumented hot path at a single branch.
     pub telemetry: Option<Arc<Telemetry>>,
+    /// Overload-protection knobs (admission control, priority shedding,
+    /// circuit breakers). The default is fully disabled, which keeps every
+    /// guarded hot path at a single branch.
+    pub overload: OverloadConfig,
+    /// Gateway-wide admission controller, present when
+    /// `overload.admission_on()`. Shared across streams so the global
+    /// token bucket means what it says.
+    pub admission: Option<Arc<AdmissionController>>,
 }
 
 /// Equation 7-1 instrumentation of one reconfiguration:
@@ -253,13 +262,19 @@ impl RunningStream {
             .as_ref()
             .map(|t| t.probe_for(session.as_str()));
 
+        // Priority-aware shedding needs selective removal, which the SPSC
+        // ring cannot do (FIFO pop only): with shedding enabled the
+        // channels stay on the mutex queue so `shed_oldest` can pick
+        // lowest-priority victims instead of whatever is oldest in the ring.
+        let spsc = deps.batching.spsc && !deps.overload.shed_on();
+
         let mut channels: HashMap<String, Arc<MessageQueue>> = HashMap::new();
         for row in &table.channels {
             if interior.contains(row.name.as_str()) {
                 continue;
             }
             let mut cfg = QueueConfig::from_spec(&row.name, &row.spec);
-            cfg.spsc = deps.batching.spsc;
+            cfg.spsc = spsc;
             channels.insert(
                 row.name.clone(),
                 MessageQueue::with_probe(cfg, deps.msg_pool.clone(), tprobe.clone()),
@@ -274,7 +289,7 @@ impl RunningStream {
                 capacity_bytes: 8 << 20,
                 full_wait: Duration::from_millis(500),
                 ty: ty.clone(),
-                spsc: deps.batching.spsc,
+                spsc,
                 ..Default::default()
             };
             ingress.push((
@@ -287,7 +302,7 @@ impl RunningStream {
                 name: "__egress".into(),
                 capacity_bytes: 8 << 20,
                 full_wait: Duration::from_millis(500),
-                spsc: deps.batching.spsc,
+                spsc,
                 ..Default::default()
             },
             deps.msg_pool.clone(),
@@ -518,6 +533,17 @@ impl RunningStream {
     }
 
     fn post_to(&self, q: Arc<MessageQueue>, mut msg: MimeMessage) -> Result<(), CoreError> {
+        // Admission control gates ingress *before* the message touches the
+        // pool: a rejected post costs one token-bucket probe and one
+        // reason-coded counter bump — no allocation, no blocking wait.
+        if let Some(ctl) = &self.deps.admission {
+            if !ctl.admit(self.session.as_str()) {
+                q.charge_admission_rejected(1);
+                return Err(CoreError::Overloaded {
+                    session: self.session.as_str().to_string(),
+                });
+            }
+        }
         msg.set_session(&self.session);
         if let Some(p) = &self.probe {
             p.on_bytes_in(msg.body.len() as u64);
@@ -688,6 +714,11 @@ impl RunningStream {
         if self.deps.fusion {
             categories.push(EventCategory::RuntimeFault);
         }
+        if self.deps.overload.shed_on() {
+            // Load shedding reacts to CHANNEL_CONGESTED from the metrics
+            // bridge even when the script has no load-variation rules.
+            categories.push(EventCategory::LoadVariation);
+        }
         categories.sort_by_key(|c| c.id());
         categories.dedup();
         categories
@@ -716,6 +747,12 @@ impl RunningStream {
                     self.fission_quarantined(&info.instance);
                 }
             }
+            EventKind::ChannelCongested | EventKind::Overload if self.deps.overload.shed_on() => {
+                // Load shedding: drop the lowest-priority resident messages
+                // so interactive traffic keeps a bounded queue in front of
+                // it. Shed drops are reason-coded, never silent.
+                self.shed_lowest(self.deps.overload.shed.shed_max);
+            }
             _ => {}
         }
         let rules: Vec<WhenRule> = {
@@ -732,6 +769,50 @@ impl RunningStream {
         }
         let actions: Vec<ReconfigAction> = rules.into_iter().flat_map(|r| r.actions).collect();
         Some(self.reconfigure(&actions))
+    }
+
+    /// Sheds up to `max_n` resident messages across the stream's channels,
+    /// lowest priority class first (see [`crate::overload::PriorityClass`]),
+    /// ingress before interior so bulk traffic dies as early as possible.
+    /// Returns how many messages were shed; each is charged to the `shed`
+    /// drop reason by the queue.
+    pub fn shed_lowest(&self, max_n: usize) -> usize {
+        if max_n == 0 {
+            return 0;
+        }
+        let mut remaining = max_n;
+        let mut shed = 0usize;
+        for (_, q) in &self.ingress {
+            if remaining == 0 {
+                break;
+            }
+            let n = q.shed_oldest(remaining);
+            shed += n;
+            remaining -= n;
+        }
+        if remaining > 0 {
+            let channels: Vec<Arc<MessageQueue>> =
+                self.inner.lock().channels.values().cloned().collect();
+            for q in channels {
+                if remaining == 0 {
+                    break;
+                }
+                let n = q.shed_oldest(remaining);
+                shed += n;
+                remaining -= n;
+            }
+        }
+        if shed > 0 {
+            if let Some(p) = &self.probe {
+                p.telemetry.trace_event(
+                    TraceKind::Shed,
+                    Some(&p.key),
+                    None,
+                    format!("{shed} messages (budget {max_n})"),
+                );
+            }
+        }
+        shed
     }
 
     /// Pauses every live streamlet.
@@ -1520,7 +1601,7 @@ impl RunningStream {
             }
             let t = Instant::now();
             let mut cfg = QueueConfig::from_spec(&row.name, &row.spec);
-            cfg.spsc = self.deps.batching.spsc;
+            cfg.spsc = self.deps.batching.spsc && !self.deps.overload.shed_on();
             inner.channels.insert(
                 row.name.clone(),
                 MessageQueue::with_probe(cfg, self.deps.msg_pool.clone(), self.probe.clone()),
@@ -1925,6 +2006,8 @@ mod tests {
             batching: BatchConfig::default(),
             fusion: false,
             telemetry: None,
+            overload: OverloadConfig::default(),
+            admission: None,
         }
     }
 

@@ -20,10 +20,14 @@
 //!    through the Event Manager, so MCL `when (STREAMLET_FAULT)` rules can
 //!    degrade or bypass the failing streamlet.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::error::CoreError;
 use crate::events::{ContextEvent, EventManager};
+use crate::overload::{BreakerConfig, CircuitBreaker, FaultVerdict, ProbeOutcome};
 use crate::streamlet::{StreamletHandle, StreamletLogic};
 use crate::telemetry::{Telemetry, TraceKind};
+use mobigate_mcl::events::EventKind;
 use mobigate_mime::MimeMessage;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
@@ -229,6 +233,10 @@ pub struct SupervisorStats {
     pub quarantined: u64,
     /// Poison messages evicted to the dead-letter queue.
     pub dead_lettered: u64,
+    /// Circuit-breaker trips (Closed→Open and HalfOpen→Open transitions).
+    /// A tripped fault is parked, not restarted, and does not charge the
+    /// restart budget.
+    pub breaker_trips: u64,
 }
 
 type RebuildFn = Box<dyn Fn() -> Result<Box<dyn StreamletLogic>, CoreError> + Send + Sync>;
@@ -241,11 +249,21 @@ struct Entry {
     /// Fault timestamps inside the policy window (pruned on each fault).
     fault_times: Vec<Instant>,
     restarts: u32,
+    /// Per-instance circuit breaker, present when the supervisor was built
+    /// with a [`BreakerConfig`]. Consulted before the restart budget: a
+    /// tripped instance is parked and probed, never quarantined.
+    breaker: Option<Arc<CircuitBreaker>>,
 }
 
 enum JobKind {
     Fault(FaultCause),
     Restart,
+    /// Cooldown elapsed on an open breaker: move to half-open and restart
+    /// the instance so live traffic can prove it healthy.
+    Probe,
+    /// The half-open probe window elapsed: close the breaker if the probe
+    /// stayed quiet.
+    ProbeVerdict,
 }
 
 struct Job {
@@ -274,6 +292,10 @@ pub struct Supervisor {
     faults: AtomicU64,
     restarts: AtomicU64,
     quarantined: AtomicU64,
+    breaker_trips: AtomicU64,
+    /// Circuit-breaker template applied to every supervised instance;
+    /// `None` reproduces the plain restart-budget behaviour.
+    breaker_cfg: Option<BreakerConfig>,
     /// xorshift state for backoff jitter.
     seed: AtomicU64,
     /// Observability plane; when installed, every supervision decision
@@ -282,6 +304,10 @@ pub struct Supervisor {
 }
 
 impl Supervisor {
+    /// Default seed of the restart-backoff jitter PRNG (the 64-bit golden
+    /// ratio, as in the original hardcoded constant).
+    pub const DEFAULT_JITTER_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
     /// Spawns the supervision worker. Faults are reported through `events`;
     /// poison messages land in a dead-letter queue of `dead_letter_capacity`.
     pub fn new(
@@ -289,6 +315,31 @@ impl Supervisor {
         default_policy: RestartPolicy,
         dead_letter_capacity: usize,
     ) -> Arc<Self> {
+        Self::with_options(
+            events,
+            default_policy,
+            dead_letter_capacity,
+            Self::DEFAULT_JITTER_SEED,
+            None,
+        )
+    }
+
+    /// [`Self::new`] with an explicit jitter seed (bit-for-bit reproducible
+    /// restart schedules) and an optional circuit-breaker template applied
+    /// to every supervised instance. A zero seed is replaced by the default
+    /// (xorshift64 has a fixed point at zero).
+    pub fn with_options(
+        events: Arc<EventManager>,
+        default_policy: RestartPolicy,
+        dead_letter_capacity: usize,
+        jitter_seed: u64,
+        breaker_cfg: Option<BreakerConfig>,
+    ) -> Arc<Self> {
+        let seed = if jitter_seed == 0 {
+            Self::DEFAULT_JITTER_SEED
+        } else {
+            jitter_seed
+        };
         let sup = Arc::new(Supervisor {
             entries: Mutex::new(HashMap::new()),
             next_key: AtomicU64::new(1),
@@ -304,10 +355,15 @@ impl Supervisor {
             faults: AtomicU64::new(0),
             restarts: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
-            seed: AtomicU64::new(0x9E37_79B9_7F4A_7C15),
+            breaker_trips: AtomicU64::new(0),
+            breaker_cfg,
+            seed: AtomicU64::new(seed),
             telemetry: Mutex::new(None),
         });
         let weak = Arc::downgrade(&sup);
+        // Failing to spawn the supervisor thread is unrecoverable: the
+        // server would silently never restart anything.
+        #[allow(clippy::expect_used)]
         let handle = std::thread::Builder::new()
             .name("mobigate-supervisor".into())
             .spawn(move || Supervisor::worker_loop(weak))
@@ -361,6 +417,10 @@ impl Supervisor {
                 stream,
                 fault_times: Vec::new(),
                 restarts: 0,
+                breaker: self
+                    .breaker_cfg
+                    .as_ref()
+                    .map(|c| Arc::new(CircuitBreaker::new(c.clone()))),
             },
         );
         let work = Arc::clone(&self.work);
@@ -392,7 +452,18 @@ impl Supervisor {
             restarts: self.restarts.load(Ordering::Relaxed),
             quarantined: self.quarantined.load(Ordering::Relaxed),
             dead_lettered: self.dead_letters.stats().enqueued,
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
         }
+    }
+
+    /// The circuit breaker guarding `instance`, when one exists (tests and
+    /// benches inspect breaker state through this).
+    pub fn breaker_of(&self, instance: &str) -> Option<Arc<CircuitBreaker>> {
+        let entries = self.entries.lock();
+        entries.values().find_map(|e| {
+            let h = e.handle.upgrade()?;
+            (h.name() == instance).then(|| e.breaker.clone()).flatten()
+        })
     }
 
     /// Stops the worker thread. Idempotent; also run on drop.
@@ -410,7 +481,9 @@ impl Supervisor {
         }
     }
 
-    fn next_jitter(&self) -> u64 {
+    /// Advances and returns the backoff-jitter PRNG. Public so tests can
+    /// assert that a fixed `jitter_seed` reproduces the exact sequence.
+    pub fn next_jitter(&self) -> u64 {
         // xorshift64: cheap, deterministic, good enough to de-correlate
         // restart delays (no external RNG dependency in core).
         let mut x = self.seed.load(Ordering::Relaxed);
@@ -458,6 +531,8 @@ impl Supervisor {
             match job.kind {
                 JobKind::Fault(cause) => sup.handle_fault(job.key, cause),
                 JobKind::Restart => sup.handle_restart(job.key),
+                JobKind::Probe => sup.handle_probe(job.key),
+                JobKind::ProbeVerdict => sup.handle_probe_verdict(job.key),
             }
         }
     }
@@ -477,11 +552,6 @@ impl Supervisor {
                 return;
             };
             let now = Instant::now();
-            let window = entry.policy.window;
-            entry
-                .fault_times
-                .retain(|t| now.duration_since(*t) < window);
-            entry.fault_times.push(now);
 
             let info = FaultInfo {
                 instance: handle.name().to_string(),
@@ -495,6 +565,54 @@ impl Supervisor {
                 handle.name(),
                 format!("{cause}"),
             );
+
+            // Circuit breaker first: a fault past the trip threshold parks
+            // the instance behind an open breaker instead of charging the
+            // restart budget — the STREAMLET_FAULT event below still fires,
+            // so `when (STREAMLET_FAULT)` bypass rules route around it,
+            // and a probe is scheduled for after the cooldown.
+            match entry.breaker.as_ref().map(|b| (b.on_fault(), b.cooldown())) {
+                Some((FaultVerdict::Tripped | FaultVerdict::Reopened, cooldown)) => {
+                    self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+                    self.trace(
+                        TraceKind::BreakerTrip,
+                        entry.stream.as_deref(),
+                        handle.name(),
+                        format!("fault rate over threshold; probe in {cooldown:?}"),
+                    );
+                    let breaker_event =
+                        scoped_event(EventKind::BreakerOpen, entry.stream.as_deref());
+                    let mut jobs = self.work.jobs.lock();
+                    jobs.push_back(Job {
+                        key,
+                        due: now + cooldown,
+                        kind: JobKind::Probe,
+                    });
+                    drop(jobs);
+                    self.work.cv.notify_all();
+                    // Raise events only after releasing the registry lock
+                    // (delivery can run `when` rules that supervise new
+                    // instances).
+                    drop(entries);
+                    self.events.multicast(&event);
+                    self.events.multicast(&breaker_event);
+                    return;
+                }
+                Some((FaultVerdict::AlreadyOpen, _)) => {
+                    // Cooldown in progress and a probe already queued: the
+                    // fault is swallowed (no budget charge, no restart).
+                    drop(entries);
+                    self.events.multicast(&event);
+                    return;
+                }
+                Some((FaultVerdict::Restart, _)) | None => {}
+            }
+
+            let window = entry.policy.window;
+            entry
+                .fault_times
+                .retain(|t| now.duration_since(*t) < window);
+            entry.fault_times.push(now);
 
             if entry.fault_times.len() as u32 > entry.policy.max_restarts {
                 // Budget exhausted: give up on this instance. The handle
@@ -598,6 +716,123 @@ impl Supervisor {
             }
         }
     }
+
+    /// Cooldown elapsed on an open breaker: move it to half-open, restart
+    /// the parked instance so the probe sees live traffic, and schedule the
+    /// verdict check for one more cooldown later.
+    fn handle_probe(&self, key: u64) {
+        let event = {
+            let mut entries = self.entries.lock();
+            let Some(entry) = entries.get_mut(&key) else {
+                return;
+            };
+            let Some(handle) = entry.handle.upgrade() else {
+                entries.remove(&key);
+                return;
+            };
+            let Some(breaker) = entry.breaker.clone() else {
+                return;
+            };
+            if !breaker.begin_probe() {
+                // Closed meanwhile, or a concurrent probe won the race.
+                return;
+            }
+            self.trace(
+                TraceKind::BreakerHalfOpen,
+                entry.stream.as_deref(),
+                handle.name(),
+                "probing with live traffic".to_string(),
+            );
+            match (entry.rebuild)() {
+                Ok(logic) => {
+                    if handle.restart_with(logic).is_ok() {
+                        entry.restarts += 1;
+                        self.restarts.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let mut jobs = self.work.jobs.lock();
+                    jobs.push_back(Job {
+                        key,
+                        due: Instant::now() + breaker.cooldown(),
+                        kind: JobKind::ProbeVerdict,
+                    });
+                    drop(jobs);
+                    self.work.cv.notify_all();
+                    scoped_event(EventKind::BreakerHalfOpen, entry.stream.as_deref())
+                }
+                Err(_) => {
+                    // The factory failed; the instance cannot prove itself.
+                    // Give up exactly as a failed restart does.
+                    let _ = handle.quarantine();
+                    self.quarantined.fetch_add(1, Ordering::Relaxed);
+                    self.trace(
+                        TraceKind::Quarantine,
+                        entry.stream.as_deref(),
+                        handle.name(),
+                        "rebuild factory failed during probe".to_string(),
+                    );
+                    return;
+                }
+            }
+        };
+        self.events.multicast(&event);
+    }
+
+    /// The half-open probe window elapsed: close the breaker if the probe
+    /// stayed quiet; keep waiting if more quiet windows are required. A
+    /// fault during the window reopened the breaker (and scheduled the
+    /// next probe), so there is nothing to do here in that case.
+    fn handle_probe_verdict(&self, key: u64) {
+        let event = {
+            let mut entries = self.entries.lock();
+            let Some(entry) = entries.get_mut(&key) else {
+                return;
+            };
+            let Some(breaker) = entry.breaker.clone() else {
+                return;
+            };
+            match breaker.probe_quiet() {
+                ProbeOutcome::Closed => {
+                    // Close resets the supervisor's restart-budget window
+                    // too: the instance proved healthy, so past faults no
+                    // longer count against it.
+                    entry.fault_times.clear();
+                    let instance = entry
+                        .handle
+                        .upgrade()
+                        .map(|h| h.name().to_string())
+                        .unwrap_or_default();
+                    self.trace(
+                        TraceKind::BreakerClose,
+                        entry.stream.as_deref(),
+                        &instance,
+                        "probe quiet; breaker closed".to_string(),
+                    );
+                    scoped_event(EventKind::BreakerClose, entry.stream.as_deref())
+                }
+                ProbeOutcome::StillHalfOpen => {
+                    let mut jobs = self.work.jobs.lock();
+                    jobs.push_back(Job {
+                        key,
+                        due: Instant::now() + breaker.cooldown(),
+                        kind: JobKind::ProbeVerdict,
+                    });
+                    drop(jobs);
+                    self.work.cv.notify_all();
+                    return;
+                }
+                ProbeOutcome::NotHalfOpen => return,
+            }
+        };
+        self.events.multicast(&event);
+    }
+}
+
+/// A breaker lifecycle event, targeted at the owning stream when known.
+fn scoped_event(kind: EventKind, stream: Option<&str>) -> ContextEvent {
+    match stream {
+        Some(s) => ContextEvent::targeted(kind, s),
+        None => ContextEvent::broadcast(kind),
+    }
 }
 
 impl Drop for Supervisor {
@@ -607,6 +842,7 @@ impl Drop for Supervisor {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -10,6 +10,7 @@
 //! | drop rate          | drops per poll interval            | `HIGH_DROP_RATE`     |
 //! | fault rate         | faults per poll interval           | `HIGH_FAULT_RATE`    |
 //! | byte budget        | cumulative ingress bytes           | `BYTE_BUDGET_EXCEEDED` |
+//! | admission pressure | admission rejections per poll      | `OVERLOAD`           |
 //!
 //! Events are published **targeted at the stream's name** (its event
 //! identity), so an MCL `when (CHANNEL_CONGESTED) { ... }` rule in that
@@ -22,6 +23,8 @@
 //! The thread holds only `Weak` references to the coordination and event
 //! managers, so it can never keep a shut-down server alive; it exits when
 //! either side goes away or [`MetricsBridge::stop`] is called.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use super::Telemetry;
 use crate::coordination::CoordinationManager;
@@ -52,6 +55,10 @@ pub struct BridgeConfig {
     /// `BYTE_BUDGET_EXCEEDED` when a session's cumulative ingress bytes
     /// exceed this budget. `None` disables the watcher.
     pub session_byte_budget: Option<u64>,
+    /// `OVERLOAD` when a stream's admission rejections within one poll
+    /// interval reach this count — the signal that load shedding should
+    /// engage downstream of the bucket.
+    pub admission_rejects_per_poll: u64,
 }
 
 impl Default for BridgeConfig {
@@ -63,6 +70,7 @@ impl Default for BridgeConfig {
             drop_rate_per_poll: 100,
             fault_rate_per_poll: 5,
             session_byte_budget: None,
+            admission_rejects_per_poll: 100,
         }
     }
 }
@@ -76,6 +84,8 @@ struct WatchState {
     last_faults: u64,
     fault_latched: bool,
     budget_latched: bool,
+    last_admission: u64,
+    admission_latched: bool,
 }
 
 /// Handle to the running bridge thread.
@@ -196,6 +206,24 @@ fn run(
                     }
                 } else {
                     state.fault_latched = false;
+                }
+
+                // Admission pressure → OVERLOAD (edge-triggered like the
+                // drop-rate watcher): a stream whose bucket is rejecting
+                // hard should also shed its lowest-priority backlog.
+                let rejects = m
+                    .dropped_admission
+                    .load(std::sync::atomic::Ordering::Relaxed);
+                let adelta = rejects.saturating_sub(state.last_admission);
+                state.last_admission = rejects;
+                if adelta >= cfg.admission_rejects_per_poll {
+                    if !state.admission_latched {
+                        state.admission_latched = true;
+                        events
+                            .multicast(&ContextEvent::targeted(EventKind::Overload, stream.name()));
+                    }
+                } else {
+                    state.admission_latched = false;
                 }
 
                 // Byte budget → BYTE_BUDGET_EXCEEDED (latched: cumulative

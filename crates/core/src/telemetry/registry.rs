@@ -32,6 +32,8 @@ pub enum DropReason {
     Expired,
     /// Explicitly shed by the overload relief valve.
     Shed,
+    /// Rejected at ingress by token-bucket admission control.
+    Admission,
 }
 
 impl DropReason {
@@ -42,6 +44,7 @@ impl DropReason {
             DropReason::Break => "break",
             DropReason::Expired => "expired",
             DropReason::Shed => "shed",
+            DropReason::Admission => "admission",
         }
     }
 }
@@ -58,6 +61,7 @@ pub struct StreamMetrics {
     pub dropped_break: AtomicU64,
     pub dropped_expired: AtomicU64,
     pub dropped_shed: AtomicU64,
+    pub dropped_admission: AtomicU64,
     pub faults: AtomicU64,
     /// Internal tick counter driving the 1-in-N latency sampling gate
     /// ([`super::QueueProbe::sample_timing`]); not part of snapshots.
@@ -85,6 +89,7 @@ impl StreamMetrics {
             DropReason::Break => &self.dropped_break,
             DropReason::Expired => &self.dropped_expired,
             DropReason::Shed => &self.dropped_shed,
+            DropReason::Admission => &self.dropped_admission,
         }
     }
 
@@ -95,6 +100,7 @@ impl StreamMetrics {
             + self.dropped_break.load(Ordering::Relaxed)
             + self.dropped_expired.load(Ordering::Relaxed)
             + self.dropped_shed.load(Ordering::Relaxed)
+            + self.dropped_admission.load(Ordering::Relaxed)
     }
 
     /// Folds `other` into `self` (retirement accumulation).
@@ -108,6 +114,7 @@ impl StreamMetrics {
             (&self.dropped_break, &other.dropped_break),
             (&self.dropped_expired, &other.dropped_expired),
             (&self.dropped_shed, &other.dropped_shed),
+            (&self.dropped_admission, &other.dropped_admission),
             (&self.faults, &other.faults),
         ] {
             dst.fetch_add(src.load(Ordering::Relaxed), Ordering::Relaxed);
@@ -130,6 +137,7 @@ impl StreamMetrics {
             dropped_break: self.dropped_break.load(Ordering::Relaxed),
             dropped_expired: self.dropped_expired.load(Ordering::Relaxed),
             dropped_shed: self.dropped_shed.load(Ordering::Relaxed),
+            dropped_admission: self.dropped_admission.load(Ordering::Relaxed),
             faults: self.faults.load(Ordering::Relaxed),
             post_ns: self.post_ns.snapshot(),
             msg_bytes: self.msg_bytes.snapshot(),
@@ -151,6 +159,7 @@ pub struct StreamMetricsSnapshot {
     pub dropped_break: u64,
     pub dropped_expired: u64,
     pub dropped_shed: u64,
+    pub dropped_admission: u64,
     pub faults: u64,
     pub post_ns: HistogramSnapshot,
     pub msg_bytes: HistogramSnapshot,
@@ -166,6 +175,7 @@ impl StreamMetricsSnapshot {
             + self.dropped_break
             + self.dropped_expired
             + self.dropped_shed
+            + self.dropped_admission
     }
 
     /// Merges another snapshot into this one (aggregation).
@@ -178,6 +188,7 @@ impl StreamMetricsSnapshot {
         self.dropped_break += other.dropped_break;
         self.dropped_expired += other.dropped_expired;
         self.dropped_shed += other.dropped_shed;
+        self.dropped_admission += other.dropped_admission;
         self.faults += other.faults;
         self.post_ns.merge(&other.post_ns);
         self.msg_bytes.merge(&other.msg_bytes);

@@ -76,6 +76,7 @@ impl MetricsSnapshot {
             ("break", self.totals.dropped_break),
             ("expired", self.totals.dropped_expired),
             ("shed", self.totals.dropped_shed),
+            ("admission", self.totals.dropped_admission),
         ] {
             out.push_str(&format!(
                 "mobigate_dropped_total{{reason=\"{reason}\"}} {v}\n"
@@ -220,6 +221,12 @@ impl MetricsSnapshot {
                 "Poison messages evicted to the dead-letter queue.",
                 s.dead_lettered,
             );
+            counter(
+                &mut out,
+                "mobigate_supervisor_breaker_trips_total",
+                "Circuit-breaker trips (faults parked behind an open breaker).",
+                s.breaker_trips,
+            );
         }
         if let Some(d) = &self.dead_letters {
             counter(
@@ -306,6 +313,7 @@ mod tests {
             restarts: 1,
             quarantined: 0,
             dead_lettered: 0,
+            breaker_trips: 0,
         });
         let text = snap.render_prometheus();
         assert!(text.contains("# TYPE mobigate_posted_total counter"));

@@ -28,6 +28,10 @@ pub enum TraceKind {
     SessionSpawn,
     SessionTeardown,
     Drop,
+    BreakerTrip,
+    BreakerHalfOpen,
+    BreakerClose,
+    Shed,
 }
 
 impl TraceKind {
@@ -47,6 +51,10 @@ impl TraceKind {
             TraceKind::SessionSpawn => "session-spawn",
             TraceKind::SessionTeardown => "session-teardown",
             TraceKind::Drop => "drop",
+            TraceKind::BreakerTrip => "breaker-trip",
+            TraceKind::BreakerHalfOpen => "breaker-half-open",
+            TraceKind::BreakerClose => "breaker-close",
+            TraceKind::Shed => "shed",
         }
     }
 }

@@ -74,6 +74,8 @@ fn deps(fusion: bool) -> StreamDeps {
         batching: Default::default(),
         fusion,
         telemetry: None,
+        overload: Default::default(),
+        admission: None,
     }
 }
 

@@ -710,6 +710,7 @@ mod supervision {
                     poison_threshold: 3,
                 },
                 dead_letter_capacity: 16,
+                jitter_seed: Supervisor::DEFAULT_JITTER_SEED,
             },
             ..Default::default()
         };

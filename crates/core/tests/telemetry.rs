@@ -209,6 +209,7 @@ fn bridge_published_congestion_fires_when_rule() {
             drop_rate_per_poll: u64::MAX,
             fault_rate_per_poll: u64::MAX,
             session_byte_budget: None,
+            admission_rejects_per_poll: u64::MAX,
         })),
         ..Default::default()
     });

@@ -119,6 +119,15 @@ pub enum EventKind {
     /// A streamlet instance faulted (panicked) in the execution plane; the
     /// supervisor raises it so streams can reconfigure around the failure.
     StreamletFault,
+    /// A streamlet instance's circuit breaker tripped open after crossing
+    /// its fault-rate threshold; the supervisor stops restarting it and
+    /// `when (STREAMLET_FAULT)` bypass rules route around it.
+    BreakerOpen,
+    /// A tripped breaker entered its half-open probe window (one restart
+    /// attempted to test recovery).
+    BreakerHalfOpen,
+    /// A half-open breaker observed enough quiet probes and closed again.
+    BreakerClose,
     // --- Load Variation (metrics→event bridge) ---
     /// A stream's queued bytes crossed the configured high-water mark.
     ChannelCongested,
@@ -128,11 +137,14 @@ pub enum EventKind {
     HighFaultRate,
     /// A session consumed more ingress bytes than its configured budget.
     ByteBudgetExceeded,
+    /// Admission control is actively rejecting ingress for a stream (the
+    /// gateway is saturated beyond its token-bucket refill rate).
+    Overload,
 }
 
 impl EventKind {
     /// Every predefined event.
-    pub const ALL: [EventKind; 18] = [
+    pub const ALL: [EventKind; 22] = [
         EventKind::Pause,
         EventKind::Resume,
         EventKind::End,
@@ -147,10 +159,14 @@ impl EventKind {
         EventKind::DecoderUnavailable,
         EventKind::FormatUnsupported,
         EventKind::StreamletFault,
+        EventKind::BreakerOpen,
+        EventKind::BreakerHalfOpen,
+        EventKind::BreakerClose,
         EventKind::ChannelCongested,
         EventKind::HighDropRate,
         EventKind::HighFaultRate,
         EventKind::ByteBudgetExceeded,
+        EventKind::Overload,
     ];
 
     /// The category the event belongs to (Table 6-1 column 1).
@@ -168,11 +184,15 @@ impl EventKind {
             EventKind::DecoderUnavailable | EventKind::FormatUnsupported => {
                 EventCategory::SoftwareVariation
             }
-            EventKind::StreamletFault => EventCategory::RuntimeFault,
+            EventKind::StreamletFault
+            | EventKind::BreakerOpen
+            | EventKind::BreakerHalfOpen
+            | EventKind::BreakerClose => EventCategory::RuntimeFault,
             EventKind::ChannelCongested
             | EventKind::HighDropRate
             | EventKind::HighFaultRate
-            | EventKind::ByteBudgetExceeded => EventCategory::LoadVariation,
+            | EventKind::ByteBudgetExceeded
+            | EventKind::Overload => EventCategory::LoadVariation,
         }
     }
 
@@ -193,10 +213,14 @@ impl EventKind {
             EventKind::DecoderUnavailable => "DECODER_UNAVAILABLE",
             EventKind::FormatUnsupported => "FORMAT_UNSUPPORTED",
             EventKind::StreamletFault => "STREAMLET_FAULT",
+            EventKind::BreakerOpen => "BREAKER_OPEN",
+            EventKind::BreakerHalfOpen => "BREAKER_HALF_OPEN",
+            EventKind::BreakerClose => "BREAKER_CLOSE",
             EventKind::ChannelCongested => "CHANNEL_CONGESTED",
             EventKind::HighDropRate => "HIGH_DROP_RATE",
             EventKind::HighFaultRate => "HIGH_FAULT_RATE",
             EventKind::ByteBudgetExceeded => "BYTE_BUDGET_EXCEEDED",
+            EventKind::Overload => "OVERLOAD",
         }
     }
 }

@@ -146,6 +146,7 @@ impl Testbed {
                 batching: Default::default(),
                 fusion: cfg.fusion,
                 telemetry: Default::default(),
+                overload: Default::default(),
             },
             Arc::new(mobigate_core::StreamletDirectory::new()),
             pool,
