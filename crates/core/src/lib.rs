@@ -8,9 +8,9 @@
 //!   tables;
 //! * the **Streamlet Execution Plane**: [`streamlet::StreamletLogic`]
 //!   computation objects held by [`streamlet::StreamletHandle`] and
-//!   scheduled by an [`executor::Executor`] (thread-per-streamlet or a
-//!   shared worker pool), with [`pooling::StreamletPool`] reusing stateless
-//!   instances.
+//!   scheduled by an [`executor::Executor`] (thread-per-streamlet, a
+//!   shared worker pool, or a work-stealing reactor), with
+//!   [`pooling::StreamletPool`] reusing stateless instances.
 //!
 //! Cross-cutting services: the [`events::EventManager`] (Table 6-1 context
 //! events, category subscription, multicast), the
@@ -45,7 +45,9 @@ pub use coordination::CoordinationManager;
 pub use directory::StreamletDirectory;
 pub use error::CoreError;
 pub use events::{ContextEvent, EventManager};
-pub use executor::{default_executor, Executor, ThreadPerStreamlet, WorkerPool};
+pub use executor::{
+    default_executor, Executor, ExecutorStats, Reactor, ThreadPerStreamlet, WorkerPool, WorkerStats,
+};
 pub use fusion::{FusedLogic, FusedMember, FusedShared};
 pub use overload::{
     AdmissionConfig, AdmissionController, AdmissionStats, BreakerConfig, BreakerState,

@@ -309,6 +309,10 @@ pub struct MessageQueue {
     /// frees up, so pool-driven producers with parked outputs wake
     /// edge-triggered instead of polling the full queue.
     space_listeners: RwLock<Vec<Arc<Notifier>>>,
+    /// Mirror of `space_listeners.len()`, maintained under its write
+    /// lock: lets the wake fan-out skip the read lock entirely in the
+    /// common no-parked-producer case.
+    space_listener_count: AtomicUsize,
     /// SPSC fast-path ring, allocated once for async channels with
     /// [`QueueConfig::spsc`] set. Consumers *always* drain it before the
     /// mutex queue, so FIFO holds across activation changes.
@@ -363,6 +367,7 @@ impl MessageQueue {
             probe,
             listeners: RwLock::new(Vec::new()),
             space_listeners: RwLock::new(Vec::new()),
+            space_listener_count: AtomicUsize::new(0),
             ring,
             spsc_active: AtomicBool::new(spsc_active),
             sleepers: AtomicUsize::new(0),
@@ -446,15 +451,28 @@ impl MessageQueue {
     /// Pool-driven producers with outputs parked behind this (full) queue
     /// sleep on it instead of spinning through the run queue.
     pub fn add_space_listener(&self, n: Arc<Notifier>) {
-        self.space_listeners.write().push(n);
+        let mut ls = self.space_listeners.write();
+        ls.push(n);
+        self.space_listener_count.store(ls.len(), Ordering::Release);
     }
 
     /// Unregisters a space notifier.
     pub fn remove_space_listener(&self, n: &Arc<Notifier>) {
-        self.space_listeners.write().retain(|l| !Arc::ptr_eq(l, n));
+        let mut ls = self.space_listeners.write();
+        ls.retain(|l| !Arc::ptr_eq(l, n));
+        self.space_listener_count.store(ls.len(), Ordering::Release);
     }
 
     fn wake_space_listeners(&self) {
+        // Fast path: most queues never have a parked producer, yet every
+        // fetch/shed/close used to pay the RwLock read just to find the
+        // list empty. One relaxed-ish load skips that. A producer that
+        // registers concurrently re-checks for space *after* attaching
+        // (the flush-before-input discipline), so a miss here cannot
+        // strand it.
+        if self.space_listener_count.load(Ordering::Acquire) == 0 {
+            return;
+        }
         for l in self.space_listeners.read().iter() {
             l.notify();
         }
@@ -871,8 +889,16 @@ impl MessageQueue {
     /// Non-blocking post: admits the payload if the channel has room right
     /// now, otherwise hands it straight back without waiting out Figure
     /// 6-9's `T`. A closed sink discards the payload (as `post` does) and
-    /// reports `Closed`. Not meaningful for sync (rendezvous) channels —
-    /// callers route those through [`MessageQueue::post`].
+    /// reports `Closed`.
+    ///
+    /// Sync (rendezvous) channels admit into their zero-length slot only
+    /// while it is empty; an occupied slot hands the payload back. The
+    /// blocking `post` additionally waits for the consumer to *take* the
+    /// message — here that discipline moves to the caller: a pool-driven
+    /// producer parks the refused payload in its pending-output buffer
+    /// and retries on the queue's space wakeup (fired by the fetch that
+    /// empties the slot), so the rendezvous pacing survives without a
+    /// parked worker thread.
     ///
     /// Pool executors use this so a full downstream queue parks the
     /// *message* (in the producer's pending-output buffer) instead of the
@@ -890,6 +916,19 @@ impl MessageQueue {
             self.pool.discard(payload);
             self.charge_drop(DropReason::Closed, 1);
             return Ok(PostResult::Closed);
+        }
+        if self.cfg.kind == ChannelKind::Sync {
+            if !st.queue.is_empty() {
+                return Err(payload);
+            }
+            st.queue.push_back(payload);
+            st.bytes += len;
+            self.posted.fetch_add(1, Ordering::Relaxed);
+            self.probe_admit(len);
+            drop(st);
+            self.cv.notify_all();
+            self.wake_listeners();
+            return Ok(PostResult::Posted);
         }
         match self.try_admit(&mut st, payload, len) {
             Ok(()) => {
@@ -913,16 +952,10 @@ impl MessageQueue {
         if payloads.is_empty() {
             return (Vec::new(), Vec::new());
         }
-        if self.cfg.kind == ChannelKind::Sync {
-            // Rendezvous has no buffer that "has room": delegate to the
-            // blocking per-message path, exactly as `post_all` does.
-            return (
-                payloads.into_iter().map(|p| self.post(p)).collect(),
-                Vec::new(),
-            );
-        }
-        if self.spsc_active.load(Ordering::SeqCst) {
-            // The SPSC ring path is lock-free per message anyway.
+        if self.cfg.kind == ChannelKind::Sync || self.spsc_active.load(Ordering::SeqCst) {
+            // Per-message delegation: a rendezvous slot admits at most one
+            // payload (the rest go back to the caller untouched), and the
+            // SPSC ring path is lock-free per message anyway.
             let mut results = Vec::new();
             let mut iter = payloads.into_iter();
             for payload in iter.by_ref() {
@@ -1089,6 +1122,13 @@ impl MessageQueue {
         let st = self.state.lock();
         if !st.sink_open {
             return true;
+        }
+        if self.cfg.kind == ChannelKind::Sync {
+            // The rendezvous slot is the only capacity there is; the byte
+            // budget below would wrongly report room while it is occupied
+            // (and a retrying producer would spin instead of sleeping on
+            // the space wakeup).
+            return st.queue.is_empty();
         }
         let ring_bytes = self.ring.as_ref().map_or(0, SpscRing::bytes);
         let ring_empty = self.ring.as_ref().is_none_or(SpscRing::is_empty);

@@ -15,7 +15,7 @@ use crate::coordination::CoordinationManager;
 use crate::directory::StreamletDirectory;
 use crate::error::CoreError;
 use crate::events::{ContextEvent, EventManager};
-use crate::executor::{default_executor, Executor, WorkerPool};
+use crate::executor::{default_executor, Executor, Reactor, WorkerPool};
 use crate::overload::{AdmissionController, OverloadConfig};
 use crate::pool::{MessagePool, PayloadMode};
 use crate::pooling::StreamletPool;
@@ -43,6 +43,13 @@ pub enum ExecutorConfig {
         /// Number of pool worker threads (clamped to at least 1).
         workers: usize,
     },
+    /// Per-worker run queues with work stealing and waker-driven
+    /// scheduling — thousands of mostly-idle sessions per core on a
+    /// fixed, flat thread count.
+    Reactor {
+        /// Number of reactor worker threads (clamped to at least 1).
+        workers: usize,
+    },
 }
 
 impl ExecutorConfig {
@@ -51,6 +58,7 @@ impl ExecutorConfig {
         match self {
             ExecutorConfig::ThreadPerStreamlet => default_executor(),
             ExecutorConfig::WorkerPool { workers } => WorkerPool::new(workers),
+            ExecutorConfig::Reactor { workers } => Reactor::new(workers),
         }
     }
 }
@@ -381,6 +389,7 @@ impl MobiGate {
             dead_letters: self.supervisor.as_ref().map(|s| s.dead_letters().stats()),
             trace_recorded: t.trace().recorded(),
             trace_overwritten: t.trace().overwritten(),
+            executor: self.executor.stats(),
         })
     }
 

@@ -334,13 +334,15 @@ impl Shared {
         }
         let nonblocking = self.nonblocking_outputs.load(Ordering::Relaxed);
         for (q, payloads) in runs {
-            if nonblocking && !q.is_sync() {
+            if nonblocking {
                 let (_, rest) = q.post_all_nowait(payloads);
                 if !rest.is_empty() {
-                    // Full queue: park the tail with the drop deadline it
-                    // would have waited out inside `post`, and yield the
-                    // worker. `flush_pending` retries before any new input
-                    // is consumed.
+                    // Full queue — or an occupied rendezvous slot: park the
+                    // tail with the drop deadline it would have waited out
+                    // inside `post`, and yield the worker. `flush_pending`
+                    // retries before any new input is consumed, woken by
+                    // the queue's space listeners (for a sync channel,
+                    // fired by the fetch that empties the slot).
                     let deadline = Instant::now() + q.full_wait();
                     let mut pending = self.pending_out.lock();
                     pending.extend(rest.into_iter().map(|p| (q.clone(), p, deadline)));

@@ -14,8 +14,9 @@
 
 use mobigate_core::stream::{RunningStream, StreamDeps};
 use mobigate_core::{
-    default_executor, CoreError, Emitter, LifecycleState, MessagePool, MobiGate, PayloadMode,
-    RouteOpts, ServerConfig, StreamletCtx, StreamletDirectory, StreamletLogic, StreamletPool,
+    default_executor, CoreError, Emitter, Executor, LifecycleState, MessagePool, MobiGate,
+    PayloadMode, Reactor, RouteOpts, ServerConfig, StreamletCtx, StreamletDirectory,
+    StreamletLogic, StreamletPool, WorkerPool,
 };
 use mobigate_mcl::compile::compile;
 use mobigate_mime::{MimeMessage, SessionId};
@@ -58,7 +59,7 @@ impl StreamletLogic for Boom {
     }
 }
 
-fn deps(fusion: bool) -> StreamDeps {
+fn deps_on(fusion: bool, executor: Arc<dyn Executor>) -> StreamDeps {
     let directory = Arc::new(StreamletDirectory::new());
     directory.register("fuse/tag_a", "", || Box::new(FTag('a')));
     directory.register("fuse/tag_b", "", || Box::new(FTag('b')));
@@ -69,7 +70,7 @@ fn deps(fusion: bool) -> StreamDeps {
         streamlet_pool: Arc::new(StreamletPool::new(16)),
         mode: PayloadMode::Reference,
         route_opts: RouteOpts::default(),
-        executor: default_executor(),
+        executor,
         supervisor: None,
         batching: Default::default(),
         fusion,
@@ -104,8 +105,12 @@ const CHAIN: &str = r#"
 "#;
 
 fn deploy_chain(fusion: bool) -> (Arc<RunningStream>, StreamDeps) {
+    deploy_chain_on(fusion, default_executor())
+}
+
+fn deploy_chain_on(fusion: bool, executor: Arc<dyn Executor>) -> (Arc<RunningStream>, StreamDeps) {
     let program = compile(CHAIN).unwrap();
-    let d = deps(fusion);
+    let d = deps_on(fusion, executor);
     let stream = RunningStream::deploy(
         program.main().unwrap(),
         &program.streamlet_defs,
@@ -300,28 +305,38 @@ proptest! {
     /// Fusion is a pure scheduling optimization: under a non-saturating
     /// load (no interior queue ever overflows) a fused deployment is
     /// observationally equivalent to the discrete one — identical bodies
-    /// in identical order.
+    /// in identical order — under every executor back end.
     #[test]
     fn fused_stream_matches_unfused_stream(tags in prop::collection::vec(any::<u8>(), 1..24)) {
-        let (fused, _) = deploy_chain(true);
-        let (unfused, _) = deploy_chain(false);
-        for (i, t) in tags.iter().enumerate() {
-            let text = format!("m{i}-{t}");
-            fused.post_input(MimeMessage::text(text.clone())).unwrap();
-            unfused.post_input(MimeMessage::text(text)).unwrap();
+        let executors: [Arc<dyn Executor>; 3] = [
+            default_executor(),
+            WorkerPool::new(2),
+            Reactor::new(2),
+        ];
+        for executor in executors {
+            let (fused, _) = deploy_chain_on(true, executor.clone());
+            let (unfused, _) = deploy_chain_on(false, executor.clone());
+            for (i, t) in tags.iter().enumerate() {
+                let text = format!("m{i}-{t}");
+                fused.post_input(MimeMessage::text(text.clone())).unwrap();
+                unfused.post_input(MimeMessage::text(text)).unwrap();
+            }
+            let drain = |s: &RunningStream| -> Vec<String> {
+                (0..tags.len())
+                    .map(|_| {
+                        let out = s.take_output(Duration::from_secs(5)).expect("output");
+                        String::from_utf8_lossy(&out.body).into_owned()
+                    })
+                    .collect()
+            };
+            let out_fused = drain(&fused);
+            let out_unfused = drain(&unfused);
+            prop_assert_eq!(out_fused, out_unfused, "executor {}", executor.name());
+            fused.shutdown();
+            unfused.shutdown();
+            if executor.name() != "thread-per-streamlet" {
+                executor.shutdown();
+            }
         }
-        let drain = |s: &RunningStream| -> Vec<String> {
-            (0..tags.len())
-                .map(|_| {
-                    let out = s.take_output(Duration::from_secs(5)).expect("output");
-                    String::from_utf8_lossy(&out.body).into_owned()
-                })
-                .collect()
-        };
-        let out_fused = drain(&fused);
-        let out_unfused = drain(&unfused);
-        prop_assert_eq!(out_fused, out_unfused);
-        fused.shutdown();
-        unfused.shutdown();
     }
 }
