@@ -35,6 +35,14 @@ impl ChainHarness {
     /// Builds and deploys the chain over a fully specified [`ServerConfig`]
     /// (executor back end, pool sharding) — the ablation entry point.
     pub fn with_config(k: usize, config: ServerConfig) -> Self {
+        Self::with_library(k, config, "builtin/redirector")
+    }
+
+    /// Like [`Self::with_config`] but with the streamlet library chosen by
+    /// the caller: `"builtin/redirector"` for the §7.2 parse/re-encapsulate
+    /// probe, `"builtin/forward"` for a pure pass-through chain that
+    /// isolates transport cost (the memory-plane ablation).
+    pub fn with_library(k: usize, config: ServerConfig, library: &str) -> Self {
         assert!(k >= 1, "a chain needs at least one streamlet");
         let server = MobiGate::with_config(
             config,
@@ -43,11 +51,11 @@ impl ChainHarness {
         );
         mobigate_streamlets::register_builtins(server.directory());
 
-        let mut script = String::from(
-            "streamlet redirector {\n\
-             port { in pi : */*; out po : */*; }\n\
-             attribute { type = STATELESS; library = \"builtin/redirector\"; }\n}\n\
-             main stream chain {\n",
+        let mut script = format!(
+            "streamlet redirector {{\n\
+             port {{ in pi : */*; out po : */*; }}\n\
+             attribute {{ type = STATELESS; library = \"{library}\"; }}\n}}\n\
+             main stream chain {{\n",
         );
         for i in 0..k {
             let _ = writeln!(script, "streamlet r{i} = new-streamlet (redirector);");

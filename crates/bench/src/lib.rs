@@ -5,6 +5,7 @@
 pub mod chain;
 pub mod chaos;
 pub mod e2e;
+pub mod memplane;
 pub mod obs;
 pub mod overload;
 pub mod reconfig;
@@ -14,6 +15,9 @@ pub mod sessions;
 pub use chain::ChainHarness;
 pub use chaos::{chaos_server_config, run_chaos, with_quiet_panics, ChaosConfig, ChaosOutcome};
 pub use e2e::{end_to_end_point, E2EPoint};
+pub use memplane::{
+    allocations, run_memplane_chain, CountingAlloc, MemplaneChainConfig, MemplaneChainOutcome,
+};
 pub use obs::{obs_chain_pair, run_scrape_churn, ObsChainConfig, ScrapeOutcome};
 pub use overload::{
     run_breaker_probe, run_overload_burst, BreakerProbeOutcome, OverloadBurstConfig,

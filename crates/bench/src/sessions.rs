@@ -24,6 +24,10 @@ use std::time::{Duration, Instant};
 pub struct SessionsConfig {
     /// Concurrent sessions to spawn.
     pub sessions: usize,
+    /// Payload passing mode: `Reference` is the production path (pool
+    /// refs + copy-on-write bodies); `Value` is the Figure 7-3 deep-copy
+    /// baseline the memplane ablation measures against.
+    pub mode: PayloadMode,
     /// Redirectors per session chain.
     pub chain_len: usize,
     /// Messages driven through every session.
@@ -161,7 +165,7 @@ pub fn run_sessions(cfg: SessionsConfig) -> SessionsOutcome {
     let pool = Arc::new(StreamletPool::new(cfg.sessions * cfg.chain_len + 8));
     let server = MobiGate::with_config(
         ServerConfig {
-            mode: PayloadMode::Reference,
+            mode: cfg.mode,
             executor: cfg.executor,
             fusion: cfg.fusion,
             ..Default::default()
@@ -288,6 +292,7 @@ mod tests {
     fn small_session_plane_round_trips_cleanly() {
         let out = run_sessions(SessionsConfig {
             sessions: 8,
+            mode: PayloadMode::Reference,
             chain_len: 3,
             msgs_per_session: 4,
             payload_bytes: 64,

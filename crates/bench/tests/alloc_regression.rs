@@ -1,0 +1,63 @@
+//! CI allocation-regression guard for the memory plane.
+//!
+//! Uses the counting global allocator in `mobigate_bench::memplane` to
+//! round-trip messages through a pass-through chain and asserts that the
+//! steady-state allocation rate stays where the memory plane put it. Counts
+//! are process-wide, so each scenario runs alone in its own process: the
+//! harness interleaves exactly one message in flight and the test binary
+//! runs these tests single-threaded via the harness's own serial lock.
+
+use mobigate_bench::{run_memplane_chain, MemplaneChainConfig};
+use std::sync::Mutex;
+
+/// Allocation counts are global; overlapping chains would pollute each
+/// other's deltas.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn run(chain_len: usize, memplane: bool) -> f64 {
+    let _guard = SERIAL.lock().unwrap();
+    run_memplane_chain(MemplaneChainConfig {
+        chain_len,
+        payload_bytes: 4 * 1024,
+        msgs: 256,
+        memplane,
+    })
+    .allocs_per_msg
+}
+
+/// The headline invariant: per-hop transport is allocation-free, so the
+/// rate must not grow with chain length. The absolute bound (16/msg for
+/// ingress parse + egress serialize, measured at 10) is the regression
+/// tripwire for the hot path.
+#[test]
+fn memplane_steady_state_allocation_rate_is_flat_and_low() {
+    let short = run(2, true);
+    let long = run(8, true);
+    assert!(
+        short <= 16.0,
+        "memplane k=2 allocates {short:.1}/msg (> 16): hot-path regression"
+    );
+    assert!(
+        long <= 16.0,
+        "memplane k=8 allocates {long:.1}/msg (> 16): hot-path regression"
+    );
+    assert!(
+        long <= short + 2.0,
+        "allocation rate grows with chain length ({short:.1} -> {long:.1}): \
+         a per-hop allocation crept back in"
+    );
+}
+
+/// The ablation contrast: the pre-memory-plane baseline (Value deep
+/// copies, no slab pool) allocates several times more. 3x here is
+/// deliberately looser than the 5x acceptance guard in `repro -- memplane`
+/// so CI noise cannot flake it.
+#[test]
+fn memplane_beats_deep_copy_baseline_by_3x() {
+    let base = run(4, false);
+    let mem = run(4, true);
+    assert!(
+        base >= 3.0 * mem,
+        "memory plane only cut allocs/msg from {base:.1} to {mem:.1} (< 3x)"
+    );
+}

@@ -254,6 +254,7 @@ mod tests {
             telemetry: None,
             overload: Default::default(),
             admission: None,
+            buf_pool: None,
         };
         CoordinationManager::new(deps, Arc::new(EventManager::new()))
     }

@@ -29,6 +29,8 @@ pub enum CoreError {
     /// gateway's token bucket was empty. The message never entered the
     /// pool; the rejection is charged to the `admission` drop reason.
     Overloaded { session: String },
+    /// An ingress wire buffer failed to parse as a MIME message.
+    Malformed { message: String },
 }
 
 impl fmt::Display for CoreError {
@@ -57,6 +59,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::Overloaded { session } => {
                 write!(f, "admission control rejected ingress for `{session}`")
+            }
+            CoreError::Malformed { message } => {
+                write!(f, "malformed wire message: {message}")
             }
         }
     }

@@ -20,7 +20,9 @@
 //! unit around exactly the poisoned stage.
 
 use crate::error::CoreError;
-use crate::streamlet::{Emitter, StreamletCtx, StreamletLogic};
+#[cfg(test)]
+use crate::streamlet::Emitter;
+use crate::streamlet::{StreamletCtx, StreamletLogic};
 use mobigate_mime::MimeMessage;
 use parking_lot::Mutex;
 use std::panic::AssertUnwindSafe;
@@ -145,27 +147,43 @@ impl FusedShared {
 /// interior queues, so interior Figure 6-9 overflow drops cannot occur).
 pub struct FusedLogic {
     shared: Arc<FusedShared>,
+    /// Interior-loop scratch, reused across invocations so the fused hot
+    /// path allocates nothing in steady state: the current stage's feed,
+    /// the next stage's feed, the per-stage emission buffer, and retired
+    /// port-name strings. A member panic unwinds past these; whatever was
+    /// lent to the stage context at that moment is lost and the fields
+    /// self-heal as empty vecs (the whole batch goes to redelivery anyway).
+    batch: Vec<MimeMessage>,
+    next: Vec<MimeMessage>,
+    stage_outs: Vec<(String, MimeMessage)>,
+    spare: Vec<String>,
 }
 
 impl FusedLogic {
     /// A logic view over the shared roster (the supervisor creates a fresh
     /// one per member-level restart; they all drive the same members).
     pub fn new(shared: Arc<FusedShared>) -> Self {
-        FusedLogic { shared }
+        FusedLogic {
+            shared,
+            batch: Vec::new(),
+            next: Vec::new(),
+            stage_outs: Vec::new(),
+            spare: Vec::new(),
+        }
     }
 
-    /// Runs `msgs` through every member. Emissions on a member's single
-    /// output port feed the next stage; the last stage's feed is emitted on
-    /// its own port name (the fused handle's output binding uses the same
-    /// name). Any *other* emission is surfaced as `instance.port` — never
-    /// bound, so it drops as unrouted exactly like the open circuit it
-    /// would have been unfused.
-    fn thread(&self, msgs: Vec<MimeMessage>, ctx: &mut StreamletCtx) -> Result<(), CoreError> {
+    /// Runs `self.batch` through every member. Emissions on a member's
+    /// single output port feed the next stage; the last stage's feed is
+    /// emitted on its own port name (the fused handle's output binding uses
+    /// the same name). Any *other* emission is surfaced as `instance.port`
+    /// — never bound, so it drops as unrouted exactly like the open circuit
+    /// it would have been unfused.
+    fn thread(&mut self, ctx: &mut StreamletCtx) -> Result<(), CoreError> {
+        self.next.clear();
         let mut members = self.shared.members.lock();
-        let mut batch = msgs;
         let last = members.len().saturating_sub(1);
         for (i, member) in members.iter_mut().enumerate() {
-            if batch.is_empty() {
+            if self.batch.is_empty() {
                 break;
             }
             let Some(logic) = member.logic.as_mut() else {
@@ -178,34 +196,39 @@ impl FusedLogic {
                     member.instance
                 ));
             };
-            let batch_in = std::mem::take(&mut batch);
-            let use_batch = batch_in.len() > 1 && logic.supports_batch();
+            let feed = std::mem::take(&mut self.batch);
+            let outs_buf = std::mem::take(&mut self.stage_outs);
+            let spare = std::mem::take(&mut self.spare);
+            let use_batch = feed.len() > 1 && logic.supports_batch();
+            let session = ctx.session();
             let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
                 // Error semantics mirror the member's own handle exactly:
                 // a per-message `Err` discards that invocation's emissions
                 // and counts one error; a batched `Err` discards the whole
                 // batch's emissions under one error count (what
-                // `process_batched` does for a discrete streamlet).
+                // `process_batched` does for a discrete streamlet). One
+                // context serves the whole stage; rollback marks give each
+                // message its own discard scope.
                 let mut errors = 0u64;
-                let mut outs: Vec<(String, MimeMessage)> = Vec::new();
+                let mut mctx =
+                    StreamletCtx::with_buffers(&member.instance, session, outs_buf, spare);
                 if use_batch {
-                    let mut mctx = StreamletCtx::new(&member.instance, ctx.session());
-                    match logic.process_batch(batch_in, &mut mctx) {
-                        Ok(()) => outs = mctx.into_outputs(),
-                        Err(_) => errors += 1,
+                    if logic.process_batch(feed, &mut mctx).is_err() {
+                        errors += 1;
+                        mctx.truncate_outputs(0);
                     }
                 } else {
-                    for msg in batch_in {
-                        let mut mctx = StreamletCtx::new(&member.instance, ctx.session());
-                        match logic.process(msg, &mut mctx) {
-                            Ok(()) => outs.extend(mctx.into_outputs()),
-                            Err(_) => errors += 1,
+                    for msg in feed {
+                        let mark = mctx.outputs_len();
+                        if logic.process(msg, &mut mctx).is_err() {
+                            errors += 1;
+                            mctx.truncate_outputs(mark);
                         }
                     }
                 }
-                (errors, outs)
+                (errors, mctx.into_parts())
             }));
-            let (errors, outs) = match outcome {
+            let (errors, (mut outs, spare)) = match outcome {
                 Ok(pair) => pair,
                 Err(payload) => {
                     // Member-attributed fault: drop the poisoned logic,
@@ -222,25 +245,39 @@ impl FusedLogic {
                 }
             };
             member.errors += errors;
-            for (port, msg) in outs {
+            self.spare = spare;
+            for (mut port, msg) in outs.drain(..) {
                 if port == member.out_port {
                     if i == last {
-                        ctx.emit(&port, msg);
+                        ctx.emit_owned(port, msg);
                     } else {
-                        batch.push(msg);
+                        self.next.push(msg);
+                        port.clear();
+                        self.spare.push(port);
                     }
                 } else {
-                    ctx.emit(&format!("{}.{port}", member.instance), msg);
+                    use std::fmt::Write as _;
+                    let mut name = self.spare.pop().unwrap_or_default();
+                    name.clear();
+                    let _ = write!(name, "{}.{port}", member.instance);
+                    ctx.emit_owned(name, msg);
+                    port.clear();
+                    self.spare.push(port);
                 }
             }
+            self.stage_outs = outs;
+            std::mem::swap(&mut self.batch, &mut self.next);
         }
+        self.batch.clear();
         Ok(())
     }
 }
 
 impl StreamletLogic for FusedLogic {
     fn process(&mut self, msg: MimeMessage, ctx: &mut StreamletCtx) -> Result<(), CoreError> {
-        self.thread(vec![msg], ctx)
+        self.batch.clear();
+        self.batch.push(msg);
+        self.thread(ctx)
     }
 
     fn supports_batch(&self) -> bool {
@@ -252,7 +289,9 @@ impl StreamletLogic for FusedLogic {
         msgs: Vec<MimeMessage>,
         ctx: &mut StreamletCtx,
     ) -> Result<(), CoreError> {
-        self.thread(msgs, ctx)
+        self.batch.clear();
+        self.batch.extend(msgs);
+        self.thread(ctx)
     }
 
     fn on_activate(&mut self) {

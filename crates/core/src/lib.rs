@@ -28,6 +28,7 @@ pub mod error;
 pub mod events;
 pub mod executor;
 pub mod fusion;
+pub mod membuf;
 pub mod overload;
 pub mod pool;
 pub mod pooling;
@@ -49,6 +50,7 @@ pub use executor::{
     default_executor, Executor, ExecutorStats, Reactor, ThreadPerStreamlet, WorkerPool, WorkerStats,
 };
 pub use fusion::{FusedLogic, FusedMember, FusedShared};
+pub use membuf::{BufferPool, BufferPoolStats, MembufConfig, PooledBuf};
 pub use overload::{
     AdmissionConfig, AdmissionController, AdmissionStats, BreakerConfig, BreakerState,
     CircuitBreaker, FaultVerdict, OverloadConfig, PriorityClass, ProbeOutcome, ShedConfig,

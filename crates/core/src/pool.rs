@@ -300,6 +300,15 @@ impl MessagePool {
         Payload::Value(Box::new(deep_copy(msg)))
     }
 
+    /// Wraps an *owned* message the caller is done with as a value
+    /// payload. No deep copy: the refcounted body moves into the payload
+    /// as-is. Use this instead of [`MessagePool::wrap_copy`] when the
+    /// message would otherwise be dropped — deep-copying a value that has
+    /// exactly one owner buys no isolation, only the memcpy.
+    pub fn wrap_owned(&self, msg: MimeMessage) -> Payload {
+        Payload::Value(Box::new(msg))
+    }
+
     /// Resolves a payload into an owned message, consuming its reference.
     pub fn resolve(&self, payload: Payload) -> Option<MimeMessage> {
         match payload {
@@ -321,8 +330,16 @@ impl MessagePool {
 /// Exactly one copy: straight into a fresh `Bytes`, not via an
 /// intermediate `Vec`.
 pub fn deep_copy(msg: &MimeMessage) -> MimeMessage {
+    // `Headers::clone` is a copy-on-write share (one refcount bump), which
+    // is exactly what Figure 7-3's pass-by-value system did *not* have:
+    // rebuild the header block entry by entry so every name and value owns
+    // fresh storage.
+    let mut headers = mobigate_mime::Headers::new();
+    for (name, value) in msg.headers.iter() {
+        headers.append(name, value);
+    }
     MimeMessage {
-        headers: msg.headers.clone(),
+        headers,
         body: Bytes::copy_from_slice(&msg.body),
     }
 }

@@ -802,13 +802,30 @@ impl MessageQueue {
     /// channels rendezvous per message and SPSC-active channels post
     /// lock-free per message, so both simply delegate. Returns one
     /// `PostResult` per payload, in order.
-    pub fn post_all(&self, payloads: Vec<Payload>) -> Vec<PostResult> {
+    pub fn post_all(&self, mut payloads: Vec<Payload>) -> Vec<PostResult> {
+        let mut results = Vec::with_capacity(payloads.len());
+        self.post_run(&mut payloads, |r| results.push(r));
+        results
+    }
+
+    /// [`MessageQueue::post_all`] for callers that reuse one scratch
+    /// buffer per hop and don't need per-message results: drains
+    /// `payloads` in place (capacity is retained for the next run) with
+    /// identical admission, wait-budget, and drop semantics.
+    pub fn post_all_from(&self, payloads: &mut Vec<Payload>) {
+        self.post_run(payloads, |_| {});
+    }
+
+    fn post_run(&self, payloads: &mut Vec<Payload>, mut record: impl FnMut(PostResult)) {
         if payloads.is_empty() {
-            return Vec::new();
+            return;
         }
         if self.cfg.kind == ChannelKind::Sync || self.spsc_active.load(Ordering::SeqCst) {
             // Per-message delegation records its own post timings.
-            return payloads.into_iter().map(|p| self.post(p)).collect();
+            for p in payloads.drain(..) {
+                record(self.post(p));
+            }
+            return;
         }
         let t0 = self
             .probe
@@ -816,14 +833,13 @@ impl MessageQueue {
             .filter(|p| p.sample_timing())
             .map(|_| Instant::now());
         let deadline = Instant::now() + self.cfg.full_wait;
-        let mut results = Vec::with_capacity(payloads.len());
         let mut admitted = 0u64;
         let mut st = self.state.lock();
-        'run: for payload in payloads {
+        'run: for payload in payloads.drain(..) {
             if !st.sink_open {
                 self.pool.discard(payload);
                 self.charge_drop(DropReason::Closed, 1);
-                results.push(PostResult::Closed);
+                record(PostResult::Closed);
                 continue;
             }
             let len = payload.buffered_len(&self.pool);
@@ -833,7 +849,7 @@ impl MessageQueue {
                     Ok(()) => {
                         admitted += 1;
                         self.probe_admit(len);
-                        results.push(PostResult::Posted);
+                        record(PostResult::Posted);
                         if st.queue.len() == 1 {
                             // Empty→non-empty: blocked fetchers wake as
                             // soon as we release (or wait on) the lock.
@@ -856,12 +872,12 @@ impl MessageQueue {
                         Ok(()) => {
                             admitted += 1;
                             self.probe_admit(len);
-                            results.push(PostResult::Posted);
+                            record(PostResult::Posted);
                         }
                         Err(p) => {
                             self.pool.discard(p);
                             self.charge_drop(DropReason::Full, 1);
-                            results.push(PostResult::Dropped);
+                            record(PostResult::Dropped);
                         }
                     }
                     continue 'run;
@@ -869,7 +885,7 @@ impl MessageQueue {
                 if !st.sink_open {
                     self.pool.discard(payload);
                     self.charge_drop(DropReason::Closed, 1);
-                    results.push(PostResult::Closed);
+                    record(PostResult::Closed);
                     continue 'run;
                 }
             }
@@ -883,7 +899,6 @@ impl MessageQueue {
         if let (Some(p), Some(t0)) = (&self.probe, t0) {
             p.on_post_ns(t0.elapsed().as_nanos() as u64);
         }
-        results
     }
 
     /// Non-blocking post: admits the payload if the channel has room right
@@ -1004,6 +1019,66 @@ impl MessageQueue {
             self.wake_listeners();
         }
         (results, rest)
+    }
+
+    /// [`MessageQueue::post_all_nowait`] for callers reusing one scratch
+    /// buffer: handles a prefix of `payloads` in place (admitted, or
+    /// discarded on a closed sink) and returns how many were consumed.
+    /// On return the vec holds only the refused tail, in order, still
+    /// owned by the caller; its capacity is retained either way.
+    pub fn post_all_nowait_into(&self, payloads: &mut Vec<Payload>) -> usize {
+        if payloads.is_empty() {
+            return 0;
+        }
+        let mut handled = 0usize;
+        // Pop-from-the-back over the reversed vec hands out owned
+        // payloads front-first without shifting or reallocating; the
+        // (rare) refused tail pays one more reverse to restore order.
+        payloads.reverse();
+        if self.cfg.kind == ChannelKind::Sync || self.spsc_active.load(Ordering::SeqCst) {
+            while let Some(payload) = payloads.pop() {
+                match self.post_nowait(payload) {
+                    Ok(_) => handled += 1,
+                    Err(p) => {
+                        payloads.push(p);
+                        payloads.reverse();
+                        return handled;
+                    }
+                }
+            }
+            return handled;
+        }
+        let mut admitted = 0u64;
+        let mut st = self.state.lock();
+        while let Some(payload) = payloads.pop() {
+            if !st.sink_open {
+                self.pool.discard(payload);
+                self.charge_drop(DropReason::Closed, 1);
+                handled += 1;
+                continue;
+            }
+            let len = payload.buffered_len(&self.pool);
+            match self.try_admit(&mut st, payload, len) {
+                Ok(()) => {
+                    admitted += 1;
+                    self.probe_admit(len);
+                    handled += 1;
+                }
+                Err(p) => {
+                    // Full: stop here so per-queue FIFO order survives.
+                    payloads.push(p);
+                    payloads.reverse();
+                    break;
+                }
+            }
+        }
+        drop(st);
+        if admitted > 0 {
+            self.posted.fetch_add(admitted, Ordering::Relaxed);
+            self.cv.notify_all();
+            self.wake_listeners();
+        }
+        handled
     }
 
     /// Accounts a payload that waited out Figure 6-9's `T` *outside* the
@@ -1232,17 +1307,27 @@ impl MessageQueue {
     /// a message bigger than any budget still makes progress). Returns an
     /// empty vec when nothing is pending.
     pub fn take_batch(&self, max_n: usize, max_bytes: usize) -> Vec<Payload> {
+        let mut out = Vec::new();
+        self.take_batch_into(&mut out, max_n, max_bytes);
+        out
+    }
+
+    /// [`MessageQueue::take_batch`] draining into a caller-provided
+    /// buffer, so a driver can reuse one scratch vec across every step
+    /// instead of allocating per drain. Appends up to `max_n` payloads
+    /// to `out` and returns how many were taken.
+    pub fn take_batch_into(&self, out: &mut Vec<Payload>, max_n: usize, max_bytes: usize) -> usize {
         if max_n == 0 {
-            return Vec::new();
+            return 0;
         }
         let mut st = self.state.lock();
-        let mut out = Vec::new();
+        let mut taken = 0usize;
         let mut bytes = 0usize;
-        while out.len() < max_n {
+        while taken < max_n {
             let Some(next) = self.peek_front_len(&st) else {
                 break;
             };
-            if !out.is_empty() && bytes.saturating_add(next) > max_bytes {
+            if taken != 0 && bytes.saturating_add(next) > max_bytes {
                 break;
             }
             let Some(p) = self.pop_one(&mut st) else {
@@ -1250,17 +1335,18 @@ impl MessageQueue {
             };
             bytes = bytes.saturating_add(next);
             out.push(p);
+            taken += 1;
         }
-        if !out.is_empty() {
-            self.fetched.fetch_add(out.len() as u64, Ordering::Relaxed);
+        if taken != 0 {
+            self.fetched.fetch_add(taken as u64, Ordering::Relaxed);
             if let Some(p) = &self.probe {
-                p.on_batch(out.len());
+                p.on_batch(taken);
             }
             drop(st);
             self.cv.notify_all();
             self.wake_space_listeners();
         }
-        out
+        taken
     }
 
     /// Number of pending messages.

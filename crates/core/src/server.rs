@@ -16,6 +16,7 @@ use crate::directory::StreamletDirectory;
 use crate::error::CoreError;
 use crate::events::{ContextEvent, EventManager};
 use crate::executor::{default_executor, Executor, Reactor, WorkerPool};
+use crate::membuf::{BufferPool, MembufConfig};
 use crate::overload::{AdmissionController, OverloadConfig};
 use crate::pool::{MessagePool, PayloadMode};
 use crate::pooling::StreamletPool;
@@ -127,6 +128,10 @@ pub struct ServerConfig {
     /// Disabled by default — enabling it is the graceful-degradation
     /// posture for gateways facing bursty client populations.
     pub overload: OverloadConfig,
+    /// Memory plane: the recycled-slab buffer pool backing
+    /// [`RunningStream::post_wire`] ingress bodies. Enabled by default;
+    /// disabling reproduces the plain-allocation baseline for ablations.
+    pub membuf: MembufConfig,
 }
 
 impl Default for ServerConfig {
@@ -142,6 +147,7 @@ impl Default for ServerConfig {
             fusion: false,
             telemetry: TelemetryConfig::default(),
             overload: OverloadConfig::default(),
+            membuf: MembufConfig::default(),
         }
     }
 }
@@ -168,6 +174,8 @@ pub struct MobiGate {
     /// Gateway-wide admission controller, when `ServerConfig { overload }`
     /// enabled admission control. Shared with every stream's deps.
     admission: Option<Arc<AdmissionController>>,
+    /// Memory plane: the recycled-slab buffer pool, when enabled.
+    buf_pool: Option<Arc<BufferPool>>,
 }
 
 impl Drop for MobiGate {
@@ -272,6 +280,7 @@ impl MobiGate {
         } else {
             None
         };
+        let buf_pool = BufferPool::from_config(&config.membuf);
         let deps = StreamDeps {
             msg_pool: msg_pool.clone(),
             directory: directory.clone(),
@@ -285,6 +294,7 @@ impl MobiGate {
             telemetry: telemetry.clone(),
             overload: config.overload.clone(),
             admission: admission.clone(),
+            buf_pool: buf_pool.clone(),
         };
         let coordination = Arc::new(match config.coord_shards {
             Some(n) => CoordinationManager::with_shards(deps, events.clone(), n),
@@ -312,6 +322,7 @@ impl MobiGate {
             executor,
             telemetry,
             admission,
+            buf_pool,
         }
     }
 
@@ -371,6 +382,11 @@ impl MobiGate {
         self.admission.as_ref()
     }
 
+    /// The memory plane's buffer pool, when enabled.
+    pub fn buffer_pool(&self) -> Option<&Arc<BufferPool>> {
+        self.buf_pool.as_ref()
+    }
+
     /// Assembles one coherent [`MetricsSnapshot`] across every subsystem
     /// (stream totals + per-stream breakdown, pools, events, supervisor,
     /// trace ring). `None` when telemetry is disabled. Render it with
@@ -390,6 +406,7 @@ impl MobiGate {
             trace_recorded: t.trace().recorded(),
             trace_overwritten: t.trace().overwritten(),
             executor: self.executor.stats(),
+            buf_pool: self.buf_pool.as_ref().map(|p| p.stats()),
         })
     }
 

@@ -202,7 +202,11 @@ fn shared_worker(
                 Some(q) => {
                     let payload = match inner.mode {
                         PayloadMode::Reference => Payload::Ref(inner.pool.insert(out_msg, 1)),
-                        PayloadMode::Value => inner.pool.wrap_copy(&out_msg),
+                        // The emission is owned and about to drop — moving
+                        // it (refcounted body and all) into the payload is
+                        // observationally identical to a deep copy, minus
+                        // the memcpy.
+                        PayloadMode::Value => inner.pool.wrap_owned(out_msg),
                     };
                     // Count before posting: a consumer that sees the
                     // message must also see it counted.
@@ -365,5 +369,66 @@ mod tests {
         assert!(shared.shutdown().is_some());
         // Second shutdown is a no-op.
         assert!(shared.shutdown().is_none());
+    }
+
+    /// Byte-accounting conservation for the value-mode emission hop: a
+    /// pass-through emission is *moved* into the payload (`wrap_owned`),
+    /// so each delivered body is the very allocation the logic emitted —
+    /// no copy — and the bytes delivered equal the bytes emitted exactly.
+    #[test]
+    fn value_mode_emission_moves_body_without_copy() {
+        use mobigate_mime::Bytes;
+
+        struct Recorder {
+            seen: Arc<Mutex<Vec<Bytes>>>,
+        }
+        impl StreamletLogic for Recorder {
+            fn process(
+                &mut self,
+                msg: MimeMessage,
+                ctx: &mut StreamletCtx,
+            ) -> Result<(), CoreError> {
+                self.seen.lock().push(msg.body.clone());
+                ctx.emit("po", msg);
+                Ok(())
+            }
+        }
+
+        let pool = Arc::new(MessagePool::new());
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let shared = SharedStreamlet::spawn(
+            "record",
+            Box::new(Recorder { seen: seen.clone() }),
+            pool.clone(),
+            PayloadMode::Value,
+        );
+        let s = SessionId::new("conserve");
+        let q = out_queue(&pool);
+        shared.subscribe(&s, q.clone());
+
+        // Bodies past the inline threshold, so sharing is observable.
+        let mut sent_bytes = 0usize;
+        for i in 0..4u8 {
+            let mut m = MimeMessage::text("");
+            m.set_body(vec![i; 96 + i as usize]);
+            sent_bytes += m.body.len();
+            shared.post(&s, m).unwrap();
+        }
+
+        let mut delivered_bytes = 0usize;
+        for i in 0..4usize {
+            let m = match q.fetch(Duration::from_secs(5)) {
+                FetchResult::Msg(p) => pool.resolve(p).unwrap(),
+                other => panic!("expected message, got {other:?}"),
+            };
+            delivered_bytes += m.body.len();
+            let recorded = &seen.lock()[i];
+            assert!(
+                m.body.shares_allocation_with(recorded),
+                "delivered body {i} must be the emitted allocation, not a copy"
+            );
+        }
+        assert_eq!(delivered_bytes, sent_bytes, "bytes conserved end to end");
+        shared.shutdown();
     }
 }

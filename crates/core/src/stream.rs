@@ -97,6 +97,10 @@ pub struct StreamDeps {
     /// `overload.admission_on()`. Shared across streams so the global
     /// token bucket means what it says.
     pub admission: Option<Arc<AdmissionController>>,
+    /// The memory plane's recycled-slab buffer pool, when enabled.
+    /// `post_wire` parses ingress bodies straight into pooled slabs that
+    /// return automatically when the last body reference drops.
+    pub buf_pool: Option<Arc<crate::membuf::BufferPool>>,
 }
 
 /// Equation 7-1 instrumentation of one reconfiguration:
@@ -552,6 +556,34 @@ impl RunningStream {
         q.post(payload);
         self.injected.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Injects a wire-format message (headers, blank line, body). The
+    /// body is materialized in a recycled buffer-pool slab when the
+    /// memory plane is enabled — the slab returns to the pool on its
+    /// own once the message is delivered or dropped.
+    pub fn post_wire(&self, data: &[u8]) -> Result<(), CoreError> {
+        let parsed = match &self.deps.buf_pool {
+            Some(pool) => MimeMessage::from_wire_with(data, |b| pool.checkout_bytes(b)),
+            None => MimeMessage::from_wire(data),
+        };
+        let msg = parsed.map_err(|e| CoreError::Malformed {
+            message: e.to_string(),
+        })?;
+        self.post_input(msg)
+    }
+
+    /// Takes one adapted message and appends its wire form to `buf`
+    /// (egress counterpart of [`RunningStream::post_wire`]: callers
+    /// reuse one scratch buffer across deliveries).
+    pub fn take_output_wire_into(&self, timeout: Duration, buf: &mut Vec<u8>) -> bool {
+        match self.take_output(timeout) {
+            Some(msg) => {
+                msg.to_wire_into(buf);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Takes one adapted message from the stream's exported outputs,
@@ -2008,6 +2040,7 @@ mod tests {
             telemetry: None,
             overload: OverloadConfig::default(),
             admission: None,
+            buf_pool: None,
         }
     }
 

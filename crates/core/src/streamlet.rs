@@ -38,16 +38,31 @@ pub struct StreamletCtx<'a> {
     session: Option<&'a SessionId>,
     /// Collected emissions, routed by the handle after `process` returns.
     outputs: Vec<(String, MimeMessage)>,
+    /// Retired port-name strings, reused by `emit` so steady-state
+    /// emission allocates nothing (the memory plane's scratch reuse).
+    spare: Vec<String>,
 }
 
 impl<'a> StreamletCtx<'a> {
     /// Creates a context (exposed so tests and the client runtime can drive
     /// logic objects directly).
     pub fn new(instance: &'a str, session: Option<&'a SessionId>) -> Self {
+        Self::with_buffers(instance, session, Vec::new(), Vec::new())
+    }
+
+    /// Creates a context over caller-lent buffers (the drivers' scratch
+    /// vecs, recovered via [`StreamletCtx::into_parts`] after the call).
+    pub(crate) fn with_buffers(
+        instance: &'a str,
+        session: Option<&'a SessionId>,
+        outputs: Vec<(String, MimeMessage)>,
+        spare: Vec<String>,
+    ) -> Self {
         StreamletCtx {
             instance,
             session,
-            outputs: Vec::new(),
+            outputs,
+            spare,
         }
     }
 
@@ -66,11 +81,38 @@ impl<'a> StreamletCtx<'a> {
     pub fn into_outputs(self) -> Vec<(String, MimeMessage)> {
         self.outputs
     }
+
+    /// Consumes the context, handing back both lent buffers.
+    pub(crate) fn into_parts(self) -> (Vec<(String, MimeMessage)>, Vec<String>) {
+        (self.outputs, self.spare)
+    }
+
+    /// `emit` with an already-owned port name (the fused interior loop
+    /// forwards recovered strings instead of re-copying them).
+    pub(crate) fn emit_owned(&mut self, port: String, msg: MimeMessage) {
+        self.outputs.push((port, msg));
+    }
+
+    /// Emissions collected so far (rollback mark for per-message errors).
+    pub(crate) fn outputs_len(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Discards emissions past `mark`, retiring their port strings.
+    pub(crate) fn truncate_outputs(&mut self, mark: usize) {
+        for (mut name, _) in self.outputs.drain(mark..) {
+            name.clear();
+            self.spare.push(name);
+        }
+    }
 }
 
 impl Emitter for StreamletCtx<'_> {
     fn emit(&mut self, port: &str, msg: MimeMessage) {
-        self.outputs.push((port.to_string(), msg));
+        let mut name = self.spare.pop().unwrap_or_default();
+        name.clear();
+        name.push_str(port);
+        self.outputs.push((name, msg));
     }
 }
 
@@ -268,6 +310,28 @@ struct Shared {
     /// Session-keyed telemetry probe (observability plane). `get()` is a
     /// single atomic load, so the disabled path stays one branch per call.
     probe: OnceLock<QueueProbe>,
+    /// Reused per-step buffers (memory plane). Exactly one driver runs a
+    /// task at a time, so the mutex is uncontended; `step` moves the
+    /// scratch out for the duration of the step and back at its end,
+    /// which keeps the lock reentrancy-free. Buffers lent into a
+    /// panicking `process` are lost with the unwind and self-heal to
+    /// fresh (empty) vecs on the next step.
+    scratch: Mutex<StepScratch>,
+}
+
+/// The per-task reusable buffers: input snapshot, drained payloads,
+/// resolved messages, emission collection, retired port strings, and
+/// per-queue output runs. All retain capacity across steps so the
+/// steady-state hot path allocates nothing.
+#[derive(Default)]
+struct StepScratch {
+    inputs: Vec<Arc<MessageQueue>>,
+    payloads: Vec<Payload>,
+    msgs: Vec<MimeMessage>,
+    outputs: Vec<(String, MimeMessage)>,
+    spare_strings: Vec<String>,
+    runs: Vec<(Arc<MessageQueue>, Vec<Payload>)>,
+    spare_runs: Vec<Vec<Payload>>,
 }
 
 /// Rendezvous slot a control requester waits on: result + wakeup.
@@ -295,48 +359,65 @@ struct RouteMemo {
 }
 
 impl Shared {
-    fn route_outputs(&self, outs: Vec<(String, MimeMessage)>) {
-        // Per-queue payload runs, flushed with `post_all` so a batch of
-        // emissions to the same channel pays one lock acquisition. Keyed
-        // by queue identity; order within a queue is emission order.
-        let mut runs: Vec<(Arc<MessageQueue>, Vec<Payload>)> = Vec::new();
-        for (port, msg) in outs {
-            let mut targets = self.resolve_route(&port);
-            if self.route_opts.enforce_types {
-                let ty = msg.content_type();
-                let before = targets.len();
-                targets.retain(|q| self.route_opts.registry.connectable(&ty, &q.config().ty));
-                let suppressed = (before - targets.len()) as u64;
+    /// Routes the emissions collected in `scratch.outputs` (drained in
+    /// order), grouping payloads into per-queue runs so a batch of
+    /// emissions to the same channel pays one lock acquisition. Run vecs
+    /// and port strings retire into the scratch's spare pools — the
+    /// steady-state path allocates nothing.
+    fn route_outputs(&self, scratch: &mut StepScratch) {
+        let StepScratch {
+            outputs,
+            spare_strings,
+            runs,
+            spare_runs,
+            ..
+        } = scratch;
+        debug_assert!(runs.is_empty());
+        for (mut port, msg) in outputs.drain(..) {
+            let routed = self.with_route(&port, |targets| {
+                let ty = self.route_opts.enforce_types.then(|| msg.content_type());
+                let admit = |q: &Arc<MessageQueue>| match &ty {
+                    Some(ty) => self.route_opts.registry.connectable(ty, &q.config().ty),
+                    None => true,
+                };
+                let fanout = targets.iter().filter(|q| admit(q)).count();
+                let suppressed = (targets.len() - fanout) as u64;
                 if suppressed > 0 {
                     self.type_violations
                         .fetch_add(suppressed, Ordering::Relaxed);
                 }
-            }
-            if targets.is_empty() {
+                if fanout == 0 {
+                    return false;
+                }
+                match self.mode {
+                    PayloadMode::Reference => {
+                        let id = self.pool.insert(msg, fanout as u32);
+                        for q in targets.iter().filter(|q| admit(q)) {
+                            Self::push_run(runs, spare_runs, q, Payload::Ref(id));
+                        }
+                    }
+                    PayloadMode::Value => {
+                        for q in targets.iter().filter(|q| admit(q)) {
+                            Self::push_run(runs, spare_runs, q, self.pool.wrap_copy(&msg));
+                        }
+                    }
+                }
+                true
+            });
+            if routed {
+                self.emitted.fetch_add(1, Ordering::Relaxed);
+            } else {
                 // Runtime open circuit: §5.2.2's failure mode, observable.
                 self.dropped_unrouted.fetch_add(1, Ordering::Relaxed);
-                continue;
             }
-            self.emitted.fetch_add(1, Ordering::Relaxed);
-            match self.mode {
-                PayloadMode::Reference => {
-                    let id = self.pool.insert(msg, targets.len() as u32);
-                    for q in &targets {
-                        Self::push_run(&mut runs, q, Payload::Ref(id));
-                    }
-                }
-                PayloadMode::Value => {
-                    for q in &targets {
-                        Self::push_run(&mut runs, q, self.pool.wrap_copy(&msg));
-                    }
-                }
-            }
+            port.clear();
+            spare_strings.push(port);
         }
         let nonblocking = self.nonblocking_outputs.load(Ordering::Relaxed);
-        for (q, payloads) in runs {
+        for (q, mut payloads) in runs.drain(..) {
             if nonblocking {
-                let (_, rest) = q.post_all_nowait(payloads);
-                if !rest.is_empty() {
+                q.post_all_nowait_into(&mut payloads);
+                if !payloads.is_empty() {
                     // Full queue — or an occupied rendezvous slot: park the
                     // tail with the drop deadline it would have waited out
                     // inside `post`, and yield the worker. `flush_pending`
@@ -345,34 +426,37 @@ impl Shared {
                     // fired by the fetch that empties the slot).
                     let deadline = Instant::now() + q.full_wait();
                     let mut pending = self.pending_out.lock();
-                    pending.extend(rest.into_iter().map(|p| (q.clone(), p, deadline)));
+                    pending.extend(payloads.drain(..).map(|p| (q.clone(), p, deadline)));
                 }
             } else if payloads.len() == 1 {
-                if let Some(p) = payloads.into_iter().next() {
+                if let Some(p) = payloads.pop() {
                     q.post(p);
                 }
             } else {
-                q.post_all(payloads);
+                q.post_all_from(&mut payloads);
             }
+            spare_runs.push(payloads);
         }
     }
 
     /// Resolves the channels bound to output `port` through the
-    /// epoch-invalidated memo. The epoch is loaded *before* the binding
-    /// table is read, so a concurrent rewiring either invalidates what we
-    /// cache (its bump lands after our load) or is what we cache — a memo
-    /// entry can never outlive the next post-mutation lookup. The
-    /// per-message type check (`enforce_types`) stays outside the memo:
-    /// it depends on each message's content type, not on the wiring.
-    fn resolve_route(&self, port: &str) -> Vec<Arc<MessageQueue>> {
+    /// epoch-invalidated memo and hands the target slice to `f` under
+    /// the memo lock (no per-emission clone of the target list). The
+    /// epoch is loaded *before* the binding table is read, so a
+    /// concurrent rewiring either invalidates what we cache (its bump
+    /// lands after our load) or is what we cache — a memo entry can
+    /// never outlive the next post-mutation lookup. The per-message type
+    /// check (`enforce_types`) stays outside the memo: it depends on
+    /// each message's content type, not on the wiring.
+    fn with_route<R>(&self, port: &str, f: impl FnOnce(&[Arc<MessageQueue>]) -> R) -> R {
         let epoch = self.route_epoch.load(Ordering::Acquire);
         let mut memo = self.route_memo.lock();
         if memo.epoch != epoch {
             memo.entries.clear();
             memo.epoch = epoch;
         }
-        if let Some((_, targets)) = memo.entries.iter().find(|(p, _)| p == port) {
-            return targets.clone();
+        if let Some(i) = memo.entries.iter().position(|(p, _)| p == port) {
+            return f(&memo.entries[i].1);
         }
         let targets: Vec<Arc<MessageQueue>> = self
             .outputs
@@ -381,8 +465,9 @@ impl Shared {
             .filter(|(p, _)| p == port)
             .map(|(_, q)| q.clone())
             .collect();
-        memo.entries.push((port.to_string(), targets.clone()));
-        targets
+        let i = memo.entries.len();
+        memo.entries.push((port.to_string(), targets));
+        f(&memo.entries[i].1)
     }
 
     /// Invalidate the route memo after an output-binding mutation.
@@ -467,14 +552,33 @@ impl Shared {
     /// Appends a payload to the run for `q`, creating it on first use.
     fn push_run(
         runs: &mut Vec<(Arc<MessageQueue>, Vec<Payload>)>,
+        spare_runs: &mut Vec<Vec<Payload>>,
         q: &Arc<MessageQueue>,
         payload: Payload,
     ) {
         if let Some((_, run)) = runs.iter_mut().find(|(rq, _)| Arc::ptr_eq(rq, q)) {
             run.push(payload);
         } else {
-            runs.push((q.clone(), vec![payload]));
+            let mut run = spare_runs.pop().unwrap_or_default();
+            run.push(payload);
+            runs.push((q.clone(), run));
         }
+    }
+
+    /// Test shim over `with_route` preserving the old clone-out signature.
+    #[cfg(test)]
+    fn resolve_route(&self, port: &str) -> Vec<Arc<MessageQueue>> {
+        self.with_route(port, |targets| targets.to_vec())
+    }
+
+    /// Test shim over `route_outputs` for callers without a step scratch.
+    #[cfg(test)]
+    fn route_outputs_vec(&self, outs: Vec<(String, MimeMessage)>) {
+        let mut scratch = StepScratch {
+            outputs: outs,
+            ..Default::default()
+        };
+        self.route_outputs(&mut scratch);
     }
 }
 
@@ -589,6 +693,7 @@ impl StreamletHandle {
                 faults: AtomicU64::new(0),
                 restarts: AtomicU64::new(0),
                 probe: OnceLock::new(),
+                scratch: Mutex::new(StepScratch::default()),
             }),
             def_name: def_name.into(),
             stateful,
@@ -1453,6 +1558,18 @@ impl StreamletTask {
     /// restarted instance resumes exactly where it failed and a poison
     /// message isolates to the front of the redelivery queue.
     fn step(&self, logic: &mut dyn StreamletLogic) -> Step {
+        // Borrow the task's scratch buffers for the duration of the step.
+        // Only this task's driver ever steps it, so the lock is always
+        // uncontended; `take`/restore (rather than holding the guard)
+        // keeps the buffers out of the panic boundary's reach and makes a
+        // poisoning panic merely lose one set of buffers.
+        let mut scratch = std::mem::take(&mut *self.shared.scratch.lock());
+        let step = self.step_inner(logic, &mut scratch);
+        *self.shared.scratch.lock() = scratch;
+        step
+    }
+
+    fn step_inner(&self, logic: &mut dyn StreamletLogic, scratch: &mut StepScratch) -> Step {
         let shared = &self.shared;
         // Outputs parked behind a full queue go first. A still-stuck
         // buffer does not gate input outright — demanding a fully empty
@@ -1469,56 +1586,68 @@ impl StreamletTask {
         }
         let pending = shared.redelivery.lock().pop_front();
         if let Some((msg, prior_faults)) = pending {
-            return self.process_one(logic, msg, prior_faults);
+            return self.process_one(logic, msg, prior_faults, scratch);
         }
 
-        let batch_max = shared.batch_max.load(Ordering::Relaxed).max(1);
-        let inputs: Vec<Arc<MessageQueue>> = shared
+        scratch.inputs.clear();
+        scratch
             .inputs
-            .read()
-            .iter()
-            .map(|(_, q)| q.clone())
-            .collect();
-        let mut payloads = Vec::new();
-        for q in &inputs {
-            if payloads.len() >= batch_max {
-                break;
-            }
-            if batch_max == 1 {
-                // The paper's per-message cadence.
-                if let FetchResult::Msg(p) = q.try_fetch() {
-                    payloads.push(p);
+            .extend(shared.inputs.read().iter().map(|(_, q)| q.clone()));
+        scratch.payloads.clear();
+        {
+            let StepScratch {
+                inputs, payloads, ..
+            } = &mut *scratch;
+            for q in inputs.iter() {
+                if payloads.len() >= batch_max {
                     break;
                 }
-            } else {
-                payloads.extend(q.take_batch(batch_max - payloads.len(), BATCH_BYTE_BUDGET));
+                if batch_max == 1 {
+                    // The paper's per-message cadence.
+                    if let FetchResult::Msg(p) = q.try_fetch() {
+                        payloads.push(p);
+                        break;
+                    }
+                } else {
+                    q.take_batch_into(payloads, batch_max - payloads.len(), BATCH_BYTE_BUDGET);
+                }
             }
         }
-        if payloads.is_empty() {
+        if scratch.payloads.is_empty() {
             return Step::Idle;
         }
-        let mut msgs = Vec::with_capacity(payloads.len());
-        for p in payloads {
-            if let Some(msg) = shared.pool.resolve(p) {
-                msgs.push(msg);
+        scratch.msgs.clear();
+        {
+            let StepScratch { payloads, msgs, .. } = &mut *scratch;
+            for p in payloads.drain(..) {
+                if let Some(msg) = shared.pool.resolve(p) {
+                    msgs.push(msg);
+                }
+                // Dangling references still count as progress: the slots
+                // are drained.
             }
-            // Dangling references still count as progress: the slots are
-            // drained.
         }
-        if msgs.is_empty() {
+        if scratch.msgs.is_empty() {
             return Step::Progress;
         }
 
-        if msgs.len() > 1 && logic.supports_batch() {
-            return self.process_batched(logic, msgs);
+        if scratch.msgs.len() > 1 && logic.supports_batch() {
+            // `process_batch` consumes its Vec by value (public logic
+            // API), so the batch path gives up this allocation — the
+            // scratch vec self-heals as an empty Default on the next step.
+            let msgs = std::mem::take(&mut scratch.msgs);
+            return self.process_batched(logic, msgs, scratch);
         }
-        let mut iter = msgs.into_iter();
-        while let Some(msg) = iter.next() {
-            if let Step::Fault = self.process_one(logic, msg, 0) {
+        // Consume front-to-back by popping from the reversed vec: each
+        // message is moved out whole, and the unprocessed tail stays in
+        // the scratch for the fault path below.
+        scratch.msgs.reverse();
+        while let Some(msg) = scratch.msgs.pop() {
+            if let Step::Fault = self.process_one(logic, msg, 0, scratch) {
                 // `process_one` stashed the faulted message at the front;
                 // queue the unprocessed tail behind it, in order.
                 let mut redelivery = shared.redelivery.lock();
-                for rest in iter {
+                for rest in scratch.msgs.drain(..).rev() {
                     redelivery.push_back((rest, 0));
                 }
                 return Step::Fault;
@@ -1535,6 +1664,7 @@ impl StreamletTask {
         logic: &mut dyn StreamletLogic,
         msg: MimeMessage,
         prior_faults: u32,
+        scratch: &mut StepScratch,
     ) -> Step {
         let shared = &self.shared;
         // Keep a handle on the message so a panic can stash it for
@@ -1546,10 +1676,17 @@ impl StreamletTask {
             .filter(|p| p.sample_timing())
             .map(|_| Instant::now());
         shared.processing.store(true, Ordering::Release);
-        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            let mut ctx = StreamletCtx::new(&shared.name, shared.session.as_ref());
+        // Lend the scratch's output and spare-string buffers to the ctx so
+        // steady-state emission reuses last step's allocations. A panic
+        // loses the lent buffers (the empty `take` leftovers self-heal on
+        // the next step).
+        let outputs = std::mem::take(&mut scratch.outputs);
+        let spare = std::mem::take(&mut scratch.spare_strings);
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(move || {
+            let mut ctx =
+                StreamletCtx::with_buffers(&shared.name, shared.session.as_ref(), outputs, spare);
             let result = logic.process(msg, &mut ctx);
-            (result, ctx.into_outputs())
+            (result, ctx.into_parts())
         }));
         // `processing` stays up through routing: until the emissions land
         // in their queues the message is still in flight through this
@@ -1557,13 +1694,29 @@ impl StreamletTask {
         // drain` rely on "not processing && queues empty" meaning nothing
         // is in transit.
         let step = match outcome {
-            Ok((Ok(()), outs)) => {
-                shared.processed.fetch_add(1, Ordering::Relaxed);
-                shared.route_outputs(outs);
-                Step::Progress
-            }
-            Ok((Err(_), _)) => {
-                shared.errors.fetch_add(1, Ordering::Relaxed);
+            Ok((result, (outs, spare))) => {
+                scratch.outputs = outs;
+                scratch.spare_strings = spare;
+                match result {
+                    Ok(()) => {
+                        shared.processed.fetch_add(1, Ordering::Relaxed);
+                        shared.route_outputs(scratch);
+                    }
+                    Err(_) => {
+                        shared.errors.fetch_add(1, Ordering::Relaxed);
+                        // Discard the failed call's emissions, retiring
+                        // their port strings.
+                        let StepScratch {
+                            outputs,
+                            spare_strings,
+                            ..
+                        } = scratch;
+                        for (mut port, _msg) in outputs.drain(..) {
+                            port.clear();
+                            spare_strings.push(port);
+                        }
+                    }
+                }
                 Step::Progress
             }
             Err(payload) => {
@@ -1585,7 +1738,12 @@ impl StreamletTask {
     /// Processes a fresh batch through `process_batch` under a single
     /// panic boundary (only reached when the logic opted in via
     /// `supports_batch`).
-    fn process_batched(&self, logic: &mut dyn StreamletLogic, msgs: Vec<MimeMessage>) -> Step {
+    fn process_batched(
+        &self,
+        logic: &mut dyn StreamletLogic,
+        msgs: Vec<MimeMessage>,
+        scratch: &mut StepScratch,
+    ) -> Step {
         let shared = &self.shared;
         let replays: Vec<MimeMessage> = msgs.to_vec();
         let n = msgs.len() as u64;
@@ -1595,22 +1753,39 @@ impl StreamletTask {
             .filter(|p| p.sample_timing())
             .map(|_| Instant::now());
         shared.processing.store(true, Ordering::Release);
-        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            let mut ctx = StreamletCtx::new(&shared.name, shared.session.as_ref());
+        let outputs = std::mem::take(&mut scratch.outputs);
+        let spare = std::mem::take(&mut scratch.spare_strings);
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(move || {
+            let mut ctx =
+                StreamletCtx::with_buffers(&shared.name, shared.session.as_ref(), outputs, spare);
             let result = logic.process_batch(msgs, &mut ctx);
-            (result, ctx.into_outputs())
+            (result, ctx.into_parts())
         }));
         // As in `process_one`: the flag stays up until the batch's
         // emissions are routed, so quiescence checks never miss in-transit
         // messages.
         let step = match outcome {
-            Ok((Ok(()), outs)) => {
-                shared.processed.fetch_add(n, Ordering::Relaxed);
-                shared.route_outputs(outs);
-                Step::Progress
-            }
-            Ok((Err(_), _)) => {
-                shared.errors.fetch_add(1, Ordering::Relaxed);
+            Ok((result, (outs, spare))) => {
+                scratch.outputs = outs;
+                scratch.spare_strings = spare;
+                match result {
+                    Ok(()) => {
+                        shared.processed.fetch_add(n, Ordering::Relaxed);
+                        shared.route_outputs(scratch);
+                    }
+                    Err(_) => {
+                        shared.errors.fetch_add(1, Ordering::Relaxed);
+                        let StepScratch {
+                            outputs,
+                            spare_strings,
+                            ..
+                        } = scratch;
+                        for (mut port, _msg) in outputs.drain(..) {
+                            port.clear();
+                            spare_strings.push(port);
+                        }
+                    }
+                }
                 Step::Progress
             }
             Err(payload) => {
@@ -2102,7 +2277,7 @@ mod tests {
         );
         // …so this emission is refused and parked with its drop deadline.
         h.shared
-            .route_outputs(vec![("po".to_string(), MimeMessage::text("parked"))]);
+            .route_outputs_vec(vec![("po".to_string(), MimeMessage::text("parked"))]);
         assert_eq!(h.pending_outputs(), 1);
         assert_eq!(qout.stats().dropped_expired, 0);
         std::thread::sleep(Duration::from_millis(20));
@@ -2155,7 +2330,7 @@ mod tests {
             PostResult::Posted
         );
         h.shared
-            .route_outputs(vec![("po".to_string(), MimeMessage::text("parked"))]);
+            .route_outputs_vec(vec![("po".to_string(), MimeMessage::text("parked"))]);
         assert_eq!(h.pending_outputs(), 1);
         std::thread::sleep(Duration::from_millis(20));
         // Ending the (started) streamlet drains the overflow buffer; the

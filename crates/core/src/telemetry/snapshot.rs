@@ -42,6 +42,8 @@ pub struct MetricsSnapshot {
     /// Per-worker scheduler counters, when the executor back end keeps
     /// them (the reactor's steal/park/pump counts).
     pub executor: Option<ExecutorStats>,
+    /// Memory-plane buffer pool counters, when the pool is enabled.
+    pub buf_pool: Option<crate::membuf::BufferPoolStats>,
 }
 
 impl MetricsSnapshot {
@@ -270,6 +272,52 @@ impl MetricsSnapshot {
                     out.push_str(&format!("{name}{{worker=\"{i}\"}} {}\n", pick(w)));
                 }
             }
+        }
+
+        if let Some(bp) = &self.buf_pool {
+            for (name, help, v) in [
+                (
+                    "mobigate_membuf_hits_total",
+                    "Buffer-pool checkouts served from a recycled slab.",
+                    bp.hits,
+                ),
+                (
+                    "mobigate_membuf_misses_total",
+                    "Buffer-pool checkouts that allocated a fresh slab.",
+                    bp.misses,
+                ),
+                (
+                    "mobigate_membuf_resizes_total",
+                    "Recycled slabs grown to fit a checkout's size hint.",
+                    bp.resizes,
+                ),
+                (
+                    "mobigate_membuf_recycled_total",
+                    "Slabs returned to the pool and retained.",
+                    bp.recycled,
+                ),
+                (
+                    "mobigate_membuf_discarded_total",
+                    "Slab returns freed instead of retained.",
+                    bp.discarded,
+                ),
+            ] {
+                counter(&mut out, name, help, v);
+            }
+            help_type(
+                &mut out,
+                "mobigate_membuf_population",
+                "Slabs currently retained in the pool.",
+                "gauge",
+            );
+            out.push_str(&format!("mobigate_membuf_population {}\n", bp.population));
+            help_type(
+                &mut out,
+                "mobigate_membuf_outstanding",
+                "Slabs checked out and not yet returned.",
+                "gauge",
+            );
+            out.push_str(&format!("mobigate_membuf_outstanding {}\n", bp.outstanding));
         }
 
         counter(

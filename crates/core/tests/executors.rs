@@ -82,6 +82,7 @@ fn deploy(
         telemetry: None,
         overload: Default::default(),
         admission: None,
+        buf_pool: None,
     };
     let program = compile(CHAIN).unwrap();
     let stream = RunningStream::deploy(

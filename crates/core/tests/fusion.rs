@@ -77,6 +77,7 @@ fn deps_on(fusion: bool, executor: Arc<dyn Executor>) -> StreamDeps {
         telemetry: None,
         overload: Default::default(),
         admission: None,
+        buf_pool: None,
     }
 }
 

@@ -3,9 +3,16 @@
 //! Header order is preserved because the `X-MobiGATE-Peer` chain (§6.5) is a
 //! stack of peer-streamlet identifiers whose order encodes the reverse
 //! processing sequence on the client.
+//!
+//! The entry list is copy-on-write: `clone()` bumps a refcount and the
+//! first mutation after a clone materializes a private copy
+//! (`Arc::make_mut`). Together with the refcounted message body this
+//! makes `MimeMessage::clone` — the per-hop replay snapshot and the
+//! message pool's shared-read path — allocation-free.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 use crate::error::MimeError;
 
@@ -44,16 +51,43 @@ impl fmt::Display for HeaderName {
     }
 }
 
-/// An ordered multimap of headers.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+/// The one shared empty entry list every `Headers::new()` hands out, so
+/// constructing an empty header block never allocates.
+fn empty_entries() -> Arc<Vec<(HeaderName, String)>> {
+    static EMPTY: OnceLock<Arc<Vec<(HeaderName, String)>>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::new(Vec::new())).clone()
+}
+
+/// An ordered multimap of headers with copy-on-write entries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Headers {
-    entries: Vec<(HeaderName, String)>,
+    entries: Arc<Vec<(HeaderName, String)>>,
+}
+
+impl Default for Headers {
+    fn default() -> Self {
+        Headers {
+            entries: empty_entries(),
+        }
+    }
+}
+
+impl PartialEq for Headers {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.entries, &other.entries) || self.entries == other.entries
+    }
 }
 
 impl Headers {
-    /// An empty header block.
+    /// An empty header block (never allocates).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Private view for mutation: unshares the entry list if any clone
+    /// still references it (this is where CoW triggers).
+    fn entries_mut(&mut self) -> &mut Vec<(HeaderName, String)> {
+        Arc::make_mut(&mut self.entries)
     }
 
     /// Number of header lines.
@@ -68,13 +102,26 @@ impl Headers {
 
     /// Appends a header line (duplicates allowed).
     pub fn append(&mut self, name: impl Into<String>, value: impl Into<String>) {
-        self.entries.push((HeaderName::new(name), value.into()));
+        self.entries_mut()
+            .push((HeaderName::new(name), value.into()));
     }
 
     /// Replaces every occurrence of `name` with a single line, or appends.
+    ///
+    /// When the sole occurrence already carries `value` this is a no-op
+    /// that touches nothing — repeated idempotent sets (the ingress
+    /// `Content-Session` stamp on every hop) never unshare a clone.
     pub fn set(&mut self, name: &str, value: impl Into<String>) {
-        self.entries.retain(|(n, _)| n != name);
-        self.append(name, value);
+        let value = value.into();
+        let mut matches = self.entries.iter().filter(|(n, _)| n == name);
+        if let (Some((_, existing)), None) = (matches.next(), matches.next()) {
+            if *existing == value {
+                return;
+            }
+        }
+        let entries = self.entries_mut();
+        entries.retain(|(n, _)| n != name);
+        entries.push((HeaderName::new(name), value));
     }
 
     /// First value for `name`, if present.
@@ -95,16 +142,20 @@ impl Headers {
 
     /// Removes every occurrence of `name`, returning how many were removed.
     pub fn remove(&mut self, name: &str) -> usize {
-        let before = self.entries.len();
-        self.entries.retain(|(n, _)| n != name);
-        before - self.entries.len()
+        if !self.entries.iter().any(|(n, _)| n == name) {
+            return 0;
+        }
+        let entries = self.entries_mut();
+        let before = entries.len();
+        entries.retain(|(n, _)| n != name);
+        before - entries.len()
     }
 
     /// Removes and returns the *last* value for `name` (stack semantics, used
     /// for the peer chain).
     pub fn pop(&mut self, name: &str) -> Option<String> {
         let idx = self.entries.iter().rposition(|(n, _)| n == name)?;
-        Some(self.entries.remove(idx).1)
+        Some(self.entries_mut().remove(idx).1)
     }
 
     /// Iterates over `(name, value)` pairs in insertion order.
@@ -112,23 +163,34 @@ impl Headers {
         self.entries.iter().map(|(n, v)| (n.as_str(), v.as_str()))
     }
 
+    /// True when `self` and `other` are clones of one entry list (no
+    /// mutation since the clone).
+    pub fn shares_entries_with(&self, other: &Headers) -> bool {
+        Arc::ptr_eq(&self.entries, &other.entries)
+    }
+
     /// Serializes as `Name: value\r\n` lines (no terminating blank line).
     pub fn to_wire(&self) -> String {
         let mut out = String::new();
+        self.to_wire_into(&mut out);
+        out
+    }
+
+    /// Appends the wire form to `out` (for callers reusing a buffer).
+    pub fn to_wire_into(&self, out: &mut String) {
         for (n, v) in self.iter() {
             out.push_str(n);
             out.push_str(": ");
             out.push_str(v);
             out.push_str("\r\n");
         }
-        out
     }
 
     /// Parses a header block (one header per line; `\r` tolerated; stops at
     /// the end of input). Continuation lines (leading whitespace) are folded
     /// into the previous value per RFC 822.
     pub fn parse(block: &str) -> Result<Self, MimeError> {
-        let mut headers = Headers::new();
+        let mut entries: Vec<(HeaderName, String)> = Vec::new();
         for raw in block.lines() {
             let line = raw.trim_end_matches('\r');
             if line.is_empty() {
@@ -136,7 +198,7 @@ impl Headers {
             }
             if line.starts_with(' ') || line.starts_with('\t') {
                 // Folded continuation of the previous header.
-                match headers.entries.last_mut() {
+                match entries.last_mut() {
                     Some((_, v)) => {
                         v.push(' ');
                         v.push_str(line.trim());
@@ -153,19 +215,31 @@ impl Headers {
             if name.trim().is_empty() {
                 return Err(MimeError::InvalidHeader { line: line.into() });
             }
-            headers.append(name.trim(), value.trim());
+            entries.push((HeaderName::new(name.trim()), value.trim().to_string()));
         }
-        Ok(headers)
+        Ok(if entries.is_empty() {
+            Headers::new()
+        } else {
+            Headers {
+                entries: Arc::new(entries),
+            }
+        })
     }
 }
 
 impl<N: Into<String>, V: Into<String>> FromIterator<(N, V)> for Headers {
     fn from_iter<T: IntoIterator<Item = (N, V)>>(iter: T) -> Self {
-        let mut h = Headers::new();
-        for (n, v) in iter {
-            h.append(n, v);
+        let entries: Vec<(HeaderName, String)> = iter
+            .into_iter()
+            .map(|(n, v)| (HeaderName::new(n), v.into()))
+            .collect();
+        if entries.is_empty() {
+            Headers::new()
+        } else {
+            Headers {
+                entries: Arc::new(entries),
+            }
         }
-        h
     }
 }
 
@@ -239,5 +313,41 @@ mod tests {
         let h: Headers = [("A", "1"), ("B", "2")].into_iter().collect();
         let pairs: Vec<_> = h.iter().collect();
         assert_eq!(pairs, vec![("A", "1"), ("B", "2")]);
+    }
+
+    #[test]
+    fn clone_shares_entries_until_mutation() {
+        let mut h = Headers::new();
+        h.append("Content-Type", "text/plain");
+        let c = h.clone();
+        assert!(h.shares_entries_with(&c));
+        let mut d = c.clone();
+        d.append("X-B", "2");
+        assert!(!d.shares_entries_with(&h));
+        assert_eq!(h.len(), 1);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn idempotent_set_does_not_unshare() {
+        let mut h = Headers::new();
+        h.set("Content-Session", "s-7");
+        let c = h.clone();
+        let mut d = c.clone();
+        d.set("Content-Session", "s-7");
+        assert!(d.shares_entries_with(&h), "idempotent set must be a no-op");
+        d.set("Content-Session", "s-8");
+        assert!(!d.shares_entries_with(&h));
+        assert_eq!(h.get("Content-Session"), Some("s-7"));
+        assert_eq!(d.get("Content-Session"), Some("s-8"));
+    }
+
+    #[test]
+    fn remove_of_absent_name_does_not_unshare() {
+        let mut h = Headers::new();
+        h.append("A", "1");
+        let mut c = h.clone();
+        assert_eq!(c.remove("Z"), 0);
+        assert!(c.shares_entries_with(&h));
     }
 }

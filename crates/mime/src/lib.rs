@@ -26,6 +26,7 @@ pub mod message;
 pub mod multipart;
 pub mod types;
 
+pub use bytes::{Bytes, BytesMut};
 pub use error::MimeError;
 pub use headers::{HeaderName, Headers};
 pub use message::{MimeMessage, SessionId, CONTENT_SESSION, PEER_CHAIN};

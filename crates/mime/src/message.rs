@@ -139,23 +139,49 @@ impl MimeMessage {
 
     /// Total size on the wire: headers + blank line + body.
     pub fn wire_len(&self) -> usize {
-        self.headers.to_wire().len() + 2 + self.body.len()
+        let head: usize = self
+            .headers
+            .iter()
+            .map(|(n, v)| n.len() + 2 + v.len() + 2)
+            .sum();
+        head + 2 + self.body.len()
     }
 
     /// Serializes to the wire format: headers, CRLF, body.
     pub fn to_wire(&self) -> Bytes {
-        let head = self.headers.to_wire();
-        let mut buf = Vec::with_capacity(head.len() + 2 + self.body.len());
-        buf.extend_from_slice(head.as_bytes());
+        let mut buf = Vec::new();
+        self.to_wire_into(&mut buf);
+        Bytes::from(buf)
+    }
+
+    /// Appends the wire form to `buf` (for egress paths reusing one
+    /// scratch buffer across messages; `buf` is not cleared).
+    pub fn to_wire_into(&self, buf: &mut Vec<u8>) {
+        buf.reserve(self.wire_len());
+        for (n, v) in self.headers.iter() {
+            buf.extend_from_slice(n.as_bytes());
+            buf.extend_from_slice(b": ");
+            buf.extend_from_slice(v.as_bytes());
+            buf.extend_from_slice(b"\r\n");
+        }
         buf.extend_from_slice(b"\r\n");
         buf.extend_from_slice(&self.body);
-        Bytes::from(buf)
     }
 
     /// Parses a wire-format message (headers, blank line, body). The body
     /// length is taken from `Content-Length` when present; otherwise the
     /// remainder of the buffer is the body.
     pub fn from_wire(data: &[u8]) -> Result<Self, MimeError> {
+        Self::from_wire_with(data, Bytes::copy_from_slice)
+    }
+
+    /// Parses a wire-format message, materializing the body through
+    /// `make_body` — the hook the gateway's buffer pool uses to copy the
+    /// body into a recycled slab instead of a fresh allocation.
+    pub fn from_wire_with(
+        data: &[u8],
+        make_body: impl FnOnce(&[u8]) -> Bytes,
+    ) -> Result<Self, MimeError> {
         let split = find_header_end(data).ok_or_else(|| MimeError::InvalidMessage {
             reason: "missing blank line after headers".into(),
         })?;
@@ -179,9 +205,9 @@ impl MimeMessage {
                         ),
                     });
                 }
-                Bytes::copy_from_slice(&data[body_start..body_start + len])
+                make_body(&data[body_start..body_start + len])
             }
-            None => Bytes::copy_from_slice(&data[body_start..]),
+            None => make_body(&data[body_start..]),
         };
         Ok(MimeMessage { headers, body })
     }
@@ -313,5 +339,40 @@ mod tests {
         let m = MimeMessage::new(&MimeType::new("image", "gif"), vec![0u8; 1 << 20]);
         let c = m.clone();
         assert_eq!(m.body.as_ptr(), c.body.as_ptr());
+    }
+
+    #[test]
+    fn clone_shares_header_entries() {
+        let mut m = MimeMessage::text("x");
+        m.set_session(&SessionId::new("s1"));
+        let c = m.clone();
+        assert!(m.headers.shares_entries_with(&c.headers));
+    }
+
+    #[test]
+    fn to_wire_into_matches_to_wire() {
+        let mut m = MimeMessage::new(&MimeType::new("text", "plain"), &b"body bytes"[..]);
+        m.push_peer("p1");
+        let mut buf = vec![0xEEu8; 3]; // pre-existing bytes must be kept
+        m.to_wire_into(&mut buf);
+        assert_eq!(&buf[..3], &[0xEE; 3]);
+        assert_eq!(&buf[3..], &m.to_wire()[..]);
+    }
+
+    #[test]
+    fn from_wire_with_routes_body_through_hook() {
+        let body: Vec<u8> = (0..200u8).collect();
+        let m = MimeMessage::new(&MimeType::new("application", "octet-stream"), body);
+        let wire = m.to_wire();
+        let mut seen = 0usize;
+        let parsed = MimeMessage::from_wire_with(&wire, |b| {
+            seen = b.len();
+            let mut staged = bytes::BytesMut::with_capacity(b.len());
+            staged.extend_from_slice(b);
+            staged.freeze()
+        })
+        .unwrap();
+        assert_eq!(seen, 200);
+        assert_eq!(parsed.body, m.body);
     }
 }

@@ -13,6 +13,9 @@ pub fn register(directory: &StreamletDirectory) {
         "parse + re-encapsulate + forward",
         || Box::new(Redirector::default()),
     );
+    directory.register("builtin/forward", "pass-through forwarder", || {
+        Box::new(Forward)
+    });
     directory.register("builtin/switch", "divide messages by semantic type", || {
         Box::new(Switch)
     });
@@ -88,6 +91,38 @@ impl StreamletLogic for Redirector {
 
     fn reset(&mut self) {
         self.hops = 0;
+    }
+}
+
+/// Pure pass-through: emits every message unchanged. Where [`Redirector`]
+/// measures the §7.2 parse/re-encapsulate overhead, `Forward` isolates the
+/// *transport* cost per hop — queueing, routing, and payload handling with
+/// zero application work — which is what the memory-plane ablation scores.
+pub struct Forward;
+
+impl StreamletLogic for Forward {
+    fn process(&mut self, msg: MimeMessage, ctx: &mut StreamletCtx) -> Result<(), CoreError> {
+        ctx.emit("po", msg);
+        Ok(())
+    }
+
+    fn supports_batch(&self) -> bool {
+        true
+    }
+
+    fn fusable(&self) -> bool {
+        true
+    }
+
+    fn process_batch(
+        &mut self,
+        msgs: Vec<MimeMessage>,
+        ctx: &mut StreamletCtx,
+    ) -> Result<(), CoreError> {
+        for msg in msgs {
+            ctx.emit("po", msg);
+        }
+        Ok(())
     }
 }
 

@@ -147,6 +147,7 @@ impl Testbed {
                 fusion: cfg.fusion,
                 telemetry: Default::default(),
                 overload: Default::default(),
+                membuf: Default::default(),
             },
             Arc::new(mobigate_core::StreamletDirectory::new()),
             pool,

@@ -1,55 +1,151 @@
-//! Offline stand-in for the [`bytes`](https://crates.io/crates/bytes) crate.
+//! Minimal offline stand-in for the `bytes` crate, grown into the
+//! memory plane's foundation.
 //!
-//! The build environment has no access to crates.io, so the workspace
-//! vendors the small API subset MobiGATE actually uses: an immutable,
-//! reference-counted byte buffer whose `clone()` shares the underlying
-//! allocation. That sharing is load-bearing — the pass-by-reference
+//! [`Bytes`] is a cheaply clonable, immutable byte buffer with three
+//! representations chosen at construction time:
+//!
+//! * **Inline** — bodies of at most [`INLINE_CAP`] bytes live directly in
+//!   the handle. Cloning copies the array; no heap allocation ever
+//!   happens, so sub-threshold control messages never touch the
+//!   allocator (or the buffer pool).
+//! * **Shared** — an `Arc<[u8]>`; cloning bumps a refcount.
+//! * **Slab** — an `Arc<Slab>` wrapping a `Vec<u8>` that may carry a
+//!   [`SlabRecycler`]. When the *last* handle drops, the backing vector
+//!   is handed back to the recycler (the core crate's buffer pool)
+//!   instead of being freed — checkout at ingress, automatic return on
+//!   delivery or drop, with no unsafe code and no manual bookkeeping.
+//!
+//! [`BytesMut`] is the mutable staging buffer: fill it, then
+//! [`BytesMut::freeze`] into an immutable `Bytes` without copying.
+//! `From<Vec<u8>>` is likewise zero-copy (small vectors collapse to the
+//! inline form).
+//!
+//! The refcounted sharing is load-bearing — the pass-by-reference
 //! message pool (§6.7) relies on `Bytes::clone` never copying payload
-//! bytes, and several tests assert pointer equality across clones.
+//! bytes above the inline threshold, and several tests assert pointer
+//! equality across clones.
 
 use std::borrow::Borrow;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::ops::Deref;
+use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 
-/// An immutable, cheaply cloneable byte buffer.
-///
-/// Cloning shares the underlying allocation (an `Arc<[u8]>`); the bytes
-/// themselves are never copied by `clone`.
+/// Largest body stored inline in the handle (no heap, no pool).
+pub const INLINE_CAP: usize = 64;
+
+/// Receives the backing vector of a slab-backed [`Bytes`] when the last
+/// handle drops. Implemented by the core crate's buffer pool so slabs
+/// checked out at ingress come back on delivery automatically.
+pub trait SlabRecycler: Send + Sync {
+    /// Takes back a spent buffer (contents are garbage; capacity is the
+    /// asset).
+    fn recycle(&self, buf: Vec<u8>);
+}
+
+/// A heap buffer owned by a family of [`Bytes`] handles, optionally
+/// returned to a [`SlabRecycler`] when the family dies out.
+struct Slab {
+    buf: Vec<u8>,
+    recycler: Option<Arc<dyn SlabRecycler>>,
+}
+
+impl Drop for Slab {
+    fn drop(&mut self) {
+        if let Some(r) = self.recycler.take() {
+            r.recycle(std::mem::take(&mut self.buf));
+        }
+    }
+}
+
+#[derive(Clone)]
+enum Repr {
+    Inline { len: u8, data: [u8; INLINE_CAP] },
+    Shared(Arc<[u8]>),
+    Slab(Arc<Slab>),
+}
+
+/// A cheaply cloneable immutable byte buffer (see module docs for the
+/// three representations).
 #[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    repr: Repr,
+}
+
+fn inline_from(data: &[u8]) -> Repr {
+    debug_assert!(data.len() <= INLINE_CAP);
+    let mut buf = [0u8; INLINE_CAP];
+    buf[..data.len()].copy_from_slice(data);
+    Repr::Inline {
+        len: data.len() as u8,
+        data: buf,
+    }
 }
 
 impl Bytes {
-    /// An empty buffer.
+    /// An empty buffer. Never allocates.
     pub fn new() -> Self {
         Bytes {
-            data: Arc::from(&[][..]),
+            repr: Repr::Inline {
+                len: 0,
+                data: [0u8; INLINE_CAP],
+            },
         }
     }
 
-    /// Copies `slice` into a fresh buffer.
-    pub fn copy_from_slice(slice: &[u8]) -> Self {
+    /// Copies the slice into a new buffer (inline when it fits).
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        if data.len() <= INLINE_CAP {
+            Bytes {
+                repr: inline_from(data),
+            }
+        } else {
+            Bytes {
+                repr: Repr::Shared(Arc::from(data)),
+            }
+        }
+    }
+
+    /// Wraps `buf` without copying and arranges for it to be handed to
+    /// `recycler` when the last clone drops. Used by the buffer pool;
+    /// callers with sub-[`INLINE_CAP`] data should prefer the inline
+    /// form and recycle the vector themselves.
+    pub fn from_vec_with_recycler(buf: Vec<u8>, recycler: Arc<dyn SlabRecycler>) -> Self {
         Bytes {
-            data: Arc::from(slice),
+            repr: Repr::Slab(Arc::new(Slab {
+                buf,
+                recycler: Some(recycler),
+            })),
         }
     }
 
-    /// Length in bytes.
+    /// Number of bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.as_slice().len()
     }
 
-    /// True when the buffer is empty.
+    /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len() == 0
     }
 
-    /// The buffer as a slice.
+    /// The contents as a slice.
     pub fn as_slice(&self) -> &[u8] {
-        &self.data
+        match &self.repr {
+            Repr::Inline { len, data } => &data[..*len as usize],
+            Repr::Shared(a) => a,
+            Repr::Slab(s) => &s.buf,
+        }
+    }
+
+    /// True when `self` and `other` are clones of one heap allocation
+    /// (inline buffers are never shared).
+    pub fn shares_allocation_with(&self, other: &Bytes) -> bool {
+        match (&self.repr, &other.repr) {
+            (Repr::Shared(a), Repr::Shared(b)) => Arc::ptr_eq(a, b),
+            (Repr::Slab(a), Repr::Slab(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
     }
 }
 
@@ -62,25 +158,38 @@ impl Default for Bytes {
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// Zero-copy: large vectors become a (recycler-less) slab; small
+    /// ones collapse to the inline form and the vector is freed.
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: Arc::from(v) }
+        if v.len() <= INLINE_CAP {
+            Bytes {
+                repr: inline_from(&v),
+            }
+        } else {
+            Bytes {
+                repr: Repr::Slab(Arc::new(Slab {
+                    buf: v,
+                    recycler: None,
+                })),
+            }
+        }
     }
 }
 
@@ -109,7 +218,7 @@ impl From<&str> for Bytes {
 }
 
 impl FromIterator<u8> for Bytes {
-    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+    fn from_iter<T: IntoIterator<Item = u8>>(iter: T) -> Self {
         Bytes::from(iter.into_iter().collect::<Vec<u8>>())
     }
 }
@@ -117,15 +226,15 @@ impl FromIterator<u8> for Bytes {
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter().take(64) {
+        for &b in self.as_slice().iter().take(64) {
             if (0x20..0x7f).contains(&b) && b != b'"' && b != b'\\' {
                 write!(f, "{}", b as char)?;
             } else {
                 write!(f, "\\x{b:02x}")?;
             }
         }
-        if self.data.len() > 64 {
-            write!(f, "… ({} bytes)", self.data.len())?;
+        if self.len() > 64 {
+            write!(f, "…({} bytes)", self.len())?;
         }
         write!(f, "\"")
     }
@@ -133,9 +242,10 @@ impl fmt::Debug for Bytes {
 
 impl PartialEq for Bytes {
     fn eq(&self, other: &Self) -> bool {
-        self.data[..] == other.data[..]
+        self.as_slice() == other.as_slice()
     }
 }
+
 impl Eq for Bytes {}
 
 impl PartialOrd for Bytes {
@@ -143,82 +253,254 @@ impl PartialOrd for Bytes {
         Some(self.cmp(other))
     }
 }
+
 impl Ord for Bytes {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.data[..].cmp(&other.data[..])
+        self.as_slice().cmp(other.as_slice())
     }
 }
 
 impl Hash for Bytes {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.data[..].hash(state);
+        self.as_slice().hash(state);
     }
 }
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        self.data[..] == *other
+        self.as_slice() == other
     }
 }
+
 impl PartialEq<&[u8]> for Bytes {
     fn eq(&self, other: &&[u8]) -> bool {
-        self.data[..] == **other
+        self.as_slice() == *other
     }
 }
+
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        self.data[..] == other[..]
+        self.as_slice() == other.as_slice()
     }
 }
-impl PartialEq<Bytes> for Vec<u8> {
-    fn eq(&self, other: &Bytes) -> bool {
-        self[..] == other.data[..]
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
     }
 }
+
 impl PartialEq<Bytes> for [u8] {
     fn eq(&self, other: &Bytes) -> bool {
-        *self == other.data[..]
+        self == other.as_slice()
     }
 }
-impl<const N: usize> PartialEq<&[u8; N]> for Bytes {
-    fn eq(&self, other: &&[u8; N]) -> bool {
-        self.data[..] == other[..]
+
+impl PartialEq<Bytes> for &[u8] {
+    fn eq(&self, other: &Bytes) -> bool {
+        *self == other.as_slice()
+    }
+}
+
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<Bytes> for [u8; N] {
+    fn eq(&self, other: &Bytes) -> bool {
+        self == other.as_slice()
+    }
+}
+
+/// A mutable byte buffer that freezes into [`Bytes`] without copying.
+#[derive(Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut { buf: Vec::new() }
+    }
+
+    /// An empty buffer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Wraps an existing vector without copying.
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        BytesMut { buf }
+    }
+
+    /// Appends `data`.
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Current capacity of the backing vector.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Ensures room for `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Clears the contents, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Converts into an immutable [`Bytes`] without copying (small
+    /// contents collapse to the inline form).
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+
+    /// Recovers the backing vector.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(buf: Vec<u8>) -> Self {
+        BytesMut { buf }
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BytesMut({} bytes)", self.buf.len())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
 
     #[test]
     fn clone_shares_allocation() {
+        // Above INLINE_CAP so the clone is a refcount bump, not a copy.
+        let a = Bytes::from(vec![7u8; INLINE_CAP + 1]);
+        let b = a.clone();
+        assert_eq!(a.as_slice().as_ptr(), b.as_slice().as_ptr());
+        assert!(a.shares_allocation_with(&b));
+    }
+
+    #[test]
+    fn small_buffers_stay_inline() {
         let a = Bytes::from(vec![1u8, 2, 3]);
         let b = a.clone();
-        assert_eq!(a.as_ptr(), b.as_ptr());
         assert_eq!(a, b);
+        assert!(!a.shares_allocation_with(&b));
+        assert_eq!(Bytes::new().len(), 0);
+        assert_eq!(Bytes::copy_from_slice(&[9; INLINE_CAP]).len(), INLINE_CAP);
+    }
+
+    #[test]
+    fn from_vec_is_zero_copy_above_inline_cap() {
+        let v = vec![0xABu8; 1024];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_slice().as_ptr(), ptr);
+    }
+
+    #[test]
+    fn freeze_is_zero_copy() {
+        let mut m = BytesMut::with_capacity(256);
+        m.extend_from_slice(&[0x5A; 200]);
+        let ptr = m.as_ref().as_ptr();
+        let b = m.freeze();
+        assert_eq!(b.as_slice().as_ptr(), ptr);
+        assert_eq!(b.len(), 200);
     }
 
     #[test]
     fn copy_from_slice_detaches() {
-        let v = vec![9u8; 16];
+        let v = vec![1u8; 128];
         let b = Bytes::copy_from_slice(&v);
-        assert_ne!(b.as_ptr(), v.as_ptr());
+        assert_ne!(b.as_slice().as_ptr(), v.as_ptr());
         assert_eq!(b, v);
     }
 
     #[test]
     fn slicing_and_iteration_via_deref() {
-        let b = Bytes::from(vec![1u8, 2, 3, 4]);
-        assert_eq!(&b[..2], &[1, 2]);
-        assert_eq!(b.iter().sum::<u8>(), 10);
-        assert_eq!(b.to_vec(), vec![1, 2, 3, 4]);
+        let b = Bytes::from("hello world");
+        assert_eq!(&b[..5], b"hello");
+        assert_eq!(b.iter().filter(|&&c| c == b'o').count(), 2);
     }
 
     #[test]
     fn comparisons_against_native_types() {
         let b = Bytes::from("abc");
-        assert_eq!(b, b"abc");
-        assert_eq!(b, *b"abc".as_slice());
+        assert_eq!(b, *b"abc");
         assert_eq!(b, b"abc".to_vec());
+        assert_eq!(b.as_slice(), b"abc");
+        assert!(Bytes::from("abd") > b);
+    }
+
+    struct CollectingRecycler(Mutex<Vec<Vec<u8>>>);
+    impl SlabRecycler for CollectingRecycler {
+        fn recycle(&self, buf: Vec<u8>) {
+            self.0.lock().unwrap().push(buf);
+        }
+    }
+
+    #[test]
+    fn last_drop_returns_slab_to_recycler() {
+        let rec = Arc::new(CollectingRecycler(Mutex::new(Vec::new())));
+        let mut v = Vec::with_capacity(4096);
+        v.resize(100, 0x11u8);
+        let ptr = v.as_ptr();
+        let a = Bytes::from_vec_with_recycler(v, rec.clone());
+        let b = a.clone();
+        assert!(a.shares_allocation_with(&b));
+        drop(a);
+        assert!(
+            rec.0.lock().unwrap().is_empty(),
+            "live clone must hold the slab"
+        );
+        drop(b);
+        let returned = rec.0.lock().unwrap().pop().expect("slab recycled");
+        assert_eq!(returned.as_ptr(), ptr);
+        assert_eq!(returned.capacity(), 4096);
     }
 }
